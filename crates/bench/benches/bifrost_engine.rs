@@ -1,0 +1,43 @@
+//! Criterion bench — the Bifrost engine (the cost side of Figures
+//! 4.7–4.10) and the strategy DSL parser.
+
+use bifrost::engine::{Engine, EngineConfig};
+use bifrost::dsl;
+use cex_bench::{n_service_app, n_service_workload, n_strategies};
+use cex_core::simtime::SimDuration;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use microsim::sim::Simulation;
+use std::hint::black_box;
+
+fn bench_parallel_strategies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bifrost/2min-execution");
+    group.sample_size(10);
+    for n in [4usize, 16, 64] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let app = n_service_app(n);
+            let wl = n_service_workload(&app, n, (10 * n) as f64);
+            let strategies = n_strategies(n, 2);
+            b.iter(|| {
+                let mut sim = Simulation::new(app.clone(), 42);
+                sim.set_trace_sampling(0.0);
+                let engine = Engine::new(EngineConfig::default());
+                black_box(
+                    engine
+                        .execute(&mut sim, &strategies, &wl, SimDuration::from_mins(2))
+                        .expect("execution succeeds"),
+                )
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_dsl_parse(c: &mut Criterion) {
+    let source = dsl::to_source(&n_strategies(1, 16).remove(0));
+    c.bench_function("bifrost/dsl-parse-16-checks", |b| {
+        b.iter(|| black_box(dsl::parse(&source).expect("round-trips")));
+    });
+}
+
+criterion_group!(benches, bench_parallel_strategies, bench_dsl_parse);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Criterion bench — the four Fenrir scheduling algorithms at a fixed
+//! evaluation budget (the per-evaluation-cost side of Table 3.3).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fenrir::annealing::SimulatedAnnealing;
+use fenrir::ga::GeneticAlgorithm;
+use fenrir::generator::{ProblemGenerator, SampleSizeTier};
+use fenrir::local_search::LocalSearch;
+use fenrir::random_sampling::RandomSampling;
+use fenrir::runner::{Budget, Scheduler};
+use std::hint::black_box;
+
+fn bench_algorithms(c: &mut Criterion) {
+    let problem = ProblemGenerator::new(10, SampleSizeTier::Medium).generate(1);
+    let budget = Budget::evaluations(500);
+    let algorithms: Vec<Box<dyn Scheduler>> = vec![
+        Box::new(GeneticAlgorithm::default()),
+        Box::new(SimulatedAnnealing::default()),
+        Box::new(LocalSearch::default()),
+        Box::new(RandomSampling::default()),
+    ];
+    let mut group = c.benchmark_group("fenrir/500-evals-10-experiments");
+    group.sample_size(10);
+    for alg in &algorithms {
+        group.bench_with_input(BenchmarkId::from_parameter(alg.name()), alg, |b, alg| {
+            b.iter(|| black_box(alg.schedule(&problem, budget, 7)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_fitness_evaluation(c: &mut Criterion) {
+    use cex_core::rng::SplitMix64;
+    use fenrir::fitness::{evaluate, Weights};
+
+    let mut group = c.benchmark_group("fenrir/single-evaluation");
+    for n in [10usize, 40] {
+        let problem = ProblemGenerator::new(n, SampleSizeTier::High).generate(2);
+        let mut rng = SplitMix64::new(3);
+        let schedule = fenrir::encoding::random_schedule(&problem, &mut rng);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| black_box(evaluate(&problem, &schedule, &Weights::default())));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_algorithms, bench_fitness_evaluation);
+criterion_main!(benches);

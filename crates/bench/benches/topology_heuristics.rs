@@ -1,0 +1,51 @@
+//! Criterion bench — topological diff, change classification, and the
+//! ranking heuristics (the cost side of Figures 5.9/5.10).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use topology::changes::classify;
+use topology::diff::TopologicalDiff;
+use topology::heuristics::{self, AnalysisContext};
+use topology::perf::{generate_pair, PerfParams};
+use topology::rank::rank;
+
+fn bench_pipeline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("topology/diff+classify+rank");
+    group.sample_size(10);
+    for endpoints in [1_000usize, 4_000] {
+        let params = PerfParams { endpoints, change_fraction: 0.1, ..Default::default() };
+        let (baseline, experimental) = generate_pair(&params, 5);
+        group.bench_with_input(BenchmarkId::from_parameter(endpoints), &endpoints, |b, _| {
+            let hybrid = heuristics::hybrid_default();
+            b.iter(|| {
+                let diff = TopologicalDiff::compute(&baseline, &experimental);
+                let changes = classify(&diff);
+                let ctx = AnalysisContext {
+                    baseline: &baseline,
+                    experimental: &experimental,
+                    diff: &diff,
+                };
+                black_box(rank(hybrid.as_ref(), &ctx, &changes))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_heuristics_only(c: &mut Criterion) {
+    let params = PerfParams { endpoints: 2_000, change_fraction: 0.1, ..Default::default() };
+    let (baseline, experimental) = generate_pair(&params, 9);
+    let diff = TopologicalDiff::compute(&baseline, &experimental);
+    let changes = classify(&diff);
+    let ctx = AnalysisContext { baseline: &baseline, experimental: &experimental, diff: &diff };
+    let mut group = c.benchmark_group("topology/heuristic-2000-endpoints");
+    for h in heuristics::all_variants() {
+        group.bench_with_input(BenchmarkId::from_parameter(h.name()), &h, |b, h| {
+            b.iter(|| black_box(rank(h.as_ref(), &ctx, &changes)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pipeline, bench_heuristics_only);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Ablation — the hybrid heuristic's weighting.
+//!
+//! Sweeps the subtree-vs-response-time weight α across both scenarios to
+//! show where the balanced hybrid (the paper's best performer on average)
+//! sits, and why "it would make sense to let developers toggle between
+//! multiple heuristics" (Section 1.2.4): no single α wins everywhere.
+
+use cex_bench::header;
+use topology::heuristics::hybrid;
+use topology::rank::{ndcg_at, rank};
+use topology::scenarios::{scenario_1, scenario_2};
+
+fn main() {
+    header("Ablation — hybrid weight α (nDCG@5 per scenario)");
+    let scenarios = vec![
+        scenario_1(false, 42),
+        scenario_1(true, 42),
+        scenario_2(false, 42),
+        scenario_2(true, 42),
+    ];
+    print!("{:>6}", "alpha");
+    for s in &scenarios {
+        print!(" | {:>20}", s.name);
+    }
+    println!(" | {:>8}", "average");
+    for alpha10 in 0..=10 {
+        let alpha = alpha10 as f64 / 10.0;
+        let h = hybrid(alpha);
+        print!("{alpha:>6.1}");
+        let mut sum = 0.0;
+        for s in &scenarios {
+            let ranking = rank(&h, &s.analysis(), &s.changes);
+            let ndcg = ndcg_at(&ranking, &s.relevance, 5);
+            sum += ndcg;
+            print!(" | {ndcg:>20.3}");
+        }
+        println!(" | {:>8.3}", sum / scenarios.len() as f64);
+    }
+    println!("\nα = 0 is pure response-time analysis, α = 1 pure subtree complexity.");
+}

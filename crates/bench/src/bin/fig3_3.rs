@@ -1,0 +1,44 @@
+//! Figure 3.3 — example traffic profile and traffic consumption.
+//!
+//! Prints hourly total available traffic over one week of the four-week
+//! horizon plus the traffic a GA schedule consumes in the same slots.
+
+use cex_bench::header;
+use fenrir::ga::GeneticAlgorithm;
+use fenrir::generator::{ProblemGenerator, SampleSizeTier};
+use fenrir::runner::{Budget, Scheduler};
+
+fn main() {
+    header("Figure 3.3 — traffic profile and consumption (first week, hourly)");
+    let problem = ProblemGenerator::new(15, SampleSizeTier::Medium).generate(42);
+    let result = GeneticAlgorithm::default().schedule(&problem, Budget::evaluations(6_000), 1);
+    println!(
+        "schedule: fitness {:.3}, valid: {}",
+        result.best_report.raw,
+        result.best_report.is_valid()
+    );
+    let consumption = result.best.consumption_per_slot(&problem);
+    println!("{:>5}  {:>12}  {:>12}  {:>6}", "slot", "available", "consumed", "util");
+    for slot in 0..(7 * 24) {
+        if slot % 4 != 0 {
+            continue; // print every 4th hour to keep the series readable
+        }
+        let available = problem.traffic().total_in_slot(slot);
+        let consumed = consumption[slot];
+        println!(
+            "{:>5}  {:>12.0}  {:>12.0}  {:>5.1}%",
+            slot,
+            available,
+            consumed,
+            consumed / available * 100.0
+        );
+    }
+    let total_available: f64 = (0..problem.horizon()).map(|s| problem.traffic().total_in_slot(s)).sum();
+    let total_consumed: f64 = consumption.iter().sum();
+    println!(
+        "\nhorizon totals: available {:.0}, consumed {:.0} ({:.1}%)",
+        total_available,
+        total_consumed,
+        total_consumed / total_available * 100.0
+    );
+}

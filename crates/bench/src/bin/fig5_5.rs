@@ -1,0 +1,29 @@
+//! Figure 5.5 / Figure 1.3 — the research prototype's visualization:
+//! the colour-coded topological difference plus the ranked change panel.
+//!
+//! Emits the Graphviz DOT source of scenario 1's diff (pipe through
+//! `dot -Tsvg` to get the paper's picture) and the terminal-friendly text
+//! tree with the ranking side panel.
+
+use cex_bench::header;
+use topology::heuristics;
+use topology::rank::rank;
+use topology::render::{render_ranking, to_dot, to_text};
+use topology::scenarios::scenario_1;
+
+fn main() {
+    header("Figure 5.5 / 1.3 — topological difference visualization");
+    let scenario = scenario_1(true, 42);
+    println!("scenario: {}\n", scenario.name);
+
+    println!("--- text tree (+ added, - removed, = unchanged) ---");
+    print!("{}", to_text(&scenario.diff));
+
+    let heuristic = heuristics::hybrid_default();
+    let ranking = rank(heuristic.as_ref(), &scenario.analysis(), &scenario.changes);
+    println!("\n--- ranking panel ({}) ---", heuristic.name());
+    print!("{}", render_ranking(&ranking, &scenario.changes, 5));
+
+    println!("\n--- Graphviz DOT (render with `dot -Tsvg`) ---");
+    print!("{}", to_dot(&scenario.diff));
+}

@@ -1,0 +1,56 @@
+//! Figures 5.6 and 5.8 — nDCG₅ ranking quality of all six heuristic
+//! variations on both evaluation scenarios, with and without injected
+//! performance degradation.
+//!
+//! The paper's shape: the hybrid heuristics score highest on average
+//! (≈0.94 across scenarios), the response-time family shines when
+//! degradation is present, the subtree family is competitive without it.
+
+use cex_bench::header;
+use topology::heuristics;
+use topology::rank::{ndcg_at, rank};
+use topology::scenarios::{scenario_1, scenario_2, Scenario};
+
+fn evaluate(scenario: &Scenario) -> Vec<(String, f64)> {
+    heuristics::all_variants()
+        .iter()
+        .map(|h| {
+            let ranking = rank(h.as_ref(), &scenario.analysis(), &scenario.changes);
+            (h.name(), ndcg_at(&ranking, &scenario.relevance, 5))
+        })
+        .collect()
+}
+
+fn main() {
+    header("Figures 5.6 / 5.8 — nDCG@5 per heuristic and scenario");
+    let scenarios = vec![
+        scenario_1(false, 42),
+        scenario_1(true, 42),
+        scenario_2(false, 42),
+        scenario_2(true, 42),
+    ];
+    let names: Vec<String> = heuristics::all_variants().iter().map(|h| h.name()).collect();
+    print!("{:>22}", "scenario \\ heuristic");
+    for name in &names {
+        print!(" | {name:>17}");
+    }
+    println!();
+    let mut sums = vec![0.0; names.len()];
+    for scenario in &scenarios {
+        print!("{:>22}", scenario.name);
+        for (i, (_, ndcg)) in evaluate(scenario).iter().enumerate() {
+            print!(" | {ndcg:>17.3}");
+            sums[i] += ndcg;
+        }
+        println!();
+    }
+    print!("{:>22}", "average");
+    for s in &sums {
+        print!(" | {:>17.3}", s / scenarios.len() as f64);
+    }
+    println!();
+    println!(
+        "\nchanges per scenario: {}",
+        scenarios.iter().map(|s| s.changes.len().to_string()).collect::<Vec<_>>().join(", ")
+    );
+}

@@ -1,0 +1,322 @@
+//! Check scheduling and evaluation (Figure 4.3).
+//!
+//! Each check runs on its own cadence: a [`CheckScheduler`] tracks per-
+//! check due times ("time-based execution of multiple checks"), and
+//! [`evaluate`] reads the trailing window from the metric store and turns
+//! it into a [`CheckResult`]. A check with too few observations is
+//! *inconclusive* — it neither passes nor fails the phase, which is what
+//! drives the retry action when not enough data was collected.
+
+use crate::model::{Check, CheckScope, Comparator};
+use cex_core::simtime::SimTime;
+use cex_core::stats::welch_test;
+use microsim::monitor::MetricStore;
+use serde::{Deserialize, Serialize};
+
+/// Outcome of one check evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CheckResult {
+    /// The condition held on sufficient data.
+    Pass,
+    /// The condition was violated on sufficient data.
+    Fail,
+    /// Not enough data in the window for a verdict.
+    Inconclusive,
+}
+
+/// Where a strategy's metrics live in the store.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CheckContext {
+    /// Scope of the candidate version (`service@version`).
+    pub candidate_scope: String,
+    /// Scope of the baseline version.
+    pub baseline_scope: String,
+}
+
+/// Evaluates one check at `now` against the store.
+pub fn evaluate(check: &Check, ctx: &CheckContext, store: &MetricStore, now: SimTime) -> CheckResult {
+    match check.scope {
+        CheckScope::Candidate => {
+            absolute(check, store, &ctx.candidate_scope, now)
+        }
+        CheckScope::Baseline => {
+            absolute(check, store, &ctx.baseline_scope, now)
+        }
+        CheckScope::CandidateVsBaseline => {
+            let cand = store.window_summary(&ctx.candidate_scope, check.metric, now, check.window);
+            let base = store.window_summary(&ctx.baseline_scope, check.metric, now, check.window);
+            if cand.count < check.min_samples || base.count < check.min_samples {
+                return CheckResult::Inconclusive;
+            }
+            if base.mean.abs() < f64::EPSILON {
+                return CheckResult::Inconclusive;
+            }
+            let ratio = cand.mean / base.mean;
+            if check.comparator.holds(ratio, check.threshold) {
+                CheckResult::Pass
+            } else {
+                CheckResult::Fail
+            }
+        }
+        CheckScope::SignificantVsBaseline => {
+            let cand = store.window_summary(&ctx.candidate_scope, check.metric, now, check.window);
+            let base = store.window_summary(&ctx.baseline_scope, check.metric, now, check.window);
+            if cand.count < check.min_samples || base.count < check.min_samples {
+                return CheckResult::Inconclusive;
+            }
+            let Some(test) = welch_test(&cand, &base) else {
+                return CheckResult::Inconclusive;
+            };
+            // Sequential-monitoring semantics: pass on significance in the
+            // desired direction, fail only on significant *harm* (the
+            // opposite direction), otherwise keep collecting — mid-phase
+            // noise must not abort a test that simply has not converged
+            // yet. A phase that never converges ends inconclusive and is
+            // retried/rolled back by its `on inconclusive` action.
+            let alpha = check.threshold;
+            let (desired, opposite) = match check.comparator {
+                Comparator::Gt | Comparator::Ge => {
+                    (test.significantly_greater(alpha), test.significantly_less(alpha))
+                }
+                Comparator::Lt | Comparator::Le => {
+                    (test.significantly_less(alpha), test.significantly_greater(alpha))
+                }
+            };
+            if desired {
+                CheckResult::Pass
+            } else if opposite {
+                CheckResult::Fail
+            } else {
+                CheckResult::Inconclusive
+            }
+        }
+    }
+}
+
+fn absolute(check: &Check, store: &MetricStore, scope: &str, now: SimTime) -> CheckResult {
+    let summary = store.window_summary(scope, check.metric, now, check.window);
+    if summary.count < check.min_samples {
+        return CheckResult::Inconclusive;
+    }
+    if check.comparator.holds(summary.mean, check.threshold) {
+        CheckResult::Pass
+    } else {
+        CheckResult::Fail
+    }
+}
+
+/// Tracks when each check of a phase is next due.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CheckScheduler {
+    next_due: Vec<SimTime>,
+}
+
+impl CheckScheduler {
+    /// Creates a scheduler for `checks`, with the first evaluation of each
+    /// check one interval after `phase_start` (the window needs time to
+    /// fill).
+    pub fn new(checks: &[Check], phase_start: SimTime) -> Self {
+        CheckScheduler {
+            next_due: checks.iter().map(|c| phase_start + c.interval).collect(),
+        }
+    }
+
+    /// Indices of the checks due at or before `now`, advancing each one's
+    /// next due time past `now`. A check that fell multiple intervals
+    /// behind fires once (evaluations are idempotent reads of the trailing
+    /// window — catch-up storms would be wasted work).
+    pub fn due(&mut self, checks: &[Check], now: SimTime) -> Vec<usize> {
+        let mut due = Vec::new();
+        for (i, next) in self.next_due.iter_mut().enumerate() {
+            if *next <= now {
+                due.push(i);
+                let interval = checks[i].interval;
+                while *next <= now {
+                    *next += interval;
+                }
+            }
+        }
+        due
+    }
+
+    /// Number of scheduled checks.
+    pub fn len(&self) -> usize {
+        self.next_due.len()
+    }
+
+    /// `true` when no checks are scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.next_due.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::Comparator;
+    use cex_core::metrics::MetricKind;
+    use cex_core::simtime::SimDuration;
+
+    fn ctx() -> CheckContext {
+        CheckContext { candidate_scope: "svc@2".into(), baseline_scope: "svc@1".into() }
+    }
+
+    fn fill(store: &MetricStore, scope: &str, value: f64, n: u64) {
+        for i in 0..n {
+            store.record_value(scope, MetricKind::ResponseTime, SimTime::from_millis(i * 100), value);
+        }
+    }
+
+    #[test]
+    fn candidate_check_passes_and_fails() {
+        let store = MetricStore::new();
+        fill(&store, "svc@2", 50.0, 30);
+        let mut check = Check::candidate(MetricKind::ResponseTime, Comparator::Lt, 100.0);
+        check.window = SimDuration::from_secs(10);
+        let now = SimTime::from_secs(3);
+        assert_eq!(evaluate(&check, &ctx(), &store, now), CheckResult::Pass);
+        check.threshold = 10.0;
+        assert_eq!(evaluate(&check, &ctx(), &store, now), CheckResult::Fail);
+    }
+
+    #[test]
+    fn too_few_samples_is_inconclusive() {
+        let store = MetricStore::new();
+        fill(&store, "svc@2", 50.0, 5);
+        let check = Check::candidate(MetricKind::ResponseTime, Comparator::Lt, 100.0);
+        assert_eq!(
+            evaluate(&check, &ctx(), &store, SimTime::from_secs(1)),
+            CheckResult::Inconclusive
+        );
+    }
+
+    #[test]
+    fn relative_check_compares_ratio() {
+        let store = MetricStore::new();
+        fill(&store, "svc@2", 120.0, 30);
+        fill(&store, "svc@1", 100.0, 30);
+        let mut check = Check::candidate(MetricKind::ResponseTime, Comparator::Lt, 1.25);
+        check.scope = CheckScope::CandidateVsBaseline;
+        check.window = SimDuration::from_secs(10);
+        let now = SimTime::from_secs(3);
+        assert_eq!(evaluate(&check, &ctx(), &store, now), CheckResult::Pass);
+        check.threshold = 1.1;
+        assert_eq!(evaluate(&check, &ctx(), &store, now), CheckResult::Fail);
+    }
+
+    #[test]
+    fn relative_check_needs_both_sides() {
+        let store = MetricStore::new();
+        fill(&store, "svc@2", 120.0, 30);
+        let mut check = Check::candidate(MetricKind::ResponseTime, Comparator::Lt, 1.25);
+        check.scope = CheckScope::CandidateVsBaseline;
+        check.window = SimDuration::from_secs(10);
+        assert_eq!(
+            evaluate(&check, &ctx(), &store, SimTime::from_secs(3)),
+            CheckResult::Inconclusive
+        );
+    }
+
+    #[test]
+    fn zero_baseline_mean_is_inconclusive() {
+        let store = MetricStore::new();
+        fill(&store, "svc@2", 120.0, 30);
+        fill(&store, "svc@1", 0.0, 30);
+        let mut check = Check::candidate(MetricKind::ResponseTime, Comparator::Lt, 1.25);
+        check.scope = CheckScope::CandidateVsBaseline;
+        check.window = SimDuration::from_secs(10);
+        assert_eq!(
+            evaluate(&check, &ctx(), &store, SimTime::from_secs(3)),
+            CheckResult::Inconclusive
+        );
+    }
+
+    #[test]
+    fn baseline_scope_reads_baseline() {
+        let store = MetricStore::new();
+        fill(&store, "svc@1", 500.0, 30);
+        let mut check = Check::candidate(MetricKind::ResponseTime, Comparator::Lt, 100.0);
+        check.scope = CheckScope::Baseline;
+        check.window = SimDuration::from_secs(10);
+        assert_eq!(evaluate(&check, &ctx(), &store, SimTime::from_secs(3)), CheckResult::Fail);
+    }
+
+    #[test]
+    fn significance_check_detects_real_differences() {
+        use cex_core::rng::SplitMix64;
+        let store = MetricStore::new();
+        let mut rng = SplitMix64::new(42);
+        // Candidate converts at 6%, baseline at 2%, 400 samples each.
+        for i in 0..400u64 {
+            let t = SimTime::from_millis(i * 20);
+            store.record_value("svc@2", MetricKind::ConversionRate, t,
+                if rng.next_f64() < 0.06 { 1.0 } else { 0.0 });
+            store.record_value("svc@1", MetricKind::ConversionRate, t,
+                if rng.next_f64() < 0.02 { 1.0 } else { 0.0 });
+        }
+        let mut check = Check::candidate(MetricKind::ConversionRate, Comparator::Gt, 0.05);
+        check.scope = CheckScope::SignificantVsBaseline;
+        check.window = SimDuration::from_secs(10);
+        check.min_samples = 100;
+        let now = SimTime::from_secs(9);
+        assert_eq!(evaluate(&check, &ctx(), &store, now), CheckResult::Pass);
+        // The wrong direction is not significant.
+        check.comparator = Comparator::Lt;
+        assert_eq!(evaluate(&check, &ctx(), &store, now), CheckResult::Fail);
+    }
+
+    #[test]
+    fn significance_check_rejects_noise() {
+        use cex_core::rng::SplitMix64;
+        let store = MetricStore::new();
+        let mut rng = SplitMix64::new(7);
+        // Identical 2% conversion on both sides.
+        for i in 0..400u64 {
+            let t = SimTime::from_millis(i * 20);
+            store.record_value("svc@2", MetricKind::ConversionRate, t,
+                if rng.next_f64() < 0.02 { 1.0 } else { 0.0 });
+            store.record_value("svc@1", MetricKind::ConversionRate, t,
+                if rng.next_f64() < 0.02 { 1.0 } else { 0.0 });
+        }
+        let mut check = Check::candidate(MetricKind::ConversionRate, Comparator::Gt, 0.05);
+        check.scope = CheckScope::SignificantVsBaseline;
+        check.window = SimDuration::from_secs(10);
+        check.min_samples = 100;
+        assert_eq!(
+            evaluate(&check, &ctx(), &store, SimTime::from_secs(9)),
+            CheckResult::Inconclusive,
+            "a null effect is neither shipped nor treated as harm"
+        );
+    }
+
+    #[test]
+    fn significance_check_needs_samples() {
+        let store = MetricStore::new();
+        fill(&store, "svc@2", 1.0, 5);
+        fill(&store, "svc@1", 1.0, 5);
+        let mut check = Check::candidate(MetricKind::ResponseTime, Comparator::Gt, 0.05);
+        check.scope = CheckScope::SignificantVsBaseline;
+        check.window = SimDuration::from_secs(10);
+        assert_eq!(
+            evaluate(&check, &ctx(), &store, SimTime::from_secs(3)),
+            CheckResult::Inconclusive
+        );
+    }
+
+    #[test]
+    fn scheduler_fires_on_cadence() {
+        let checks = vec![
+            Check { interval: SimDuration::from_secs(10), ..Check::candidate(MetricKind::ErrorRate, Comparator::Lt, 1.0) },
+            Check { interval: SimDuration::from_secs(25), ..Check::candidate(MetricKind::ErrorRate, Comparator::Lt, 1.0) },
+        ];
+        let mut sched = CheckScheduler::new(&checks, SimTime::ZERO);
+        assert_eq!(sched.len(), 2);
+        assert_eq!(sched.due(&checks, SimTime::from_secs(5)), Vec::<usize>::new());
+        assert_eq!(sched.due(&checks, SimTime::from_secs(10)), vec![0]);
+        assert_eq!(sched.due(&checks, SimTime::from_secs(10)), Vec::<usize>::new(), "idempotent");
+        assert_eq!(sched.due(&checks, SimTime::from_secs(25)), vec![0, 1]);
+        // Falling far behind fires each check once, not per missed tick.
+        assert_eq!(sched.due(&checks, SimTime::from_secs(300)), vec![0, 1]);
+        assert_eq!(sched.due(&checks, SimTime::from_secs(301)), Vec::<usize>::new());
+    }
+}

@@ -1,0 +1,747 @@
+//! The strategy DSL: experimentation-as-code (Section 1.2.3).
+//!
+//! "Formalizing experiments in a domain-specific language […] fosters
+//! transparency, and allows experiments and their phases to be shared,
+//! reused, and versioned." The language is deliberately small:
+//!
+//! ```text
+//! # comments run to end of line
+//! strategy "recommendation-rollout" {
+//!   service "recommendation"
+//!   baseline "1.0.0"
+//!   candidate "1.1.0"            # variant A in A/B phases
+//!   variant_b "1.1.0-alt"        # optional variant B
+//!
+//!   phase "canary" canary 5% for 10m {
+//!     check error_rate < 0.05 over 2m every 30s min_samples 50
+//!     check response_time vs_baseline < 1.25 over 2m every 30s
+//!     on success goto "rollout"
+//!     on failure rollback
+//!     on inconclusive retry
+//!   }
+//!   phase "rollout" gradual_rollout from 10% to 100% step 30% every 5m for 30m {
+//!     check error_rate < 0.05 over 2m every 30s
+//!     on success complete
+//!     on failure rollback
+//!   }
+//! }
+//! ```
+//!
+//! [`parse`] turns source into a validated [`Strategy`];
+//! [`to_source`] pretty-prints a strategy back into canonical DSL
+//! (round-tripping is covered by tests).
+
+use crate::error::BifrostError;
+use crate::model::{Action, Check, CheckScope, Comparator, Phase, PhaseKind, Strategy};
+use cex_core::metrics::MetricKind;
+use cex_core::simtime::SimDuration;
+use std::fmt::Write as _;
+
+// ---------------------------------------------------------------------------
+// Lexer
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Ident(String),
+    Str(String),
+    Number(f64),
+    Percent(f64),
+    Duration(SimDuration),
+    LBrace,
+    RBrace,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+struct Spanned {
+    tok: Tok,
+    line: usize,
+    column: usize,
+}
+
+fn lex(source: &str) -> Result<Vec<Spanned>, BifrostError> {
+    let mut tokens = Vec::new();
+    let mut chars = source.chars().peekable();
+    let (mut line, mut column) = (1usize, 1usize);
+
+    macro_rules! bump {
+        () => {{
+            let c = chars.next();
+            if c == Some('\n') {
+                line += 1;
+                column = 1;
+            } else if c.is_some() {
+                column += 1;
+            }
+            c
+        }};
+    }
+
+    while let Some(&c) = chars.peek() {
+        let (tok_line, tok_col) = (line, column);
+        match c {
+            ' ' | '\t' | '\r' | '\n' => {
+                bump!();
+            }
+            '#' => {
+                while let Some(&c) = chars.peek() {
+                    if c == '\n' {
+                        break;
+                    }
+                    bump!();
+                }
+            }
+            '{' => {
+                bump!();
+                tokens.push(Spanned { tok: Tok::LBrace, line: tok_line, column: tok_col });
+            }
+            '}' => {
+                bump!();
+                tokens.push(Spanned { tok: Tok::RBrace, line: tok_line, column: tok_col });
+            }
+            '<' => {
+                bump!();
+                let tok = if chars.peek() == Some(&'=') {
+                    bump!();
+                    Tok::Le
+                } else {
+                    Tok::Lt
+                };
+                tokens.push(Spanned { tok, line: tok_line, column: tok_col });
+            }
+            '>' => {
+                bump!();
+                let tok = if chars.peek() == Some(&'=') {
+                    bump!();
+                    Tok::Ge
+                } else {
+                    Tok::Gt
+                };
+                tokens.push(Spanned { tok, line: tok_line, column: tok_col });
+            }
+            '"' => {
+                bump!();
+                let mut s = String::new();
+                loop {
+                    match bump!() {
+                        Some('"') => break,
+                        Some('\n') | None => {
+                            return Err(BifrostError::parse(tok_line, tok_col, "unterminated string"))
+                        }
+                        Some(c) => s.push(c),
+                    }
+                }
+                tokens.push(Spanned { tok: Tok::Str(s), line: tok_line, column: tok_col });
+            }
+            c if c.is_ascii_digit() => {
+                let mut num = String::new();
+                while let Some(&c) = chars.peek() {
+                    if c.is_ascii_digit() || c == '.' {
+                        num.push(c);
+                        bump!();
+                    } else {
+                        break;
+                    }
+                }
+                let value: f64 = num.parse().map_err(|_| {
+                    BifrostError::parse(tok_line, tok_col, format!("bad number {num}"))
+                })?;
+                // Suffix: %, ms, s, m, h — or a bare number.
+                let tok = match chars.peek() {
+                    Some('%') => {
+                        bump!();
+                        Tok::Percent(value)
+                    }
+                    Some('m') => {
+                        bump!();
+                        if chars.peek() == Some(&'s') {
+                            bump!();
+                            Tok::Duration(SimDuration::from_millis(value as u64))
+                        } else {
+                            Tok::Duration(SimDuration::from_millis((value * 60_000.0) as u64))
+                        }
+                    }
+                    Some('s') => {
+                        bump!();
+                        Tok::Duration(SimDuration::from_millis((value * 1_000.0) as u64))
+                    }
+                    Some('h') => {
+                        bump!();
+                        Tok::Duration(SimDuration::from_millis((value * 3_600_000.0) as u64))
+                    }
+                    _ => Tok::Number(value),
+                };
+                tokens.push(Spanned { tok, line: tok_line, column: tok_col });
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let mut ident = String::new();
+                while let Some(&c) = chars.peek() {
+                    if c.is_ascii_alphanumeric() || c == '_' {
+                        ident.push(c);
+                        bump!();
+                    } else {
+                        break;
+                    }
+                }
+                tokens.push(Spanned { tok: Tok::Ident(ident), line: tok_line, column: tok_col });
+            }
+            other => {
+                return Err(BifrostError::parse(
+                    tok_line,
+                    tok_col,
+                    format!("unexpected character {other:?}"),
+                ))
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+struct Parser {
+    tokens: Vec<Spanned>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Spanned> {
+        self.tokens.get(self.pos)
+    }
+
+    fn here(&self) -> (usize, usize) {
+        self.peek()
+            .map(|s| (s.line, s.column))
+            .or_else(|| self.tokens.last().map(|s| (s.line, s.column)))
+            .unwrap_or((1, 1))
+    }
+
+    fn err(&self, message: impl Into<String>) -> BifrostError {
+        let (line, column) = self.here();
+        BifrostError::parse(line, column, message)
+    }
+
+    fn next(&mut self) -> Option<Spanned> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn expect_keyword(&mut self, kw: &str) -> Result<(), BifrostError> {
+        match self.next() {
+            Some(Spanned { tok: Tok::Ident(word), .. }) if word == kw => Ok(()),
+            _ => {
+                self.pos = self.pos.saturating_sub(1);
+                Err(self.err(format!("expected keyword `{kw}`")))
+            }
+        }
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        if matches!(self.peek(), Some(Spanned { tok: Tok::Ident(word), .. }) if word == kw) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_string(&mut self, what: &str) -> Result<String, BifrostError> {
+        match self.next() {
+            Some(Spanned { tok: Tok::Str(s), .. }) => Ok(s),
+            _ => {
+                self.pos = self.pos.saturating_sub(1);
+                Err(self.err(format!("expected quoted {what}")))
+            }
+        }
+    }
+
+    fn expect_percent(&mut self) -> Result<f64, BifrostError> {
+        match self.next() {
+            Some(Spanned { tok: Tok::Percent(v), .. }) => Ok(v),
+            _ => {
+                self.pos = self.pos.saturating_sub(1);
+                Err(self.err("expected a percentage like `5%`"))
+            }
+        }
+    }
+
+    fn expect_duration(&mut self) -> Result<SimDuration, BifrostError> {
+        match self.next() {
+            Some(Spanned { tok: Tok::Duration(d), .. }) => Ok(d),
+            _ => {
+                self.pos = self.pos.saturating_sub(1);
+                Err(self.err("expected a duration like `30s`, `10m`, `2h`"))
+            }
+        }
+    }
+
+    fn expect_number(&mut self) -> Result<f64, BifrostError> {
+        match self.next() {
+            Some(Spanned { tok: Tok::Number(v), .. }) => Ok(v),
+            Some(Spanned { tok: Tok::Percent(v), .. }) => Ok(v / 100.0),
+            _ => {
+                self.pos = self.pos.saturating_sub(1);
+                Err(self.err("expected a number"))
+            }
+        }
+    }
+
+    fn expect_lbrace(&mut self) -> Result<(), BifrostError> {
+        match self.next() {
+            Some(Spanned { tok: Tok::LBrace, .. }) => Ok(()),
+            _ => {
+                self.pos = self.pos.saturating_sub(1);
+                Err(self.err("expected `{`"))
+            }
+        }
+    }
+
+    fn strategy(&mut self) -> Result<Strategy, BifrostError> {
+        self.expect_keyword("strategy")?;
+        let name = self.expect_string("strategy name")?;
+        self.expect_lbrace()?;
+        let mut strategy = Strategy {
+            name,
+            service: String::new(),
+            baseline: String::new(),
+            candidate: String::new(),
+            variant_b: None,
+            phases: Vec::new(),
+        };
+        loop {
+            if matches!(self.peek(), Some(Spanned { tok: Tok::RBrace, .. })) {
+                self.pos += 1;
+                break;
+            }
+            if self.eat_keyword("service") {
+                strategy.service = self.expect_string("service name")?;
+            } else if self.eat_keyword("baseline") {
+                strategy.baseline = self.expect_string("baseline version")?;
+            } else if self.eat_keyword("candidate") {
+                strategy.candidate = self.expect_string("candidate version")?;
+            } else if self.eat_keyword("variant_b") {
+                strategy.variant_b = Some(self.expect_string("variant B version")?);
+            } else if self.eat_keyword("phase") {
+                strategy.phases.push(self.phase()?);
+            } else {
+                return Err(self.err(
+                    "expected `service`, `baseline`, `candidate`, `variant_b`, `phase`, or `}`",
+                ));
+            }
+        }
+        strategy.validate()?;
+        Ok(strategy)
+    }
+
+    fn phase(&mut self) -> Result<Phase, BifrostError> {
+        let name = self.expect_string("phase name")?;
+        let kind = self.phase_kind()?;
+        self.expect_keyword("for")?;
+        let duration = self.expect_duration()?;
+        self.expect_lbrace()?;
+
+        let mut checks = Vec::new();
+        let mut on_success = None;
+        let mut on_failure = None;
+        let mut on_inconclusive = None;
+        loop {
+            if matches!(self.peek(), Some(Spanned { tok: Tok::RBrace, .. })) {
+                self.pos += 1;
+                break;
+            }
+            if self.eat_keyword("check") {
+                checks.push(self.check()?);
+            } else if self.eat_keyword("on") {
+                let (which, action) = self.handler()?;
+                match which.as_str() {
+                    "success" => on_success = Some(action),
+                    "failure" => on_failure = Some(action),
+                    "inconclusive" => on_inconclusive = Some(action),
+                    other => {
+                        return Err(self.err(format!(
+                            "expected `success`, `failure` or `inconclusive`, got `{other}`"
+                        )))
+                    }
+                }
+            } else {
+                return Err(self.err("expected `check`, `on`, or `}`"));
+            }
+        }
+        let on_success = on_success.ok_or_else(|| self.err(format!("phase {name}: missing `on success`")))?;
+        let on_failure = on_failure.ok_or_else(|| self.err(format!("phase {name}: missing `on failure`")))?;
+        Ok(Phase {
+            name,
+            kind,
+            duration,
+            checks,
+            on_success,
+            on_failure,
+            on_inconclusive: on_inconclusive.unwrap_or(Action::Retry),
+        })
+    }
+
+    fn phase_kind(&mut self) -> Result<PhaseKind, BifrostError> {
+        if self.eat_keyword("canary") {
+            Ok(PhaseKind::Canary { traffic_percent: self.expect_percent()? })
+        } else if self.eat_keyword("dark_launch") {
+            Ok(PhaseKind::DarkLaunch)
+        } else if self.eat_keyword("ab_test") {
+            Ok(PhaseKind::AbTest { split_percent: self.expect_percent()? })
+        } else if self.eat_keyword("gradual_rollout") {
+            self.expect_keyword("from")?;
+            let from_percent = self.expect_percent()?;
+            self.expect_keyword("to")?;
+            let to_percent = self.expect_percent()?;
+            self.expect_keyword("step")?;
+            let step_percent = self.expect_percent()?;
+            self.expect_keyword("every")?;
+            let step_duration = self.expect_duration()?;
+            Ok(PhaseKind::GradualRollout { from_percent, to_percent, step_percent, step_duration })
+        } else {
+            Err(self.err("expected `canary`, `dark_launch`, `ab_test`, or `gradual_rollout`"))
+        }
+    }
+
+    fn check(&mut self) -> Result<Check, BifrostError> {
+        let metric_name = match self.next() {
+            Some(Spanned { tok: Tok::Ident(s), .. }) => s,
+            _ => {
+                self.pos = self.pos.saturating_sub(1);
+                return Err(self.err("expected a metric name"));
+            }
+        };
+        let metric = MetricKind::from_name(&metric_name)
+            .ok_or_else(|| self.err(format!("unknown metric `{metric_name}`")))?;
+        let scope = if self.eat_keyword("vs_baseline") {
+            CheckScope::CandidateVsBaseline
+        } else if self.eat_keyword("significant_vs_baseline") {
+            CheckScope::SignificantVsBaseline
+        } else if self.eat_keyword("baseline") {
+            CheckScope::Baseline
+        } else {
+            CheckScope::Candidate
+        };
+        let comparator = match self.next() {
+            Some(Spanned { tok: Tok::Lt, .. }) => Comparator::Lt,
+            Some(Spanned { tok: Tok::Le, .. }) => Comparator::Le,
+            Some(Spanned { tok: Tok::Gt, .. }) => Comparator::Gt,
+            Some(Spanned { tok: Tok::Ge, .. }) => Comparator::Ge,
+            _ => {
+                self.pos = self.pos.saturating_sub(1);
+                return Err(self.err("expected a comparator (`<`, `<=`, `>`, `>=`)"));
+            }
+        };
+        let threshold = self.expect_number()?;
+        self.expect_keyword("over")?;
+        let window = self.expect_duration()?;
+        self.expect_keyword("every")?;
+        let interval = self.expect_duration()?;
+        let min_samples =
+            if self.eat_keyword("min_samples") { self.expect_number()? as u64 } else { 20 };
+        Ok(Check { metric, scope, comparator, threshold, window, interval, min_samples })
+    }
+
+    fn handler(&mut self) -> Result<(String, Action), BifrostError> {
+        let which = match self.next() {
+            Some(Spanned { tok: Tok::Ident(s), .. }) => s,
+            _ => {
+                self.pos = self.pos.saturating_sub(1);
+                return Err(self.err("expected `success`, `failure` or `inconclusive`"));
+            }
+        };
+        let action = if self.eat_keyword("goto") {
+            Action::Goto(self.expect_string("phase name")?)
+        } else if self.eat_keyword("complete") {
+            Action::Complete
+        } else if self.eat_keyword("rollback") {
+            Action::Rollback
+        } else if self.eat_keyword("retry") {
+            Action::Retry
+        } else {
+            return Err(self.err("expected `goto`, `complete`, `rollback`, or `retry`"));
+        };
+        Ok((which, action))
+    }
+}
+
+/// Parses one strategy from DSL source and validates it.
+///
+/// # Errors
+///
+/// Returns [`BifrostError::Parse`] with line/column on syntax errors and
+/// [`BifrostError::InvalidStrategy`] on semantic ones.
+pub fn parse(source: &str) -> Result<Strategy, BifrostError> {
+    let tokens = lex(source)?;
+    let mut parser = Parser { tokens, pos: 0 };
+    let strategy = parser.strategy()?;
+    if parser.peek().is_some() {
+        return Err(parser.err("trailing input after strategy"));
+    }
+    Ok(strategy)
+}
+
+/// Parses a file containing any number of strategies — how a team
+/// versions its whole experiment fleet in one place.
+///
+/// # Errors
+///
+/// Returns the first parse/validation error, or
+/// [`BifrostError::InvalidStrategy`] when two strategies share a name.
+pub fn parse_all(source: &str) -> Result<Vec<Strategy>, BifrostError> {
+    let tokens = lex(source)?;
+    let mut parser = Parser { tokens, pos: 0 };
+    let mut strategies = Vec::new();
+    while parser.peek().is_some() {
+        let strategy = parser.strategy()?;
+        if strategies.iter().any(|s: &Strategy| s.name == strategy.name) {
+            return Err(BifrostError::InvalidStrategy(format!(
+                "duplicate strategy name {}",
+                strategy.name
+            )));
+        }
+        strategies.push(strategy);
+    }
+    Ok(strategies)
+}
+
+/// Pretty-prints a strategy into canonical DSL source. `parse ∘ to_source`
+/// is the identity for millisecond-precision strategies.
+pub fn to_source(strategy: &Strategy) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "strategy \"{}\" {{", strategy.name);
+    let _ = writeln!(out, "  service \"{}\"", strategy.service);
+    let _ = writeln!(out, "  baseline \"{}\"", strategy.baseline);
+    let _ = writeln!(out, "  candidate \"{}\"", strategy.candidate);
+    if let Some(b) = &strategy.variant_b {
+        let _ = writeln!(out, "  variant_b \"{b}\"");
+    }
+    for phase in &strategy.phases {
+        let kind = match &phase.kind {
+            PhaseKind::Canary { traffic_percent } => format!("canary {traffic_percent}%"),
+            PhaseKind::DarkLaunch => "dark_launch".to_string(),
+            PhaseKind::AbTest { split_percent } => format!("ab_test {split_percent}%"),
+            PhaseKind::GradualRollout { from_percent, to_percent, step_percent, step_duration } => {
+                format!(
+                    "gradual_rollout from {from_percent}% to {to_percent}% step {step_percent}% every {step_duration}"
+                )
+            }
+        };
+        let _ = writeln!(out, "  phase \"{}\" {kind} for {} {{", phase.name, phase.duration);
+        for check in &phase.checks {
+            let scope = match check.scope {
+                CheckScope::Candidate => "",
+                CheckScope::Baseline => " baseline",
+                CheckScope::CandidateVsBaseline => " vs_baseline",
+                CheckScope::SignificantVsBaseline => " significant_vs_baseline",
+            };
+            let _ = writeln!(
+                out,
+                "    check {}{} {} {} over {} every {} min_samples {}",
+                check.metric,
+                scope,
+                check.comparator.symbol(),
+                check.threshold,
+                check.window,
+                check.interval,
+                check.min_samples
+            );
+        }
+        let _ = writeln!(out, "    on success {}", phase.on_success);
+        let _ = writeln!(out, "    on failure {}", phase.on_failure);
+        let _ = writeln!(out, "    on inconclusive {}", phase.on_inconclusive);
+        let _ = writeln!(out, "  }}");
+    }
+    let _ = writeln!(out, "}}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const FULL: &str = r#"
+# The AB Inc motivating example as a four-phase strategy.
+strategy "rec-rollout" {
+  service "recommendation"
+  baseline "1.0.0"
+  candidate "1.1.0"
+  variant_b "1.1.0-alt"
+
+  phase "canary" canary 5% for 10m {
+    check error_rate < 0.05 over 2m every 30s min_samples 50
+    check response_time vs_baseline < 1.25 over 2m every 30s
+    on success goto "dark"
+    on failure rollback
+    on inconclusive retry
+  }
+  phase "dark" dark_launch for 10m {
+    check response_time < 200 over 1m every 30s
+    on success goto "ab"
+    on failure rollback
+  }
+  phase "ab" ab_test 20% for 30m {
+    check conversion_rate > 0.01 over 5m every 1m
+    on success goto "rollout"
+    on failure rollback
+  }
+  phase "rollout" gradual_rollout from 20% to 100% step 20% every 5m for 30m {
+    check error_rate < 0.05 over 2m every 30s
+    on success complete
+    on failure rollback
+  }
+}
+"#;
+
+    #[test]
+    fn parses_the_four_phase_strategy() {
+        let s = parse(FULL).unwrap();
+        assert_eq!(s.name, "rec-rollout");
+        assert_eq!(s.phases.len(), 4);
+        assert_eq!(s.variant_b.as_deref(), Some("1.1.0-alt"));
+        assert_eq!(s.phases[0].checks.len(), 2);
+        assert_eq!(s.phases[0].checks[0].min_samples, 50);
+        assert_eq!(s.phases[0].checks[1].scope, CheckScope::CandidateVsBaseline);
+        assert!(matches!(s.phases[1].kind, PhaseKind::DarkLaunch));
+        assert!(matches!(s.phases[2].kind, PhaseKind::AbTest { split_percent } if split_percent == 20.0));
+        match &s.phases[3].kind {
+            PhaseKind::GradualRollout { from_percent, to_percent, step_percent, step_duration } => {
+                assert_eq!(*from_percent, 20.0);
+                assert_eq!(*to_percent, 100.0);
+                assert_eq!(*step_percent, 20.0);
+                assert_eq!(*step_duration, SimDuration::from_mins(5));
+            }
+            other => panic!("wrong kind {other:?}"),
+        }
+        assert_eq!(s.phases[3].on_success, Action::Complete);
+    }
+
+    #[test]
+    fn roundtrip_through_pretty_printer() {
+        let s = parse(FULL).unwrap();
+        let source = to_source(&s);
+        let reparsed = parse(&source).unwrap();
+        assert_eq!(s, reparsed);
+    }
+
+    #[test]
+    fn significance_scope_parses_and_roundtrips() {
+        let src = r#"strategy "s" { service "a" baseline "1" candidate "2"
+            phase "ab" ab_test 25% for 10m {
+              check conversion_rate significant_vs_baseline > 0.05 over 5m every 1m min_samples 200
+              on success complete
+              on failure rollback
+            } }"#;
+        let s = parse(src).unwrap();
+        assert_eq!(s.phases[0].checks[0].scope, CheckScope::SignificantVsBaseline);
+        assert_eq!(s.phases[0].checks[0].threshold, 0.05);
+        let reparsed = parse(&to_source(&s)).unwrap();
+        assert_eq!(s, reparsed);
+    }
+
+    #[test]
+    fn durations_and_units() {
+        let src = r#"strategy "s" { service "a" baseline "1" candidate "2"
+            phase "p" canary 1% for 500ms {
+              check error_rate < 0.5 over 1500ms every 1s
+              on success complete
+              on failure rollback
+            } }"#;
+        let s = parse(src).unwrap();
+        assert_eq!(s.phases[0].duration, SimDuration::from_millis(500));
+        assert_eq!(s.phases[0].checks[0].window, SimDuration::from_millis(1500));
+        assert_eq!(s.phases[0].checks[0].interval, SimDuration::from_secs(1));
+    }
+
+    #[test]
+    fn error_reports_location() {
+        let src = "strategy \"x\" {\n  service 42\n}";
+        match parse(src) {
+            Err(BifrostError::Parse { line, column, message }) => {
+                assert_eq!(line, 2);
+                assert!(column >= 10, "column {column}");
+                assert!(message.contains("quoted"));
+            }
+            other => panic!("expected parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_unknown_metric_and_kind() {
+        let src = r#"strategy "s" { service "a" baseline "1" candidate "2"
+            phase "p" canary 1% for 5m {
+              check latency < 10 over 1m every 30s
+              on success complete
+              on failure rollback
+            } }"#;
+        assert!(matches!(parse(src), Err(BifrostError::Parse { .. })));
+
+        let src = r#"strategy "s" { service "a" baseline "1" candidate "2"
+            phase "p" blue_green 1% for 5m { on success complete on failure rollback } }"#;
+        assert!(parse(src).is_err());
+    }
+
+    #[test]
+    fn missing_handlers_are_errors() {
+        let src = r#"strategy "s" { service "a" baseline "1" candidate "2"
+            phase "p" canary 1% for 5m { on success complete } }"#;
+        let err = parse(src).unwrap_err();
+        assert!(err.to_string().contains("on failure"), "{err}");
+    }
+
+    #[test]
+    fn semantic_validation_runs_after_parse() {
+        // goto to an unknown phase parses but fails validation.
+        let src = r#"strategy "s" { service "a" baseline "1" candidate "2"
+            phase "p" canary 1% for 5m {
+              on success goto "ghost"
+              on failure rollback
+            } }"#;
+        assert!(matches!(parse(src), Err(BifrostError::InvalidStrategy(_))));
+    }
+
+    #[test]
+    fn comments_and_whitespace_are_ignored() {
+        let src = "# leading comment\nstrategy \"s\" { # inline\n service \"a\"\n baseline \"1\"\n candidate \"2\"\n phase \"p\" dark_launch for 1m {\n on success complete\n on failure rollback\n } }";
+        assert!(parse(src).is_ok());
+    }
+
+    #[test]
+    fn unterminated_string_is_an_error() {
+        assert!(matches!(parse("strategy \"oops"), Err(BifrostError::Parse { .. })));
+    }
+
+    #[test]
+    fn trailing_input_rejected() {
+        let src = format!("{FULL} strategy");
+        assert!(parse(&src).is_err());
+    }
+
+    #[test]
+    fn parse_all_reads_a_fleet() {
+        let one = parse(FULL).unwrap();
+        let mut two = one.clone();
+        two.name = "second".into();
+        let source = format!("{}\n{}", to_source(&one), to_source(&two));
+        let fleet = parse_all(&source).unwrap();
+        assert_eq!(fleet.len(), 2);
+        assert_eq!(fleet[0], one);
+        assert_eq!(fleet[1].name, "second");
+        assert_eq!(parse_all("").unwrap().len(), 0);
+    }
+
+    #[test]
+    fn parse_all_rejects_duplicate_names() {
+        let one = parse(FULL).unwrap();
+        let source = format!("{}\n{}", to_source(&one), to_source(&one));
+        assert!(matches!(parse_all(&source), Err(BifrostError::InvalidStrategy(_))));
+    }
+}

@@ -1,0 +1,287 @@
+//! Translating phases into traffic-routing configurations.
+//!
+//! Bifrost enacts experiments at the network level: every phase kind maps
+//! to a router configuration — canary and rollout phases to weighted
+//! splits, dark launches to mirrors, A/B tests to even variant splits —
+//! and the fallback/terminal states map to baseline-only or
+//! candidate-only routing. Services stay black boxes, "promoting the
+//! usage of immutable deployments" (Section 1.2.1).
+
+use crate::error::BifrostError;
+use crate::model::{PhaseKind, Strategy};
+use microsim::app::{Application, ServiceId, VersionId};
+use microsim::routing::Router;
+
+/// Resolved version identities of one strategy inside an application.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StrategyBinding {
+    /// The service under experimentation.
+    pub service: ServiceId,
+    /// Stable version.
+    pub baseline: VersionId,
+    /// Experimental version (variant A).
+    pub candidate: VersionId,
+    /// Optional variant B for A/B phases.
+    pub variant_b: Option<VersionId>,
+}
+
+impl StrategyBinding {
+    /// Resolves a strategy's service/version names against an application.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BifrostError::Execution`] when a name does not resolve —
+    /// the candidate must be deployed before the strategy starts.
+    pub fn resolve(app: &Application, strategy: &Strategy) -> Result<Self, BifrostError> {
+        let service = app.service_id(&strategy.service)?;
+        let baseline = app.version_id(&strategy.service, &strategy.baseline)?;
+        let candidate = app.version_id(&strategy.service, &strategy.candidate)?;
+        let variant_b = match &strategy.variant_b {
+            Some(label) => Some(app.version_id(&strategy.service, label)?),
+            None => None,
+        };
+        Ok(StrategyBinding { service, baseline, candidate, variant_b })
+    }
+
+    /// Metric-store scope of the candidate (`service@version`).
+    pub fn candidate_scope(&self, app: &Application) -> String {
+        app.version_label(self.candidate)
+    }
+
+    /// Metric-store scope of the baseline.
+    pub fn baseline_scope(&self, app: &Application) -> String {
+        app.version_label(self.baseline)
+    }
+}
+
+/// Applies a phase's traffic configuration.
+///
+/// `rollout_percent` carries the current step of a gradual rollout; for
+/// all other kinds it is ignored.
+///
+/// # Errors
+///
+/// Returns [`BifrostError`] when the router rejects the configuration.
+pub fn enact_phase(
+    app: &Application,
+    router: &mut Router,
+    binding: &StrategyBinding,
+    kind: &PhaseKind,
+    rollout_percent: Option<f64>,
+) -> Result<(), BifrostError> {
+    // Leaving a dark phase must always retract the mirror.
+    router.remove_mirror(binding.service, binding.candidate);
+    match kind {
+        PhaseKind::Canary { traffic_percent } => {
+            set_two_way(app, router, binding, *traffic_percent)?;
+        }
+        PhaseKind::DarkLaunch => {
+            router.set_split(app, binding.service, vec![(binding.baseline, 1.0)])?;
+            router.add_mirror(app, binding.service, binding.candidate)?;
+        }
+        PhaseKind::AbTest { split_percent } => {
+            let share = split_percent / 100.0;
+            match binding.variant_b {
+                Some(b) => {
+                    let rest = (1.0 - 2.0 * share).max(0.0);
+                    router.set_split(
+                        app,
+                        binding.service,
+                        vec![(binding.candidate, share), (b, share), (binding.baseline, rest)],
+                    )?;
+                }
+                None => {
+                    // Variant B defaults to the baseline acting as control.
+                    set_two_way(app, router, binding, *split_percent)?;
+                }
+            }
+        }
+        PhaseKind::GradualRollout { from_percent, .. } => {
+            let current = rollout_percent.unwrap_or(*from_percent);
+            set_two_way(app, router, binding, current)?;
+        }
+    }
+    Ok(())
+}
+
+fn set_two_way(
+    app: &Application,
+    router: &mut Router,
+    binding: &StrategyBinding,
+    candidate_percent: f64,
+) -> Result<(), BifrostError> {
+    let share = (candidate_percent / 100.0).clamp(0.0, 1.0);
+    // Candidate first: its cumulative interval only grows across rollout
+    // steps, so users already on the candidate stay there (sticky growth).
+    router.set_split(
+        app,
+        binding.service,
+        vec![(binding.candidate, share), (binding.baseline, 1.0 - share)],
+    )?;
+    Ok(())
+}
+
+/// Fallback state: every user back on the baseline, mirrors retracted.
+pub fn rollback(router: &mut Router, binding: &StrategyBinding) {
+    router.remove_mirror(binding.service, binding.candidate);
+    router.clear(binding.service);
+}
+
+/// Terminal success: the candidate serves all users.
+///
+/// # Errors
+///
+/// Returns [`BifrostError`] when the router rejects the promotion (cannot
+/// happen for a resolved binding).
+pub fn complete(
+    app: &Application,
+    router: &mut Router,
+    binding: &StrategyBinding,
+) -> Result<(), BifrostError> {
+    router.remove_mirror(binding.service, binding.candidate);
+    router.set_split(app, binding.service, vec![(binding.candidate, 1.0)])?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use microsim::app::{EndpointDef, VersionSpec};
+    use microsim::latency::LatencyModel;
+    use microsim::routing::UserId;
+
+    fn app() -> Application {
+        let mut b = Application::builder();
+        for v in ["1.0.0", "1.1.0", "1.1.0-alt"] {
+            b.version(
+                VersionSpec::new("svc", v)
+                    .endpoint(EndpointDef::new("api", LatencyModel::default())),
+            );
+        }
+        b.build().unwrap()
+    }
+
+    fn strategy(variant_b: Option<&str>) -> Strategy {
+        Strategy {
+            name: "s".into(),
+            service: "svc".into(),
+            baseline: "1.0.0".into(),
+            candidate: "1.1.0".into(),
+            variant_b: variant_b.map(String::from),
+            phases: vec![],
+        }
+    }
+
+    fn candidate_share(app: &Application, router: &Router, binding: &StrategyBinding) -> f64 {
+        let n = 20_000u64;
+        let hits = (0..n)
+            .filter(|u| router.resolve(app, binding.service, UserId(*u)) == binding.candidate)
+            .count();
+        hits as f64 / n as f64
+    }
+
+    #[test]
+    fn binding_resolves_names() {
+        let app = app();
+        let b = StrategyBinding::resolve(&app, &strategy(Some("1.1.0-alt"))).unwrap();
+        assert_eq!(b.candidate_scope(&app), "svc@1.1.0");
+        assert_eq!(b.baseline_scope(&app), "svc@1.0.0");
+        assert!(b.variant_b.is_some());
+
+        let mut s = strategy(None);
+        s.candidate = "9.9.9".into();
+        assert!(StrategyBinding::resolve(&app, &s).is_err());
+    }
+
+    #[test]
+    fn canary_splits_traffic() {
+        let app = app();
+        let binding = StrategyBinding::resolve(&app, &strategy(None)).unwrap();
+        let mut router = Router::new();
+        enact_phase(&app, &mut router, &binding, &PhaseKind::Canary { traffic_percent: 10.0 }, None)
+            .unwrap();
+        let share = candidate_share(&app, &router, &binding);
+        assert!((share - 0.1).abs() < 0.01, "share {share}");
+        assert!(router.mirrors(binding.service).is_empty());
+    }
+
+    #[test]
+    fn dark_launch_mirrors_without_user_exposure() {
+        let app = app();
+        let binding = StrategyBinding::resolve(&app, &strategy(None)).unwrap();
+        let mut router = Router::new();
+        enact_phase(&app, &mut router, &binding, &PhaseKind::DarkLaunch, None).unwrap();
+        assert_eq!(candidate_share(&app, &router, &binding), 0.0);
+        assert_eq!(router.mirrors(binding.service), &[binding.candidate]);
+    }
+
+    #[test]
+    fn leaving_dark_phase_retracts_mirror() {
+        let app = app();
+        let binding = StrategyBinding::resolve(&app, &strategy(None)).unwrap();
+        let mut router = Router::new();
+        enact_phase(&app, &mut router, &binding, &PhaseKind::DarkLaunch, None).unwrap();
+        enact_phase(&app, &mut router, &binding, &PhaseKind::Canary { traffic_percent: 5.0 }, None)
+            .unwrap();
+        assert!(router.mirrors(binding.service).is_empty());
+    }
+
+    #[test]
+    fn ab_test_with_variant_b_splits_three_ways() {
+        let app = app();
+        let binding = StrategyBinding::resolve(&app, &strategy(Some("1.1.0-alt"))).unwrap();
+        let mut router = Router::new();
+        enact_phase(&app, &mut router, &binding, &PhaseKind::AbTest { split_percent: 20.0 }, None)
+            .unwrap();
+        let n = 20_000u64;
+        let mut counts = std::collections::HashMap::new();
+        for u in 0..n {
+            *counts.entry(router.resolve(&app, binding.service, UserId(u))).or_insert(0u64) += 1;
+        }
+        let share = |v: VersionId| counts.get(&v).copied().unwrap_or(0) as f64 / n as f64;
+        assert!((share(binding.candidate) - 0.2).abs() < 0.02);
+        assert!((share(binding.variant_b.unwrap()) - 0.2).abs() < 0.02);
+        assert!((share(binding.baseline) - 0.6).abs() < 0.02);
+    }
+
+    #[test]
+    fn gradual_rollout_uses_current_percent_and_keeps_users() {
+        let app = app();
+        let binding = StrategyBinding::resolve(&app, &strategy(None)).unwrap();
+        let kind = PhaseKind::GradualRollout {
+            from_percent: 10.0,
+            to_percent: 100.0,
+            step_percent: 40.0,
+            step_duration: cex_core::simtime::SimDuration::from_mins(1),
+        };
+        let mut router = Router::new();
+        enact_phase(&app, &mut router, &binding, &kind, Some(10.0)).unwrap();
+        let on_candidate: Vec<u64> = (0..5_000)
+            .filter(|u| router.resolve(&app, binding.service, UserId(*u)) == binding.candidate)
+            .collect();
+        enact_phase(&app, &mut router, &binding, &kind, Some(50.0)).unwrap();
+        for u in &on_candidate {
+            assert_eq!(
+                router.resolve(&app, binding.service, UserId(*u)),
+                binding.candidate,
+                "user {u} must stay on the candidate as the rollout grows"
+            );
+        }
+        let share = candidate_share(&app, &router, &binding);
+        assert!((share - 0.5).abs() < 0.02, "share {share}");
+    }
+
+    #[test]
+    fn rollback_and_complete_are_terminal_routings() {
+        let app = app();
+        let binding = StrategyBinding::resolve(&app, &strategy(None)).unwrap();
+        let mut router = Router::new();
+        enact_phase(&app, &mut router, &binding, &PhaseKind::DarkLaunch, None).unwrap();
+        rollback(&mut router, &binding);
+        assert_eq!(candidate_share(&app, &router, &binding), 0.0);
+        assert!(router.mirrors(binding.service).is_empty());
+
+        complete(&app, &mut router, &binding).unwrap();
+        assert_eq!(candidate_share(&app, &router, &binding), 1.0);
+    }
+}

@@ -1,0 +1,700 @@
+//! The multi-strategy execution engine (Section 4.4).
+//!
+//! The engine interleaves the application simulation with experiment
+//! control: it advances the virtual clock one *tick* at a time, lets the
+//! workload generate traffic, evaluates every strategy's due checks
+//! against the metric store, drives the state machines, and enacts the
+//! resulting routing changes. Strategies run fully in parallel — the
+//! paper's headline engine result is "more than a hundred experiments in
+//! parallel without introducing a significant performance degradation"
+//! (Figures 4.7–4.10) — and check evaluation fans out over worker threads
+//! (crossbeam) once enough strategies are active.
+//!
+//! The engine accounts its own processing cost separately from the
+//! simulated application: [`ExecutionReport::engine_busy`] (the CPU proxy
+//! of Figures 4.7/4.9) and the per-tick processing times (the delay of
+//! Figures 4.8/4.10).
+
+use crate::checks::{self, CheckContext, CheckResult, CheckScheduler};
+use crate::enact::{self, StrategyBinding};
+use crate::error::BifrostError;
+use crate::machine::{PhaseOutcome, State, StateMachine};
+use crate::model::{PhaseKind, Strategy};
+use cex_core::simtime::{SimDuration, SimTime};
+use microsim::sim::Simulation;
+use microsim::workload::Workload;
+use std::time::{Duration, Instant};
+
+/// Engine configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EngineConfig {
+    /// Simulation advance per control-loop iteration.
+    pub tick: SimDuration,
+    /// Retries of an inconclusive phase before the strategy is rolled
+    /// back (guards against endless retry loops).
+    pub max_retries: u32,
+    /// Number of due check evaluations in one tick at which evaluation
+    /// fans out to worker threads (below it, thread spawn costs more than
+    /// it saves).
+    pub parallel_threshold: usize,
+    /// Worker threads for the parallel path.
+    pub workers: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            tick: SimDuration::from_secs(10),
+            max_retries: 3,
+            parallel_threshold: 256,
+            workers: 4,
+        }
+    }
+}
+
+/// Terminal or live status of one strategy.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StrategyStatus {
+    /// Still executing when the engine stopped.
+    Running,
+    /// Finished successfully; candidate promoted.
+    Completed,
+    /// Aborted; users returned to the baseline.
+    RolledBack,
+}
+
+/// One recorded state-machine transition (the engine's audit log —
+/// experimentation-as-code implies the execution trail is inspectable).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TransitionEvent {
+    /// Virtual time of the transition.
+    pub time: SimTime,
+    /// The strategy that transitioned.
+    pub strategy: String,
+    /// State left.
+    pub from: State,
+    /// State entered.
+    pub to: State,
+    /// The phase outcome that triggered it.
+    pub outcome: PhaseOutcome,
+}
+
+/// Aggregate outcome of one engine execution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExecutionReport {
+    /// Final status per strategy, in submission order.
+    pub statuses: Vec<(String, StrategyStatus)>,
+    /// Every state-machine transition, in time order.
+    pub transitions: Vec<TransitionEvent>,
+    /// Control-loop iterations executed.
+    pub ticks: u64,
+    /// Total check evaluations performed.
+    pub check_evaluations: u64,
+    /// Wall-clock time spent in engine logic (excluding the application
+    /// simulation) — the CPU-utilization numerator of Figure 4.7.
+    pub engine_busy: Duration,
+    /// Wall-clock time of the whole execution (simulation + engine).
+    pub wall_total: Duration,
+    /// Mean engine processing time per tick — the "delay" of Figure 4.8:
+    /// how long routing decisions lag behind the data that triggers them.
+    pub mean_tick_processing: Duration,
+    /// Worst-case tick processing time.
+    pub max_tick_processing: Duration,
+    /// Simulated time covered.
+    pub sim_duration: SimDuration,
+}
+
+impl ExecutionReport {
+    /// Engine CPU utilization: engine processing time over total wall
+    /// time.
+    pub fn cpu_utilization(&self) -> f64 {
+        let total = self.wall_total.as_secs_f64();
+        if total > 0.0 {
+            self.engine_busy.as_secs_f64() / total
+        } else {
+            0.0
+        }
+    }
+
+    /// `true` when every strategy reached a terminal state.
+    pub fn all_terminal(&self) -> bool {
+        self.statuses.iter().all(|(_, s)| *s != StrategyStatus::Running)
+    }
+}
+
+struct RunState {
+    strategy: Strategy,
+    binding: StrategyBinding,
+    ctx: CheckContext,
+    machine: StateMachine,
+    state: State,
+    phase_started: SimTime,
+    scheduler: CheckScheduler,
+    retries: u32,
+    rollout_percent: f64,
+    next_rollout_step: SimTime,
+    status: StrategyStatus,
+}
+
+/// Results of the read-only evaluation pass for one strategy.
+struct TickObservation {
+    due_results: Vec<CheckResult>,
+    boundary_results: Option<Vec<CheckResult>>,
+    evaluations: u64,
+}
+
+/// The Bifrost execution engine.
+#[derive(Debug, Clone, Default)]
+pub struct Engine {
+    config: EngineConfig,
+}
+
+impl Engine {
+    /// Creates an engine with the given configuration.
+    pub fn new(config: EngineConfig) -> Self {
+        Engine { config }
+    }
+
+    /// Executes `strategies` against the simulated application under
+    /// `workload` until every strategy terminates or `max_duration` of
+    /// simulated time elapses.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BifrostError`] when a strategy fails validation/
+    /// compilation, its versions are not deployed, or enactment fails.
+    pub fn execute(
+        &self,
+        sim: &mut Simulation,
+        strategies: &[Strategy],
+        workload: &Workload,
+        max_duration: SimDuration,
+    ) -> Result<ExecutionReport, BifrostError> {
+        if strategies.is_empty() {
+            return Err(BifrostError::Execution("no strategies to execute".into()));
+        }
+        let started_wall = Instant::now();
+        let started_sim = sim.now();
+
+        // Bind, compile, enact phase 0 for every strategy.
+        let mut runs = Vec::with_capacity(strategies.len());
+        for strategy in strategies {
+            let machine = StateMachine::compile(strategy)?;
+            let binding = StrategyBinding::resolve(sim.app(), strategy)?;
+            let ctx = CheckContext {
+                candidate_scope: binding.candidate_scope(sim.app()),
+                baseline_scope: binding.baseline_scope(sim.app()),
+            };
+            let phase = &strategy.phases[0];
+            let (rollout_percent, next_rollout_step) = rollout_init(&phase.kind, sim.now());
+            let scheduler = CheckScheduler::new(&phase.checks, sim.now());
+            let app_snapshot = sim.app().clone();
+            enact::enact_phase(
+                &app_snapshot,
+                sim.router_mut(),
+                &binding,
+                &phase.kind,
+                Some(rollout_percent),
+            )?;
+            runs.push(RunState {
+                strategy: strategy.clone(),
+                binding,
+                ctx,
+                machine,
+                state: State::Phase(0),
+                phase_started: sim.now(),
+                scheduler,
+                retries: 0,
+                rollout_percent,
+                next_rollout_step,
+                status: StrategyStatus::Running,
+            });
+        }
+
+        let mut ticks = 0u64;
+        let mut check_evaluations = 0u64;
+        let mut engine_busy = Duration::ZERO;
+        let mut tick_times: Vec<Duration> = Vec::new();
+        let mut transitions: Vec<TransitionEvent> = Vec::new();
+        let deadline = started_sim + max_duration;
+
+        while sim.now() < deadline && runs.iter().any(|r| r.status == StrategyStatus::Running) {
+            let step = self.config.tick.min(deadline - sim.now());
+            sim.run_with(step, workload);
+            let now = sim.now();
+
+            let engine_start = Instant::now();
+            let observations = self.observe(sim, &mut runs, now);
+            check_evaluations += observations.iter().flatten().map(|o| o.evaluations).sum::<u64>();
+            self.apply(sim, &mut runs, observations, now, &mut transitions)?;
+            let spent = engine_start.elapsed();
+            engine_busy += spent;
+            tick_times.push(spent);
+            ticks += 1;
+        }
+
+        let mean_tick_processing = if tick_times.is_empty() {
+            Duration::ZERO
+        } else {
+            tick_times.iter().sum::<Duration>() / tick_times.len() as u32
+        };
+        let max_tick_processing = tick_times.iter().max().copied().unwrap_or(Duration::ZERO);
+        Ok(ExecutionReport {
+            statuses: runs.iter().map(|r| (r.strategy.name.clone(), r.status.clone())).collect(),
+            transitions,
+            ticks,
+            check_evaluations,
+            engine_busy,
+            wall_total: started_wall.elapsed(),
+            mean_tick_processing,
+            max_tick_processing,
+            sim_duration: sim.now() - started_sim,
+        })
+    }
+
+    /// Read-only pass: evaluate due checks (and phase-boundary checks)
+    /// for every running strategy. Fans out over crossbeam workers when
+    /// enough strategies are active.
+    fn observe(
+        &self,
+        sim: &Simulation,
+        runs: &mut [RunState],
+        now: SimTime,
+    ) -> Vec<Option<TickObservation>> {
+        // First, a mutable pre-pass collecting which checks are due (the
+        // scheduler advances its due times).
+        let mut due_lists: Vec<Option<Vec<usize>>> = Vec::with_capacity(runs.len());
+        for run in runs.iter_mut() {
+            match run.state {
+                State::Phase(p) if run.status == StrategyStatus::Running => {
+                    let checks = &run.strategy.phases[p].checks;
+                    due_lists.push(Some(run.scheduler.due(checks, now)));
+                }
+                _ => due_lists.push(None),
+            }
+        }
+
+        let store = sim.store();
+        let evaluate_one = |run: &RunState, due: &[usize]| -> TickObservation {
+            let State::Phase(p) = run.state else {
+                return TickObservation { due_results: vec![], boundary_results: None, evaluations: 0 };
+            };
+            let phase = &run.strategy.phases[p];
+            let mut evaluations = 0u64;
+            let due_results: Vec<CheckResult> = due
+                .iter()
+                .map(|i| {
+                    evaluations += 1;
+                    checks::evaluate(&phase.checks[*i], &run.ctx, store, now)
+                })
+                .collect();
+            let boundary_results = if now.saturating_since(run.phase_started) >= phase.duration {
+                Some(
+                    phase
+                        .checks
+                        .iter()
+                        .map(|c| {
+                            evaluations += 1;
+                            checks::evaluate(c, &run.ctx, store, now)
+                        })
+                        .collect(),
+                )
+            } else {
+                None
+            };
+            TickObservation { due_results, boundary_results, evaluations }
+        };
+
+        let due_work: usize = due_lists.iter().flatten().map(|d| d.len()).sum();
+        if due_work >= self.config.parallel_threshold && self.config.workers > 1 {
+            let mut results: Vec<Option<TickObservation>> = (0..runs.len()).map(|_| None).collect();
+            let chunk = (runs.len() / self.config.workers).max(1);
+            let runs_ref: &[RunState] = runs;
+            crossbeam::thread::scope(|scope| {
+                let mut remaining: &mut [Option<TickObservation>] = &mut results;
+                let mut offset = 0usize;
+                let mut handles = Vec::new();
+                while !remaining.is_empty() {
+                    let take = chunk.min(remaining.len());
+                    let (head, tail) = remaining.split_at_mut(take);
+                    let due_slice = &due_lists[offset..offset + take];
+                    let runs_slice = &runs_ref[offset..offset + take];
+                    handles.push(scope.spawn(move |_| {
+                        for ((slot, run), due) in head.iter_mut().zip(runs_slice).zip(due_slice) {
+                            if let Some(due) = due {
+                                *slot = Some(evaluate_one(run, due));
+                            }
+                        }
+                    }));
+                    remaining = tail;
+                    offset += take;
+                }
+                for h in handles {
+                    h.join().expect("check-evaluation worker panicked");
+                }
+            })
+            .expect("crossbeam scope failed");
+            results
+        } else {
+            due_lists
+                .iter()
+                .enumerate()
+                .map(|(i, due)| due.as_ref().map(|d| evaluate_one(&runs[i], d)))
+                .collect()
+        }
+    }
+
+    /// Mutating pass: advance rollouts, resolve outcomes, drive state
+    /// machines, enact routing changes.
+    fn apply(
+        &self,
+        sim: &mut Simulation,
+        runs: &mut [RunState],
+        observations: Vec<Option<TickObservation>>,
+        now: SimTime,
+        transitions: &mut Vec<TransitionEvent>,
+    ) -> Result<(), BifrostError> {
+        let app = sim.app().clone();
+        for (run, obs) in runs.iter_mut().zip(observations) {
+            let Some(obs) = obs else { continue };
+            let State::Phase(p) = run.state else { continue };
+            let phase = run.strategy.phases[p].clone();
+
+            // Gradual rollouts step forward on their own cadence.
+            if let PhaseKind::GradualRollout { to_percent, step_percent, step_duration, .. } =
+                &phase.kind
+            {
+                if now >= run.next_rollout_step && run.rollout_percent < *to_percent {
+                    run.rollout_percent = (run.rollout_percent + step_percent).min(*to_percent);
+                    run.next_rollout_step = now + *step_duration;
+                    enact::enact_phase(
+                        &app,
+                        sim.router_mut(),
+                        &run.binding,
+                        &phase.kind,
+                        Some(run.rollout_percent),
+                    )?;
+                }
+            }
+
+            // A conclusively failed due check fails the phase immediately.
+            let outcome = if obs.due_results.contains(&CheckResult::Fail) {
+                Some(PhaseOutcome::Failure)
+            } else if let Some(boundary) = &obs.boundary_results {
+                // For gradual rollouts the phase only succeeds once the
+                // target percent is reached; otherwise keep rolling.
+                let rollout_pending = matches!(
+                    &phase.kind,
+                    PhaseKind::GradualRollout { to_percent, .. } if run.rollout_percent < *to_percent
+                );
+                if boundary.contains(&CheckResult::Fail) {
+                    Some(PhaseOutcome::Failure)
+                } else if rollout_pending {
+                    None
+                } else if boundary.contains(&CheckResult::Inconclusive) {
+                    Some(PhaseOutcome::Inconclusive)
+                } else {
+                    Some(PhaseOutcome::Success)
+                }
+            } else {
+                None
+            };
+            let Some(outcome) = outcome else { continue };
+
+            let from = run.state;
+            let mut next = run.machine.next(run.state, outcome);
+            // Retry accounting: re-entering the same phase consumes a
+            // retry; exhausting retries becomes a rollback.
+            if next == run.state && outcome != PhaseOutcome::Success {
+                run.retries += 1;
+                if run.retries > self.config.max_retries {
+                    next = State::RolledBack;
+                }
+            } else if next != run.state {
+                run.retries = 0;
+            }
+
+            transitions.push(TransitionEvent {
+                time: now,
+                strategy: run.strategy.name.clone(),
+                from,
+                to: next,
+                outcome,
+            });
+            match next {
+                State::Phase(j) => {
+                    let next_phase = &run.strategy.phases[j];
+                    run.state = State::Phase(j);
+                    run.phase_started = now;
+                    run.scheduler = CheckScheduler::new(&next_phase.checks, now);
+                    let (percent, step_at) = rollout_init(&next_phase.kind, now);
+                    run.rollout_percent = percent;
+                    run.next_rollout_step = step_at;
+                    enact::enact_phase(
+                        &app,
+                        sim.router_mut(),
+                        &run.binding,
+                        &next_phase.kind,
+                        Some(percent),
+                    )?;
+                }
+                State::Completed => {
+                    enact::complete(&app, sim.router_mut(), &run.binding)?;
+                    run.status = StrategyStatus::Completed;
+                    run.state = State::Completed;
+                }
+                State::RolledBack => {
+                    enact::rollback(sim.router_mut(), &run.binding);
+                    run.status = StrategyStatus::RolledBack;
+                    run.state = State::RolledBack;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+fn rollout_init(kind: &PhaseKind, now: SimTime) -> (f64, SimTime) {
+    match kind {
+        PhaseKind::GradualRollout { from_percent, step_duration, .. } => {
+            (*from_percent, now + *step_duration)
+        }
+        _ => (0.0, now),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dsl;
+    use microsim::app::{Application, EndpointDef, VersionSpec};
+    use microsim::latency::LatencyModel;
+    use microsim::workload::Workload;
+
+    /// One service with a healthy candidate and a broken candidate.
+    fn test_app(broken_candidate: bool) -> Application {
+        let mut b = Application::builder();
+        b.version(
+            VersionSpec::new("svc", "1.0.0")
+                .capacity(10_000.0)
+                .endpoint(EndpointDef::new("api", LatencyModel::Constant { ms: 20.0 })),
+        );
+        let candidate = if broken_candidate {
+            VersionSpec::new("svc", "2.0.0")
+                .capacity(10_000.0)
+                .endpoint(
+                    EndpointDef::new("api", LatencyModel::Constant { ms: 25.0 }).error_rate(0.5),
+                )
+        } else {
+            VersionSpec::new("svc", "2.0.0")
+                .capacity(10_000.0)
+                .endpoint(EndpointDef::new("api", LatencyModel::Constant { ms: 18.0 }))
+        };
+        b.version(candidate);
+        b.build().unwrap()
+    }
+
+    fn strategy_src() -> &'static str {
+        r#"strategy "canary-then-rollout" {
+            service "svc" baseline "1.0.0" candidate "2.0.0"
+            phase "canary" canary 10% for 3m {
+              check error_rate < 0.1 over 1m every 30s min_samples 10
+              on success goto "rollout"
+              on failure rollback
+            }
+            phase "rollout" gradual_rollout from 25% to 100% step 25% every 1m for 10m {
+              check error_rate < 0.1 over 1m every 30s min_samples 10
+              on success complete
+              on failure rollback
+            }
+        }"#
+    }
+
+    fn workload(app: &Application) -> Workload {
+        let svc = app.service_id("svc").unwrap();
+        Workload::simple(svc, "api", 30.0)
+    }
+
+    #[test]
+    fn healthy_candidate_completes_and_serves_everyone() {
+        let app = test_app(false);
+        let wl = workload(&app);
+        let mut sim = Simulation::new(app, 1);
+        let strategy = dsl::parse(strategy_src()).unwrap();
+        let report = Engine::default()
+            .execute(&mut sim, &[strategy], &wl, SimDuration::from_mins(30))
+            .unwrap();
+        assert_eq!(report.statuses[0].1, StrategyStatus::Completed);
+        assert!(report.all_terminal());
+        assert!(report.check_evaluations > 0);
+        // After completion the candidate serves 100%: response times drop
+        // to the candidate's 18 ms.
+        let after = sim.run(SimDuration::from_secs(30), 30.0);
+        assert!((after.response_time.mean - 18.0).abs() < 1.0, "mean {}", after.response_time.mean);
+    }
+
+    #[test]
+    fn broken_candidate_rolls_back() {
+        let app = test_app(true);
+        let wl = workload(&app);
+        let mut sim = Simulation::new(app, 2);
+        let strategy = dsl::parse(strategy_src()).unwrap();
+        let report = Engine::default()
+            .execute(&mut sim, &[strategy], &wl, SimDuration::from_mins(30))
+            .unwrap();
+        assert_eq!(report.statuses[0].1, StrategyStatus::RolledBack);
+        // Everyone back on the 20 ms baseline, and no residual errors.
+        let after = sim.run(SimDuration::from_secs(30), 30.0);
+        assert!((after.response_time.mean - 20.0).abs() < 1.0);
+        assert_eq!(after.failures, 0);
+    }
+
+    #[test]
+    fn inconclusive_phase_retries_then_rolls_back() {
+        let app = test_app(false);
+        let svc = app.service_id("svc").unwrap();
+        // Near-zero traffic: checks can never reach min_samples.
+        let wl = Workload::simple(svc, "api", 0.05);
+        let mut sim = Simulation::new(app, 3);
+        let strategy = dsl::parse(
+            r#"strategy "starved" {
+                service "svc" baseline "1.0.0" candidate "2.0.0"
+                phase "canary" canary 10% for 2m {
+                  check error_rate < 0.1 over 1m every 30s min_samples 1000
+                  on success complete
+                  on failure rollback
+                  on inconclusive retry
+                }
+            }"#,
+        )
+        .unwrap();
+        let report = Engine::new(EngineConfig { max_retries: 2, ..Default::default() })
+            .execute(&mut sim, &[strategy], &wl, SimDuration::from_hours(2))
+            .unwrap();
+        assert_eq!(report.statuses[0].1, StrategyStatus::RolledBack);
+    }
+
+    #[test]
+    fn many_strategies_run_in_parallel() {
+        // 20 independent service pairs, one strategy each; a threshold of
+        // one due check forces the crossbeam fan-out path.
+        let mut b = Application::builder();
+        for i in 0..20 {
+            b.version(
+                VersionSpec::new(format!("svc{i}"), "1.0.0")
+                    .capacity(10_000.0)
+                    .endpoint(EndpointDef::new("api", LatencyModel::Constant { ms: 10.0 })),
+            );
+            b.version(
+                VersionSpec::new(format!("svc{i}"), "2.0.0")
+                    .capacity(10_000.0)
+                    .endpoint(EndpointDef::new("api", LatencyModel::Constant { ms: 9.0 })),
+            );
+        }
+        let app = b.build().unwrap();
+        let strategies: Vec<Strategy> = (0..20)
+            .map(|i| {
+                dsl::parse(&format!(
+                    r#"strategy "s{i}" {{
+                        service "svc{i}" baseline "1.0.0" candidate "2.0.0"
+                        phase "canary" canary 20% for 2m {{
+                          check error_rate < 0.2 over 1m every 30s min_samples 5
+                          on success complete
+                          on failure rollback
+                        }}
+                    }}"#
+                ))
+                .unwrap()
+            })
+            .collect();
+        // Spread workload across all services.
+        let entries = (0..20)
+            .map(|i| microsim::workload::EntryPoint {
+                service: app.service_id(&format!("svc{i}")).unwrap(),
+                endpoint: "api".into(),
+                weight: 1.0,
+            })
+            .collect();
+        let wl = Workload {
+            population: cex_core::users::Population::single("all", 50_000),
+            rate_rps: 200.0,
+            entries,
+        };
+        let mut sim = Simulation::new(app, 4);
+        let engine = Engine::new(EngineConfig { parallel_threshold: 1, ..Default::default() });
+        let report = engine
+            .execute(&mut sim, &strategies, &wl, SimDuration::from_mins(20))
+            .unwrap();
+        assert!(report.all_terminal());
+        let completed =
+            report.statuses.iter().filter(|(_, s)| *s == StrategyStatus::Completed).count();
+        assert!(completed >= 18, "completed {completed}/20");
+    }
+
+    #[test]
+    fn transition_log_records_the_phase_sequence() {
+        let app = test_app(false);
+        let wl = workload(&app);
+        let mut sim = Simulation::new(app, 21);
+        let strategy = dsl::parse(strategy_src()).unwrap();
+        let report = Engine::default()
+            .execute(&mut sim, &[strategy], &wl, SimDuration::from_mins(30))
+            .unwrap();
+        // canary -> rollout -> completed, in time order.
+        let path: Vec<State> = report.transitions.iter().map(|t| t.to).collect();
+        assert_eq!(path.last(), Some(&State::Completed));
+        assert!(path.contains(&State::Phase(1)), "rollout entered: {path:?}");
+        assert!(report
+            .transitions
+            .windows(2)
+            .all(|w| w[0].time <= w[1].time));
+        assert_eq!(report.transitions[0].from, State::Phase(0));
+        assert_eq!(
+            report.transitions[0].outcome,
+            crate::machine::PhaseOutcome::Success
+        );
+    }
+
+    #[test]
+    fn report_accounting_is_consistent() {
+        let app = test_app(false);
+        let wl = workload(&app);
+        let mut sim = Simulation::new(app, 5);
+        let strategy = dsl::parse(strategy_src()).unwrap();
+        let report = Engine::default()
+            .execute(&mut sim, &[strategy], &wl, SimDuration::from_mins(30))
+            .unwrap();
+        assert!(report.ticks > 0);
+        assert!(report.engine_busy <= report.wall_total);
+        assert!(report.mean_tick_processing <= report.max_tick_processing);
+        assert!((0.0..=1.0).contains(&report.cpu_utilization()));
+        assert!(report.sim_duration <= SimDuration::from_mins(30));
+    }
+
+    #[test]
+    fn undeployed_candidate_is_an_error() {
+        let mut b = Application::builder();
+        b.version(
+            VersionSpec::new("svc", "1.0.0")
+                .endpoint(EndpointDef::new("api", LatencyModel::default())),
+        );
+        let app = b.build().unwrap();
+        let wl = workload(&app);
+        let mut sim = Simulation::new(app, 6);
+        let strategy = dsl::parse(strategy_src()).unwrap();
+        let err = Engine::default()
+            .execute(&mut sim, &[strategy], &wl, SimDuration::from_mins(5))
+            .unwrap_err();
+        assert!(matches!(err, BifrostError::Execution(_)));
+    }
+
+    #[test]
+    fn empty_strategy_list_is_an_error() {
+        let app = test_app(false);
+        let wl = workload(&app);
+        let mut sim = Simulation::new(app, 7);
+        assert!(Engine::default()
+            .execute(&mut sim, &[], &wl, SimDuration::from_mins(1))
+            .is_err());
+    }
+}

@@ -1,0 +1,65 @@
+//! Bifrost error types.
+
+use std::fmt;
+
+/// Errors from strategy parsing, validation, and execution.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BifrostError {
+    /// The DSL source failed to parse.
+    Parse {
+        /// 1-based line of the offending token.
+        line: usize,
+        /// 1-based column of the offending token.
+        column: usize,
+        /// Description of what went wrong and what was expected.
+        message: String,
+    },
+    /// The strategy is structurally invalid (e.g. a `goto` targets an
+    /// unknown phase).
+    InvalidStrategy(String),
+    /// Execution failed against the simulated application.
+    Execution(String),
+}
+
+impl BifrostError {
+    pub(crate) fn parse(line: usize, column: usize, message: impl Into<String>) -> Self {
+        BifrostError::Parse { line, column, message: message.into() }
+    }
+}
+
+impl fmt::Display for BifrostError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BifrostError::Parse { line, column, message } => {
+                write!(f, "parse error at {line}:{column}: {message}")
+            }
+            BifrostError::InvalidStrategy(msg) => write!(f, "invalid strategy: {msg}"),
+            BifrostError::Execution(msg) => write!(f, "execution failed: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for BifrostError {}
+
+impl From<microsim::SimError> for BifrostError {
+    fn from(err: microsim::SimError) -> Self {
+        BifrostError::Execution(err.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_location() {
+        let e = BifrostError::parse(3, 14, "expected phase name");
+        assert_eq!(e.to_string(), "parse error at 3:14: expected phase name");
+    }
+
+    #[test]
+    fn sim_errors_convert() {
+        let e: BifrostError = microsim::SimError::UnknownService("x".into()).into();
+        assert!(matches!(e, BifrostError::Execution(_)));
+    }
+}

@@ -1,0 +1,70 @@
+//! # bifrost
+//!
+//! Middleware for the **automated enactment of multi-phase live testing
+//! strategies** (Chapter 4 of the dissertation; Schermann et al.,
+//! Middleware 2016 — Best Student Paper).
+//!
+//! A *strategy* chains experimentation phases — e.g. a canary release,
+//! then a dark launch assessing scalability, then an A/B test, then a
+//! gradual rollout — with **conditional chaining**: each phase declares
+//! health *checks* over monitored metrics and actions for success,
+//! failure, and inconclusive outcomes (rollback, retry, goto, complete).
+//! Strategies are written in a **domain-specific language**
+//! ("experimentation-as-code", Section 1.2.3) and compiled to a **state
+//! machine** (Figure 4.2) whose transitions the engine drives from live
+//! telemetry, enacting traffic-routing changes on the application.
+//!
+//! Module map:
+//!
+//! - [`model`] — the live-testing model of Section 4.3: strategies,
+//!   phases, checks, actions.
+//! - [`dsl`] — lexer + recursive-descent parser + pretty-printer for the
+//!   strategy language.
+//! - [`machine`] — compilation to a validated state machine.
+//! - [`checks`] — time-based check scheduling and evaluation (Figure 4.3).
+//! - [`enact`] — translating phases into router configurations
+//!   (canary splits, dark-launch mirrors, A/B splits, rollout steps).
+//! - [`engine`] — the multi-strategy execution engine measured in
+//!   Figures 4.6–4.10.
+//! - [`templates`] — a library of well-formed standard strategies.
+//! - [`verify`] — pre-launch static verification of strategy sets
+//!   (the dissertation's §1.6.4 future work).
+//!
+//! # Example
+//!
+//! ```
+//! use bifrost::dsl;
+//!
+//! let src = r#"
+//! strategy "quick-canary" {
+//!   service "recommendation"
+//!   baseline "1.0.0"
+//!   candidate "1.1.0"
+//!   phase "canary" canary 10% for 5m {
+//!     check error_rate < 0.05 over 1m every 30s
+//!     on success complete
+//!     on failure rollback
+//!   }
+//! }
+//! "#;
+//! let strategy = dsl::parse(src)?;
+//! assert_eq!(strategy.phases.len(), 1);
+//! # Ok::<(), bifrost::BifrostError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod checks;
+pub mod dsl;
+pub mod enact;
+pub mod engine;
+pub mod error;
+pub mod machine;
+pub mod model;
+pub mod templates;
+pub mod verify;
+
+pub use engine::{Engine, EngineConfig, ExecutionReport};
+pub use error::BifrostError;
+pub use model::{Action, Check, Phase, PhaseKind, Strategy};

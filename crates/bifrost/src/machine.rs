@@ -1,0 +1,282 @@
+//! The compiled state machine of a strategy (Figure 4.2).
+//!
+//! "Experiments formally map to a state machine. States represent specific
+//! user assignments […]. In each state, a set of so-called checks is
+//! executed […]. The outcome of checks then determines the subsequent
+//! state", including fallback states for rollbacks (Section 1.2.1).
+//!
+//! Compilation validates the strategy, assigns each phase a state, adds
+//! the two terminal states ([`State::Completed`] — candidate promoted —
+//! and [`State::RolledBack`] — fallback to baseline), and materializes the
+//! total transition function over [`PhaseOutcome`]s. Totality (every phase
+//! state has a transition for every outcome) holds by construction and is
+//! re-checked by property tests.
+
+use crate::error::BifrostError;
+use crate::model::{Action, Phase, Strategy};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A state of the compiled machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum State {
+    /// Executing the phase with this index.
+    Phase(usize),
+    /// Terminal: strategy succeeded, candidate serves all users.
+    Completed,
+    /// Terminal: strategy aborted, all users back on the baseline.
+    RolledBack,
+}
+
+impl State {
+    /// `true` for the two terminal states.
+    pub fn is_terminal(self) -> bool {
+        !matches!(self, State::Phase(_))
+    }
+}
+
+impl fmt::Display for State {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            State::Phase(i) => write!(f, "phase#{i}"),
+            State::Completed => f.write_str("completed"),
+            State::RolledBack => f.write_str("rolled-back"),
+        }
+    }
+}
+
+/// How a phase concluded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PhaseOutcome {
+    /// The phase ran its duration with all checks conclusive and passing.
+    Success,
+    /// A check conclusively failed.
+    Failure,
+    /// The phase ended without enough data for a verdict.
+    Inconclusive,
+}
+
+impl PhaseOutcome {
+    /// All outcomes, for exhaustiveness checks.
+    pub fn all() -> [PhaseOutcome; 3] {
+        [PhaseOutcome::Success, PhaseOutcome::Failure, PhaseOutcome::Inconclusive]
+    }
+}
+
+/// The compiled, validated state machine of one strategy.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StateMachine {
+    /// `transitions[phase_index][outcome_index]`.
+    transitions: Vec<[State; 3]>,
+}
+
+impl StateMachine {
+    /// Compiles a strategy.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BifrostError::InvalidStrategy`] when
+    /// [`Strategy::validate`] fails.
+    pub fn compile(strategy: &Strategy) -> Result<Self, BifrostError> {
+        strategy.validate()?;
+        let resolve = |phase: &Phase, action: &Action| -> State {
+            match action {
+                Action::Goto(target) => State::Phase(
+                    strategy
+                        .phases
+                        .iter()
+                        .position(|p| &p.name == target)
+                        .expect("validate checked goto targets"),
+                ),
+                Action::Complete => State::Completed,
+                Action::Rollback => State::RolledBack,
+                Action::Retry => State::Phase(
+                    strategy
+                        .phases
+                        .iter()
+                        .position(|p| p.name == phase.name)
+                        .expect("phase is part of its strategy"),
+                ),
+            }
+        };
+        let transitions = strategy
+            .phases
+            .iter()
+            .map(|phase| {
+                [
+                    resolve(phase, &phase.on_success),
+                    resolve(phase, &phase.on_failure),
+                    resolve(phase, &phase.on_inconclusive),
+                ]
+            })
+            .collect();
+        Ok(StateMachine { transitions })
+    }
+
+    /// The initial state (the first phase).
+    pub fn initial(&self) -> State {
+        State::Phase(0)
+    }
+
+    /// Number of phase states.
+    pub fn phase_count(&self) -> usize {
+        self.transitions.len()
+    }
+
+    /// The successor of `state` under `outcome`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `state` is terminal (terminal states have no
+    /// successors) or out of range.
+    pub fn next(&self, state: State, outcome: PhaseOutcome) -> State {
+        match state {
+            State::Phase(i) => {
+                let idx = match outcome {
+                    PhaseOutcome::Success => 0,
+                    PhaseOutcome::Failure => 1,
+                    PhaseOutcome::Inconclusive => 2,
+                };
+                self.transitions[i][idx]
+            }
+            terminal => panic!("terminal state {terminal} has no successors"),
+        }
+    }
+
+    /// States reachable from the initial state. Useful to flag dead phases
+    /// (never an error — a library user may keep alternates around — but
+    /// the engine reports them).
+    pub fn reachable(&self) -> Vec<State> {
+        let mut seen = vec![false; self.transitions.len()];
+        let mut terminals = (false, false);
+        let mut stack = vec![0usize];
+        while let Some(i) = stack.pop() {
+            if seen[i] {
+                continue;
+            }
+            seen[i] = true;
+            for outcome in PhaseOutcome::all() {
+                match self.next(State::Phase(i), outcome) {
+                    State::Phase(j) => stack.push(j),
+                    State::Completed => terminals.0 = true,
+                    State::RolledBack => terminals.1 = true,
+                }
+            }
+        }
+        let mut out: Vec<State> =
+            seen.iter().enumerate().filter(|(_, s)| **s).map(|(i, _)| State::Phase(i)).collect();
+        if terminals.0 {
+            out.push(State::Completed);
+        }
+        if terminals.1 {
+            out.push(State::RolledBack);
+        }
+        out
+    }
+
+    /// `true` when some reachable phase can eventually reach
+    /// [`State::Completed`] — a sanity check the engine performs before
+    /// running a strategy.
+    pub fn can_complete(&self) -> bool {
+        self.reachable().contains(&State::Completed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dsl;
+
+    fn machine() -> (Strategy, StateMachine) {
+        let s = dsl::parse(
+            r#"strategy "s" {
+                service "svc" baseline "1" candidate "2"
+                phase "canary" canary 5% for 5m {
+                  on success goto "rollout"
+                  on failure rollback
+                  on inconclusive retry
+                }
+                phase "rollout" gradual_rollout from 10% to 100% step 30% every 1m for 10m {
+                  on success complete
+                  on failure rollback
+                }
+            }"#,
+        )
+        .unwrap();
+        let m = StateMachine::compile(&s).unwrap();
+        (s, m)
+    }
+
+    #[test]
+    fn transitions_follow_actions() {
+        let (_, m) = machine();
+        assert_eq!(m.initial(), State::Phase(0));
+        assert_eq!(m.next(State::Phase(0), PhaseOutcome::Success), State::Phase(1));
+        assert_eq!(m.next(State::Phase(0), PhaseOutcome::Failure), State::RolledBack);
+        assert_eq!(m.next(State::Phase(0), PhaseOutcome::Inconclusive), State::Phase(0));
+        assert_eq!(m.next(State::Phase(1), PhaseOutcome::Success), State::Completed);
+    }
+
+    #[test]
+    fn totality_over_all_outcomes() {
+        let (_, m) = machine();
+        for i in 0..m.phase_count() {
+            for outcome in PhaseOutcome::all() {
+                // Must not panic; successor is any valid state.
+                let _ = m.next(State::Phase(i), outcome);
+            }
+        }
+    }
+
+    #[test]
+    fn reachability_and_completability() {
+        let (_, m) = machine();
+        let reachable = m.reachable();
+        assert!(reachable.contains(&State::Phase(0)));
+        assert!(reachable.contains(&State::Phase(1)));
+        assert!(reachable.contains(&State::Completed));
+        assert!(reachable.contains(&State::RolledBack));
+        assert!(m.can_complete());
+    }
+
+    #[test]
+    fn dead_phase_is_not_reachable() {
+        let s = dsl::parse(
+            r#"strategy "s" {
+                service "svc" baseline "1" candidate "2"
+                phase "a" canary 5% for 5m {
+                  on success complete
+                  on failure rollback
+                }
+                phase "dead" dark_launch for 5m {
+                  on success complete
+                  on failure rollback
+                }
+            }"#,
+        )
+        .unwrap();
+        let m = StateMachine::compile(&s).unwrap();
+        assert!(!m.reachable().contains(&State::Phase(1)));
+    }
+
+    #[test]
+    fn terminal_states_are_terminal() {
+        assert!(State::Completed.is_terminal());
+        assert!(State::RolledBack.is_terminal());
+        assert!(!State::Phase(0).is_terminal());
+    }
+
+    #[test]
+    #[should_panic(expected = "no successors")]
+    fn terminal_next_panics() {
+        let (_, m) = machine();
+        m.next(State::Completed, PhaseOutcome::Success);
+    }
+
+    #[test]
+    fn invalid_strategy_fails_compilation() {
+        let (mut s, _) = machine();
+        s.phases[0].on_success = Action::Goto("ghost".into());
+        assert!(StateMachine::compile(&s).is_err());
+    }
+}

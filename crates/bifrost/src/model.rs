@@ -1,0 +1,437 @@
+//! The live-testing model (Section 4.3).
+//!
+//! A [`Strategy`] is the unit of experimentation-as-code: it names the
+//! service, its baseline and candidate versions, and an ordered list of
+//! [`Phase`]s. Each phase applies one experimentation practice
+//! ([`PhaseKind`]) with a set of [`Check`]s and declares, via [`Action`]s,
+//! what happens on success, failure, or an inconclusive outcome —
+//! the *conditional chaining* that lets a canary flow into a dark launch,
+//! an A/B test, and a gradual rollout, with automated rollbacks on spotted
+//! irregularities.
+
+use crate::error::BifrostError;
+use cex_core::metrics::MetricKind;
+use cex_core::simtime::SimDuration;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The experimentation practice a phase applies (Section 2.2.1).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum PhaseKind {
+    /// Route `traffic_percent` of users to the candidate, the rest to the
+    /// baseline.
+    Canary {
+        /// Candidate share of users, `0.0..=100.0`.
+        traffic_percent: f64,
+    },
+    /// All users stay on the baseline; production traffic is duplicated to
+    /// the candidate whose responses are discarded.
+    DarkLaunch,
+    /// Split experimental traffic between variant A (the candidate) and
+    /// variant B (`Strategy::variant_b`, or the baseline as control when
+    /// absent), `split_percent` each.
+    AbTest {
+        /// Share of users per variant, `0.0..=50.0`.
+        split_percent: f64,
+    },
+    /// Step-wise increase of the candidate share from `from_percent` to
+    /// `to_percent`.
+    GradualRollout {
+        /// Starting candidate share.
+        from_percent: f64,
+        /// Final candidate share.
+        to_percent: f64,
+        /// Increment per step.
+        step_percent: f64,
+        /// Time spent per step.
+        step_duration: SimDuration,
+    },
+}
+
+impl PhaseKind {
+    /// Canonical keyword, shared with the DSL.
+    pub fn keyword(&self) -> &'static str {
+        match self {
+            PhaseKind::Canary { .. } => "canary",
+            PhaseKind::DarkLaunch => "dark_launch",
+            PhaseKind::AbTest { .. } => "ab_test",
+            PhaseKind::GradualRollout { .. } => "gradual_rollout",
+        }
+    }
+}
+
+/// Against what a check's threshold is compared.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CheckScope {
+    /// The candidate version's metric window.
+    Candidate,
+    /// The baseline version's metric window.
+    Baseline,
+    /// The ratio candidate/baseline — a relative regression check (e.g.
+    /// "candidate response time < 1.2× baseline").
+    CandidateVsBaseline,
+    /// Welch's t-test between candidate and baseline windows: the check
+    /// passes when the candidate mean is *significantly* greater (for
+    /// `>`/`>=`) or smaller (for `<`/`<=`) than the baseline's, at
+    /// significance level `threshold` — the rigorous hypothesis testing
+    /// that characterizes business-driven experiments (Table 2.5).
+    SignificantVsBaseline,
+}
+
+/// Threshold comparator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Comparator {
+    /// Strictly less than.
+    Lt,
+    /// Less than or equal.
+    Le,
+    /// Strictly greater than.
+    Gt,
+    /// Greater than or equal.
+    Ge,
+}
+
+impl Comparator {
+    /// Applies the comparator.
+    pub fn holds(self, value: f64, threshold: f64) -> bool {
+        match self {
+            Comparator::Lt => value < threshold,
+            Comparator::Le => value <= threshold,
+            Comparator::Gt => value > threshold,
+            Comparator::Ge => value >= threshold,
+        }
+    }
+
+    /// DSL spelling.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            Comparator::Lt => "<",
+            Comparator::Le => "<=",
+            Comparator::Gt => ">",
+            Comparator::Ge => ">=",
+        }
+    }
+}
+
+/// One health criterion, evaluated repeatedly during a phase (Figure 4.3).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Check {
+    /// The monitored metric.
+    pub metric: MetricKind,
+    /// What the threshold is compared against.
+    pub scope: CheckScope,
+    /// Comparator relating the observed value to the threshold.
+    pub comparator: Comparator,
+    /// Threshold in the metric's unit (or a ratio for
+    /// [`CheckScope::CandidateVsBaseline`]).
+    pub threshold: f64,
+    /// Length of the trailing evaluation window.
+    pub window: SimDuration,
+    /// Evaluation cadence.
+    pub interval: SimDuration,
+    /// Observations needed inside the window before the check is
+    /// conclusive.
+    pub min_samples: u64,
+}
+
+impl Check {
+    /// A candidate-scoped check with a 1-minute window, 30-second cadence
+    /// and a 20-sample conclusiveness floor.
+    pub fn candidate(metric: MetricKind, comparator: Comparator, threshold: f64) -> Self {
+        Check {
+            metric,
+            scope: CheckScope::Candidate,
+            comparator,
+            threshold,
+            window: SimDuration::from_secs(60),
+            interval: SimDuration::from_secs(30),
+            min_samples: 20,
+        }
+    }
+}
+
+impl fmt::Display for Check {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "check {} {} {} over {} every {}",
+            self.metric,
+            self.comparator.symbol(),
+            self.threshold,
+            self.window,
+            self.interval
+        )
+    }
+}
+
+/// What happens when a phase concludes (the conditional-chaining edges).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Action {
+    /// Jump to the named phase.
+    Goto(String),
+    /// Finish the strategy successfully: the candidate is promoted to all
+    /// users.
+    Complete,
+    /// Abort: every user returns to the baseline version (the fallback
+    /// state of the execution model).
+    Rollback,
+    /// Re-execute the current phase (e.g. when not enough data was
+    /// collected).
+    Retry,
+}
+
+impl fmt::Display for Action {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Action::Goto(name) => write!(f, "goto \"{name}\""),
+            Action::Complete => f.write_str("complete"),
+            Action::Rollback => f.write_str("rollback"),
+            Action::Retry => f.write_str("retry"),
+        }
+    }
+}
+
+/// One phase of a strategy.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Phase {
+    /// Phase name, unique within the strategy.
+    pub name: String,
+    /// The practice this phase applies.
+    pub kind: PhaseKind,
+    /// Maximum phase duration; when it elapses without a failed check the
+    /// phase concludes (success if conclusive, inconclusive otherwise).
+    pub duration: SimDuration,
+    /// Health criteria evaluated during the phase.
+    pub checks: Vec<Check>,
+    /// Action on success.
+    pub on_success: Action,
+    /// Action on a conclusively failed check.
+    pub on_failure: Action,
+    /// Action when the phase ends without enough data (defaults to
+    /// [`Action::Retry`]).
+    pub on_inconclusive: Action,
+}
+
+/// A complete live-testing strategy.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Strategy {
+    /// Strategy name.
+    pub name: String,
+    /// Service under experimentation.
+    pub service: String,
+    /// Stable version label.
+    pub baseline: String,
+    /// Experimental version label (variant A in A/B phases).
+    pub candidate: String,
+    /// Optional second experimental version (variant B in A/B phases).
+    pub variant_b: Option<String>,
+    /// Ordered phases; execution starts at the first.
+    pub phases: Vec<Phase>,
+}
+
+impl Strategy {
+    /// Validates structural invariants:
+    ///
+    /// - at least one phase, unique phase names,
+    /// - every `goto` targets an existing phase,
+    /// - percents within range, positive durations/windows/intervals,
+    /// - gradual rollouts move forward (`from <= to`, positive step),
+    /// - an A/B phase with no `variant_b` is allowed (baseline control).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BifrostError::InvalidStrategy`] describing the first
+    /// violated invariant.
+    pub fn validate(&self) -> Result<(), BifrostError> {
+        let invalid = |msg: String| Err(BifrostError::InvalidStrategy(msg));
+        if self.phases.is_empty() {
+            return invalid(format!("strategy {} has no phases", self.name));
+        }
+        if self.service.is_empty() || self.baseline.is_empty() || self.candidate.is_empty() {
+            return invalid(format!("strategy {} must name service, baseline, candidate", self.name));
+        }
+        if self.baseline == self.candidate {
+            return invalid(format!("strategy {}: baseline equals candidate", self.name));
+        }
+        for (i, phase) in self.phases.iter().enumerate() {
+            if self.phases[..i].iter().any(|p| p.name == phase.name) {
+                return invalid(format!("duplicate phase name {}", phase.name));
+            }
+            if phase.duration.is_zero() {
+                return invalid(format!("phase {} has zero duration", phase.name));
+            }
+            match &phase.kind {
+                PhaseKind::Canary { traffic_percent } => {
+                    if !(0.0..=100.0).contains(traffic_percent) {
+                        return invalid(format!("phase {}: canary percent out of range", phase.name));
+                    }
+                }
+                PhaseKind::AbTest { split_percent } => {
+                    if !(0.0..=50.0).contains(split_percent) {
+                        return invalid(format!("phase {}: A/B split out of 0..=50 range", phase.name));
+                    }
+                }
+                PhaseKind::GradualRollout { from_percent, to_percent, step_percent, step_duration } => {
+                    if !(0.0..=100.0).contains(from_percent)
+                        || !(0.0..=100.0).contains(to_percent)
+                        || from_percent > to_percent
+                    {
+                        return invalid(format!("phase {}: rollout range invalid", phase.name));
+                    }
+                    if *step_percent <= 0.0 {
+                        return invalid(format!("phase {}: rollout step must be positive", phase.name));
+                    }
+                    if step_duration.is_zero() {
+                        return invalid(format!("phase {}: rollout step duration is zero", phase.name));
+                    }
+                }
+                PhaseKind::DarkLaunch => {}
+            }
+            for check in &phase.checks {
+                if check.window.is_zero() || check.interval.is_zero() {
+                    return invalid(format!(
+                        "phase {}: checks need positive window and interval",
+                        phase.name
+                    ));
+                }
+            }
+            for action in [&phase.on_success, &phase.on_failure, &phase.on_inconclusive] {
+                if let Action::Goto(target) = action {
+                    if !self.phases.iter().any(|p| &p.name == target) {
+                        return invalid(format!(
+                            "phase {}: goto targets unknown phase {target}",
+                            phase.name
+                        ));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Looks up a phase by name.
+    pub fn phase(&self, name: &str) -> Option<&Phase> {
+        self.phases.iter().find(|p| p.name == name)
+    }
+
+    /// Total number of checks across phases (the x-axis of Figures 4.9
+    /// and 4.10).
+    pub fn check_count(&self) -> usize {
+        self.phases.iter().map(|p| p.checks.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    pub(crate) fn sample_strategy() -> Strategy {
+        Strategy {
+            name: "rec-rollout".into(),
+            service: "recommendation".into(),
+            baseline: "1.0.0".into(),
+            candidate: "1.1.0".into(),
+            variant_b: None,
+            phases: vec![
+                Phase {
+                    name: "canary".into(),
+                    kind: PhaseKind::Canary { traffic_percent: 5.0 },
+                    duration: SimDuration::from_mins(10),
+                    checks: vec![Check::candidate(MetricKind::ErrorRate, Comparator::Lt, 0.05)],
+                    on_success: Action::Goto("rollout".into()),
+                    on_failure: Action::Rollback,
+                    on_inconclusive: Action::Retry,
+                },
+                Phase {
+                    name: "rollout".into(),
+                    kind: PhaseKind::GradualRollout {
+                        from_percent: 10.0,
+                        to_percent: 100.0,
+                        step_percent: 30.0,
+                        step_duration: SimDuration::from_mins(5),
+                    },
+                    duration: SimDuration::from_mins(30),
+                    checks: vec![Check::candidate(MetricKind::ResponseTime, Comparator::Lt, 200.0)],
+                    on_success: Action::Complete,
+                    on_failure: Action::Rollback,
+                    on_inconclusive: Action::Retry,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn sample_strategy_validates() {
+        sample_strategy().validate().unwrap();
+        assert_eq!(sample_strategy().check_count(), 2);
+        assert!(sample_strategy().phase("canary").is_some());
+        assert!(sample_strategy().phase("nope").is_none());
+    }
+
+    #[test]
+    fn comparators() {
+        assert!(Comparator::Lt.holds(1.0, 2.0));
+        assert!(!Comparator::Lt.holds(2.0, 2.0));
+        assert!(Comparator::Le.holds(2.0, 2.0));
+        assert!(Comparator::Gt.holds(3.0, 2.0));
+        assert!(Comparator::Ge.holds(2.0, 2.0));
+    }
+
+    #[test]
+    fn validation_catches_structural_errors() {
+        let mut s = sample_strategy();
+        s.phases.clear();
+        assert!(s.validate().is_err());
+
+        let mut s = sample_strategy();
+        s.candidate = s.baseline.clone();
+        assert!(s.validate().is_err());
+
+        let mut s = sample_strategy();
+        s.phases[0].on_success = Action::Goto("ghost".into());
+        assert!(s.validate().is_err());
+
+        let mut s = sample_strategy();
+        s.phases[1].name = "canary".into();
+        assert!(s.validate().is_err());
+
+        let mut s = sample_strategy();
+        s.phases[0].kind = PhaseKind::Canary { traffic_percent: 150.0 };
+        assert!(s.validate().is_err());
+
+        let mut s = sample_strategy();
+        s.phases[0].duration = SimDuration::ZERO;
+        assert!(s.validate().is_err());
+
+        let mut s = sample_strategy();
+        s.phases[1].kind = PhaseKind::GradualRollout {
+            from_percent: 80.0,
+            to_percent: 20.0,
+            step_percent: 10.0,
+            step_duration: SimDuration::from_mins(1),
+        };
+        assert!(s.validate().is_err());
+
+        let mut s = sample_strategy();
+        s.phases[0].checks[0].interval = SimDuration::ZERO;
+        assert!(s.validate().is_err());
+    }
+
+    #[test]
+    fn ab_split_range() {
+        let mut s = sample_strategy();
+        s.phases[0].kind = PhaseKind::AbTest { split_percent: 50.0 };
+        s.validate().unwrap();
+        s.phases[0].kind = PhaseKind::AbTest { split_percent: 51.0 };
+        assert!(s.validate().is_err());
+    }
+
+    #[test]
+    fn display_forms() {
+        let c = Check::candidate(MetricKind::ErrorRate, Comparator::Lt, 0.05);
+        assert_eq!(c.to_string(), "check error_rate < 0.05 over 60s every 30s");
+        assert_eq!(Action::Goto("x".into()).to_string(), "goto \"x\"");
+        assert_eq!(Action::Complete.to_string(), "complete");
+        assert_eq!(PhaseKind::DarkLaunch.keyword(), "dark_launch");
+    }
+}

@@ -1,0 +1,313 @@
+//! A library of standard live-testing strategies.
+//!
+//! The study found that experimentation is "an experience-driven art with
+//! little empirical or formal basis" in most teams (Section 2.8); shipping
+//! well-formed strategy templates is the "well-defined, structured
+//! experimentation processes" answer. Every template produces a validated
+//! [`Strategy`] that round-trips through the DSL.
+
+use crate::model::{Action, Check, CheckScope, Comparator, Phase, PhaseKind, Strategy};
+use cex_core::metrics::MetricKind;
+use cex_core::simtime::SimDuration;
+
+/// Health thresholds shared by the templates.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HealthCriteria {
+    /// Maximum tolerated error rate on the candidate.
+    pub max_error_rate: f64,
+    /// Maximum tolerated candidate/baseline response-time ratio.
+    pub max_rt_ratio: f64,
+    /// Samples required before checks are conclusive.
+    pub min_samples: u64,
+    /// Check evaluation window.
+    pub window: SimDuration,
+    /// Check evaluation cadence.
+    pub interval: SimDuration,
+}
+
+impl Default for HealthCriteria {
+    fn default() -> Self {
+        HealthCriteria {
+            max_error_rate: 0.05,
+            max_rt_ratio: 1.5,
+            min_samples: 20,
+            window: SimDuration::from_mins(1),
+            interval: SimDuration::from_secs(30),
+        }
+    }
+}
+
+impl HealthCriteria {
+    /// Absolute candidate checks only — used in rollout phases, where the
+    /// baseline eventually receives no traffic and relative checks could
+    /// never conclude.
+    fn absolute_checks(&self) -> Vec<Check> {
+        vec![Check {
+            metric: MetricKind::ErrorRate,
+            scope: CheckScope::Candidate,
+            comparator: Comparator::Lt,
+            threshold: self.max_error_rate,
+            window: self.window,
+            interval: self.interval,
+            min_samples: self.min_samples,
+        }]
+    }
+
+    fn checks(&self) -> Vec<Check> {
+        vec![
+            Check {
+                metric: MetricKind::ErrorRate,
+                scope: CheckScope::Candidate,
+                comparator: Comparator::Lt,
+                threshold: self.max_error_rate,
+                window: self.window,
+                interval: self.interval,
+                min_samples: self.min_samples,
+            },
+            Check {
+                metric: MetricKind::ResponseTime,
+                scope: CheckScope::CandidateVsBaseline,
+                comparator: Comparator::Lt,
+                threshold: self.max_rt_ratio,
+                window: self.window,
+                interval: self.interval,
+                min_samples: self.min_samples,
+            },
+        ]
+    }
+}
+
+/// A conservative two-phase strategy: small canary, then step-wise
+/// rollout — the most common regression-driven pattern in the study.
+pub fn canary_then_rollout(
+    name: impl Into<String>,
+    service: impl Into<String>,
+    baseline: impl Into<String>,
+    candidate: impl Into<String>,
+    criteria: HealthCriteria,
+) -> Strategy {
+    let strategy = Strategy {
+        name: name.into(),
+        service: service.into(),
+        baseline: baseline.into(),
+        candidate: candidate.into(),
+        variant_b: None,
+        phases: vec![
+            Phase {
+                name: "canary".into(),
+                kind: PhaseKind::Canary { traffic_percent: 5.0 },
+                duration: SimDuration::from_mins(10),
+                checks: criteria.checks(),
+                on_success: Action::Goto("rollout".into()),
+                on_failure: Action::Rollback,
+                on_inconclusive: Action::Retry,
+            },
+            Phase {
+                name: "rollout".into(),
+                kind: PhaseKind::GradualRollout {
+                    from_percent: 10.0,
+                    to_percent: 100.0,
+                    step_percent: 15.0,
+                    step_duration: SimDuration::from_mins(5),
+                },
+                duration: SimDuration::from_mins(45),
+                checks: criteria.absolute_checks(),
+                on_success: Action::Complete,
+                on_failure: Action::Rollback,
+                on_inconclusive: Action::Retry,
+            },
+        ],
+    };
+    debug_assert!(strategy.validate().is_ok());
+    strategy
+}
+
+/// The dissertation's four-phase flagship: canary → dark launch → A/B
+/// test (statistical success criterion) → gradual rollout.
+#[allow(clippy::too_many_arguments)]
+pub fn four_phase(
+    name: impl Into<String>,
+    service: impl Into<String>,
+    baseline: impl Into<String>,
+    candidate: impl Into<String>,
+    variant_b: Option<String>,
+    business_metric: MetricKind,
+    alpha: f64,
+    criteria: HealthCriteria,
+) -> Strategy {
+    let ab_check = Check {
+        metric: business_metric,
+        scope: CheckScope::SignificantVsBaseline,
+        comparator: Comparator::Gt,
+        threshold: alpha,
+        window: SimDuration::from_mins(20),
+        interval: SimDuration::from_mins(2),
+        min_samples: criteria.min_samples.max(200),
+    };
+    let strategy = Strategy {
+        name: name.into(),
+        service: service.into(),
+        baseline: baseline.into(),
+        candidate: candidate.into(),
+        variant_b,
+        phases: vec![
+            Phase {
+                name: "canary".into(),
+                kind: PhaseKind::Canary { traffic_percent: 5.0 },
+                duration: SimDuration::from_mins(10),
+                checks: criteria.checks(),
+                on_success: Action::Goto("dark".into()),
+                on_failure: Action::Rollback,
+                on_inconclusive: Action::Retry,
+            },
+            Phase {
+                name: "dark".into(),
+                kind: PhaseKind::DarkLaunch,
+                duration: SimDuration::from_mins(10),
+                checks: criteria.checks(),
+                on_success: Action::Goto("ab".into()),
+                on_failure: Action::Rollback,
+                on_inconclusive: Action::Retry,
+            },
+            Phase {
+                name: "ab".into(),
+                kind: PhaseKind::AbTest { split_percent: 25.0 },
+                duration: SimDuration::from_mins(30),
+                checks: {
+                    let mut checks = criteria.checks();
+                    checks.push(ab_check);
+                    checks
+                },
+                on_success: Action::Goto("rollout".into()),
+                on_failure: Action::Rollback,
+                on_inconclusive: Action::Retry,
+            },
+            Phase {
+                name: "rollout".into(),
+                kind: PhaseKind::GradualRollout {
+                    from_percent: 25.0,
+                    to_percent: 100.0,
+                    step_percent: 25.0,
+                    step_duration: SimDuration::from_mins(5),
+                },
+                duration: SimDuration::from_mins(30),
+                checks: criteria.absolute_checks(),
+                on_success: Action::Complete,
+                on_failure: Action::Rollback,
+                on_inconclusive: Action::Retry,
+            },
+        ],
+    };
+    debug_assert!(strategy.validate().is_ok());
+    strategy
+}
+
+/// A scalability probe: dark launch only, never exposing users — complete
+/// when the candidate holds up under mirrored production load.
+pub fn dark_probe(
+    name: impl Into<String>,
+    service: impl Into<String>,
+    baseline: impl Into<String>,
+    candidate: impl Into<String>,
+    criteria: HealthCriteria,
+) -> Strategy {
+    let strategy = Strategy {
+        name: name.into(),
+        service: service.into(),
+        baseline: baseline.into(),
+        candidate: candidate.into(),
+        variant_b: None,
+        phases: vec![Phase {
+            name: "dark".into(),
+            kind: PhaseKind::DarkLaunch,
+            duration: SimDuration::from_mins(15),
+            checks: criteria.checks(),
+            on_success: Action::Complete,
+            on_failure: Action::Rollback,
+            on_inconclusive: Action::Retry,
+        }],
+    };
+    debug_assert!(strategy.validate().is_ok());
+    strategy
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dsl;
+    use crate::machine::StateMachine;
+
+    #[test]
+    fn templates_validate_compile_and_roundtrip() {
+        let strategies = vec![
+            canary_then_rollout("c", "svc", "1", "2", HealthCriteria::default()),
+            four_phase(
+                "f",
+                "svc",
+                "1",
+                "2",
+                Some("2-alt".into()),
+                MetricKind::ConversionRate,
+                0.05,
+                HealthCriteria::default(),
+            ),
+            dark_probe("d", "svc", "1", "2", HealthCriteria::default()),
+        ];
+        for strategy in strategies {
+            strategy.validate().unwrap();
+            let machine = StateMachine::compile(&strategy).unwrap();
+            assert!(machine.can_complete(), "{}", strategy.name);
+            let reparsed = dsl::parse(&dsl::to_source(&strategy)).unwrap();
+            assert_eq!(strategy, reparsed);
+        }
+    }
+
+    #[test]
+    fn four_phase_contains_the_statistical_gate() {
+        let s = four_phase(
+            "f",
+            "svc",
+            "1",
+            "2",
+            None,
+            MetricKind::ConversionRate,
+            0.01,
+            HealthCriteria::default(),
+        );
+        let ab = s.phase("ab").unwrap();
+        let gate = ab
+            .checks
+            .iter()
+            .find(|c| c.scope == CheckScope::SignificantVsBaseline)
+            .expect("significance gate");
+        assert_eq!(gate.threshold, 0.01);
+        assert_eq!(gate.metric, MetricKind::ConversionRate);
+    }
+
+    #[test]
+    fn criteria_propagate() {
+        let criteria = HealthCriteria { max_error_rate: 0.01, ..Default::default() };
+        let s = canary_then_rollout("c", "svc", "1", "2", criteria);
+        for phase in &s.phases {
+            assert!(phase
+                .checks
+                .iter()
+                .any(|c| c.metric == MetricKind::ErrorRate && c.threshold == 0.01));
+        }
+    }
+
+    #[test]
+    fn rollout_phases_use_only_absolute_checks() {
+        // A relative check could never conclude at 100% rollout (the
+        // baseline stops receiving traffic), deadlocking the strategy.
+        for s in [
+            canary_then_rollout("c", "svc", "1", "2", HealthCriteria::default()),
+            four_phase("f", "svc", "1", "2", None, MetricKind::ConversionRate, 0.05,
+                HealthCriteria::default()),
+        ] {
+            let rollout = s.phase("rollout").unwrap();
+            assert!(rollout.checks.iter().all(|c| c.scope == CheckScope::Candidate),
+                "{}: {:?}", s.name, rollout.checks);
+        }
+    }
+}

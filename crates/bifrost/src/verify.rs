@@ -1,0 +1,391 @@
+//! Experiment verification: static analysis of strategies before launch.
+//!
+//! The dissertation's future work calls for "experiment verification […]
+//! to identify upfront whether a defined experiment could negatively
+//! interfere with other planned or currently running experiments"
+//! (Section 1.6.4). This module analyzes a set of strategies against the
+//! application they will run on, *before* anything is enacted:
+//!
+//! - **errors** — conditions under which the engine would misbehave or
+//!   the collected data would be skewed: two strategies experimenting on
+//!   the same service, versions that are not deployed, strategies that can
+//!   never complete;
+//! - **warnings** — risky but legal configurations: unreachable phases,
+//!   phases without any health criteria, dark launches whose candidate
+//!   fans out to more downstream calls than the baseline (the paper's
+//!   observed dark-launch load-amplification hazard, Section 1.2.3).
+
+use crate::machine::{State, StateMachine};
+use crate::model::{PhaseKind, Strategy};
+use microsim::app::Application;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Issue severity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Severity {
+    /// The strategy set must not be launched as-is.
+    Error,
+    /// Legal but risky; worth a look before launch.
+    Warning,
+}
+
+/// One verification finding.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum VerificationIssue {
+    /// Two strategies target the same service: their user assignments
+    /// would overlap and skew each other's data.
+    ConflictingStrategies {
+        /// First strategy name.
+        a: String,
+        /// Second strategy name.
+        b: String,
+        /// The shared service.
+        service: String,
+    },
+    /// A referenced service/version is not deployed in the application.
+    UndeployedVersion {
+        /// Strategy name.
+        strategy: String,
+        /// `service@version` that failed to resolve.
+        version: String,
+    },
+    /// The strategy's state machine cannot reach the completed state.
+    NoCompletionPath {
+        /// Strategy name.
+        strategy: String,
+    },
+    /// A phase can never be entered from the initial phase.
+    UnreachablePhase {
+        /// Strategy name.
+        strategy: String,
+        /// The dead phase.
+        phase: String,
+    },
+    /// A phase declares no checks: it will always succeed after its
+    /// duration, regardless of application health.
+    PhaseWithoutChecks {
+        /// Strategy name.
+        strategy: String,
+        /// The unchecked phase.
+        phase: String,
+    },
+    /// A dark-launch candidate issues more downstream calls than the
+    /// baseline: mirroring will amplify load in parts of the system.
+    DarkLaunchFanout {
+        /// Strategy name.
+        strategy: String,
+        /// The dark phase.
+        phase: String,
+        /// Maximum expected downstream calls per request, baseline.
+        baseline_calls: f64,
+        /// Maximum expected downstream calls per request, candidate.
+        candidate_calls: f64,
+    },
+}
+
+impl VerificationIssue {
+    /// The issue's severity.
+    pub fn severity(&self) -> Severity {
+        match self {
+            VerificationIssue::ConflictingStrategies { .. }
+            | VerificationIssue::UndeployedVersion { .. }
+            | VerificationIssue::NoCompletionPath { .. } => Severity::Error,
+            VerificationIssue::UnreachablePhase { .. }
+            | VerificationIssue::PhaseWithoutChecks { .. }
+            | VerificationIssue::DarkLaunchFanout { .. } => Severity::Warning,
+        }
+    }
+}
+
+impl fmt::Display for VerificationIssue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VerificationIssue::ConflictingStrategies { a, b, service } => {
+                write!(f, "strategies {a} and {b} both experiment on service {service}")
+            }
+            VerificationIssue::UndeployedVersion { strategy, version } => {
+                write!(f, "strategy {strategy}: version {version} is not deployed")
+            }
+            VerificationIssue::NoCompletionPath { strategy } => {
+                write!(f, "strategy {strategy}: no path to completion")
+            }
+            VerificationIssue::UnreachablePhase { strategy, phase } => {
+                write!(f, "strategy {strategy}: phase {phase} is unreachable")
+            }
+            VerificationIssue::PhaseWithoutChecks { strategy, phase } => {
+                write!(f, "strategy {strategy}: phase {phase} has no health checks")
+            }
+            VerificationIssue::DarkLaunchFanout {
+                strategy,
+                phase,
+                baseline_calls,
+                candidate_calls,
+            } => write!(
+                f,
+                "strategy {strategy}: dark phase {phase} mirrors a candidate issuing \
+                 {candidate_calls:.1} downstream calls/request vs {baseline_calls:.1} on the \
+                 baseline — expect load amplification"
+            ),
+        }
+    }
+}
+
+/// Verifies a set of strategies against the application.
+///
+/// Individual strategies must already pass [`Strategy::validate`]; this
+/// function reports *cross-cutting* and *application-dependent* issues.
+/// An empty result means "safe to hand to the engine".
+pub fn verify(app: &Application, strategies: &[Strategy]) -> Vec<VerificationIssue> {
+    let mut issues = Vec::new();
+
+    // Cross-strategy: one experiment per service at a time (the paper's
+    // planning constraint, enforced here at the execution layer).
+    let mut by_service: HashMap<&str, &str> = HashMap::new();
+    for strategy in strategies {
+        if let Some(first) = by_service.get(strategy.service.as_str()) {
+            issues.push(VerificationIssue::ConflictingStrategies {
+                a: (*first).to_string(),
+                b: strategy.name.clone(),
+                service: strategy.service.clone(),
+            });
+        } else {
+            by_service.insert(&strategy.service, &strategy.name);
+        }
+    }
+
+    for strategy in strategies {
+        // Deployment coverage.
+        let mut versions = vec![&strategy.baseline, &strategy.candidate];
+        if let Some(b) = &strategy.variant_b {
+            versions.push(b);
+        }
+        for version in versions {
+            if app.version_id(&strategy.service, version).is_err() {
+                issues.push(VerificationIssue::UndeployedVersion {
+                    strategy: strategy.name.clone(),
+                    version: format!("{}@{version}", strategy.service),
+                });
+            }
+        }
+
+        // Reachability and completability.
+        if let Ok(machine) = StateMachine::compile(strategy) {
+            if !machine.can_complete() {
+                issues.push(VerificationIssue::NoCompletionPath {
+                    strategy: strategy.name.clone(),
+                });
+            }
+            let reachable = machine.reachable();
+            for (i, phase) in strategy.phases.iter().enumerate() {
+                if !reachable.contains(&State::Phase(i)) {
+                    issues.push(VerificationIssue::UnreachablePhase {
+                        strategy: strategy.name.clone(),
+                        phase: phase.name.clone(),
+                    });
+                }
+            }
+        }
+
+        // Per-phase hygiene + dark-launch fan-out.
+        for phase in &strategy.phases {
+            if phase.checks.is_empty() {
+                issues.push(VerificationIssue::PhaseWithoutChecks {
+                    strategy: strategy.name.clone(),
+                    phase: phase.name.clone(),
+                });
+            }
+            if matches!(phase.kind, PhaseKind::DarkLaunch) {
+                if let (Ok(baseline), Ok(candidate)) = (
+                    app.version_id(&strategy.service, &strategy.baseline),
+                    app.version_id(&strategy.service, &strategy.candidate),
+                ) {
+                    let fanout = |vid| -> f64 {
+                        let v = app.version(vid);
+                        v.endpoints
+                            .iter()
+                            .map(|e| {
+                                app.endpoint(*e)
+                                    .calls
+                                    .iter()
+                                    .map(|c| c.probability)
+                                    .sum::<f64>()
+                            })
+                            .fold(0.0, f64::max)
+                    };
+                    let baseline_calls = fanout(baseline);
+                    let candidate_calls = fanout(candidate);
+                    if candidate_calls > baseline_calls + 1e-9 {
+                        issues.push(VerificationIssue::DarkLaunchFanout {
+                            strategy: strategy.name.clone(),
+                            phase: phase.name.clone(),
+                            baseline_calls,
+                            candidate_calls,
+                        });
+                    }
+                }
+            }
+        }
+    }
+    issues
+}
+
+/// `true` when no [`Severity::Error`] issue was found.
+pub fn is_launchable(issues: &[VerificationIssue]) -> bool {
+    issues.iter().all(|i| i.severity() != Severity::Error)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dsl;
+    use microsim::app::{CallDef, EndpointDef, VersionSpec};
+    use microsim::latency::LatencyModel;
+    use microsim::topologies;
+
+    fn app_with_candidates() -> Application {
+        let mut app = topologies::case_study_app();
+        app.deploy(topologies::recommendation_candidate()).unwrap();
+        app
+    }
+
+    fn simple(name: &str, service: &str, candidate: &str) -> Strategy {
+        dsl::parse(&format!(
+            r#"strategy "{name}" {{
+                service "{service}" baseline "1.0.0" candidate "{candidate}"
+                phase "canary" canary 10% for 5m {{
+                  check error_rate < 0.05 over 1m every 30s
+                  on success complete
+                  on failure rollback
+                }}
+            }}"#
+        ))
+        .unwrap()
+    }
+
+    #[test]
+    fn clean_strategy_verifies_clean() {
+        let app = app_with_candidates();
+        let issues = verify(&app, &[simple("ok", "recommendation", "1.1.0")]);
+        assert!(issues.is_empty(), "{issues:?}");
+        assert!(is_launchable(&issues));
+    }
+
+    #[test]
+    fn same_service_strategies_conflict() {
+        let app = app_with_candidates();
+        let issues = verify(
+            &app,
+            &[
+                simple("first", "recommendation", "1.1.0"),
+                simple("second", "recommendation", "1.1.0"),
+            ],
+        );
+        assert!(issues
+            .iter()
+            .any(|i| matches!(i, VerificationIssue::ConflictingStrategies { .. })));
+        assert!(!is_launchable(&issues));
+    }
+
+    #[test]
+    fn undeployed_candidate_is_an_error() {
+        let app = topologies::case_study_app();
+        let issues = verify(&app, &[simple("x", "recommendation", "9.9.9")]);
+        assert!(issues.iter().any(
+            |i| matches!(i, VerificationIssue::UndeployedVersion { version, .. } if version == "recommendation@9.9.9")
+        ));
+        assert!(!is_launchable(&issues));
+    }
+
+    #[test]
+    fn no_completion_path_is_an_error() {
+        let app = app_with_candidates();
+        let strategy = dsl::parse(
+            r#"strategy "stuck" {
+                service "recommendation" baseline "1.0.0" candidate "1.1.0"
+                phase "canary" canary 10% for 5m {
+                  check error_rate < 0.05 over 1m every 30s
+                  on success rollback
+                  on failure rollback
+                }
+            }"#,
+        )
+        .unwrap();
+        let issues = verify(&app, &[strategy]);
+        assert!(issues.iter().any(|i| matches!(i, VerificationIssue::NoCompletionPath { .. })));
+    }
+
+    #[test]
+    fn unreachable_phase_and_missing_checks_warn() {
+        let app = app_with_candidates();
+        let strategy = dsl::parse(
+            r#"strategy "warny" {
+                service "recommendation" baseline "1.0.0" candidate "1.1.0"
+                phase "canary" canary 10% for 5m {
+                  on success complete
+                  on failure rollback
+                }
+                phase "dead" dark_launch for 5m {
+                  check error_rate < 0.1 over 1m every 30s
+                  on success complete
+                  on failure rollback
+                }
+            }"#,
+        )
+        .unwrap();
+        let issues = verify(&app, &[strategy]);
+        assert!(issues.iter().any(|i| matches!(i, VerificationIssue::UnreachablePhase { .. })));
+        assert!(issues.iter().any(|i| matches!(i, VerificationIssue::PhaseWithoutChecks { .. })));
+        // Warnings only: still launchable.
+        assert!(is_launchable(&issues));
+    }
+
+    #[test]
+    fn dark_launch_fanout_detected() {
+        let mut b = Application::builder();
+        b.version(
+            VersionSpec::new("svc", "1.0.0")
+                .endpoint(EndpointDef::new("api", LatencyModel::default())),
+        );
+        b.version(
+            VersionSpec::new("svc", "2.0.0").endpoint(
+                EndpointDef::new("api", LatencyModel::default())
+                    .call(CallDef::always("db", "q"))
+                    .call(CallDef::always("db", "q2")),
+            ),
+        );
+        b.version(
+            VersionSpec::new("db", "1.0.0")
+                .endpoint(EndpointDef::new("q", LatencyModel::default()))
+                .endpoint(EndpointDef::new("q2", LatencyModel::default())),
+        );
+        let app = b.build().unwrap();
+        let strategy = dsl::parse(
+            r#"strategy "darky" {
+                service "svc" baseline "1.0.0" candidate "2.0.0"
+                phase "dark" dark_launch for 5m {
+                  check error_rate < 0.1 over 1m every 30s
+                  on success complete
+                  on failure rollback
+                }
+            }"#,
+        )
+        .unwrap();
+        let issues = verify(&app, &[strategy]);
+        let fanout = issues
+            .iter()
+            .find(|i| matches!(i, VerificationIssue::DarkLaunchFanout { .. }))
+            .expect("fan-out warning");
+        assert_eq!(fanout.severity(), Severity::Warning);
+        assert!(fanout.to_string().contains("load amplification"));
+    }
+
+    #[test]
+    fn issues_render() {
+        let app = topologies::case_study_app();
+        for issue in verify(&app, &[simple("x", "recommendation", "9.9.9")]) {
+            assert!(!issue.to_string().is_empty());
+        }
+    }
+}

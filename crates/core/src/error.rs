@@ -1,0 +1,85 @@
+//! Error types shared across the framework crates.
+
+use std::fmt;
+
+/// Errors produced by the core domain model.
+///
+/// Downstream crates define their own error types and convert from
+/// [`CoreError`] where they surface core validation failures.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// A value was outside its permitted domain (e.g. a fraction not in
+    /// `0.0..=1.0`).
+    OutOfRange {
+        /// Name of the offending parameter.
+        what: &'static str,
+        /// Human-readable description of the permitted domain.
+        expected: &'static str,
+        /// The offending value rendered as text.
+        got: String,
+    },
+    /// A referenced entity (user group, metric, experiment) does not exist.
+    NotFound {
+        /// Entity category, e.g. `"user group"`.
+        what: &'static str,
+        /// The identifier that failed to resolve.
+        name: String,
+    },
+    /// An entity was defined twice where uniqueness is required.
+    Duplicate {
+        /// Entity category.
+        what: &'static str,
+        /// The duplicated identifier.
+        name: String,
+    },
+    /// A structural invariant was violated.
+    Invalid {
+        /// Description of the violated invariant.
+        reason: String,
+    },
+}
+
+impl CoreError {
+    /// Convenience constructor for [`CoreError::Invalid`].
+    pub fn invalid(reason: impl Into<String>) -> Self {
+        CoreError::Invalid { reason: reason.into() }
+    }
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::OutOfRange { what, expected, got } => {
+                write!(f, "{what} out of range: expected {expected}, got {got}")
+            }
+            CoreError::NotFound { what, name } => write!(f, "{what} not found: {name}"),
+            CoreError::Duplicate { what, name } => write!(f, "duplicate {what}: {name}"),
+            CoreError::Invalid { reason } => write!(f, "invalid input: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_concise() {
+        let e = CoreError::OutOfRange { what: "fraction", expected: "0.0..=1.0", got: "1.5".into() };
+        assert_eq!(e.to_string(), "fraction out of range: expected 0.0..=1.0, got 1.5");
+        let e = CoreError::NotFound { what: "user group", name: "eu".into() };
+        assert_eq!(e.to_string(), "user group not found: eu");
+        let e = CoreError::Duplicate { what: "experiment", name: "x".into() };
+        assert_eq!(e.to_string(), "duplicate experiment: x");
+        let e = CoreError::invalid("empty schedule");
+        assert_eq!(e.to_string(), "invalid input: empty schedule");
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CoreError>();
+    }
+}

@@ -1,0 +1,360 @@
+//! Experiments and the practice taxonomy from the empirical study.
+//!
+//! Chapter 2 classifies continuous experimentation into **regression-driven**
+//! experiments (quality assurance: canary releases, dark launches, gradual
+//! rollouts) and **business-driven** experiments (feature evaluation: A/B
+//! tests). Table 2.5 summarizes their differing goals, metrics, durations
+//! and scopes; this module encodes that taxonomy plus the experiment entity
+//! shared by the planning, execution, and analysis models.
+
+use crate::metrics::MetricKind;
+use crate::simtime::SimDuration;
+use crate::users::UserGroup;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Stable identifier for an experiment within one planning problem or
+/// execution engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ExperimentId(pub usize);
+
+impl fmt::Display for ExperimentId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+/// The two flavors of continuous experimentation (Section 2.6).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ExperimentKind {
+    /// Quality-assurance experiments that detect regressions (bugs,
+    /// performance, scalability) on production workloads. Short (minutes to
+    /// days), small scoped, technical metrics, often intuition-interpreted.
+    RegressionDriven,
+    /// Experiments that evaluate features from a business perspective.
+    /// Long (weeks), constant-size groups, business metrics, rigorous
+    /// hypothesis testing.
+    BusinessDriven,
+}
+
+impl ExperimentKind {
+    /// `true` for [`ExperimentKind::RegressionDriven`].
+    pub fn is_regression_driven(self) -> bool {
+        matches!(self, ExperimentKind::RegressionDriven)
+    }
+
+    /// `true` for [`ExperimentKind::BusinessDriven`].
+    pub fn is_business_driven(self) -> bool {
+        matches!(self, ExperimentKind::BusinessDriven)
+    }
+
+    /// The metrics typically collected for this flavor (Table 2.5).
+    pub fn typical_metrics(self) -> &'static [MetricKind] {
+        match self {
+            ExperimentKind::RegressionDriven => &[
+                MetricKind::ResponseTime,
+                MetricKind::ErrorRate,
+                MetricKind::Throughput,
+                MetricKind::CpuUtilization,
+            ],
+            ExperimentKind::BusinessDriven => {
+                &[MetricKind::ConversionRate, MetricKind::RevenuePerUser, MetricKind::ResponseTime]
+            }
+        }
+    }
+
+    /// A typical duration for this flavor (Table 2.5: minutes-to-days vs.
+    /// multiple weeks), used by generators as a central value.
+    pub fn typical_duration(self) -> SimDuration {
+        match self {
+            ExperimentKind::RegressionDriven => SimDuration::from_hours(24),
+            ExperimentKind::BusinessDriven => SimDuration::from_hours(4 * 7 * 24),
+        }
+    }
+}
+
+impl fmt::Display for ExperimentKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExperimentKind::RegressionDriven => f.write_str("regression-driven"),
+            ExperimentKind::BusinessDriven => f.write_str("business-driven"),
+        }
+    }
+}
+
+/// Concrete experimentation practices (Section 2.2.1, Figure 2.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Practice {
+    /// Release to a small subset of users while the rest stay on the stable
+    /// version.
+    CanaryRelease,
+    /// Deploy invisibly and mirror ("duplicate") production traffic to the
+    /// new version without exposing responses to users.
+    DarkLaunch,
+    /// Step-wise increase of the user share on the new version until full
+    /// rollout.
+    GradualRollout,
+    /// Run two or more variants in parallel and compare business metrics.
+    AbTest,
+}
+
+impl Practice {
+    /// The experiment flavor this practice is predominantly used for
+    /// (Table 2.5).
+    pub fn kind(self) -> ExperimentKind {
+        match self {
+            Practice::CanaryRelease | Practice::DarkLaunch | Practice::GradualRollout => {
+                ExperimentKind::RegressionDriven
+            }
+            Practice::AbTest => ExperimentKind::BusinessDriven,
+        }
+    }
+
+    /// Canonical lowercase name, also used by the Bifrost DSL.
+    pub fn name(self) -> &'static str {
+        match self {
+            Practice::CanaryRelease => "canary",
+            Practice::DarkLaunch => "dark_launch",
+            Practice::GradualRollout => "gradual_rollout",
+            Practice::AbTest => "ab_test",
+        }
+    }
+
+    /// Parses the canonical name produced by [`Practice::name`].
+    pub fn from_name(name: &str) -> Option<Self> {
+        Some(match name {
+            "canary" => Practice::CanaryRelease,
+            "dark_launch" => Practice::DarkLaunch,
+            "gradual_rollout" => Practice::GradualRollout,
+            "ab_test" => Practice::AbTest,
+            _ => return None,
+        })
+    }
+
+    /// All practices, for exhaustive sweeps.
+    pub fn all() -> [Practice; 4] {
+        [Practice::CanaryRelease, Practice::DarkLaunch, Practice::GradualRollout, Practice::AbTest]
+    }
+
+    /// `true` when the practice exposes experimental responses to real
+    /// users (everything except dark launches).
+    pub fn user_facing(self) -> bool {
+        !matches!(self, Practice::DarkLaunch)
+    }
+}
+
+impl fmt::Display for Practice {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// An experiment: one planned/running/finished application of a practice to
+/// a service change.
+///
+/// Construct with [`Experiment::builder`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Experiment {
+    name: String,
+    kind: ExperimentKind,
+    practice: Practice,
+    service: String,
+    required_sample_size: u64,
+    preferred_groups: Vec<UserGroup>,
+    metrics: Vec<MetricKind>,
+}
+
+impl Experiment {
+    /// Starts building an experiment with the given unique name.
+    pub fn builder(name: impl Into<String>) -> ExperimentBuilder {
+        ExperimentBuilder {
+            name: name.into(),
+            kind: ExperimentKind::RegressionDriven,
+            practice: Practice::CanaryRelease,
+            service: String::new(),
+            required_sample_size: 10_000,
+            preferred_groups: Vec::new(),
+            metrics: Vec::new(),
+        }
+    }
+
+    /// The experiment's unique name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Regression-driven or business-driven.
+    pub fn kind(&self) -> ExperimentKind {
+        self.kind
+    }
+
+    /// The practice used to run the experiment.
+    pub fn practice(&self) -> Practice {
+        self.practice
+    }
+
+    /// The service under experimentation.
+    pub fn service(&self) -> &str {
+        &self.service
+    }
+
+    /// Number of samples needed for statistically valid conclusions
+    /// (cf. Kohavi et al.; an input in Table 3.1).
+    pub fn required_sample_size(&self) -> u64 {
+        self.required_sample_size
+    }
+
+    /// Groups the experiment should preferably run on (may be empty).
+    pub fn preferred_groups(&self) -> &[UserGroup] {
+        &self.preferred_groups
+    }
+
+    /// Metrics collected during the experiment; falls back to the kind's
+    /// typical metrics when none were specified.
+    pub fn metrics(&self) -> Vec<MetricKind> {
+        if self.metrics.is_empty() {
+            self.kind.typical_metrics().to_vec()
+        } else {
+            self.metrics.clone()
+        }
+    }
+}
+
+impl fmt::Display for Experiment {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} [{} {} on {}]", self.name, self.kind, self.practice, self.service)
+    }
+}
+
+/// Builder for [`Experiment`] (non-consuming terminal method).
+#[derive(Debug, Clone)]
+pub struct ExperimentBuilder {
+    name: String,
+    kind: ExperimentKind,
+    practice: Practice,
+    service: String,
+    required_sample_size: u64,
+    preferred_groups: Vec<UserGroup>,
+    metrics: Vec<MetricKind>,
+}
+
+impl ExperimentBuilder {
+    /// Sets the experiment flavor.
+    pub fn kind(&mut self, kind: ExperimentKind) -> &mut Self {
+        self.kind = kind;
+        self
+    }
+
+    /// Sets the practice; also adopts the practice's flavor unless `kind`
+    /// is called afterwards.
+    pub fn practice(&mut self, practice: Practice) -> &mut Self {
+        self.practice = practice;
+        self.kind = practice.kind();
+        self
+    }
+
+    /// Sets the service under experimentation.
+    pub fn service(&mut self, service: impl Into<String>) -> &mut Self {
+        self.service = service.into();
+        self
+    }
+
+    /// Sets the required sample size.
+    pub fn required_sample_size(&mut self, n: u64) -> &mut Self {
+        self.required_sample_size = n;
+        self
+    }
+
+    /// Adds a preferred user group.
+    pub fn preferred_group(&mut self, group: UserGroup) -> &mut Self {
+        self.preferred_groups.push(group);
+        self
+    }
+
+    /// Adds a metric to collect.
+    pub fn metric(&mut self, metric: MetricKind) -> &mut Self {
+        self.metrics.push(metric);
+        self
+    }
+
+    /// Builds the experiment.
+    pub fn build(&self) -> Experiment {
+        Experiment {
+            name: self.name.clone(),
+            kind: self.kind,
+            practice: self.practice,
+            service: self.service.clone(),
+            required_sample_size: self.required_sample_size,
+            preferred_groups: self.preferred_groups.clone(),
+            metrics: self.metrics.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn practice_kinds_match_table_2_5() {
+        assert!(Practice::CanaryRelease.kind().is_regression_driven());
+        assert!(Practice::DarkLaunch.kind().is_regression_driven());
+        assert!(Practice::GradualRollout.kind().is_regression_driven());
+        assert!(Practice::AbTest.kind().is_business_driven());
+    }
+
+    #[test]
+    fn practice_names_roundtrip() {
+        for p in Practice::all() {
+            assert_eq!(Practice::from_name(p.name()), Some(p));
+        }
+        assert!(Practice::from_name("blue_green").is_none());
+    }
+
+    #[test]
+    fn dark_launch_is_not_user_facing() {
+        assert!(!Practice::DarkLaunch.user_facing());
+        assert!(Practice::CanaryRelease.user_facing());
+        assert!(Practice::AbTest.user_facing());
+    }
+
+    #[test]
+    fn typical_durations_follow_the_study() {
+        // Regression-driven: minutes to days; business-driven: weeks.
+        assert!(ExperimentKind::RegressionDriven.typical_duration()
+            < ExperimentKind::BusinessDriven.typical_duration());
+    }
+
+    #[test]
+    fn builder_sets_all_fields() {
+        let exp = Experiment::builder("ab-landing")
+            .practice(Practice::AbTest)
+            .service("frontend")
+            .required_sample_size(100_000)
+            .preferred_group(UserGroup::new("eu", 1_000))
+            .metric(MetricKind::ConversionRate)
+            .build();
+        assert_eq!(exp.name(), "ab-landing");
+        assert!(exp.kind().is_business_driven());
+        assert_eq!(exp.service(), "frontend");
+        assert_eq!(exp.required_sample_size(), 100_000);
+        assert_eq!(exp.preferred_groups().len(), 1);
+        assert_eq!(exp.metrics(), vec![MetricKind::ConversionRate]);
+        assert_eq!(exp.to_string(), "ab-landing [business-driven ab_test on frontend]");
+    }
+
+    #[test]
+    fn metrics_default_to_kind_typical() {
+        let exp = Experiment::builder("canary").practice(Practice::CanaryRelease).build();
+        assert_eq!(exp.metrics(), ExperimentKind::RegressionDriven.typical_metrics().to_vec());
+    }
+
+    #[test]
+    fn kind_after_practice_overrides() {
+        let exp = Experiment::builder("x")
+            .practice(Practice::CanaryRelease)
+            .kind(ExperimentKind::BusinessDriven)
+            .build();
+        assert!(exp.kind().is_business_driven());
+    }
+}

@@ -1,0 +1,66 @@
+//! # cex-core
+//!
+//! Shared domain model for the continuous-experimentation framework
+//! (Schermann, *Continuous Experimentation for Software Developers*,
+//! Middleware 2017 / University of Zurich dissertation 2019).
+//!
+//! The dissertation derives a conceptual framework with three models —
+//! a *planning* model (experiment scheduling, crate `fenrir`), an
+//! *execution* model (multi-phase live testing, crate `bifrost`) and an
+//! *analysis* model (topology-aware health assessment, crate `topology`).
+//! This crate holds the vocabulary those models share:
+//!
+//! - [`experiment`] — experiments, the regression-driven vs. business-driven
+//!   classification from the empirical study (Chapter 2), and the concrete
+//!   experimentation practices (canary release, dark launch, gradual rollout,
+//!   A/B test).
+//! - [`users`] — user groups and populations experiments are run on.
+//! - [`traffic`] — traffic profiles describing how many user interactions are
+//!   available per time slot (the scarce resource Fenrir schedules).
+//! - [`metrics`] — metric kinds, samples and streaming summary statistics used
+//!   by checks and health assessment.
+//! - [`simtime`] — virtual time used by the discrete-event substrate.
+//! - [`stats`] — two-sample hypothesis testing (Welch's t-test) powering
+//!   significance checks for business-driven experiments.
+//! - [`uncertainty`] — the scalar uncertainty notion used when classifying
+//!   changes (Section 1.2.4 of the dissertation).
+//! - [`rng`] — deterministic, seedable randomness helpers so every experiment
+//!   in this repository is reproducible.
+//!
+//! # Example
+//!
+//! ```
+//! use cex_core::experiment::{Experiment, ExperimentKind, Practice};
+//! use cex_core::users::UserGroup;
+//!
+//! let exp = Experiment::builder("recommendation-canary")
+//!     .kind(ExperimentKind::RegressionDriven)
+//!     .practice(Practice::CanaryRelease)
+//!     .service("recommendation")
+//!     .required_sample_size(50_000)
+//!     .preferred_group(UserGroup::new("eu-west", 120_000))
+//!     .build();
+//! assert_eq!(exp.name(), "recommendation-canary");
+//! assert!(exp.kind().is_regression_driven());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod error;
+pub mod experiment;
+pub mod metrics;
+pub mod rng;
+pub mod simtime;
+pub mod stats;
+pub mod traffic;
+pub mod uncertainty;
+pub mod users;
+
+pub use error::CoreError;
+pub use experiment::{Experiment, ExperimentId, ExperimentKind, Practice};
+pub use metrics::{MetricKind, Sample, Summary};
+pub use simtime::{SimDuration, SimTime};
+pub use traffic::TrafficProfile;
+pub use uncertainty::Uncertainty;
+pub use users::{Population, UserGroup};

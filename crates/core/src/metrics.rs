@@ -1,0 +1,369 @@
+//! Metrics: kinds, samples, and streaming summary statistics.
+//!
+//! The empirical study (Section 2.6) distinguishes *application and
+//! infrastructure metrics* (response time, error rate, CPU utilization)
+//! used by regression-driven experiments from *business metrics*
+//! (conversion rate, revenue) used by business-driven experiments.
+//! [`MetricKind`] encodes this taxonomy; [`OnlineStats`] and [`Summary`]
+//! provide the numerically stable aggregation Bifrost checks and the
+//! topology heuristics rely on.
+
+use crate::simtime::SimTime;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The metric taxonomy from the empirical study.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MetricKind {
+    /// End-to-end or per-hop response time in milliseconds.
+    ResponseTime,
+    /// Fraction of failed requests in `0.0..=1.0`.
+    ErrorRate,
+    /// Requests per second.
+    Throughput,
+    /// Simulated CPU utilization of a component in `0.0..=1.0`.
+    CpuUtilization,
+    /// Business conversion rate in `0.0..=1.0` (business-driven experiments).
+    ConversionRate,
+    /// Generic revenue-per-user business metric.
+    RevenuePerUser,
+}
+
+impl MetricKind {
+    /// `true` for application/infrastructure metrics used by
+    /// regression-driven experiments.
+    pub fn is_technical(self) -> bool {
+        matches!(
+            self,
+            MetricKind::ResponseTime
+                | MetricKind::ErrorRate
+                | MetricKind::Throughput
+                | MetricKind::CpuUtilization
+        )
+    }
+
+    /// `true` for business metrics used by business-driven experiments.
+    pub fn is_business(self) -> bool {
+        !self.is_technical()
+    }
+
+    /// `true` when smaller values are better (e.g. response time), which
+    /// determines the polarity of health checks.
+    pub fn lower_is_better(self) -> bool {
+        matches!(
+            self,
+            MetricKind::ResponseTime | MetricKind::ErrorRate | MetricKind::CpuUtilization
+        )
+    }
+
+    /// Canonical lowercase name, also used by the Bifrost DSL.
+    pub fn name(self) -> &'static str {
+        match self {
+            MetricKind::ResponseTime => "response_time",
+            MetricKind::ErrorRate => "error_rate",
+            MetricKind::Throughput => "throughput",
+            MetricKind::CpuUtilization => "cpu_utilization",
+            MetricKind::ConversionRate => "conversion_rate",
+            MetricKind::RevenuePerUser => "revenue_per_user",
+        }
+    }
+
+    /// Parses the canonical name produced by [`MetricKind::name`].
+    pub fn from_name(name: &str) -> Option<Self> {
+        Some(match name {
+            "response_time" => MetricKind::ResponseTime,
+            "error_rate" => MetricKind::ErrorRate,
+            "throughput" => MetricKind::Throughput,
+            "cpu_utilization" => MetricKind::CpuUtilization,
+            "conversion_rate" => MetricKind::ConversionRate,
+            "revenue_per_user" => MetricKind::RevenuePerUser,
+            _ => return None,
+        })
+    }
+
+    /// All metric kinds, for exhaustive sweeps in tests and benches.
+    pub fn all() -> [MetricKind; 6] {
+        [
+            MetricKind::ResponseTime,
+            MetricKind::ErrorRate,
+            MetricKind::Throughput,
+            MetricKind::CpuUtilization,
+            MetricKind::ConversionRate,
+            MetricKind::RevenuePerUser,
+        ]
+    }
+}
+
+impl fmt::Display for MetricKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One observation of a metric at a point in simulated time.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Sample {
+    /// When the observation was made.
+    pub time: SimTime,
+    /// The observed value, in the metric's natural unit.
+    pub value: f64,
+}
+
+impl Sample {
+    /// Creates a sample.
+    pub fn new(time: SimTime, value: f64) -> Self {
+        Sample { time, value }
+    }
+}
+
+/// Streaming mean/variance/extrema accumulator (Welford's algorithm).
+///
+/// Numerically stable for the long windows used by multi-week experiment
+/// evaluations, and mergeable so per-worker accumulators can be combined.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct OnlineStats {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl OnlineStats {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        OnlineStats { count: 0, mean: 0.0, m2: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, value: f64) {
+        self.count += 1;
+        let delta = value - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (value - self.mean);
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Merges another accumulator into this one (parallel Welford).
+    pub fn merge(&mut self, other: &OnlineStats) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = *other;
+            return;
+        }
+        let n1 = self.count as f64;
+        let n2 = other.count as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.count += other.count;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Arithmetic mean, or `None` before the first observation.
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.mean)
+    }
+
+    /// Sample variance (`n-1` denominator), or `None` with fewer than two
+    /// observations.
+    pub fn variance(&self) -> Option<f64> {
+        (self.count > 1).then(|| self.m2 / (self.count - 1) as f64)
+    }
+
+    /// Sample standard deviation.
+    pub fn std_dev(&self) -> Option<f64> {
+        self.variance().map(f64::sqrt)
+    }
+
+    /// Smallest observation.
+    pub fn min(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest observation.
+    pub fn max(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Finalizes into an owned [`Summary`].
+    pub fn summary(&self) -> Summary {
+        Summary {
+            count: self.count,
+            mean: self.mean().unwrap_or(0.0),
+            std_dev: self.std_dev().unwrap_or(0.0),
+            min: self.min().unwrap_or(0.0),
+            max: self.max().unwrap_or(0.0),
+        }
+    }
+}
+
+/// Finalized summary statistics of a sample set.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Summary {
+    /// Number of observations.
+    pub count: u64,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Sample standard deviation (`0.0` with fewer than two observations).
+    pub std_dev: f64,
+    /// Minimum observation (`0.0` when empty).
+    pub min: f64,
+    /// Maximum observation (`0.0` when empty).
+    pub max: f64,
+}
+
+impl Summary {
+    /// Summarizes a slice of raw values.
+    pub fn of(values: &[f64]) -> Summary {
+        let mut acc = OnlineStats::new();
+        for &v in values {
+            acc.push(v);
+        }
+        acc.summary()
+    }
+}
+
+impl fmt::Display for Summary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "n={} mean={:.3} sd={:.3} min={:.3} max={:.3}",
+            self.count, self.mean, self.std_dev, self.min, self.max
+        )
+    }
+}
+
+/// Returns the `q`-quantile (`0.0..=1.0`) of `values` using linear
+/// interpolation between order statistics, the same estimator the paper's
+/// monitoring stack (and `numpy`) uses.
+///
+/// Returns `None` when `values` is empty.
+///
+/// # Panics
+///
+/// Panics if `q` is outside `0.0..=1.0` or any value is NaN.
+pub fn quantile(values: &[f64], q: f64) -> Option<f64> {
+    assert!((0.0..=1.0).contains(&q), "quantile must be in 0.0..=1.0");
+    if values.is_empty() {
+        return None;
+    }
+    let mut sorted: Vec<f64> = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in quantile input"));
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    let frac = pos - lo as f64;
+    Some(sorted[lo] + (sorted[hi] - sorted[lo]) * frac)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn taxonomy_partitions_metrics() {
+        for kind in MetricKind::all() {
+            assert_ne!(kind.is_technical(), kind.is_business());
+            assert_eq!(MetricKind::from_name(kind.name()), Some(kind));
+        }
+        assert!(MetricKind::from_name("latency").is_none());
+    }
+
+    #[test]
+    fn polarity_is_sensible() {
+        assert!(MetricKind::ResponseTime.lower_is_better());
+        assert!(MetricKind::ErrorRate.lower_is_better());
+        assert!(!MetricKind::Throughput.lower_is_better());
+        assert!(!MetricKind::ConversionRate.lower_is_better());
+    }
+
+    #[test]
+    fn welford_matches_naive() {
+        let values = [4.0, 8.0, 15.0, 16.0, 23.0, 42.0];
+        let mut acc = OnlineStats::new();
+        for v in values {
+            acc.push(v);
+        }
+        let naive_mean: f64 = values.iter().sum::<f64>() / values.len() as f64;
+        let naive_var: f64 =
+            values.iter().map(|v| (v - naive_mean).powi(2)).sum::<f64>() / (values.len() - 1) as f64;
+        assert!((acc.mean().unwrap() - naive_mean).abs() < 1e-12);
+        assert!((acc.variance().unwrap() - naive_var).abs() < 1e-9);
+        assert_eq!(acc.min(), Some(4.0));
+        assert_eq!(acc.max(), Some(42.0));
+    }
+
+    #[test]
+    fn empty_stats_are_none() {
+        let acc = OnlineStats::new();
+        assert_eq!(acc.mean(), None);
+        assert_eq!(acc.variance(), None);
+        assert_eq!(acc.min(), None);
+        let s = acc.summary();
+        assert_eq!(s.count, 0);
+    }
+
+    #[test]
+    fn merge_equals_sequential() {
+        let all: Vec<f64> = (0..100).map(|i| (i as f64).sin() * 10.0).collect();
+        let mut seq = OnlineStats::new();
+        for &v in &all {
+            seq.push(v);
+        }
+        let mut a = OnlineStats::new();
+        let mut b = OnlineStats::new();
+        for &v in &all[..37] {
+            a.push(v);
+        }
+        for &v in &all[37..] {
+            b.push(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), seq.count());
+        assert!((a.mean().unwrap() - seq.mean().unwrap()).abs() < 1e-12);
+        assert!((a.variance().unwrap() - seq.variance().unwrap()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut a = OnlineStats::new();
+        a.push(1.0);
+        a.push(2.0);
+        let before = a;
+        a.merge(&OnlineStats::new());
+        assert_eq!(a, before);
+        let mut empty = OnlineStats::new();
+        empty.merge(&before);
+        assert_eq!(empty, before);
+    }
+
+    #[test]
+    fn quantiles_interpolate() {
+        let values = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(quantile(&values, 0.0), Some(1.0));
+        assert_eq!(quantile(&values, 1.0), Some(4.0));
+        assert_eq!(quantile(&values, 0.5), Some(2.5));
+        assert_eq!(quantile(&[], 0.5), None);
+    }
+
+    #[test]
+    fn summary_of_slice() {
+        let s = Summary::of(&[2.0, 4.0]);
+        assert_eq!(s.count, 2);
+        assert!((s.mean - 3.0).abs() < 1e-12);
+        assert_eq!(s.min, 2.0);
+        assert_eq!(s.max, 4.0);
+        assert!(s.to_string().starts_with("n=2"));
+    }
+}

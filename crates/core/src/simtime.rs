@@ -1,0 +1,234 @@
+//! Virtual time for the discrete-event substrate.
+//!
+//! All evaluations in this repository run against a simulated clock so that
+//! results are deterministic and independent of the host machine. Time is
+//! kept in integer **milliseconds** which is fine-grained enough for the
+//! response-time experiments of Chapter 4 and coarse enough to avoid
+//! floating-point drift over multi-week scheduling horizons (Chapter 3).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A point in simulated time, in milliseconds since the start of the run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct SimTime(u64);
+
+/// A span of simulated time, in milliseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct SimDuration(u64);
+
+impl SimTime {
+    /// The origin of simulated time.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// Creates a time stamp from raw milliseconds.
+    pub const fn from_millis(ms: u64) -> Self {
+        SimTime(ms)
+    }
+
+    /// Creates a time stamp from whole seconds.
+    pub const fn from_secs(s: u64) -> Self {
+        SimTime(s * 1_000)
+    }
+
+    /// Creates a time stamp from whole minutes.
+    pub const fn from_mins(m: u64) -> Self {
+        SimTime(m * 60_000)
+    }
+
+    /// Creates a time stamp from whole hours.
+    pub const fn from_hours(h: u64) -> Self {
+        SimTime(h * 3_600_000)
+    }
+
+    /// Milliseconds since the origin.
+    pub const fn as_millis(self) -> u64 {
+        self.0
+    }
+
+    /// Whole seconds since the origin (truncating).
+    pub const fn as_secs(self) -> u64 {
+        self.0 / 1_000
+    }
+
+    /// Seconds since the origin as a float, for plotting and summaries.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1_000.0
+    }
+
+    /// The duration elapsed since `earlier`, saturating at zero.
+    pub fn saturating_since(self, earlier: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(earlier.0))
+    }
+}
+
+impl SimDuration {
+    /// The empty duration.
+    pub const ZERO: SimDuration = SimDuration(0);
+
+    /// Creates a duration from raw milliseconds.
+    pub const fn from_millis(ms: u64) -> Self {
+        SimDuration(ms)
+    }
+
+    /// Creates a duration from whole seconds.
+    pub const fn from_secs(s: u64) -> Self {
+        SimDuration(s * 1_000)
+    }
+
+    /// Creates a duration from whole minutes.
+    pub const fn from_mins(m: u64) -> Self {
+        SimDuration(m * 60_000)
+    }
+
+    /// Creates a duration from whole hours.
+    pub const fn from_hours(h: u64) -> Self {
+        SimDuration(h * 3_600_000)
+    }
+
+    /// Milliseconds in this duration.
+    pub const fn as_millis(self) -> u64 {
+        self.0
+    }
+
+    /// Milliseconds as a float, the unit used by response-time metrics.
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64
+    }
+
+    /// Whole seconds (truncating).
+    pub const fn as_secs(self) -> u64 {
+        self.0 / 1_000
+    }
+
+    /// Returns `true` for the zero duration.
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Scales this duration by a non-negative factor, rounding to the
+    /// nearest millisecond.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is negative or not finite.
+    pub fn mul_f64(self, factor: f64) -> SimDuration {
+        assert!(factor.is_finite() && factor >= 0.0, "factor must be finite and non-negative");
+        SimDuration((self.0 as f64 * factor).round() as u64)
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimTime) -> SimDuration {
+        assert!(self.0 >= rhs.0, "time went backwards: {self:?} - {rhs:?}");
+        SimDuration(self.0 - rhs.0)
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for SimDuration {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for SimDuration {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t+{}ms", self.0)
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 3_600_000 && self.0 % 3_600_000 == 0 {
+            write!(f, "{}h", self.0 / 3_600_000)
+        } else if self.0 >= 1_000 && self.0 % 1_000 == 0 {
+            write!(f, "{}s", self.0 / 1_000)
+        } else {
+            write!(f, "{}ms", self.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_roundtrips() {
+        let t = SimTime::from_secs(10);
+        let d = SimDuration::from_millis(500);
+        assert_eq!((t + d).as_millis(), 10_500);
+        assert_eq!((t + d) - t, d);
+        assert_eq!(SimTime::ZERO.as_millis(), 0);
+    }
+
+    #[test]
+    fn saturating_since_never_underflows() {
+        let early = SimTime::from_millis(5);
+        let late = SimTime::from_millis(9);
+        assert_eq!(late.saturating_since(early).as_millis(), 4);
+        assert_eq!(early.saturating_since(late), SimDuration::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "time went backwards")]
+    fn subtraction_panics_on_backwards_time() {
+        let _ = SimTime::from_millis(1) - SimTime::from_millis(2);
+    }
+
+    #[test]
+    fn duration_constructors_agree() {
+        assert_eq!(SimDuration::from_hours(2), SimDuration::from_mins(120));
+        assert_eq!(SimDuration::from_mins(1), SimDuration::from_secs(60));
+        assert_eq!(SimDuration::from_secs(1), SimDuration::from_millis(1_000));
+    }
+
+    #[test]
+    fn mul_f64_rounds() {
+        assert_eq!(SimDuration::from_millis(10).mul_f64(0.25).as_millis(), 3);
+        assert_eq!(SimDuration::from_millis(10).mul_f64(0.0), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn display_picks_natural_unit() {
+        assert_eq!(SimDuration::from_hours(3).to_string(), "3h");
+        assert_eq!(SimDuration::from_secs(5).to_string(), "5s");
+        assert_eq!(SimDuration::from_millis(42).to_string(), "42ms");
+        assert_eq!(SimTime::from_millis(7).to_string(), "t+7ms");
+    }
+
+    #[test]
+    fn ordering_follows_millis() {
+        assert!(SimTime::from_millis(1) < SimTime::from_millis(2));
+        assert!(SimDuration::from_secs(1) > SimDuration::from_millis(999));
+    }
+}

@@ -1,0 +1,419 @@
+//! Two-sample hypothesis testing for experiment evaluation.
+//!
+//! Business-driven experiments are characterized by "rigorous hypothesis
+//! testing on selected metrics" (Table 2.5), and the dissertation's future
+//! work calls for "experiment verification based on statistical models"
+//! (Section 1.6.4). This module provides the statistics Bifrost's
+//! significance checks build on: **Welch's unequal-variance t-test** from
+//! summary statistics, with a self-contained Student-t CDF (regularized
+//! incomplete beta via Lentz's continued fraction — no external math
+//! dependency).
+
+use crate::metrics::Summary;
+use serde::{Deserialize, Serialize};
+
+/// Result of a two-sample test comparing a candidate against a baseline.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TwoSampleTest {
+    /// Welch's t statistic (positive when the candidate mean is larger).
+    pub t: f64,
+    /// Welch–Satterthwaite degrees of freedom.
+    pub df: f64,
+    /// One-sided p-value for "candidate mean > baseline mean".
+    pub p_greater: f64,
+    /// One-sided p-value for "candidate mean < baseline mean".
+    pub p_less: f64,
+}
+
+impl TwoSampleTest {
+    /// Two-sided p-value.
+    pub fn p_two_sided(&self) -> f64 {
+        2.0 * self.p_greater.min(self.p_less)
+    }
+
+    /// `true` when the candidate is significantly greater at level `alpha`.
+    pub fn significantly_greater(&self, alpha: f64) -> bool {
+        self.p_greater < alpha
+    }
+
+    /// `true` when the candidate is significantly smaller at level `alpha`.
+    pub fn significantly_less(&self, alpha: f64) -> bool {
+        self.p_less < alpha
+    }
+}
+
+/// Welch's t-test from summary statistics.
+///
+/// Returns `None` when either sample has fewer than two observations or
+/// both variances are zero (no information to test on).
+pub fn welch_test(candidate: &Summary, baseline: &Summary) -> Option<TwoSampleTest> {
+    if candidate.count < 2 || baseline.count < 2 {
+        return None;
+    }
+    let n1 = candidate.count as f64;
+    let n2 = baseline.count as f64;
+    let v1 = candidate.std_dev * candidate.std_dev;
+    let v2 = baseline.std_dev * baseline.std_dev;
+    let se2 = v1 / n1 + v2 / n2;
+    if se2 <= 0.0 {
+        // Identical constants on both sides: no evidence either way unless
+        // the means differ exactly, in which case the difference is certain.
+        return if candidate.mean == baseline.mean {
+            None
+        } else {
+            let greater = candidate.mean > baseline.mean;
+            Some(TwoSampleTest {
+                t: if greater { f64::INFINITY } else { f64::NEG_INFINITY },
+                df: n1 + n2 - 2.0,
+                p_greater: if greater { 0.0 } else { 1.0 },
+                p_less: if greater { 1.0 } else { 0.0 },
+            })
+        };
+    }
+    let t = (candidate.mean - baseline.mean) / se2.sqrt();
+    // Welch–Satterthwaite.
+    let df = se2 * se2
+        / ((v1 / n1) * (v1 / n1) / (n1 - 1.0) + (v2 / n2) * (v2 / n2) / (n2 - 1.0));
+    let cdf = student_t_cdf(t, df);
+    Some(TwoSampleTest { t, df, p_greater: 1.0 - cdf, p_less: cdf })
+}
+
+/// CDF of the Student-t distribution with `df` degrees of freedom.
+///
+/// Uses the identity `P(T ≤ t) = 1 − I_x(df/2, 1/2) / 2` for `t ≥ 0` with
+/// `x = df / (df + t²)`, where `I` is the regularized incomplete beta
+/// function.
+///
+/// # Panics
+///
+/// Panics when `df` is not positive.
+pub fn student_t_cdf(t: f64, df: f64) -> f64 {
+    assert!(df > 0.0, "degrees of freedom must be positive");
+    if t.is_infinite() {
+        return if t > 0.0 { 1.0 } else { 0.0 };
+    }
+    let x = df / (df + t * t);
+    let tail = 0.5 * reg_inc_beta(df / 2.0, 0.5, x);
+    if t >= 0.0 {
+        1.0 - tail
+    } else {
+        tail
+    }
+}
+
+/// Regularized incomplete beta function `I_x(a, b)` via the continued
+/// fraction of Lentz, with the symmetry transformation for convergence.
+///
+/// # Panics
+///
+/// Panics when `a` or `b` is not positive or `x` is outside `0.0..=1.0`.
+pub fn reg_inc_beta(a: f64, b: f64, x: f64) -> f64 {
+    assert!(a > 0.0 && b > 0.0, "beta parameters must be positive");
+    assert!((0.0..=1.0).contains(&x), "x must be in 0.0..=1.0");
+    if x == 0.0 {
+        return 0.0;
+    }
+    if x == 1.0 {
+        return 1.0;
+    }
+    // Front factor x^a (1-x)^b / (a B(a,b)).
+    let ln_front = a * x.ln() + b * (1.0 - x).ln() + ln_gamma(a + b)
+        - ln_gamma(a)
+        - ln_gamma(b);
+    let front = ln_front.exp();
+    // The front factor is symmetric under (a, b, x) → (b, a, 1−x), so the
+    // complementary branch reuses it directly.
+    if x < (a + 1.0) / (a + b + 2.0) {
+        front * beta_cf(a, b, x) / a
+    } else {
+        1.0 - front * beta_cf(b, a, 1.0 - x) / b
+    }
+}
+
+/// Continued fraction for the incomplete beta (Numerical Recipes betacf),
+/// evaluated with the modified Lentz method.
+fn beta_cf(a: f64, b: f64, x: f64) -> f64 {
+    const MAX_ITER: usize = 300;
+    const EPS: f64 = 3e-14;
+    const TINY: f64 = 1e-300;
+    let qab = a + b;
+    let qap = a + 1.0;
+    let qam = a - 1.0;
+    let mut c = 1.0;
+    let mut d = 1.0 - qab * x / qap;
+    if d.abs() < TINY {
+        d = TINY;
+    }
+    d = 1.0 / d;
+    let mut h = d;
+    for m in 1..=MAX_ITER {
+        let m = m as f64;
+        let m2 = 2.0 * m;
+        // Even step.
+        let aa = m * (b - m) * x / ((qam + m2) * (a + m2));
+        d = 1.0 + aa * d;
+        if d.abs() < TINY {
+            d = TINY;
+        }
+        c = 1.0 + aa / c;
+        if c.abs() < TINY {
+            c = TINY;
+        }
+        d = 1.0 / d;
+        h *= d * c;
+        // Odd step.
+        let aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2));
+        d = 1.0 + aa * d;
+        if d.abs() < TINY {
+            d = TINY;
+        }
+        c = 1.0 + aa / c;
+        if c.abs() < TINY {
+            c = TINY;
+        }
+        d = 1.0 / d;
+        let del = d * c;
+        h *= del;
+        if (del - 1.0).abs() < EPS {
+            break;
+        }
+    }
+    h
+}
+
+/// CDF of the chi-square distribution with `k` degrees of freedom:
+/// the regularized lower incomplete gamma `P(k/2, x/2)`.
+///
+/// # Panics
+///
+/// Panics when `k` is not positive or `x` is negative.
+pub fn chi_square_cdf(x: f64, k: f64) -> f64 {
+    assert!(k > 0.0, "degrees of freedom must be positive");
+    assert!(x >= 0.0, "chi-square values are non-negative");
+    reg_lower_gamma(k / 2.0, x / 2.0)
+}
+
+/// Regularized lower incomplete gamma function `P(s, x)`, via the series
+/// expansion for `x < s + 1` and the continued fraction otherwise
+/// (Numerical Recipes `gammp`).
+///
+/// # Panics
+///
+/// Panics when `s` is not positive or `x` is negative.
+pub fn reg_lower_gamma(s: f64, x: f64) -> f64 {
+    assert!(s > 0.0, "shape must be positive");
+    assert!(x >= 0.0, "x must be non-negative");
+    if x == 0.0 {
+        return 0.0;
+    }
+    if x < s + 1.0 {
+        // Series representation.
+        let mut term = 1.0 / s;
+        let mut sum = term;
+        let mut a = s;
+        for _ in 0..500 {
+            a += 1.0;
+            term *= x / a;
+            sum += term;
+            if term.abs() < sum.abs() * 1e-15 {
+                break;
+            }
+        }
+        (sum.ln() + s * x.ln() - x - ln_gamma(s)).exp()
+    } else {
+        // Continued fraction for Q(s, x), modified Lentz.
+        const TINY: f64 = 1e-300;
+        let mut b = x + 1.0 - s;
+        let mut c = 1.0 / TINY;
+        let mut d = 1.0 / b;
+        let mut h = d;
+        for i in 1..500 {
+            let an = -(i as f64) * (i as f64 - s);
+            b += 2.0;
+            d = an * d + b;
+            if d.abs() < TINY {
+                d = TINY;
+            }
+            c = b + an / c;
+            if c.abs() < TINY {
+                c = TINY;
+            }
+            d = 1.0 / d;
+            let del = d * c;
+            h *= del;
+            if (del - 1.0).abs() < 1e-15 {
+                break;
+            }
+        }
+        let q = (s * x.ln() - x - ln_gamma(s)).exp() * h;
+        1.0 - q
+    }
+}
+
+/// Natural log of the gamma function (Lanczos approximation, g = 7).
+pub fn ln_gamma(x: f64) -> f64 {
+    assert!(x > 0.0, "ln_gamma needs a positive argument");
+    const COEFFS: [f64; 9] = [
+        0.999_999_999_999_809_93,
+        676.520_368_121_885_1,
+        -1_259.139_216_722_402_8,
+        771.323_428_777_653_13,
+        -176.615_029_162_140_6,
+        12.507_343_278_686_905,
+        -0.138_571_095_265_720_12,
+        9.984_369_578_019_572e-6,
+        1.505_632_735_149_311_6e-7,
+    ];
+    if x < 0.5 {
+        // Reflection formula.
+        return std::f64::consts::PI.ln()
+            - (std::f64::consts::PI * x).sin().ln()
+            - ln_gamma(1.0 - x);
+    }
+    let x = x - 1.0;
+    let mut acc = COEFFS[0];
+    for (i, c) in COEFFS.iter().enumerate().skip(1) {
+        acc += c / (x + i as f64);
+    }
+    let t = x + 7.5;
+    0.5 * (2.0 * std::f64::consts::PI).ln() + (x + 0.5) * t.ln() - t + acc.ln()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ln_gamma_known_values() {
+        // Γ(1) = 1, Γ(2) = 1, Γ(5) = 24, Γ(0.5) = √π.
+        assert!(ln_gamma(1.0).abs() < 1e-10);
+        assert!(ln_gamma(2.0).abs() < 1e-10);
+        assert!((ln_gamma(5.0) - 24f64.ln()).abs() < 1e-10);
+        assert!((ln_gamma(0.5) - std::f64::consts::PI.sqrt().ln()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn incomplete_beta_boundaries_and_symmetry() {
+        assert_eq!(reg_inc_beta(2.0, 3.0, 0.0), 0.0);
+        assert_eq!(reg_inc_beta(2.0, 3.0, 1.0), 1.0);
+        // I_x(1,1) = x (uniform).
+        for x in [0.1, 0.37, 0.5, 0.92] {
+            assert!((reg_inc_beta(1.0, 1.0, x) - x).abs() < 1e-10, "x = {x}");
+        }
+        // Symmetry: I_x(a,b) = 1 - I_{1-x}(b,a).
+        for (a, b, x) in [(2.0, 5.0, 0.3), (0.5, 0.5, 0.7), (4.0, 1.5, 0.12)] {
+            let lhs = reg_inc_beta(a, b, x);
+            let rhs = 1.0 - reg_inc_beta(b, a, 1.0 - x);
+            assert!((lhs - rhs).abs() < 1e-9, "a={a} b={b} x={x}: {lhs} vs {rhs}");
+        }
+    }
+
+    #[test]
+    fn t_cdf_reference_values() {
+        // Symmetric around zero.
+        assert!((student_t_cdf(0.0, 5.0) - 0.5).abs() < 1e-12);
+        // Large df approaches the standard normal: Φ(1.96) ≈ 0.975.
+        assert!((student_t_cdf(1.96, 10_000.0) - 0.975).abs() < 1e-3);
+        // t-table: P(T ≤ 2.228 | df = 10) = 0.975.
+        assert!((student_t_cdf(2.228, 10.0) - 0.975).abs() < 1e-3);
+        // P(T ≤ 1.812 | df = 10) = 0.95.
+        assert!((student_t_cdf(1.812, 10.0) - 0.95).abs() < 1e-3);
+        // Negative symmetry.
+        let df = 7.0;
+        for t in [0.3, 1.1, 2.7] {
+            let sum = student_t_cdf(t, df) + student_t_cdf(-t, df);
+            assert!((sum - 1.0).abs() < 1e-10);
+        }
+    }
+
+    fn summary(mean: f64, std_dev: f64, count: u64) -> Summary {
+        Summary { count, mean, std_dev, min: mean - std_dev, max: mean + std_dev }
+    }
+
+    #[test]
+    fn welch_detects_clear_differences() {
+        // Candidate conversion 3% vs baseline 2%, tight variances, n=1000.
+        let cand = summary(0.03, 0.17, 1_000);
+        let base = summary(0.02, 0.14, 1_000);
+        let test = welch_test(&cand, &base).unwrap();
+        assert!(test.t > 0.0);
+        assert!(test.significantly_greater(0.1), "p = {}", test.p_greater);
+        assert!(!test.significantly_less(0.1));
+    }
+
+    #[test]
+    fn welch_is_insensitive_to_noise_at_small_n() {
+        let cand = summary(0.03, 0.17, 5);
+        let base = summary(0.02, 0.14, 5);
+        let test = welch_test(&cand, &base).unwrap();
+        assert!(!test.significantly_greater(0.05), "p = {}", test.p_greater);
+    }
+
+    #[test]
+    fn welch_requires_two_observations_per_side() {
+        let tiny = summary(1.0, 0.5, 1);
+        let ok = summary(1.0, 0.5, 100);
+        assert!(welch_test(&tiny, &ok).is_none());
+        assert!(welch_test(&ok, &tiny).is_none());
+    }
+
+    #[test]
+    fn welch_degenerate_variance() {
+        // Zero variance, equal means: no information.
+        let a = summary(2.0, 0.0, 50);
+        assert!(welch_test(&a, &a).is_none());
+        // Zero variance, different means: certain difference.
+        let b = summary(3.0, 0.0, 50);
+        let test = welch_test(&b, &a).unwrap();
+        assert_eq!(test.p_greater, 0.0);
+        assert_eq!(test.p_less, 1.0);
+    }
+
+    #[test]
+    fn welch_matches_textbook_example() {
+        // Classic Welch example: A (n=6, mean 20.0, s=2.0),
+        // B (n=6, mean 23.0, s=2.0) → t ≈ −2.598, df = 10.
+        let a = summary(20.0, 2.0, 6);
+        let b = summary(23.0, 2.0, 6);
+        let test = welch_test(&a, &b).unwrap();
+        assert!((test.t - (-2.598)).abs() < 1e-2, "t = {}", test.t);
+        assert!((test.df - 10.0).abs() < 1e-6, "df = {}", test.df);
+        assert!(test.significantly_less(0.05));
+        assert!((test.p_two_sided() - 0.0266).abs() < 2e-3, "p2 = {}", test.p_two_sided());
+    }
+
+    #[test]
+    fn chi_square_reference_values() {
+        // Critical values at the 95th percentile.
+        assert!((chi_square_cdf(3.841, 1.0) - 0.95).abs() < 1e-3);
+        assert!((chi_square_cdf(5.991, 2.0) - 0.95).abs() < 1e-3);
+        assert!((chi_square_cdf(7.815, 3.0) - 0.95).abs() < 1e-3);
+        // Boundaries and monotonicity.
+        assert_eq!(chi_square_cdf(0.0, 4.0), 0.0);
+        assert!(chi_square_cdf(100.0, 4.0) > 0.999999);
+        let mut prev = 0.0;
+        for i in 1..50 {
+            let v = chi_square_cdf(i as f64 * 0.5, 5.0);
+            assert!(v >= prev);
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn lower_gamma_boundaries() {
+        assert_eq!(reg_lower_gamma(2.0, 0.0), 0.0);
+        // P(1, x) = 1 - e^-x (exponential CDF).
+        for x in [0.1f64, 1.0, 3.0, 10.0] {
+            let expected = 1.0 - (-x).exp();
+            assert!((reg_lower_gamma(1.0, x) - expected).abs() < 1e-10, "x={x}");
+        }
+    }
+
+    #[test]
+    fn p_values_are_complementary() {
+        let a = summary(10.0, 3.0, 40);
+        let b = summary(11.0, 3.0, 40);
+        let test = welch_test(&a, &b).unwrap();
+        assert!((test.p_greater + test.p_less - 1.0).abs() < 1e-12);
+    }
+}

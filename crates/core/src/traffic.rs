@@ -1,0 +1,235 @@
+//! Traffic profiles: the scarce resource experiment scheduling allocates.
+//!
+//! Fenrir (Chapter 3) schedules experiments against a forecast of how many
+//! user interactions are available per time slot and per user group
+//! (Figure 3.3 shows an example profile and its consumption). The paper
+//! used a real-world traffic profile; we generate synthetic profiles with
+//! the same qualitative shape — diurnal day/night swing, a weekday/weekend
+//! factor, and multiplicative noise — which is the substitution documented
+//! in `DESIGN.md`.
+
+use crate::error::CoreError;
+use crate::rng::SplitMix64;
+use crate::users::{GroupId, Population};
+use serde::{Deserialize, Serialize};
+
+/// Length of one scheduling slot in hours. Fenrir discretizes the horizon
+/// into hourly slots, fine-grained enough for the minutes-to-days durations
+/// of regression-driven experiments (Table 2.5).
+pub const SLOT_HOURS: u64 = 1;
+
+/// A forecast of available user interactions per slot and user group.
+///
+/// `requests[slot][group]` is the expected number of distinct user
+/// interactions usable as experiment samples in that hour.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrafficProfile {
+    horizon_slots: usize,
+    groups: usize,
+    /// Row-major: `slot * groups + group`.
+    requests: Vec<f64>,
+}
+
+impl TrafficProfile {
+    /// Creates a profile from a dense matrix.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Invalid`] when `requests.len()` is not
+    /// `horizon_slots * groups`, or any cell is negative/non-finite.
+    pub fn from_matrix(
+        horizon_slots: usize,
+        groups: usize,
+        requests: Vec<f64>,
+    ) -> Result<Self, CoreError> {
+        if requests.len() != horizon_slots * groups {
+            return Err(CoreError::invalid(format!(
+                "traffic matrix has {} cells, expected {}",
+                requests.len(),
+                horizon_slots * groups
+            )));
+        }
+        if requests.iter().any(|v| !v.is_finite() || *v < 0.0) {
+            return Err(CoreError::invalid("traffic cells must be finite and non-negative"));
+        }
+        Ok(TrafficProfile { horizon_slots, groups, requests })
+    }
+
+    /// Generates a realistic synthetic profile.
+    ///
+    /// The shape mirrors the web-application profile used in the paper's
+    /// evaluation: per-group base rate proportional to group size, a diurnal
+    /// sine with `day_night_swing` relative amplitude peaking mid-day, a
+    /// weekend damping factor, and multiplicative noise.
+    ///
+    /// * `base_rate_per_user_hour` — expected interactions per user per hour
+    ///   at the daily mean.
+    /// * `day_night_swing` — relative amplitude in `0.0..=1.0`; `0.6` means
+    ///   the peak hour carries 1.6× and the trough 0.4× the mean.
+    /// * `weekend_factor` — multiplier applied on Saturdays and Sundays.
+    /// * `noise` — relative standard deviation of multiplicative noise.
+    pub fn generate(params: &TrafficParams, population: &Population, seed: u64) -> Self {
+        let groups = population.len();
+        let mut requests = Vec::with_capacity(params.horizon_slots * groups);
+        let mut rng = SplitMix64::new(seed);
+        for slot in 0..params.horizon_slots {
+            let hour_of_day = (slot as u64 * SLOT_HOURS) % 24;
+            let day = (slot as u64 * SLOT_HOURS) / 24;
+            let weekday = day % 7; // day 0 is a Monday; 5, 6 are the weekend
+            // Peak at 14:00, trough at 02:00.
+            let phase = (hour_of_day as f64 - 14.0) / 24.0 * std::f64::consts::TAU;
+            let diurnal = 1.0 + params.day_night_swing * phase.cos();
+            let weekend = if weekday >= 5 { params.weekend_factor } else { 1.0 };
+            for (_, group) in population.iter() {
+                let base = group.size() as f64 * params.base_rate_per_user_hour;
+                // Box-Muller-free noise: mean-1 triangular-ish via two uniforms.
+                let n = 1.0 + params.noise * (rng.next_f64() + rng.next_f64() - 1.0);
+                let value = (base * diurnal * weekend * n).max(0.0);
+                requests.push(value);
+            }
+        }
+        TrafficProfile { horizon_slots: params.horizon_slots, groups, requests }
+    }
+
+    /// Number of slots in the planning horizon.
+    pub fn horizon_slots(&self) -> usize {
+        self.horizon_slots
+    }
+
+    /// Number of user groups.
+    pub fn groups(&self) -> usize {
+        self.groups
+    }
+
+    /// Available interactions in `slot` for `group`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `slot` or `group` is out of bounds.
+    pub fn available(&self, slot: usize, group: GroupId) -> f64 {
+        assert!(slot < self.horizon_slots, "slot {slot} out of horizon {}", self.horizon_slots);
+        assert!(group.0 < self.groups, "group {group} out of bounds");
+        self.requests[slot * self.groups + group.0]
+    }
+
+    /// Total interactions in `slot` across all groups.
+    pub fn total_in_slot(&self, slot: usize) -> f64 {
+        let start = slot * self.groups;
+        self.requests[start..start + self.groups].iter().sum()
+    }
+
+    /// Total interactions over the whole horizon.
+    pub fn total(&self) -> f64 {
+        self.requests.iter().sum()
+    }
+
+    /// Mean interactions per slot (all groups combined).
+    pub fn mean_per_slot(&self) -> f64 {
+        if self.horizon_slots == 0 {
+            0.0
+        } else {
+            self.total() / self.horizon_slots as f64
+        }
+    }
+}
+
+/// Parameters for [`TrafficProfile::generate`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrafficParams {
+    /// Number of hourly slots in the horizon (e.g. `4 * 7 * 24` for four weeks).
+    pub horizon_slots: usize,
+    /// Expected interactions per user per hour at the daily mean.
+    pub base_rate_per_user_hour: f64,
+    /// Relative diurnal amplitude in `0.0..=1.0`.
+    pub day_night_swing: f64,
+    /// Weekend multiplier (e.g. `0.7` for a B2C site with weekend dips).
+    pub weekend_factor: f64,
+    /// Relative multiplicative noise.
+    pub noise: f64,
+}
+
+impl Default for TrafficParams {
+    /// Four-week horizon with the qualitative shape of the paper's profile.
+    fn default() -> Self {
+        TrafficParams {
+            horizon_slots: 4 * 7 * 24,
+            base_rate_per_user_hour: 0.2,
+            day_night_swing: 0.6,
+            weekend_factor: 0.75,
+            noise: 0.08,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::users::UserGroup;
+
+    fn pop() -> Population {
+        Population::new(vec![UserGroup::new("eu", 10_000), UserGroup::new("us", 5_000)]).unwrap()
+    }
+
+    #[test]
+    fn from_matrix_validates_shape() {
+        assert!(TrafficProfile::from_matrix(2, 2, vec![1.0; 4]).is_ok());
+        assert!(TrafficProfile::from_matrix(2, 2, vec![1.0; 3]).is_err());
+        assert!(TrafficProfile::from_matrix(1, 1, vec![-1.0]).is_err());
+        assert!(TrafficProfile::from_matrix(1, 1, vec![f64::NAN]).is_err());
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let params = TrafficParams::default();
+        let a = TrafficProfile::generate(&params, &pop(), 7);
+        let b = TrafficProfile::generate(&params, &pop(), 7);
+        assert_eq!(a, b);
+        let c = TrafficProfile::generate(&params, &pop(), 8);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn diurnal_peak_exceeds_trough() {
+        let params = TrafficParams { noise: 0.0, ..TrafficParams::default() };
+        let profile = TrafficProfile::generate(&params, &pop(), 1);
+        // Slot 14 is 14:00 on Monday (peak), slot 2 is 02:00 (trough).
+        assert!(profile.total_in_slot(14) > 2.0 * profile.total_in_slot(2));
+    }
+
+    #[test]
+    fn weekend_is_damped() {
+        let params = TrafficParams { noise: 0.0, weekend_factor: 0.5, ..TrafficParams::default() };
+        let profile = TrafficProfile::generate(&params, &pop(), 1);
+        // Same hour of day: Monday 12:00 (slot 12) vs Saturday 12:00 (slot 5*24+12).
+        let monday = profile.total_in_slot(12);
+        let saturday = profile.total_in_slot(5 * 24 + 12);
+        assert!((saturday / monday - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn group_share_follows_population() {
+        let params = TrafficParams { noise: 0.0, ..TrafficParams::default() };
+        let p = pop();
+        let profile = TrafficProfile::generate(&params, &p, 1);
+        let eu = p.id_of("eu").unwrap();
+        let us = p.id_of("us").unwrap();
+        assert!((profile.available(0, eu) / profile.available(0, us) - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn totals_are_consistent() {
+        let profile = TrafficProfile::from_matrix(2, 2, vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        assert_eq!(profile.total_in_slot(0), 3.0);
+        assert_eq!(profile.total_in_slot(1), 7.0);
+        assert_eq!(profile.total(), 10.0);
+        assert_eq!(profile.mean_per_slot(), 5.0);
+        assert_eq!(profile.available(1, GroupId(0)), 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of horizon")]
+    fn available_panics_out_of_bounds() {
+        let profile = TrafficProfile::from_matrix(1, 1, vec![1.0]).unwrap();
+        profile.available(1, GroupId(0));
+    }
+}

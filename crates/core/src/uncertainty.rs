@@ -1,0 +1,159 @@
+//! The scalar uncertainty notion used throughout the framework.
+//!
+//! Uncertainty is a recurring theme of the dissertation (Section 1.5.1):
+//! Fenrir schedules under the uncertainty of canceled/adjusted experiments,
+//! and the health-assessment heuristics of Chapter 5 assign each
+//! topological change type a scalar quantifying how much uncertainty it
+//! introduces — "changing only the internals of a service's implementation
+//! […] introduces less uncertainty than deploying and consuming a
+//! completely new service" (Section 1.2.4).
+
+use crate::error::CoreError;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::Mul;
+
+/// A scalar in `0.0..=1.0` quantifying introduced uncertainty.
+///
+/// `0.0` means fully predictable (no change), `1.0` means maximal
+/// uncertainty (a brand-new, never-observed service).
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
+pub struct Uncertainty(f64);
+
+impl Uncertainty {
+    /// No uncertainty at all.
+    pub const NONE: Uncertainty = Uncertainty(0.0);
+    /// Maximal uncertainty.
+    pub const MAX: Uncertainty = Uncertainty(1.0);
+
+    /// Creates an uncertainty value.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::OutOfRange`] when `value` is outside
+    /// `0.0..=1.0` or not finite.
+    pub fn new(value: f64) -> Result<Self, CoreError> {
+        if !value.is_finite() || !(0.0..=1.0).contains(&value) {
+            return Err(CoreError::OutOfRange {
+                what: "uncertainty",
+                expected: "0.0..=1.0",
+                got: format!("{value}"),
+            });
+        }
+        Ok(Uncertainty(value))
+    }
+
+    /// Creates an uncertainty value, clamping into `0.0..=1.0`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` is NaN.
+    pub fn clamped(value: f64) -> Self {
+        assert!(!value.is_nan(), "uncertainty must not be NaN");
+        Uncertainty(value.clamp(0.0, 1.0))
+    }
+
+    /// The raw scalar.
+    pub fn value(self) -> f64 {
+        self.0
+    }
+
+    /// Combines two independent sources of uncertainty:
+    /// `1 - (1-a)(1-b)` — the probability that at least one source
+    /// misbehaves, assuming independence. Commutative, associative, with
+    /// [`Uncertainty::NONE`] as the identity.
+    pub fn combine(self, other: Uncertainty) -> Uncertainty {
+        Uncertainty(1.0 - (1.0 - self.0) * (1.0 - other.0))
+    }
+
+    /// Attenuates the uncertainty by a factor in `0.0..=1.0` (e.g. because
+    /// only part of the traffic can observe the change).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is outside `0.0..=1.0`.
+    pub fn attenuate(self, factor: f64) -> Uncertainty {
+        assert!(
+            factor.is_finite() && (0.0..=1.0).contains(&factor),
+            "attenuation factor must be in 0.0..=1.0"
+        );
+        Uncertainty(self.0 * factor)
+    }
+}
+
+impl Default for Uncertainty {
+    fn default() -> Self {
+        Uncertainty::NONE
+    }
+}
+
+impl Mul for Uncertainty {
+    type Output = Uncertainty;
+    /// Pointwise product: the uncertainty that *both* sources misbehave.
+    fn mul(self, rhs: Uncertainty) -> Uncertainty {
+        Uncertainty(self.0 * rhs.0)
+    }
+}
+
+impl fmt::Display for Uncertainty {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.2}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_validates_range() {
+        assert!(Uncertainty::new(0.5).is_ok());
+        assert!(Uncertainty::new(-0.1).is_err());
+        assert!(Uncertainty::new(1.1).is_err());
+        assert!(Uncertainty::new(f64::NAN).is_err());
+    }
+
+    #[test]
+    fn clamped_saturates() {
+        assert_eq!(Uncertainty::clamped(2.0), Uncertainty::MAX);
+        assert_eq!(Uncertainty::clamped(-1.0), Uncertainty::NONE);
+        assert_eq!(Uncertainty::clamped(0.3).value(), 0.3);
+    }
+
+    #[test]
+    fn combine_is_commutative_and_monotone() {
+        let a = Uncertainty::clamped(0.3);
+        let b = Uncertainty::clamped(0.5);
+        assert!((a.combine(b).value() - b.combine(a).value()).abs() < 1e-12);
+        assert!(a.combine(b) >= a);
+        assert!(a.combine(b) >= b);
+        assert!((a.combine(b).value() - 0.65).abs() < 1e-12);
+    }
+
+    #[test]
+    fn none_is_identity_for_combine() {
+        let a = Uncertainty::clamped(0.42);
+        assert!((a.combine(Uncertainty::NONE).value() - a.value()).abs() < 1e-12);
+        assert!((Uncertainty::NONE.combine(a).value() - a.value()).abs() < 1e-12);
+        assert_eq!(a.combine(Uncertainty::MAX), Uncertainty::MAX);
+    }
+
+    #[test]
+    fn attenuate_scales_down() {
+        let a = Uncertainty::clamped(0.8);
+        assert!((a.attenuate(0.5).value() - 0.4).abs() < 1e-12);
+        assert_eq!(a.attenuate(0.0), Uncertainty::NONE);
+        assert_eq!(a.attenuate(1.0), a);
+    }
+
+    #[test]
+    #[should_panic(expected = "attenuation factor")]
+    fn attenuate_rejects_bad_factor() {
+        Uncertainty::MAX.attenuate(1.5);
+    }
+
+    #[test]
+    fn display_two_decimals() {
+        assert_eq!(Uncertainty::clamped(0.456).to_string(), "0.46");
+    }
+}

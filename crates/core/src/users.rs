@@ -1,0 +1,201 @@
+//! User groups and populations.
+//!
+//! Experiments expose new functionality to a *fraction of the user base*
+//! (Section 2.2.1). Fenrir schedules experiments onto user groups (e.g.
+//! regions, device classes) and Bifrost's traffic routing assigns requests
+//! to experiment variants per group. A [`Population`] is the universe of
+//! groups available to one application.
+
+use crate::error::CoreError;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A named group of users that can be targeted by an experiment.
+///
+/// Groups are disjoint: a user belongs to exactly one group. The paper's
+/// motivating example targets experiments at regions and roles; group
+/// semantics beyond the name are opaque to the framework.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct UserGroup {
+    name: String,
+    size: u64,
+}
+
+impl UserGroup {
+    /// Creates a user group with `size` members.
+    pub fn new(name: impl Into<String>, size: u64) -> Self {
+        UserGroup { name: name.into(), size }
+    }
+
+    /// The group's unique name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of users in the group.
+    pub fn size(&self) -> u64 {
+        self.size
+    }
+}
+
+impl fmt::Display for UserGroup {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ({} users)", self.name, self.size)
+    }
+}
+
+/// Index of a user group within a [`Population`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct GroupId(pub usize);
+
+impl fmt::Display for GroupId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "g{}", self.0)
+    }
+}
+
+/// The universe of user groups for one application.
+///
+/// # Example
+///
+/// ```
+/// use cex_core::users::{Population, UserGroup};
+///
+/// let pop = Population::new(vec![
+///     UserGroup::new("eu", 60_000),
+///     UserGroup::new("us", 40_000),
+/// ]).unwrap();
+/// assert_eq!(pop.total_users(), 100_000);
+/// assert!((pop.fraction_of(pop.id_of("eu").unwrap()) - 0.6).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Population {
+    groups: Vec<UserGroup>,
+}
+
+impl Population {
+    /// Creates a population from disjoint groups.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Duplicate`] if two groups share a name and
+    /// [`CoreError::Invalid`] if `groups` is empty.
+    pub fn new(groups: Vec<UserGroup>) -> Result<Self, CoreError> {
+        if groups.is_empty() {
+            return Err(CoreError::invalid("population needs at least one user group"));
+        }
+        for (i, g) in groups.iter().enumerate() {
+            if groups[..i].iter().any(|h| h.name == g.name) {
+                return Err(CoreError::Duplicate { what: "user group", name: g.name.clone() });
+            }
+        }
+        Ok(Population { groups })
+    }
+
+    /// A single-group population, convenient for tests and small examples.
+    pub fn single(name: impl Into<String>, size: u64) -> Self {
+        Population { groups: vec![UserGroup::new(name, size)] }
+    }
+
+    /// All groups, in declaration order.
+    pub fn groups(&self) -> &[UserGroup] {
+        &self.groups
+    }
+
+    /// Number of groups.
+    pub fn len(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// `true` when there are no groups (never the case for a constructed
+    /// population; provided for API completeness).
+    pub fn is_empty(&self) -> bool {
+        self.groups.is_empty()
+    }
+
+    /// Looks up a group id by name.
+    pub fn id_of(&self, name: &str) -> Option<GroupId> {
+        self.groups.iter().position(|g| g.name == name).map(GroupId)
+    }
+
+    /// Returns the group for `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of bounds; ids only come from the same
+    /// population, so this indicates a logic error.
+    pub fn group(&self, id: GroupId) -> &UserGroup {
+        &self.groups[id.0]
+    }
+
+    /// Total users across all groups.
+    pub fn total_users(&self) -> u64 {
+        self.groups.iter().map(|g| g.size).sum()
+    }
+
+    /// The fraction of the whole population contained in `id`.
+    pub fn fraction_of(&self, id: GroupId) -> f64 {
+        let total = self.total_users();
+        if total == 0 {
+            0.0
+        } else {
+            self.group(id).size as f64 / total as f64
+        }
+    }
+
+    /// Iterates over `(GroupId, &UserGroup)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (GroupId, &UserGroup)> {
+        self.groups.iter().enumerate().map(|(i, g)| (GroupId(i), g))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pop3() -> Population {
+        Population::new(vec![
+            UserGroup::new("eu", 50),
+            UserGroup::new("us", 30),
+            UserGroup::new("apac", 20),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn rejects_empty_and_duplicates() {
+        assert!(Population::new(vec![]).is_err());
+        let err = Population::new(vec![UserGroup::new("a", 1), UserGroup::new("a", 2)]).unwrap_err();
+        assert!(matches!(err, CoreError::Duplicate { .. }));
+    }
+
+    #[test]
+    fn lookup_and_fractions() {
+        let pop = pop3();
+        assert_eq!(pop.total_users(), 100);
+        let us = pop.id_of("us").unwrap();
+        assert_eq!(pop.group(us).size(), 30);
+        assert!((pop.fraction_of(us) - 0.3).abs() < 1e-12);
+        assert!(pop.id_of("mars").is_none());
+    }
+
+    #[test]
+    fn fractions_sum_to_one() {
+        let pop = pop3();
+        let sum: f64 = pop.iter().map(|(id, _)| pop.fraction_of(id)).sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn iter_yields_declaration_order() {
+        let pop = pop3();
+        let names: Vec<&str> = pop.iter().map(|(_, g)| g.name()).collect();
+        assert_eq!(names, ["eu", "us", "apac"]);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(UserGroup::new("eu", 5).to_string(), "eu (5 users)");
+        assert_eq!(GroupId(2).to_string(), "g2");
+    }
+}

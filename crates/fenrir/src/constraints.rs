@@ -1,0 +1,319 @@
+//! Schedule validity: experiment and overarching constraints.
+//!
+//! Section 3.4.4 distinguishes **experiment constraints** (non-interrupted
+//! runs — structural in our representation; reaching the minimum sample
+//! size; duration/share/start bounds) from **overarching constraints**
+//! (never allocating more traffic than available; conflicting experiments
+//! never overlapping on shared users). A schedule is *valid* iff this
+//! module reports no violations.
+
+use crate::problem::Problem;
+use crate::schedule::Schedule;
+use cex_core::experiment::ExperimentId;
+use cex_core::users::GroupId;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One constraint violation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Violation {
+    /// The plan collects fewer samples than required.
+    SampleSizeNotMet {
+        /// Affected experiment.
+        experiment: ExperimentId,
+        /// Samples the plan collects.
+        collected: f64,
+        /// Samples required.
+        required: f64,
+    },
+    /// The plan runs past the planning horizon.
+    OutOfHorizon {
+        /// Affected experiment.
+        experiment: ExperimentId,
+    },
+    /// The plan starts before the experiment's earliest start.
+    StartsTooEarly {
+        /// Affected experiment.
+        experiment: ExperimentId,
+    },
+    /// Duration outside `[min, max]`.
+    DurationOutOfBounds {
+        /// Affected experiment.
+        experiment: ExperimentId,
+    },
+    /// Traffic share outside `[min, max]`.
+    ShareOutOfBounds {
+        /// Affected experiment.
+        experiment: ExperimentId,
+    },
+    /// No user groups assigned.
+    NoGroups {
+        /// Affected experiment.
+        experiment: ExperimentId,
+    },
+    /// A slot/group cell is oversubscribed (> 100% of its traffic).
+    CapacityExceeded {
+        /// Slot index.
+        slot: usize,
+        /// Oversubscribed group.
+        group: GroupId,
+        /// Total allocated share.
+        allocated: f64,
+    },
+    /// Two conflicting experiments overlap in time on a shared group.
+    ConflictOverlap {
+        /// First experiment.
+        a: ExperimentId,
+        /// Second experiment (`a < b`).
+        b: ExperimentId,
+    },
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Violation::SampleSizeNotMet { experiment, collected, required } => {
+                write!(f, "{experiment}: collects {collected:.0} of {required:.0} samples")
+            }
+            Violation::OutOfHorizon { experiment } => write!(f, "{experiment}: runs past horizon"),
+            Violation::StartsTooEarly { experiment } => {
+                write!(f, "{experiment}: starts before earliest allowed slot")
+            }
+            Violation::DurationOutOfBounds { experiment } => {
+                write!(f, "{experiment}: duration out of bounds")
+            }
+            Violation::ShareOutOfBounds { experiment } => {
+                write!(f, "{experiment}: traffic share out of bounds")
+            }
+            Violation::NoGroups { experiment } => write!(f, "{experiment}: no user groups"),
+            Violation::CapacityExceeded { slot, group, allocated } => {
+                write!(f, "slot {slot} group {group}: {:.0}% allocated", allocated * 100.0)
+            }
+            Violation::ConflictOverlap { a, b } => {
+                write!(f, "conflicting experiments {a} and {b} overlap")
+            }
+        }
+    }
+}
+
+/// Tolerance for floating-point share sums.
+const EPS: f64 = 1e-9;
+
+/// Checks all constraints of `schedule` against `problem`.
+///
+/// # Panics
+///
+/// Panics when the schedule does not cover exactly the problem's
+/// experiments (a harness bug, not a search outcome).
+pub fn check(problem: &Problem, schedule: &Schedule) -> Vec<Violation> {
+    assert_eq!(
+        schedule.len(),
+        problem.len(),
+        "schedule must cover exactly the problem's experiments"
+    );
+    let mut violations = Vec::new();
+    let horizon = problem.horizon();
+
+    for i in 0..problem.len() {
+        let id = ExperimentId(i);
+        let e = problem.experiment(id);
+        let plan = schedule.plan(id);
+
+        if plan.groups.is_empty() {
+            violations.push(Violation::NoGroups { experiment: id });
+        }
+        if plan.end_slot() > horizon {
+            violations.push(Violation::OutOfHorizon { experiment: id });
+        }
+        if plan.start_slot < e.earliest_start_slot {
+            violations.push(Violation::StartsTooEarly { experiment: id });
+        }
+        if plan.duration_slots < e.min_duration_slots || plan.duration_slots > e.max_duration_slots
+        {
+            violations.push(Violation::DurationOutOfBounds { experiment: id });
+        }
+        if plan.traffic_share < e.min_traffic_share - EPS
+            || plan.traffic_share > e.max_traffic_share + EPS
+        {
+            violations.push(Violation::ShareOutOfBounds { experiment: id });
+        }
+        let collected = schedule.samples_collected(problem, id);
+        if collected + EPS < e.required_sample_size {
+            violations.push(Violation::SampleSizeNotMet {
+                experiment: id,
+                collected,
+                required: e.required_sample_size,
+            });
+        }
+    }
+
+    // Conflicts: conflicting experiments must not overlap in time while
+    // sharing a user group.
+    for i in 0..problem.len() {
+        for j in (i + 1)..problem.len() {
+            let (a, b) = (ExperimentId(i), ExperimentId(j));
+            if !problem.conflicts(a, b) {
+                continue;
+            }
+            let (pa, pb) = (schedule.plan(a), schedule.plan(b));
+            if pa.overlaps_in_time(pb) && pa.shares_group_with(pb) {
+                violations.push(Violation::ConflictOverlap { a, b });
+            }
+        }
+    }
+
+    // Capacity: sweep only the slots where allocations change.
+    let mut boundaries: Vec<usize> = schedule
+        .plans()
+        .iter()
+        .flat_map(|p| [p.start_slot, p.end_slot()])
+        .filter(|s| *s < horizon)
+        .collect();
+    boundaries.sort_unstable();
+    boundaries.dedup();
+    for slot in boundaries {
+        for g in 0..problem.population().len() {
+            let group = GroupId(g);
+            let allocated = schedule.allocated_share(slot, group);
+            if allocated > 1.0 + EPS {
+                violations.push(Violation::CapacityExceeded { slot, group, allocated });
+            }
+        }
+    }
+    violations
+}
+
+/// `true` when the schedule satisfies every constraint.
+pub fn is_valid(problem: &Problem, schedule: &Schedule) -> bool {
+    check(problem, schedule).is_empty()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::ExperimentRequest;
+    use crate::schedule::Plan;
+    use cex_core::traffic::TrafficProfile;
+    use cex_core::users::{Population, UserGroup};
+
+    fn problem() -> Problem {
+        let pop = Population::new(vec![UserGroup::new("a", 100), UserGroup::new("b", 100)]).unwrap();
+        let traffic = TrafficProfile::from_matrix(10, 2, vec![100.0; 20]).unwrap();
+        let mut e0 = ExperimentRequest::new("e0", "svc", 50.0);
+        e0.min_duration_slots = 2;
+        e0.max_duration_slots = 6;
+        e0.earliest_start_slot = 1;
+        e0.min_traffic_share = 0.05;
+        e0.max_traffic_share = 0.5;
+        let mut e1 = ExperimentRequest::new("e1", "svc", 50.0);
+        e1.min_duration_slots = 2;
+        e1.max_duration_slots = 6;
+        e1.max_traffic_share = 0.5;
+        Problem::new(vec![e0, e1], pop, traffic).unwrap()
+    }
+
+    fn valid_schedule() -> Schedule {
+        Schedule::new(vec![
+            Plan::new(1, 4, 0.2, vec![GroupId(0)]),
+            // Conflicting (same service) but disjoint groups → allowed? No:
+            // they share no group so no skew. Keep disjoint in time anyway.
+            Plan::new(6, 4, 0.2, vec![GroupId(1)]),
+        ])
+    }
+
+    #[test]
+    fn valid_schedule_has_no_violations() {
+        let p = problem();
+        assert!(is_valid(&p, &valid_schedule()));
+    }
+
+    #[test]
+    fn each_violation_kind_fires() {
+        let p = problem();
+
+        // Sample size: tiny share.
+        let mut s = valid_schedule();
+        s.plan_mut(ExperimentId(0)).traffic_share = 0.05;
+        s.plan_mut(ExperimentId(0)).duration_slots = 2;
+        let v = check(&p, &s);
+        assert!(v.iter().any(|x| matches!(x, Violation::SampleSizeNotMet { .. })), "{v:?}");
+
+        // Out of horizon.
+        let mut s = valid_schedule();
+        s.plan_mut(ExperimentId(0)).start_slot = 8;
+        assert!(check(&p, &s).iter().any(|x| matches!(x, Violation::OutOfHorizon { .. })));
+
+        // Starts too early.
+        let mut s = valid_schedule();
+        s.plan_mut(ExperimentId(0)).start_slot = 0;
+        assert!(check(&p, &s).iter().any(|x| matches!(x, Violation::StartsTooEarly { .. })));
+
+        // Duration out of bounds.
+        let mut s = valid_schedule();
+        s.plan_mut(ExperimentId(0)).duration_slots = 1;
+        assert!(check(&p, &s).iter().any(|x| matches!(x, Violation::DurationOutOfBounds { .. })));
+
+        // Share out of bounds.
+        let mut s = valid_schedule();
+        s.plan_mut(ExperimentId(0)).traffic_share = 0.9;
+        assert!(check(&p, &s).iter().any(|x| matches!(x, Violation::ShareOutOfBounds { .. })));
+
+        // No groups.
+        let mut s = valid_schedule();
+        s.plan_mut(ExperimentId(0)).groups.clear();
+        assert!(check(&p, &s).iter().any(|x| matches!(x, Violation::NoGroups { .. })));
+    }
+
+    #[test]
+    fn conflict_requires_time_and_group_overlap() {
+        let p = problem();
+        // Overlap in time + same group → violation.
+        let s = Schedule::new(vec![
+            Plan::new(1, 4, 0.2, vec![GroupId(0)]),
+            Plan::new(2, 4, 0.2, vec![GroupId(0)]),
+        ]);
+        assert!(check(&p, &s).iter().any(|x| matches!(x, Violation::ConflictOverlap { .. })));
+
+        // Overlap in time, disjoint groups → fine.
+        let s = Schedule::new(vec![
+            Plan::new(1, 4, 0.3, vec![GroupId(0)]),
+            Plan::new(2, 4, 0.3, vec![GroupId(1)]),
+        ]);
+        assert!(!check(&p, &s).iter().any(|x| matches!(x, Violation::ConflictOverlap { .. })));
+    }
+
+    #[test]
+    fn capacity_detects_oversubscription() {
+        let pop = Population::new(vec![UserGroup::new("a", 100)]).unwrap();
+        let traffic = TrafficProfile::from_matrix(10, 1, vec![1_000.0; 10]).unwrap();
+        let mut e0 = ExperimentRequest::new("e0", "s0", 10.0);
+        e0.max_traffic_share = 0.8;
+        let mut e1 = ExperimentRequest::new("e1", "s1", 10.0);
+        e1.max_traffic_share = 0.8;
+        let p = Problem::new(vec![e0, e1], pop, traffic).unwrap();
+        let s = Schedule::new(vec![
+            Plan::new(0, 5, 0.7, vec![GroupId(0)]),
+            Plan::new(3, 5, 0.7, vec![GroupId(0)]),
+        ]);
+        let v = check(&p, &s);
+        assert!(v.iter().any(|x| matches!(x, Violation::CapacityExceeded { .. })), "{v:?}");
+    }
+
+    #[test]
+    fn violations_render() {
+        let p = problem();
+        let mut s = valid_schedule();
+        s.plan_mut(ExperimentId(0)).groups.clear();
+        for v in check(&p, &s) {
+            assert!(!v.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "must cover exactly")]
+    fn mismatched_schedule_panics() {
+        let p = problem();
+        let s = Schedule::new(vec![Plan::new(0, 1, 0.1, vec![GroupId(0)])]);
+        check(&p, &s);
+    }
+}

@@ -1,0 +1,161 @@
+//! Text Gantt rendering of schedules.
+//!
+//! The planning model's output is easiest to review as a timeline — which
+//! experiments run when, on which groups, and how tightly the horizon is
+//! packed. [`render`] produces a terminal-friendly Gantt chart; release
+//! engineers (and the `release_train` example) use it to eyeball a
+//! schedule before committing to it.
+
+use crate::problem::Problem;
+use crate::schedule::Schedule;
+use cex_core::experiment::ExperimentId;
+use std::fmt::Write as _;
+
+/// Options for [`render`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GanttOptions {
+    /// Width of the timeline in character columns.
+    pub width: usize,
+    /// Append per-experiment plan details after each bar.
+    pub details: bool,
+}
+
+impl Default for GanttOptions {
+    fn default() -> Self {
+        GanttOptions { width: 72, details: true }
+    }
+}
+
+/// Renders the schedule as a text Gantt chart, one row per experiment.
+///
+/// Bars are drawn with `█` over the experiment's active slots; the time
+/// axis is labelled in days (24 slots per day).
+///
+/// # Panics
+///
+/// Panics when the schedule does not cover the problem's experiments or
+/// `width` is zero.
+pub fn render(problem: &Problem, schedule: &Schedule, options: GanttOptions) -> String {
+    assert_eq!(schedule.len(), problem.len(), "schedule must cover the problem");
+    assert!(options.width > 0, "width must be positive");
+    let horizon = problem.horizon();
+    let slots_per_col = horizon.div_ceil(options.width.min(horizon));
+    // Recompute the column count so the last column never starts past the
+    // horizon when it does not divide evenly.
+    let cols = horizon.div_ceil(slots_per_col);
+
+    let name_width = problem
+        .experiments()
+        .iter()
+        .map(|e| e.name.len())
+        .max()
+        .unwrap_or(4)
+        .max("experiment".len());
+
+    let mut out = String::new();
+    // Day-scale axis: a tick every ~7 days keeps the header readable.
+    let _ = writeln!(
+        out,
+        "{:name_width$} | timeline ({} slots, {} slots/column)",
+        "experiment", horizon, slots_per_col
+    );
+    for i in 0..problem.len() {
+        let id = ExperimentId(i);
+        let e = problem.experiment(id);
+        let plan = schedule.plan(id);
+        let mut bar = String::with_capacity(cols);
+        for col in 0..cols {
+            let col_start = col * slots_per_col;
+            let col_end = (col_start + slots_per_col).min(horizon);
+            let active = plan.start_slot < col_end && col_start < plan.end_slot();
+            bar.push(if active { '█' } else { '·' });
+        }
+        let _ = write!(out, "{:name_width$} |{bar}|", e.name);
+        if options.details {
+            let _ = write!(out, " {plan}");
+        }
+        let _ = writeln!(out);
+    }
+    // Capacity footprint: how much of each column's traffic is consumed.
+    let consumption = schedule.consumption_per_slot(problem);
+    let mut load = String::with_capacity(cols);
+    for col in 0..cols {
+        let col_start = col * slots_per_col;
+        let col_end = (col_start + slots_per_col).min(horizon);
+        let used: f64 = consumption[col_start..col_end].iter().sum();
+        let available: f64 =
+            (col_start..col_end).map(|s| problem.traffic().total_in_slot(s)).sum();
+        let share = if available > 0.0 { used / available } else { 0.0 };
+        load.push(match (share * 10.0) as usize {
+            0 => '·',
+            1..=2 => '▁',
+            3..=4 => '▃',
+            5..=6 => '▅',
+            7..=8 => '▆',
+            _ => '█',
+        });
+    }
+    let _ = writeln!(out, "{:name_width$} |{load}| traffic consumed", "capacity");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ga::GeneticAlgorithm;
+    use crate::generator::{ProblemGenerator, SampleSizeTier};
+    use crate::runner::{Budget, Scheduler};
+
+    fn scheduled() -> (Problem, Schedule) {
+        let problem = ProblemGenerator::new(6, SampleSizeTier::Low).generate(8);
+        let result = GeneticAlgorithm::default().schedule(&problem, Budget::evaluations(2_000), 1);
+        (problem, result.best)
+    }
+
+    #[test]
+    fn gantt_has_one_row_per_experiment_plus_capacity() {
+        let (problem, schedule) = scheduled();
+        let text = render(&problem, &schedule, GanttOptions::default());
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), problem.len() + 2, "{text}");
+        assert!(lines[0].contains("timeline"));
+        assert!(lines.last().unwrap().contains("traffic consumed"));
+        for i in 0..problem.len() {
+            assert!(lines[i + 1].starts_with(&problem.experiment(ExperimentId(i)).name));
+            assert!(lines[i + 1].contains('█'), "every plan renders a bar");
+        }
+    }
+
+    #[test]
+    fn bar_position_matches_plan() {
+        let (problem, schedule) = scheduled();
+        let options = GanttOptions { width: problem.horizon(), details: false };
+        let text = render(&problem, &schedule, options);
+        let line = text.lines().nth(1).unwrap();
+        let bar: String = line.chars().skip_while(|c| *c != '|').skip(1).take_while(|c| *c != '|').collect();
+        let plan = schedule.plan(ExperimentId(0));
+        // With one slot per column, the bar aligns exactly.
+        for (slot, c) in bar.chars().enumerate() {
+            let active = slot >= plan.start_slot && slot < plan.end_slot();
+            assert_eq!(c == '█', active, "slot {slot}");
+        }
+    }
+
+    #[test]
+    fn details_flag_toggles_plan_text() {
+        let (problem, schedule) = scheduled();
+        let with = render(&problem, &schedule, GanttOptions { details: true, width: 40 });
+        let without = render(&problem, &schedule, GanttOptions { details: false, width: 40 });
+        assert!(with.contains("share"));
+        assert!(!without.contains("share"));
+    }
+
+    #[test]
+    #[should_panic(expected = "must cover")]
+    fn mismatched_schedule_panics() {
+        let (problem, _) = scheduled();
+        let other = ProblemGenerator::new(2, SampleSizeTier::Low).generate(1);
+        let bad = crate::greedy::greedy_schedule(&other);
+        render(&problem, &bad, GanttOptions::default());
+    }
+}

@@ -1,0 +1,340 @@
+//! The scheduling problem: experiments to place onto a traffic profile.
+//!
+//! [`ExperimentRequest`] carries the input data of Table 3.1: required
+//! sample size, duration bounds, earliest start, traffic-share bounds,
+//! preferred user groups, and conflicts. A [`Problem`] bundles the request
+//! list with the population and traffic forecast the schedule draws from.
+
+use cex_core::error::CoreError;
+use cex_core::experiment::ExperimentId;
+use cex_core::traffic::TrafficProfile;
+use cex_core::users::{GroupId, Population};
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+
+/// One experiment awaiting scheduling (the input row of Table 3.1).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExperimentRequest {
+    /// Unique experiment name.
+    pub name: String,
+    /// Service under experimentation. Two experiments on the same service
+    /// always conflict (they would skew each other's data).
+    pub service: String,
+    /// Samples needed for statistically valid conclusions.
+    pub required_sample_size: f64,
+    /// Minimum duration in slots (experiments must not be interrupted, so a
+    /// plan is always one contiguous run).
+    pub min_duration_slots: usize,
+    /// Maximum duration in slots.
+    pub max_duration_slots: usize,
+    /// Earliest slot the experiment may start (e.g. after its change passes
+    /// quality assurance).
+    pub earliest_start_slot: usize,
+    /// Smallest usable traffic share of the assigned groups per slot.
+    pub min_traffic_share: f64,
+    /// Largest allowed traffic share (risk cap, e.g. 25% of users).
+    pub max_traffic_share: f64,
+    /// Preferred user groups; empty means "no preference".
+    pub preferred_groups: Vec<GroupId>,
+    /// Experiments this one explicitly conflicts with, beyond the implicit
+    /// same-service conflicts.
+    pub conflicts_with: Vec<ExperimentId>,
+}
+
+impl ExperimentRequest {
+    /// Creates a request with permissive defaults: up to the full horizon,
+    /// 1%–25% traffic share, no preferences or explicit conflicts.
+    pub fn new(name: impl Into<String>, service: impl Into<String>, sample_size: f64) -> Self {
+        ExperimentRequest {
+            name: name.into(),
+            service: service.into(),
+            required_sample_size: sample_size,
+            min_duration_slots: 1,
+            max_duration_slots: usize::MAX,
+            earliest_start_slot: 0,
+            min_traffic_share: 0.01,
+            max_traffic_share: 0.25,
+            preferred_groups: Vec::new(),
+            conflicts_with: Vec::new(),
+        }
+    }
+}
+
+/// A complete scheduling problem.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Problem {
+    experiments: Vec<ExperimentRequest>,
+    population: Population,
+    traffic: TrafficProfile,
+    /// Precomputed conflict matrix (symmetric), indexed `[a][b]`.
+    conflict: Vec<Vec<bool>>,
+}
+
+impl Problem {
+    /// Assembles and validates a problem.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError`] when experiments are empty or malformed
+    /// (duplicate names, inverted duration bounds, shares outside
+    /// `0.0..=1.0`, preferred groups out of range, conflicts referencing
+    /// unknown experiments) or the traffic profile does not match the
+    /// population.
+    pub fn new(
+        experiments: Vec<ExperimentRequest>,
+        population: Population,
+        traffic: TrafficProfile,
+    ) -> Result<Self, CoreError> {
+        if experiments.is_empty() {
+            return Err(CoreError::invalid("a problem needs at least one experiment"));
+        }
+        if traffic.groups() != population.len() {
+            return Err(CoreError::invalid(format!(
+                "traffic profile has {} groups, population has {}",
+                traffic.groups(),
+                population.len()
+            )));
+        }
+        let mut names = HashSet::new();
+        for (i, e) in experiments.iter().enumerate() {
+            if !names.insert(e.name.clone()) {
+                return Err(CoreError::Duplicate { what: "experiment", name: e.name.clone() });
+            }
+            if e.min_duration_slots == 0 {
+                return Err(CoreError::invalid(format!("{}: min duration must be ≥ 1 slot", e.name)));
+            }
+            if e.min_duration_slots > e.max_duration_slots {
+                return Err(CoreError::invalid(format!("{}: min duration exceeds max", e.name)));
+            }
+            if !(0.0 < e.min_traffic_share && e.min_traffic_share <= e.max_traffic_share && e.max_traffic_share <= 1.0) {
+                return Err(CoreError::invalid(format!(
+                    "{}: traffic shares must satisfy 0 < min <= max <= 1",
+                    e.name
+                )));
+            }
+            if e.required_sample_size <= 0.0 {
+                return Err(CoreError::invalid(format!("{}: sample size must be positive", e.name)));
+            }
+            if e.earliest_start_slot >= traffic.horizon_slots() {
+                return Err(CoreError::invalid(format!(
+                    "{}: earliest start {} beyond horizon {}",
+                    e.name,
+                    e.earliest_start_slot,
+                    traffic.horizon_slots()
+                )));
+            }
+            for g in &e.preferred_groups {
+                if g.0 >= population.len() {
+                    return Err(CoreError::NotFound { what: "user group", name: format!("{g}") });
+                }
+            }
+            for c in &e.conflicts_with {
+                if c.0 >= experiments.len() {
+                    return Err(CoreError::NotFound { what: "experiment", name: format!("{c}") });
+                }
+                if c.0 == i {
+                    return Err(CoreError::invalid(format!("{}: conflicts with itself", e.name)));
+                }
+            }
+        }
+        let n = experiments.len();
+        let mut conflict = vec![vec![false; n]; n];
+        for i in 0..n {
+            for j in 0..n {
+                if i == j {
+                    continue;
+                }
+                let same_service = experiments[i].service == experiments[j].service;
+                let declared = experiments[i].conflicts_with.contains(&ExperimentId(j))
+                    || experiments[j].conflicts_with.contains(&ExperimentId(i));
+                if same_service || declared {
+                    conflict[i][j] = true;
+                }
+            }
+        }
+        Ok(Problem { experiments, population, traffic, conflict })
+    }
+
+    /// Number of experiments.
+    pub fn len(&self) -> usize {
+        self.experiments.len()
+    }
+
+    /// `true` when there are no experiments (never after construction).
+    pub fn is_empty(&self) -> bool {
+        self.experiments.is_empty()
+    }
+
+    /// The experiment requests, indexed by [`ExperimentId`].
+    pub fn experiments(&self) -> &[ExperimentRequest] {
+        &self.experiments
+    }
+
+    /// One request.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `id` is out of bounds.
+    pub fn experiment(&self, id: ExperimentId) -> &ExperimentRequest {
+        &self.experiments[id.0]
+    }
+
+    /// The user population.
+    pub fn population(&self) -> &Population {
+        &self.population
+    }
+
+    /// The traffic forecast.
+    pub fn traffic(&self) -> &TrafficProfile {
+        &self.traffic
+    }
+
+    /// Scheduling horizon in slots.
+    pub fn horizon(&self) -> usize {
+        self.traffic.horizon_slots()
+    }
+
+    /// Whether two experiments conflict (same service or declared).
+    pub fn conflicts(&self, a: ExperimentId, b: ExperimentId) -> bool {
+        self.conflict[a.0][b.0]
+    }
+
+    /// The effective maximum duration of an experiment, clipped to the
+    /// horizon.
+    pub fn max_duration(&self, id: ExperimentId) -> usize {
+        self.experiments[id.0].max_duration_slots.min(self.horizon())
+    }
+
+    /// Largest number of samples any single-slot-start plan could collect
+    /// for `id`: full horizon from the earliest start, max share, all
+    /// groups. Used to detect trivially infeasible requests.
+    pub fn best_case_samples(&self, id: ExperimentId) -> f64 {
+        let e = &self.experiments[id.0];
+        let end = self.horizon().min(e.earliest_start_slot + self.max_duration(id));
+        let mut total = 0.0;
+        for slot in e.earliest_start_slot..end {
+            total += self.traffic.total_in_slot(slot);
+        }
+        total * e.max_traffic_share
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cex_core::traffic::{TrafficParams, TrafficProfile};
+    use cex_core::users::UserGroup;
+
+    fn pop() -> Population {
+        Population::new(vec![UserGroup::new("eu", 8_000), UserGroup::new("us", 2_000)]).unwrap()
+    }
+
+    fn traffic(pop: &Population) -> TrafficProfile {
+        TrafficProfile::generate(
+            &TrafficParams { horizon_slots: 24 * 7, ..Default::default() },
+            pop,
+            1,
+        )
+    }
+
+    fn request(name: &str, service: &str) -> ExperimentRequest {
+        ExperimentRequest {
+            min_duration_slots: 4,
+            max_duration_slots: 48,
+            ..ExperimentRequest::new(name, service, 10_000.0)
+        }
+    }
+
+    #[test]
+    fn valid_problem_builds() {
+        let p = pop();
+        let problem = Problem::new(
+            vec![request("a", "svc1"), request("b", "svc2")],
+            p.clone(),
+            traffic(&p),
+        )
+        .unwrap();
+        assert_eq!(problem.len(), 2);
+        assert_eq!(problem.horizon(), 24 * 7);
+        assert!(!problem.conflicts(ExperimentId(0), ExperimentId(1)));
+    }
+
+    #[test]
+    fn same_service_conflicts_implicitly() {
+        let p = pop();
+        let problem =
+            Problem::new(vec![request("a", "svc"), request("b", "svc")], p.clone(), traffic(&p))
+                .unwrap();
+        assert!(problem.conflicts(ExperimentId(0), ExperimentId(1)));
+        assert!(problem.conflicts(ExperimentId(1), ExperimentId(0)));
+    }
+
+    #[test]
+    fn declared_conflicts_are_symmetric() {
+        let p = pop();
+        let mut a = request("a", "svc1");
+        a.conflicts_with.push(ExperimentId(1));
+        let problem = Problem::new(vec![a, request("b", "svc2")], p.clone(), traffic(&p)).unwrap();
+        assert!(problem.conflicts(ExperimentId(0), ExperimentId(1)));
+        assert!(problem.conflicts(ExperimentId(1), ExperimentId(0)));
+    }
+
+    #[test]
+    fn validation_rejects_malformed_requests() {
+        let p = pop();
+        let t = traffic(&p);
+        assert!(Problem::new(vec![], p.clone(), t.clone()).is_err());
+
+        let mut bad = request("a", "s");
+        bad.min_duration_slots = 10;
+        bad.max_duration_slots = 5;
+        assert!(Problem::new(vec![bad], p.clone(), t.clone()).is_err());
+
+        let mut bad = request("a", "s");
+        bad.min_traffic_share = 0.5;
+        bad.max_traffic_share = 0.2;
+        assert!(Problem::new(vec![bad], p.clone(), t.clone()).is_err());
+
+        let mut bad = request("a", "s");
+        bad.required_sample_size = 0.0;
+        assert!(Problem::new(vec![bad], p.clone(), t.clone()).is_err());
+
+        let mut bad = request("a", "s");
+        bad.earliest_start_slot = 10_000;
+        assert!(Problem::new(vec![bad], p.clone(), t.clone()).is_err());
+
+        let mut bad = request("a", "s");
+        bad.preferred_groups.push(GroupId(9));
+        assert!(Problem::new(vec![bad], p.clone(), t.clone()).is_err());
+
+        let mut bad = request("a", "s");
+        bad.conflicts_with.push(ExperimentId(0));
+        assert!(Problem::new(vec![bad], p.clone(), t.clone()).is_err());
+
+        assert!(Problem::new(
+            vec![request("a", "s"), request("a", "s2")],
+            p.clone(),
+            t.clone()
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn population_traffic_shape_must_match() {
+        let p = pop();
+        let t = traffic(&p);
+        let single = Population::single("all", 1_000);
+        assert!(Problem::new(vec![request("a", "s")], single, t).is_err());
+    }
+
+    #[test]
+    fn best_case_samples_bounds_feasibility() {
+        let p = pop();
+        let problem = Problem::new(vec![request("a", "s")], p.clone(), traffic(&p)).unwrap();
+        let best = problem.best_case_samples(ExperimentId(0));
+        assert!(best > 0.0);
+        // 48 slots × max 25% of total traffic is an upper bound.
+        let cap: f64 = (0..48).map(|s| problem.traffic().total_in_slot(s)).sum::<f64>() * 0.25;
+        assert!(best <= cap * 1.0001);
+    }
+}

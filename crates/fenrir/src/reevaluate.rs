@@ -1,0 +1,260 @@
+//! Reevaluating an existing schedule (Section 3.6.4).
+//!
+//! Experiments are uncertain: they get canceled frequently, are adjusted
+//! and restarted, and new experiments are added regularly (Section 1.2.2).
+//! Fenrir therefore supports re-scheduling mid-horizon: given the running
+//! schedule and the current slot, drop finished/canceled experiments, pin
+//! already-started ones, admit new requests, and seed the search with the
+//! adapted old schedule — which is why local search and simulated
+//! annealing close part of their fitness gap in this setting (they start
+//! from a highly optimized GA schedule).
+
+use crate::encoding;
+use crate::problem::{ExperimentRequest, Problem};
+use crate::schedule::Schedule;
+use cex_core::error::CoreError;
+use cex_core::experiment::ExperimentId;
+use cex_core::rng::SplitMix64;
+
+/// What changed since the schedule was produced.
+#[derive(Debug, Clone, Default)]
+pub struct ScheduleUpdate {
+    /// The current slot; everything before it already happened.
+    pub now_slot: usize,
+    /// Experiments that finished within the executed period.
+    pub finished: Vec<ExperimentId>,
+    /// Experiments that were canceled (their reserved traffic frees up).
+    pub canceled: Vec<ExperimentId>,
+    /// Newly added experiment requests.
+    pub added: Vec<ExperimentRequest>,
+}
+
+/// Outcome of [`reevaluate`]: the new problem, the seed schedule carrying
+/// over surviving plans, and the id mapping from old to new experiments.
+#[derive(Debug, Clone)]
+pub struct Reevaluation {
+    /// The reduced/extended problem to re-schedule.
+    pub problem: Problem,
+    /// Initial schedule seeding the search (old plans for survivors,
+    /// random repaired plans for additions).
+    pub seed_schedule: Schedule,
+    /// `mapping[old_id] = Some(new_id)` for surviving experiments.
+    pub mapping: Vec<Option<ExperimentId>>,
+}
+
+/// Builds the reevaluation problem.
+///
+/// Surviving experiments that already started keep their start slot pinned
+/// (`earliest_start = start_slot`, and the search is seeded with their
+/// current plan); not-yet-started experiments may not start before
+/// `now_slot`.
+///
+/// # Errors
+///
+/// Returns [`CoreError`] when ids are out of range, an experiment is both
+/// finished and canceled, or the resulting problem would be empty.
+pub fn reevaluate(
+    problem: &Problem,
+    schedule: &Schedule,
+    update: &ScheduleUpdate,
+    seed: u64,
+) -> Result<Reevaluation, CoreError> {
+    let n = problem.len();
+    for id in update.finished.iter().chain(&update.canceled) {
+        if id.0 >= n {
+            return Err(CoreError::NotFound { what: "experiment", name: format!("{id}") });
+        }
+    }
+    for id in &update.finished {
+        if update.canceled.contains(id) {
+            return Err(CoreError::invalid(format!("{id} is both finished and canceled")));
+        }
+    }
+    if update.now_slot >= problem.horizon() {
+        return Err(CoreError::invalid("reevaluation point is past the horizon"));
+    }
+
+    let removed: Vec<bool> = (0..n)
+        .map(|i| {
+            update.finished.contains(&ExperimentId(i)) || update.canceled.contains(&ExperimentId(i))
+        })
+        .collect();
+
+    // Old-id → new-id mapping for survivors.
+    let mut mapping: Vec<Option<ExperimentId>> = vec![None; n];
+    let mut next = 0usize;
+    for i in 0..n {
+        if !removed[i] {
+            mapping[i] = Some(ExperimentId(next));
+            next += 1;
+        }
+    }
+    let survivors = next;
+
+    let mut requests = Vec::with_capacity(survivors + update.added.len());
+    let mut seed_plans = Vec::with_capacity(survivors + update.added.len());
+    for i in 0..n {
+        if removed[i] {
+            continue;
+        }
+        let mut request = problem.experiment(ExperimentId(i)).clone();
+        let plan = schedule.plan(ExperimentId(i)).clone();
+        if plan.start_slot < update.now_slot {
+            // Already running: pin its start.
+            request.earliest_start_slot = plan.start_slot;
+        } else {
+            request.earliest_start_slot = request.earliest_start_slot.max(update.now_slot);
+        }
+        // Remap declared conflicts, dropping references to removed
+        // experiments.
+        request.conflicts_with =
+            request.conflicts_with.iter().filter_map(|c| mapping[c.0]).collect();
+        requests.push(request);
+        seed_plans.push(plan);
+    }
+
+    let mut rng = SplitMix64::new(seed);
+    for added in &update.added {
+        let mut request = added.clone();
+        request.earliest_start_slot = request.earliest_start_slot.max(update.now_slot);
+        // Added requests may not reference old ids; their conflicts are
+        // interpreted against the *new* problem and validated by
+        // `Problem::new`.
+        requests.push(request);
+        seed_plans.push(crate::schedule::Plan::new(0, 1, 0.1, vec![cex_core::users::GroupId(0)]));
+    }
+
+    let new_problem =
+        Problem::new(requests, problem.population().clone(), problem.traffic().clone())?;
+
+    // Give the additions sensible random plans and repair the whole seed.
+    let mut seed_schedule = Schedule::new(seed_plans);
+    for i in survivors..new_problem.len() {
+        *seed_schedule.plan_mut(ExperimentId(i)) =
+            encoding::random_plan(&new_problem, ExperimentId(i), &mut rng);
+    }
+    encoding::repair(&new_problem, &mut seed_schedule, &mut rng);
+
+    Ok(Reevaluation { problem: new_problem, seed_schedule, mapping })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ga::GeneticAlgorithm;
+    use crate::generator::{ProblemGenerator, SampleSizeTier};
+    use crate::runner::{Budget, Scheduler};
+
+    fn scheduled_instance() -> (Problem, Schedule) {
+        let problem = ProblemGenerator::new(8, SampleSizeTier::Low).generate(21);
+        let result = GeneticAlgorithm::default().schedule(&problem, Budget::evaluations(3_000), 1);
+        (problem, result.best)
+    }
+
+    #[test]
+    fn survivors_keep_plans_and_ids_remap() {
+        let (problem, schedule) = scheduled_instance();
+        let update = ScheduleUpdate {
+            now_slot: 100,
+            finished: vec![ExperimentId(0)],
+            canceled: vec![ExperimentId(3)],
+            added: vec![],
+        };
+        let re = reevaluate(&problem, &schedule, &update, 1).unwrap();
+        assert_eq!(re.problem.len(), 6);
+        assert_eq!(re.mapping[0], None);
+        assert_eq!(re.mapping[3], None);
+        assert_eq!(re.mapping[1], Some(ExperimentId(0)));
+        assert_eq!(re.mapping[2], Some(ExperimentId(1)));
+        // Surviving names carried over in order.
+        assert_eq!(re.problem.experiment(ExperimentId(0)).name, "exp01");
+    }
+
+    #[test]
+    fn running_experiments_are_pinned() {
+        let (problem, schedule) = scheduled_instance();
+        // Pick the experiment with the earliest start and reevaluate after
+        // it started.
+        let (idx, start) = (0..problem.len())
+            .map(|i| (i, schedule.plan(ExperimentId(i)).start_slot))
+            .min_by_key(|(_, s)| *s)
+            .unwrap();
+        let now = start + 1;
+        let update = ScheduleUpdate { now_slot: now, ..Default::default() };
+        let re = reevaluate(&problem, &schedule, &update, 2).unwrap();
+        let new_id = re.mapping[idx].unwrap();
+        assert_eq!(re.problem.experiment(new_id).earliest_start_slot, start);
+        // Not-yet-started experiments cannot start in the past.
+        for i in 0..problem.len() {
+            if schedule.plan(ExperimentId(i)).start_slot >= now {
+                let nid = re.mapping[i].unwrap();
+                assert!(re.problem.experiment(nid).earliest_start_slot >= now);
+            }
+        }
+    }
+
+    #[test]
+    fn additions_are_appended_and_schedulable() {
+        let (problem, schedule) = scheduled_instance();
+        let mut added = ExperimentRequest::new("fresh", "svc-new", 8_000.0);
+        added.min_duration_slots = 6;
+        added.max_duration_slots = 100;
+        let update = ScheduleUpdate { now_slot: 50, added: vec![added], ..Default::default() };
+        let re = reevaluate(&problem, &schedule, &update, 3).unwrap();
+        assert_eq!(re.problem.len(), 9);
+        let fresh = ExperimentId(8);
+        assert_eq!(re.problem.experiment(fresh).name, "fresh");
+        assert!(re.problem.experiment(fresh).earliest_start_slot >= 50);
+        // The seeded schedule covers the addition with a structurally sane plan.
+        assert!(re.seed_schedule.plan(fresh).end_slot() <= re.problem.horizon());
+        assert!(!re.seed_schedule.plan(fresh).groups.is_empty());
+    }
+
+    #[test]
+    fn reseeded_search_benefits_from_the_old_schedule() {
+        let (problem, schedule) = scheduled_instance();
+        let update = ScheduleUpdate {
+            now_slot: 80,
+            canceled: vec![ExperimentId(2)],
+            ..Default::default()
+        };
+        let re = reevaluate(&problem, &schedule, &update, 4).unwrap();
+        let ga = GeneticAlgorithm::default();
+        let cold = ga.schedule(&re.problem, Budget::evaluations(300), 5);
+        let warm = ga.schedule_from(
+            &re.problem,
+            Budget::evaluations(300),
+            5,
+            Some(re.seed_schedule.clone()),
+        );
+        // At a tiny budget the warm start should not be worse.
+        assert!(
+            warm.best_report.score() >= cold.best_report.score() - 0.05,
+            "warm {:?} vs cold {:?}",
+            warm.best_report,
+            cold.best_report
+        );
+    }
+
+    #[test]
+    fn validation_errors() {
+        let (problem, schedule) = scheduled_instance();
+        let bad = ScheduleUpdate {
+            now_slot: 10,
+            finished: vec![ExperimentId(99)],
+            ..Default::default()
+        };
+        assert!(reevaluate(&problem, &schedule, &bad, 1).is_err());
+
+        let bad = ScheduleUpdate {
+            now_slot: 10,
+            finished: vec![ExperimentId(1)],
+            canceled: vec![ExperimentId(1)],
+            ..Default::default()
+        };
+        assert!(reevaluate(&problem, &schedule, &bad, 1).is_err());
+
+        let bad = ScheduleUpdate { now_slot: 10_000, ..Default::default() };
+        assert!(reevaluate(&problem, &schedule, &bad, 1).is_err());
+    }
+}

@@ -1,0 +1,182 @@
+//! The algorithm harness: common trait, evaluation budgets, results.
+//!
+//! The paper compares its genetic algorithm against random sampling, local
+//! search, and simulated annealing on (1) fitness at a fixed search effort
+//! and (2) execution time (Sections 3.6.2–3.6.4). To make those
+//! comparisons honest all algorithms run through this harness: the
+//! [`Evaluator`] counts every fitness evaluation against a shared
+//! [`Budget`], records the best-so-far trajectory, and measures wall time.
+
+use crate::fitness::{self, FitnessReport, Weights};
+use crate::problem::Problem;
+use crate::schedule::Schedule;
+use serde::{Deserialize, Serialize};
+use std::time::{Duration, Instant};
+
+/// Search budget, expressed in fitness evaluations (the dominant cost).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Budget {
+    /// Maximum number of schedule evaluations.
+    pub max_evaluations: u64,
+}
+
+impl Budget {
+    /// A budget of `n` evaluations.
+    pub fn evaluations(n: u64) -> Self {
+        Budget { max_evaluations: n }
+    }
+}
+
+/// Outcome of one search run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SearchResult {
+    /// The best schedule found.
+    pub best: Schedule,
+    /// Its fitness report.
+    pub best_report: FitnessReport,
+    /// Evaluations actually spent.
+    pub evaluations: u64,
+    /// Wall-clock time of the search.
+    pub wall: Duration,
+    /// Best-so-far trajectory: `(evaluations, score)` at each improvement.
+    pub history: Vec<(u64, f64)>,
+}
+
+/// A scheduling algorithm.
+pub trait Scheduler {
+    /// Short identifier, e.g. `"GA"`.
+    fn name(&self) -> &'static str;
+
+    /// Runs the search from scratch.
+    fn schedule(&self, problem: &Problem, budget: Budget, seed: u64) -> SearchResult {
+        self.schedule_from(problem, budget, seed, None)
+    }
+
+    /// Runs the search seeded with an initial schedule (used when
+    /// reevaluating an existing schedule, Section 3.6.4).
+    fn schedule_from(
+        &self,
+        problem: &Problem,
+        budget: Budget,
+        seed: u64,
+        initial: Option<Schedule>,
+    ) -> SearchResult;
+}
+
+/// Budgeted fitness evaluator shared by all algorithms.
+#[derive(Debug)]
+pub struct Evaluator<'a> {
+    problem: &'a Problem,
+    weights: Weights,
+    budget: Budget,
+    evaluations: u64,
+    best: Option<(Schedule, FitnessReport)>,
+    history: Vec<(u64, f64)>,
+    started: Instant,
+}
+
+impl<'a> Evaluator<'a> {
+    /// Creates an evaluator with default objective weights.
+    pub fn new(problem: &'a Problem, budget: Budget) -> Self {
+        Evaluator {
+            problem,
+            weights: Weights::default(),
+            budget,
+            evaluations: 0,
+            best: None,
+            history: Vec::new(),
+            started: Instant::now(),
+        }
+    }
+
+    /// The problem under evaluation.
+    pub fn problem(&self) -> &Problem {
+        self.problem
+    }
+
+    /// `true` while evaluations remain in the budget.
+    pub fn has_budget(&self) -> bool {
+        self.evaluations < self.budget.max_evaluations
+    }
+
+    /// Evaluations spent so far.
+    pub fn evaluations(&self) -> u64 {
+        self.evaluations
+    }
+
+    /// Evaluates a schedule, consuming one budget unit and tracking the
+    /// best-so-far.
+    pub fn eval(&mut self, schedule: &Schedule) -> FitnessReport {
+        self.evaluations += 1;
+        let report = fitness::evaluate(self.problem, schedule, &self.weights);
+        let score = report.score();
+        let improved = self.best.as_ref().map(|(_, b)| score > b.score()).unwrap_or(true);
+        if improved {
+            self.best = Some((schedule.clone(), report));
+            self.history.push((self.evaluations, score));
+        }
+        report
+    }
+
+    /// Finalizes into a [`SearchResult`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when nothing was evaluated — every algorithm evaluates at
+    /// least its initial candidate.
+    pub fn finish(self) -> SearchResult {
+        let (best, best_report) = self.best.expect("search evaluated at least one schedule");
+        SearchResult {
+            best,
+            best_report,
+            evaluations: self.evaluations,
+            wall: self.started.elapsed(),
+            history: self.history,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encoding;
+    use crate::problem::ExperimentRequest;
+    use cex_core::rng::SplitMix64;
+    use cex_core::traffic::TrafficProfile;
+    use cex_core::users::{Population, UserGroup};
+
+    fn tiny_problem() -> Problem {
+        let pop = Population::new(vec![UserGroup::new("g", 1_000)]).unwrap();
+        let traffic = TrafficProfile::from_matrix(20, 1, vec![100.0; 20]).unwrap();
+        Problem::new(vec![ExperimentRequest::new("e", "s", 50.0)], pop, traffic).unwrap()
+    }
+
+    #[test]
+    fn evaluator_counts_and_tracks_best() {
+        let p = tiny_problem();
+        let mut rng = SplitMix64::new(1);
+        let mut ev = Evaluator::new(&p, Budget::evaluations(10));
+        let mut best_score = f64::NEG_INFINITY;
+        for _ in 0..10 {
+            let s = encoding::random_schedule(&p, &mut rng);
+            let r = ev.eval(&s);
+            best_score = best_score.max(r.score());
+        }
+        assert!(!ev.has_budget());
+        assert_eq!(ev.evaluations(), 10);
+        let result = ev.finish();
+        assert!((result.best_report.score() - best_score).abs() < 1e-12);
+        assert!(!result.history.is_empty());
+        // History scores are strictly increasing.
+        assert!(result.history.windows(2).all(|w| w[0].1 < w[1].1));
+        assert_eq!(result.evaluations, 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one schedule")]
+    fn finish_without_eval_panics() {
+        let p = tiny_problem();
+        let ev = Evaluator::new(&p, Budget::evaluations(1));
+        let _ = ev.finish();
+    }
+}

@@ -1,0 +1,255 @@
+//! Schedules: one contiguous plan per experiment.
+//!
+//! A [`Plan`] is the decoded gene of one experiment (Figure 3.1): start
+//! slot, duration, traffic share, and the assigned user groups. Because a
+//! plan is a single contiguous run, the paper's "experiments must not be
+//! interrupted" constraint holds by construction.
+
+use crate::problem::Problem;
+use cex_core::experiment::ExperimentId;
+use cex_core::users::GroupId;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The planned execution of one experiment.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Plan {
+    /// First slot of the run.
+    pub start_slot: usize,
+    /// Number of contiguous slots.
+    pub duration_slots: usize,
+    /// Fraction of each assigned group's traffic consumed per slot.
+    pub traffic_share: f64,
+    /// Assigned user groups (sorted, deduplicated).
+    pub groups: Vec<GroupId>,
+}
+
+impl Plan {
+    /// Creates a plan, normalizing the group list.
+    pub fn new(start_slot: usize, duration_slots: usize, traffic_share: f64, mut groups: Vec<GroupId>) -> Self {
+        groups.sort_unstable();
+        groups.dedup();
+        Plan { start_slot, duration_slots, traffic_share, groups }
+    }
+
+    /// Exclusive end slot.
+    pub fn end_slot(&self) -> usize {
+        self.start_slot + self.duration_slots
+    }
+
+    /// `true` when the runs of `self` and `other` overlap in time.
+    pub fn overlaps_in_time(&self, other: &Plan) -> bool {
+        self.start_slot < other.end_slot() && other.start_slot < self.end_slot()
+    }
+
+    /// `true` when both plans use at least one common user group.
+    pub fn shares_group_with(&self, other: &Plan) -> bool {
+        self.groups.iter().any(|g| other.groups.contains(g))
+    }
+}
+
+impl fmt::Display for Plan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "slots {}..{} share {:.0}% groups [{}]",
+            self.start_slot,
+            self.end_slot(),
+            self.traffic_share * 100.0,
+            self.groups.iter().map(|g| g.to_string()).collect::<Vec<_>>().join(",")
+        )
+    }
+}
+
+/// A complete schedule: one plan per experiment of the problem.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Schedule {
+    plans: Vec<Plan>,
+}
+
+impl Schedule {
+    /// Creates a schedule from per-experiment plans (index = experiment id).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty plan list; schedules always cover all experiments.
+    pub fn new(plans: Vec<Plan>) -> Self {
+        assert!(!plans.is_empty(), "a schedule needs at least one plan");
+        Schedule { plans }
+    }
+
+    /// Number of experiments covered.
+    pub fn len(&self) -> usize {
+        self.plans.len()
+    }
+
+    /// `true` when empty (never after construction).
+    pub fn is_empty(&self) -> bool {
+        self.plans.is_empty()
+    }
+
+    /// The plan of one experiment.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `id` is out of bounds.
+    pub fn plan(&self, id: ExperimentId) -> &Plan {
+        &self.plans[id.0]
+    }
+
+    /// Mutable access to one plan.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `id` is out of bounds.
+    pub fn plan_mut(&mut self, id: ExperimentId) -> &mut Plan {
+        &mut self.plans[id.0]
+    }
+
+    /// All plans in experiment order.
+    pub fn plans(&self) -> &[Plan] {
+        &self.plans
+    }
+
+    /// Samples the plan of experiment `id` collects under `problem`'s
+    /// traffic forecast: Σ over its slots and groups of
+    /// `share × available(slot, group)`.
+    pub fn samples_collected(&self, problem: &Problem, id: ExperimentId) -> f64 {
+        let plan = &self.plans[id.0];
+        let horizon = problem.horizon();
+        let mut total = 0.0;
+        for slot in plan.start_slot..plan.end_slot().min(horizon) {
+            for g in &plan.groups {
+                total += plan.traffic_share * problem.traffic().available(slot, *g);
+            }
+        }
+        total
+    }
+
+    /// Total traffic share allocated in `slot` for `group` across all
+    /// experiments (for the capacity constraint).
+    pub fn allocated_share(&self, slot: usize, group: GroupId) -> f64 {
+        self.plans
+            .iter()
+            .filter(|p| p.start_slot <= slot && slot < p.end_slot() && p.groups.contains(&group))
+            .map(|p| p.traffic_share)
+            .sum()
+    }
+
+    /// Traffic consumed per slot (absolute interactions), for rendering the
+    /// consumption overlay of Figure 3.3.
+    pub fn consumption_per_slot(&self, problem: &Problem) -> Vec<f64> {
+        let mut out = vec![0.0; problem.horizon()];
+        for plan in &self.plans {
+            for slot in plan.start_slot..plan.end_slot().min(problem.horizon()) {
+                for g in &plan.groups {
+                    out[slot] += plan.traffic_share * problem.traffic().available(slot, *g);
+                }
+            }
+        }
+        out
+    }
+
+    /// The latest end slot over all plans (schedule makespan).
+    pub fn makespan(&self) -> usize {
+        self.plans.iter().map(Plan::end_slot).max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::ExperimentRequest;
+    use cex_core::traffic::TrafficProfile;
+    use cex_core::users::{Population, UserGroup};
+
+    fn flat_problem() -> Problem {
+        // 10 slots × 2 groups, 100 interactions per (slot, group).
+        let pop = Population::new(vec![UserGroup::new("a", 100), UserGroup::new("b", 100)]).unwrap();
+        let traffic = TrafficProfile::from_matrix(10, 2, vec![100.0; 20]).unwrap();
+        Problem::new(
+            vec![
+                ExperimentRequest::new("e0", "s0", 100.0),
+                ExperimentRequest::new("e1", "s1", 100.0),
+            ],
+            pop,
+            traffic,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn plan_normalizes_groups() {
+        let p = Plan::new(0, 1, 0.1, vec![GroupId(1), GroupId(0), GroupId(1)]);
+        assert_eq!(p.groups, vec![GroupId(0), GroupId(1)]);
+    }
+
+    #[test]
+    fn overlap_detection() {
+        let a = Plan::new(0, 5, 0.1, vec![GroupId(0)]);
+        let b = Plan::new(4, 2, 0.1, vec![GroupId(0)]);
+        let c = Plan::new(5, 2, 0.1, vec![GroupId(1)]);
+        assert!(a.overlaps_in_time(&b));
+        assert!(!a.overlaps_in_time(&c));
+        assert!(b.overlaps_in_time(&c));
+        assert!(a.shares_group_with(&b));
+        assert!(!a.shares_group_with(&c));
+    }
+
+    #[test]
+    fn samples_collected_is_share_times_traffic() {
+        let problem = flat_problem();
+        let schedule = Schedule::new(vec![
+            Plan::new(0, 4, 0.2, vec![GroupId(0)]),
+            Plan::new(0, 2, 0.1, vec![GroupId(0), GroupId(1)]),
+        ]);
+        // e0: 4 slots × 0.2 × 100 = 80.
+        assert!((schedule.samples_collected(&problem, ExperimentId(0)) - 80.0).abs() < 1e-9);
+        // e1: 2 slots × 0.1 × 200 = 40.
+        assert!((schedule.samples_collected(&problem, ExperimentId(1)) - 40.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn allocated_share_sums_active_plans() {
+        let schedule = Schedule::new(vec![
+            Plan::new(0, 4, 0.2, vec![GroupId(0)]),
+            Plan::new(2, 4, 0.3, vec![GroupId(0)]),
+        ]);
+        assert!((schedule.allocated_share(1, GroupId(0)) - 0.2).abs() < 1e-12);
+        assert!((schedule.allocated_share(3, GroupId(0)) - 0.5).abs() < 1e-12);
+        assert!((schedule.allocated_share(5, GroupId(0)) - 0.3).abs() < 1e-12);
+        assert_eq!(schedule.allocated_share(3, GroupId(1)), 0.0);
+    }
+
+    #[test]
+    fn consumption_and_makespan() {
+        let problem = flat_problem();
+        let schedule = Schedule::new(vec![
+            Plan::new(0, 2, 0.5, vec![GroupId(0)]),
+            Plan::new(1, 3, 0.5, vec![GroupId(1)]),
+        ]);
+        let consumption = schedule.consumption_per_slot(&problem);
+        assert_eq!(consumption.len(), 10);
+        assert!((consumption[0] - 50.0).abs() < 1e-9);
+        assert!((consumption[1] - 100.0).abs() < 1e-9);
+        assert!((consumption[3] - 50.0).abs() < 1e-9);
+        assert_eq!(schedule.makespan(), 4);
+    }
+
+    #[test]
+    fn plans_clipped_at_horizon_in_sampling() {
+        let problem = flat_problem();
+        let schedule = Schedule::new(vec![
+            Plan::new(8, 10, 1.0, vec![GroupId(0)]),
+            Plan::new(0, 1, 0.1, vec![GroupId(1)]),
+        ]);
+        // Only slots 8 and 9 exist.
+        assert!((schedule.samples_collected(&problem, ExperimentId(0)) - 200.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn display_is_compact() {
+        let p = Plan::new(2, 3, 0.25, vec![GroupId(0), GroupId(2)]);
+        assert_eq!(p.to_string(), "slots 2..5 share 25% groups [g0,g2]");
+    }
+}

@@ -1,0 +1,658 @@
+//! The static application model: services, versions, endpoints, call graph.
+//!
+//! A simulated application is a set of **services**; each service has one or
+//! more deployed **versions** (the unit of experimentation — a canary
+//! deploys a new version next to the stable one); each version exposes
+//! **endpoints**; each endpoint has a latency model, an error rate, and a
+//! list of probabilistic **outgoing calls** to endpoints of other services.
+//! Which *version* of a callee serves a call is decided at request time by
+//! the [`crate::routing::Router`] — exactly the black-box,
+//! network-level experimentation model the paper advocates
+//! (Section 1.2.1, "Escaping Feature Toggles").
+
+use crate::error::SimError;
+use crate::latency::LatencyModel;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Index of a service within an [`Application`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ServiceId(pub usize);
+
+/// Index of a deployed service version within an [`Application`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct VersionId(pub usize);
+
+/// Index of an endpoint within an [`Application`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct EndpointId(pub usize);
+
+impl fmt::Display for ServiceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+impl fmt::Display for VersionId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+impl fmt::Display for EndpointId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ep{}", self.0)
+    }
+}
+
+/// A probabilistic outgoing call from one endpoint to another service's
+/// endpoint. The callee *version* is resolved by the router per request.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CallDef {
+    /// Callee service name.
+    pub service: String,
+    /// Callee endpoint name.
+    pub endpoint: String,
+    /// Probability the call is made on a given request (`0.0..=1.0`).
+    pub probability: f64,
+}
+
+impl CallDef {
+    /// An unconditional call.
+    pub fn always(service: impl Into<String>, endpoint: impl Into<String>) -> Self {
+        CallDef { service: service.into(), endpoint: endpoint.into(), probability: 1.0 }
+    }
+
+    /// A call made with the given probability.
+    pub fn with_probability(
+        service: impl Into<String>,
+        endpoint: impl Into<String>,
+        probability: f64,
+    ) -> Self {
+        CallDef { service: service.into(), endpoint: endpoint.into(), probability }
+    }
+}
+
+/// Definition of one endpoint of one service version.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EndpointDef {
+    /// Endpoint name, unique within its version.
+    pub name: String,
+    /// Own service-time distribution (excluding downstream calls).
+    pub latency: LatencyModel,
+    /// Probability a request fails at this endpoint itself.
+    pub error_rate: f64,
+    /// Outgoing calls issued while serving a request.
+    pub calls: Vec<CallDef>,
+}
+
+impl EndpointDef {
+    /// Creates an endpoint with no errors and no outgoing calls.
+    pub fn new(name: impl Into<String>, latency: LatencyModel) -> Self {
+        EndpointDef { name: name.into(), latency, error_rate: 0.0, calls: Vec::new() }
+    }
+
+    /// Sets the intrinsic error rate.
+    pub fn error_rate(mut self, rate: f64) -> Self {
+        self.error_rate = rate;
+        self
+    }
+
+    /// Adds an outgoing call.
+    pub fn call(mut self, call: CallDef) -> Self {
+        self.calls.push(call);
+        self
+    }
+}
+
+/// Definition of one deployable version of a service.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct VersionSpec {
+    /// Owning service name (created on first use).
+    pub service: String,
+    /// Version label, e.g. `"1.4.0"`.
+    pub version: String,
+    /// Sustainable request rate before latency inflation kicks in.
+    pub capacity_rps: f64,
+    /// How strongly load inflates latency (see [`crate::load`]); `0.0`
+    /// disables inflation for this version.
+    pub load_sensitivity: f64,
+    /// Probability a user-facing request on this version converts — the
+    /// business metric A/B tests compare (recorded at entry hops only).
+    pub conversion_rate: f64,
+    /// The endpoints this version exposes.
+    pub endpoints: Vec<EndpointDef>,
+}
+
+impl VersionSpec {
+    /// Creates a version with default capacity (200 rps) and sensitivity.
+    pub fn new(service: impl Into<String>, version: impl Into<String>) -> Self {
+        VersionSpec {
+            service: service.into(),
+            version: version.into(),
+            capacity_rps: 200.0,
+            load_sensitivity: 1.0,
+            conversion_rate: 0.02,
+            endpoints: Vec::new(),
+        }
+    }
+
+    /// Sets the conversion rate observed on user-facing requests.
+    pub fn conversion_rate(mut self, rate: f64) -> Self {
+        self.conversion_rate = rate;
+        self
+    }
+
+    /// Sets the capacity in requests per second.
+    pub fn capacity(mut self, rps: f64) -> Self {
+        self.capacity_rps = rps;
+        self
+    }
+
+    /// Sets the load sensitivity.
+    pub fn load_sensitivity(mut self, k: f64) -> Self {
+        self.load_sensitivity = k;
+        self
+    }
+
+    /// Adds an endpoint.
+    pub fn endpoint(mut self, ep: EndpointDef) -> Self {
+        self.endpoints.push(ep);
+        self
+    }
+}
+
+/// Resolved outgoing call (service name interned).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ResolvedCall {
+    /// Callee service.
+    pub service: ServiceId,
+    /// Callee endpoint name (version-resolved at request time).
+    pub endpoint: String,
+    /// Call probability.
+    pub probability: f64,
+}
+
+/// A deployed endpoint with its resolved call list.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Endpoint {
+    /// Owning version.
+    pub version: VersionId,
+    /// Endpoint name.
+    pub name: String,
+    /// Own latency model.
+    pub latency: LatencyModel,
+    /// Intrinsic error rate.
+    pub error_rate: f64,
+    /// Resolved outgoing calls.
+    pub calls: Vec<ResolvedCall>,
+}
+
+/// A deployed service version.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServiceVersion {
+    /// Owning service.
+    pub service: ServiceId,
+    /// Version label.
+    pub label: String,
+    /// Capacity in requests per second.
+    pub capacity_rps: f64,
+    /// Load sensitivity.
+    pub load_sensitivity: f64,
+    /// Conversion probability on user-facing requests.
+    pub conversion_rate: f64,
+    /// Endpoint ids, sorted by endpoint name.
+    pub endpoints: Vec<EndpointId>,
+}
+
+/// The immutable application: interned services, versions, endpoints.
+///
+/// Build with [`Application::builder`]; extend a built application with
+/// [`Application::deploy`] (experiments deploy new versions at runtime).
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Application {
+    service_names: Vec<String>,
+    versions: Vec<ServiceVersion>,
+    endpoints: Vec<Endpoint>,
+    /// `versions_of[service.0]` lists deployed versions, in deploy order —
+    /// the first one is the service's stable/baseline version.
+    versions_of: Vec<Vec<VersionId>>,
+}
+
+impl Application {
+    /// Starts building an application.
+    pub fn builder() -> AppBuilder {
+        AppBuilder { specs: Vec::new() }
+    }
+
+    /// Number of services.
+    pub fn service_count(&self) -> usize {
+        self.service_names.len()
+    }
+
+    /// Number of deployed versions across all services.
+    pub fn version_count(&self) -> usize {
+        self.versions.len()
+    }
+
+    /// Number of endpoints across all versions.
+    pub fn endpoint_count(&self) -> usize {
+        self.endpoints.len()
+    }
+
+    /// Resolves a service name.
+    pub fn service_id(&self, name: &str) -> Result<ServiceId, SimError> {
+        self.service_names
+            .iter()
+            .position(|n| n == name)
+            .map(ServiceId)
+            .ok_or_else(|| SimError::UnknownService(name.to_string()))
+    }
+
+    /// The name of a service.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of bounds.
+    pub fn service_name(&self, id: ServiceId) -> &str {
+        &self.service_names[id.0]
+    }
+
+    /// All deployed versions of a service, in deploy order.
+    pub fn versions_of(&self, service: ServiceId) -> &[VersionId] {
+        &self.versions_of[service.0]
+    }
+
+    /// The stable (first-deployed) version of a service.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the service has no versions (impossible for a built app).
+    pub fn baseline_of(&self, service: ServiceId) -> VersionId {
+        self.versions_of[service.0][0]
+    }
+
+    /// Resolves a `(service, label)` pair to a version.
+    pub fn version_id(&self, service: &str, label: &str) -> Result<VersionId, SimError> {
+        let sid = self.service_id(service)?;
+        self.versions_of[sid.0]
+            .iter()
+            .copied()
+            .find(|v| self.versions[v.0].label == label)
+            .ok_or_else(|| SimError::UnknownVersion {
+                service: service.to_string(),
+                version: label.to_string(),
+            })
+    }
+
+    /// The version record for `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of bounds.
+    pub fn version(&self, id: VersionId) -> &ServiceVersion {
+        &self.versions[id.0]
+    }
+
+    /// The endpoint record for `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of bounds.
+    pub fn endpoint(&self, id: EndpointId) -> &Endpoint {
+        &self.endpoints[id.0]
+    }
+
+    /// Looks up the endpoint named `name` on version `version`.
+    pub fn endpoint_of(&self, version: VersionId, name: &str) -> Result<EndpointId, SimError> {
+        let v = &self.versions[version.0];
+        v.endpoints
+            .iter()
+            .copied()
+            .find(|e| self.endpoints[e.0].name == name)
+            .ok_or_else(|| SimError::UnknownEndpoint {
+                service: self.service_names[v.service.0].clone(),
+                endpoint: name.to_string(),
+            })
+    }
+
+    /// Iterates over all services.
+    pub fn services(&self) -> impl Iterator<Item = (ServiceId, &str)> {
+        self.service_names.iter().enumerate().map(|(i, n)| (ServiceId(i), n.as_str()))
+    }
+
+    /// Iterates over all deployed versions.
+    pub fn versions(&self) -> impl Iterator<Item = (VersionId, &ServiceVersion)> {
+        self.versions.iter().enumerate().map(|(i, v)| (VersionId(i), v))
+    }
+
+    /// Human-readable `service@label` description of a version.
+    pub fn version_label(&self, id: VersionId) -> String {
+        let v = &self.versions[id.0];
+        format!("{}@{}", self.service_names[v.service.0], v.label)
+    }
+
+    /// Deploys an additional version into a built application, as an
+    /// experiment would at runtime.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError`] when the spec is invalid (duplicate version,
+    /// unknown callee, bad probabilities).
+    pub fn deploy(&mut self, spec: VersionSpec) -> Result<VersionId, SimError> {
+        // Create the service on first use.
+        let sid = match self.service_id(&spec.service) {
+            Ok(id) => id,
+            Err(_) => {
+                self.service_names.push(spec.service.clone());
+                self.versions_of.push(Vec::new());
+                ServiceId(self.service_names.len() - 1)
+            }
+        };
+        if self.versions_of[sid.0]
+            .iter()
+            .any(|v| self.versions[v.0].label == spec.version)
+        {
+            return Err(SimError::BadApplication(format!(
+                "version {} of service {} already deployed",
+                spec.version, spec.service
+            )));
+        }
+        validate_spec(&spec)?;
+        let vid = VersionId(self.versions.len());
+        let mut endpoint_ids = Vec::with_capacity(spec.endpoints.len());
+        for ep in &spec.endpoints {
+            let mut calls = Vec::with_capacity(ep.calls.len());
+            for call in &ep.calls {
+                // Callee services may be deployed later; intern eagerly.
+                let callee = match self.service_id(&call.service) {
+                    Ok(id) => id,
+                    Err(_) => {
+                        self.service_names.push(call.service.clone());
+                        self.versions_of.push(Vec::new());
+                        ServiceId(self.service_names.len() - 1)
+                    }
+                };
+                calls.push(ResolvedCall {
+                    service: callee,
+                    endpoint: call.endpoint.clone(),
+                    probability: call.probability,
+                });
+            }
+            let eid = EndpointId(self.endpoints.len());
+            self.endpoints.push(Endpoint {
+                version: vid,
+                name: ep.name.clone(),
+                latency: ep.latency,
+                error_rate: ep.error_rate,
+                calls,
+            });
+            endpoint_ids.push(eid);
+        }
+        self.versions.push(ServiceVersion {
+            service: sid,
+            label: spec.version.clone(),
+            capacity_rps: spec.capacity_rps,
+            load_sensitivity: spec.load_sensitivity,
+            conversion_rate: spec.conversion_rate,
+            endpoints: endpoint_ids,
+        });
+        self.versions_of[sid.0].push(vid);
+        Ok(vid)
+    }
+
+    /// Verifies that every call target resolves on at least one deployed
+    /// version of the callee, and that every service has at least one
+    /// version. Called by [`AppBuilder::build`]; callable again after
+    /// [`Application::deploy`].
+    pub fn validate(&self) -> Result<(), SimError> {
+        for (sid, versions) in self.versions_of.iter().enumerate() {
+            if versions.is_empty() {
+                return Err(SimError::BadApplication(format!(
+                    "service {} referenced but never deployed",
+                    self.service_names[sid]
+                )));
+            }
+        }
+        for ep in &self.endpoints {
+            for call in &ep.calls {
+                let found = self.versions_of[call.service.0].iter().any(|v| {
+                    self.versions[v.0]
+                        .endpoints
+                        .iter()
+                        .any(|e| self.endpoints[e.0].name == call.endpoint)
+                });
+                if !found {
+                    return Err(SimError::UnknownEndpoint {
+                        service: self.service_names[call.service.0].clone(),
+                        endpoint: call.endpoint.clone(),
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+fn validate_spec(spec: &VersionSpec) -> Result<(), SimError> {
+    if spec.endpoints.is_empty() {
+        return Err(SimError::BadApplication(format!(
+            "version {}@{} has no endpoints",
+            spec.service, spec.version
+        )));
+    }
+    if !(spec.capacity_rps > 0.0) {
+        return Err(SimError::BadApplication("capacity must be positive".into()));
+    }
+    if !(0.0..=1.0).contains(&spec.conversion_rate) {
+        return Err(SimError::BadApplication("conversion rate must be in 0.0..=1.0".into()));
+    }
+    let mut seen = HashMap::new();
+    for ep in &spec.endpoints {
+        if seen.insert(ep.name.clone(), ()).is_some() {
+            return Err(SimError::BadApplication(format!(
+                "duplicate endpoint {} on {}@{}",
+                ep.name, spec.service, spec.version
+            )));
+        }
+        if !(0.0..=1.0).contains(&ep.error_rate) {
+            return Err(SimError::BadApplication(format!(
+                "error rate {} out of range on endpoint {}",
+                ep.error_rate, ep.name
+            )));
+        }
+        for call in &ep.calls {
+            if !(0.0..=1.0).contains(&call.probability) {
+                return Err(SimError::BadApplication(format!(
+                    "call probability {} out of range on endpoint {}",
+                    call.probability, ep.name
+                )));
+            }
+            if call.service == spec.service {
+                return Err(SimError::BadApplication(format!(
+                    "endpoint {} calls its own service; self-calls are not supported",
+                    ep.name
+                )));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Builder accumulating [`VersionSpec`]s and producing a validated
+/// [`Application`].
+#[derive(Debug, Clone, Default)]
+pub struct AppBuilder {
+    specs: Vec<VersionSpec>,
+}
+
+impl AppBuilder {
+    /// Adds a version to deploy.
+    pub fn version(&mut self, spec: VersionSpec) -> &mut Self {
+        self.specs.push(spec);
+        self
+    }
+
+    /// Builds and validates the application.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError`] for structural problems: duplicate versions,
+    /// unresolvable call targets, invalid rates/probabilities, services
+    /// that are referenced but never deployed.
+    pub fn build(&self) -> Result<Application, SimError> {
+        let mut app = Application::default();
+        for spec in &self.specs {
+            app.deploy(spec.clone())?;
+        }
+        app.validate()?;
+        Ok(app)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_tier() -> Application {
+        let mut b = Application::builder();
+        b.version(
+            VersionSpec::new("frontend", "1.0.0").endpoint(
+                EndpointDef::new("home", LatencyModel::Constant { ms: 5.0 })
+                    .call(CallDef::always("backend", "api")),
+            ),
+        );
+        b.version(
+            VersionSpec::new("backend", "1.0.0")
+                .endpoint(EndpointDef::new("api", LatencyModel::Constant { ms: 10.0 })),
+        );
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn build_and_lookup() {
+        let app = two_tier();
+        assert_eq!(app.service_count(), 2);
+        assert_eq!(app.version_count(), 2);
+        assert_eq!(app.endpoint_count(), 2);
+        let fe = app.service_id("frontend").unwrap();
+        assert_eq!(app.service_name(fe), "frontend");
+        let v = app.version_id("frontend", "1.0.0").unwrap();
+        assert_eq!(app.baseline_of(fe), v);
+        assert_eq!(app.version_label(v), "frontend@1.0.0");
+        let ep = app.endpoint_of(v, "home").unwrap();
+        assert_eq!(app.endpoint(ep).calls.len(), 1);
+    }
+
+    #[test]
+    fn unknown_names_error() {
+        let app = two_tier();
+        assert!(matches!(app.service_id("db"), Err(SimError::UnknownService(_))));
+        assert!(matches!(app.version_id("frontend", "9.9.9"), Err(SimError::UnknownVersion { .. })));
+        let v = app.version_id("frontend", "1.0.0").unwrap();
+        assert!(matches!(app.endpoint_of(v, "nope"), Err(SimError::UnknownEndpoint { .. })));
+    }
+
+    #[test]
+    fn duplicate_version_rejected() {
+        let mut app = two_tier();
+        let err = app
+            .deploy(
+                VersionSpec::new("backend", "1.0.0")
+                    .endpoint(EndpointDef::new("api", LatencyModel::default())),
+            )
+            .unwrap_err();
+        assert!(matches!(err, SimError::BadApplication(_)));
+    }
+
+    #[test]
+    fn deploy_adds_candidate_version() {
+        let mut app = two_tier();
+        let vid = app
+            .deploy(
+                VersionSpec::new("backend", "1.1.0")
+                    .endpoint(EndpointDef::new("api", LatencyModel::Constant { ms: 8.0 })),
+            )
+            .unwrap();
+        let be = app.service_id("backend").unwrap();
+        assert_eq!(app.versions_of(be).len(), 2);
+        assert_ne!(app.baseline_of(be), vid);
+        app.validate().unwrap();
+    }
+
+    #[test]
+    fn dangling_callee_fails_validation() {
+        let mut b = Application::builder();
+        b.version(
+            VersionSpec::new("frontend", "1.0.0").endpoint(
+                EndpointDef::new("home", LatencyModel::default())
+                    .call(CallDef::always("ghost", "api")),
+            ),
+        );
+        assert!(b.build().is_err());
+    }
+
+    #[test]
+    fn missing_callee_endpoint_fails_validation() {
+        let mut b = Application::builder();
+        b.version(
+            VersionSpec::new("frontend", "1.0.0").endpoint(
+                EndpointDef::new("home", LatencyModel::default())
+                    .call(CallDef::always("backend", "missing")),
+            ),
+        );
+        b.version(
+            VersionSpec::new("backend", "1.0.0")
+                .endpoint(EndpointDef::new("api", LatencyModel::default())),
+        );
+        let err = b.build().unwrap_err();
+        assert!(matches!(err, SimError::UnknownEndpoint { .. }));
+    }
+
+    #[test]
+    fn bad_rates_rejected() {
+        let mut b = Application::builder();
+        b.version(
+            VersionSpec::new("a", "1")
+                .endpoint(EndpointDef::new("e", LatencyModel::default()).error_rate(1.5)),
+        );
+        assert!(b.build().is_err());
+
+        let mut b = Application::builder();
+        b.version(VersionSpec::new("a", "1").capacity(0.0).endpoint(EndpointDef::new(
+            "e",
+            LatencyModel::default(),
+        )));
+        assert!(b.build().is_err());
+    }
+
+    #[test]
+    fn self_call_rejected() {
+        let mut b = Application::builder();
+        b.version(
+            VersionSpec::new("a", "1").endpoint(
+                EndpointDef::new("e", LatencyModel::default()).call(CallDef::always("a", "e")),
+            ),
+        );
+        assert!(b.build().is_err());
+    }
+
+    #[test]
+    fn duplicate_endpoint_rejected() {
+        let mut b = Application::builder();
+        b.version(
+            VersionSpec::new("a", "1")
+                .endpoint(EndpointDef::new("e", LatencyModel::default()))
+                .endpoint(EndpointDef::new("e", LatencyModel::default())),
+        );
+        assert!(b.build().is_err());
+    }
+
+    #[test]
+    fn empty_version_rejected() {
+        let mut b = Application::builder();
+        b.version(VersionSpec::new("a", "1"));
+        assert!(b.build().is_err());
+    }
+}

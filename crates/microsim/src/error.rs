@@ -1,0 +1,70 @@
+//! Simulator error types.
+
+use std::fmt;
+
+/// Errors produced while building or running a simulated application.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimError {
+    /// A referenced service does not exist.
+    UnknownService(String),
+    /// A referenced version of a service does not exist.
+    UnknownVersion {
+        /// Service name.
+        service: String,
+        /// Version label that failed to resolve.
+        version: String,
+    },
+    /// A referenced endpoint does not exist on the resolved version.
+    UnknownEndpoint {
+        /// Service name.
+        service: String,
+        /// Endpoint name that failed to resolve.
+        endpoint: String,
+    },
+    /// The call graph recursion exceeded the depth limit — the application
+    /// definition almost certainly contains a call cycle.
+    CallDepthExceeded {
+        /// The depth limit that was hit.
+        limit: usize,
+    },
+    /// A routing rule is malformed (e.g. weights do not sum to one).
+    BadRoute(String),
+    /// The application definition is structurally invalid.
+    BadApplication(String),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::UnknownService(s) => write!(f, "unknown service: {s}"),
+            SimError::UnknownVersion { service, version } => {
+                write!(f, "unknown version {version} of service {service}")
+            }
+            SimError::UnknownEndpoint { service, endpoint } => {
+                write!(f, "unknown endpoint {endpoint} on service {service}")
+            }
+            SimError::CallDepthExceeded { limit } => {
+                write!(f, "call depth exceeded {limit}; the call graph likely contains a cycle")
+            }
+            SimError::BadRoute(msg) => write!(f, "bad routing rule: {msg}"),
+            SimError::BadApplication(msg) => write!(f, "bad application definition: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert_eq!(SimError::UnknownService("x".into()).to_string(), "unknown service: x");
+        assert_eq!(
+            SimError::UnknownVersion { service: "a".into(), version: "2".into() }.to_string(),
+            "unknown version 2 of service a"
+        );
+        assert!(SimError::CallDepthExceeded { limit: 64 }.to_string().contains("cycle"));
+    }
+}

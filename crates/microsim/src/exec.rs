@@ -1,0 +1,474 @@
+//! Per-request execution: walking the call tree.
+//!
+//! One simulated request enters the application at an endpoint, the router
+//! resolves which deployed version serves each hop, latencies are sampled
+//! under current load, and the hop tree is emitted as a distributed trace.
+//! Dark-launch mirrors execute the mirrored subtree *in addition to* the
+//! primary one — its latency never reaches the user but its load does,
+//! which is exactly the cascading-cost effect the paper reports for dark
+//! launches (Section 1.2.3).
+
+use crate::app::{Application, ServiceId, VersionId};
+use crate::error::SimError;
+use crate::faults::FaultPlan;
+use crate::load::LoadTracker;
+use crate::monitor::MetricStore;
+use crate::routing::{Router, UserId};
+use crate::trace::{Span, SpanId, Trace, TraceId};
+use cex_core::metrics::MetricKind;
+use cex_core::rng::SplitMix64;
+use cex_core::simtime::{SimDuration, SimTime};
+
+/// Maximum call-tree depth before assuming a cycle.
+pub const MAX_CALL_DEPTH: usize = 32;
+
+/// Outcome of one executed request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RequestResult {
+    /// User-perceived end-to-end response time (mirrored work excluded).
+    pub response_time: SimDuration,
+    /// `true` when the whole primary call tree succeeded.
+    pub ok: bool,
+    /// The trace, when sampled.
+    pub trace: Option<Trace>,
+}
+
+/// Executes one request against the application.
+///
+/// * `user` — drives sticky routing decisions.
+/// * `entry_service`/`entry_endpoint` — where the request enters.
+/// * `now` — virtual arrival time.
+/// * `trace_id` — `Some` when the trace collector sampled this request.
+/// * `store` — when present, per-hop response times and error indicators
+///   are recorded under the `service@version` scope.
+/// * `faults` — active fault windows applied on top of the normal latency
+///   and error models.
+///
+/// # Errors
+///
+/// Returns [`SimError`] when a name does not resolve or the call tree
+/// exceeds [`MAX_CALL_DEPTH`] (a cycle in the application definition).
+#[allow(clippy::too_many_arguments)]
+pub fn execute_request(
+    app: &Application,
+    router: &Router,
+    load: &mut LoadTracker,
+    rng: &mut SplitMix64,
+    user: UserId,
+    entry_service: ServiceId,
+    entry_endpoint: &str,
+    now: SimTime,
+    trace_id: Option<TraceId>,
+    store: Option<&MetricStore>,
+    faults: &FaultPlan,
+) -> Result<RequestResult, SimError> {
+    let mut ctx = ExecCtx {
+        app,
+        router,
+        load,
+        rng,
+        user,
+        store,
+        faults,
+        spans: Vec::new(),
+        trace_id,
+        next_span: 0,
+        visited: Vec::new(),
+    };
+    let outcome = ctx.hop(entry_service, entry_endpoint, now, None, false, 0)?;
+    // Conversion attribution: the request converts with a probability
+    // blending all (primary-path) versions it touched, and the 0/1 outcome
+    // is credited to each of them — how A/B variants are compared on
+    // business metrics even when they sit deep in the call graph.
+    if let Some(store) = store {
+        if !ctx.visited.is_empty() {
+            let mean_rate = ctx
+                .visited
+                .iter()
+                .map(|v| app.version(*v).conversion_rate)
+                .sum::<f64>()
+                / ctx.visited.len() as f64;
+            let converted = outcome.ok && ctx.rng.next_f64() < mean_rate;
+            let value = if converted { 1.0 } else { 0.0 };
+            for version in &ctx.visited {
+                store.record_value(
+                    &app.version_label(*version),
+                    MetricKind::ConversionRate,
+                    now,
+                    value,
+                );
+            }
+        }
+    }
+    let trace = trace_id.map(|id| Trace { id, spans: ctx.spans });
+    Ok(RequestResult { response_time: outcome.duration, ok: outcome.ok, trace })
+}
+
+struct HopOutcome {
+    duration: SimDuration,
+    ok: bool,
+}
+
+struct ExecCtx<'a> {
+    app: &'a Application,
+    router: &'a Router,
+    load: &'a mut LoadTracker,
+    rng: &'a mut SplitMix64,
+    user: UserId,
+    store: Option<&'a MetricStore>,
+    faults: &'a FaultPlan,
+    spans: Vec<Span>,
+    trace_id: Option<TraceId>,
+    next_span: u32,
+    /// Distinct versions serving primary (non-dark) hops of this request.
+    visited: Vec<VersionId>,
+}
+
+impl ExecCtx<'_> {
+    fn hop(
+        &mut self,
+        service: ServiceId,
+        endpoint_name: &str,
+        start: SimTime,
+        parent: Option<SpanId>,
+        dark: bool,
+        depth: usize,
+    ) -> Result<HopOutcome, SimError> {
+        let version = self.router.resolve(self.app, service, self.user);
+        self.hop_on_version(version, endpoint_name, start, parent, dark, depth)
+    }
+
+    fn hop_on_version(
+        &mut self,
+        version: VersionId,
+        endpoint_name: &str,
+        start: SimTime,
+        parent: Option<SpanId>,
+        dark: bool,
+        depth: usize,
+    ) -> Result<HopOutcome, SimError> {
+        if depth > MAX_CALL_DEPTH {
+            return Err(SimError::CallDepthExceeded { limit: MAX_CALL_DEPTH });
+        }
+        let endpoint_id = self.app.endpoint_of(version, endpoint_name)?;
+        self.load.record_arrival(version, start);
+        if !dark && !self.visited.contains(&version) {
+            self.visited.push(version);
+        }
+
+        let span_id = SpanId(self.next_span);
+        self.next_span += 1;
+
+        let fault = self.faults.effects(version, start);
+        let multiplier = self.load.multiplier(self.app, version) * fault.latency_multiplier;
+        let endpoint = self.app.endpoint(endpoint_id);
+        let own_latency = endpoint.latency.sample(self.rng, multiplier);
+        let failure_rate = (endpoint.error_rate + fault.extra_error_rate).min(1.0);
+        let own_ok = self.rng.next_f64() >= failure_rate;
+
+        let mut elapsed = self.router.proxy_overhead() + own_latency;
+        let mut ok = own_ok;
+
+        // Clone the call list so the borrow of `self.app` does not pin the
+        // whole context across the recursive calls.
+        let calls = endpoint.calls.clone();
+        for call in &calls {
+            if call.probability < 1.0 && self.rng.next_f64() >= call.probability {
+                continue;
+            }
+            let child_start = start + elapsed;
+            // Primary call.
+            let child = self.hop(call.service, &call.endpoint, child_start, Some(span_id), dark, depth + 1)?;
+            elapsed += child.duration;
+            ok &= child.ok;
+            // Dark-launch mirrors: execute on each mirror version without
+            // contributing to user-perceived latency or success.
+            for mirror in self.router.mirrors(call.service).to_vec() {
+                let _ = self.hop_on_version(
+                    mirror,
+                    &call.endpoint,
+                    child_start,
+                    Some(span_id),
+                    true,
+                    depth + 1,
+                )?;
+            }
+        }
+
+        let svc = self.app.version(version).service;
+        if let Some(store) = self.store {
+            // Record both primary and dark hops: the dark version's load and
+            // latency are precisely what its health checks observe.
+            let scope = self.app.version_label(version);
+            store.record_value(&scope, MetricKind::ResponseTime, start, elapsed.as_millis_f64());
+            store.record_value(&scope, MetricKind::ErrorRate, start, if ok { 0.0 } else { 1.0 });
+        }
+
+        if self.trace_id.is_some() {
+            let v = self.app.version(version);
+            self.spans.push(Span {
+                trace: self.trace_id.expect("checked above"),
+                span: span_id,
+                parent,
+                service: self.app.service_name(svc).to_string(),
+                version: v.label.clone(),
+                endpoint: endpoint_name.to_string(),
+                start,
+                duration: elapsed,
+                ok,
+                dark,
+            });
+        }
+
+        Ok(HopOutcome { duration: elapsed, ok })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::app::{CallDef, EndpointDef, VersionSpec};
+    use crate::latency::LatencyModel;
+
+    fn chain_app() -> Application {
+        let mut b = Application::builder();
+        b.version(
+            VersionSpec::new("a", "1").endpoint(
+                EndpointDef::new("entry", LatencyModel::Constant { ms: 5.0 })
+                    .call(CallDef::always("b", "mid")),
+            ),
+        );
+        b.version(
+            VersionSpec::new("b", "1").endpoint(
+                EndpointDef::new("mid", LatencyModel::Constant { ms: 10.0 })
+                    .call(CallDef::always("c", "leaf")),
+            ),
+        );
+        b.version(
+            VersionSpec::new("c", "1")
+                .endpoint(EndpointDef::new("leaf", LatencyModel::Constant { ms: 3.0 })),
+        );
+        b.build().unwrap()
+    }
+
+    fn run(
+        app: &Application,
+        router: &Router,
+        traced: bool,
+    ) -> RequestResult {
+        let mut load = LoadTracker::new(app);
+        let mut rng = SplitMix64::new(9);
+        let entry = app.service_id("a").unwrap();
+        execute_request(
+            app,
+            router,
+            &mut load,
+            &mut rng,
+            UserId(1),
+            entry,
+            "entry",
+            SimTime::from_secs(1),
+            traced.then_some(TraceId(7)),
+            None,
+            &FaultPlan::none(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn chain_latency_adds_up() {
+        let app = chain_app();
+        let result = run(&app, &Router::new(), false);
+        assert_eq!(result.response_time.as_millis(), 18);
+        assert!(result.ok);
+        assert!(result.trace.is_none());
+    }
+
+    #[test]
+    fn proxy_overhead_applies_per_hop() {
+        let app = chain_app();
+        let router = Router::with_proxy_overhead(SimDuration::from_millis(2));
+        let result = run(&app, &router, false);
+        // 18 ms service time + 3 hops × 2 ms.
+        assert_eq!(result.response_time.as_millis(), 24);
+    }
+
+    #[test]
+    fn trace_mirrors_call_tree() {
+        let app = chain_app();
+        let result = run(&app, &Router::new(), true);
+        let trace = result.trace.unwrap();
+        assert_eq!(trace.spans.len(), 3);
+        let root = trace.root();
+        assert_eq!(root.service, "a");
+        assert_eq!(root.duration, result.response_time);
+        // Parent chain a -> b -> c.
+        let b = trace.spans.iter().find(|s| s.service == "b").unwrap();
+        let c = trace.spans.iter().find(|s| s.service == "c").unwrap();
+        assert_eq!(b.parent, Some(root.span));
+        assert_eq!(c.parent, Some(b.span));
+        // Child hops start after the parent's own work.
+        assert!(b.start > root.start);
+        assert!(c.start > b.start);
+    }
+
+    #[test]
+    fn errors_propagate_to_root() {
+        let mut b = Application::builder();
+        b.version(
+            VersionSpec::new("a", "1").endpoint(
+                EndpointDef::new("entry", LatencyModel::Constant { ms: 1.0 })
+                    .call(CallDef::always("b", "mid")),
+            ),
+        );
+        b.version(
+            VersionSpec::new("b", "1").endpoint(
+                EndpointDef::new("mid", LatencyModel::Constant { ms: 1.0 }).error_rate(1.0),
+            ),
+        );
+        let app = b.build().unwrap();
+        let result = run(&app, &Router::new(), true);
+        assert!(!result.ok);
+        let trace = result.trace.unwrap();
+        assert!(!trace.root().ok, "failure must propagate to the root span");
+        assert!(!trace.spans.iter().find(|s| s.service == "b").unwrap().ok);
+    }
+
+    #[test]
+    fn probabilistic_calls_fire_proportionally() {
+        let mut b = Application::builder();
+        b.version(
+            VersionSpec::new("a", "1").endpoint(
+                EndpointDef::new("entry", LatencyModel::Constant { ms: 1.0 })
+                    .call(CallDef::with_probability("b", "mid", 0.3)),
+            ),
+        );
+        b.version(
+            VersionSpec::new("b", "1")
+                .endpoint(EndpointDef::new("mid", LatencyModel::Constant { ms: 1.0 })),
+        );
+        let app = b.build().unwrap();
+        let router = Router::new();
+        let mut load = LoadTracker::new(&app);
+        let mut rng = SplitMix64::new(11);
+        let entry = app.service_id("a").unwrap();
+        let mut fired = 0;
+        let n = 10_000;
+        for i in 0..n {
+            let result = execute_request(
+                &app,
+                &router,
+                &mut load,
+                &mut rng,
+                UserId(i),
+                entry,
+                "entry",
+                SimTime::from_millis(i),
+                Some(TraceId(i)),
+                None,
+                &FaultPlan::none(),
+            )
+            .unwrap();
+            if result.trace.unwrap().spans.len() == 2 {
+                fired += 1;
+            }
+        }
+        let share = fired as f64 / n as f64;
+        assert!((share - 0.3).abs() < 0.02, "call share {share}");
+    }
+
+    #[test]
+    fn dark_mirror_excluded_from_latency_but_traced_and_loaded() {
+        let mut app = chain_app();
+        app.deploy(
+            VersionSpec::new("b", "2").endpoint(
+                EndpointDef::new("mid", LatencyModel::Constant { ms: 100.0 })
+                    .call(CallDef::always("c", "leaf")),
+            ),
+        )
+        .unwrap();
+        let b_svc = app.service_id("b").unwrap();
+        let dark = app.version_id("b", "2").unwrap();
+        let mut router = Router::new();
+        router.add_mirror(&app, b_svc, dark).unwrap();
+
+        let mut load = LoadTracker::new(&app);
+        let mut rng = SplitMix64::new(13);
+        let entry = app.service_id("a").unwrap();
+        let result = execute_request(
+            &app,
+            &router,
+            &mut load,
+            &mut rng,
+            UserId(1),
+            entry,
+            "entry",
+            SimTime::from_secs(1),
+            Some(TraceId(1)),
+            None,
+            &FaultPlan::none(),
+        )
+        .unwrap();
+        // Latency unchanged: dark work is not on the user path.
+        assert_eq!(result.response_time.as_millis(), 18);
+        let trace = result.trace.unwrap();
+        // Primary a,b,c plus dark b@2 and its downstream c call.
+        assert_eq!(trace.spans.len(), 5);
+        let dark_spans: Vec<_> = trace.spans.iter().filter(|s| s.dark).collect();
+        assert_eq!(dark_spans.len(), 2);
+        assert!(dark_spans.iter().any(|s| s.version == "2"));
+        // Dark leaf call doubled the load on c: flush c's bucket and check.
+        let c = app.version_id("c", "1").unwrap();
+        load.record_arrival(c, SimTime::from_secs(2));
+        assert!((load.rate_rps(c) - 2.0).abs() < 1e-9, "c saw primary + dark arrival");
+    }
+
+    #[test]
+    fn metrics_recorded_per_version_scope() {
+        let app = chain_app();
+        let store = MetricStore::new();
+        let mut load = LoadTracker::new(&app);
+        let mut rng = SplitMix64::new(17);
+        let entry = app.service_id("a").unwrap();
+        execute_request(
+            &app,
+            &Router::new(),
+            &mut load,
+            &mut rng,
+            UserId(1),
+            entry,
+            "entry",
+            SimTime::from_secs(1),
+            None,
+            Some(&store),
+            &FaultPlan::none(),
+        )
+        .unwrap();
+        assert_eq!(store.count("a@1", MetricKind::ResponseTime), 1);
+        assert_eq!(store.count("b@1", MetricKind::ResponseTime), 1);
+        assert_eq!(store.count("c@1", MetricKind::ErrorRate), 1);
+    }
+
+    #[test]
+    fn unknown_entry_endpoint_errors() {
+        let app = chain_app();
+        let mut load = LoadTracker::new(&app);
+        let mut rng = SplitMix64::new(1);
+        let entry = app.service_id("a").unwrap();
+        let err = execute_request(
+            &app,
+            &Router::new(),
+            &mut load,
+            &mut rng,
+            UserId(1),
+            entry,
+            "nope",
+            SimTime::ZERO,
+            None,
+            None,
+            &FaultPlan::none(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, SimError::UnknownEndpoint { .. }));
+    }
+}

@@ -1,0 +1,181 @@
+//! Fault injection: controlled degradation windows.
+//!
+//! The evaluation scenarios of Chapter 5 "introduced sub-scenarios
+//! involving simulated performance issues" (Section 1.4.3), and testing
+//! Bifrost's fallback behaviour requires failures that strike *mid-
+//! experiment*. A [`FaultPlan`] schedules per-version degradation windows
+//! — latency spikes, error bursts, outages — that the request executor
+//! applies on top of the normal latency/error models.
+
+use crate::app::VersionId;
+use cex_core::simtime::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// What kind of degradation a fault inflicts.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum FaultKind {
+    /// Service times multiplied by this factor.
+    LatencySpike {
+        /// Latency multiplier (> 1).
+        multiplier: f64,
+    },
+    /// Additional failure probability on every hop.
+    ErrorBurst {
+        /// Extra error rate in `0.0..=1.0`.
+        extra_error_rate: f64,
+    },
+    /// Every request to the version fails.
+    Outage,
+}
+
+/// One scheduled fault window on one deployed version.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Fault {
+    /// The afflicted version.
+    pub version: VersionId,
+    /// Degradation kind.
+    pub kind: FaultKind,
+    /// Window start (inclusive).
+    pub from: SimTime,
+    /// Window end (exclusive).
+    pub until: SimTime,
+}
+
+/// Combined fault effects at one instant.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultEffects {
+    /// Multiplier applied to sampled service times.
+    pub latency_multiplier: f64,
+    /// Extra failure probability added to the endpoint's own error rate.
+    pub extra_error_rate: f64,
+}
+
+impl FaultEffects {
+    /// No fault active.
+    pub const NONE: FaultEffects = FaultEffects { latency_multiplier: 1.0, extra_error_rate: 0.0 };
+}
+
+/// A schedule of fault windows.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct FaultPlan {
+    faults: Vec<Fault>,
+}
+
+impl FaultPlan {
+    /// An empty plan (no faults ever).
+    pub fn none() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Adds a fault window.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the window is empty (`until <= from`) or a multiplier/
+    /// rate is out of domain.
+    pub fn inject(&mut self, fault: Fault) -> &mut Self {
+        assert!(fault.from < fault.until, "fault window must be non-empty");
+        match fault.kind {
+            FaultKind::LatencySpike { multiplier } => {
+                assert!(multiplier >= 1.0, "latency spike must not speed things up")
+            }
+            FaultKind::ErrorBurst { extra_error_rate } => {
+                assert!((0.0..=1.0).contains(&extra_error_rate), "error rate in 0..=1")
+            }
+            FaultKind::Outage => {}
+        }
+        self.faults.push(fault);
+        self
+    }
+
+    /// All scheduled faults.
+    pub fn faults(&self) -> &[Fault] {
+        &self.faults
+    }
+
+    /// `true` when no faults are scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+
+    /// The combined effects on `version` at time `now`. Overlapping
+    /// windows compose: latency multipliers multiply, error rates add
+    /// (capped at 1).
+    pub fn effects(&self, version: VersionId, now: SimTime) -> FaultEffects {
+        let mut effects = FaultEffects::NONE;
+        for fault in &self.faults {
+            if fault.version != version || now < fault.from || now >= fault.until {
+                continue;
+            }
+            match fault.kind {
+                FaultKind::LatencySpike { multiplier } => {
+                    effects.latency_multiplier *= multiplier;
+                }
+                FaultKind::ErrorBurst { extra_error_rate } => {
+                    effects.extra_error_rate =
+                        (effects.extra_error_rate + extra_error_rate).min(1.0);
+                }
+                FaultKind::Outage => {
+                    effects.extra_error_rate = 1.0;
+                }
+            }
+        }
+        effects
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn window(from_s: u64, until_s: u64, kind: FaultKind) -> Fault {
+        Fault {
+            version: VersionId(0),
+            kind,
+            from: SimTime::from_secs(from_s),
+            until: SimTime::from_secs(until_s),
+        }
+    }
+
+    #[test]
+    fn effects_respect_window_bounds() {
+        let mut plan = FaultPlan::none();
+        plan.inject(window(10, 20, FaultKind::LatencySpike { multiplier: 3.0 }));
+        assert_eq!(plan.effects(VersionId(0), SimTime::from_secs(9)), FaultEffects::NONE);
+        let active = plan.effects(VersionId(0), SimTime::from_secs(10));
+        assert_eq!(active.latency_multiplier, 3.0);
+        assert_eq!(plan.effects(VersionId(0), SimTime::from_secs(20)), FaultEffects::NONE);
+    }
+
+    #[test]
+    fn effects_are_per_version() {
+        let mut plan = FaultPlan::none();
+        plan.inject(window(0, 100, FaultKind::Outage));
+        assert_eq!(plan.effects(VersionId(1), SimTime::from_secs(5)), FaultEffects::NONE);
+        assert_eq!(plan.effects(VersionId(0), SimTime::from_secs(5)).extra_error_rate, 1.0);
+    }
+
+    #[test]
+    fn overlapping_faults_compose() {
+        let mut plan = FaultPlan::none();
+        plan.inject(window(0, 100, FaultKind::LatencySpike { multiplier: 2.0 }))
+            .inject(window(0, 100, FaultKind::LatencySpike { multiplier: 3.0 }))
+            .inject(window(0, 100, FaultKind::ErrorBurst { extra_error_rate: 0.6 }))
+            .inject(window(0, 100, FaultKind::ErrorBurst { extra_error_rate: 0.7 }));
+        let e = plan.effects(VersionId(0), SimTime::from_secs(1));
+        assert_eq!(e.latency_multiplier, 6.0);
+        assert_eq!(e.extra_error_rate, 1.0, "error rates cap at 1");
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_window_rejected() {
+        FaultPlan::none().inject(window(10, 10, FaultKind::Outage));
+    }
+
+    #[test]
+    #[should_panic(expected = "speed things up")]
+    fn sub_unit_spike_rejected() {
+        FaultPlan::none().inject(window(0, 1, FaultKind::LatencySpike { multiplier: 0.5 }));
+    }
+}

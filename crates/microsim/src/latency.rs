@@ -1,0 +1,151 @@
+//! Per-endpoint latency models.
+//!
+//! Endpoint service times are sampled from a configurable distribution and
+//! then inflated by the version's current load (see [`crate::load`]), which
+//! reproduces the qualitative effects the paper observed: dark-launch
+//! traffic duplication drives up load and thereby response times in parts
+//! of the system, while A/B splits *reduce* per-version load.
+
+use cex_core::rng::SplitMix64;
+use cex_core::simtime::SimDuration;
+use serde::{Deserialize, Serialize};
+
+/// A latency distribution for one endpoint's own service time
+/// (excluding downstream calls).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum LatencyModel {
+    /// Always exactly this many milliseconds.
+    Constant {
+        /// Service time in milliseconds.
+        ms: f64,
+    },
+    /// Uniform in `lo..hi` milliseconds.
+    Uniform {
+        /// Lower bound (inclusive), milliseconds.
+        lo: f64,
+        /// Upper bound (exclusive), milliseconds.
+        hi: f64,
+    },
+    /// Log-normal with the given median and shape — the standard model for
+    /// web-service response times (long right tail).
+    LogNormal {
+        /// Median service time in milliseconds.
+        median_ms: f64,
+        /// Shape parameter σ of the underlying normal (0.3–0.7 is typical).
+        sigma: f64,
+    },
+}
+
+impl LatencyModel {
+    /// A log-normal model with a typical web-service tail.
+    pub fn web(median_ms: f64) -> LatencyModel {
+        LatencyModel::LogNormal { median_ms, sigma: 0.4 }
+    }
+
+    /// Samples one service time in milliseconds.
+    pub fn sample_ms(&self, rng: &mut SplitMix64) -> f64 {
+        match *self {
+            LatencyModel::Constant { ms } => ms,
+            LatencyModel::Uniform { lo, hi } => lo + (hi - lo) * rng.next_f64(),
+            LatencyModel::LogNormal { median_ms, sigma } => {
+                let z = standard_normal(rng);
+                median_ms * (sigma * z).exp()
+            }
+        }
+    }
+
+    /// Samples one service time as a [`SimDuration`] after applying a load
+    /// multiplier (`1.0` = unloaded).
+    pub fn sample(&self, rng: &mut SplitMix64, load_multiplier: f64) -> SimDuration {
+        let ms = (self.sample_ms(rng) * load_multiplier).max(0.0);
+        SimDuration::from_millis(ms.round() as u64)
+    }
+
+    /// The distribution mean in milliseconds (analytic), used by capacity
+    /// planning in tests and the load model's sanity checks.
+    pub fn mean_ms(&self) -> f64 {
+        match *self {
+            LatencyModel::Constant { ms } => ms,
+            LatencyModel::Uniform { lo, hi } => (lo + hi) / 2.0,
+            LatencyModel::LogNormal { median_ms, sigma } => median_ms * (sigma * sigma / 2.0).exp(),
+        }
+    }
+}
+
+impl Default for LatencyModel {
+    /// A 10 ms median web endpoint.
+    fn default() -> Self {
+        LatencyModel::web(10.0)
+    }
+}
+
+/// Samples a standard normal deviate via Box–Muller (one branch, no state).
+fn standard_normal(rng: &mut SplitMix64) -> f64 {
+    // Avoid ln(0).
+    let u1 = (rng.next_f64()).max(f64::MIN_POSITIVE);
+    let u2 = rng.next_f64();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_mean(model: LatencyModel, n: usize) -> f64 {
+        let mut rng = SplitMix64::new(12345);
+        (0..n).map(|_| model.sample_ms(&mut rng)).sum::<f64>() / n as f64
+    }
+
+    #[test]
+    fn constant_is_constant() {
+        let m = LatencyModel::Constant { ms: 7.0 };
+        let mut rng = SplitMix64::new(1);
+        for _ in 0..10 {
+            assert_eq!(m.sample_ms(&mut rng), 7.0);
+        }
+        assert_eq!(m.mean_ms(), 7.0);
+    }
+
+    #[test]
+    fn uniform_stays_in_bounds_and_matches_mean() {
+        let m = LatencyModel::Uniform { lo: 5.0, hi: 15.0 };
+        let mut rng = SplitMix64::new(2);
+        for _ in 0..1_000 {
+            let v = m.sample_ms(&mut rng);
+            assert!((5.0..15.0).contains(&v));
+        }
+        assert!((sample_mean(m, 100_000) - m.mean_ms()).abs() < 0.1);
+    }
+
+    #[test]
+    fn lognormal_empirical_mean_matches_analytic() {
+        let m = LatencyModel::web(20.0);
+        let analytic = m.mean_ms();
+        let empirical = sample_mean(m, 200_000);
+        assert!(
+            (empirical - analytic).abs() / analytic < 0.02,
+            "empirical {empirical} vs analytic {analytic}"
+        );
+    }
+
+    #[test]
+    fn lognormal_is_positive_and_right_tailed() {
+        let m = LatencyModel::web(10.0);
+        let mut rng = SplitMix64::new(3);
+        let samples: Vec<f64> = (0..10_000).map(|_| m.sample_ms(&mut rng)).collect();
+        assert!(samples.iter().all(|v| *v > 0.0));
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        let mut sorted = samples.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = sorted[sorted.len() / 2];
+        assert!(mean > median, "log-normal must be right-skewed");
+    }
+
+    #[test]
+    fn load_multiplier_scales_sample() {
+        let m = LatencyModel::Constant { ms: 10.0 };
+        let mut rng = SplitMix64::new(4);
+        assert_eq!(m.sample(&mut rng, 1.0).as_millis(), 10);
+        assert_eq!(m.sample(&mut rng, 2.5).as_millis(), 25);
+    }
+}

@@ -1,0 +1,246 @@
+//! The windowed metric store — the telemetry backbone.
+//!
+//! "Monitoring is a prerequisite for keeping developers aware of events in
+//! production environments. With continuous experimentation, the importance
+//! of monitoring applications even increases" (Section 2.5.1). Bifrost
+//! checks query this store; Figure 4.6 plots its moving averages.
+//!
+//! Series are keyed by a free-form *scope* string (conventionally
+//! `service@version` for infrastructure metrics and `exp:<name>/<variant>`
+//! for experiment-level metrics) plus a [`MetricKind`]. Samples arrive in
+//! virtual-time order, so window queries use binary search.
+
+use cex_core::metrics::{MetricKind, OnlineStats, Sample, Summary};
+use cex_core::simtime::{SimDuration, SimTime};
+use parking_lot::RwLock;
+use std::collections::HashMap;
+
+type Key = (String, MetricKind);
+
+/// Thread-safe, append-mostly metric store.
+///
+/// Interior mutability (a [`RwLock`]) lets the Bifrost engine's worker
+/// threads share one store by reference.
+#[derive(Debug, Default)]
+pub struct MetricStore {
+    inner: RwLock<HashMap<Key, Vec<Sample>>>,
+}
+
+impl MetricStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        MetricStore::default()
+    }
+
+    /// Records one observation.
+    ///
+    /// Samples for one series should arrive in non-decreasing time order
+    /// (the virtual clock guarantees this); out-of-order samples are
+    /// accepted but degrade window queries for their series.
+    pub fn record(&self, scope: &str, metric: MetricKind, sample: Sample) {
+        let mut map = self.inner.write();
+        map.entry((scope.to_string(), metric)).or_default().push(sample);
+    }
+
+    /// Convenience: records `value` at `time`.
+    pub fn record_value(&self, scope: &str, metric: MetricKind, time: SimTime, value: f64) {
+        self.record(scope, metric, Sample::new(time, value));
+    }
+
+    /// Number of samples in a series.
+    pub fn count(&self, scope: &str, metric: MetricKind) -> usize {
+        self.inner.read().get(&(scope.to_string(), metric)).map(|v| v.len()).unwrap_or(0)
+    }
+
+    /// All scopes currently holding at least one series.
+    pub fn scopes(&self) -> Vec<String> {
+        let map = self.inner.read();
+        let mut scopes: Vec<String> = map.keys().map(|(s, _)| s.clone()).collect();
+        scopes.sort();
+        scopes.dedup();
+        scopes
+    }
+
+    /// Summary of the samples with `from <= time < to`.
+    pub fn summary_between(
+        &self,
+        scope: &str,
+        metric: MetricKind,
+        from: SimTime,
+        to: SimTime,
+    ) -> Summary {
+        let map = self.inner.read();
+        let mut acc = OnlineStats::new();
+        if let Some(series) = map.get(&(scope.to_string(), metric)) {
+            let start = series.partition_point(|s| s.time < from);
+            for sample in &series[start..] {
+                if sample.time >= to {
+                    break;
+                }
+                acc.push(sample.value);
+            }
+        }
+        acc.summary()
+    }
+
+    /// Summary of the trailing `window` ending at `now` (exclusive of
+    /// samples at exactly `now`? — inclusive: `now - window <= t <= now`).
+    pub fn window_summary(
+        &self,
+        scope: &str,
+        metric: MetricKind,
+        now: SimTime,
+        window: SimDuration,
+    ) -> Summary {
+        let from = SimTime::from_millis(now.as_millis().saturating_sub(window.as_millis()));
+        self.summary_between(scope, metric, from, now + SimDuration::from_millis(1))
+    }
+
+    /// Moving average: for each step boundary in `[start, end)` emits the
+    /// mean of the trailing `window`. This regenerates the "3-second moving
+    /// average of monitored response times" of Figure 4.6.
+    pub fn moving_average(
+        &self,
+        scope: &str,
+        metric: MetricKind,
+        start: SimTime,
+        end: SimTime,
+        window: SimDuration,
+        step: SimDuration,
+    ) -> Vec<(SimTime, f64)> {
+        assert!(!step.is_zero(), "step must be positive");
+        let mut out = Vec::new();
+        let mut t = start;
+        while t < end {
+            let s = self.window_summary(scope, metric, t, window);
+            if s.count > 0 {
+                out.push((t, s.mean));
+            }
+            t += step;
+        }
+        out
+    }
+
+    /// Removes every series of a scope (e.g. when an experiment finishes).
+    pub fn clear_scope(&self, scope: &str) {
+        let mut map = self.inner.write();
+        map.retain(|(s, _), _| s != scope);
+    }
+
+    /// Total number of stored samples across all series (for capacity
+    /// accounting in the engine benches).
+    pub fn total_samples(&self) -> usize {
+        self.inner.read().values().map(|v| v.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store_with_ramp() -> MetricStore {
+        let store = MetricStore::new();
+        // value(t) = t/1000 for t = 0ms, 100ms, …, 9900ms
+        for i in 0..100u64 {
+            store.record_value(
+                "svc@1.0.0",
+                MetricKind::ResponseTime,
+                SimTime::from_millis(i * 100),
+                i as f64,
+            );
+        }
+        store
+    }
+
+    #[test]
+    fn counts_and_scopes() {
+        let store = store_with_ramp();
+        assert_eq!(store.count("svc@1.0.0", MetricKind::ResponseTime), 100);
+        assert_eq!(store.count("svc@1.0.0", MetricKind::ErrorRate), 0);
+        assert_eq!(store.scopes(), vec!["svc@1.0.0".to_string()]);
+        assert_eq!(store.total_samples(), 100);
+    }
+
+    #[test]
+    fn summary_between_respects_bounds() {
+        let store = store_with_ramp();
+        let s = store.summary_between(
+            "svc@1.0.0",
+            MetricKind::ResponseTime,
+            SimTime::from_millis(1_000),
+            SimTime::from_millis(2_000),
+        );
+        // Samples at 1000..1900ms → values 10..=19.
+        assert_eq!(s.count, 10);
+        assert!((s.mean - 14.5).abs() < 1e-12);
+        assert_eq!(s.min, 10.0);
+        assert_eq!(s.max, 19.0);
+    }
+
+    #[test]
+    fn window_summary_trailing() {
+        let store = store_with_ramp();
+        let s = store.window_summary(
+            "svc@1.0.0",
+            MetricKind::ResponseTime,
+            SimTime::from_millis(9_900),
+            SimDuration::from_millis(500),
+        );
+        // Samples at 9400..=9900 → values 94..=99.
+        assert_eq!(s.count, 6);
+        assert_eq!(s.max, 99.0);
+    }
+
+    #[test]
+    fn empty_series_gives_empty_summary() {
+        let store = MetricStore::new();
+        let s = store.window_summary("x", MetricKind::ErrorRate, SimTime::from_secs(1), SimDuration::from_secs(1));
+        assert_eq!(s.count, 0);
+    }
+
+    #[test]
+    fn moving_average_tracks_ramp() {
+        let store = store_with_ramp();
+        let ma = store.moving_average(
+            "svc@1.0.0",
+            MetricKind::ResponseTime,
+            SimTime::from_millis(3_000),
+            SimTime::from_millis(6_000),
+            SimDuration::from_secs(3),
+            SimDuration::from_secs(1),
+        );
+        assert_eq!(ma.len(), 3);
+        // The ramp's moving average increases monotonically.
+        assert!(ma.windows(2).all(|w| w[0].1 < w[1].1));
+    }
+
+    #[test]
+    fn clear_scope_removes_series() {
+        let store = store_with_ramp();
+        store.record_value("other", MetricKind::ErrorRate, SimTime::ZERO, 0.0);
+        store.clear_scope("svc@1.0.0");
+        assert_eq!(store.count("svc@1.0.0", MetricKind::ResponseTime), 0);
+        assert_eq!(store.count("other", MetricKind::ErrorRate), 1);
+    }
+
+    #[test]
+    fn store_is_shareable_across_threads() {
+        let store = MetricStore::new();
+        std::thread::scope(|scope| {
+            for worker in 0..4u64 {
+                let store = &store;
+                scope.spawn(move || {
+                    for i in 0..100 {
+                        store.record_value(
+                            "shared",
+                            MetricKind::Throughput,
+                            SimTime::from_millis(worker * 1_000 + i),
+                            1.0,
+                        );
+                    }
+                });
+            }
+        });
+        assert_eq!(store.count("shared", MetricKind::Throughput), 400);
+    }
+}

@@ -1,0 +1,374 @@
+//! The simulation facade: application + router + monitoring + tracing on a
+//! virtual clock.
+//!
+//! [`Simulation`] owns all moving parts and exposes the operations Bifrost
+//! and the evaluation harnesses need: advance virtual time under a
+//! workload, mutate routing between windows, deploy new versions, and read
+//! the metric store and trace collector.
+
+use crate::app::{Application, VersionId, VersionSpec};
+use crate::error::SimError;
+use crate::exec::execute_request;
+use crate::faults::{Fault, FaultPlan};
+use crate::load::LoadTracker;
+use crate::monitor::MetricStore;
+use crate::routing::Router;
+use crate::trace::{Trace, TraceCollector};
+use crate::workload::{ArrivalProcess, Workload};
+use cex_core::metrics::{MetricKind, OnlineStats, Summary};
+use cex_core::rng::{sub_seed, SplitMix64};
+use cex_core::simtime::{SimDuration, SimTime};
+
+/// Scope under which end-to-end (user-perceived) metrics are recorded.
+pub const APP_SCOPE: &str = "app";
+
+/// Aggregate outcome of one simulated window.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunReport {
+    /// Window start.
+    pub from: SimTime,
+    /// Window end.
+    pub to: SimTime,
+    /// Requests executed (primary traffic only).
+    pub requests: u64,
+    /// Requests that failed.
+    pub failures: u64,
+    /// End-to-end response-time summary in milliseconds.
+    pub response_time: Summary,
+}
+
+impl RunReport {
+    /// Achieved throughput in requests per second.
+    pub fn throughput_rps(&self) -> f64 {
+        let secs = (self.to - self.from).as_millis() as f64 / 1_000.0;
+        if secs > 0.0 {
+            self.requests as f64 / secs
+        } else {
+            0.0
+        }
+    }
+
+    /// Fraction of failed requests.
+    pub fn error_rate(&self) -> f64 {
+        if self.requests == 0 {
+            0.0
+        } else {
+            self.failures as f64 / self.requests as f64
+        }
+    }
+}
+
+/// The simulation facade.
+#[derive(Debug)]
+pub struct Simulation {
+    app: Application,
+    router: Router,
+    load: LoadTracker,
+    store: MetricStore,
+    collector: TraceCollector,
+    clock: SimTime,
+    rng: SplitMix64,
+    workload_seed: u64,
+    windows_run: u64,
+    faults: FaultPlan,
+}
+
+impl Simulation {
+    /// Creates a simulation over `app` with baseline routing, full trace
+    /// sampling disabled (sampling 0.05) and the clock at zero.
+    pub fn new(app: Application, seed: u64) -> Self {
+        let load = LoadTracker::new(&app);
+        Simulation {
+            app,
+            router: Router::new(),
+            load,
+            store: MetricStore::new(),
+            collector: TraceCollector::sampled(0.05),
+            clock: SimTime::ZERO,
+            rng: SplitMix64::new(sub_seed(seed, 0)),
+            workload_seed: sub_seed(seed, 1),
+            windows_run: 0,
+            faults: FaultPlan::none(),
+        }
+    }
+
+    /// Schedules a fault window (see [`crate::faults`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the fault window is malformed.
+    pub fn inject_fault(&mut self, fault: Fault) {
+        self.faults.inject(fault);
+    }
+
+    /// The active fault plan.
+    pub fn faults(&self) -> &FaultPlan {
+        &self.faults
+    }
+
+    /// Replaces the router (e.g. to enable proxy-overhead modelling).
+    pub fn set_router(&mut self, router: Router) {
+        self.router = router;
+    }
+
+    /// Shared access to the router.
+    pub fn router(&self) -> &Router {
+        &self.router
+    }
+
+    /// Mutable access to the router (Bifrost enacts phases through this).
+    pub fn router_mut(&mut self) -> &mut Router {
+        &mut self.router
+    }
+
+    /// Sets the trace sampling fraction.
+    pub fn set_trace_sampling(&mut self, fraction: f64) {
+        self.collector = TraceCollector::sampled(fraction);
+    }
+
+    /// The application under simulation.
+    pub fn app(&self) -> &Application {
+        &self.app
+    }
+
+    /// Deploys a new version (experiments do this at runtime).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError`] when the spec is invalid.
+    pub fn deploy(&mut self, spec: VersionSpec) -> Result<VersionId, SimError> {
+        let id = self.app.deploy(spec)?;
+        self.app.validate()?;
+        self.load.resize_for(&self.app);
+        Ok(id)
+    }
+
+    /// The metric store.
+    pub fn store(&self) -> &MetricStore {
+        &self.store
+    }
+
+    /// Collected traces so far.
+    pub fn traces(&self) -> &[Trace] {
+        self.collector.traces()
+    }
+
+    /// Removes and returns collected traces.
+    pub fn drain_traces(&mut self) -> Vec<Trace> {
+        self.collector.drain()
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.clock
+    }
+
+    /// Runs a window of `duration` under a simple single-entry workload at
+    /// `rate_rps`, entering at the first endpoint of service 0's baseline.
+    pub fn run(&mut self, duration: SimDuration, rate_rps: f64) -> RunReport {
+        let entry_service = crate::app::ServiceId(0);
+        let baseline = self.app.baseline_of(entry_service);
+        let endpoint = self.app.endpoint(self.app.version(baseline).endpoints[0]).name.clone();
+        let workload = Workload::simple(entry_service, endpoint, rate_rps);
+        self.run_with(duration, &workload)
+    }
+
+    /// Runs a window of `duration` under `workload`, advancing the clock.
+    ///
+    /// Per-request, per-version metrics land in the store under
+    /// `service@version` scopes; end-to-end metrics under [`APP_SCOPE`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the workload references unknown services/endpoints (a
+    /// configuration error in the harness, not a runtime condition).
+    pub fn run_with(&mut self, duration: SimDuration, workload: &Workload) -> RunReport {
+        let from = self.clock;
+        let to = from + duration;
+        let window_seed = sub_seed(self.workload_seed, self.windows_run);
+        self.windows_run += 1;
+        let mut arrivals = ArrivalProcess::new(workload.clone(), from, window_seed);
+
+        let mut requests = 0u64;
+        let mut failures = 0u64;
+        let mut rt = OnlineStats::new();
+        for arrival in arrivals.arrivals_until(to) {
+            let trace_id = self.collector.begin_trace();
+            let result = execute_request(
+                &self.app,
+                &self.router,
+                &mut self.load,
+                &mut self.rng,
+                arrival.user,
+                arrival.service,
+                &arrival.endpoint,
+                arrival.time,
+                trace_id,
+                Some(&self.store),
+                &self.faults,
+            )
+            .expect("workload references a valid entry point");
+            requests += 1;
+            if !result.ok {
+                failures += 1;
+            }
+            let ms = result.response_time.as_millis_f64();
+            rt.push(ms);
+            self.store.record_value(APP_SCOPE, MetricKind::ResponseTime, arrival.time, ms);
+            self.store.record_value(
+                APP_SCOPE,
+                MetricKind::ErrorRate,
+                arrival.time,
+                if result.ok { 0.0 } else { 1.0 },
+            );
+            if let Some(trace) = result.trace {
+                self.collector.record(trace);
+            }
+        }
+        // One throughput sample per window.
+        let secs = duration.as_millis() as f64 / 1_000.0;
+        if secs > 0.0 {
+            self.store.record_value(
+                APP_SCOPE,
+                MetricKind::Throughput,
+                to,
+                requests as f64 / secs,
+            );
+        }
+        self.clock = to;
+        RunReport { from, to, requests, failures, response_time: rt.summary() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::app::{CallDef, EndpointDef};
+    use crate::latency::LatencyModel;
+
+    fn app() -> Application {
+        let mut b = Application::builder();
+        b.version(
+            VersionSpec::new("frontend", "1.0.0").capacity(1_000.0).endpoint(
+                EndpointDef::new("home", LatencyModel::Constant { ms: 5.0 })
+                    .call(CallDef::always("backend", "api")),
+            ),
+        );
+        b.version(
+            VersionSpec::new("backend", "1.0.0")
+                .capacity(1_000.0)
+                .endpoint(EndpointDef::new("api", LatencyModel::Constant { ms: 10.0 })),
+        );
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn run_produces_consistent_report() {
+        let mut sim = Simulation::new(app(), 42);
+        let report = sim.run(SimDuration::from_secs(30), 20.0);
+        assert!(report.requests > 400, "requests {}", report.requests);
+        assert_eq!(report.failures, 0);
+        assert!((report.response_time.mean - 15.0).abs() < 0.5);
+        assert!((report.throughput_rps() - 20.0).abs() < 3.0);
+        assert_eq!(report.error_rate(), 0.0);
+        assert_eq!(sim.now(), SimTime::from_secs(30));
+    }
+
+    #[test]
+    fn runs_are_deterministic_per_seed() {
+        let mut a = Simulation::new(app(), 7);
+        let mut b = Simulation::new(app(), 7);
+        let ra = a.run(SimDuration::from_secs(10), 50.0);
+        let rb = b.run(SimDuration::from_secs(10), 50.0);
+        assert_eq!(ra, rb);
+        let mut c = Simulation::new(app(), 8);
+        let rc = c.run(SimDuration::from_secs(10), 50.0);
+        assert_ne!(ra.requests, 0);
+        assert!(ra != rc || ra.requests != rc.requests);
+    }
+
+    #[test]
+    fn consecutive_windows_advance_clock_and_differ() {
+        let mut sim = Simulation::new(app(), 1);
+        let r1 = sim.run(SimDuration::from_secs(5), 30.0);
+        let r2 = sim.run(SimDuration::from_secs(5), 30.0);
+        assert_eq!(r1.to, r2.from);
+        assert_eq!(sim.now(), SimTime::from_secs(10));
+    }
+
+    #[test]
+    fn metrics_and_traces_accumulate() {
+        let mut sim = Simulation::new(app(), 3);
+        sim.set_trace_sampling(0.5);
+        let report = sim.run(SimDuration::from_secs(20), 20.0);
+        assert!(sim.store().count(APP_SCOPE, MetricKind::ResponseTime) as u64 == report.requests);
+        assert!(sim.store().count("frontend@1.0.0", MetricKind::ResponseTime) as u64 == report.requests);
+        let traced = sim.traces().len() as f64 / report.requests as f64;
+        assert!((traced - 0.5).abs() < 0.05, "trace share {traced}");
+        let drained = sim.drain_traces();
+        assert!(!drained.is_empty());
+        assert!(sim.traces().is_empty());
+    }
+
+    #[test]
+    fn deploy_and_route_to_candidate() {
+        let mut sim = Simulation::new(app(), 5);
+        let candidate = sim
+            .deploy(
+                VersionSpec::new("backend", "2.0.0")
+                    .capacity(1_000.0)
+                    .endpoint(EndpointDef::new("api", LatencyModel::Constant { ms: 50.0 })),
+            )
+            .unwrap();
+        let backend = sim.app().service_id("backend").unwrap();
+        let app_snapshot = sim.app().clone();
+        sim.router_mut().set_split(&app_snapshot, backend, vec![(candidate, 1.0)]).unwrap();
+        let report = sim.run(SimDuration::from_secs(10), 20.0);
+        assert!((report.response_time.mean - 55.0).abs() < 1.0, "mean {}", report.response_time.mean);
+    }
+
+    #[test]
+    fn injected_faults_degrade_the_window() {
+        use crate::faults::{Fault, FaultKind};
+        let mut sim = Simulation::new(app(), 13);
+        let backend = sim.app().version_id("backend", "1.0.0").unwrap();
+        sim.inject_fault(Fault {
+            version: backend,
+            kind: FaultKind::LatencySpike { multiplier: 5.0 },
+            from: SimTime::from_secs(10),
+            until: SimTime::from_secs(20),
+        });
+        sim.inject_fault(Fault {
+            version: backend,
+            kind: FaultKind::ErrorBurst { extra_error_rate: 0.5 },
+            from: SimTime::from_secs(10),
+            until: SimTime::from_secs(20),
+        });
+        let healthy = sim.run(SimDuration::from_secs(10), 30.0);
+        let faulty = sim.run(SimDuration::from_secs(10), 30.0);
+        let recovered = sim.run(SimDuration::from_secs(10), 30.0);
+        assert_eq!(healthy.failures, 0);
+        assert!(faulty.error_rate() > 0.3, "error rate {}", faulty.error_rate());
+        assert!(
+            faulty.response_time.mean > 2.0 * healthy.response_time.mean,
+            "faulty {} vs healthy {}",
+            faulty.response_time.mean,
+            healthy.response_time.mean
+        );
+        assert_eq!(recovered.failures, 0);
+        assert!((recovered.response_time.mean - healthy.response_time.mean).abs() < 2.0);
+        assert!(!sim.faults().is_empty());
+    }
+
+    #[test]
+    fn proxy_overhead_shifts_end_to_end_mean() {
+        let mut bare = Simulation::new(app(), 9);
+        let base = bare.run(SimDuration::from_secs(10), 20.0);
+        let mut proxied = Simulation::new(app(), 9);
+        proxied.set_router(Router::with_proxy_overhead(SimDuration::from_millis(2)));
+        let over = proxied.run(SimDuration::from_secs(10), 20.0);
+        // Two hops × 2 ms = 4 ms extra.
+        let delta = over.response_time.mean - base.response_time.mean;
+        assert!((delta - 4.0).abs() < 0.5, "delta {delta}");
+    }
+}

@@ -1,0 +1,281 @@
+//! Zipkin/Jaeger-style distributed traces.
+//!
+//! The health-assessment approach of Chapter 5 "considers changes in the
+//! context of experiments by analyzing distributed traces (as produced by
+//! Zipkin or Jaeger) of services interacting with each other". This module
+//! reproduces the relevant span data model: every request produces a tree
+//! of spans, each naming the service, deployed version, and endpoint that
+//! served a hop, with timing and status.
+
+use cex_core::simtime::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of one end-to-end request trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct TraceId(pub u64);
+
+/// Identifier of one span within a trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct SpanId(pub u32);
+
+impl fmt::Display for TraceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "trace-{:016x}", self.0)
+    }
+}
+
+/// One hop of a request: a service version's endpoint serving a call.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Span {
+    /// Owning trace.
+    pub trace: TraceId,
+    /// This span's id, unique within the trace.
+    pub span: SpanId,
+    /// The calling span, `None` for the root.
+    pub parent: Option<SpanId>,
+    /// Service name.
+    pub service: String,
+    /// Deployed version label that served the hop.
+    pub version: String,
+    /// Endpoint name.
+    pub endpoint: String,
+    /// When the hop started.
+    pub start: SimTime,
+    /// Hop duration including downstream calls.
+    pub duration: SimDuration,
+    /// `false` when the hop failed.
+    pub ok: bool,
+    /// `true` when this hop served mirrored (dark-launch) traffic.
+    pub dark: bool,
+}
+
+impl Span {
+    /// `service@version` designator, the node identity used by the
+    /// interaction graphs of Chapter 5.
+    pub fn version_label(&self) -> String {
+        format!("{}@{}", self.service, self.version)
+    }
+
+    /// `service@version/endpoint` designator.
+    pub fn endpoint_label(&self) -> String {
+        format!("{}@{}/{}", self.service, self.version, self.endpoint)
+    }
+}
+
+/// A complete request trace: the span tree of one end-to-end request.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Trace {
+    /// Trace id.
+    pub id: TraceId,
+    /// All spans, root first.
+    pub spans: Vec<Span>,
+}
+
+impl Trace {
+    /// The root span (the user-facing entry hop).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty trace, which the collector never produces.
+    pub fn root(&self) -> &Span {
+        self.spans.iter().find(|s| s.parent.is_none()).expect("trace without root span")
+    }
+
+    /// End-to-end response time (root span duration).
+    pub fn response_time(&self) -> SimDuration {
+        self.root().duration
+    }
+
+    /// `true` when every span succeeded.
+    pub fn ok(&self) -> bool {
+        self.spans.iter().all(|s| s.ok)
+    }
+
+    /// Child spans of `parent`, in call order.
+    pub fn children_of(&self, parent: SpanId) -> impl Iterator<Item = &Span> {
+        self.spans.iter().filter(move |s| s.parent == Some(parent))
+    }
+}
+
+/// Collects sampled traces, as the tracing backend (Zipkin/Jaeger) would.
+#[derive(Debug, Clone)]
+pub struct TraceCollector {
+    sampling: f64,
+    traces: Vec<Trace>,
+    next_trace: u64,
+    /// Deterministic sampling counter (every `1/sampling`-th request).
+    accumulator: f64,
+}
+
+impl TraceCollector {
+    /// Collects every trace.
+    pub fn all() -> Self {
+        TraceCollector::sampled(1.0)
+    }
+
+    /// Collects the given fraction of traces (`0.0..=1.0`), deterministically
+    /// (every `1/fraction`-th request) so runs are reproducible.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `fraction` is outside `0.0..=1.0`.
+    pub fn sampled(fraction: f64) -> Self {
+        assert!(
+            fraction.is_finite() && (0.0..=1.0).contains(&fraction),
+            "sampling fraction must be in 0.0..=1.0"
+        );
+        TraceCollector { sampling: fraction, traces: Vec::new(), next_trace: 1, accumulator: 0.0 }
+    }
+
+    /// Reserves the next trace id and reports whether this request should
+    /// be traced at all (sampling decision).
+    pub fn begin_trace(&mut self) -> Option<TraceId> {
+        let id = TraceId(self.next_trace);
+        self.next_trace += 1;
+        self.accumulator += self.sampling;
+        if self.accumulator >= 1.0 {
+            self.accumulator -= 1.0;
+            Some(id)
+        } else {
+            None
+        }
+    }
+
+    /// Stores a finished trace.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the trace has no spans.
+    pub fn record(&mut self, trace: Trace) {
+        assert!(!trace.spans.is_empty(), "refusing to record an empty trace");
+        self.traces.push(trace);
+    }
+
+    /// All collected traces.
+    pub fn traces(&self) -> &[Trace] {
+        &self.traces
+    }
+
+    /// Number of collected traces.
+    pub fn len(&self) -> usize {
+        self.traces.len()
+    }
+
+    /// `true` when nothing has been collected.
+    pub fn is_empty(&self) -> bool {
+        self.traces.is_empty()
+    }
+
+    /// Removes and returns all collected traces.
+    pub fn drain(&mut self) -> Vec<Trace> {
+        std::mem::take(&mut self.traces)
+    }
+}
+
+impl Default for TraceCollector {
+    fn default() -> Self {
+        TraceCollector::all()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(trace: u64, id: u32, parent: Option<u32>, ok: bool) -> Span {
+        Span {
+            trace: TraceId(trace),
+            span: SpanId(id),
+            parent: parent.map(SpanId),
+            service: "svc".into(),
+            version: "1.0.0".into(),
+            endpoint: "api".into(),
+            start: SimTime::from_millis(0),
+            duration: SimDuration::from_millis(10),
+            ok,
+            dark: false,
+        }
+    }
+
+    #[test]
+    fn trace_navigation() {
+        let t = Trace {
+            id: TraceId(1),
+            spans: vec![span(1, 0, None, true), span(1, 1, Some(0), true), span(1, 2, Some(0), false)],
+        };
+        assert_eq!(t.root().span, SpanId(0));
+        assert_eq!(t.response_time().as_millis(), 10);
+        assert!(!t.ok());
+        assert_eq!(t.children_of(SpanId(0)).count(), 2);
+        assert_eq!(t.children_of(SpanId(1)).count(), 0);
+    }
+
+    #[test]
+    fn labels() {
+        let s = span(1, 0, None, true);
+        assert_eq!(s.version_label(), "svc@1.0.0");
+        assert_eq!(s.endpoint_label(), "svc@1.0.0/api");
+    }
+
+    #[test]
+    fn full_sampling_collects_everything() {
+        let mut c = TraceCollector::all();
+        let mut collected = 0;
+        for _ in 0..10 {
+            if let Some(id) = c.begin_trace() {
+                c.record(Trace { id, spans: vec![span(id.0, 0, None, true)] });
+                collected += 1;
+            }
+        }
+        assert_eq!(collected, 10);
+        assert_eq!(c.len(), 10);
+    }
+
+    #[test]
+    fn fractional_sampling_is_proportional_and_deterministic() {
+        let mut c = TraceCollector::sampled(0.25);
+        let decisions: Vec<bool> = (0..100).map(|_| c.begin_trace().is_some()).collect();
+        assert_eq!(decisions.iter().filter(|d| **d).count(), 25);
+        let mut c2 = TraceCollector::sampled(0.25);
+        let decisions2: Vec<bool> = (0..100).map(|_| c2.begin_trace().is_some()).collect();
+        assert_eq!(decisions, decisions2);
+    }
+
+    #[test]
+    fn zero_sampling_collects_nothing() {
+        let mut c = TraceCollector::sampled(0.0);
+        for _ in 0..10 {
+            assert!(c.begin_trace().is_none());
+        }
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn trace_ids_are_unique_even_when_unsampled() {
+        let mut c = TraceCollector::sampled(0.5);
+        // Ids advance for every request so sampled subsets stay globally
+        // identifiable.
+        let a = loop {
+            if let Some(id) = c.begin_trace() {
+                break id;
+            }
+        };
+        let b = loop {
+            if let Some(id) = c.begin_trace() {
+                break id;
+            }
+        };
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn drain_empties_collector() {
+        let mut c = TraceCollector::all();
+        let id = c.begin_trace().unwrap();
+        c.record(Trace { id, spans: vec![span(id.0, 0, None, true)] });
+        let drained = c.drain();
+        assert_eq!(drained.len(), 1);
+        assert!(c.is_empty());
+    }
+}

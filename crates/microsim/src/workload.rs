@@ -1,0 +1,265 @@
+//! Open-loop workload generation.
+//!
+//! Continuous experimentation "does not mimic user behavior, it rather uses
+//! real users' interactions with the system" (Chapter 1). The simulator's
+//! stand-in for real users is an open-loop arrival process: requests arrive
+//! with exponential gaps (Poisson process) at a configurable rate, each
+//! issued by a user drawn from a [`Population`] and entering the
+//! application at a weighted entry endpoint.
+
+use crate::app::ServiceId;
+use crate::routing::UserId;
+use cex_core::rng::SplitMix64;
+use cex_core::simtime::{SimDuration, SimTime};
+use cex_core::users::{GroupId, Population};
+use serde::{Deserialize, Serialize};
+
+/// A weighted entry point into the application.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EntryPoint {
+    /// Entry service.
+    pub service: ServiceId,
+    /// Entry endpoint name.
+    pub endpoint: String,
+    /// Relative weight among all entry points.
+    pub weight: f64,
+}
+
+/// Workload description: who calls what, how often.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Workload {
+    /// The user population issuing requests.
+    pub population: Population,
+    /// Mean arrival rate in requests per second.
+    pub rate_rps: f64,
+    /// Weighted entry points (must be non-empty; weights need not sum to 1).
+    pub entries: Vec<EntryPoint>,
+}
+
+impl Workload {
+    /// A single-entry workload over a single anonymous user group.
+    pub fn simple(service: ServiceId, endpoint: impl Into<String>, rate_rps: f64) -> Self {
+        Workload {
+            population: Population::single("all", 10_000),
+            rate_rps,
+            entries: vec![EntryPoint { service, endpoint: endpoint.into(), weight: 1.0 }],
+        }
+    }
+}
+
+/// One generated request arrival.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Arrival {
+    /// Virtual arrival time.
+    pub time: SimTime,
+    /// The issuing user.
+    pub user: UserId,
+    /// The user's group.
+    pub group: GroupId,
+    /// Entry service.
+    pub service: ServiceId,
+    /// Entry endpoint name.
+    pub endpoint: String,
+}
+
+/// Generates Poisson arrivals for a [`Workload`] over a time window.
+///
+/// User ids are laid out in contiguous per-group ranges so a
+/// [`UserId`] can be mapped back to its group with
+/// [`ArrivalProcess::group_of`].
+#[derive(Debug, Clone)]
+pub struct ArrivalProcess {
+    workload: Workload,
+    group_bases: Vec<u64>,
+    cumulative_entry_weights: Vec<f64>,
+    rng: SplitMix64,
+    now: SimTime,
+}
+
+impl ArrivalProcess {
+    /// Creates a process starting at `start`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the workload has no entries or a non-positive rate.
+    pub fn new(workload: Workload, start: SimTime, seed: u64) -> Self {
+        assert!(!workload.entries.is_empty(), "workload needs at least one entry point");
+        assert!(workload.rate_rps > 0.0, "arrival rate must be positive");
+        let mut group_bases = Vec::with_capacity(workload.population.len());
+        let mut base = 0u64;
+        for (_, g) in workload.population.iter() {
+            group_bases.push(base);
+            base += g.size().max(1);
+        }
+        let total_weight: f64 = workload.entries.iter().map(|e| e.weight).sum();
+        assert!(total_weight > 0.0, "entry weights must sum to a positive value");
+        let mut acc = 0.0;
+        let cumulative_entry_weights = workload
+            .entries
+            .iter()
+            .map(|e| {
+                acc += e.weight / total_weight;
+                acc
+            })
+            .collect();
+        ArrivalProcess { workload, group_bases, cumulative_entry_weights, rng: SplitMix64::new(seed), now: start }
+    }
+
+    /// The next arrival (advances virtual time).
+    pub fn next_arrival(&mut self) -> Arrival {
+        // Exponential inter-arrival gap.
+        let u = self.rng.next_f64().max(f64::MIN_POSITIVE);
+        let gap_ms = (-u.ln() / self.workload.rate_rps * 1_000.0).round().max(0.0) as u64;
+        self.now += SimDuration::from_millis(gap_ms);
+
+        // Draw a user: group by size weight, then uniform within group.
+        let total_users = self.workload.population.total_users().max(1);
+        let pick = (self.rng.next_f64() * total_users as f64) as u64;
+        let mut group = GroupId(0);
+        let mut seen = 0u64;
+        for (gid, g) in self.workload.population.iter() {
+            seen += g.size();
+            if pick < seen {
+                group = gid;
+                break;
+            }
+            group = gid;
+        }
+        let gsize = self.workload.population.group(group).size().max(1);
+        let user = UserId(self.group_bases[group.0] + (self.rng.next_f64() * gsize as f64) as u64);
+
+        // Draw an entry point.
+        let x = self.rng.next_f64();
+        let idx = self
+            .cumulative_entry_weights
+            .iter()
+            .position(|w| x < *w)
+            .unwrap_or(self.workload.entries.len() - 1);
+        let entry = &self.workload.entries[idx];
+        Arrival {
+            time: self.now,
+            user,
+            group,
+            service: entry.service,
+            endpoint: entry.endpoint.clone(),
+        }
+    }
+
+    /// All arrivals strictly before `end`.
+    pub fn arrivals_until(&mut self, end: SimTime) -> Vec<Arrival> {
+        let mut out = Vec::new();
+        loop {
+            let a = self.next_arrival();
+            if a.time >= end {
+                // The overshooting arrival is dropped; open-loop processes
+                // are memoryless so this does not bias the next window.
+                self.now = end;
+                break;
+            }
+            out.push(a);
+        }
+        out
+    }
+
+    /// Maps a user id back to its group.
+    pub fn group_of(&self, user: UserId) -> GroupId {
+        let mut group = GroupId(0);
+        for (i, base) in self.group_bases.iter().enumerate() {
+            if user.0 >= *base {
+                group = GroupId(i);
+            }
+        }
+        group
+    }
+
+    /// Current virtual time of the process.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cex_core::users::UserGroup;
+
+    fn workload(rate: f64) -> Workload {
+        Workload {
+            population: Population::new(vec![
+                UserGroup::new("eu", 6_000),
+                UserGroup::new("us", 4_000),
+            ])
+            .unwrap(),
+            rate_rps: rate,
+            entries: vec![
+                EntryPoint { service: ServiceId(0), endpoint: "home".into(), weight: 3.0 },
+                EntryPoint { service: ServiceId(0), endpoint: "product".into(), weight: 1.0 },
+            ],
+        }
+    }
+
+    #[test]
+    fn arrival_rate_matches_target() {
+        let mut p = ArrivalProcess::new(workload(100.0), SimTime::ZERO, 42);
+        let arrivals = p.arrivals_until(SimTime::from_secs(60));
+        let rate = arrivals.len() as f64 / 60.0;
+        assert!((rate - 100.0).abs() < 5.0, "rate {rate}");
+    }
+
+    #[test]
+    fn arrivals_are_time_ordered_and_bounded() {
+        let mut p = ArrivalProcess::new(workload(50.0), SimTime::from_secs(5), 1);
+        let end = SimTime::from_secs(15);
+        let arrivals = p.arrivals_until(end);
+        assert!(arrivals.windows(2).all(|w| w[0].time <= w[1].time));
+        assert!(arrivals.iter().all(|a| a.time < end && a.time >= SimTime::from_secs(5)));
+        assert_eq!(p.now(), end);
+    }
+
+    #[test]
+    fn entry_weights_respected() {
+        let mut p = ArrivalProcess::new(workload(200.0), SimTime::ZERO, 7);
+        let arrivals = p.arrivals_until(SimTime::from_secs(120));
+        let home = arrivals.iter().filter(|a| a.endpoint == "home").count() as f64;
+        let share = home / arrivals.len() as f64;
+        assert!((share - 0.75).abs() < 0.03, "home share {share}");
+    }
+
+    #[test]
+    fn group_shares_follow_population() {
+        let mut p = ArrivalProcess::new(workload(200.0), SimTime::ZERO, 3);
+        let arrivals = p.arrivals_until(SimTime::from_secs(120));
+        let eu = arrivals.iter().filter(|a| a.group == GroupId(0)).count() as f64;
+        let share = eu / arrivals.len() as f64;
+        assert!((share - 0.6).abs() < 0.03, "eu share {share}");
+    }
+
+    #[test]
+    fn group_of_inverts_user_layout() {
+        let mut p = ArrivalProcess::new(workload(100.0), SimTime::ZERO, 11);
+        for _ in 0..1_000 {
+            let a = p.next_arrival();
+            assert_eq!(p.group_of(a.user), a.group);
+        }
+    }
+
+    #[test]
+    fn determinism() {
+        let mut a = ArrivalProcess::new(workload(100.0), SimTime::ZERO, 5);
+        let mut b = ArrivalProcess::new(workload(100.0), SimTime::ZERO, 5);
+        for _ in 0..100 {
+            assert_eq!(a.next_arrival(), b.next_arrival());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one entry point")]
+    fn empty_entries_panics() {
+        let w = Workload {
+            population: Population::single("all", 10),
+            rate_rps: 1.0,
+            entries: vec![],
+        };
+        ArrivalProcess::new(w, SimTime::ZERO, 1);
+    }
+}

@@ -1,0 +1,156 @@
+//! Statistical analysis over the cohort: chi-square tests of independence.
+//!
+//! The chapter's implications rest on subgroup differences — e.g.
+//! architecture blocking SMEs/corporations more than startups, startups
+//! being gated by user-base size instead (Section 2.6.3). This module
+//! makes those claims testable: Pearson's chi-square test of independence
+//! over contingency tables cross-tabulating survey answers with
+//! demographics, using the self-contained chi-square CDF from
+//! [`cex_core::stats`].
+
+use crate::model::{CompanySize, Respondent};
+use cex_core::stats::chi_square_cdf;
+use serde::{Deserialize, Serialize};
+
+/// Result of a chi-square independence test.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct IndependenceTest {
+    /// Pearson's chi-square statistic.
+    pub chi2: f64,
+    /// Degrees of freedom `(rows−1)(cols−1)`.
+    pub df: f64,
+    /// P-value of the null hypothesis "row and column variables are
+    /// independent".
+    pub p_value: f64,
+}
+
+impl IndependenceTest {
+    /// `true` when independence is rejected at level `alpha`.
+    pub fn dependent(&self, alpha: f64) -> bool {
+        self.p_value < alpha
+    }
+}
+
+/// Pearson's chi-square test of independence on an `r × c` contingency
+/// table of counts.
+///
+/// Returns `None` when the table is degenerate (fewer than two rows or
+/// columns, or an all-zero margin) — there is nothing to test.
+pub fn independence_test(table: &[Vec<u64>]) -> Option<IndependenceTest> {
+    let rows = table.len();
+    let cols = table.first()?.len();
+    if rows < 2 || cols < 2 || table.iter().any(|r| r.len() != cols) {
+        return None;
+    }
+    let row_totals: Vec<f64> = table.iter().map(|r| r.iter().sum::<u64>() as f64).collect();
+    let col_totals: Vec<f64> =
+        (0..cols).map(|c| table.iter().map(|r| r[c]).sum::<u64>() as f64).collect();
+    let grand: f64 = row_totals.iter().sum();
+    if grand == 0.0 || row_totals.iter().any(|t| *t == 0.0) || col_totals.iter().any(|t| *t == 0.0)
+    {
+        return None;
+    }
+    let mut chi2 = 0.0;
+    for (i, row) in table.iter().enumerate() {
+        for (j, observed) in row.iter().enumerate() {
+            let expected = row_totals[i] * col_totals[j] / grand;
+            let diff = *observed as f64 - expected;
+            chi2 += diff * diff / expected;
+        }
+    }
+    let df = ((rows - 1) * (cols - 1)) as f64;
+    Some(IndependenceTest { chi2, df, p_value: 1.0 - chi_square_cdf(chi2, df) })
+}
+
+/// Cross-tabulates regression-driven adoption (adopter vs non-adopter)
+/// against company size and tests independence — the chapter's
+/// "startups experiment less" observation.
+pub fn adoption_by_company_size(cohort: &[Respondent]) -> Option<IndependenceTest> {
+    let mut table = vec![vec![0u64; 3]; 2];
+    for r in cohort {
+        let row = if r.is_experimenter() { 0 } else { 1 };
+        let col = match r.size {
+            CompanySize::Startup => 0,
+            CompanySize::Sme => 1,
+            CompanySize::Corporation => 2,
+        };
+        table[row][col] += 1;
+    }
+    independence_test(&table)
+}
+
+/// Cross-tabulates A/B-testing adoption against company size.
+pub fn ab_adoption_by_company_size(cohort: &[Respondent]) -> Option<IndependenceTest> {
+    let mut table = vec![vec![0u64; 3]; 2];
+    for r in cohort {
+        let row = if r.ab_testing { 0 } else { 1 };
+        let col = match r.size {
+            CompanySize::Startup => 0,
+            CompanySize::Sme => 1,
+            CompanySize::Corporation => 2,
+        };
+        table[row][col] += 1;
+    }
+    independence_test(&table)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::cohort;
+
+    #[test]
+    fn independent_table_has_high_p() {
+        // Perfectly proportional table: no association.
+        let table = vec![vec![10, 20, 30], vec![20, 40, 60]];
+        let test = independence_test(&table).unwrap();
+        assert!(test.chi2 < 1e-9);
+        assert!(test.p_value > 0.99);
+        assert!(!test.dependent(0.05));
+        assert_eq!(test.df, 2.0);
+    }
+
+    #[test]
+    fn dependent_table_has_low_p() {
+        // Strong association.
+        let table = vec![vec![50, 5], vec![5, 50]];
+        let test = independence_test(&table).unwrap();
+        assert!(test.chi2 > 30.0);
+        assert!(test.dependent(0.001), "p = {}", test.p_value);
+    }
+
+    #[test]
+    fn degenerate_tables_are_rejected() {
+        assert!(independence_test(&[]).is_none());
+        assert!(independence_test(&[vec![1, 2]]).is_none());
+        assert!(independence_test(&[vec![1], vec![2]]).is_none());
+        assert!(independence_test(&[vec![0, 0], vec![0, 0]]).is_none());
+        assert!(independence_test(&[vec![1, 2], vec![3]]).is_none());
+    }
+
+    #[test]
+    fn textbook_two_by_two() {
+        // Classic example: chi2 = 100*(20*30-30*20)^2/... compute a known
+        // case: [[20, 30], [30, 20]] → chi2 = 4.0, df 1, p ≈ 0.0455.
+        let test = independence_test(&[vec![20, 30], vec![30, 20]]).unwrap();
+        assert!((test.chi2 - 4.0).abs() < 1e-9, "chi2 {}", test.chi2);
+        assert!((test.p_value - 0.0455).abs() < 1e-3, "p {}", test.p_value);
+    }
+
+    #[test]
+    fn cohort_adoption_depends_on_company_size() {
+        // Startups adopt far less (77% none vs 57% for SMEs) — the cohort
+        // must reproduce the dependence the chapter reports.
+        let c = cohort();
+        let test = adoption_by_company_size(&c).unwrap();
+        assert!(test.dependent(0.1), "chi2 {} p {}", test.chi2, test.p_value);
+    }
+
+    #[test]
+    fn cohort_ab_adoption_mirrors_sizes() {
+        let c = cohort();
+        let test = ab_adoption_by_company_size(&c).unwrap();
+        // Weaker association (28.6% vs 15.1%), but the table is testable.
+        assert!(test.df == 2.0 && test.p_value <= 1.0);
+    }
+}

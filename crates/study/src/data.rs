@@ -1,0 +1,168 @@
+//! The published marginals of Chapter 2 — the calibration targets.
+//!
+//! Every constant in this module is a percentage (or count) transcribed
+//! from the dissertation's tables; `generate` derives cohort quotas from
+//! them and the `tables` pipeline is tested to reproduce them.
+
+use crate::model::{
+    Detection, HandoffPhase, ReasonBusiness, ReasonRegression, RegressionUsage, Technique,
+};
+
+/// Percentages across the six survey columns
+/// (all, Web, other, startup, SME, corporation).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Targets {
+    /// Whole population.
+    pub all: f64,
+    /// Web-application respondents.
+    pub web: f64,
+    /// Other application types.
+    pub other: f64,
+    /// Startups.
+    pub startup: f64,
+    /// Small/medium enterprises.
+    pub sme: f64,
+    /// Corporations.
+    pub corp: f64,
+}
+
+impl Targets {
+    const fn new(all: f64, web: f64, other: f64, startup: f64, sme: f64, corp: f64) -> Self {
+        Targets { all, web, other, startup, sme, corp }
+    }
+}
+
+/// Total survey respondents.
+pub const SURVEY_N: usize = 187;
+
+/// Company-size counts (startup, SME, corporation) — Figure 2.3.
+pub const SIZE_COUNTS: [usize; 3] = [35, 99, 53];
+
+/// Application-type counts (Web, other) — Figure 2.3.
+pub const APP_COUNTS: [usize; 2] = [105, 82];
+
+/// Experience-bracket counts (0–2, 3–5, 6–10, >10 years) — Figure 2.3.
+pub const EXPERIENCE_COUNTS: [usize; 4] = [63, 62, 46, 16];
+
+/// Table 2.6 — usage of regression-driven experimentation (single choice).
+pub const REGRESSION_USAGE: [(RegressionUsage, Targets); 3] = [
+    (RegressionUsage::AllFeatures, Targets::new(18.0, 15.0, 22.0, 6.0, 22.0, 19.0)),
+    (RegressionUsage::SomeFeatures, Targets::new(19.0, 21.0, 17.0, 17.0, 21.0, 17.0)),
+    (RegressionUsage::None, Targets::new(63.0, 64.0, 61.0, 77.0, 57.0, 64.0)),
+];
+
+/// A/B-testing adoption, derived from Table 2.8's non-user subgroup sizes
+/// (n = 144: Web 78, other 66, startup 25, SME 74, corp 45) and the 23%
+/// headline adoption.
+pub const AB_USAGE: Targets = Targets::new(23.0, 25.7, 19.5, 28.6, 25.3, 15.1);
+
+/// Table 2.2 — implementation techniques (multiple choice, asked of the
+/// 70 experimenters; subgroup sizes Web 38, other 32, startup 8, SME 43,
+/// corp 19).
+pub const TECHNIQUES: [(Technique, Targets); 6] = [
+    (Technique::FeatureToggles, Targets::new(36.0, 45.0, 25.0, 50.0, 35.0, 32.0)),
+    (Technique::TrafficRouting, Targets::new(30.0, 45.0, 12.0, 38.0, 23.0, 42.0)),
+    (Technique::Binaries, Targets::new(29.0, 13.0, 47.0, 12.0, 33.0, 26.0)),
+    (Technique::DontKnow, Targets::new(20.0, 13.0, 28.0, 12.0, 21.0, 21.0)),
+    (Technique::Permissions, Targets::new(17.0, 18.0, 16.0, 38.0, 16.0, 11.0)),
+    (Technique::Other, Targets::new(6.0, 8.0, 3.0, 12.0, 5.0, 5.0)),
+];
+
+/// Table 2.3 — how production issues are detected (multiple choice).
+pub const DETECTION: [(Detection, Targets); 3] = [
+    (Detection::CustomerFeedback, Targets::new(85.0, 81.0, 90.0, 80.0, 88.0, 83.0)),
+    (Detection::Monitoring, Targets::new(76.0, 83.0, 67.0, 89.0, 72.0, 75.0)),
+    (Detection::DontKnowOther, Targets::new(4.0, 2.0, 6.0, 3.0, 5.0, 2.0)),
+];
+
+/// Table 2.4 — phase after which developers hand off responsibility
+/// (single choice).
+pub const HANDOFF: [(HandoffPhase, Targets); 5] = [
+    (HandoffPhase::Never, Targets::new(56.0, 61.0, 50.0, 74.0, 56.0, 45.0)),
+    (HandoffPhase::Development, Targets::new(19.0, 12.0, 28.0, 3.0, 23.0, 23.0)),
+    (HandoffPhase::Staging, Targets::new(12.0, 15.0, 9.0, 11.0, 12.0, 13.0)),
+    (HandoffPhase::Preproduction, Targets::new(9.0, 10.0, 9.0, 9.0, 8.0, 11.0)),
+    (HandoffPhase::DontKnowOther, Targets::new(4.0, 2.0, 5.0, 3.0, 1.0, 8.0)),
+];
+
+/// Table 2.7 — reasons against regression-driven experiments (multiple
+/// choice, asked of the 117 non-adopters; subgroup sizes Web 67, other
+/// 50, startup 27, SME 56, corp 34).
+///
+/// The printed "other" row's aggregate column (18%) is inconsistent with
+/// its own subgroup columns (1%/10% → ≈5% overall); we encode the value
+/// implied by the subgroups.
+pub const REASONS_REGRESSION: [(ReasonRegression, Targets); 5] = [
+    (ReasonRegression::Architecture, Targets::new(57.0, 64.0, 48.0, 44.0, 66.0, 53.0)),
+    (ReasonRegression::NumberCustomers, Targets::new(39.0, 46.0, 30.0, 56.0, 38.0, 29.0)),
+    (ReasonRegression::NoBusinessSense, Targets::new(39.0, 39.0, 40.0, 41.0, 36.0, 44.0)),
+    (ReasonRegression::LackOfExpertise, Targets::new(26.0, 27.0, 24.0, 15.0, 34.0, 21.0)),
+    (ReasonRegression::Other, Targets::new(5.0, 1.0, 10.0, 7.0, 4.0, 6.0)),
+];
+
+/// Table 2.8 — reasons against business-driven experiments (multiple
+/// choice, asked of the 144 non-A/B users; subgroup sizes Web 78, other
+/// 66, startup 25, SME 74, corp 45).
+pub const REASONS_BUSINESS: [(ReasonBusiness, Targets); 7] = [
+    (ReasonBusiness::Architecture, Targets::new(50.0, 53.0, 47.0, 40.0, 59.0, 40.0)),
+    (ReasonBusiness::Investments, Targets::new(33.0, 35.0, 30.0, 44.0, 31.0, 29.0)),
+    (ReasonBusiness::NumberOfUsers, Targets::new(28.0, 32.0, 23.0, 44.0, 27.0, 20.0)),
+    (ReasonBusiness::PolicyDomain, Targets::new(21.0, 14.0, 29.0, 12.0, 22.0, 24.0)),
+    (ReasonBusiness::LackOfKnowledge, Targets::new(15.0, 19.0, 11.0, 12.0, 15.0, 18.0)),
+    (ReasonBusiness::DontKnow, Targets::new(6.0, 5.0, 6.0, 4.0, 7.0, 4.0)),
+    (ReasonBusiness::Other, Targets::new(6.0, 4.0, 8.0, 4.0, 1.0, 13.0)),
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn demographics_sum_to_survey_n() {
+        assert_eq!(SIZE_COUNTS.iter().sum::<usize>(), SURVEY_N);
+        assert_eq!(APP_COUNTS.iter().sum::<usize>(), SURVEY_N);
+        assert_eq!(EXPERIENCE_COUNTS.iter().sum::<usize>(), SURVEY_N);
+    }
+
+    #[test]
+    fn single_choice_columns_sum_to_hundred() {
+        for col in 0..6 {
+            let pick = |t: &Targets| match col {
+                0 => t.all,
+                1 => t.web,
+                2 => t.other,
+                3 => t.startup,
+                4 => t.sme,
+                _ => t.corp,
+            };
+            let usage: f64 = REGRESSION_USAGE.iter().map(|(_, t)| pick(t)).sum();
+            assert!((usage - 100.0).abs() <= 1.0, "col {col}: usage sums to {usage}");
+            let handoff: f64 = HANDOFF.iter().map(|(_, t)| pick(t)).sum();
+            assert!((handoff - 100.0).abs() <= 1.0, "col {col}: handoff sums to {handoff}");
+        }
+    }
+
+    #[test]
+    fn internal_consistency_of_subgroup_sizes() {
+        // Experimenter subgroup sizes implied by Table 2.6 must reproduce
+        // Table 2.2's column headers (Web 38, other 32, startup 8, SME 43,
+        // corp 19) — the consistency the paper's own data exhibits.
+        let adopters =
+            |web: f64, n: usize| -> f64 { (100.0 - web) / 100.0 * n as f64 };
+        let none = &REGRESSION_USAGE[2].1;
+        assert_eq!(adopters(none.web, 105).round() as i64, 38);
+        assert_eq!(adopters(none.other, 82).round() as i64, 32);
+        assert_eq!(adopters(none.startup, 35).round() as i64, 8);
+        assert_eq!(adopters(none.sme, 99).round() as i64, 43);
+        assert_eq!(adopters(none.corp, 53).round() as i64, 19);
+        // And the overall 37% adoption the text reports.
+        assert_eq!((187.0 * (100.0 - none.all) / 100.0).round() as i64, 69);
+    }
+
+    #[test]
+    fn ab_usage_matches_table_2_8_counts() {
+        // 23% of 187 ≈ 43 users → 144 non-users.
+        let users = (AB_USAGE.all / 100.0 * SURVEY_N as f64).round() as i64;
+        assert_eq!(SURVEY_N as i64 - users, 144);
+    }
+}

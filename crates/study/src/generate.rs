@@ -1,0 +1,326 @@
+//! The calibrated synthetic cohort.
+//!
+//! Quota-based, fully deterministic generation: the cohort is laid out
+//! over the six demographic cells (company size × application type), and
+//! every survey answer is assigned by largest-remainder quotas derived
+//! from the published per-column percentages via an additive margin model
+//! (`p_cell = p_all + (p_app − p_all) + (p_size − p_all)`). No sampling
+//! noise: regenerating the cohort always yields the same records, and the
+//! aggregation pipeline reproduces the paper's tables within rounding.
+
+use crate::data::{self, Targets};
+use crate::model::{AppType, CompanySize, Experience, HandoffPhase, Respondent, RegressionUsage};
+
+/// One demographic cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Cell {
+    size: CompanySize,
+    app: AppType,
+    count: usize,
+}
+
+fn pick(targets: &Targets, app: AppType, size: CompanySize) -> (f64, f64) {
+    let app_p = match app {
+        AppType::Web => targets.web,
+        AppType::Other => targets.other,
+    };
+    let size_p = match size {
+        CompanySize::Startup => targets.startup,
+        CompanySize::Sme => targets.sme,
+        CompanySize::Corporation => targets.corp,
+    };
+    (app_p, size_p)
+}
+
+/// Additive margin model, clamped to `0..=100`.
+fn cell_percent(targets: &Targets, app: AppType, size: CompanySize) -> f64 {
+    let (app_p, size_p) = pick(targets, app, size);
+    (targets.all + (app_p - targets.all) + (size_p - targets.all)).clamp(0.0, 100.0)
+}
+
+/// Largest-remainder apportionment of `total` across `weights`.
+fn largest_remainder(weights: &[f64], total: usize) -> Vec<usize> {
+    let sum: f64 = weights.iter().sum();
+    if sum <= 0.0 {
+        let mut out = vec![0; weights.len()];
+        if !out.is_empty() {
+            out[0] = total;
+        }
+        return out;
+    }
+    let exact: Vec<f64> = weights.iter().map(|w| w / sum * total as f64).collect();
+    let mut counts: Vec<usize> = exact.iter().map(|e| e.floor() as usize).collect();
+    let mut assigned: usize = counts.iter().sum();
+    let mut order: Vec<usize> = (0..weights.len()).collect();
+    order.sort_by(|a, b| {
+        let ra = exact[*a] - exact[*a].floor();
+        let rb = exact[*b] - exact[*b].floor();
+        rb.partial_cmp(&ra).expect("remainders are finite").then(a.cmp(b))
+    });
+    let mut i = 0;
+    while assigned < total {
+        counts[order[i % order.len()]] += 1;
+        assigned += 1;
+        i += 1;
+    }
+    while assigned > total {
+        let idx = order[order.len() - 1 - (i % order.len())];
+        if counts[idx] > 0 {
+            counts[idx] -= 1;
+            assigned -= 1;
+        }
+        i += 1;
+    }
+    counts
+}
+
+/// The six demographic cells with paper-consistent counts.
+fn cells() -> Vec<Cell> {
+    let web_share = data::APP_COUNTS[0] as f64 / data::SURVEY_N as f64;
+    let mut out = Vec::with_capacity(6);
+    let mut web_left = data::APP_COUNTS[0];
+    for (i, size) in CompanySize::all().into_iter().enumerate() {
+        let n = data::SIZE_COUNTS[i];
+        let web = if i == CompanySize::all().len() - 1 {
+            web_left
+        } else {
+            (n as f64 * web_share).round() as usize
+        };
+        web_left -= web;
+        out.push(Cell { size, app: AppType::Web, count: web });
+        out.push(Cell { size, app: AppType::Other, count: n - web });
+    }
+    out
+}
+
+/// Generates the 187-respondent cohort.
+pub fn cohort() -> Vec<Respondent> {
+    let cells = cells();
+    let mut respondents: Vec<Respondent> = Vec::with_capacity(data::SURVEY_N);
+
+    // Demographics plus single-choice answers, cell by cell.
+    for cell in &cells {
+        // Regression usage quotas.
+        let usage_weights: Vec<f64> = data::REGRESSION_USAGE
+            .iter()
+            .map(|(_, t)| cell_percent(t, cell.app, cell.size))
+            .collect();
+        let usage_counts = largest_remainder(&usage_weights, cell.count);
+
+        // Hand-off quotas.
+        let handoff_weights: Vec<f64> =
+            data::HANDOFF.iter().map(|(_, t)| cell_percent(t, cell.app, cell.size)).collect();
+        let handoff_counts = largest_remainder(&handoff_weights, cell.count);
+
+        // A/B usage quota.
+        let ab_count =
+            (cell_percent(&data::AB_USAGE, cell.app, cell.size) / 100.0 * cell.count as f64).round()
+                as usize;
+
+        let mut usage_seq: Vec<RegressionUsage> = Vec::with_capacity(cell.count);
+        for (i, (usage, _)) in data::REGRESSION_USAGE.iter().enumerate() {
+            usage_seq.extend(std::iter::repeat_n(*usage, usage_counts[i]));
+        }
+        let mut handoff_seq: Vec<HandoffPhase> = Vec::with_capacity(cell.count);
+        for (i, (phase, _)) in data::HANDOFF.iter().enumerate() {
+            handoff_seq.extend(std::iter::repeat_n(*phase, handoff_counts[i]));
+        }
+        // Decorrelate hand-off from usage within the cell.
+        handoff_seq.rotate_right(cell.count / 3);
+
+        for i in 0..cell.count {
+            respondents.push(Respondent {
+                size: cell.size,
+                app_type: cell.app,
+                experience: Experience::UpToTwo, // assigned globally below
+                regression_usage: usage_seq[i],
+                ab_testing: false, // striped below, exactly `ab_count` per cell
+                techniques: Vec::new(),
+                detection: Vec::new(),
+                handoff: handoff_seq[i],
+                reasons_regression: Vec::new(),
+                reasons_business: Vec::new(),
+            });
+        }
+        // Deterministic A/B flags: exactly `ab_count` per cell, striped.
+        let start = respondents.len() - cell.count;
+        for (offset, r) in respondents[start..].iter_mut().enumerate() {
+            r.ab_testing = stripe(offset, cell.count, ab_count);
+        }
+    }
+
+    // Experience: global quotas, spread over the cohort via a coprime
+    // permutation so every demographic cell mixes all brackets
+    // (48 is coprime with 187 = 11 × 17).
+    let exp_counts = data::EXPERIENCE_COUNTS;
+    let mut exp_seq: Vec<Experience> = Vec::with_capacity(data::SURVEY_N);
+    for (i, bracket) in Experience::all().into_iter().enumerate() {
+        exp_seq.extend(std::iter::repeat_n(bracket, exp_counts[i]));
+    }
+    let n = respondents.len();
+    for (i, e) in exp_seq.into_iter().enumerate() {
+        respondents[(i * 48) % n].experience = e;
+    }
+
+    // Multiple-choice questions over (sub)populations, per cell.
+    for cell in &cells {
+        let in_cell = |r: &&mut Respondent| r.size == cell.size && r.app_type == cell.app;
+
+        // Detection: whole cell.
+        {
+            let mut members: Vec<&mut Respondent> =
+                respondents.iter_mut().filter(in_cell).collect();
+            for (j, (channel, t)) in data::DETECTION.iter().enumerate() {
+                let p = cell_percent(t, cell.app, cell.size);
+                let quota = (p / 100.0 * members.len() as f64).round() as usize;
+                assign_striped(&mut members, quota, j, |r| r.detection.push(*channel));
+            }
+        }
+        // Techniques: experimenters only.
+        {
+            let mut members: Vec<&mut Respondent> = respondents
+                .iter_mut()
+                .filter(|r| r.size == cell.size && r.app_type == cell.app && r.is_experimenter())
+                .collect();
+            for (j, (technique, t)) in data::TECHNIQUES.iter().enumerate() {
+                let p = cell_percent(t, cell.app, cell.size);
+                let quota = (p / 100.0 * members.len() as f64).round() as usize;
+                assign_striped(&mut members, quota, j, |r| r.techniques.push(*technique));
+            }
+        }
+        // Reasons against regression-driven: non-adopters only.
+        {
+            let mut members: Vec<&mut Respondent> = respondents
+                .iter_mut()
+                .filter(|r| r.size == cell.size && r.app_type == cell.app && !r.is_experimenter())
+                .collect();
+            for (j, (reason, t)) in data::REASONS_REGRESSION.iter().enumerate() {
+                let p = cell_percent(t, cell.app, cell.size);
+                let quota = (p / 100.0 * members.len() as f64).round() as usize;
+                assign_striped(&mut members, quota, j, |r| r.reasons_regression.push(*reason));
+            }
+        }
+        // Reasons against business-driven: non-A/B users only.
+        {
+            let mut members: Vec<&mut Respondent> = respondents
+                .iter_mut()
+                .filter(|r| r.size == cell.size && r.app_type == cell.app && !r.ab_testing)
+                .collect();
+            for (j, (reason, t)) in data::REASONS_BUSINESS.iter().enumerate() {
+                let p = cell_percent(t, cell.app, cell.size);
+                let quota = (p / 100.0 * members.len() as f64).round() as usize;
+                assign_striped(&mut members, quota, j, |r| r.reasons_business.push(*reason));
+            }
+        }
+    }
+    respondents
+}
+
+/// `true` for exactly `quota` of `n` stripe positions, evenly spread.
+fn stripe(index: usize, n: usize, quota: usize) -> bool {
+    if quota == 0 || n == 0 {
+        return false;
+    }
+    if quota >= n {
+        return true;
+    }
+    // Bresenham-style even spreading.
+    (index * quota) % n < quota
+}
+
+/// Marks `quota` members, starting at an offset rotated by the category
+/// index so different categories overlap naturally rather than stacking on
+/// the same respondents.
+fn assign_striped<F: FnMut(&mut Respondent)>(
+    members: &mut [&mut Respondent],
+    quota: usize,
+    category: usize,
+    mut mark: F,
+) {
+    let n = members.len();
+    if n == 0 {
+        return;
+    }
+    let offset = (category * 5) % n;
+    for i in 0..quota.min(n) {
+        let idx = (offset + i) % n;
+        mark(members[idx]);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cohort_matches_demographics() {
+        let c = cohort();
+        assert_eq!(c.len(), data::SURVEY_N);
+        let startups = c.iter().filter(|r| r.size == CompanySize::Startup).count();
+        let smes = c.iter().filter(|r| r.size == CompanySize::Sme).count();
+        let corps = c.iter().filter(|r| r.size == CompanySize::Corporation).count();
+        assert_eq!([startups, smes, corps], [35, 99, 53]);
+        let web = c.iter().filter(|r| r.app_type == AppType::Web).count();
+        assert_eq!(web, 105);
+        for bracket in Experience::all() {
+            let n = c.iter().filter(|r| r.experience == bracket).count();
+            assert!(n > 0);
+        }
+    }
+
+    #[test]
+    fn experimenter_subgroups_match_table_2_2_headers() {
+        let c = cohort();
+        let exp: Vec<&Respondent> = c.iter().filter(|r| r.is_experimenter()).collect();
+        assert!((69..=71).contains(&exp.len()), "total experimenters {}", exp.len());
+        let web = exp.iter().filter(|r| r.app_type == AppType::Web).count();
+        assert!((36..=40).contains(&web), "web experimenters {web}");
+        let startup = exp.iter().filter(|r| r.size == CompanySize::Startup).count();
+        assert!((7..=9).contains(&startup), "startup experimenters {startup}");
+    }
+
+    #[test]
+    fn ab_nonusers_match_table_2_8_header() {
+        let c = cohort();
+        let non: Vec<&Respondent> = c.iter().filter(|r| !r.ab_testing).collect();
+        assert!((142..=146).contains(&non.len()), "non-A/B users {}", non.len());
+    }
+
+    #[test]
+    fn conditioned_answers_only_on_their_populations() {
+        let c = cohort();
+        for r in &c {
+            if r.is_experimenter() {
+                assert!(r.reasons_regression.is_empty());
+            } else {
+                assert!(r.techniques.is_empty());
+            }
+            if r.ab_testing {
+                assert!(r.reasons_business.is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        assert_eq!(cohort(), cohort());
+    }
+
+    #[test]
+    fn stripe_spreads_quota() {
+        let picks: Vec<bool> = (0..10).map(|i| stripe(i, 10, 3)).collect();
+        assert_eq!(picks.iter().filter(|p| **p).count(), 3);
+        assert!((0..10).all(|i| !stripe(i, 10, 0)));
+        assert!((0..10).all(|i| stripe(i, 10, 10)));
+    }
+
+    #[test]
+    fn largest_remainder_is_exact() {
+        let counts = largest_remainder(&[18.0, 19.0, 63.0], 35);
+        assert_eq!(counts.iter().sum::<usize>(), 35);
+        assert_eq!(counts.len(), 3);
+        assert!(counts[2] > counts[0] && counts[2] > counts[1]);
+        // Degenerate weights fall back gracefully.
+        assert_eq!(largest_remainder(&[0.0, 0.0], 4), vec![4, 0]);
+    }
+}

@@ -1,0 +1,315 @@
+//! The interview dataset (Tables 2.1 and 2.9).
+//!
+//! Table 2.1 is transcribed verbatim from the dissertation: all 31
+//! interviewees of both rounds with company type, country, application
+//! type, role and experience. Table 2.9 in the dissertation is a graphic
+//! practice matrix; its participant *ordering* and the chapter's prose
+//! statements (which participants use microservices, toggles, traffic
+//! routing, early access, etc.) are encoded here, with cells not
+//! determinable from the text reconstructed conservatively from those
+//! statements — documented as a reconstruction in `EXPERIMENTS.md`.
+
+use crate::model::CompanySize;
+use serde::{Deserialize, Serialize};
+
+/// One interviewee (a row of Table 2.1).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Interviewee {
+    /// Participant id (`P1`–`P20`, `D1`–`D11`).
+    pub id: &'static str,
+    /// Company size class.
+    pub size: CompanySize,
+    /// Application domain (abbreviated).
+    pub domain: &'static str,
+    /// Develops a Web application.
+    pub web: bool,
+    /// Years of total experience.
+    pub experience_years: u8,
+}
+
+/// The practices of the Table 2.9 matrix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum InterviewPractice {
+    /// Microservices-based architecture.
+    MicroservicesArchitecture,
+    /// Feature toggles.
+    FeatureToggles,
+    /// Runtime traffic routing.
+    TrafficRouting,
+    /// Early access to binaries.
+    EarlyAccess,
+    /// Developer-on-call policy.
+    DevOnCall,
+    /// Decentralized/consulting teams.
+    DecentralizedTeams,
+    /// Regression-driven experimentation.
+    RegressionDrivenExperiments,
+    /// Business-driven experimentation.
+    BusinessDrivenExperiments,
+}
+
+impl InterviewPractice {
+    /// All practices in the row order of Table 2.9.
+    pub fn all() -> [InterviewPractice; 8] {
+        [
+            InterviewPractice::MicroservicesArchitecture,
+            InterviewPractice::FeatureToggles,
+            InterviewPractice::TrafficRouting,
+            InterviewPractice::EarlyAccess,
+            InterviewPractice::DevOnCall,
+            InterviewPractice::DecentralizedTeams,
+            InterviewPractice::RegressionDrivenExperiments,
+            InterviewPractice::BusinessDrivenExperiments,
+        ]
+    }
+
+    /// Row label.
+    pub fn label(self) -> &'static str {
+        match self {
+            InterviewPractice::MicroservicesArchitecture => "Microservices Arch.",
+            InterviewPractice::FeatureToggles => "Feature Toggles",
+            InterviewPractice::TrafficRouting => "Traffic Routing",
+            InterviewPractice::EarlyAccess => "Early Access",
+            InterviewPractice::DevOnCall => "Dev on Call",
+            InterviewPractice::DecentralizedTeams => "Decentral. Teams",
+            InterviewPractice::RegressionDrivenExperiments => "Regr.-Driven Exp.",
+            InterviewPractice::BusinessDrivenExperiments => "Business.-Dr. Exp.",
+        }
+    }
+}
+
+/// Usage level of a practice by one participant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Usage {
+    /// Uses the practice.
+    Yes,
+    /// Concrete plans / in migration.
+    Partial,
+    /// Does not use it.
+    No,
+}
+
+/// Participant ids in the column order of Table 2.9 (heaviest
+/// experimenters first, as printed).
+pub const MATRIX_ORDER: [&str; 31] = [
+    "P14", "P19", "D9", "D7", "D4", "D5", "D2", "D1", "P12", "P15", "P16", "P18", "P17", "D6",
+    "P4", "D8", "P8", "P1", "P5", "P9", "P10", "P13", "D3", "D11", "P11", "P3", "D10", "P7", "P6",
+    "P2", "P20",
+];
+
+/// The 31 interviewees of Table 2.1 (experience = "total" column).
+pub fn interviewees() -> Vec<Interviewee> {
+    use CompanySize::*;
+    let row = |id, size, domain, web, experience_years| Interviewee {
+        id,
+        size,
+        domain,
+        web,
+        experience_years,
+    };
+    vec![
+        row("P1", Sme, "sports news & streaming", true, 3),
+        row("P2", Sme, "document composition", false, 4),
+        row("P3", Sme, "employee management", true, 10),
+        row("P4", Sme, "telecommunication", true, 15),
+        row("P5", Sme, "online retail", true, 5),
+        row("P6", Sme, "sharepoint", false, 4),
+        row("P7", Corporation, "employee management", true, 5),
+        row("P8", Sme, "insurance", false, 12),
+        row("P9", Sme, "e-government", false, 13),
+        row("P10", Sme, "mobile payment", true, 16),
+        row("P11", Sme, "mobile payment", true, 11),
+        row("P12", Corporation, "cloud provider", true, 1),
+        row("P13", Startup, "code quality analysis", true, 16),
+        row("P14", Corporation, "network monitoring", true, 10),
+        row("P15", Corporation, "cloud provider", true, 15),
+        row("P16", Sme, "e-government", false, 15),
+        row("P17", Startup, "babysitter platform", true, 4),
+        row("P18", Startup, "event management", true, 5),
+        row("P19", Sme, "e-commerce platform", true, 5),
+        row("P20", Sme, "automotive software", false, 3),
+        row("D1", Sme, "cms provider", true, 10),
+        row("D2", Sme, "q&a platform", true, 10),
+        row("D3", Startup, "hr software", true, 10),
+        row("D4", Sme, "travel reviews & booking", true, 7),
+        row("D5", Sme, "travel reviews & booking", true, 8),
+        row("D6", Corporation, "telecommunication", true, 5),
+        row("D7", Corporation, "scientific publisher", true, 9),
+        row("D8", Sme, "network services", true, 30),
+        row("D9", Corporation, "video streaming", true, 19),
+        row("D10", Sme, "sustainability solutions", true, 10),
+        row("D11", Corporation, "telecommunication", true, 10),
+    ]
+}
+
+/// The Table 2.9 practice matrix: `matrix()[practice][column]` follows
+/// [`MATRIX_ORDER`].
+///
+/// Cells stated in the chapter's prose are encoded directly (e.g.
+/// microservices: P10, P12, P14, P15, P19, D2, D4, D5, D7, D9 use it
+/// extensively; P5 is migrating; D2/D9/D7/P19 use feature toggles; P13
+/// explicitly rejects them; early access: P8/P9/D3). Remaining cells are
+/// reconstructed from the column ordering — heavy experimenters on the
+/// left, non-experimenters on the right.
+pub fn matrix() -> Vec<(InterviewPractice, Vec<Usage>)> {
+    use Usage::*;
+    let rows = vec![
+        (
+            InterviewPractice::MicroservicesArchitecture,
+            // P14 P19 D9 D7 D4 D5 D2 D1 P12 P15 P16 P18 P17 D6 P4 D8 P8 P1 P5 P9 P10 P13 D3 D11 P11 P3 D10 P7 P6 P2 P20
+            vec![
+                Yes, Yes, Yes, Yes, Yes, Yes, Yes, Yes, Yes, Yes, No, Yes, Yes, Yes, No, No, No,
+                Partial, Partial, No, Yes, No, No, Yes, Yes, No, No, No, No, No, No,
+            ],
+        ),
+        (
+            InterviewPractice::FeatureToggles,
+            vec![
+                Yes, Yes, Yes, Yes, No, No, Yes, Yes, No, Yes, No, Yes, Yes, Yes, No, No, No, No,
+                No, Yes, No, No, No, No, No, No, No, No, No, No, Yes,
+            ],
+        ),
+        (
+            InterviewPractice::TrafficRouting,
+            vec![
+                Yes, No, Yes, Yes, Yes, Yes, Yes, Yes, Yes, Yes, No, No, No, No, Yes, Yes, No, No,
+                No, No, Yes, No, No, No, No, No, No, No, No, No, No,
+            ],
+        ),
+        (
+            InterviewPractice::EarlyAccess,
+            vec![
+                No, No, No, No, No, No, No, No, No, No, Yes, No, No, No, No, No, Yes, No, No, Yes,
+                No, No, Yes, No, No, No, No, No, No, No, No,
+            ],
+        ),
+        (
+            InterviewPractice::DevOnCall,
+            vec![
+                Yes, Yes, Yes, Yes, Yes, Yes, Yes, Yes, Yes, Yes, Yes, Yes, Yes, Yes, Yes, Yes,
+                No, Yes, Yes, Yes, Yes, Yes, Yes, Yes, Yes, No, Yes, No, No, No, No,
+            ],
+        ),
+        (
+            InterviewPractice::DecentralizedTeams,
+            vec![
+                Yes, No, Yes, Yes, Yes, Yes, Yes, Yes, Yes, Yes, No, No, No, Yes, No, No, No, No,
+                No, No, Yes, No, No, Yes, Yes, No, No, No, No, No, No,
+            ],
+        ),
+        (
+            InterviewPractice::RegressionDrivenExperiments,
+            vec![
+                Yes, Yes, Yes, Yes, Yes, Yes, Yes, Yes, Yes, Yes, Yes, Yes, Yes, Yes, Yes, Yes,
+                Yes, Partial, Partial, Partial, No, No, No, No, No, No, No, No, No, No, No,
+            ],
+        ),
+        (
+            InterviewPractice::BusinessDrivenExperiments,
+            vec![
+                No, Yes, Yes, Yes, Yes, Yes, Yes, Yes, No, No, No, No, Yes, No, No, No, No, No,
+                Partial, No, No, Partial, Partial, No, No, No, No, Partial, No, No, No,
+            ],
+        ),
+    ];
+    for (practice, cells) in &rows {
+        assert_eq!(cells.len(), MATRIX_ORDER.len(), "row {} misaligned", practice.label());
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thirty_one_interviewees() {
+        let all = interviewees();
+        assert_eq!(all.len(), 31);
+        // Table 2.1 across both rounds: 4 startups, 19 SMEs, 8 corps.
+        let startups = all.iter().filter(|i| i.size == CompanySize::Startup).count();
+        let smes = all.iter().filter(|i| i.size == CompanySize::Sme).count();
+        let corps = all.iter().filter(|i| i.size == CompanySize::Corporation).count();
+        assert_eq!((startups, smes, corps), (4, 19, 8));
+        // 25 + 1 Web across both rounds (Figure 2.3 shows 25 Web in round 1
+        // + all of round 2); here: everything except the 6 non-Web P-round
+        // participants.
+        let web = all.iter().filter(|i| i.web).count();
+        assert_eq!(web, 25);
+    }
+
+    #[test]
+    fn matrix_covers_every_participant_and_practice() {
+        let m = matrix();
+        assert_eq!(m.len(), 8);
+        let ids = interviewees();
+        for col in MATRIX_ORDER {
+            assert!(ids.iter().any(|i| i.id == col), "unknown participant {col}");
+        }
+        // All 31 distinct.
+        let mut sorted = MATRIX_ORDER.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 31);
+    }
+
+    #[test]
+    fn prose_facts_are_encoded() {
+        let m = matrix();
+        let col = |id: &str| MATRIX_ORDER.iter().position(|c| *c == id).unwrap();
+        let row = |p: InterviewPractice| m.iter().find(|(q, _)| *q == p).unwrap().1.clone();
+
+        let micro = row(InterviewPractice::MicroservicesArchitecture);
+        for id in ["P10", "P12", "P14", "P15", "P19", "D2", "D4", "D5", "D7", "D9"] {
+            assert_eq!(micro[col(id)], Usage::Yes, "{id} uses microservices extensively");
+        }
+        assert_eq!(micro[col("P5")], Usage::Partial, "P5 is migrating");
+
+        let toggles = row(InterviewPractice::FeatureToggles);
+        assert_eq!(toggles[col("P13")], Usage::No, "P13 rejects feature toggles");
+        for id in ["D2", "D9", "D7", "P19", "P20"] {
+            assert_eq!(toggles[col(id)], Usage::Yes, "{id} uses feature toggles");
+        }
+
+        let early = row(InterviewPractice::EarlyAccess);
+        for id in ["P8", "P9", "D3"] {
+            assert_eq!(early[col(id)], Usage::Yes, "{id} uses early access");
+        }
+    }
+
+    #[test]
+    fn regression_more_common_than_business() {
+        // "Regression-driven continuous experimentation is more common
+        // than business-driven" among interviewees.
+        let m = matrix();
+        let count = |p: InterviewPractice| {
+            m.iter()
+                .find(|(q, _)| *q == p)
+                .unwrap()
+                .1
+                .iter()
+                .filter(|u| **u == Usage::Yes)
+                .count()
+        };
+        assert!(
+            count(InterviewPractice::RegressionDrivenExperiments)
+                > count(InterviewPractice::BusinessDrivenExperiments)
+        );
+    }
+
+    #[test]
+    fn four_plan_business_driven() {
+        // "four companies do have concrete plans for conducting
+        // business-driven continuous experimentation".
+        let m = matrix();
+        let partials = m
+            .iter()
+            .find(|(q, _)| *q == InterviewPractice::BusinessDrivenExperiments)
+            .unwrap()
+            .1
+            .iter()
+            .filter(|u| **u == Usage::Partial)
+            .count();
+        assert_eq!(partials, 4);
+    }
+}

@@ -1,0 +1,55 @@
+//! # study
+//!
+//! The empirical-study substrate (Chapter 2: *We're Doing It Live* — a
+//! multi-method study with 31 interviews and a 187-response survey).
+//!
+//! Human respondents cannot be re-surveyed, so this crate implements the
+//! substitution documented in `DESIGN.md`: a **calibrated synthetic
+//! cohort** — 187 respondent records whose subgroup quotas are derived
+//! from the paper's published marginals — plus the real **aggregation
+//! pipeline** (filters, cross-tabulations by company size and application
+//! type) that regenerates every table of the chapter from raw records:
+//!
+//! - Figure 2.3 — respondent demographics,
+//! - Table 2.2 — implementation techniques (asked of experimenters),
+//! - Table 2.3 — how production issues are detected,
+//! - Table 2.4 — responsibility hand-off phase,
+//! - Table 2.6 — usage of regression-driven experimentation,
+//! - Table 2.7 — reasons against regression-driven experiments
+//!   (non-adopters),
+//! - Table 2.8 — reasons against business-driven experiments (non-A/B
+//!   users),
+//! - Table 2.9 — the per-interviewee practice matrix (encoded from
+//!   Chapter 2's participant descriptions).
+//!
+//! The paper's internal consistency makes the calibration tight: e.g.
+//! Table 2.6's per-subgroup adoption rates reproduce exactly the subgroup
+//! sizes of Tables 2.2 and 2.7 (38 Web experimenters, 117 non-adopters,
+//! …), which the tests verify.
+//!
+//! # Example
+//!
+//! ```
+//! use study::generate::cohort;
+//! use study::tables;
+//!
+//! let respondents = cohort();
+//! assert_eq!(respondents.len(), 187);
+//! let t26 = tables::table_2_6(&respondents);
+//! let none = t26.cell("no experimentation", "all").unwrap();
+//! assert!((none - 63.0).abs() <= 2.0, "paper reports 63%, got {none}");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analysis;
+pub mod data;
+pub mod generate;
+pub mod interviews;
+pub mod model;
+pub mod render;
+pub mod tables;
+
+pub use model::{AppType, CompanySize, Respondent};
+pub use tables::Table;

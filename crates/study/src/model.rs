@@ -1,0 +1,250 @@
+//! The survey data model: one record per respondent.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Company size classes used throughout Chapter 2's cross-tabulations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CompanySize {
+    /// Startups.
+    Startup,
+    /// Small or medium enterprises.
+    Sme,
+    /// Corporations.
+    Corporation,
+}
+
+impl CompanySize {
+    /// All sizes in column order.
+    pub fn all() -> [CompanySize; 3] {
+        [CompanySize::Startup, CompanySize::Sme, CompanySize::Corporation]
+    }
+
+    /// Column label.
+    pub fn label(self) -> &'static str {
+        match self {
+            CompanySize::Startup => "start.",
+            CompanySize::Sme => "SME",
+            CompanySize::Corporation => "corp.",
+        }
+    }
+}
+
+impl fmt::Display for CompanySize {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Application model: Web-based products vs everything else (the study's
+/// main application-type split).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AppType {
+    /// Web applications.
+    Web,
+    /// Enterprise, desktop, mobile, embedded, other.
+    Other,
+}
+
+impl AppType {
+    /// Both types in column order.
+    pub fn all() -> [AppType; 2] {
+        [AppType::Web, AppType::Other]
+    }
+
+    /// Column label.
+    pub fn label(self) -> &'static str {
+        match self {
+            AppType::Web => "Web",
+            AppType::Other => "other",
+        }
+    }
+}
+
+/// Relevant professional experience (Figure 2.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Experience {
+    /// 0–2 years.
+    UpToTwo,
+    /// 3–5 years.
+    ThreeToFive,
+    /// 6–10 years.
+    SixToTen,
+    /// More than 10 years.
+    MoreThanTen,
+}
+
+impl Experience {
+    /// All brackets.
+    pub fn all() -> [Experience; 4] {
+        [Experience::UpToTwo, Experience::ThreeToFive, Experience::SixToTen, Experience::MoreThanTen]
+    }
+
+    /// Row label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Experience::UpToTwo => "0 - 2 years",
+            Experience::ThreeToFive => "3 - 5 years",
+            Experience::SixToTen => "6 - 10 years",
+            Experience::MoreThanTen => "more than 10 years",
+        }
+    }
+}
+
+/// Usage of regression-driven experimentation (Table 2.6, single choice).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RegressionUsage {
+    /// Experiments for all features.
+    AllFeatures,
+    /// Experiments for some features.
+    SomeFeatures,
+    /// No regression-driven experimentation.
+    None,
+}
+
+/// Phase after which developers hand off responsibility (Table 2.4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum HandoffPhase {
+    /// Developers never hand off responsibility.
+    Never,
+    /// After development.
+    Development,
+    /// After staging.
+    Staging,
+    /// After pre-production.
+    Preproduction,
+    /// Don't know / other.
+    DontKnowOther,
+}
+
+/// Implementation techniques for experimentation (Table 2.2, multiple
+/// choice, asked of experimenters).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Technique {
+    /// Feature toggles.
+    FeatureToggles,
+    /// Runtime traffic routing.
+    TrafficRouting,
+    /// Early access to binaries.
+    Binaries,
+    /// Permission mechanisms.
+    Permissions,
+    /// Don't know.
+    DontKnow,
+    /// Other techniques.
+    Other,
+}
+
+/// How production issues are detected (Table 2.3, multiple choice).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Detection {
+    /// Active monitoring.
+    Monitoring,
+    /// Customer feedback.
+    CustomerFeedback,
+    /// Don't know / other.
+    DontKnowOther,
+}
+
+/// Reasons against regression-driven experiments (Table 2.7, multiple
+/// choice, asked of non-adopters).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ReasonRegression {
+    /// Unsuitable software architecture.
+    Architecture,
+    /// Not enough customers.
+    NumberCustomers,
+    /// No business sense.
+    NoBusinessSense,
+    /// Lack of expertise.
+    LackOfExpertise,
+    /// Other reasons.
+    Other,
+}
+
+/// Reasons against business-driven experiments (Table 2.8, multiple
+/// choice, asked of non-A/B users).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ReasonBusiness {
+    /// Unsuitable software architecture.
+    Architecture,
+    /// Not worth the investments.
+    Investments,
+    /// Not enough users.
+    NumberOfUsers,
+    /// Policy or domain constraints.
+    PolicyDomain,
+    /// Lack of knowledge.
+    LackOfKnowledge,
+    /// Don't know.
+    DontKnow,
+    /// Other reasons.
+    Other,
+}
+
+/// One survey respondent.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Respondent {
+    /// Company size class.
+    pub size: CompanySize,
+    /// Application model.
+    pub app_type: AppType,
+    /// Professional experience bracket.
+    pub experience: Experience,
+    /// Regression-driven experimentation usage.
+    pub regression_usage: RegressionUsage,
+    /// Uses A/B testing.
+    pub ab_testing: bool,
+    /// Techniques in use (only meaningful for experimenters).
+    pub techniques: Vec<Technique>,
+    /// Issue-detection channels.
+    pub detection: Vec<Detection>,
+    /// Responsibility hand-off phase.
+    pub handoff: HandoffPhase,
+    /// Reasons against regression-driven experiments (non-adopters only).
+    pub reasons_regression: Vec<ReasonRegression>,
+    /// Reasons against business-driven experiments (non-A/B users only).
+    pub reasons_business: Vec<ReasonBusiness>,
+}
+
+impl Respondent {
+    /// `true` when the respondent uses any regression-driven
+    /// experimentation (the Table 2.2 population).
+    pub fn is_experimenter(&self) -> bool {
+        self.regression_usage != RegressionUsage::None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_match_paper_columns() {
+        assert_eq!(CompanySize::Startup.label(), "start.");
+        assert_eq!(CompanySize::Sme.to_string(), "SME");
+        assert_eq!(AppType::Web.label(), "Web");
+        assert_eq!(Experience::MoreThanTen.label(), "more than 10 years");
+    }
+
+    #[test]
+    fn experimenter_flag_follows_usage() {
+        let mut r = Respondent {
+            size: CompanySize::Sme,
+            app_type: AppType::Web,
+            experience: Experience::ThreeToFive,
+            regression_usage: RegressionUsage::None,
+            ab_testing: false,
+            techniques: vec![],
+            detection: vec![],
+            handoff: HandoffPhase::Never,
+            reasons_regression: vec![],
+            reasons_business: vec![],
+        };
+        assert!(!r.is_experimenter());
+        r.regression_usage = RegressionUsage::SomeFeatures;
+        assert!(r.is_experimenter());
+        r.regression_usage = RegressionUsage::AllFeatures;
+        assert!(r.is_experimenter());
+    }
+}

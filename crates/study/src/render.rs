@@ -1,0 +1,80 @@
+//! Text rendering of tables in the paper's layout.
+
+use crate::interviews::{matrix, Usage, MATRIX_ORDER};
+use crate::tables::{Table, COLUMNS};
+use std::fmt::Write as _;
+
+/// Renders a cross-tabulation as an aligned text table (percentages).
+pub fn render_table(table: &Table) -> String {
+    let label_width =
+        table.rows.iter().map(|(l, _)| l.len()).max().unwrap_or(0).max("row".len());
+    let mut out = String::new();
+    let _ = writeln!(out, "{}", table.title);
+    let _ = write!(out, "{:label_width$}", "");
+    for (i, col) in COLUMNS.iter().enumerate() {
+        let _ = write!(out, " | {col:>6} (n={})", table.n[i]);
+    }
+    let _ = writeln!(out);
+    let _ = writeln!(out, "{}", "-".repeat(label_width + COLUMNS.len() * 15));
+    for (label, values) in &table.rows {
+        let _ = write!(out, "{label:label_width$}");
+        for v in values {
+            let _ = write!(out, " | {:>10.0}%", v);
+        }
+        let _ = writeln!(out);
+    }
+    out
+}
+
+/// Renders the Table 2.9 interview practice matrix
+/// (`x` = uses, `~` = partial/planned, `.` = does not use).
+pub fn render_matrix() -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "Table 2.9 — usage of continuous experimentation practices");
+    let label_width = 20usize;
+    let _ = write!(out, "{:label_width$}", "Practice");
+    for id in MATRIX_ORDER {
+        let _ = write!(out, "{id:>4}");
+    }
+    let _ = writeln!(out);
+    for (practice, cells) in matrix() {
+        let _ = write!(out, "{:label_width$}", practice.label());
+        for cell in cells {
+            let mark = match cell {
+                Usage::Yes => "x",
+                Usage::Partial => "~",
+                Usage::No => ".",
+            };
+            let _ = write!(out, "{mark:>4}");
+        }
+        let _ = writeln!(out);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::cohort;
+    use crate::tables::table_2_6;
+
+    #[test]
+    fn table_rendering_contains_rows_and_columns() {
+        let rendered = render_table(&table_2_6(&cohort()));
+        assert!(rendered.contains("Table 2.6"));
+        assert!(rendered.contains("no experimentation"));
+        assert!(rendered.contains("(n=187)"));
+        assert!(rendered.contains("SME"));
+    }
+
+    #[test]
+    fn matrix_rendering_lists_all_participants() {
+        let rendered = render_matrix();
+        for id in MATRIX_ORDER {
+            assert!(rendered.contains(id), "missing {id}");
+        }
+        assert!(rendered.contains("Microservices Arch."));
+        assert!(rendered.contains("x"));
+        assert!(rendered.contains("~"));
+    }
+}

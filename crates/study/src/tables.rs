@@ -1,0 +1,360 @@
+//! The aggregation pipeline: raw respondents → Chapter 2 tables.
+//!
+//! Every function filters its question's population (whole cohort,
+//! experimenters, non-adopters, non-A/B users), cross-tabulates by the six
+//! survey columns, and returns a [`Table`] of percentages — the same
+//! computation the paper ran over its real responses.
+
+use crate::model::{
+    AppType, CompanySize, Detection, Experience, HandoffPhase, ReasonBusiness, ReasonRegression,
+    Respondent, RegressionUsage, Technique,
+};
+use serde::{Deserialize, Serialize};
+
+/// Column labels in paper order.
+pub const COLUMNS: [&str; 6] = ["all", "Web", "other", "start.", "SME", "corp."];
+
+/// A rendered cross-tabulation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Table {
+    /// Table title, e.g. `"Table 2.6"`.
+    pub title: String,
+    /// Population sizes per column.
+    pub n: [usize; 6],
+    /// Rows: `(label, percentages per column)`.
+    pub rows: Vec<(String, [f64; 6])>,
+}
+
+impl Table {
+    /// Looks up one cell by row label and column label.
+    pub fn cell(&self, row: &str, column: &str) -> Option<f64> {
+        let col = COLUMNS.iter().position(|c| *c == column)?;
+        let row = self.rows.iter().find(|(label, _)| label == row)?;
+        Some(row.1[col])
+    }
+}
+
+/// Splits a population into the six column sub-populations.
+fn columns<'a>(population: &[&'a Respondent]) -> [Vec<&'a Respondent>; 6] {
+    let by = |pred: &dyn Fn(&Respondent) -> bool| -> Vec<&'a Respondent> {
+        population.iter().copied().filter(|r| pred(r)).collect()
+    };
+    [
+        population.to_vec(),
+        by(&|r| r.app_type == AppType::Web),
+        by(&|r| r.app_type == AppType::Other),
+        by(&|r| r.size == CompanySize::Startup),
+        by(&|r| r.size == CompanySize::Sme),
+        by(&|r| r.size == CompanySize::Corporation),
+    ]
+}
+
+fn percent(count: usize, total: usize) -> f64 {
+    if total == 0 {
+        0.0
+    } else {
+        count as f64 / total as f64 * 100.0
+    }
+}
+
+fn tabulate<'a, L: ToString>(
+    title: &str,
+    population: &[&'a Respondent],
+    rows: &[(L, Box<dyn Fn(&Respondent) -> bool + 'a>)],
+) -> Table {
+    let cols = columns(population);
+    let n = [cols[0].len(), cols[1].len(), cols[2].len(), cols[3].len(), cols[4].len(), cols[5].len()];
+    let rows = rows
+        .iter()
+        .map(|(label, pred)| {
+            let mut values = [0.0; 6];
+            for (i, col) in cols.iter().enumerate() {
+                values[i] = percent(col.iter().filter(|r| pred(r)).count(), col.len());
+            }
+            (label.to_string(), values)
+        })
+        .collect();
+    Table { title: title.to_string(), n, rows }
+}
+
+/// Figure 2.3 — demographics (counts rather than percentages are exposed
+/// through `n` and the rows carry percentages of the whole cohort).
+pub fn figure_2_3(respondents: &[Respondent]) -> Table {
+    let population: Vec<&Respondent> = respondents.iter().collect();
+    let rows: Vec<(String, Box<dyn Fn(&Respondent) -> bool>)> = Experience::all()
+        .into_iter()
+        .map(|bracket| {
+            (
+                bracket.label().to_string(),
+                Box::new(move |r: &Respondent| r.experience == bracket)
+                    as Box<dyn Fn(&Respondent) -> bool>,
+            )
+        })
+        .collect();
+    tabulate("Figure 2.3 (experience)", &population, &rows)
+}
+
+/// Table 2.2 — implementation techniques, over experimenters.
+pub fn table_2_2(respondents: &[Respondent]) -> Table {
+    let population: Vec<&Respondent> = respondents.iter().filter(|r| r.is_experimenter()).collect();
+    let row = |label: &str, tech: Technique| {
+        (
+            label.to_string(),
+            Box::new(move |r: &Respondent| r.techniques.contains(&tech))
+                as Box<dyn Fn(&Respondent) -> bool>,
+        )
+    };
+    let rows = vec![
+        row("other", Technique::Other),
+        row("permissions", Technique::Permissions),
+        row("dont' know", Technique::DontKnow),
+        row("binaries", Technique::Binaries),
+        row("traffic routing", Technique::TrafficRouting),
+        row("feature toggles", Technique::FeatureToggles),
+    ];
+    tabulate("Table 2.2", &population, &rows)
+}
+
+/// Table 2.3 — issue detection, whole cohort.
+pub fn table_2_3(respondents: &[Respondent]) -> Table {
+    let population: Vec<&Respondent> = respondents.iter().collect();
+    let row = |label: &str, channel: Detection| {
+        (
+            label.to_string(),
+            Box::new(move |r: &Respondent| r.detection.contains(&channel))
+                as Box<dyn Fn(&Respondent) -> bool>,
+        )
+    };
+    let rows = vec![
+        row("don't know + other", Detection::DontKnowOther),
+        row("monitoring", Detection::Monitoring),
+        row("customer feedback", Detection::CustomerFeedback),
+    ];
+    tabulate("Table 2.3", &population, &rows)
+}
+
+/// Table 2.4 — responsibility hand-off, whole cohort.
+pub fn table_2_4(respondents: &[Respondent]) -> Table {
+    let population: Vec<&Respondent> = respondents.iter().collect();
+    let row = |label: &str, phase: HandoffPhase| {
+        (
+            label.to_string(),
+            Box::new(move |r: &Respondent| r.handoff == phase)
+                as Box<dyn Fn(&Respondent) -> bool>,
+        )
+    };
+    let rows = vec![
+        row("don't know + other", HandoffPhase::DontKnowOther),
+        row("preproduction", HandoffPhase::Preproduction),
+        row("staging", HandoffPhase::Staging),
+        row("development", HandoffPhase::Development),
+        row("never", HandoffPhase::Never),
+    ];
+    tabulate("Table 2.4", &population, &rows)
+}
+
+/// Table 2.6 — regression-driven experimentation usage, whole cohort.
+pub fn table_2_6(respondents: &[Respondent]) -> Table {
+    let population: Vec<&Respondent> = respondents.iter().collect();
+    let row = |label: &str, usage: RegressionUsage| {
+        (
+            label.to_string(),
+            Box::new(move |r: &Respondent| r.regression_usage == usage)
+                as Box<dyn Fn(&Respondent) -> bool>,
+        )
+    };
+    let rows = vec![
+        row("for all features", RegressionUsage::AllFeatures),
+        row("for some features", RegressionUsage::SomeFeatures),
+        row("no experimentation", RegressionUsage::None),
+    ];
+    tabulate("Table 2.6", &population, &rows)
+}
+
+/// Table 2.7 — reasons against regression-driven experiments, over
+/// non-adopters.
+pub fn table_2_7(respondents: &[Respondent]) -> Table {
+    let population: Vec<&Respondent> =
+        respondents.iter().filter(|r| !r.is_experimenter()).collect();
+    let row = |label: &str, reason: ReasonRegression| {
+        (
+            label.to_string(),
+            Box::new(move |r: &Respondent| r.reasons_regression.contains(&reason))
+                as Box<dyn Fn(&Respondent) -> bool>,
+        )
+    };
+    let rows = vec![
+        row("other", ReasonRegression::Other),
+        row("lack of expertise", ReasonRegression::LackOfExpertise),
+        row("no business sense", ReasonRegression::NoBusinessSense),
+        row("number customers", ReasonRegression::NumberCustomers),
+        row("architecture", ReasonRegression::Architecture),
+    ];
+    tabulate("Table 2.7", &population, &rows)
+}
+
+/// Table 2.8 — reasons against business-driven experiments, over non-A/B
+/// users.
+pub fn table_2_8(respondents: &[Respondent]) -> Table {
+    let population: Vec<&Respondent> = respondents.iter().filter(|r| !r.ab_testing).collect();
+    let row = |label: &str, reason: ReasonBusiness| {
+        (
+            label.to_string(),
+            Box::new(move |r: &Respondent| r.reasons_business.contains(&reason))
+                as Box<dyn Fn(&Respondent) -> bool>,
+        )
+    };
+    let rows = vec![
+        row("other", ReasonBusiness::Other),
+        row("don't know", ReasonBusiness::DontKnow),
+        row("lack of knowledge", ReasonBusiness::LackOfKnowledge),
+        row("policy / domain", ReasonBusiness::PolicyDomain),
+        row("number of users", ReasonBusiness::NumberOfUsers),
+        row("investments", ReasonBusiness::Investments),
+        row("architecture", ReasonBusiness::Architecture),
+    ];
+    tabulate("Table 2.8", &population, &rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::{self, Targets};
+    use crate::generate::cohort;
+
+    fn column_value(t: &Targets, col: usize) -> f64 {
+        match col {
+            0 => t.all,
+            1 => t.web,
+            2 => t.other,
+            3 => t.startup,
+            4 => t.sme,
+            _ => t.corp,
+        }
+    }
+
+    /// Asserts that a regenerated table matches the paper targets within
+    /// the tolerance budget (rounding + the additive-margin model).
+    fn assert_close(table: &Table, targets: &[(&str, Targets)], tol_all: f64, tol_sub: f64) {
+        for (label, target) in targets {
+            for col in 0..6 {
+                let tol = if col == 0 { tol_all } else { tol_sub };
+                let measured = table.cell(label, COLUMNS[col]).unwrap_or_else(|| {
+                    panic!("table {} missing row {label}", table.title)
+                });
+                let expected = column_value(target, col);
+                assert!(
+                    (measured - expected).abs() <= tol,
+                    "{} row '{label}' col {}: paper {expected}%, measured {measured:.1}%",
+                    table.title,
+                    COLUMNS[col]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn table_2_6_reproduces_the_paper() {
+        let c = cohort();
+        let t = table_2_6(&c);
+        assert_eq!(t.n[0], 187);
+        let targets: Vec<(&str, Targets)> = vec![
+            ("for all features", data::REGRESSION_USAGE[0].1),
+            ("for some features", data::REGRESSION_USAGE[1].1),
+            ("no experimentation", data::REGRESSION_USAGE[2].1),
+        ];
+        assert_close(&t, &targets, 2.0, 5.0);
+    }
+
+    #[test]
+    fn table_2_2_reproduces_the_paper() {
+        let c = cohort();
+        let t = table_2_2(&c);
+        assert!((68..=72).contains(&t.n[0]), "experimenters {}", t.n[0]);
+        let targets: Vec<(&str, Targets)> = vec![
+            ("feature toggles", data::TECHNIQUES[0].1),
+            ("traffic routing", data::TECHNIQUES[1].1),
+            ("binaries", data::TECHNIQUES[2].1),
+            ("dont' know", data::TECHNIQUES[3].1),
+            ("permissions", data::TECHNIQUES[4].1),
+            ("other", data::TECHNIQUES[5].1),
+        ];
+        // Small subgroup populations (8 startups) round coarsely.
+        assert_close(&t, &targets, 3.0, 9.0);
+    }
+
+    #[test]
+    fn table_2_3_reproduces_the_paper() {
+        let c = cohort();
+        let t = table_2_3(&c);
+        let targets: Vec<(&str, Targets)> = vec![
+            ("customer feedback", data::DETECTION[0].1),
+            ("monitoring", data::DETECTION[1].1),
+            ("don't know + other", data::DETECTION[2].1),
+        ];
+        assert_close(&t, &targets, 2.0, 5.0);
+    }
+
+    #[test]
+    fn table_2_4_reproduces_the_paper() {
+        let c = cohort();
+        let t = table_2_4(&c);
+        let targets: Vec<(&str, Targets)> = vec![
+            ("never", data::HANDOFF[0].1),
+            ("development", data::HANDOFF[1].1),
+            ("staging", data::HANDOFF[2].1),
+            ("preproduction", data::HANDOFF[3].1),
+            ("don't know + other", data::HANDOFF[4].1),
+        ];
+        assert_close(&t, &targets, 2.0, 5.0);
+    }
+
+    #[test]
+    fn table_2_7_reproduces_the_paper() {
+        let c = cohort();
+        let t = table_2_7(&c);
+        assert!((115..=119).contains(&t.n[0]), "non-adopters {}", t.n[0]);
+        let targets: Vec<(&str, Targets)> = vec![
+            ("architecture", data::REASONS_REGRESSION[0].1),
+            ("number customers", data::REASONS_REGRESSION[1].1),
+            ("no business sense", data::REASONS_REGRESSION[2].1),
+            ("lack of expertise", data::REASONS_REGRESSION[3].1),
+            ("other", data::REASONS_REGRESSION[4].1),
+        ];
+        assert_close(&t, &targets, 3.0, 8.0);
+    }
+
+    #[test]
+    fn table_2_8_reproduces_the_paper() {
+        let c = cohort();
+        let t = table_2_8(&c);
+        assert!((142..=146).contains(&t.n[0]), "non-A/B users {}", t.n[0]);
+        let targets: Vec<(&str, Targets)> = vec![
+            ("architecture", data::REASONS_BUSINESS[0].1),
+            ("investments", data::REASONS_BUSINESS[1].1),
+            ("number of users", data::REASONS_BUSINESS[2].1),
+            ("policy / domain", data::REASONS_BUSINESS[3].1),
+            ("lack of knowledge", data::REASONS_BUSINESS[4].1),
+            ("don't know", data::REASONS_BUSINESS[5].1),
+            ("other", data::REASONS_BUSINESS[6].1),
+        ];
+        assert_close(&t, &targets, 3.0, 8.0);
+    }
+
+    #[test]
+    fn figure_2_3_counts_brackets() {
+        let c = cohort();
+        let t = figure_2_3(&c);
+        // Percent of 0–2 bracket: 63/187 ≈ 33.7%.
+        let v = t.cell("0 - 2 years", "all").unwrap();
+        assert!((v - 33.7).abs() < 1.0, "{v}");
+    }
+
+    #[test]
+    fn cell_lookup_handles_missing() {
+        let c = cohort();
+        let t = table_2_6(&c);
+        assert!(t.cell("nonexistent", "all").is_none());
+        assert!(t.cell("never", "nope").is_none());
+    }
+}

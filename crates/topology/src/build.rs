@@ -1,0 +1,151 @@
+//! Building interaction graphs from distributed traces.
+//!
+//! "The addition, removal, or version updates of services are reflected in
+//! those traces, which enables us to identify changes on the topological
+//! level when comparing user traces of experimental and baseline versions
+//! of the application" (Section 1.2.4). The builder aggregates a set of
+//! traces — as collected by the microsim trace collector, structurally
+//! identical to Zipkin/Jaeger output — into one [`InteractionGraph`].
+
+use crate::graph::{InteractionGraph, NodeKey};
+use microsim::trace::Trace;
+
+/// Options for graph construction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BuildOptions {
+    /// Include spans that served mirrored (dark-launch) traffic. Dark
+    /// hops are real topology — a dark-launched version's outgoing calls
+    /// are exactly what health assessment should surface — so the default
+    /// is `true`.
+    pub include_dark: bool,
+}
+
+impl Default for BuildOptions {
+    fn default() -> Self {
+        BuildOptions { include_dark: true }
+    }
+}
+
+/// Builds an interaction graph from traces.
+pub fn build_graph(traces: &[Trace], options: BuildOptions) -> InteractionGraph {
+    let mut graph = InteractionGraph::new();
+    for trace in traces {
+        for span in &trace.spans {
+            if span.dark && !options.include_dark {
+                continue;
+            }
+            let node = graph.intern(NodeKey::new(
+                span.service.clone(),
+                span.version.clone(),
+                span.endpoint.clone(),
+            ));
+            graph.observe_node(node, span.duration, span.ok);
+            if let Some(parent_id) = span.parent {
+                if let Some(parent) = trace.spans.iter().find(|s| s.span == parent_id) {
+                    if parent.dark && !options.include_dark {
+                        continue;
+                    }
+                    let from = graph.intern(NodeKey::new(
+                        parent.service.clone(),
+                        parent.version.clone(),
+                        parent.endpoint.clone(),
+                    ));
+                    graph.observe_edge(from, node);
+                }
+            }
+        }
+    }
+    graph
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cex_core::simtime::{SimDuration, SimTime};
+    use microsim::trace::{Span, SpanId, TraceId};
+
+    fn span(trace: u64, id: u32, parent: Option<u32>, service: &str, dark: bool) -> Span {
+        Span {
+            trace: TraceId(trace),
+            span: SpanId(id),
+            parent: parent.map(SpanId),
+            service: service.into(),
+            version: "1.0.0".into(),
+            endpoint: "api".into(),
+            start: SimTime::from_millis(0),
+            duration: SimDuration::from_millis(10),
+            ok: true,
+            dark,
+        }
+    }
+
+    fn traces() -> Vec<Trace> {
+        vec![
+            Trace {
+                id: TraceId(1),
+                spans: vec![
+                    span(1, 0, None, "fe", false),
+                    span(1, 1, Some(0), "be", false),
+                    span(1, 2, Some(0), "dark-be", true),
+                ],
+            },
+            Trace {
+                id: TraceId(2),
+                spans: vec![span(2, 0, None, "fe", false), span(2, 1, Some(0), "be", false)],
+            },
+        ]
+    }
+
+    #[test]
+    fn graph_aggregates_across_traces() {
+        let g = build_graph(&traces(), BuildOptions::default());
+        assert_eq!(g.node_count(), 3);
+        let fe = g.find_unversioned("fe", "api").unwrap();
+        let be = g.find_unversioned("be", "api").unwrap();
+        assert_eq!(g.stats(fe).served, 2);
+        assert_eq!(g.stats(be).served, 2);
+        let (_, edge) = g.out_edges(fe).iter().find(|(t, _)| *t == be).unwrap();
+        assert_eq!(edge.calls, 2);
+    }
+
+    #[test]
+    fn dark_spans_can_be_excluded() {
+        let g = build_graph(&traces(), BuildOptions { include_dark: false });
+        assert_eq!(g.node_count(), 2);
+        assert!(g.find_unversioned("dark-be", "api").is_none());
+    }
+
+    #[test]
+    fn dark_spans_included_by_default() {
+        let g = build_graph(&traces(), BuildOptions::default());
+        assert!(g.find_unversioned("dark-be", "api").is_some());
+    }
+
+    #[test]
+    fn empty_traces_give_empty_graph() {
+        let g = build_graph(&[], BuildOptions::default());
+        assert_eq!(g.node_count(), 0);
+        assert_eq!(g.edge_count(), 0);
+    }
+
+    #[test]
+    fn graphs_from_simulated_traffic() {
+        use cex_core::simtime::SimDuration;
+        use microsim::sim::Simulation;
+        let app = microsim::topologies::case_study_app();
+        let mut sim = Simulation::new(app, 9);
+        sim.set_trace_sampling(1.0);
+        sim.run(SimDuration::from_secs(20), 20.0);
+        let traces = sim.drain_traces();
+        assert!(!traces.is_empty());
+        let g = build_graph(&traces, BuildOptions::default());
+        // The `home` entry reaches catalog and catalog-db at minimum.
+        assert!(g.find_unversioned("frontend", "home").is_some());
+        assert!(g.find_unversioned("catalog", "list").is_some());
+        assert!(g.find_unversioned("catalog-db", "query").is_some());
+        // Roots are frontend endpoints only.
+        for root in g.roots() {
+            assert_eq!(g.key(root).service, "frontend");
+        }
+    }
+}

@@ -1,0 +1,237 @@
+//! Synthetic graph pairs for the performance evaluation (Section 5.8).
+//!
+//! The scalability study measures heuristic execution times on interaction
+//! graphs of up to 10,000 endpoints (e.g. 1,000 microservices with 10
+//! endpoints each), with deep vs. broad shapes and varying "change
+//! frequency". Generating such graphs through the request simulator would
+//! measure the simulator, not the heuristics, so this module synthesizes
+//! baseline/experimental graph pairs directly.
+
+use crate::graph::{InteractionGraph, NodeKey};
+use cex_core::rng::SplitMix64;
+use cex_core::simtime::SimDuration;
+
+/// Parameters of a synthetic graph pair.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PerfParams {
+    /// Total endpoints (nodes) in the baseline graph.
+    pub endpoints: usize,
+    /// Endpoints per service (the paper's example: 10).
+    pub endpoints_per_service: usize,
+    /// Call-graph layers; few layers = broad graphs, many = deep graphs.
+    pub layers: usize,
+    /// Outgoing calls per endpoint (except the last layer).
+    pub out_degree: usize,
+    /// Fraction of services whose version changes between the variants —
+    /// the "change frequency" axis of Figure 5.10.
+    pub change_fraction: f64,
+}
+
+impl Default for PerfParams {
+    fn default() -> Self {
+        PerfParams {
+            endpoints: 1_000,
+            endpoints_per_service: 10,
+            layers: 6,
+            out_degree: 3,
+            change_fraction: 0.1,
+        }
+    }
+}
+
+/// Generates a baseline/experimental pair.
+///
+/// The experimental graph bumps the version of `change_fraction` of the
+/// services (touching every edge adjacent to them — composed change
+/// types), adds one brand-new service per 200 changed endpoints
+/// (fundamental *calling a new endpoint*), and removes a few calls.
+///
+/// # Panics
+///
+/// Panics when the parameters cannot form the layered shape
+/// (`endpoints < endpoints_per_service * layers` or zero sizes).
+pub fn generate_pair(params: &PerfParams, seed: u64) -> (InteractionGraph, InteractionGraph) {
+    assert!(params.endpoints_per_service > 0 && params.layers > 0 && params.endpoints > 0);
+    let services = params.endpoints.div_ceil(params.endpoints_per_service);
+    assert!(
+        services >= params.layers,
+        "need at least one service per layer ({services} services, {} layers)",
+        params.layers
+    );
+    let mut rng = SplitMix64::new(seed);
+
+    // Intermediate edge list over (service, endpoint) pairs.
+    let layer_of = |svc: usize| svc % params.layers;
+    let services_in_layer: Vec<Vec<usize>> = (0..params.layers)
+        .map(|l| (0..services).filter(|s| layer_of(*s) == l).collect())
+        .collect();
+
+    let mut edges: Vec<((usize, usize), (usize, usize))> = Vec::new();
+    for svc in 0..services {
+        let layer = layer_of(svc);
+        if layer + 1 >= params.layers {
+            continue;
+        }
+        let next = &services_in_layer[layer + 1];
+        for ep in 0..params.endpoints_per_service {
+            for _ in 0..params.out_degree {
+                let callee_svc = next[(rng.next_f64() * next.len() as f64) as usize % next.len()];
+                let callee_ep = (rng.next_f64() * params.endpoints_per_service as f64) as usize
+                    % params.endpoints_per_service;
+                edges.push(((svc, ep), (callee_svc, callee_ep)));
+            }
+        }
+    }
+    edges.sort_unstable();
+    edges.dedup();
+
+    // Per-service baseline response times.
+    let base_rt: Vec<f64> = (0..services).map(|_| 3.0 + rng.next_f64() * 20.0).collect();
+
+    // Which services change, and the new-service additions. A positive
+    // change fraction always flags at least one service so every generated
+    // pair is a meaningful diff input.
+    let mut changed: Vec<bool> =
+        (0..services).map(|_| rng.next_f64() < params.change_fraction).collect();
+    if params.change_fraction > 0.0 && !changed.iter().any(|c| *c) {
+        changed[0] = true;
+    }
+    let changed_count = changed.iter().filter(|c| **c).count();
+    let new_services = (changed_count * params.endpoints_per_service / 200).max(
+        if changed_count > 0 { 1 } else { 0 },
+    );
+
+    let emit = |experimental: bool, rng: &mut SplitMix64| -> InteractionGraph {
+        let mut g = InteractionGraph::new();
+        let version = |svc: usize| {
+            if experimental && changed[svc] {
+                "2.0.0"
+            } else {
+                "1.0.0"
+            }
+        };
+        let key = |svc: usize, ep: usize| {
+            NodeKey::new(format!("svc-{svc:05}"), version(svc), format!("ep{ep}"))
+        };
+        // Nodes with observations.
+        for svc in 0..services {
+            for ep in 0..params.endpoints_per_service {
+                let idx = g.intern(key(svc, ep));
+                let rt = base_rt[svc]
+                    * if experimental && changed[svc] { 1.0 + rng.next_f64() * 0.5 } else { 1.0 };
+                for _ in 0..3 {
+                    g.observe_node(idx, SimDuration::from_millis(rt.round() as u64), true);
+                }
+            }
+        }
+        for ((fs, fe), (ts, te)) in &edges {
+            // In the experimental variant a handful of calls from changed
+            // services disappear.
+            if experimental && changed[*fs] && rng.next_f64() < 0.05 {
+                continue;
+            }
+            let from = g.intern(key(*fs, *fe));
+            let to = g.intern(key(*ts, *te));
+            g.observe_edge(from, to);
+        }
+        // Brand-new services called from changed ones.
+        if experimental {
+            for n in 0..new_services {
+                let caller_svc = match changed.iter().position(|c| *c) {
+                    Some(s) => s,
+                    None => break,
+                };
+                let new_key = NodeKey::new(format!("new-{n:03}"), "1.0.0", "ep0");
+                let callee = g.intern(new_key);
+                for _ in 0..3 {
+                    g.observe_node(callee, SimDuration::from_millis(10), true);
+                }
+                let caller = g.intern(key(caller_svc, 0));
+                g.observe_edge(caller, callee);
+            }
+        }
+        g
+    };
+
+    let mut rng_b = SplitMix64::new(seed ^ 0xB);
+    let mut rng_e = SplitMix64::new(seed ^ 0xB);
+    let baseline = emit(false, &mut rng_b);
+    let experimental = emit(true, &mut rng_e);
+    (baseline, experimental)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::changes::classify;
+    use crate::diff::TopologicalDiff;
+
+    #[test]
+    fn generated_sizes_match_parameters() {
+        let params = PerfParams { endpoints: 500, ..Default::default() };
+        let (b, e) = generate_pair(&params, 1);
+        assert_eq!(b.node_count(), 500);
+        assert!(e.node_count() >= 500, "experimental adds new services");
+        assert!(b.edge_count() > 0);
+    }
+
+    #[test]
+    fn change_fraction_drives_diff_size() {
+        let small = PerfParams { change_fraction: 0.05, ..Default::default() };
+        let large = PerfParams { change_fraction: 0.5, ..Default::default() };
+        let (b1, e1) = generate_pair(&small, 2);
+        let (b2, e2) = generate_pair(&large, 2);
+        let f1 = TopologicalDiff::compute(&b1, &e1).change_fraction();
+        let f2 = TopologicalDiff::compute(&b2, &e2).change_fraction();
+        assert!(f2 > f1, "change fractions {f1} vs {f2}");
+    }
+
+    #[test]
+    fn zero_change_fraction_is_identical_topology() {
+        let params = PerfParams { change_fraction: 0.0, ..Default::default() };
+        let (b, e) = generate_pair(&params, 3);
+        let diff = TopologicalDiff::compute(&b, &e);
+        assert!(diff.is_unchanged());
+        assert!(classify(&diff).is_empty());
+    }
+
+    #[test]
+    fn changed_pairs_classify_into_changes() {
+        let params = PerfParams { endpoints: 300, change_fraction: 0.2, ..Default::default() };
+        let (b, e) = generate_pair(&params, 4);
+        let diff = TopologicalDiff::compute(&b, &e);
+        let changes = classify(&diff);
+        assert!(!changes.is_empty());
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let params = PerfParams::default();
+        let (b1, e1) = generate_pair(&params, 9);
+        let (b2, e2) = generate_pair(&params, 9);
+        assert_eq!(b1, b2);
+        assert_eq!(e1, e2);
+    }
+
+    #[test]
+    fn ten_thousand_endpoints_generate_quickly() {
+        // The Figure 5.9 upper bound must be generatable in test time.
+        let params = PerfParams { endpoints: 10_000, ..Default::default() };
+        let (b, e) = generate_pair(&params, 5);
+        assert_eq!(b.node_count(), 10_000);
+        let diff = TopologicalDiff::compute(&b, &e);
+        assert!(!classify(&diff).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "one service per layer")]
+    fn too_few_services_panics() {
+        let params = PerfParams {
+            endpoints: 20,
+            endpoints_per_service: 10,
+            layers: 6,
+            ..Default::default()
+        };
+        generate_pair(&params, 1);
+    }
+}

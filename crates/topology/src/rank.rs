@@ -1,0 +1,181 @@
+//! Rankings and nDCG (Section 5.7).
+//!
+//! Ranking quality is evaluated with the **normalized discounted
+//! cumulative gain** at cut-off 5 (nDCG₅), "a well-established metric in
+//! the field of information retrieval" — graded relevance, exponential
+//! gain, logarithmic position discount.
+
+use crate::changes::Change;
+use crate::heuristics::{AnalysisContext, Heuristic};
+use serde::{Deserialize, Serialize};
+
+/// A scored ordering of changes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Ranking {
+    /// Change indices, best first.
+    pub order: Vec<usize>,
+    /// Scores aligned with the *original* change indices.
+    pub scores: Vec<f64>,
+}
+
+impl Ranking {
+    /// The top-`k` change indices.
+    pub fn top(&self, k: usize) -> &[usize] {
+        &self.order[..k.min(self.order.len())]
+    }
+}
+
+/// Ranks `changes` with `heuristic` (stable order on ties: lower index
+/// first, so rankings are deterministic).
+pub fn rank(heuristic: &dyn Heuristic, ctx: &AnalysisContext<'_>, changes: &[Change]) -> Ranking {
+    let scores = heuristic.score_all(ctx, changes);
+    assert_eq!(scores.len(), changes.len(), "heuristic must score every change");
+    let mut order: Vec<usize> = (0..changes.len()).collect();
+    order.sort_by(|a, b| {
+        scores[*b].partial_cmp(&scores[*a]).expect("scores are finite").then(a.cmp(b))
+    });
+    Ranking { order, scores }
+}
+
+/// nDCG at cut-off `k` of a ranking against graded relevance labels
+/// (one per change, higher = more relevant).
+///
+/// Returns `1.0` for an empty ranking or all-zero relevance (any order of
+/// irrelevant items is trivially perfect).
+///
+/// # Panics
+///
+/// Panics when `relevance.len()` differs from the number of ranked
+/// changes.
+pub fn ndcg_at(ranking: &Ranking, relevance: &[f64], k: usize) -> f64 {
+    assert_eq!(
+        relevance.len(),
+        ranking.scores.len(),
+        "relevance labels must align with changes"
+    );
+    let dcg: f64 = ranking
+        .top(k)
+        .iter()
+        .enumerate()
+        .map(|(pos, idx)| gain(relevance[*idx]) / discount(pos))
+        .sum();
+    let mut ideal: Vec<f64> = relevance.to_vec();
+    ideal.sort_by(|a, b| b.partial_cmp(a).expect("relevance labels are finite"));
+    let idcg: f64 =
+        ideal.iter().take(k).enumerate().map(|(pos, rel)| gain(*rel) / discount(pos)).sum();
+    if idcg == 0.0 {
+        1.0
+    } else {
+        dcg / idcg
+    }
+}
+
+fn gain(relevance: f64) -> f64 {
+    2f64.powf(relevance) - 1.0
+}
+
+fn discount(position: usize) -> f64 {
+    ((position + 2) as f64).log2()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::changes::ChangeType;
+    use crate::diff::TopologicalDiff;
+    use crate::graph::{InteractionGraph, NodeKey};
+
+    struct Fixed(Vec<f64>);
+    impl Heuristic for Fixed {
+        fn name(&self) -> String {
+            "fixed".into()
+        }
+        fn score_all(&self, _: &AnalysisContext<'_>, _: &[Change]) -> Vec<f64> {
+            self.0.clone()
+        }
+    }
+
+    fn dummy_changes(n: usize) -> Vec<Change> {
+        (0..n)
+            .map(|i| Change {
+                kind: ChangeType::CallingNewEndpoint,
+                caller: NodeKey::new(format!("c{i}"), "1", "e"),
+                callee: NodeKey::new(format!("s{i}"), "1", "e"),
+            })
+            .collect()
+    }
+
+    fn empty_ctx() -> (InteractionGraph, InteractionGraph, TopologicalDiff) {
+        let g = InteractionGraph::new();
+        let diff = TopologicalDiff::compute(&g, &g);
+        (g.clone(), g, diff)
+    }
+
+    fn ranking(scores: Vec<f64>) -> Ranking {
+        let (b, e, d) = empty_ctx();
+        let ctx = AnalysisContext { baseline: &b, experimental: &e, diff: &d };
+        let changes = dummy_changes(scores.len());
+        rank(&Fixed(scores), &ctx, &changes)
+    }
+
+    #[test]
+    fn rank_orders_descending_with_stable_ties() {
+        let r = ranking(vec![0.2, 0.9, 0.2, 0.5]);
+        assert_eq!(r.order, vec![1, 3, 0, 2]);
+        assert_eq!(r.top(2), &[1, 3]);
+        assert_eq!(r.top(10).len(), 4);
+    }
+
+    #[test]
+    fn perfect_ranking_scores_one() {
+        let r = ranking(vec![3.0, 2.0, 1.0, 0.0]);
+        let relevance = vec![3.0, 2.0, 1.0, 0.0];
+        assert!((ndcg_at(&r, &relevance, 5) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn inverted_ranking_scores_below_one() {
+        let r = ranking(vec![0.0, 1.0, 2.0, 3.0]);
+        let relevance = vec![3.0, 2.0, 1.0, 0.0];
+        let score = ndcg_at(&r, &relevance, 5);
+        assert!(score < 0.8, "score {score}");
+        assert!(score > 0.0);
+    }
+
+    #[test]
+    fn ndcg_respects_cutoff() {
+        // Relevant item at position 6 contributes nothing at k=5.
+        let r = ranking(vec![6.0, 5.0, 4.0, 3.0, 2.0, 1.0, 0.0]);
+        let mut relevance = vec![0.0; 7];
+        relevance[6] = 3.0; // ranked last
+        let score = ndcg_at(&r, &relevance, 5);
+        assert_eq!(score, 0.0);
+    }
+
+    #[test]
+    fn all_zero_relevance_is_trivially_perfect() {
+        let r = ranking(vec![1.0, 2.0]);
+        assert_eq!(ndcg_at(&r, &[0.0, 0.0], 5), 1.0);
+    }
+
+    #[test]
+    fn ndcg_is_within_unit_interval_for_random_cases() {
+        use cex_core::rng::SplitMix64;
+        let mut rng = SplitMix64::new(5);
+        for _ in 0..50 {
+            let n = 1 + (rng.next_f64() * 10.0) as usize;
+            let scores: Vec<f64> = (0..n).map(|_| rng.next_f64()).collect();
+            let relevance: Vec<f64> = (0..n).map(|_| (rng.next_f64() * 4.0).floor()).collect();
+            let r = ranking(scores);
+            let v = ndcg_at(&r, &relevance, 5);
+            assert!((0.0..=1.0 + 1e-12).contains(&v), "ndcg {v}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "must align")]
+    fn mismatched_relevance_panics() {
+        let r = ranking(vec![1.0, 2.0]);
+        ndcg_at(&r, &[1.0], 5);
+    }
+}

@@ -1,0 +1,180 @@
+//! Rendering topological differences for humans.
+//!
+//! The research prototype ships "a user interface visualizing the
+//! topological differences interactively […] complemented with the ranking
+//! of identified changes" (Figure 1.3: red = removed, green = added,
+//! yellow = updated). This module renders the same view as Graphviz DOT
+//! (for `dot -Tsvg`) and as an indented text tree for terminals.
+
+use crate::changes::Change;
+use crate::diff::{Status, TopologicalDiff};
+use crate::rank::Ranking;
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+/// Escapes a string for a DOT quoted identifier.
+fn dot_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// Renders the diff as a Graphviz DOT digraph with the prototype's colour
+/// coding: green = added, red = removed, grey = unchanged. Updated
+/// versions appear as a red/green node pair, exactly as the paper's UI
+/// shows them.
+pub fn to_dot(diff: &TopologicalDiff) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph topological_difference {{");
+    let _ = writeln!(out, "  rankdir=LR;");
+    let _ = writeln!(out, "  node [shape=box, style=filled, fontname=\"monospace\"];");
+    for (i, node) in diff.nodes.iter().enumerate() {
+        let (color, font) = match node.status {
+            Status::Added => ("\"#c6f6c6\"", "black"),
+            Status::Removed => ("\"#f6c6c6\"", "black"),
+            Status::Common => ("\"#eeeeee\"", "black"),
+        };
+        let rt = node
+            .experimental
+            .or(node.baseline)
+            .map(|s| format!("\\n{:.1} ms", s.mean_rt_ms()))
+            .unwrap_or_default();
+        let _ = writeln!(
+            out,
+            "  n{i} [label=\"{}{rt}\", fillcolor={color}, fontcolor={font}];",
+            dot_escape(&node.key.to_string())
+        );
+    }
+    for edge in &diff.edges {
+        let style = match edge.status {
+            Status::Added => "color=\"#2e7d32\", penwidth=2",
+            Status::Removed => "color=\"#c62828\", style=dashed",
+            Status::Common => "color=\"#9e9e9e\"",
+        };
+        let _ = writeln!(out, "  n{} -> n{} [{style}];", edge.from, edge.to);
+    }
+    let _ = writeln!(out, "}}");
+    out
+}
+
+/// Renders a ranked change list as the prototype's side panel: position,
+/// score, change description.
+pub fn render_ranking(ranking: &Ranking, changes: &[Change], top: usize) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "ranked changes (top {}):", top.min(changes.len()));
+    for (pos, idx) in ranking.top(top).iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "{:>3}. [{:>5.2}] {}",
+            pos + 1,
+            ranking.scores[*idx],
+            changes[*idx]
+        );
+    }
+    out
+}
+
+/// Renders the diff as an indented text tree, service-grouped, with
+/// `+`/`-`/`=` status markers — the terminal-friendly counterpart of the
+/// DOT view.
+pub fn to_text(diff: &TopologicalDiff) -> String {
+    let mut by_service: HashMap<&str, Vec<usize>> = HashMap::new();
+    for (i, node) in diff.nodes.iter().enumerate() {
+        by_service.entry(node.key.service.as_str()).or_default().push(i);
+    }
+    let mut services: Vec<&str> = by_service.keys().copied().collect();
+    services.sort_unstable();
+
+    let mut out = String::new();
+    for service in services {
+        let _ = writeln!(out, "{service}");
+        let mut nodes = by_service[service].clone();
+        nodes.sort_by_key(|i| diff.nodes[*i].key.to_string());
+        for i in nodes {
+            let node = &diff.nodes[i];
+            let marker = match node.status {
+                Status::Added => '+',
+                Status::Removed => '-',
+                Status::Common => '=',
+            };
+            let _ = writeln!(out, "  {marker} {}@{}/{}", node.key.service, node.key.version, node.key.endpoint);
+            for edge in diff.edges.iter().filter(|e| e.from == i) {
+                let em = match edge.status {
+                    Status::Added => '+',
+                    Status::Removed => '-',
+                    Status::Common => '=',
+                };
+                let _ = writeln!(out, "      {em}-> {}", diff.nodes[edge.to].key);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::changes::classify;
+    use crate::graph::{InteractionGraph, NodeKey};
+    use crate::heuristics::{self, AnalysisContext};
+    use crate::rank::rank;
+    use cex_core::simtime::SimDuration;
+
+    fn graphs() -> (InteractionGraph, InteractionGraph) {
+        let mut b = InteractionGraph::new();
+        let fe = b.intern(NodeKey::new("fe", "1", "home"));
+        let svc = b.intern(NodeKey::new("svc", "1", "api"));
+        b.observe_node(fe, SimDuration::from_millis(20), true);
+        b.observe_node(svc, SimDuration::from_millis(10), true);
+        b.observe_edge(fe, svc);
+
+        let mut e = InteractionGraph::new();
+        let fe2 = e.intern(NodeKey::new("fe", "1", "home"));
+        let svc2 = e.intern(NodeKey::new("svc", "2", "api"));
+        e.observe_node(fe2, SimDuration::from_millis(22), true);
+        e.observe_node(svc2, SimDuration::from_millis(30), true);
+        e.observe_edge(fe2, svc2);
+        (b, e)
+    }
+
+    #[test]
+    fn dot_contains_colored_nodes_and_edges() {
+        let (b, e) = graphs();
+        let diff = TopologicalDiff::compute(&b, &e);
+        let dot = to_dot(&diff);
+        assert!(dot.starts_with("digraph"));
+        assert!(dot.contains("svc@1/api"));
+        assert!(dot.contains("svc@2/api"));
+        assert!(dot.contains("#f6c6c6"), "removed node coloured red");
+        assert!(dot.contains("#c6f6c6"), "added node coloured green");
+        assert!(dot.contains("->"));
+        assert!(dot.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn dot_escapes_quotes() {
+        assert_eq!(dot_escape("a\"b\\c"), "a\\\"b\\\\c");
+    }
+
+    #[test]
+    fn text_tree_groups_by_service() {
+        let (b, e) = graphs();
+        let diff = TopologicalDiff::compute(&b, &e);
+        let text = to_text(&diff);
+        assert!(text.contains("fe\n"));
+        assert!(text.contains("- svc@1/api"));
+        assert!(text.contains("+ svc@2/api"));
+        assert!(text.contains("= fe@1/home"));
+    }
+
+    #[test]
+    fn ranking_panel_renders() {
+        let (b, e) = graphs();
+        let diff = TopologicalDiff::compute(&b, &e);
+        let changes = classify(&diff);
+        let ctx = AnalysisContext { baseline: &b, experimental: &e, diff: &diff };
+        let h = heuristics::hybrid_default();
+        let ranking = rank(h.as_ref(), &ctx, &changes);
+        let panel = render_ranking(&ranking, &changes, 5);
+        assert!(panel.contains("1."));
+        assert!(panel.contains("updated callee version"));
+    }
+}

@@ -1,0 +1,136 @@
+//! The AB Inc motivating example (Chapter 1 of the dissertation).
+//!
+//! AB Inc's release engineer wants to ship a recommendation feature with
+//! manageable risk: confirm scalability first, then measure user
+//! acceptance. That is exactly a **multi-phase strategy**:
+//!
+//! canary (5%) → dark launch (scalability) → A/B test (two
+//! implementations, business metrics) → gradual rollout of the winner.
+//!
+//! The example runs the strategy twice: once with a healthy candidate
+//! (completes and promotes), once with a broken candidate (the canary
+//! checks trip and Bifrost rolls everyone back to the stable version).
+//!
+//! Run with `cargo run --example ab_inc_recommendation`.
+
+use continuous_experimentation::bifrost::dsl;
+use continuous_experimentation::bifrost::engine::{Engine, StrategyStatus};
+use continuous_experimentation::core::metrics::MetricKind;
+use continuous_experimentation::core::simtime::{SimDuration, SimTime};
+use continuous_experimentation::core::users::Population;
+use continuous_experimentation::microsim::app::{CallDef, EndpointDef, VersionSpec};
+use continuous_experimentation::microsim::latency::LatencyModel;
+use continuous_experimentation::microsim::sim::Simulation;
+use continuous_experimentation::microsim::topologies;
+use continuous_experimentation::microsim::workload::{EntryPoint, Workload};
+
+const STRATEGY: &str = r#"
+strategy "ab-inc-recommendation" {
+  service "recommendation"
+  baseline "1.0.0"
+  candidate "1.1.0"
+  variant_b "1.1.0-alt"
+
+  # Keep the blast radius small while confirming basic health.
+  phase "canary" canary 5% for 4m {
+    check error_rate < 0.05 over 1m every 30s min_samples 10
+    on success goto "dark"
+    on failure rollback
+  }
+  # Scalability under production-shaped load, invisible to users.
+  phase "dark" dark_launch for 4m {
+    check response_time vs_baseline < 2.5 over 1m every 30s min_samples 10
+    on success goto "ab"
+    on failure rollback
+  }
+  # Two alternative implementations, judged on business metrics.
+  phase "ab" ab_test 25% for 8m {
+    check conversion_rate > 0.001 over 4m every 1m min_samples 30
+    on success goto "rollout"
+    on failure rollback
+  }
+  # Expose the winner step-wise to everyone.
+  phase "rollout" gradual_rollout from 25% to 100% step 25% every 2m for 12m {
+    check error_rate < 0.05 over 1m every 30s min_samples 10
+    on success complete
+    on failure rollback
+  }
+}
+"#;
+
+fn run(broken: bool) -> Result<(), Box<dyn std::error::Error>> {
+    let mut sim = Simulation::new(topologies::case_study_app(), 99);
+    // Variant A: the regular candidate (or the broken build).
+    if broken {
+        let mut spec = topologies::recommendation_broken();
+        spec.version = "1.1.0".into();
+        sim.deploy(spec)?;
+    } else {
+        sim.deploy(topologies::recommendation_candidate())?;
+    }
+    // Variant B: a lighter implementation with a better conversion rate.
+    sim.deploy(
+        VersionSpec::new("recommendation", "1.1.0-alt")
+            .capacity(250.0)
+            .conversion_rate(0.03)
+            .endpoint(
+                EndpointDef::new("recommend", LatencyModel::web(9.0))
+                    .call(CallDef::always("profile-store", "get")),
+            ),
+    )?;
+
+    let frontend = sim.app().service_id("frontend")?;
+    let workload = Workload {
+        population: Population::single("customers", 40_000),
+        rate_rps: 50.0,
+        entries: vec![
+            EntryPoint { service: frontend, endpoint: "home".into(), weight: 4.0 },
+            EntryPoint { service: frontend, endpoint: "product".into(), weight: 3.0 },
+            EntryPoint { service: frontend, endpoint: "checkout".into(), weight: 1.0 },
+        ],
+    };
+
+    let strategy = dsl::parse(STRATEGY)?;
+    println!(
+        "running '{}' with a {} candidate…",
+        strategy.name,
+        if broken { "BROKEN" } else { "healthy" }
+    );
+    let report =
+        Engine::default().execute(&mut sim, &[strategy], &workload, SimDuration::from_mins(40))?;
+    let status = &report.statuses[0].1;
+    println!(
+        "  outcome: {:?} after {} ticks, {} check evaluations",
+        status, report.ticks, report.check_evaluations
+    );
+
+    // Where did traffic end up?
+    let candidate_rt = sim.store().summary_between(
+        "recommendation@1.1.0",
+        MetricKind::ResponseTime,
+        SimTime::ZERO,
+        sim.now(),
+    );
+    let baseline_rt = sim.store().summary_between(
+        "recommendation@1.0.0",
+        MetricKind::ResponseTime,
+        SimTime::ZERO,
+        sim.now(),
+    );
+    println!(
+        "  hops served: candidate {} (mean {:.1} ms), baseline {} (mean {:.1} ms)",
+        candidate_rt.count, candidate_rt.mean, baseline_rt.count, baseline_rt.mean
+    );
+    match status {
+        StrategyStatus::Completed => println!("  candidate promoted to all users\n"),
+        StrategyStatus::RolledBack => println!("  users safely back on the stable version\n"),
+        StrategyStatus::Running => println!("  still running at the horizon\n"),
+    }
+    Ok(())
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    run(false)?;
+    run(true)?;
+    Ok(())
+}

@@ -1,0 +1,122 @@
+//! A decentralized experiment fleet: many teams, one engine.
+//!
+//! The dissertation's setting is "decentralized microservice teams
+//! independently running experiments". Here 24 teams each canary their own
+//! service with a templated strategy; the fleet is verified as a whole
+//! before launch (catching one team's mistake), executed in parallel, and
+//! summarized from the engine's transition log.
+//!
+//! Run with `cargo run --release --example fleet`.
+
+use continuous_experimentation::bifrost::engine::{Engine, StrategyStatus};
+use continuous_experimentation::bifrost::machine::State;
+use continuous_experimentation::bifrost::templates::{canary_then_rollout, HealthCriteria};
+use continuous_experimentation::bifrost::verify::{is_launchable, verify, Severity};
+use continuous_experimentation::core::simtime::SimDuration;
+use continuous_experimentation::core::users::Population;
+use continuous_experimentation::microsim::app::{Application, EndpointDef, VersionSpec};
+use continuous_experimentation::microsim::latency::LatencyModel;
+use continuous_experimentation::microsim::sim::Simulation;
+use continuous_experimentation::microsim::workload::{EntryPoint, Workload};
+
+const TEAMS: usize = 24;
+
+fn fleet_app() -> Application {
+    let mut b = Application::builder();
+    for i in 0..TEAMS {
+        b.version(
+            VersionSpec::new(format!("team{i:02}-svc"), "1.0.0")
+                .capacity(5_000.0)
+                .endpoint(EndpointDef::new("api", LatencyModel::web(10.0))),
+        );
+        // Team 7 shipped a slow, flaky build.
+        let candidate = if i == 7 {
+            VersionSpec::new(format!("team{i:02}-svc"), "1.1.0")
+                .capacity(5_000.0)
+                .endpoint(EndpointDef::new("api", LatencyModel::web(40.0)).error_rate(0.2))
+        } else {
+            VersionSpec::new(format!("team{i:02}-svc"), "1.1.0")
+                .capacity(5_000.0)
+                .endpoint(EndpointDef::new("api", LatencyModel::web(9.0)))
+        };
+        b.version(candidate);
+    }
+    b.build().expect("fleet app is valid")
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let app = fleet_app();
+
+    // Each team instantiates the same vetted template.
+    let mut strategies: Vec<_> = (0..TEAMS)
+        .map(|i| {
+            canary_then_rollout(
+                format!("team{i:02}-canary"),
+                format!("team{i:02}-svc"),
+                "1.0.0",
+                "1.1.0",
+                HealthCriteria { min_samples: 10, ..Default::default() },
+            )
+        })
+        .collect();
+
+    // Team 3 accidentally targets team 2's service — verification catches
+    // the collision before anything is enacted.
+    strategies[3].service = "team02-svc".into();
+    let issues = verify(&app, &strategies);
+    for issue in issues.iter().filter(|i| i.severity() == Severity::Error) {
+        println!("verifier blocked launch: {issue}");
+    }
+    assert!(!is_launchable(&issues));
+    strategies[3].service = "team03-svc".into();
+    assert!(is_launchable(&verify(&app, &strategies)), "fixed fleet verifies");
+    println!("fleet of {TEAMS} strategies verified\n");
+
+    // One workload spanning every team's service.
+    let entries = (0..TEAMS)
+        .map(|i| EntryPoint {
+            service: app.service_id(&format!("team{i:02}-svc")).expect("exists"),
+            endpoint: "api".into(),
+            weight: 1.0,
+        })
+        .collect();
+    let workload = Workload {
+        population: Population::single("all", 200_000),
+        rate_rps: (TEAMS * 12) as f64,
+        entries,
+    };
+
+    let mut sim = Simulation::new(app, 2026);
+    let report = Engine::default().execute(&mut sim, &strategies, &workload, SimDuration::from_hours(2))?;
+
+    let completed = report.statuses.iter().filter(|(_, s)| *s == StrategyStatus::Completed).count();
+    let rolled_back: Vec<&str> = report
+        .statuses
+        .iter()
+        .filter(|(_, s)| *s == StrategyStatus::RolledBack)
+        .map(|(n, _)| n.as_str())
+        .collect();
+    println!(
+        "executed {} strategies in parallel: {completed} completed, {} rolled back",
+        TEAMS,
+        rolled_back.len()
+    );
+    println!("rolled back: {rolled_back:?}");
+    assert!(rolled_back.contains(&"team07-canary"), "the flaky build must be caught");
+
+    // Transition-log summary: how long did each rollback take to trigger?
+    for (name, _) in report.statuses.iter().filter(|(_, s)| *s == StrategyStatus::RolledBack) {
+        let t = report
+            .transitions
+            .iter()
+            .find(|t| &t.strategy == name && t.to == State::RolledBack)
+            .expect("rollback recorded");
+        println!("  {name}: rolled back after {}s of experiment time", t.time.as_secs());
+    }
+    println!(
+        "\nengine cost: {:.2}% CPU, mean tick processing {:?}",
+        report.cpu_utilization() * 100.0,
+        report.mean_tick_processing
+    );
+    Ok(())
+}

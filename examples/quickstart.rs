@@ -1,0 +1,106 @@
+//! Quickstart: one continuous experiment end to end.
+//!
+//! Plan → execute → assess, on the case-study e-commerce application:
+//!
+//! 1. **Plan** (Fenrir): find a slot for a recommendation canary among
+//!    other pending experiments.
+//! 2. **Execute** (Bifrost): run a canary-then-rollout strategy, written
+//!    in the DSL, against the simulated application.
+//! 3. **Assess** (topology): diff the baseline and experimental
+//!    interaction graphs and rank the identified changes.
+//!
+//! Run with `cargo run --example quickstart`.
+
+use continuous_experimentation::bifrost::dsl;
+use continuous_experimentation::bifrost::engine::Engine;
+use continuous_experimentation::core::simtime::SimDuration;
+use continuous_experimentation::core::users::Population;
+use continuous_experimentation::fenrir::ga::GeneticAlgorithm;
+use continuous_experimentation::fenrir::generator::{ProblemGenerator, SampleSizeTier};
+use continuous_experimentation::fenrir::runner::{Budget, Scheduler};
+use continuous_experimentation::microsim::sim::Simulation;
+use continuous_experimentation::microsim::topologies;
+use continuous_experimentation::microsim::workload::{EntryPoint, Workload};
+use continuous_experimentation::topology::build::{build_graph, BuildOptions};
+use continuous_experimentation::topology::changes::classify;
+use continuous_experimentation::topology::diff::TopologicalDiff;
+use continuous_experimentation::topology::heuristics::{self, AnalysisContext};
+use continuous_experimentation::topology::rank::rank;
+use cex_core::experiment::ExperimentId;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // ------------------------------------------------------------------
+    // 1. Plan: schedule 8 pending experiments; ours is experiment 0.
+    // ------------------------------------------------------------------
+    println!("1/3 planning (Fenrir)…");
+    let problem = ProblemGenerator::new(8, SampleSizeTier::Low).generate(2026);
+    let schedule = GeneticAlgorithm::default().schedule(&problem, Budget::evaluations(4_000), 1);
+    let plan = schedule.best.plan(ExperimentId(0));
+    println!(
+        "   schedule fitness {:.2} (valid: {}); our experiment runs {plan}",
+        schedule.best_report.raw,
+        schedule.best_report.is_valid(),
+    );
+
+    // ------------------------------------------------------------------
+    // 2. Execute: canary the new recommendation version, then roll out.
+    // ------------------------------------------------------------------
+    println!("2/3 executing (Bifrost)…");
+    let mut sim = Simulation::new(topologies::case_study_app(), 7);
+    sim.set_trace_sampling(1.0);
+    sim.deploy(topologies::recommendation_candidate())?;
+    let frontend = sim.app().service_id("frontend")?;
+    let workload = Workload {
+        population: Population::single("all", 25_000),
+        rate_rps: 40.0,
+        entries: vec![
+            EntryPoint { service: frontend, endpoint: "home".into(), weight: 3.0 },
+            EntryPoint { service: frontend, endpoint: "product".into(), weight: 2.0 },
+        ],
+    };
+
+    // Collect a baseline graph before the experiment touches routing.
+    sim.run_with(SimDuration::from_mins(2), &workload);
+    let baseline_traces = sim.drain_traces();
+
+    let strategy = dsl::parse(
+        r#"strategy "recommendation-canary" {
+            service "recommendation"
+            baseline "1.0.0"
+            candidate "1.1.0"
+            phase "canary" canary 10% for 4m {
+              check error_rate < 0.05 over 1m every 30s min_samples 10
+              on success goto "rollout"
+              on failure rollback
+            }
+            phase "rollout" gradual_rollout from 25% to 100% step 25% every 1m for 8m {
+              check error_rate < 0.05 over 1m every 30s min_samples 10
+              on success complete
+              on failure rollback
+            }
+        }"#,
+    )?;
+    let report = Engine::default().execute(&mut sim, &[strategy], &workload, SimDuration::from_mins(20))?;
+    println!(
+        "   strategy '{}' finished: {:?} ({} checks evaluated)",
+        report.statuses[0].0, report.statuses[0].1, report.check_evaluations
+    );
+
+    // ------------------------------------------------------------------
+    // 3. Assess: what changed, topologically, and what matters most?
+    // ------------------------------------------------------------------
+    println!("3/3 assessing (topology)…");
+    let experimental_traces = sim.drain_traces();
+    let baseline = build_graph(&baseline_traces, BuildOptions::default());
+    let experimental = build_graph(&experimental_traces, BuildOptions::default());
+    let diff = TopologicalDiff::compute(&baseline, &experimental);
+    let changes = classify(&diff);
+    let ctx = AnalysisContext { baseline: &baseline, experimental: &experimental, diff: &diff };
+    let heuristic = heuristics::hybrid_default();
+    let ranking = rank(heuristic.as_ref(), &ctx, &changes);
+    println!("   {} topological changes; top ranked by {}:", changes.len(), heuristic.name());
+    for (pos, idx) in ranking.top(5).iter().enumerate() {
+        println!("   {}. {}", pos + 1, changes[*idx]);
+    }
+    Ok(())
+}

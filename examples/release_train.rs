@@ -1,0 +1,98 @@
+//! Scheduling a release train with Fenrir, including mid-horizon
+//! reevaluation.
+//!
+//! A platform team has 20 experiments queued for the next four weeks —
+//! canaries, dark launches, A/B tests of varying sample-size demands —
+//! competing for the same finite user traffic. Fenrir finds a valid
+//! schedule; a week later reality intervenes (experiments finish early,
+//! get canceled, new ones arrive) and the schedule is reevaluated with
+//! the existing plan as the search seed.
+//!
+//! Run with `cargo run --example release_train`.
+
+use continuous_experimentation::fenrir::ga::GeneticAlgorithm;
+use continuous_experimentation::fenrir::gantt::{self, GanttOptions};
+use continuous_experimentation::fenrir::generator::{ProblemGenerator, SampleSizeTier};
+use continuous_experimentation::fenrir::problem::ExperimentRequest;
+use continuous_experimentation::fenrir::reevaluate::{reevaluate, ScheduleUpdate};
+use continuous_experimentation::fenrir::runner::{Budget, Scheduler};
+use cex_core::experiment::ExperimentId;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 20 experiments, medium sample sizes, four-week hourly horizon.
+    let problem = ProblemGenerator::new(20, SampleSizeTier::Medium).generate(314);
+    println!(
+        "scheduling {} experiments over {} hourly slots ({} user groups, {:.1}M interactions)…",
+        problem.len(),
+        problem.horizon(),
+        problem.population().len(),
+        problem.traffic().total() / 1e6
+    );
+
+    let ga = GeneticAlgorithm::default();
+    let result = ga.schedule(&problem, Budget::evaluations(8_000), 1);
+    println!(
+        "schedule found: fitness {:.3}, valid: {}, makespan {} slots\n",
+        result.best_report.raw,
+        result.best_report.is_valid(),
+        result.best.makespan()
+    );
+    print!("{}", gantt::render(&problem, &result.best, GanttOptions { width: 68, details: false }));
+    println!("\n{:<8} {:>12} {}", "exp", "samples", "plan");
+    for i in 0..problem.len() {
+        let id = ExperimentId(i);
+        println!(
+            "{:<8} {:>12.0} {}",
+            problem.experiment(id).name,
+            result.best.samples_collected(&problem, id),
+            result.best.plan(id)
+        );
+    }
+
+    // One week later: two finished, one canceled, three new requests.
+    println!("\n--- one week later: reevaluating ---");
+    let mut added = Vec::new();
+    for (i, service) in ["checkout-v2", "search-ranker", "push-opt"].iter().enumerate() {
+        let mut request = ExperimentRequest::new(format!("new-{service}"), *service, 45_000.0);
+        request.min_duration_slots = 12;
+        request.max_duration_slots = 120;
+        request.earliest_start_slot = 7 * 24 + i * 6;
+        added.push(request);
+    }
+    let update = ScheduleUpdate {
+        now_slot: 7 * 24,
+        finished: vec![ExperimentId(1), ExperimentId(6)],
+        canceled: vec![ExperimentId(3)],
+        added,
+    };
+    let re = reevaluate(&problem, &result.best, &update, 9)?;
+    let warm = ga.schedule_from(&re.problem, Budget::evaluations(6_000), 2, Some(re.seed_schedule.clone()));
+    println!(
+        "reevaluated {} experiments: fitness {:.3}, valid: {}",
+        re.problem.len(),
+        warm.best_report.raw,
+        warm.best_report.is_valid()
+    );
+    // Running experiments may keep their plans (the seed) or be adjusted
+    // and restarted — but never moved before their actual start.
+    let mut kept = 0;
+    let mut running = 0;
+    for (old, new) in re.mapping.iter().enumerate() {
+        if let Some(new_id) = new {
+            let old_plan = result.best.plan(ExperimentId(old));
+            if old_plan.start_slot < update.now_slot {
+                running += 1;
+                let new_plan = warm.best.plan(*new_id);
+                assert!(
+                    new_plan.start_slot >= old_plan.start_slot,
+                    "a running experiment cannot retroactively start earlier"
+                );
+                if new_plan.start_slot == old_plan.start_slot {
+                    kept += 1;
+                }
+            }
+        }
+    }
+    println!("{kept}/{running} already-running experiments kept their start slots");
+    Ok(())
+}

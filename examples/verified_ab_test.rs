@@ -1,0 +1,111 @@
+//! Pre-launch verification and a statistically rigorous A/B test.
+//!
+//! Business-driven experiments are "characterized through rigorous
+//! hypothesis testing on selected metrics" (Table 2.5). This example:
+//!
+//! 1. writes an A/B strategy whose success criterion is a **Welch t-test**
+//!    (`significant_vs_baseline`) on the conversion rate,
+//! 2. runs the strategy set through the **pre-launch verifier**
+//!    (the dissertation's §1.6.4 future work) and fixes what it flags,
+//! 3. executes the test twice: once with a genuinely better candidate
+//!    (significant → promoted) and once with an identical-performing
+//!    candidate (not significant → rolled back — the null effect is
+//!    correctly *not* shipped).
+//!
+//! Run with `cargo run --release --example verified_ab_test`.
+
+use continuous_experimentation::bifrost::dsl;
+use continuous_experimentation::bifrost::engine::{Engine, StrategyStatus};
+use continuous_experimentation::bifrost::verify::{is_launchable, verify};
+use continuous_experimentation::core::simtime::SimDuration;
+use continuous_experimentation::microsim::app::{Application, EndpointDef, VersionSpec};
+use continuous_experimentation::microsim::latency::LatencyModel;
+use continuous_experimentation::microsim::sim::Simulation;
+use continuous_experimentation::microsim::workload::Workload;
+
+const STRATEGY: &str = r#"
+strategy "checkout-cta" {
+  service "checkout"
+  baseline "1.0.0"
+  candidate "2.0.0"
+
+  phase "ab" ab_test 50% for 30m {
+    # Ship only if the uplift is statistically significant at alpha = 0.05.
+    check conversion_rate significant_vs_baseline > 0.05 over 25m every 2m min_samples 400
+    check error_rate < 0.05 over 5m every 1m min_samples 50
+    on success complete
+    on failure rollback
+    on inconclusive retry
+  }
+}
+"#;
+
+fn app(candidate_conversion: f64) -> Application {
+    let mut b = Application::builder();
+    b.version(
+        VersionSpec::new("checkout", "1.0.0")
+            .capacity(10_000.0)
+            .conversion_rate(0.02)
+            .endpoint(EndpointDef::new("pay", LatencyModel::web(15.0))),
+    );
+    b.version(
+        VersionSpec::new("checkout", "2.0.0")
+            .capacity(10_000.0)
+            .conversion_rate(candidate_conversion)
+            .endpoint(EndpointDef::new("pay", LatencyModel::web(15.0))),
+    );
+    b.build().expect("static app is valid")
+}
+
+fn run(label: &str, candidate_conversion: f64) -> Result<(), Box<dyn std::error::Error>> {
+    let app = app(candidate_conversion);
+    let strategy = dsl::parse(STRATEGY)?;
+
+    // Pre-launch verification.
+    let issues = verify(&app, &[strategy.clone()]);
+    for issue in &issues {
+        println!("  verifier: [{:?}] {issue}", issue.severity());
+    }
+    assert!(is_launchable(&issues), "verifier must not find errors");
+
+    let wl = Workload::simple(app.service_id("checkout")?, "pay", 40.0);
+    let mut sim = Simulation::new(app, 77);
+    let report = Engine::default().execute(&mut sim, &[strategy], &wl, SimDuration::from_hours(4))?;
+    let status = &report.statuses[0].1;
+    println!(
+        "  {label}: candidate converts at {:.1}% vs baseline 2.0% -> {:?} \
+         ({} check evaluations)",
+        candidate_conversion * 100.0,
+        status,
+        report.check_evaluations
+    );
+    match (label, status) {
+        ("uplift", StrategyStatus::Completed) => println!("  ✓ real uplift shipped\n"),
+        ("null effect", StrategyStatus::RolledBack) => {
+            println!("  ✓ statistical noise correctly NOT shipped\n")
+        }
+        other => println!("  unexpected outcome {other:?}\n"),
+    }
+    Ok(())
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("A/B test gated on Welch's t-test (alpha = 0.05):\n");
+    run("uplift", 0.05)?;
+    run("null effect", 0.02)?;
+
+    // Show the verifier catching a real planning mistake: two experiments
+    // on the same service.
+    let app = app(0.05);
+    let a = dsl::parse(STRATEGY)?;
+    let mut b = a.clone();
+    b.name = "checkout-cta-conflicting".into();
+    let issues = verify(&app, &[a, b]);
+    println!("conflicting launch attempt:");
+    for issue in &issues {
+        println!("  verifier: [{:?}] {issue}", issue.severity());
+    }
+    assert!(!is_launchable(&issues));
+    println!("  ✓ conflicting strategies blocked before launch");
+    Ok(())
+}

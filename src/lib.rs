@@ -1,0 +1,12 @@
+//! Facade crate bundling the continuous-experimentation framework
+//! (Schermann, Middleware 2017): planning (`fenrir`), execution
+//! (`bifrost`) and analysis (`topology`) models over a shared domain
+//! model (`cex_core`) and microservice simulator (`microsim`), plus the
+//! empirical-study pipeline (`study`).
+
+pub use bifrost;
+pub use cex_core as core;
+pub use fenrir;
+pub use microsim;
+pub use study;
+pub use topology;

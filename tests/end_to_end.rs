@@ -1,0 +1,147 @@
+//! Integration: the full experiment life cycle across crates —
+//! plan (fenrir) → execute (bifrost over microsim) → assess (topology).
+
+use bifrost::dsl;
+use bifrost::engine::{Engine, StrategyStatus};
+use cex_core::experiment::ExperimentId;
+use cex_core::simtime::SimDuration;
+use cex_core::users::Population;
+use fenrir::ga::GeneticAlgorithm;
+use fenrir::generator::{ProblemGenerator, SampleSizeTier};
+use fenrir::runner::{Budget, Scheduler};
+use microsim::sim::Simulation;
+use microsim::topologies;
+use microsim::workload::{EntryPoint, Workload};
+use topology::build::{build_graph, BuildOptions};
+use topology::changes::classify;
+use topology::diff::TopologicalDiff;
+use topology::heuristics::{self, AnalysisContext};
+use topology::rank::rank;
+
+fn workload(sim: &Simulation) -> Workload {
+    let frontend = sim.app().service_id("frontend").unwrap();
+    Workload {
+        population: Population::single("all", 20_000),
+        rate_rps: 30.0,
+        entries: vec![
+            EntryPoint { service: frontend, endpoint: "home".into(), weight: 3.0 },
+            EntryPoint { service: frontend, endpoint: "product".into(), weight: 2.0 },
+        ],
+    }
+}
+
+#[test]
+fn plan_execute_assess_pipeline() {
+    // --- Plan -----------------------------------------------------------
+    let problem = ProblemGenerator::new(6, SampleSizeTier::Low).generate(1);
+    let planned = GeneticAlgorithm::default().schedule(&problem, Budget::evaluations(3_000), 1);
+    assert!(planned.best_report.is_valid(), "planning must yield a valid schedule");
+    for i in 0..problem.len() {
+        let id = ExperimentId(i);
+        assert!(
+            planned.best.samples_collected(&problem, id)
+                >= problem.experiment(id).required_sample_size
+        );
+    }
+
+    // --- Execute ---------------------------------------------------------
+    let mut sim = Simulation::new(topologies::case_study_app(), 5);
+    sim.set_trace_sampling(1.0);
+    sim.deploy(topologies::recommendation_candidate()).unwrap();
+    let wl = workload(&sim);
+    sim.run_with(SimDuration::from_mins(1), &wl);
+    let baseline_traces = sim.drain_traces();
+    assert!(!baseline_traces.is_empty());
+
+    let strategy = dsl::parse(
+        r#"strategy "canary" {
+            service "recommendation" baseline "1.0.0" candidate "1.1.0"
+            phase "canary" canary 50% for 3m {
+              check error_rate < 0.1 over 1m every 30s min_samples 5
+              on success complete
+              on failure rollback
+            }
+        }"#,
+    )
+    .unwrap();
+    let report = Engine::default()
+        .execute(&mut sim, &[strategy], &wl, SimDuration::from_mins(15))
+        .unwrap();
+    assert_eq!(report.statuses[0].1, StrategyStatus::Completed);
+
+    // --- Assess ----------------------------------------------------------
+    let experimental_traces = sim.drain_traces();
+    let baseline = build_graph(&baseline_traces, BuildOptions::default());
+    let experimental = build_graph(&experimental_traces, BuildOptions::default());
+    let diff = TopologicalDiff::compute(&baseline, &experimental);
+    assert!(!diff.is_unchanged(), "the canary must be visible in the topology");
+    let changes = classify(&diff);
+    assert!(!changes.is_empty());
+    assert!(
+        changes.iter().any(|c| c.callee.service == "recommendation"
+            || c.caller.service == "recommendation"),
+        "the recommendation change must be identified: {changes:?}"
+    );
+    let ctx = AnalysisContext { baseline: &baseline, experimental: &experimental, diff: &diff };
+    for heuristic in heuristics::all_variants() {
+        let ranking = rank(heuristic.as_ref(), &ctx, &changes);
+        assert_eq!(ranking.order.len(), changes.len());
+    }
+}
+
+#[test]
+fn broken_candidate_rolls_back_and_topology_flags_it() {
+    let mut sim = Simulation::new(topologies::case_study_app(), 9);
+    sim.deploy(topologies::recommendation_broken()).unwrap();
+    let wl = workload(&sim);
+    let strategy = dsl::parse(
+        r#"strategy "bad-canary" {
+            service "recommendation" baseline "1.0.0" candidate "1.1.1"
+            phase "canary" canary 30% for 5m {
+              check error_rate < 0.03 over 1m every 30s min_samples 10
+              on success complete
+              on failure rollback
+            }
+        }"#,
+    )
+    .unwrap();
+    let report = Engine::default()
+        .execute(&mut sim, &[strategy], &wl, SimDuration::from_mins(20))
+        .unwrap();
+    assert_eq!(report.statuses[0].1, StrategyStatus::RolledBack);
+
+    // After rollback nobody is routed to the broken version any more.
+    let before = sim.store().count("recommendation@1.1.1", cex_core::metrics::MetricKind::ResponseTime);
+    sim.run_with(SimDuration::from_mins(1), &wl);
+    let after = sim.store().count("recommendation@1.1.1", cex_core::metrics::MetricKind::ResponseTime);
+    assert_eq!(before, after, "no new traffic on the rolled-back version");
+}
+
+#[test]
+fn scheduled_experiments_feed_the_engine() {
+    // The planning model's output (a plan with a traffic share) matches
+    // the execution model's input (a canary percentage).
+    let problem = ProblemGenerator::new(4, SampleSizeTier::Low).generate(3);
+    let planned = GeneticAlgorithm::default().schedule(&problem, Budget::evaluations(2_000), 2);
+    let plan = planned.best.plan(ExperimentId(0));
+    let percent = (plan.traffic_share * 100.0).clamp(1.0, 100.0);
+
+    let mut sim = Simulation::new(topologies::case_study_app(), 6);
+    sim.deploy(topologies::recommendation_candidate()).unwrap();
+    let wl = workload(&sim);
+    let strategy = dsl::parse(&format!(
+        r#"strategy "from-schedule" {{
+            service "recommendation" baseline "1.0.0" candidate "1.1.0"
+            phase "canary" canary {percent:.0}% for 2m {{
+              check error_rate < 0.2 over 1m every 30s min_samples 5
+              on success complete
+              on failure rollback
+            }}
+        }}"#
+    ))
+    .unwrap();
+    let report = Engine::default()
+        .execute(&mut sim, &[strategy], &wl, SimDuration::from_mins(10))
+        .unwrap();
+    assert!(report.all_terminal());
+}

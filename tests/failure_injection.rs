@@ -1,0 +1,145 @@
+//! Integration: failure injection against running experiments.
+//!
+//! The execution model's core safety promise is the fallback state: "in
+//! case of spotted irregularities" users are automatically reassigned to
+//! the stable version. These tests inject faults *mid-experiment* and
+//! verify the engine's reaction end to end.
+
+use bifrost::dsl;
+use bifrost::engine::{Engine, StrategyStatus};
+use bifrost::machine::State;
+use cex_core::simtime::{SimDuration, SimTime};
+use microsim::app::{Application, EndpointDef, VersionSpec};
+use microsim::faults::{Fault, FaultKind};
+use microsim::latency::LatencyModel;
+use microsim::sim::Simulation;
+use microsim::workload::Workload;
+
+fn app() -> Application {
+    let mut b = Application::builder();
+    b.version(
+        VersionSpec::new("svc", "1.0.0")
+            .capacity(10_000.0)
+            .endpoint(EndpointDef::new("api", LatencyModel::Constant { ms: 20.0 })),
+    );
+    b.version(
+        VersionSpec::new("svc", "2.0.0")
+            .capacity(10_000.0)
+            .endpoint(EndpointDef::new("api", LatencyModel::Constant { ms: 18.0 })),
+    );
+    b.build().unwrap()
+}
+
+fn rollout_strategy() -> bifrost::Strategy {
+    dsl::parse(
+        r#"strategy "rollout" {
+            service "svc" baseline "1.0.0" candidate "2.0.0"
+            phase "rollout" gradual_rollout from 10% to 100% step 10% every 1m for 15m {
+              check error_rate < 0.05 over 1m every 30s min_samples 10
+              on success complete
+              on failure rollback
+            }
+        }"#,
+    )
+    .unwrap()
+}
+
+#[test]
+fn error_burst_mid_rollout_triggers_rollback() {
+    let app = app();
+    let wl = Workload::simple(app.service_id("svc").unwrap(), "api", 30.0);
+    let mut sim = Simulation::new(app, 1);
+    let candidate = sim.app().version_id("svc", "2.0.0").unwrap();
+    // The candidate starts failing five minutes into the rollout.
+    sim.inject_fault(Fault {
+        version: candidate,
+        kind: FaultKind::ErrorBurst { extra_error_rate: 0.6 },
+        from: SimTime::from_mins(5),
+        until: SimTime::from_mins(60),
+    });
+    let report = Engine::default()
+        .execute(&mut sim, &[rollout_strategy()], &wl, SimDuration::from_mins(30))
+        .unwrap();
+    assert_eq!(report.statuses[0].1, StrategyStatus::RolledBack);
+    // The rollback happened *after* the fault struck, not at the start.
+    let rollback = report
+        .transitions
+        .iter()
+        .find(|t| t.to == State::RolledBack)
+        .expect("rollback transition recorded");
+    assert!(rollback.time >= SimTime::from_mins(5));
+    // And the application is healthy again afterwards.
+    let after = sim.run(SimDuration::from_mins(2), 30.0);
+    assert_eq!(after.failures, 0);
+    assert!((after.response_time.mean - 20.0).abs() < 1.0, "baseline serves everyone");
+}
+
+#[test]
+fn fault_outside_the_window_does_not_disturb() {
+    let app = app();
+    let wl = Workload::simple(app.service_id("svc").unwrap(), "api", 30.0);
+    let mut sim = Simulation::new(app, 2);
+    let candidate = sim.app().version_id("svc", "2.0.0").unwrap();
+    // Fault scheduled long after the rollout will be done.
+    sim.inject_fault(Fault {
+        version: candidate,
+        kind: FaultKind::Outage,
+        from: SimTime::from_hours(5),
+        until: SimTime::from_hours(6),
+    });
+    let report = Engine::default()
+        .execute(&mut sim, &[rollout_strategy()], &wl, SimDuration::from_mins(30))
+        .unwrap();
+    assert_eq!(report.statuses[0].1, StrategyStatus::Completed);
+}
+
+#[test]
+fn latency_spike_fails_relative_checks() {
+    let app = app();
+    let wl = Workload::simple(app.service_id("svc").unwrap(), "api", 30.0);
+    let mut sim = Simulation::new(app, 3);
+    let candidate = sim.app().version_id("svc", "2.0.0").unwrap();
+    sim.inject_fault(Fault {
+        version: candidate,
+        kind: FaultKind::LatencySpike { multiplier: 4.0 },
+        from: SimTime::from_mins(3),
+        until: SimTime::from_mins(60),
+    });
+    let strategy = dsl::parse(
+        r#"strategy "relative" {
+            service "svc" baseline "1.0.0" candidate "2.0.0"
+            phase "canary" canary 30% for 10m {
+              check response_time vs_baseline < 1.5 over 1m every 30s min_samples 10
+              on success complete
+              on failure rollback
+            }
+        }"#,
+    )
+    .unwrap();
+    let report = Engine::default()
+        .execute(&mut sim, &[strategy], &wl, SimDuration::from_mins(30))
+        .unwrap();
+    assert_eq!(report.statuses[0].1, StrategyStatus::RolledBack);
+}
+
+#[test]
+fn fault_on_baseline_rolls_the_candidate_forward_legitimately() {
+    // A fault on the *baseline* must not abort the candidate: absolute
+    // candidate checks keep passing and the rollout completes, which is
+    // the desired behaviour (the candidate is the way out of the broken
+    // baseline).
+    let app = app();
+    let wl = Workload::simple(app.service_id("svc").unwrap(), "api", 30.0);
+    let mut sim = Simulation::new(app, 4);
+    let baseline = sim.app().version_id("svc", "1.0.0").unwrap();
+    sim.inject_fault(Fault {
+        version: baseline,
+        kind: FaultKind::LatencySpike { multiplier: 3.0 },
+        from: SimTime::from_mins(2),
+        until: SimTime::from_hours(2),
+    });
+    let report = Engine::default()
+        .execute(&mut sim, &[rollout_strategy()], &wl, SimDuration::from_mins(30))
+        .unwrap();
+    assert_eq!(report.statuses[0].1, StrategyStatus::Completed);
+}
