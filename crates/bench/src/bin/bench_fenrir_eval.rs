@@ -1,0 +1,162 @@
+//! Benchmarks the fenrir evaluation pipeline: full re-evaluation vs
+//! incremental single-plan moves vs parallel batch scoring, at
+//! n ∈ {10, 50, 200} experiments.
+//!
+//! Writes `results/BENCH_fenrir_eval.json` (evals/sec per mode plus the
+//! incremental and parallel speedup factors) and mirrors the numbers on
+//! stdout.
+
+use cex_core::experiment::ExperimentId;
+use cex_core::rng::SplitMix64;
+use fenrir::encoding;
+use fenrir::fitness::{self, Weights};
+use fenrir::generator::{ProblemGenerator, SampleSizeTier};
+use fenrir::incremental::IncrementalState;
+use fenrir::problem::Problem;
+use fenrir::runner::{Budget, Evaluator};
+use fenrir::schedule::{Plan, Schedule};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// Minimum wall time per measurement, in seconds.
+const MEASURE_SECS: f64 = 0.4;
+/// Iterations between clock checks.
+const CHUNK: usize = 256;
+
+/// A random bound-respecting single-plan move, identical across the full
+/// and incremental runs (both draw from identically seeded generators).
+fn random_move(problem: &Problem, current: &Schedule, rng: &mut SplitMix64) -> (ExperimentId, Plan) {
+    let id = ExperimentId(rng.next_index(problem.len()));
+    let e = problem.experiment(id);
+    let mut plan = current.plan(id).clone();
+    match rng.next_index(3) {
+        0 => {
+            let latest =
+                problem.horizon().saturating_sub(plan.duration_slots).max(e.earliest_start_slot);
+            plan.start_slot =
+                e.earliest_start_slot + rng.next_index(latest - e.earliest_start_slot + 1);
+        }
+        1 => {
+            let max_dur = problem.max_duration(id);
+            plan.duration_slots =
+                e.min_duration_slots + rng.next_index(max_dur - e.min_duration_slots + 1);
+        }
+        _ => {
+            plan.traffic_share = e.min_traffic_share
+                + rng.next_f64() * (e.max_traffic_share - e.min_traffic_share);
+        }
+    }
+    (id, plan)
+}
+
+/// Full-evaluation baseline: apply each move, re-evaluate the whole
+/// schedule. Returns evals/sec (and a sink to keep the work alive).
+fn bench_full(problem: &Problem, seed: &Schedule, weights: &Weights) -> (f64, f64) {
+    let mut schedule = seed.clone();
+    let mut rng = SplitMix64::new(0xBE);
+    let mut sink = 0.0;
+    let mut evals = 0u64;
+    let start = Instant::now();
+    loop {
+        for _ in 0..CHUNK {
+            let (id, plan) = random_move(problem, &schedule, &mut rng);
+            *schedule.plan_mut(id) = plan;
+            let r = fitness::evaluate(problem, &schedule, weights);
+            sink += r.raw + r.violations as f64;
+        }
+        evals += CHUNK as u64;
+        if start.elapsed().as_secs_f64() >= MEASURE_SECS {
+            break;
+        }
+    }
+    (evals as f64 / start.elapsed().as_secs_f64(), sink)
+}
+
+/// Incremental path: the same move sequence through `eval_move`.
+fn bench_incremental(problem: &Problem, seed: &Schedule, weights: &Weights) -> (f64, f64) {
+    let mut state = IncrementalState::new(problem, seed.clone(), weights);
+    let mut rng = SplitMix64::new(0xBE);
+    let mut sink = 0.0;
+    let mut evals = 0u64;
+    let start = Instant::now();
+    loop {
+        for _ in 0..CHUNK {
+            let (id, plan) = random_move(problem, state.schedule(), &mut rng);
+            let r = state.eval_move(problem, weights, id, plan);
+            sink += r.raw + r.violations as f64;
+        }
+        evals += CHUNK as u64;
+        if start.elapsed().as_secs_f64() >= MEASURE_SECS {
+            break;
+        }
+    }
+    (evals as f64 / start.elapsed().as_secs_f64(), sink)
+}
+
+/// Batch scoring throughput at a given worker count.
+fn bench_batch(problem: &Problem, batch: &[Schedule], workers: usize) -> f64 {
+    let mut evals = 0u64;
+    let start = Instant::now();
+    loop {
+        let mut ev = Evaluator::new(problem, Budget::evaluations(u64::MAX));
+        let reports = ev.eval_batch(batch, workers);
+        evals += reports.len() as u64;
+        if start.elapsed().as_secs_f64() >= MEASURE_SECS {
+            break;
+        }
+    }
+    evals as f64 / start.elapsed().as_secs_f64()
+}
+
+fn main() {
+    let weights = Weights::default();
+    let workers = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let mut json = String::from("{\n  \"bench\": \"fenrir_eval\",\n");
+    let _ = writeln!(json, "  \"workers\": {workers},");
+    json.push_str("  \"tiers\": [\n");
+
+    println!("fenrir evaluation pipeline ({workers} workers available)");
+    println!("{:>5} {:>14} {:>14} {:>9} {:>14} {:>14} {:>9}",
+        "n", "full/s", "incr/s", "speedup", "batch1/s", "batchN/s", "speedup");
+
+    for (t, n) in [10usize, 50, 200].into_iter().enumerate() {
+        let problem = ProblemGenerator::new(n, SampleSizeTier::Medium).generate(7);
+        let mut rng = SplitMix64::new(n as u64);
+        let mut seed = encoding::random_schedule(&problem, &mut rng);
+        encoding::repair(&problem, &mut seed, &mut rng);
+
+        let (full_rate, _) = bench_full(&problem, &seed, &weights);
+        let (inc_rate, _) = bench_incremental(&problem, &seed, &weights);
+        let inc_speedup = inc_rate / full_rate;
+
+        let batch: Vec<Schedule> = (0..128)
+            .map(|_| {
+                let mut s = encoding::random_schedule(&problem, &mut rng);
+                encoding::repair(&problem, &mut s, &mut rng);
+                s
+            })
+            .collect();
+        let batch1 = bench_batch(&problem, &batch, 1);
+        let batchn = bench_batch(&problem, &batch, workers);
+        let par_speedup = batchn / batch1;
+
+        println!("{n:>5} {full_rate:>14.0} {inc_rate:>14.0} {inc_speedup:>8.1}x {batch1:>14.0} {batchn:>14.0} {par_speedup:>8.1}x");
+
+        let _ = writeln!(
+            json,
+            "    {{\"n\": {n}, \"full_evals_per_sec\": {full_rate:.0}, \
+             \"incremental_evals_per_sec\": {inc_rate:.0}, \
+             \"incremental_speedup\": {inc_speedup:.2}, \
+             \"batch_serial_evals_per_sec\": {batch1:.0}, \
+             \"batch_parallel_evals_per_sec\": {batchn:.0}, \
+             \"parallel_speedup\": {par_speedup:.2}}}{}",
+            if t < 2 { "," } else { "" }
+        );
+    }
+    json.push_str("  ]\n}\n");
+
+    std::fs::create_dir_all("results").expect("results directory");
+    std::fs::write("results/BENCH_fenrir_eval.json", &json)
+        .expect("write results/BENCH_fenrir_eval.json");
+    println!("wrote results/BENCH_fenrir_eval.json");
+}

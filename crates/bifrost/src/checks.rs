@@ -11,10 +11,9 @@ use crate::model::{Check, CheckScope, Comparator};
 use cex_core::simtime::SimTime;
 use cex_core::stats::welch_test;
 use microsim::monitor::MetricStore;
-use serde::{Deserialize, Serialize};
 
 /// Outcome of one check evaluation.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum CheckResult {
     /// The condition held on sufficient data.
     Pass,

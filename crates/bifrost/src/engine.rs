@@ -8,7 +8,7 @@
 //! paper's headline engine result is "more than a hundred experiments in
 //! parallel without introducing a significant performance degradation"
 //! (Figures 4.7–4.10) — and check evaluation fans out over worker threads
-//! (crossbeam) once enough strategies are active.
+//! (std::thread::scope) once enough strategies are active.
 //!
 //! The engine accounts its own processing cost separately from the
 //! simulated application: [`ExecutionReport::engine_busy`] (the CPU proxy
@@ -253,7 +253,7 @@ impl Engine {
     }
 
     /// Read-only pass: evaluate due checks (and phase-boundary checks)
-    /// for every running strategy. Fans out over crossbeam workers when
+    /// for every running strategy. Fans out over scoped worker threads when
     /// enough strategies are active.
     fn observe(
         &self,
@@ -310,7 +310,7 @@ impl Engine {
             let mut results: Vec<Option<TickObservation>> = (0..runs.len()).map(|_| None).collect();
             let chunk = (runs.len() / self.config.workers).max(1);
             let runs_ref: &[RunState] = runs;
-            crossbeam::thread::scope(|scope| {
+            std::thread::scope(|scope| {
                 let mut remaining: &mut [Option<TickObservation>] = &mut results;
                 let mut offset = 0usize;
                 let mut handles = Vec::new();
@@ -319,7 +319,7 @@ impl Engine {
                     let (head, tail) = remaining.split_at_mut(take);
                     let due_slice = &due_lists[offset..offset + take];
                     let runs_slice = &runs_ref[offset..offset + take];
-                    handles.push(scope.spawn(move |_| {
+                    handles.push(scope.spawn(move || {
                         for ((slot, run), due) in head.iter_mut().zip(runs_slice).zip(due_slice) {
                             if let Some(due) = due {
                                 *slot = Some(evaluate_one(run, due));
@@ -332,8 +332,7 @@ impl Engine {
                 for h in handles {
                     h.join().expect("check-evaluation worker panicked");
                 }
-            })
-            .expect("crossbeam scope failed");
+            });
             results
         } else {
             due_lists
@@ -577,7 +576,7 @@ mod tests {
     #[test]
     fn many_strategies_run_in_parallel() {
         // 20 independent service pairs, one strategy each; a threshold of
-        // one due check forces the crossbeam fan-out path.
+        // one due check forces the parallel fan-out path.
         let mut b = Application::builder();
         for i in 0..20 {
             b.version(

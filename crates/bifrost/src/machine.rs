@@ -14,11 +14,10 @@
 
 use crate::error::BifrostError;
 use crate::model::{Action, Phase, Strategy};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A state of the compiled machine.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum State {
     /// Executing the phase with this index.
     Phase(usize),
@@ -46,7 +45,7 @@ impl fmt::Display for State {
 }
 
 /// How a phase concluded.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum PhaseOutcome {
     /// The phase ran its duration with all checks conclusive and passing.
     Success,
@@ -64,7 +63,7 @@ impl PhaseOutcome {
 }
 
 /// The compiled, validated state machine of one strategy.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct StateMachine {
     /// `transitions[phase_index][outcome_index]`.
     transitions: Vec<[State; 3]>,

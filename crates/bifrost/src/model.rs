@@ -12,11 +12,10 @@
 use crate::error::BifrostError;
 use cex_core::metrics::MetricKind;
 use cex_core::simtime::SimDuration;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// The experimentation practice a phase applies (Section 2.2.1).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum PhaseKind {
     /// Route `traffic_percent` of users to the candidate, the rest to the
     /// baseline.
@@ -61,7 +60,7 @@ impl PhaseKind {
 }
 
 /// Against what a check's threshold is compared.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum CheckScope {
     /// The candidate version's metric window.
     Candidate,
@@ -79,7 +78,7 @@ pub enum CheckScope {
 }
 
 /// Threshold comparator.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Comparator {
     /// Strictly less than.
     Lt,
@@ -114,7 +113,7 @@ impl Comparator {
 }
 
 /// One health criterion, evaluated repeatedly during a phase (Figure 4.3).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Check {
     /// The monitored metric.
     pub metric: MetricKind,
@@ -165,7 +164,7 @@ impl fmt::Display for Check {
 }
 
 /// What happens when a phase concludes (the conditional-chaining edges).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Action {
     /// Jump to the named phase.
     Goto(String),
@@ -192,7 +191,7 @@ impl fmt::Display for Action {
 }
 
 /// One phase of a strategy.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Phase {
     /// Phase name, unique within the strategy.
     pub name: String,
@@ -213,7 +212,7 @@ pub struct Phase {
 }
 
 /// A complete live-testing strategy.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Strategy {
     /// Strategy name.
     pub name: String,

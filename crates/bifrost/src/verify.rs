@@ -18,12 +18,11 @@
 use crate::machine::{State, StateMachine};
 use crate::model::{PhaseKind, Strategy};
 use microsim::app::Application;
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::fmt;
 
 /// Issue severity.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Severity {
     /// The strategy set must not be launched as-is.
     Error,
@@ -32,7 +31,7 @@ pub enum Severity {
 }
 
 /// One verification finding.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum VerificationIssue {
     /// Two strategies target the same service: their user assignments
     /// would overlap and skew each other's data.

@@ -10,12 +10,11 @@
 use crate::metrics::MetricKind;
 use crate::simtime::SimDuration;
 use crate::users::UserGroup;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Stable identifier for an experiment within one planning problem or
 /// execution engine.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct ExperimentId(pub usize);
 
 impl fmt::Display for ExperimentId {
@@ -25,7 +24,7 @@ impl fmt::Display for ExperimentId {
 }
 
 /// The two flavors of continuous experimentation (Section 2.6).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ExperimentKind {
     /// Quality-assurance experiments that detect regressions (bugs,
     /// performance, scalability) on production workloads. Short (minutes to
@@ -83,7 +82,7 @@ impl fmt::Display for ExperimentKind {
 }
 
 /// Concrete experimentation practices (Section 2.2.1, Figure 2.1).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Practice {
     /// Release to a small subset of users while the rest stay on the stable
     /// version.
@@ -153,7 +152,7 @@ impl fmt::Display for Practice {
 /// a service change.
 ///
 /// Construct with [`Experiment::builder`].
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Experiment {
     name: String,
     kind: ExperimentKind,

@@ -9,11 +9,10 @@
 //! topology heuristics rely on.
 
 use crate::simtime::SimTime;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// The metric taxonomy from the empirical study.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum MetricKind {
     /// End-to-end or per-hop response time in milliseconds.
     ResponseTime,
@@ -101,7 +100,7 @@ impl fmt::Display for MetricKind {
 }
 
 /// One observation of a metric at a point in simulated time.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Sample {
     /// When the observation was made.
     pub time: SimTime,
@@ -120,7 +119,7 @@ impl Sample {
 ///
 /// Numerically stable for the long windows used by multi-week experiment
 /// evaluations, and mergeable so per-worker accumulators can be combined.
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct OnlineStats {
     count: u64,
     mean: f64,
@@ -209,7 +208,7 @@ impl OnlineStats {
 }
 
 /// Finalized summary statistics of a sample set.
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct Summary {
     /// Number of observations.
     pub count: u64,

@@ -2,26 +2,9 @@
 //!
 //! Every stochastic component in this repository takes an explicit `u64`
 //! seed so that numbers reported in `EXPERIMENTS.md` can be regenerated
-//! bit-for-bit. This module centralizes the conversion from scalar seeds to
-//! [`rand`] generators and provides a tiny splittable seed sequence so
-//! subsystems can derive independent streams from one master seed.
-
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-
-/// Creates a [`StdRng`] from a scalar seed.
-///
-/// The scalar is expanded with SplitMix64 so that consecutive seeds
-/// (`0, 1, 2, …`, as produced by parameter sweeps) still yield well-spread
-/// generator states.
-pub fn rng_from_seed(seed: u64) -> StdRng {
-    let mut material = [0u8; 32];
-    let mut sm = SplitMix64::new(seed);
-    for chunk in material.chunks_mut(8) {
-        chunk.copy_from_slice(&sm.next_u64().to_le_bytes());
-    }
-    StdRng::from_seed(material)
-}
+//! bit-for-bit. The repository is fully self-contained: [`SplitMix64`] is
+//! the only generator, used both directly and for deriving independent
+//! sub-seed streams from one master seed.
 
 /// SplitMix64: a tiny, high-quality 64-bit generator used for seed expansion
 /// and for deriving independent sub-seeds.
@@ -53,6 +36,39 @@ impl SplitMix64 {
         // 53 high-quality mantissa bits.
         (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
+
+    /// Returns a uniformly distributed integer in `0..n` without modulo
+    /// bias (Lemire's multiply-shift method with rejection).
+    ///
+    /// Index draws must use this instead of `(next_f64() * n) as usize % n`,
+    /// which over-weights small indices whenever `n` does not divide the
+    /// generator's range.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `n` is zero.
+    pub fn next_below(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "bounded draw needs a non-empty range");
+        // Lemire: map x·n into [0, 2^64·n); the high word is uniform once
+        // low words inside the biased remainder region are rejected.
+        let threshold = n.wrapping_neg() % n;
+        loop {
+            let x = self.next_u64();
+            let m = (x as u128) * (n as u128);
+            if (m as u64) >= threshold {
+                return (m >> 64) as u64;
+            }
+        }
+    }
+
+    /// Returns a uniformly distributed index in `0..n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `n` is zero.
+    pub fn next_index(&mut self, n: usize) -> usize {
+        self.next_below(n as u64) as usize
+    }
 }
 
 /// Derives the `index`-th sub-seed from a master seed.
@@ -67,25 +83,6 @@ pub fn sub_seed(master: u64, index: u64) -> u64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::Rng;
-
-    #[test]
-    fn rng_from_seed_is_deterministic() {
-        let mut a = rng_from_seed(42);
-        let mut b = rng_from_seed(42);
-        let va: Vec<u64> = (0..8).map(|_| a.gen()).collect();
-        let vb: Vec<u64> = (0..8).map(|_| b.gen()).collect();
-        assert_eq!(va, vb);
-    }
-
-    #[test]
-    fn different_seeds_differ() {
-        let mut a = rng_from_seed(1);
-        let mut b = rng_from_seed(2);
-        let va: u64 = a.gen();
-        let vb: u64 = b.gen();
-        assert_ne!(va, vb);
-    }
 
     #[test]
     fn splitmix_matches_reference_vector() {
@@ -103,6 +100,42 @@ mod tests {
             let v = sm.next_f64();
             assert!((0.0..1.0).contains(&v));
         }
+    }
+
+    #[test]
+    fn next_below_stays_in_range_and_hits_every_value() {
+        let mut sm = SplitMix64::new(7);
+        for n in [1u64, 2, 3, 7, 10, 1000] {
+            let mut seen = vec![false; n as usize];
+            for _ in 0..(200 * n) {
+                let v = sm.next_below(n);
+                assert!(v < n, "draw {v} out of range {n}");
+                seen[v as usize] = true;
+            }
+            assert!(seen.iter().all(|s| *s), "some value below {n} never drawn");
+        }
+    }
+
+    #[test]
+    fn next_below_is_unbiased_for_awkward_ranges() {
+        // n = 3 does not divide 2^64; a modulo draw would over-weight low
+        // values. With Lemire rejection each bucket stays near 1/3.
+        let mut sm = SplitMix64::new(31);
+        let mut counts = [0u64; 3];
+        let trials = 300_000;
+        for _ in 0..trials {
+            counts[sm.next_below(3) as usize] += 1;
+        }
+        for c in counts {
+            let share = c as f64 / trials as f64;
+            assert!((share - 1.0 / 3.0).abs() < 0.01, "bucket share {share}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty range")]
+    fn next_below_zero_panics() {
+        SplitMix64::new(1).next_below(0);
     }
 
     #[test]

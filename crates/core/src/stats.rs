@@ -10,10 +10,9 @@
 //! dependency).
 
 use crate::metrics::Summary;
-use serde::{Deserialize, Serialize};
 
 /// Result of a two-sample test comparing a candidate against a baseline.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TwoSampleTest {
     /// Welch's t statistic (positive when the candidate mean is larger).
     pub t: f64,

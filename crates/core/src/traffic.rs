@@ -11,7 +11,6 @@
 use crate::error::CoreError;
 use crate::rng::SplitMix64;
 use crate::users::{GroupId, Population};
-use serde::{Deserialize, Serialize};
 
 /// Length of one scheduling slot in hours. Fenrir discretizes the horizon
 /// into hourly slots, fine-grained enough for the minutes-to-days durations
@@ -22,7 +21,7 @@ pub const SLOT_HOURS: u64 = 1;
 ///
 /// `requests[slot][group]` is the expected number of distinct user
 /// interactions usable as experiment samples in that hour.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TrafficProfile {
     horizon_slots: usize,
     groups: usize,
@@ -134,7 +133,7 @@ impl TrafficProfile {
 }
 
 /// Parameters for [`TrafficProfile::generate`].
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TrafficParams {
     /// Number of hourly slots in the horizon (e.g. `4 * 7 * 24` for four weeks).
     pub horizon_slots: usize,

@@ -9,7 +9,6 @@
 //! completely new service" (Section 1.2.4).
 
 use crate::error::CoreError;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::ops::Mul;
 
@@ -17,7 +16,7 @@ use std::ops::Mul;
 ///
 /// `0.0` means fully predictable (no change), `1.0` means maximal
 /// uncertainty (a brand-new, never-observed service).
-#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd)]
 pub struct Uncertainty(f64);
 
 impl Uncertainty {

@@ -7,7 +7,6 @@
 //! groups available to one application.
 
 use crate::error::CoreError;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A named group of users that can be targeted by an experiment.
@@ -15,7 +14,7 @@ use std::fmt;
 /// Groups are disjoint: a user belongs to exactly one group. The paper's
 /// motivating example targets experiments at regions and roles; group
 /// semantics beyond the name are opaque to the framework.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct UserGroup {
     name: String,
     size: u64,
@@ -45,7 +44,7 @@ impl fmt::Display for UserGroup {
 }
 
 /// Index of a user group within a [`Population`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct GroupId(pub usize);
 
 impl fmt::Display for GroupId {
@@ -68,7 +67,7 @@ impl fmt::Display for GroupId {
 /// assert_eq!(pop.total_users(), 100_000);
 /// assert!((pop.fraction_of(pop.id_of("eu").unwrap()) - 0.6).abs() < 1e-12);
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Population {
     groups: Vec<UserGroup>,
 }

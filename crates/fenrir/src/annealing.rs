@@ -11,10 +11,9 @@ use crate::problem::Problem;
 use crate::runner::{Budget, Evaluator, Scheduler, SearchResult};
 use crate::schedule::Schedule;
 use cex_core::rng::{sub_seed, SplitMix64};
-use serde::{Deserialize, Serialize};
 
 /// Simulated-annealing configuration.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SimulatedAnnealing {
     /// Starting temperature, in score units (scores live in `0.0..=2.0`).
     pub initial_temperature: f64,
@@ -49,7 +48,7 @@ impl Scheduler for SimulatedAnnealing {
         let mut rng = SplitMix64::new(sub_seed(seed, 0x5A));
         let mut ev = Evaluator::new(problem, budget);
 
-        let mut current = match initial {
+        let current = match initial {
             Some(s) => s,
             None => {
                 let mut s = encoding::random_schedule(problem, &mut rng);
@@ -59,7 +58,9 @@ impl Scheduler for SimulatedAnnealing {
                 s
             }
         };
-        let mut current_score = ev.eval(&current).score();
+        // The incumbent lives in the evaluator's incremental state;
+        // rejected neighbors are rolled back with `undo_last`.
+        let mut current_score = ev.eval_seed(&current).score();
 
         // Geometric cooling: T(i) = T0 · α^i with α chosen so
         // T(budget) = T_final.
@@ -68,16 +69,17 @@ impl Scheduler for SimulatedAnnealing {
         let mut temperature = self.initial_temperature;
 
         while ev.has_budget() {
-            let mut neighbor = current.clone();
+            let mut neighbor = ev.current().clone();
             encoding::mutate(problem, &mut neighbor, &mut rng);
             if self.repair {
                 encoding::repair(problem, &mut neighbor, &mut rng);
             }
-            let score = ev.eval(&neighbor).score();
+            let score = ev.eval_diff(&neighbor).score();
             let delta = score - current_score;
             if delta >= 0.0 || rng.next_f64() < (delta / temperature).exp() {
-                current = neighbor;
                 current_score = score;
+            } else {
+                ev.undo_last();
             }
             temperature = (temperature * alpha).max(self.final_temperature);
         }

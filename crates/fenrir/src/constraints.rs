@@ -11,11 +11,10 @@ use crate::problem::Problem;
 use crate::schedule::Schedule;
 use cex_core::experiment::ExperimentId;
 use cex_core::users::GroupId;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// One constraint violation.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Violation {
     /// The plan collects fewer samples than required.
     SampleSizeNotMet {
@@ -97,7 +96,74 @@ impl fmt::Display for Violation {
 }
 
 /// Tolerance for floating-point share sums.
-const EPS: f64 = 1e-9;
+pub(crate) const EPS: f64 = 1e-9;
+
+/// Pushes the per-experiment violations of `id` onto `out`, in the fixed
+/// order the full [`check`] reports them.
+///
+/// Shared by the full checker and the incremental evaluator so that a
+/// re-scored experiment produces exactly the violations a full pass would.
+pub(crate) fn experiment_violations_into(
+    problem: &Problem,
+    schedule: &Schedule,
+    id: ExperimentId,
+    out: &mut Vec<Violation>,
+) {
+    let e = problem.experiment(id);
+    let plan = schedule.plan(id);
+    let horizon = problem.horizon();
+
+    if plan.groups.is_empty() {
+        out.push(Violation::NoGroups { experiment: id });
+    }
+    if plan.end_slot() > horizon {
+        out.push(Violation::OutOfHorizon { experiment: id });
+    }
+    if plan.start_slot < e.earliest_start_slot {
+        out.push(Violation::StartsTooEarly { experiment: id });
+    }
+    if plan.duration_slots < e.min_duration_slots || plan.duration_slots > e.max_duration_slots {
+        out.push(Violation::DurationOutOfBounds { experiment: id });
+    }
+    if plan.traffic_share < e.min_traffic_share - EPS
+        || plan.traffic_share > e.max_traffic_share + EPS
+    {
+        out.push(Violation::ShareOutOfBounds { experiment: id });
+    }
+    let collected = schedule.samples_collected(problem, id);
+    if collected + EPS < e.required_sample_size {
+        out.push(Violation::SampleSizeNotMet {
+            experiment: id,
+            collected,
+            required: e.required_sample_size,
+        });
+    }
+}
+
+/// Number of per-experiment violations of `id` (the incremental
+/// evaluator's per-experiment re-score).
+pub(crate) fn experiment_violation_count(
+    problem: &Problem,
+    schedule: &Schedule,
+    id: ExperimentId,
+) -> usize {
+    let mut out = Vec::new();
+    experiment_violations_into(problem, schedule, id, &mut out);
+    out.len()
+}
+
+/// `true` when the conflicting pair `(a, b)` currently overlaps in time on
+/// a shared user group — i.e. contributes a [`Violation::ConflictOverlap`].
+pub(crate) fn conflict_overlap(
+    problem: &Problem,
+    schedule: &Schedule,
+    a: ExperimentId,
+    b: ExperimentId,
+) -> bool {
+    debug_assert!(problem.conflicts(a, b));
+    let (pa, pb) = (schedule.plan(a), schedule.plan(b));
+    pa.overlaps_in_time(pb) && pa.shares_group_with(pb)
+}
 
 /// Checks all constraints of `schedule` against `problem`.
 ///
@@ -115,48 +181,19 @@ pub fn check(problem: &Problem, schedule: &Schedule) -> Vec<Violation> {
     let horizon = problem.horizon();
 
     for i in 0..problem.len() {
-        let id = ExperimentId(i);
-        let e = problem.experiment(id);
-        let plan = schedule.plan(id);
-
-        if plan.groups.is_empty() {
-            violations.push(Violation::NoGroups { experiment: id });
-        }
-        if plan.end_slot() > horizon {
-            violations.push(Violation::OutOfHorizon { experiment: id });
-        }
-        if plan.start_slot < e.earliest_start_slot {
-            violations.push(Violation::StartsTooEarly { experiment: id });
-        }
-        if plan.duration_slots < e.min_duration_slots || plan.duration_slots > e.max_duration_slots
-        {
-            violations.push(Violation::DurationOutOfBounds { experiment: id });
-        }
-        if plan.traffic_share < e.min_traffic_share - EPS
-            || plan.traffic_share > e.max_traffic_share + EPS
-        {
-            violations.push(Violation::ShareOutOfBounds { experiment: id });
-        }
-        let collected = schedule.samples_collected(problem, id);
-        if collected + EPS < e.required_sample_size {
-            violations.push(Violation::SampleSizeNotMet {
-                experiment: id,
-                collected,
-                required: e.required_sample_size,
-            });
-        }
+        experiment_violations_into(problem, schedule, ExperimentId(i), &mut violations);
     }
 
     // Conflicts: conflicting experiments must not overlap in time while
-    // sharing a user group.
+    // sharing a user group. The precomputed adjacency lists turn the
+    // all-pairs sweep into a walk over actual conflict edges.
     for i in 0..problem.len() {
-        for j in (i + 1)..problem.len() {
-            let (a, b) = (ExperimentId(i), ExperimentId(j));
-            if !problem.conflicts(a, b) {
+        let a = ExperimentId(i);
+        for &b in problem.conflict_neighbors(a) {
+            if b.0 <= i {
                 continue;
             }
-            let (pa, pb) = (schedule.plan(a), schedule.plan(b));
-            if pa.overlaps_in_time(pb) && pa.shares_group_with(pb) {
+            if conflict_overlap(problem, schedule, a, b) {
                 violations.push(Violation::ConflictOverlap { a, b });
             }
         }

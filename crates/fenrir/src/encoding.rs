@@ -19,12 +19,13 @@ use cex_core::experiment::ExperimentId;
 use cex_core::rng::SplitMix64;
 use cex_core::users::GroupId;
 
-/// Draws a uniform integer in `lo..=hi`.
+/// Draws a uniform integer in `lo..=hi` via the generator's unbiased
+/// bounded draw (a float-scaled modulo draw would over-weight low values).
 fn uniform_usize(rng: &mut SplitMix64, lo: usize, hi: usize) -> usize {
     if hi <= lo {
         return lo;
     }
-    lo + (rng.next_f64() * (hi - lo + 1) as f64) as usize % (hi - lo + 1)
+    lo + rng.next_index(hi - lo + 1)
 }
 
 /// Draws a uniform float in `lo..=hi`.
@@ -136,7 +137,7 @@ pub fn mutate_experiment(
 }
 
 /// Crossover strategy.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum CrossoverKind {
     /// Single cut at an experiment boundary (Figure 3.2) — the paper's
     /// strategy.

@@ -21,11 +21,10 @@ use crate::constraints;
 use crate::problem::Problem;
 use crate::schedule::Schedule;
 use cex_core::experiment::ExperimentId;
-use serde::{Deserialize, Serialize};
 
 /// Objective weights. The paper weights timeliness objectives above
 /// coverage; these defaults reproduce that emphasis.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Weights {
     /// Weight of the duration objective.
     pub duration: f64,
@@ -42,7 +41,7 @@ impl Default for Weights {
 }
 
 /// Fitness of one evaluated schedule.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct FitnessReport {
     /// Raw objective value in `0.0..=1.0` (meaningful for valid schedules;
     /// the quantity reported as "% of maximal fitness").
@@ -97,35 +96,33 @@ pub fn experiment_fitness(
 ) -> f64 {
     let e = problem.experiment(id);
     let plan = schedule.plan(id);
-    let horizon = problem.horizon();
+    let index = problem.index();
+    let norms = index.norms(id);
 
-    // Duration objective.
-    let max_dur = problem.max_duration(id);
-    let f_duration = if max_dur <= e.min_duration_slots {
+    // Duration objective. A zero span marks the degenerate bounds the
+    // index detected at build time (`max_duration <= min_duration_slots`).
+    let f_duration = if norms.duration_span == 0.0 {
         1.0
     } else {
-        let span = (max_dur - e.min_duration_slots) as f64;
         let over = plan.duration_slots.saturating_sub(e.min_duration_slots) as f64;
-        (1.0 - over / span).clamp(0.0, 1.0)
+        (1.0 - over / norms.duration_span).clamp(0.0, 1.0)
     };
 
     // Start-time objective.
-    let latest_useful_start = horizon.saturating_sub(e.min_duration_slots);
-    let f_start = if latest_useful_start <= e.earliest_start_slot {
+    let f_start = if norms.start_span == 0.0 {
         1.0
     } else {
-        let span = (latest_useful_start - e.earliest_start_slot) as f64;
         let delay = plan.start_slot.saturating_sub(e.earliest_start_slot) as f64;
-        (1.0 - delay / span).clamp(0.0, 1.0)
+        (1.0 - delay / norms.start_span).clamp(0.0, 1.0)
     };
 
-    // Coverage objective.
-    let f_coverage = if e.preferred_groups.is_empty() {
+    // Coverage objective, via the O(1) preference mask.
+    let f_coverage = if !index.has_preference(id) {
         1.0
     } else if plan.groups.is_empty() {
         0.0
     } else {
-        let preferred = plan.groups.iter().filter(|g| e.preferred_groups.contains(g)).count();
+        let preferred = plan.groups.iter().filter(|g| index.is_preferred(id, **g)).count();
         preferred as f64 / plan.groups.len() as f64
     };
 

@@ -13,10 +13,9 @@ use crate::problem::Problem;
 use crate::runner::{Budget, Evaluator, Scheduler, SearchResult};
 use crate::schedule::Schedule;
 use cex_core::rng::{sub_seed, SplitMix64};
-use serde::{Deserialize, Serialize};
 
 /// Genetic-algorithm configuration.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct GeneticAlgorithm {
     /// Individuals per generation.
     pub population_size: usize,
@@ -37,6 +36,10 @@ pub struct GeneticAlgorithm {
     /// earliest-fit schedule (plus mutated copies). Essential on tight
     /// instances where random individuals are almost never valid.
     pub greedy_seed: bool,
+    /// Worker threads for population scoring (`0` = one per available
+    /// core). Results are bit-identical for every setting — offspring are
+    /// bred serially, scored in parallel, and accounted in index order.
+    pub workers: usize,
 }
 
 impl Default for GeneticAlgorithm {
@@ -50,6 +53,7 @@ impl Default for GeneticAlgorithm {
             crossover: CrossoverKind::OnePoint,
             repair: true,
             greedy_seed: true,
+            workers: 0,
         }
     }
 }
@@ -68,6 +72,10 @@ impl Scheduler for GeneticAlgorithm {
     ) -> SearchResult {
         assert!(self.population_size >= 2, "population needs at least two individuals");
         assert!(self.tournament_k >= 1, "tournament size must be positive");
+        assert!(
+            self.elitism < self.population_size,
+            "elitism must leave room for offspring"
+        );
         let mut rng = SplitMix64::new(sub_seed(seed, 0xF3));
         let mut ev = Evaluator::new(problem, budget);
 
@@ -121,7 +129,14 @@ impl Scheduler for GeneticAlgorithm {
             let mut next: Vec<(Schedule, f64)> =
                 population.iter().take(self.elitism.min(population.len())).cloned().collect();
 
-            while next.len() < self.population_size && ev.has_budget() {
+            // Breed the whole brood serially (all RNG draws happen here),
+            // then score it in one parallel batch. Budget accounting and
+            // best-so-far tracking stay sequential inside `eval_batch`, so
+            // results do not depend on the worker count.
+            let brood_target = (self.population_size.saturating_sub(next.len()) as u64)
+                .min(ev.remaining()) as usize;
+            let mut brood: Vec<Schedule> = Vec::with_capacity(brood_target);
+            while brood.len() < brood_target {
                 let pa = tournament(&population, self.tournament_k, &mut rng);
                 let pb = tournament(&population, self.tournament_k, &mut rng);
                 let (mut c1, mut c2) = if rng.next_f64() < self.crossover_rate {
@@ -141,12 +156,14 @@ impl Scheduler for GeneticAlgorithm {
                     }
                 }
                 for child in [c1, c2] {
-                    if next.len() >= self.population_size || !ev.has_budget() {
-                        break;
+                    if brood.len() < brood_target {
+                        brood.push(child);
                     }
-                    let report = ev.eval(&child);
-                    next.push((child, report.score()));
                 }
+            }
+            let reports = ev.eval_batch(&brood, self.workers);
+            for (child, report) in brood.into_iter().zip(reports) {
+                next.push((child, report.score()));
             }
             population = next;
         }
@@ -157,9 +174,9 @@ impl Scheduler for GeneticAlgorithm {
 /// Tournament selection: best of `k` uniformly drawn individuals.
 fn tournament(population: &[(Schedule, f64)], k: usize, rng: &mut SplitMix64) -> usize {
     let n = population.len();
-    let mut best = (rng.next_f64() * n as f64) as usize % n;
+    let mut best = rng.next_index(n);
     for _ in 1..k {
-        let challenger = (rng.next_f64() * n as f64) as usize % n;
+        let challenger = rng.next_index(n);
         if population[challenger].1 > population[best].1 {
             best = challenger;
         }
@@ -219,6 +236,18 @@ mod tests {
             Some(good.best.clone()),
         );
         assert!(reseeded.best_report.score() >= good.best_report.score() - 1e-12);
+    }
+
+    #[test]
+    fn parallel_scoring_matches_serial_exactly() {
+        let problem = ProblemGenerator::new(8, SampleSizeTier::Medium).generate(6);
+        let serial = GeneticAlgorithm { workers: 1, ..Default::default() };
+        let parallel = GeneticAlgorithm { workers: 4, ..Default::default() };
+        let a = serial.schedule(&problem, Budget::evaluations(2_000), 9);
+        let b = parallel.schedule(&problem, Budget::evaluations(2_000), 9);
+        assert_eq!(a.best, b.best);
+        assert_eq!(a.history, b.history);
+        assert_eq!(a.evaluations, b.evaluations);
     }
 
     #[test]

@@ -13,10 +13,9 @@ use crate::problem::{ExperimentRequest, Problem};
 use cex_core::rng::SplitMix64;
 use cex_core::traffic::{TrafficParams, TrafficProfile};
 use cex_core::users::{GroupId, Population, UserGroup};
-use serde::{Deserialize, Serialize};
 
 /// Required-sample-size tier of a generated scenario (Section 3.6.1).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum SampleSizeTier {
     /// 5k–15k samples: easily satisfied, short canaries.
     Low,

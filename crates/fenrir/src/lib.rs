@@ -30,6 +30,25 @@
 //! all driven through the [`runner`] harness at equal evaluation budgets so
 //! fitness (Figures 3.4–3.6) and execution time (Table 3.3) are comparable.
 //!
+//! # Evaluation pipeline
+//!
+//! Fitness evaluation — the dominant cost of every search — runs through a
+//! three-layer fast path:
+//!
+//! 1. **[`index::ProblemIndex`]**, built once per [`Problem`]: conflict
+//!    adjacency lists, per-group traffic prefix sums (O(1) range-traffic
+//!    queries), and cached objective normalizers.
+//! 2. **[`incremental::IncrementalState`]**: single-plan moves (local
+//!    search, annealing, GA mutation) re-score only the touched
+//!    experiment, its conflict neighbors, and the slots inside the old/new
+//!    plan spans — O(degree + plan span) instead of a full O(n²) pass,
+//!    with results *bit-identical* to [`fitness::evaluate`].
+//! 3. **parallel population scoring** via
+//!    [`runner::Evaluator::eval_batch`]: pure evaluations fan out over
+//!    scoped threads while budget accounting and best-so-far ordering stay
+//!    sequential in index order, so results are deterministic and
+//!    identical for every worker count.
+//!
 //! # Example
 //!
 //! ```
@@ -53,6 +72,8 @@ pub mod ga;
 pub mod gantt;
 pub mod generator;
 pub mod greedy;
+pub mod incremental;
+pub mod index;
 pub mod local_search;
 pub mod problem;
 pub mod random_sampling;

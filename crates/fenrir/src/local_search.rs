@@ -11,10 +11,9 @@ use crate::problem::Problem;
 use crate::runner::{Budget, Evaluator, Scheduler, SearchResult};
 use crate::schedule::Schedule;
 use cex_core::rng::{sub_seed, SplitMix64};
-use serde::{Deserialize, Serialize};
 
 /// Local-search configuration.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct LocalSearch {
     /// Consecutive non-improving neighbors tolerated before a restart.
     pub stall_limit: u32,
@@ -43,7 +42,7 @@ impl Scheduler for LocalSearch {
         let mut rng = SplitMix64::new(sub_seed(seed, 0x15));
         let mut ev = Evaluator::new(problem, budget);
 
-        let mut current = match initial {
+        let current = match initial {
             Some(s) => s,
             None => {
                 let mut s = encoding::random_schedule(problem, &mut rng);
@@ -53,21 +52,24 @@ impl Scheduler for LocalSearch {
                 s
             }
         };
-        let mut current_score = ev.eval(&current).score();
+        // The incumbent lives in the evaluator's incremental state:
+        // neighbors are scored via `eval_diff` (re-scoring only the plans
+        // the mutation/repair touched) and rejected ones via `undo_last`.
+        let mut current_score = ev.eval_seed(&current).score();
         let mut stall = 0u32;
 
         while ev.has_budget() {
-            let mut neighbor = current.clone();
+            let mut neighbor = ev.current().clone();
             encoding::mutate(problem, &mut neighbor, &mut rng);
             if self.repair {
                 encoding::repair(problem, &mut neighbor, &mut rng);
             }
-            let score = ev.eval(&neighbor).score();
+            let score = ev.eval_diff(&neighbor).score();
             if score > current_score {
-                current = neighbor;
                 current_score = score;
                 stall = 0;
             } else {
+                ev.undo_last();
                 stall += 1;
                 if stall >= self.stall_limit {
                     // Restart from a fresh random schedule.
@@ -76,8 +78,7 @@ impl Scheduler for LocalSearch {
                         encoding::repair(problem, &mut s, &mut rng);
                     }
                     if ev.has_budget() {
-                        current_score = ev.eval(&s).score();
-                        current = s;
+                        current_score = ev.eval_diff(&s).score();
                     }
                     stall = 0;
                 }

@@ -5,15 +5,15 @@
 //! preferred user groups, and conflicts. A [`Problem`] bundles the request
 //! list with the population and traffic forecast the schedule draws from.
 
+use crate::index::ProblemIndex;
 use cex_core::error::CoreError;
 use cex_core::experiment::ExperimentId;
 use cex_core::traffic::TrafficProfile;
 use cex_core::users::{GroupId, Population};
-use serde::{Deserialize, Serialize};
 use std::collections::HashSet;
 
 /// One experiment awaiting scheduling (the input row of Table 3.1).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ExperimentRequest {
     /// Unique experiment name.
     pub name: String,
@@ -61,13 +61,16 @@ impl ExperimentRequest {
 }
 
 /// A complete scheduling problem.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Problem {
     experiments: Vec<ExperimentRequest>,
     population: Population,
     traffic: TrafficProfile,
     /// Precomputed conflict matrix (symmetric), indexed `[a][b]`.
     conflict: Vec<Vec<bool>>,
+    /// Evaluation caches derived from the fields above (adjacency lists,
+    /// traffic prefix sums, objective normalizers).
+    index: ProblemIndex,
 }
 
 impl Problem {
@@ -152,7 +155,18 @@ impl Problem {
                 }
             }
         }
-        Ok(Problem { experiments, population, traffic, conflict })
+        let index = ProblemIndex::build(&experiments, &traffic, &conflict);
+        Ok(Problem { experiments, population, traffic, conflict, index })
+    }
+
+    /// The precomputed evaluation caches.
+    pub fn index(&self) -> &ProblemIndex {
+        &self.index
+    }
+
+    /// Sorted conflict neighbors of one experiment.
+    pub fn conflict_neighbors(&self, id: ExperimentId) -> &[ExperimentId] {
+        self.index.neighbors(id)
     }
 
     /// Number of experiments.
@@ -212,8 +226,8 @@ impl Problem {
         let e = &self.experiments[id.0];
         let end = self.horizon().min(e.earliest_start_slot + self.max_duration(id));
         let mut total = 0.0;
-        for slot in e.earliest_start_slot..end {
-            total += self.traffic.total_in_slot(slot);
+        for g in 0..self.population.len() {
+            total += self.index.range_traffic(GroupId(g), e.earliest_start_slot, end);
         }
         total * e.max_traffic_share
     }

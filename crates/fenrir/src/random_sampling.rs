@@ -10,10 +10,9 @@ use crate::problem::Problem;
 use crate::runner::{Budget, Evaluator, Scheduler, SearchResult};
 use crate::schedule::Schedule;
 use cex_core::rng::{sub_seed, SplitMix64};
-use serde::{Deserialize, Serialize};
 
 /// Random-sampling configuration.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RandomSampling {
     /// Whether sampled schedules are greedily repaired before evaluation.
     pub repair: bool,

@@ -8,13 +8,14 @@
 //! [`Budget`], records the best-so-far trajectory, and measures wall time.
 
 use crate::fitness::{self, FitnessReport, Weights};
+use crate::incremental::IncrementalState;
 use crate::problem::Problem;
-use crate::schedule::Schedule;
-use serde::{Deserialize, Serialize};
+use crate::schedule::{Plan, Schedule};
+use cex_core::experiment::ExperimentId;
 use std::time::{Duration, Instant};
 
 /// Search budget, expressed in fitness evaluations (the dominant cost).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Budget {
     /// Maximum number of schedule evaluations.
     pub max_evaluations: u64,
@@ -73,6 +74,8 @@ pub struct Evaluator<'a> {
     best: Option<(Schedule, FitnessReport)>,
     history: Vec<(u64, f64)>,
     started: Instant,
+    /// Incremental state seeded by [`eval_seed`](Self::eval_seed).
+    inc: Option<IncrementalState>,
 }
 
 impl<'a> Evaluator<'a> {
@@ -86,6 +89,7 @@ impl<'a> Evaluator<'a> {
             best: None,
             history: Vec::new(),
             started: Instant::now(),
+            inc: None,
         }
     }
 
@@ -104,11 +108,16 @@ impl<'a> Evaluator<'a> {
         self.evaluations
     }
 
-    /// Evaluates a schedule, consuming one budget unit and tracking the
-    /// best-so-far.
-    pub fn eval(&mut self, schedule: &Schedule) -> FitnessReport {
+    /// Evaluations left in the budget.
+    pub fn remaining(&self) -> u64 {
+        self.budget.max_evaluations.saturating_sub(self.evaluations)
+    }
+
+    /// Consumes one budget unit and folds `report` into the best-so-far
+    /// trajectory. All evaluation paths funnel through here so accounting
+    /// is identical regardless of how the score was produced.
+    fn account(&mut self, schedule: &Schedule, report: FitnessReport) -> FitnessReport {
         self.evaluations += 1;
-        let report = fitness::evaluate(self.problem, schedule, &self.weights);
         let score = report.score();
         let improved = self.best.as_ref().map(|(_, b)| score > b.score()).unwrap_or(true);
         if improved {
@@ -116,6 +125,116 @@ impl<'a> Evaluator<'a> {
             self.history.push((self.evaluations, score));
         }
         report
+    }
+
+    /// Evaluates a schedule from scratch, consuming one budget unit and
+    /// tracking the best-so-far.
+    pub fn eval(&mut self, schedule: &Schedule) -> FitnessReport {
+        let report = fitness::evaluate(self.problem, schedule, &self.weights);
+        self.account(schedule, report)
+    }
+
+    /// Evaluates `schedule` fully and makes it the incumbent of the
+    /// incremental evaluator, enabling [`eval_move`](Self::eval_move) /
+    /// [`eval_diff`](Self::eval_diff). Consumes one budget unit.
+    pub fn eval_seed(&mut self, schedule: &Schedule) -> FitnessReport {
+        let state = IncrementalState::new(self.problem, schedule.clone(), &self.weights);
+        let report = state.report(&self.weights);
+        self.inc = Some(state);
+        self.account(schedule, report)
+    }
+
+    /// Replaces one plan of the incumbent and re-scores incrementally in
+    /// O(degree + plan span). Consumes one budget unit; revert with
+    /// [`undo_last`](Self::undo_last).
+    ///
+    /// # Panics
+    ///
+    /// Panics without a prior [`eval_seed`](Self::eval_seed).
+    pub fn eval_move(&mut self, id: ExperimentId, new_plan: Plan) -> FitnessReport {
+        let mut state = self.inc.take().expect("eval_move requires a prior eval_seed");
+        let report = state.eval_move(self.problem, &self.weights, id, new_plan);
+        let report = self.account(state.schedule(), report);
+        self.inc = Some(state);
+        report
+    }
+
+    /// Diffs `candidate` against the incumbent and re-scores only the
+    /// changed plans. Consumes one budget unit; revert with
+    /// [`undo_last`](Self::undo_last).
+    ///
+    /// # Panics
+    ///
+    /// Panics without a prior [`eval_seed`](Self::eval_seed).
+    pub fn eval_diff(&mut self, candidate: &Schedule) -> FitnessReport {
+        let mut state = self.inc.take().expect("eval_diff requires a prior eval_seed");
+        let report = state.eval_diff(self.problem, &self.weights, candidate);
+        let report = self.account(state.schedule(), report);
+        self.inc = Some(state);
+        report
+    }
+
+    /// Reverts the last [`eval_move`](Self::eval_move) /
+    /// [`eval_diff`](Self::eval_diff), restoring the previous incumbent
+    /// exactly. Does not refund budget.
+    ///
+    /// # Panics
+    ///
+    /// Panics without a prior [`eval_seed`](Self::eval_seed).
+    pub fn undo_last(&mut self) {
+        let mut state = self.inc.take().expect("undo_last requires a prior eval_seed");
+        state.undo(self.problem, &self.weights);
+        self.inc = Some(state);
+    }
+
+    /// The incremental evaluator's incumbent schedule.
+    ///
+    /// # Panics
+    ///
+    /// Panics without a prior [`eval_seed`](Self::eval_seed).
+    pub fn current(&self) -> &Schedule {
+        self.inc.as_ref().expect("current requires a prior eval_seed").schedule()
+    }
+
+    /// Scores a batch of schedules, fanning the pure evaluations out over
+    /// `workers` scoped threads (`0` = one per available core), then
+    /// consuming the results **sequentially in index order** for budget
+    /// accounting and best-so-far tracking. Reports, budget, best, and
+    /// history are therefore bit-identical for every worker count,
+    /// including `1`.
+    ///
+    /// At most [`remaining`](Self::remaining) schedules are evaluated; the
+    /// returned vector is truncated accordingly.
+    pub fn eval_batch(&mut self, candidates: &[Schedule], workers: usize) -> Vec<FitnessReport> {
+        let take = (candidates.len() as u64).min(self.remaining()) as usize;
+        let batch = &candidates[..take];
+        let problem = self.problem;
+        let weights = self.weights;
+        let workers = if workers == 0 {
+            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+        } else {
+            workers
+        };
+        let reports: Vec<FitnessReport> = if workers <= 1 || batch.len() < 2 {
+            batch.iter().map(|s| fitness::evaluate(problem, s, &weights)).collect()
+        } else {
+            let mut out: Vec<Option<FitnessReport>> = vec![None; batch.len()];
+            let chunk = batch.len().div_ceil(workers.min(batch.len()));
+            std::thread::scope(|scope| {
+                for (slots, cands) in out.chunks_mut(chunk).zip(batch.chunks(chunk)) {
+                    scope.spawn(move || {
+                        for (slot, s) in slots.iter_mut().zip(cands) {
+                            *slot = Some(fitness::evaluate(problem, s, &weights));
+                        }
+                    });
+                }
+            });
+            out.into_iter().map(|r| r.expect("every batch slot scored")).collect()
+        };
+        for (s, r) in batch.iter().zip(&reports) {
+            self.account(s, *r);
+        }
+        reports
     }
 
     /// Finalizes into a [`SearchResult`].

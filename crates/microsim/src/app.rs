@@ -12,20 +12,19 @@
 
 use crate::error::SimError;
 use crate::latency::LatencyModel;
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::fmt;
 
 /// Index of a service within an [`Application`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct ServiceId(pub usize);
 
 /// Index of a deployed service version within an [`Application`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct VersionId(pub usize);
 
 /// Index of an endpoint within an [`Application`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct EndpointId(pub usize);
 
 impl fmt::Display for ServiceId {
@@ -48,7 +47,7 @@ impl fmt::Display for EndpointId {
 
 /// A probabilistic outgoing call from one endpoint to another service's
 /// endpoint. The callee *version* is resolved by the router per request.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CallDef {
     /// Callee service name.
     pub service: String,
@@ -75,7 +74,7 @@ impl CallDef {
 }
 
 /// Definition of one endpoint of one service version.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct EndpointDef {
     /// Endpoint name, unique within its version.
     pub name: String,
@@ -107,7 +106,7 @@ impl EndpointDef {
 }
 
 /// Definition of one deployable version of a service.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct VersionSpec {
     /// Owning service name (created on first use).
     pub service: String,
@@ -164,7 +163,7 @@ impl VersionSpec {
 }
 
 /// Resolved outgoing call (service name interned).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ResolvedCall {
     /// Callee service.
     pub service: ServiceId,
@@ -175,7 +174,7 @@ pub struct ResolvedCall {
 }
 
 /// A deployed endpoint with its resolved call list.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Endpoint {
     /// Owning version.
     pub version: VersionId,
@@ -190,7 +189,7 @@ pub struct Endpoint {
 }
 
 /// A deployed service version.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ServiceVersion {
     /// Owning service.
     pub service: ServiceId,
@@ -210,7 +209,7 @@ pub struct ServiceVersion {
 ///
 /// Build with [`Application::builder`]; extend a built application with
 /// [`Application::deploy`] (experiments deploy new versions at runtime).
-#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct Application {
     service_names: Vec<String>,
     versions: Vec<ServiceVersion>,

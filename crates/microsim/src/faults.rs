@@ -9,10 +9,9 @@
 
 use crate::app::VersionId;
 use cex_core::simtime::SimTime;
-use serde::{Deserialize, Serialize};
 
 /// What kind of degradation a fault inflicts.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum FaultKind {
     /// Service times multiplied by this factor.
     LatencySpike {
@@ -29,7 +28,7 @@ pub enum FaultKind {
 }
 
 /// One scheduled fault window on one deployed version.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Fault {
     /// The afflicted version.
     pub version: VersionId,
@@ -56,7 +55,7 @@ impl FaultEffects {
 }
 
 /// A schedule of fault windows.
-#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct FaultPlan {
     faults: Vec<Fault>,
 }

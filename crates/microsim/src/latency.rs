@@ -8,11 +8,10 @@
 
 use cex_core::rng::SplitMix64;
 use cex_core::simtime::SimDuration;
-use serde::{Deserialize, Serialize};
 
 /// A latency distribution for one endpoint's own service time
 /// (excluding downstream calls).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum LatencyModel {
     /// Always exactly this many milliseconds.
     Constant {

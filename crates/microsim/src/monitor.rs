@@ -12,7 +12,7 @@
 
 use cex_core::metrics::{MetricKind, OnlineStats, Sample, Summary};
 use cex_core::simtime::{SimDuration, SimTime};
-use parking_lot::RwLock;
+use std::sync::RwLock;
 use std::collections::HashMap;
 
 type Key = (String, MetricKind);
@@ -38,7 +38,7 @@ impl MetricStore {
     /// (the virtual clock guarantees this); out-of-order samples are
     /// accepted but degrade window queries for their series.
     pub fn record(&self, scope: &str, metric: MetricKind, sample: Sample) {
-        let mut map = self.inner.write();
+        let mut map = self.inner.write().expect("metric store lock poisoned");
         map.entry((scope.to_string(), metric)).or_default().push(sample);
     }
 
@@ -49,12 +49,12 @@ impl MetricStore {
 
     /// Number of samples in a series.
     pub fn count(&self, scope: &str, metric: MetricKind) -> usize {
-        self.inner.read().get(&(scope.to_string(), metric)).map(|v| v.len()).unwrap_or(0)
+        self.inner.read().expect("metric store lock poisoned").get(&(scope.to_string(), metric)).map(|v| v.len()).unwrap_or(0)
     }
 
     /// All scopes currently holding at least one series.
     pub fn scopes(&self) -> Vec<String> {
-        let map = self.inner.read();
+        let map = self.inner.read().expect("metric store lock poisoned");
         let mut scopes: Vec<String> = map.keys().map(|(s, _)| s.clone()).collect();
         scopes.sort();
         scopes.dedup();
@@ -69,7 +69,7 @@ impl MetricStore {
         from: SimTime,
         to: SimTime,
     ) -> Summary {
-        let map = self.inner.read();
+        let map = self.inner.read().expect("metric store lock poisoned");
         let mut acc = OnlineStats::new();
         if let Some(series) = map.get(&(scope.to_string(), metric)) {
             let start = series.partition_point(|s| s.time < from);
@@ -123,14 +123,14 @@ impl MetricStore {
 
     /// Removes every series of a scope (e.g. when an experiment finishes).
     pub fn clear_scope(&self, scope: &str) {
-        let mut map = self.inner.write();
+        let mut map = self.inner.write().expect("metric store lock poisoned");
         map.retain(|(s, _), _| s != scope);
     }
 
     /// Total number of stored samples across all series (for capacity
     /// accounting in the engine benches).
     pub fn total_samples(&self) -> usize {
-        self.inner.read().values().map(|v| v.len()).sum()
+        self.inner.read().expect("metric store lock poisoned").values().map(|v| v.len()).sum()
     }
 }
 

@@ -18,12 +18,11 @@
 use crate::app::{Application, ServiceId, VersionId};
 use crate::error::SimError;
 use cex_core::simtime::SimDuration;
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::fmt;
 
 /// Identifier of a (simulated) end user.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct UserId(pub u64);
 
 impl fmt::Display for UserId {
@@ -33,7 +32,7 @@ impl fmt::Display for UserId {
 }
 
 /// Routing rule for one service.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RouteRule {
     splits: Vec<(VersionId, f64)>,
     mirrors: Vec<VersionId>,
@@ -52,7 +51,7 @@ impl RouteRule {
 }
 
 /// The router: per-service rules plus the proxy-overhead configuration.
-#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct Router {
     proxy_overhead: SimDuration,
     rules: HashMap<usize, RouteRule>,

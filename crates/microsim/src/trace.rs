@@ -8,15 +8,14 @@
 //! served a hop, with timing and status.
 
 use cex_core::simtime::{SimDuration, SimTime};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Identifier of one end-to-end request trace.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct TraceId(pub u64);
 
 /// Identifier of one span within a trace.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct SpanId(pub u32);
 
 impl fmt::Display for TraceId {
@@ -26,7 +25,7 @@ impl fmt::Display for TraceId {
 }
 
 /// One hop of a request: a service version's endpoint serving a call.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Span {
     /// Owning trace.
     pub trace: TraceId,
@@ -64,7 +63,7 @@ impl Span {
 }
 
 /// A complete request trace: the span tree of one end-to-end request.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Trace {
     /// Trace id.
     pub id: TraceId,

@@ -12,10 +12,9 @@ use crate::routing::UserId;
 use cex_core::rng::SplitMix64;
 use cex_core::simtime::{SimDuration, SimTime};
 use cex_core::users::{GroupId, Population};
-use serde::{Deserialize, Serialize};
 
 /// A weighted entry point into the application.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct EntryPoint {
     /// Entry service.
     pub service: ServiceId,
@@ -26,7 +25,7 @@ pub struct EntryPoint {
 }
 
 /// Workload description: who calls what, how often.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Workload {
     /// The user population issuing requests.
     pub population: Population,

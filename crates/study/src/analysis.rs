@@ -10,10 +10,9 @@
 
 use crate::model::{CompanySize, Respondent};
 use cex_core::stats::chi_square_cdf;
-use serde::{Deserialize, Serialize};
 
 /// Result of a chi-square independence test.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct IndependenceTest {
     /// Pearson's chi-square statistic.
     pub chi2: f64,

@@ -10,10 +10,9 @@
 //! statements — documented as a reconstruction in `EXPERIMENTS.md`.
 
 use crate::model::CompanySize;
-use serde::{Deserialize, Serialize};
 
 /// One interviewee (a row of Table 2.1).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Interviewee {
     /// Participant id (`P1`–`P20`, `D1`–`D11`).
     pub id: &'static str,
@@ -28,7 +27,7 @@ pub struct Interviewee {
 }
 
 /// The practices of the Table 2.9 matrix.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum InterviewPractice {
     /// Microservices-based architecture.
     MicroservicesArchitecture,
@@ -79,7 +78,7 @@ impl InterviewPractice {
 }
 
 /// Usage level of a practice by one participant.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Usage {
     /// Uses the practice.
     Yes,

@@ -1,10 +1,9 @@
 //! The survey data model: one record per respondent.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Company size classes used throughout Chapter 2's cross-tabulations.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum CompanySize {
     /// Startups.
     Startup,
@@ -38,7 +37,7 @@ impl fmt::Display for CompanySize {
 
 /// Application model: Web-based products vs everything else (the study's
 /// main application-type split).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum AppType {
     /// Web applications.
     Web,
@@ -62,7 +61,7 @@ impl AppType {
 }
 
 /// Relevant professional experience (Figure 2.3).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Experience {
     /// 0–2 years.
     UpToTwo,
@@ -92,7 +91,7 @@ impl Experience {
 }
 
 /// Usage of regression-driven experimentation (Table 2.6, single choice).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum RegressionUsage {
     /// Experiments for all features.
     AllFeatures,
@@ -103,7 +102,7 @@ pub enum RegressionUsage {
 }
 
 /// Phase after which developers hand off responsibility (Table 2.4).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum HandoffPhase {
     /// Developers never hand off responsibility.
     Never,
@@ -119,7 +118,7 @@ pub enum HandoffPhase {
 
 /// Implementation techniques for experimentation (Table 2.2, multiple
 /// choice, asked of experimenters).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Technique {
     /// Feature toggles.
     FeatureToggles,
@@ -136,7 +135,7 @@ pub enum Technique {
 }
 
 /// How production issues are detected (Table 2.3, multiple choice).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Detection {
     /// Active monitoring.
     Monitoring,
@@ -148,7 +147,7 @@ pub enum Detection {
 
 /// Reasons against regression-driven experiments (Table 2.7, multiple
 /// choice, asked of non-adopters).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ReasonRegression {
     /// Unsuitable software architecture.
     Architecture,
@@ -164,7 +163,7 @@ pub enum ReasonRegression {
 
 /// Reasons against business-driven experiments (Table 2.8, multiple
 /// choice, asked of non-A/B users).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ReasonBusiness {
     /// Unsuitable software architecture.
     Architecture,
@@ -183,7 +182,7 @@ pub enum ReasonBusiness {
 }
 
 /// One survey respondent.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Respondent {
     /// Company size class.
     pub size: CompanySize,

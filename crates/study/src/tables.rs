@@ -9,13 +9,12 @@ use crate::model::{
     AppType, CompanySize, Detection, Experience, HandoffPhase, ReasonBusiness, ReasonRegression,
     Respondent, RegressionUsage, Technique,
 };
-use serde::{Deserialize, Serialize};
 
 /// Column labels in paper order.
 pub const COLUMNS: [&str; 6] = ["all", "Web", "other", "start.", "SME", "corp."];
 
 /// A rendered cross-tabulation.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Table {
     /// Table title, e.g. `"Table 2.6"`.
     pub title: String,

@@ -23,11 +23,10 @@
 use crate::diff::{Status, TopologicalDiff};
 use crate::graph::NodeKey;
 use cex_core::uncertainty::Uncertainty;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// The change-type taxonomy.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ChangeType {
     /// Fundamental: a call to an endpoint unknown to the baseline.
     CallingNewEndpoint,
@@ -101,7 +100,7 @@ impl fmt::Display for ChangeType {
 }
 
 /// One identified change.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Change {
     /// The classified type.
     pub kind: ChangeType,

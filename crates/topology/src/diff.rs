@@ -7,11 +7,10 @@
 //! Figure 1.3); the change classifier of [`crate::changes`] consumes it.
 
 use crate::graph::{EdgeStats, InteractionGraph, NodeKey, NodeStats};
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// Presence status of a diff element.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Status {
     /// Only in the experimental variant.
     Added,
@@ -22,7 +21,7 @@ pub enum Status {
 }
 
 /// One node of the topological difference.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DiffNode {
     /// The endpoint identity.
     pub key: NodeKey,
@@ -36,7 +35,7 @@ pub struct DiffNode {
 
 /// One edge of the topological difference, indexing into
 /// [`TopologicalDiff::nodes`].
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DiffEdge {
     /// Caller node index.
     pub from: usize,
@@ -51,7 +50,7 @@ pub struct DiffEdge {
 }
 
 /// The topological difference of baseline vs experimental.
-#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct TopologicalDiff {
     /// Union of both variants' nodes.
     pub nodes: Vec<DiffNode>,

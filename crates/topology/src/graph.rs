@@ -6,12 +6,11 @@
 //! failure count and mean response time; per edge the call count.
 
 use cex_core::simtime::SimDuration;
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::fmt;
 
 /// Identity of a graph node: one endpoint of one deployed service version.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct NodeKey {
     /// Service name.
     pub service: String,
@@ -45,7 +44,7 @@ impl fmt::Display for NodeKey {
 }
 
 /// Aggregated observations of one node.
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct NodeStats {
     /// Hops served.
     pub served: u64,
@@ -76,7 +75,7 @@ impl NodeStats {
 }
 
 /// Aggregated observations of one edge (caller → callee).
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct EdgeStats {
     /// Calls observed.
     pub calls: u64,
@@ -89,7 +88,7 @@ pub struct EdgeStats {
 /// endpoint granularity; [`InteractionGraph::aggregate`] coarsens to the
 /// version or service level when a release engineer wants the overview
 /// before drilling down.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Granularity {
     /// One node per `(service, version, endpoint)` — the native level.
     Endpoint,
@@ -100,11 +99,11 @@ pub enum Granularity {
 }
 
 /// Index of a node within an [`InteractionGraph`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct NodeIdx(pub usize);
 
 /// The interaction graph of one application variant.
-#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct InteractionGraph {
     keys: Vec<NodeKey>,
     stats: Vec<NodeStats>,

@@ -7,10 +7,9 @@
 
 use crate::changes::Change;
 use crate::heuristics::{AnalysisContext, Heuristic};
-use serde::{Deserialize, Serialize};
 
 /// A scored ordering of changes.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Ranking {
     /// Change indices, best first.
     pub order: Vec<usize>,

@@ -1,4 +1,9 @@
-//! Property-based tests of cross-crate invariants (proptest).
+//! Property-based tests of cross-crate invariants.
+//!
+//! The container builds fully offline, so instead of the `proptest` crate
+//! these properties run on a hand-rolled harness: every case is generated
+//! from a [`SplitMix64`] stream, so failures reproduce bit-for-bit from the
+//! case index printed in the assertion message.
 
 use bifrost::dsl;
 use bifrost::machine::{PhaseOutcome, State, StateMachine};
@@ -11,149 +16,159 @@ use fenrir::constraints;
 use fenrir::encoding::{self, CrossoverKind};
 use fenrir::fitness::{self, Weights};
 use fenrir::generator::{ProblemGenerator, SampleSizeTier};
-use proptest::prelude::*;
-// `bifrost::model::Strategy` shadows proptest's `Strategy` trait from the
-// prelude glob; re-import the trait anonymously so its methods resolve.
-use proptest::strategy::Strategy as _;
+
+/// Runs `body` for `cases` deterministic cases, handing each its own rng.
+fn for_cases(cases: u64, master_seed: u64, mut body: impl FnMut(u64, &mut SplitMix64)) {
+    for case in 0..cases {
+        let mut rng = SplitMix64::new(cex_core::rng::sub_seed(master_seed, case));
+        body(case, &mut rng);
+    }
+}
 
 // ---------------------------------------------------------------------------
 // Fenrir invariants
 // ---------------------------------------------------------------------------
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    /// Whatever the GA operators do, raw fitness stays in [0, 1] and the
-    /// score ordering puts every valid schedule above every invalid one.
-    #[test]
-    fn fitness_bounds_hold_under_operators(seed in 0u64..10_000, n in 2usize..8) {
-        let problem = ProblemGenerator::new(n, SampleSizeTier::Low).generate(seed);
-        let mut rng = SplitMix64::new(seed ^ 0xF00D);
-        let mut a = encoding::random_schedule(&problem, &mut rng);
-        let b = encoding::random_schedule(&problem, &mut rng);
+/// Whatever the GA operators do, raw fitness stays in [0, 1] and the
+/// score ordering puts every valid schedule above every invalid one.
+#[test]
+fn fitness_bounds_hold_under_operators() {
+    for_cases(24, 0xF00D, |case, rng| {
+        let n = 2 + rng.next_index(6);
+        let problem = ProblemGenerator::new(n, SampleSizeTier::Low).generate(rng.next_u64());
+        let mut a = encoding::random_schedule(&problem, rng);
+        let b = encoding::random_schedule(&problem, rng);
         for _ in 0..5 {
-            encoding::mutate(&problem, &mut a, &mut rng);
+            encoding::mutate(&problem, &mut a, rng);
         }
-        let (c1, c2) = encoding::crossover(&a, &b, CrossoverKind::OnePoint, &mut rng);
+        let (c1, c2) = encoding::crossover(&a, &b, CrossoverKind::OnePoint, rng);
         for schedule in [&a, &b, &c1, &c2] {
             let report = fitness::evaluate(&problem, schedule, &Weights::default());
-            prop_assert!((0.0..=1.0).contains(&report.raw));
+            assert!((0.0..=1.0).contains(&report.raw), "case {case}: raw {}", report.raw);
             if report.violations == 0 {
-                prop_assert!(report.score() >= 1.0);
+                assert!(report.score() >= 1.0, "case {case}");
             } else {
-                prop_assert!(report.score() < 1.0);
+                assert!(report.score() < 1.0, "case {case}");
             }
         }
-    }
+    });
+}
 
-    /// Repair never increases the number of violations.
-    #[test]
-    fn repair_is_monotone(seed in 0u64..10_000, n in 2usize..8) {
-        let problem = ProblemGenerator::new(n, SampleSizeTier::Medium).generate(seed);
-        let mut rng = SplitMix64::new(seed ^ 0xBEEF);
-        let mut schedule = encoding::random_schedule(&problem, &mut rng);
+/// Repair never increases the number of violations.
+#[test]
+fn repair_is_monotone() {
+    for_cases(24, 0xBEEF, |case, rng| {
+        let n = 2 + rng.next_index(6);
+        let problem = ProblemGenerator::new(n, SampleSizeTier::Medium).generate(rng.next_u64());
+        let mut schedule = encoding::random_schedule(&problem, rng);
         let before = constraints::check(&problem, &schedule).len();
-        encoding::repair(&problem, &mut schedule, &mut rng);
+        encoding::repair(&problem, &mut schedule, rng);
         let after = constraints::check(&problem, &schedule).len();
-        prop_assert!(after <= before, "repair worsened {before} -> {after}");
-    }
+        assert!(after <= before, "case {case}: repair worsened {before} -> {after}");
+    });
+}
 
-    /// Crossover children only contain genes from their parents.
-    #[test]
-    fn crossover_preserves_genes(seed in 0u64..10_000, n in 2usize..10) {
-        let problem = ProblemGenerator::new(n, SampleSizeTier::Low).generate(seed);
-        let mut rng = SplitMix64::new(seed);
-        let a = encoding::random_schedule(&problem, &mut rng);
-        let b = encoding::random_schedule(&problem, &mut rng);
+/// Crossover children only contain genes from their parents.
+#[test]
+fn crossover_preserves_genes() {
+    for_cases(24, 0xC0FE, |case, rng| {
+        let n = 2 + rng.next_index(8);
+        let problem = ProblemGenerator::new(n, SampleSizeTier::Low).generate(rng.next_u64());
+        let a = encoding::random_schedule(&problem, rng);
+        let b = encoding::random_schedule(&problem, rng);
         for kind in [CrossoverKind::OnePoint, CrossoverKind::Uniform] {
-            let (c1, c2) = encoding::crossover(&a, &b, kind, &mut rng);
+            let (c1, c2) = encoding::crossover(&a, &b, kind, rng);
             for i in 0..n {
                 let id = ExperimentId(i);
-                prop_assert!(c1.plan(id) == a.plan(id) || c1.plan(id) == b.plan(id));
-                prop_assert!(c2.plan(id) == a.plan(id) || c2.plan(id) == b.plan(id));
+                assert!(
+                    c1.plan(id) == a.plan(id) || c1.plan(id) == b.plan(id),
+                    "case {case} kind {kind:?}"
+                );
+                assert!(
+                    c2.plan(id) == a.plan(id) || c2.plan(id) == b.plan(id),
+                    "case {case} kind {kind:?}"
+                );
             }
         }
-    }
+    });
 }
 
 // ---------------------------------------------------------------------------
 // Bifrost invariants
 // ---------------------------------------------------------------------------
 
-fn arb_action_boxed(phases: usize) -> proptest::strategy::BoxedStrategy<Action> {
-    prop_oneof![
-        Just(Action::Complete),
-        Just(Action::Rollback),
-        Just(Action::Retry),
-        (0..phases).prop_map(|i| Action::Goto(format!("p{i}"))),
-    ]
-    .boxed()
+fn random_action(phases: usize, rng: &mut SplitMix64) -> Action {
+    match rng.next_index(4) {
+        0 => Action::Complete,
+        1 => Action::Rollback,
+        2 => Action::Retry,
+        _ => Action::Goto(format!("p{}", rng.next_index(phases))),
+    }
 }
 
-fn arb_strategy() -> impl proptest::strategy::Strategy<Value = Strategy> {
-    (1usize..5).prop_flat_map(|phases| {
-        let actions = proptest::collection::vec(
-            (arb_action_boxed(phases), arb_action_boxed(phases), arb_action_boxed(phases)),
-            phases,
-        );
-        actions.prop_map(move |actions| Strategy {
-            name: "generated".into(),
-            service: "svc".into(),
-            baseline: "1.0.0".into(),
-            candidate: "2.0.0".into(),
-            variant_b: None,
-            phases: actions
-                .into_iter()
-                .enumerate()
-                .map(|(i, (s, f, inc))| Phase {
-                    name: format!("p{i}"),
-                    kind: PhaseKind::Canary { traffic_percent: 10.0 + i as f64 },
-                    duration: SimDuration::from_mins(1 + i as u64),
-                    checks: vec![Check::candidate(
-                        MetricKind::ErrorRate,
-                        Comparator::Lt,
-                        0.1,
-                    )],
-                    on_success: s,
-                    on_failure: f,
-                    on_inconclusive: inc,
-                })
-                .collect(),
-        })
-    })
+fn random_strategy(rng: &mut SplitMix64) -> Strategy {
+    let phases = 1 + rng.next_index(4);
+    Strategy {
+        name: "generated".into(),
+        service: "svc".into(),
+        baseline: "1.0.0".into(),
+        candidate: "2.0.0".into(),
+        variant_b: None,
+        phases: (0..phases)
+            .map(|i| Phase {
+                name: format!("p{i}"),
+                kind: PhaseKind::Canary { traffic_percent: 10.0 + i as f64 },
+                duration: SimDuration::from_mins(1 + i as u64),
+                checks: vec![Check::candidate(MetricKind::ErrorRate, Comparator::Lt, 0.1)],
+                on_success: random_action(phases, rng),
+                on_failure: random_action(phases, rng),
+                on_inconclusive: random_action(phases, rng),
+            })
+            .collect(),
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// Every structurally valid strategy round-trips through the DSL.
-    #[test]
-    fn dsl_roundtrip(strategy in arb_strategy()) {
-        prop_assume!(strategy.validate().is_ok());
+/// Every structurally valid strategy round-trips through the DSL.
+#[test]
+fn dsl_roundtrip() {
+    let mut checked = 0;
+    for_cases(96, 0xD51, |case, rng| {
+        let strategy = random_strategy(rng);
+        if strategy.validate().is_err() {
+            return;
+        }
+        checked += 1;
         let source = dsl::to_source(&strategy);
         let reparsed = dsl::parse(&source).expect("pretty-printed source parses");
-        prop_assert_eq!(strategy, reparsed);
-    }
+        assert_eq!(strategy, reparsed, "case {case}");
+    });
+    assert!(checked >= 24, "only {checked} generated strategies were valid");
+}
 
-    /// The compiled state machine is total: from every reachable phase,
-    /// every outcome leads to a valid state, and terminal states are
-    /// reachable only through actions that name them.
-    #[test]
-    fn state_machine_totality(strategy in arb_strategy()) {
-        prop_assume!(strategy.validate().is_ok());
+/// The compiled state machine is total: from every reachable phase, every
+/// outcome leads to a valid state, and the start phase is reachable.
+#[test]
+fn state_machine_totality() {
+    let mut checked = 0;
+    for_cases(96, 0x57A7E, |case, rng| {
+        let strategy = random_strategy(rng);
+        if strategy.validate().is_err() {
+            return;
+        }
+        checked += 1;
         let machine = StateMachine::compile(&strategy).expect("valid strategies compile");
         for i in 0..machine.phase_count() {
             for outcome in PhaseOutcome::all() {
                 let next = machine.next(State::Phase(i), outcome);
                 if let State::Phase(j) = next {
-                    prop_assert!(j < machine.phase_count());
+                    assert!(j < machine.phase_count(), "case {case}");
                 }
             }
         }
-        // Reachability analysis never panics and includes the start.
         let reachable = machine.reachable();
-        prop_assert!(reachable.contains(&State::Phase(0)));
-    }
+        assert!(reachable.contains(&State::Phase(0)), "case {case}");
+    });
+    assert!(checked >= 24, "only {checked} generated strategies were valid");
 }
 
 // ---------------------------------------------------------------------------
@@ -164,27 +179,22 @@ use topology::changes::classify;
 use topology::diff::{Status, TopologicalDiff};
 use topology::perf::{generate_pair, PerfParams};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(16))]
-
-    /// Diff statuses partition the union and classification covers every
-    /// changed edge exactly once.
-    #[test]
-    fn diff_partition_and_classification_cover(
-        seed in 0u64..1_000,
-        change_fraction in 0.0f64..0.6,
-    ) {
+/// Diff statuses partition the union and classification covers every
+/// changed edge exactly once.
+#[test]
+fn diff_partition_and_classification_cover() {
+    for_cases(16, 0xD1FF, |case, rng| {
+        let change_fraction = 0.6 * rng.next_f64();
+        let seed = rng.next_below(1_000);
         let params = PerfParams { endpoints: 120, change_fraction, ..Default::default() };
         let (baseline, experimental) = generate_pair(&params, seed);
         let diff = TopologicalDiff::compute(&baseline, &experimental);
 
-        // Node counts: common + removed = baseline nodes; common + added =
-        // experimental nodes.
         let common = diff.nodes_with(Status::Common).count();
         let removed = diff.nodes_with(Status::Removed).count();
         let added = diff.nodes_with(Status::Added).count();
-        prop_assert_eq!(common + removed, baseline.node_count());
-        prop_assert_eq!(common + added, experimental.node_count());
+        assert_eq!(common + removed, baseline.node_count(), "case {case}");
+        assert_eq!(common + added, experimental.node_count(), "case {case}");
 
         // Every changed edge maps to exactly one change: composed changes
         // consume one added + one removed edge, fundamental ones a single
@@ -194,28 +204,36 @@ proptest! {
         let removed_edges = diff.edges_with(Status::Removed).count();
         let composed = changes.iter().filter(|c| !c.kind.is_fundamental()).count();
         let fundamental = changes.iter().filter(|c| c.kind.is_fundamental()).count();
-        prop_assert_eq!(2 * composed + fundamental, added_edges + removed_edges);
-    }
+        assert_eq!(2 * composed + fundamental, added_edges + removed_edges, "case {case}");
+    });
+}
 
-    /// nDCG of any heuristic ranking stays within [0, 1].
-    #[test]
-    fn ndcg_bounds(seed in 0u64..1_000) {
-        use topology::heuristics::{self, AnalysisContext};
-        use topology::rank::{ndcg_at, rank};
+/// nDCG of any heuristic ranking stays within [0, 1].
+#[test]
+fn ndcg_bounds() {
+    use topology::heuristics::{self, AnalysisContext};
+    use topology::rank::{ndcg_at, rank};
+    for_cases(16, 0xDC6, |case, rng| {
+        let seed = rng.next_below(1_000);
         let params = PerfParams { endpoints: 120, change_fraction: 0.3, ..Default::default() };
         let (baseline, experimental) = generate_pair(&params, seed);
         let diff = TopologicalDiff::compute(&baseline, &experimental);
         let changes = classify(&diff);
-        prop_assume!(!changes.is_empty());
-        let relevance: Vec<f64> =
-            changes.iter().enumerate().map(|(i, _)| (i % 4) as f64).collect();
+        if changes.is_empty() {
+            return;
+        }
+        let relevance: Vec<f64> = changes.iter().enumerate().map(|(i, _)| (i % 4) as f64).collect();
         let ctx = AnalysisContext { baseline: &baseline, experimental: &experimental, diff: &diff };
         for heuristic in heuristics::all_variants() {
             let ranking = rank(heuristic.as_ref(), &ctx, &changes);
             let ndcg = ndcg_at(&ranking, &relevance, 5);
-            prop_assert!((0.0..=1.0 + 1e-9).contains(&ndcg), "{} -> {ndcg}", heuristic.name());
+            assert!(
+                (0.0..=1.0 + 1e-9).contains(&ndcg),
+                "case {case}: {} -> {ndcg}",
+                heuristic.name()
+            );
         }
-    }
+    });
 }
 
 // ---------------------------------------------------------------------------
@@ -237,14 +255,14 @@ fn split_app(versions: usize) -> Application {
     b.build().unwrap()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    /// For any valid weighted split, the empirically observed version
-    /// shares converge to the configured weights (routing conserves
-    /// traffic: nothing is dropped or duplicated).
-    #[test]
-    fn routing_weights_are_conserved(raw in proptest::collection::vec(0.05f64..1.0, 2..5)) {
+/// For any valid weighted split, the empirically observed version shares
+/// converge to the configured weights (routing conserves traffic: nothing
+/// is dropped or duplicated).
+#[test]
+fn routing_weights_are_conserved() {
+    for_cases(24, 0x4071, |case, rng| {
+        let k = 2 + rng.next_index(3);
+        let raw: Vec<f64> = (0..k).map(|_| 0.05 + 0.95 * rng.next_f64()).collect();
         let total: f64 = raw.iter().sum();
         let weights: Vec<f64> = raw.iter().map(|w| w / total).collect();
         let app = split_app(weights.len());
@@ -263,93 +281,104 @@ proptest! {
             let idx = splits.iter().position(|(s, _)| *s == v).expect("resolved inside split");
             counts[idx] += 1;
         }
-        prop_assert_eq!(counts.iter().sum::<u64>(), n, "every user routed exactly once");
+        assert_eq!(counts.iter().sum::<u64>(), n, "case {case}: every user routed exactly once");
         for (count, weight) in counts.iter().zip(&weights) {
             let share = *count as f64 / n as f64;
-            prop_assert!((share - weight).abs() < 0.02, "share {share} vs weight {weight}");
+            assert!(
+                (share - weight).abs() < 0.02,
+                "case {case}: share {share} vs weight {weight}"
+            );
         }
-    }
+    });
+}
 
-    /// Monitor window algebra: the summary over [a, c) equals the merge of
-    /// [a, b) and [b, c) in count and mean.
-    #[test]
-    fn monitor_windows_compose(values in proptest::collection::vec(0.0f64..100.0, 3..60), cut in 1usize..50) {
-        use cex_core::metrics::MetricKind;
-        use cex_core::simtime::SimTime;
-        use microsim::monitor::MetricStore;
+/// Monitor window algebra: the summary over [a, c) equals the merge of
+/// [a, b) and [b, c) in count and mean.
+#[test]
+fn monitor_windows_compose() {
+    use cex_core::simtime::SimTime;
+    use microsim::monitor::MetricStore;
+    for_cases(24, 0x3014, |case, rng| {
+        let len = 3 + rng.next_index(57);
+        let values: Vec<f64> = (0..len).map(|_| 100.0 * rng.next_f64()).collect();
+        let cut = (1 + rng.next_index(49)).min(values.len());
         let store = MetricStore::new();
         for (i, v) in values.iter().enumerate() {
             store.record_value("s", MetricKind::Throughput, SimTime::from_millis(i as u64), *v);
         }
-        let cut = cut.min(values.len());
         let t = |i: usize| SimTime::from_millis(i as u64);
         let whole = store.summary_between("s", MetricKind::Throughput, t(0), t(values.len()));
         let left = store.summary_between("s", MetricKind::Throughput, t(0), t(cut));
         let right = store.summary_between("s", MetricKind::Throughput, t(cut), t(values.len()));
-        prop_assert_eq!(whole.count, left.count + right.count);
+        assert_eq!(whole.count, left.count + right.count, "case {case}");
         let merged_mean = (left.mean * left.count as f64 + right.mean * right.count as f64)
             / whole.count as f64;
-        prop_assert!((whole.mean - merged_mean).abs() < 1e-9);
-    }
+        assert!((whole.mean - merged_mean).abs() < 1e-9, "case {case}");
+    });
 }
 
 // ---------------------------------------------------------------------------
 // Statistics invariants
 // ---------------------------------------------------------------------------
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// The Student-t CDF is a CDF: monotone, symmetric, bounded.
-    #[test]
-    fn t_cdf_is_a_cdf(df in 1.0f64..200.0, a in -6.0f64..6.0, b in -6.0f64..6.0) {
-        use cex_core::stats::student_t_cdf;
+/// The Student-t CDF is a CDF: monotone, symmetric, bounded.
+#[test]
+fn t_cdf_is_a_cdf() {
+    use cex_core::stats::student_t_cdf;
+    for_cases(48, 0x7CDF, |case, rng| {
+        let df = 1.0 + 199.0 * rng.next_f64();
+        let a = -6.0 + 12.0 * rng.next_f64();
+        let b = -6.0 + 12.0 * rng.next_f64();
         let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
         let cl = student_t_cdf(lo, df);
         let ch = student_t_cdf(hi, df);
-        prop_assert!((0.0..=1.0).contains(&cl));
-        prop_assert!((0.0..=1.0).contains(&ch));
-        prop_assert!(cl <= ch + 1e-12, "monotone: F({lo})={cl} F({hi})={ch}");
+        assert!((0.0..=1.0).contains(&cl), "case {case}");
+        assert!((0.0..=1.0).contains(&ch), "case {case}");
+        assert!(cl <= ch + 1e-12, "case {case}: monotone F({lo})={cl} F({hi})={ch}");
         let sym = student_t_cdf(lo, df) + student_t_cdf(-lo, df);
-        prop_assert!((sym - 1.0).abs() < 1e-9, "symmetry at {lo}: {sym}");
-    }
+        assert!((sym - 1.0).abs() < 1e-9, "case {case}: symmetry at {lo}: {sym}");
+    });
+}
 
-    /// Welch p-values are complementary and bounded for any sane summaries.
-    #[test]
-    fn welch_p_values_bounded(
-        m1 in -100.0f64..100.0, m2 in -100.0f64..100.0,
-        s1 in 0.01f64..50.0, s2 in 0.01f64..50.0,
-        n1 in 2u64..5_000, n2 in 2u64..5_000,
-    ) {
-        use cex_core::metrics::Summary;
-        use cex_core::stats::welch_test;
+/// Welch p-values are complementary and bounded for any sane summaries.
+#[test]
+fn welch_p_values_bounded() {
+    use cex_core::metrics::Summary;
+    use cex_core::stats::welch_test;
+    for_cases(48, 0x3E1C, |case, rng| {
+        let m1 = -100.0 + 200.0 * rng.next_f64();
+        let m2 = -100.0 + 200.0 * rng.next_f64();
+        let s1 = 0.01 + 49.99 * rng.next_f64();
+        let s2 = 0.01 + 49.99 * rng.next_f64();
+        let n1 = 2 + rng.next_below(4_998);
+        let n2 = 2 + rng.next_below(4_998);
         let a = Summary { count: n1, mean: m1, std_dev: s1, min: m1 - s1, max: m1 + s1 };
         let b = Summary { count: n2, mean: m2, std_dev: s2, min: m2 - s2, max: m2 + s2 };
         let test = welch_test(&a, &b).expect("n >= 2 on both sides");
-        prop_assert!((0.0..=1.0).contains(&test.p_greater));
-        prop_assert!((0.0..=1.0).contains(&test.p_less));
-        prop_assert!((test.p_greater + test.p_less - 1.0).abs() < 1e-9);
-        prop_assert!(test.df >= 1.0);
+        assert!((0.0..=1.0).contains(&test.p_greater), "case {case}");
+        assert!((0.0..=1.0).contains(&test.p_less), "case {case}");
+        assert!((test.p_greater + test.p_less - 1.0).abs() < 1e-9, "case {case}");
+        assert!(test.df >= 1.0, "case {case}");
         if m1 > m2 {
-            prop_assert!(test.t > 0.0);
+            assert!(test.t > 0.0, "case {case}");
         }
-    }
+    });
 }
 
 // ---------------------------------------------------------------------------
 // Greedy scheduling invariants
 // ---------------------------------------------------------------------------
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(12))]
-
-    /// Greedy construction is valid on low-tier instances of any size.
-    #[test]
-    fn greedy_valid_on_low_tier(n in 2usize..20, seed in 0u64..500) {
-        use fenrir::greedy::greedy_schedule;
+/// Greedy construction is valid on low-tier instances of any size.
+#[test]
+fn greedy_valid_on_low_tier() {
+    use fenrir::greedy::greedy_schedule;
+    for_cases(12, 0x62EE, |case, rng| {
+        let n = 2 + rng.next_index(18);
+        let seed = rng.next_below(500);
         let problem = ProblemGenerator::new(n, SampleSizeTier::Low).generate(seed);
         let schedule = greedy_schedule(&problem);
         let violations = constraints::check(&problem, &schedule);
-        prop_assert!(violations.is_empty(), "{violations:?}");
-    }
+        assert!(violations.is_empty(), "case {case}: {violations:?}");
+    });
 }
