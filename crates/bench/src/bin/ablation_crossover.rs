@@ -16,18 +16,14 @@ const REPETITIONS: u64 = 5;
 
 fn main() {
     header("Ablation — crossover strategy × repair (15 experiments, medium tier)");
-    println!(
-        "{:>10} {:>7} | {:>8} {:>8} | {:>6}",
-        "crossover", "repair", "fitness", "sd", "valid"
-    );
+    println!("{:>10} {:>7} | {:>8} {:>8} | {:>6}", "crossover", "repair", "fitness", "sd", "valid");
     for crossover in [CrossoverKind::OnePoint, CrossoverKind::Uniform] {
         for repair in [true, false] {
             let ga = GeneticAlgorithm { crossover, repair, ..Default::default() };
             let mut fitness = Vec::new();
             let mut valid = 0;
             for rep in 0..REPETITIONS {
-                let problem =
-                    ProblemGenerator::new(15, SampleSizeTier::Medium).generate(300 + rep);
+                let problem = ProblemGenerator::new(15, SampleSizeTier::Medium).generate(300 + rep);
                 let result = ga.schedule(&problem, Budget::evaluations(5_000), rep);
                 fitness.push(result.best_report.raw);
                 if result.best_report.is_valid() {

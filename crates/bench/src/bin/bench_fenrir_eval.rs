@@ -25,7 +25,11 @@ const CHUNK: usize = 256;
 
 /// A random bound-respecting single-plan move, identical across the full
 /// and incremental runs (both draw from identically seeded generators).
-fn random_move(problem: &Problem, current: &Schedule, rng: &mut SplitMix64) -> (ExperimentId, Plan) {
+fn random_move(
+    problem: &Problem,
+    current: &Schedule,
+    rng: &mut SplitMix64,
+) -> (ExperimentId, Plan) {
     let id = ExperimentId(rng.next_index(problem.len()));
     let e = problem.experiment(id);
     let mut plan = current.plan(id).clone();
@@ -42,8 +46,8 @@ fn random_move(problem: &Problem, current: &Schedule, rng: &mut SplitMix64) -> (
                 e.min_duration_slots + rng.next_index(max_dur - e.min_duration_slots + 1);
         }
         _ => {
-            plan.traffic_share = e.min_traffic_share
-                + rng.next_f64() * (e.max_traffic_share - e.min_traffic_share);
+            plan.traffic_share =
+                e.min_traffic_share + rng.next_f64() * (e.max_traffic_share - e.min_traffic_share);
         }
     }
     (id, plan)
@@ -116,8 +120,10 @@ fn main() {
     json.push_str("  \"tiers\": [\n");
 
     println!("fenrir evaluation pipeline ({workers} workers available)");
-    println!("{:>5} {:>14} {:>14} {:>9} {:>14} {:>14} {:>9}",
-        "n", "full/s", "incr/s", "speedup", "batch1/s", "batchN/s", "speedup");
+    println!(
+        "{:>5} {:>14} {:>14} {:>9} {:>14} {:>14} {:>9}",
+        "n", "full/s", "incr/s", "speedup", "batch1/s", "batchN/s", "speedup"
+    );
 
     for (t, n) in [10usize, 50, 200].into_iter().enumerate() {
         let problem = ProblemGenerator::new(n, SampleSizeTier::Medium).generate(7);

@@ -19,12 +19,11 @@ fn main() {
     );
     let consumption = result.best.consumption_per_slot(&problem);
     println!("{:>5}  {:>12}  {:>12}  {:>6}", "slot", "available", "consumed", "util");
-    for slot in 0..(7 * 24) {
-        if slot % 4 != 0 {
+    for (slot, &consumed) in consumption.iter().enumerate().take(7 * 24) {
+        if !slot.is_multiple_of(4) {
             continue; // print every 4th hour to keep the series readable
         }
         let available = problem.traffic().total_in_slot(slot);
-        let consumed = consumption[slot];
         println!(
             "{:>5}  {:>12.0}  {:>12.0}  {:>5.1}%",
             slot,
@@ -33,7 +32,8 @@ fn main() {
             consumed / available * 100.0
         );
     }
-    let total_available: f64 = (0..problem.horizon()).map(|s| problem.traffic().total_in_slot(s)).sum();
+    let total_available: f64 =
+        (0..problem.horizon()).map(|s| problem.traffic().total_in_slot(s)).sum();
     let total_consumed: f64 = consumption.iter().sum();
     println!(
         "\nhorizon totals: available {:.0}, consumed {:.0} ({:.1}%)",

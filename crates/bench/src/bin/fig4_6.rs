@@ -8,8 +8,8 @@
 //! end-to-end, dropping to ≈4 ms during the A/B phase (traffic splitting
 //! load-balances), and load amplification during the dark launch.
 
-use bifrost::engine::{Engine, EngineConfig};
 use bifrost::dsl;
+use bifrost::engine::{Engine, EngineConfig};
 use cex_bench::header;
 use cex_core::metrics::MetricKind;
 use cex_core::simtime::{SimDuration, SimTime};
@@ -96,15 +96,12 @@ fn main() {
     deploy_candidates(&mut sim);
     let strategy = dsl::parse(STRATEGY).expect("strategy parses");
     let engine = Engine::new(EngineConfig::default());
-    let exec = engine
-        .execute(&mut sim, &[strategy], &wl2, duration)
-        .expect("execution succeeds");
+    let exec = engine.execute(&mut sim, &[strategy], &wl2, duration).expect("execution succeeds");
     println!("strategy outcome: {:?} after {} ticks\n", exec.statuses[0].1, exec.ticks);
 
     // Table 4.1 — basic statistics of response times in milliseconds.
-    let with = sim
-        .store()
-        .summary_between(APP_SCOPE, MetricKind::ResponseTime, SimTime::ZERO, sim.now());
+    let with =
+        sim.store().summary_between(APP_SCOPE, MetricKind::ResponseTime, SimTime::ZERO, sim.now());
     println!("Table 4.1 — response-time statistics (ms)");
     println!("{:>18} | {:>8} {:>8} {:>8} {:>8}", "config", "mean", "sd", "min", "max");
     println!(

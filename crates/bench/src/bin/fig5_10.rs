@@ -6,12 +6,12 @@
 //! heuristic performance.
 
 use cex_bench::{five_number, fmt_duration, header};
+use std::time::{Duration, Instant};
 use topology::changes::classify;
 use topology::diff::TopologicalDiff;
 use topology::heuristics::{self, AnalysisContext};
 use topology::perf::{generate_pair, PerfParams};
 use topology::rank::rank;
-use std::time::{Duration, Instant};
 
 const ENDPOINTS: usize = 2_000;
 const REPETITIONS: u64 = 10;

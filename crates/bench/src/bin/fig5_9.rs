@@ -7,12 +7,12 @@
 //! the prototype; the shape is what transfers.)
 
 use cex_bench::{fmt_duration, header};
+use std::time::Instant;
 use topology::changes::classify;
 use topology::diff::TopologicalDiff;
 use topology::heuristics::{self, AnalysisContext};
 use topology::perf::{generate_pair, PerfParams};
 use topology::rank::rank;
-use std::time::Instant;
 
 fn main() {
     header("Figure 5.9 — heuristic execution time vs number of endpoints");

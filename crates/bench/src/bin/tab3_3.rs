@@ -59,5 +59,7 @@ fn main() {
             );
         }
     }
-    println!("\nThe paper's Table 3.3 reports minutes on cloud VMs; shapes, not absolutes, transfer.");
+    println!(
+        "\nThe paper's Table 3.3 reports minutes on cloud VMs; shapes, not absolutes, transfer."
+    );
 }

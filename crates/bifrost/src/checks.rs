@@ -8,6 +8,7 @@
 //! drives the retry action when not enough data was collected.
 
 use crate::model::{Check, CheckScope, Comparator};
+use cex_core::metrics::Summary;
 use cex_core::simtime::SimTime;
 use cex_core::stats::welch_test;
 use microsim::monitor::MetricStore;
@@ -23,6 +24,42 @@ pub enum CheckResult {
     Inconclusive,
 }
 
+impl CheckResult {
+    /// Canonical lowercase name used by the execution journal.
+    pub fn name(self) -> &'static str {
+        match self {
+            CheckResult::Pass => "pass",
+            CheckResult::Fail => "fail",
+            CheckResult::Inconclusive => "inconclusive",
+        }
+    }
+
+    /// Parses the name produced by [`CheckResult::name`].
+    pub fn from_name(name: &str) -> Option<Self> {
+        Some(match name {
+            "pass" => CheckResult::Pass,
+            "fail" => CheckResult::Fail,
+            "inconclusive" => CheckResult::Inconclusive,
+            _ => return None,
+        })
+    }
+}
+
+/// One check evaluation together with the windowed summaries it read —
+/// the provenance record the execution journal captures for every
+/// verdict.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CheckObservation {
+    /// The verdict.
+    pub result: CheckResult,
+    /// Window summary of the scope the check primarily reads (the
+    /// candidate for candidate-relative scopes, the baseline for
+    /// [`CheckScope::Baseline`]).
+    pub primary: Summary,
+    /// Window summary of the baseline side, for the two-sided scopes.
+    pub baseline: Option<Summary>,
+}
+
 /// Where a strategy's metrics live in the store.
 #[derive(Debug, Clone, PartialEq)]
 pub struct CheckContext {
@@ -33,38 +70,56 @@ pub struct CheckContext {
 }
 
 /// Evaluates one check at `now` against the store.
-pub fn evaluate(check: &Check, ctx: &CheckContext, store: &MetricStore, now: SimTime) -> CheckResult {
+pub fn evaluate(
+    check: &Check,
+    ctx: &CheckContext,
+    store: &MetricStore,
+    now: SimTime,
+) -> CheckResult {
+    evaluate_observed(check, ctx, store, now).result
+}
+
+/// Evaluates one check at `now`, returning the verdict together with the
+/// window summaries it was derived from (what the execution journal
+/// records).
+pub fn evaluate_observed(
+    check: &Check,
+    ctx: &CheckContext,
+    store: &MetricStore,
+    now: SimTime,
+) -> CheckObservation {
     match check.scope {
-        CheckScope::Candidate => {
-            absolute(check, store, &ctx.candidate_scope, now)
-        }
-        CheckScope::Baseline => {
-            absolute(check, store, &ctx.baseline_scope, now)
-        }
+        CheckScope::Candidate => absolute(check, store, &ctx.candidate_scope, now),
+        CheckScope::Baseline => absolute(check, store, &ctx.baseline_scope, now),
         CheckScope::CandidateVsBaseline => {
             let cand = store.window_summary(&ctx.candidate_scope, check.metric, now, check.window);
             let base = store.window_summary(&ctx.baseline_scope, check.metric, now, check.window);
+            let verdict = |result| CheckObservation { result, primary: cand, baseline: Some(base) };
             if cand.count < check.min_samples || base.count < check.min_samples {
-                return CheckResult::Inconclusive;
+                return verdict(CheckResult::Inconclusive);
             }
-            if base.mean.abs() < f64::EPSILON {
-                return CheckResult::Inconclusive;
+            // Ratio semantics need a positive denominator: a negative
+            // baseline mean would silently flip the comparator's
+            // direction, and a zero/near-zero one explodes the ratio.
+            if base.mean <= f64::EPSILON {
+                return verdict(CheckResult::Inconclusive);
             }
             let ratio = cand.mean / base.mean;
             if check.comparator.holds(ratio, check.threshold) {
-                CheckResult::Pass
+                verdict(CheckResult::Pass)
             } else {
-                CheckResult::Fail
+                verdict(CheckResult::Fail)
             }
         }
         CheckScope::SignificantVsBaseline => {
             let cand = store.window_summary(&ctx.candidate_scope, check.metric, now, check.window);
             let base = store.window_summary(&ctx.baseline_scope, check.metric, now, check.window);
+            let verdict = |result| CheckObservation { result, primary: cand, baseline: Some(base) };
             if cand.count < check.min_samples || base.count < check.min_samples {
-                return CheckResult::Inconclusive;
+                return verdict(CheckResult::Inconclusive);
             }
             let Some(test) = welch_test(&cand, &base) else {
-                return CheckResult::Inconclusive;
+                return verdict(CheckResult::Inconclusive);
             };
             // Sequential-monitoring semantics: pass on significance in the
             // desired direction, fail only on significant *harm* (the
@@ -82,26 +137,26 @@ pub fn evaluate(check: &Check, ctx: &CheckContext, store: &MetricStore, now: Sim
                 }
             };
             if desired {
-                CheckResult::Pass
+                verdict(CheckResult::Pass)
             } else if opposite {
-                CheckResult::Fail
+                verdict(CheckResult::Fail)
             } else {
-                CheckResult::Inconclusive
+                verdict(CheckResult::Inconclusive)
             }
         }
     }
 }
 
-fn absolute(check: &Check, store: &MetricStore, scope: &str, now: SimTime) -> CheckResult {
+fn absolute(check: &Check, store: &MetricStore, scope: &str, now: SimTime) -> CheckObservation {
     let summary = store.window_summary(scope, check.metric, now, check.window);
-    if summary.count < check.min_samples {
-        return CheckResult::Inconclusive;
-    }
-    if check.comparator.holds(summary.mean, check.threshold) {
+    let result = if summary.count < check.min_samples {
+        CheckResult::Inconclusive
+    } else if check.comparator.holds(summary.mean, check.threshold) {
         CheckResult::Pass
     } else {
         CheckResult::Fail
-    }
+    };
+    CheckObservation { result, primary: summary, baseline: None }
 }
 
 /// Tracks when each check of a phase is next due.
@@ -115,9 +170,7 @@ impl CheckScheduler {
     /// check one interval after `phase_start` (the window needs time to
     /// fill).
     pub fn new(checks: &[Check], phase_start: SimTime) -> Self {
-        CheckScheduler {
-            next_due: checks.iter().map(|c| phase_start + c.interval).collect(),
-        }
+        CheckScheduler { next_due: checks.iter().map(|c| phase_start + c.interval).collect() }
     }
 
     /// Indices of the checks due at or before `now`, advancing each one's
@@ -162,7 +215,12 @@ mod tests {
 
     fn fill(store: &MetricStore, scope: &str, value: f64, n: u64) {
         for i in 0..n {
-            store.record_value(scope, MetricKind::ResponseTime, SimTime::from_millis(i * 100), value);
+            store.record_value(
+                scope,
+                MetricKind::ResponseTime,
+                SimTime::from_millis(i * 100),
+                value,
+            );
         }
     }
 
@@ -231,6 +289,74 @@ mod tests {
     }
 
     #[test]
+    fn negative_baseline_mean_is_inconclusive() {
+        // Regression: a negative baseline mean used to flip the
+        // comparator's direction silently — candidate 120 vs baseline
+        // -100 gives ratio -1.2, which "passes" `< 1.25` even though the
+        // candidate is clearly not below 1.25× the baseline.
+        let store = MetricStore::new();
+        fill(&store, "svc@2", 120.0, 30);
+        fill(&store, "svc@1", -100.0, 30);
+        let mut check = Check::candidate(MetricKind::ResponseTime, Comparator::Lt, 1.25);
+        check.scope = CheckScope::CandidateVsBaseline;
+        check.window = SimDuration::from_secs(10);
+        assert_eq!(
+            evaluate(&check, &ctx(), &store, SimTime::from_secs(3)),
+            CheckResult::Inconclusive
+        );
+        // The flipped direction must not sneak through either.
+        check.comparator = Comparator::Gt;
+        check.threshold = -2.0;
+        assert_eq!(
+            evaluate(&check, &ctx(), &store, SimTime::from_secs(3)),
+            CheckResult::Inconclusive
+        );
+    }
+
+    #[test]
+    fn near_zero_baseline_mean_is_inconclusive() {
+        let store = MetricStore::new();
+        fill(&store, "svc@2", 120.0, 30);
+        fill(&store, "svc@1", f64::EPSILON / 2.0, 30);
+        let mut check = Check::candidate(MetricKind::ResponseTime, Comparator::Lt, 1.25);
+        check.scope = CheckScope::CandidateVsBaseline;
+        check.window = SimDuration::from_secs(10);
+        assert_eq!(
+            evaluate(&check, &ctx(), &store, SimTime::from_secs(3)),
+            CheckResult::Inconclusive
+        );
+    }
+
+    #[test]
+    fn observed_evaluation_carries_the_windows_it_read() {
+        let store = MetricStore::new();
+        fill(&store, "svc@2", 120.0, 30);
+        fill(&store, "svc@1", 100.0, 30);
+        let mut check = Check::candidate(MetricKind::ResponseTime, Comparator::Lt, 1.25);
+        check.scope = CheckScope::CandidateVsBaseline;
+        check.window = SimDuration::from_secs(10);
+        let obs = evaluate_observed(&check, &ctx(), &store, SimTime::from_secs(3));
+        assert_eq!(obs.result, CheckResult::Pass);
+        assert_eq!(obs.primary.count, 30);
+        assert!((obs.primary.mean - 120.0).abs() < 1e-12);
+        let base = obs.baseline.expect("two-sided scope records the baseline window");
+        assert!((base.mean - 100.0).abs() < 1e-12);
+
+        check.scope = CheckScope::Candidate;
+        let obs = evaluate_observed(&check, &ctx(), &store, SimTime::from_secs(3));
+        assert_eq!(obs.baseline, None);
+        assert!((obs.primary.mean - 120.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn check_result_names_round_trip() {
+        for r in [CheckResult::Pass, CheckResult::Fail, CheckResult::Inconclusive] {
+            assert_eq!(CheckResult::from_name(r.name()), Some(r));
+        }
+        assert_eq!(CheckResult::from_name("maybe"), None);
+    }
+
+    #[test]
     fn baseline_scope_reads_baseline() {
         let store = MetricStore::new();
         fill(&store, "svc@1", 500.0, 30);
@@ -248,10 +374,18 @@ mod tests {
         // Candidate converts at 6%, baseline at 2%, 400 samples each.
         for i in 0..400u64 {
             let t = SimTime::from_millis(i * 20);
-            store.record_value("svc@2", MetricKind::ConversionRate, t,
-                if rng.next_f64() < 0.06 { 1.0 } else { 0.0 });
-            store.record_value("svc@1", MetricKind::ConversionRate, t,
-                if rng.next_f64() < 0.02 { 1.0 } else { 0.0 });
+            store.record_value(
+                "svc@2",
+                MetricKind::ConversionRate,
+                t,
+                if rng.next_f64() < 0.06 { 1.0 } else { 0.0 },
+            );
+            store.record_value(
+                "svc@1",
+                MetricKind::ConversionRate,
+                t,
+                if rng.next_f64() < 0.02 { 1.0 } else { 0.0 },
+            );
         }
         let mut check = Check::candidate(MetricKind::ConversionRate, Comparator::Gt, 0.05);
         check.scope = CheckScope::SignificantVsBaseline;
@@ -272,10 +406,18 @@ mod tests {
         // Identical 2% conversion on both sides.
         for i in 0..400u64 {
             let t = SimTime::from_millis(i * 20);
-            store.record_value("svc@2", MetricKind::ConversionRate, t,
-                if rng.next_f64() < 0.02 { 1.0 } else { 0.0 });
-            store.record_value("svc@1", MetricKind::ConversionRate, t,
-                if rng.next_f64() < 0.02 { 1.0 } else { 0.0 });
+            store.record_value(
+                "svc@2",
+                MetricKind::ConversionRate,
+                t,
+                if rng.next_f64() < 0.02 { 1.0 } else { 0.0 },
+            );
+            store.record_value(
+                "svc@1",
+                MetricKind::ConversionRate,
+                t,
+                if rng.next_f64() < 0.02 { 1.0 } else { 0.0 },
+            );
         }
         let mut check = Check::candidate(MetricKind::ConversionRate, Comparator::Gt, 0.05);
         check.scope = CheckScope::SignificantVsBaseline;
@@ -305,8 +447,14 @@ mod tests {
     #[test]
     fn scheduler_fires_on_cadence() {
         let checks = vec![
-            Check { interval: SimDuration::from_secs(10), ..Check::candidate(MetricKind::ErrorRate, Comparator::Lt, 1.0) },
-            Check { interval: SimDuration::from_secs(25), ..Check::candidate(MetricKind::ErrorRate, Comparator::Lt, 1.0) },
+            Check {
+                interval: SimDuration::from_secs(10),
+                ..Check::candidate(MetricKind::ErrorRate, Comparator::Lt, 1.0)
+            },
+            Check {
+                interval: SimDuration::from_secs(25),
+                ..Check::candidate(MetricKind::ErrorRate, Comparator::Lt, 1.0)
+            },
         ];
         let mut sched = CheckScheduler::new(&checks, SimTime::ZERO);
         assert_eq!(sched.len(), 2);
@@ -317,5 +465,28 @@ mod tests {
         // Falling far behind fires each check once, not per missed tick.
         assert_eq!(sched.due(&checks, SimTime::from_secs(300)), vec![0, 1]);
         assert_eq!(sched.due(&checks, SimTime::from_secs(301)), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn scheduler_catch_up_realigns_to_the_cadence() {
+        // A check that fell many intervals behind fires exactly once and
+        // its next due time lands on the first cadence point after `now`
+        // — no burst of catch-up evaluations, no drift.
+        let checks = vec![Check {
+            interval: SimDuration::from_secs(30),
+            ..Check::candidate(MetricKind::ErrorRate, Comparator::Lt, 1.0)
+        }];
+        let mut sched = CheckScheduler::new(&checks, SimTime::ZERO);
+        // 17 intervals behind (first due at 30s, now = 510s).
+        assert_eq!(sched.due(&checks, SimTime::from_secs(510)), vec![0]);
+        // Not due again until the next 30-second boundary after 510s.
+        assert_eq!(sched.due(&checks, SimTime::from_secs(539)), Vec::<usize>::new());
+        assert_eq!(sched.due(&checks, SimTime::from_secs(540)), vec![0]);
+        // One more giant gap: still a single firing.
+        assert_eq!(sched.due(&checks, SimTime::from_hours(3)), vec![0]);
+        assert_eq!(
+            sched.due(&checks, SimTime::from_hours(3) + SimDuration::from_secs(29)),
+            Vec::<usize>::new()
+        );
     }
 }

@@ -130,7 +130,11 @@ fn lex(source: &str) -> Result<Vec<Spanned>, BifrostError> {
                     match bump!() {
                         Some('"') => break,
                         Some('\n') | None => {
-                            return Err(BifrostError::parse(tok_line, tok_col, "unterminated string"))
+                            return Err(BifrostError::parse(
+                                tok_line,
+                                tok_col,
+                                "unterminated string",
+                            ))
                         }
                         Some(c) => s.push(c),
                     }
@@ -376,8 +380,10 @@ impl Parser {
                 return Err(self.err("expected `check`, `on`, or `}`"));
             }
         }
-        let on_success = on_success.ok_or_else(|| self.err(format!("phase {name}: missing `on success`")))?;
-        let on_failure = on_failure.ok_or_else(|| self.err(format!("phase {name}: missing `on failure`")))?;
+        let on_success =
+            on_success.ok_or_else(|| self.err(format!("phase {name}: missing `on success`")))?;
+        let on_failure =
+            on_failure.ok_or_else(|| self.err(format!("phase {name}: missing `on failure`")))?;
         Ok(Phase {
             name,
             kind,
@@ -611,7 +617,9 @@ strategy "rec-rollout" {
         assert_eq!(s.phases[0].checks[0].min_samples, 50);
         assert_eq!(s.phases[0].checks[1].scope, CheckScope::CandidateVsBaseline);
         assert!(matches!(s.phases[1].kind, PhaseKind::DarkLaunch));
-        assert!(matches!(s.phases[2].kind, PhaseKind::AbTest { split_percent } if split_percent == 20.0));
+        assert!(
+            matches!(s.phases[2].kind, PhaseKind::AbTest { split_percent } if split_percent == 20.0)
+        );
         match &s.phases[3].kind {
             PhaseKind::GradualRollout { from_percent, to_percent, step_percent, step_duration } => {
                 assert_eq!(*from_percent, 20.0);

@@ -198,8 +198,14 @@ mod tests {
         let app = app();
         let binding = StrategyBinding::resolve(&app, &strategy(None)).unwrap();
         let mut router = Router::new();
-        enact_phase(&app, &mut router, &binding, &PhaseKind::Canary { traffic_percent: 10.0 }, None)
-            .unwrap();
+        enact_phase(
+            &app,
+            &mut router,
+            &binding,
+            &PhaseKind::Canary { traffic_percent: 10.0 },
+            None,
+        )
+        .unwrap();
         let share = candidate_share(&app, &router, &binding);
         assert!((share - 0.1).abs() < 0.01, "share {share}");
         assert!(router.mirrors(binding.service).is_empty());

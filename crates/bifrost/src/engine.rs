@@ -15,9 +15,10 @@
 //! of Figures 4.7/4.9) and the per-tick processing times (the delay of
 //! Figures 4.8/4.10).
 
-use crate::checks::{self, CheckContext, CheckResult, CheckScheduler};
+use crate::checks::{self, CheckContext, CheckObservation, CheckResult, CheckScheduler};
 use crate::enact::{self, StrategyBinding};
 use crate::error::BifrostError;
+use crate::journal::{Journal, JournalEvent};
 use crate::machine::{PhaseOutcome, State, StateMachine};
 use crate::model::{PhaseKind, Strategy};
 use cex_core::simtime::{SimDuration, SimTime};
@@ -30,8 +31,11 @@ use std::time::{Duration, Instant};
 pub struct EngineConfig {
     /// Simulation advance per control-loop iteration.
     pub tick: SimDuration,
-    /// Retries of an inconclusive phase before the strategy is rolled
-    /// back (guards against endless retry loops).
+    /// Bound on consecutive executions of one phase: the `max_retries`-th
+    /// consecutive non-success outcome that would re-enter the phase rolls
+    /// the strategy back instead (guards against endless retry loops). With
+    /// `max_retries = 2` an inconclusive phase runs twice — the initial
+    /// execution plus one retry — before the rollback.
     pub max_retries: u32,
     /// Number of due check evaluations in one tick at which evaluation
     /// fans out to worker threads (below it, thread spawn costs more than
@@ -124,6 +128,11 @@ impl ExecutionReport {
 
 struct RunState {
     strategy: Strategy,
+    /// Interned copies of the strategy and phase names — journal events
+    /// clone these (an atomic refcount bump) instead of allocating on
+    /// every check evaluation.
+    name: std::sync::Arc<str>,
+    phase_names: Vec<std::sync::Arc<str>>,
     binding: StrategyBinding,
     ctx: CheckContext,
     machine: StateMachine,
@@ -136,10 +145,12 @@ struct RunState {
     status: StrategyStatus,
 }
 
-/// Results of the read-only evaluation pass for one strategy.
+/// Results of the read-only evaluation pass for one strategy. Each due
+/// evaluation keeps its check index and the windows it read so the
+/// mutating pass can journal full provenance.
 struct TickObservation {
-    due_results: Vec<CheckResult>,
-    boundary_results: Option<Vec<CheckResult>>,
+    due_results: Vec<(usize, CheckObservation)>,
+    boundary_results: Option<Vec<CheckObservation>>,
     evaluations: u64,
 }
 
@@ -170,6 +181,40 @@ impl Engine {
         workload: &Workload,
         max_duration: SimDuration,
     ) -> Result<ExecutionReport, BifrostError> {
+        self.execute_inner(sim, strategies, workload, max_duration, None)
+    }
+
+    /// Like [`Engine::execute`], additionally recording a structured
+    /// [`Journal`] of the run: every check evaluation with the window
+    /// summaries it read, every transition, every enactment, every retired
+    /// scope, and per-tick engine accounting. The journal's serialized
+    /// form ([`Journal::to_jsonl`]) is byte-identical across repeated runs
+    /// with the same seed and across worker counts.
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`Engine::execute`].
+    pub fn execute_journaled(
+        &self,
+        sim: &mut Simulation,
+        strategies: &[Strategy],
+        workload: &Workload,
+        max_duration: SimDuration,
+    ) -> Result<(ExecutionReport, Journal), BifrostError> {
+        let mut journal = Journal::new();
+        let report =
+            self.execute_inner(sim, strategies, workload, max_duration, Some(&mut journal))?;
+        Ok((report, journal))
+    }
+
+    fn execute_inner(
+        &self,
+        sim: &mut Simulation,
+        strategies: &[Strategy],
+        workload: &Workload,
+        max_duration: SimDuration,
+        mut journal: Option<&mut Journal>,
+    ) -> Result<ExecutionReport, BifrostError> {
         if strategies.is_empty() {
             return Err(BifrostError::Execution("no strategies to execute".into()));
         }
@@ -196,8 +241,22 @@ impl Engine {
                 &phase.kind,
                 Some(rollout_percent),
             )?;
+            let name: std::sync::Arc<str> = strategy.name.as_str().into();
+            let phase_names: Vec<std::sync::Arc<str>> =
+                strategy.phases.iter().map(|p| p.name.as_str().into()).collect();
+            if let Some(j) = journal.as_deref_mut() {
+                j.record(JournalEvent::Enacted {
+                    time: sim.now(),
+                    strategy: name.clone(),
+                    phase: phase_names[0].clone(),
+                    kind: phase.kind.keyword(),
+                    percent: enacted_percent(&phase.kind, rollout_percent),
+                });
+            }
             runs.push(RunState {
                 strategy: strategy.clone(),
+                name,
+                phase_names,
                 binding,
                 ctx,
                 machine,
@@ -225,11 +284,30 @@ impl Engine {
 
             let engine_start = Instant::now();
             let observations = self.observe(sim, &mut runs, now);
-            check_evaluations += observations.iter().flatten().map(|o| o.evaluations).sum::<u64>();
-            self.apply(sim, &mut runs, observations, now, &mut transitions)?;
+            let tick_evaluations =
+                observations.iter().flatten().map(|o| o.evaluations).sum::<u64>();
+            check_evaluations += tick_evaluations;
+            self.apply(
+                sim,
+                &mut runs,
+                observations,
+                now,
+                &mut transitions,
+                journal.as_deref_mut(),
+            )?;
             let spent = engine_start.elapsed();
             engine_busy += spent;
             tick_times.push(spent);
+            if let Some(j) = journal.as_deref_mut() {
+                j.record(JournalEvent::Tick {
+                    time: now,
+                    tick: ticks,
+                    active: runs.iter().filter(|r| r.status == StrategyStatus::Running).count(),
+                    due_checks: tick_evaluations,
+                    window_reads: sim.store().window_reads(),
+                    busy: spent,
+                });
+            }
             ticks += 1;
         }
 
@@ -277,15 +355,19 @@ impl Engine {
         let store = sim.store();
         let evaluate_one = |run: &RunState, due: &[usize]| -> TickObservation {
             let State::Phase(p) = run.state else {
-                return TickObservation { due_results: vec![], boundary_results: None, evaluations: 0 };
+                return TickObservation {
+                    due_results: vec![],
+                    boundary_results: None,
+                    evaluations: 0,
+                };
             };
             let phase = &run.strategy.phases[p];
             let mut evaluations = 0u64;
-            let due_results: Vec<CheckResult> = due
+            let due_results: Vec<(usize, CheckObservation)> = due
                 .iter()
                 .map(|i| {
                     evaluations += 1;
-                    checks::evaluate(&phase.checks[*i], &run.ctx, store, now)
+                    (*i, checks::evaluate_observed(&phase.checks[*i], &run.ctx, store, now))
                 })
                 .collect();
             let boundary_results = if now.saturating_since(run.phase_started) >= phase.duration {
@@ -295,7 +377,7 @@ impl Engine {
                         .iter()
                         .map(|c| {
                             evaluations += 1;
-                            checks::evaluate(c, &run.ctx, store, now)
+                            checks::evaluate_observed(c, &run.ctx, store, now)
                         })
                         .collect(),
                 )
@@ -344,7 +426,9 @@ impl Engine {
     }
 
     /// Mutating pass: advance rollouts, resolve outcomes, drive state
-    /// machines, enact routing changes.
+    /// machines, enact routing changes, journal what happened. Runs
+    /// single-threaded in strategy submission order — that, plus the
+    /// virtual clock, is what makes the journal deterministic.
     fn apply(
         &self,
         sim: &mut Simulation,
@@ -352,12 +436,34 @@ impl Engine {
         observations: Vec<Option<TickObservation>>,
         now: SimTime,
         transitions: &mut Vec<TransitionEvent>,
+        mut journal: Option<&mut Journal>,
     ) -> Result<(), BifrostError> {
         let app = sim.app().clone();
+        // Scopes retired by strategies reaching a terminal state this
+        // tick; pruned after the loop so shared scopes can be guarded.
+        let mut retired: Vec<(std::sync::Arc<str>, String)> = Vec::new();
         for (run, obs) in runs.iter_mut().zip(observations) {
             let Some(obs) = obs else { continue };
             let State::Phase(p) = run.state else { continue };
             let phase = run.strategy.phases[p].clone();
+
+            if let Some(j) = journal.as_deref_mut() {
+                for (i, o) in &obs.due_results {
+                    let check = &phase.checks[*i];
+                    j.record(JournalEvent::Check {
+                        time: now,
+                        strategy: run.name.clone(),
+                        phase: run.phase_names[p].clone(),
+                        check: *i,
+                        metric: check.metric,
+                        scope: check.scope,
+                        boundary: false,
+                        result: o.result,
+                        primary: o.primary,
+                        baseline: o.baseline,
+                    });
+                }
+            }
 
             // Gradual rollouts step forward on their own cadence.
             if let PhaseKind::GradualRollout { to_percent, step_percent, step_duration, .. } =
@@ -373,11 +479,38 @@ impl Engine {
                         &phase.kind,
                         Some(run.rollout_percent),
                     )?;
+                    if let Some(j) = journal.as_deref_mut() {
+                        j.record(JournalEvent::Enacted {
+                            time: now,
+                            strategy: run.name.clone(),
+                            phase: run.phase_names[p].clone(),
+                            kind: phase.kind.keyword(),
+                            percent: run.rollout_percent,
+                        });
+                    }
+                }
+            }
+
+            if let (Some(j), Some(boundary)) = (journal.as_deref_mut(), &obs.boundary_results) {
+                for (i, o) in boundary.iter().enumerate() {
+                    let check = &phase.checks[i];
+                    j.record(JournalEvent::Check {
+                        time: now,
+                        strategy: run.name.clone(),
+                        phase: run.phase_names[p].clone(),
+                        check: i,
+                        metric: check.metric,
+                        scope: check.scope,
+                        boundary: true,
+                        result: o.result,
+                        primary: o.primary,
+                        baseline: o.baseline,
+                    });
                 }
             }
 
             // A conclusively failed due check fails the phase immediately.
-            let outcome = if obs.due_results.contains(&CheckResult::Fail) {
+            let outcome = if obs.due_results.iter().any(|(_, o)| o.result == CheckResult::Fail) {
                 Some(PhaseOutcome::Failure)
             } else if let Some(boundary) = &obs.boundary_results {
                 // For gradual rollouts the phase only succeeds once the
@@ -386,11 +519,11 @@ impl Engine {
                     &phase.kind,
                     PhaseKind::GradualRollout { to_percent, .. } if run.rollout_percent < *to_percent
                 );
-                if boundary.contains(&CheckResult::Fail) {
+                if boundary.iter().any(|o| o.result == CheckResult::Fail) {
                     Some(PhaseOutcome::Failure)
                 } else if rollout_pending {
                     None
-                } else if boundary.contains(&CheckResult::Inconclusive) {
+                } else if boundary.iter().any(|o| o.result == CheckResult::Inconclusive) {
                     Some(PhaseOutcome::Inconclusive)
                 } else {
                     Some(PhaseOutcome::Success)
@@ -403,10 +536,12 @@ impl Engine {
             let from = run.state;
             let mut next = run.machine.next(run.state, outcome);
             // Retry accounting: re-entering the same phase consumes a
-            // retry; exhausting retries becomes a rollback.
+            // retry; the `max_retries`-th consecutive non-success outcome
+            // rolls back instead of re-entering (see
+            // [`EngineConfig::max_retries`]).
             if next == run.state && outcome != PhaseOutcome::Success {
                 run.retries += 1;
-                if run.retries > self.config.max_retries {
+                if run.retries >= self.config.max_retries {
                     next = State::RolledBack;
                 }
             } else if next != run.state {
@@ -420,10 +555,19 @@ impl Engine {
                 to: next,
                 outcome,
             });
+            if let Some(j) = journal.as_deref_mut() {
+                j.record(JournalEvent::Transition {
+                    time: now,
+                    strategy: run.name.clone(),
+                    from,
+                    to: next,
+                    outcome,
+                });
+            }
             match next {
-                State::Phase(j) => {
-                    let next_phase = &run.strategy.phases[j];
-                    run.state = State::Phase(j);
+                State::Phase(j_next) => {
+                    let next_phase = &run.strategy.phases[j_next];
+                    run.state = State::Phase(j_next);
                     run.phase_started = now;
                     run.scheduler = CheckScheduler::new(&next_phase.checks, now);
                     let (percent, step_at) = rollout_init(&next_phase.kind, now);
@@ -436,20 +580,66 @@ impl Engine {
                         &next_phase.kind,
                         Some(percent),
                     )?;
+                    if let Some(j) = journal.as_deref_mut() {
+                        j.record(JournalEvent::Enacted {
+                            time: now,
+                            strategy: run.name.clone(),
+                            phase: run.phase_names[j_next].clone(),
+                            kind: next_phase.kind.keyword(),
+                            percent: enacted_percent(&next_phase.kind, percent),
+                        });
+                    }
                 }
                 State::Completed => {
                     enact::complete(&app, sim.router_mut(), &run.binding)?;
                     run.status = StrategyStatus::Completed;
                     run.state = State::Completed;
+                    // The baseline side retires: completion promoted the
+                    // candidate to all users.
+                    retired.push((run.name.clone(), run.ctx.baseline_scope.clone()));
                 }
                 State::RolledBack => {
                     enact::rollback(sim.router_mut(), &run.binding);
                     run.status = StrategyStatus::RolledBack;
                     run.state = State::RolledBack;
+                    // The candidate side retires: everyone is back on the
+                    // baseline.
+                    retired.push((run.name.clone(), run.ctx.candidate_scope.clone()));
                 }
             }
         }
+
+        // Prune retired scopes from the live store — the final checks are
+        // journaled above, and the journal (not the store) is the
+        // long-term record, so a terminated strategy must not pin its
+        // samples in memory forever. A scope still referenced by another
+        // running strategy (e.g. a shared baseline) is kept.
+        for (strategy, scope) in retired {
+            let still_referenced = runs.iter().any(|r| {
+                r.status == StrategyStatus::Running
+                    && (r.ctx.candidate_scope == scope || r.ctx.baseline_scope == scope)
+            });
+            if still_referenced {
+                continue;
+            }
+            sim.store().clear_scope(&scope);
+            sim.store().clear_prefix(&format!("exp:{strategy}/"));
+            if let Some(j) = journal.as_deref_mut() {
+                j.record(JournalEvent::ScopeCleared { time: now, strategy, scope });
+            }
+        }
         Ok(())
+    }
+}
+
+/// The candidate traffic share a phase enactment routes, as recorded in
+/// the journal (dark launches mirror traffic instead of routing it).
+fn enacted_percent(kind: &PhaseKind, rollout_percent: f64) -> f64 {
+    match kind {
+        PhaseKind::Canary { traffic_percent } => *traffic_percent,
+        PhaseKind::DarkLaunch => 0.0,
+        PhaseKind::AbTest { split_percent } => *split_percent,
+        PhaseKind::GradualRollout { .. } => rollout_percent,
     }
 }
 
@@ -479,11 +669,9 @@ mod tests {
                 .endpoint(EndpointDef::new("api", LatencyModel::Constant { ms: 20.0 })),
         );
         let candidate = if broken_candidate {
-            VersionSpec::new("svc", "2.0.0")
-                .capacity(10_000.0)
-                .endpoint(
-                    EndpointDef::new("api", LatencyModel::Constant { ms: 25.0 }).error_rate(0.5),
-                )
+            VersionSpec::new("svc", "2.0.0").capacity(10_000.0).endpoint(
+                EndpointDef::new("api", LatencyModel::Constant { ms: 25.0 }).error_rate(0.5),
+            )
         } else {
             VersionSpec::new("svc", "2.0.0")
                 .capacity(10_000.0)
@@ -621,9 +809,8 @@ mod tests {
         };
         let mut sim = Simulation::new(app, 4);
         let engine = Engine::new(EngineConfig { parallel_threshold: 1, ..Default::default() });
-        let report = engine
-            .execute(&mut sim, &strategies, &wl, SimDuration::from_mins(20))
-            .unwrap();
+        let report =
+            engine.execute(&mut sim, &strategies, &wl, SimDuration::from_mins(20)).unwrap();
         assert!(report.all_terminal());
         let completed =
             report.statuses.iter().filter(|(_, s)| *s == StrategyStatus::Completed).count();
@@ -643,15 +830,9 @@ mod tests {
         let path: Vec<State> = report.transitions.iter().map(|t| t.to).collect();
         assert_eq!(path.last(), Some(&State::Completed));
         assert!(path.contains(&State::Phase(1)), "rollout entered: {path:?}");
-        assert!(report
-            .transitions
-            .windows(2)
-            .all(|w| w[0].time <= w[1].time));
+        assert!(report.transitions.windows(2).all(|w| w[0].time <= w[1].time));
         assert_eq!(report.transitions[0].from, State::Phase(0));
-        assert_eq!(
-            report.transitions[0].outcome,
-            crate::machine::PhaseOutcome::Success
-        );
+        assert_eq!(report.transitions[0].outcome, crate::machine::PhaseOutcome::Success);
     }
 
     #[test]
@@ -687,13 +868,191 @@ mod tests {
         assert!(matches!(err, BifrostError::Execution(_)));
     }
 
+    /// The app/strategy pair used by the journal tests: several
+    /// independent service pairs so the parallel fan-out path has real
+    /// work.
+    fn fleet(n: usize) -> (Application, Vec<Strategy>, Workload) {
+        let mut b = Application::builder();
+        for i in 0..n {
+            b.version(
+                VersionSpec::new(format!("svc{i}"), "1.0.0")
+                    .capacity(10_000.0)
+                    .endpoint(EndpointDef::new("api", LatencyModel::Constant { ms: 10.0 })),
+            );
+            b.version(
+                VersionSpec::new(format!("svc{i}"), "2.0.0")
+                    .capacity(10_000.0)
+                    .endpoint(EndpointDef::new("api", LatencyModel::Constant { ms: 9.0 })),
+            );
+        }
+        let app = b.build().unwrap();
+        let strategies: Vec<Strategy> = (0..n)
+            .map(|i| {
+                dsl::parse(&format!(
+                    r#"strategy "s{i}" {{
+                        service "svc{i}" baseline "1.0.0" candidate "2.0.0"
+                        phase "canary" canary 20% for 2m {{
+                          check error_rate < 0.2 over 1m every 30s min_samples 5
+                          on success complete
+                          on failure rollback
+                        }}
+                    }}"#
+                ))
+                .unwrap()
+            })
+            .collect();
+        let entries = (0..n)
+            .map(|i| microsim::workload::EntryPoint {
+                service: app.service_id(&format!("svc{i}")).unwrap(),
+                endpoint: "api".into(),
+                weight: 1.0,
+            })
+            .collect();
+        let wl = Workload {
+            population: cex_core::users::Population::single("all", 50_000),
+            rate_rps: 100.0,
+            entries,
+        };
+        (app, strategies, wl)
+    }
+
+    #[test]
+    fn journal_is_byte_identical_across_runs_and_worker_counts() {
+        let mut texts = Vec::new();
+        for workers in [1, 1, 4] {
+            let (app, strategies, wl) = fleet(8);
+            let mut sim = Simulation::new(app, 9);
+            let engine =
+                Engine::new(EngineConfig { parallel_threshold: 1, workers, ..Default::default() });
+            let (report, journal) = engine
+                .execute_journaled(&mut sim, &strategies, &wl, SimDuration::from_mins(10))
+                .unwrap();
+            assert!(report.all_terminal());
+            assert!(!journal.is_empty());
+            texts.push(journal.to_jsonl());
+        }
+        assert_eq!(texts[0], texts[1], "same seed, same workers");
+        assert_eq!(texts[0], texts[2], "same seed, 1 vs 4 workers");
+    }
+
+    #[test]
+    fn journal_round_trips_and_replays_the_execution() {
+        let app = test_app(false);
+        let wl = workload(&app);
+        let mut sim = Simulation::new(app, 13);
+        let strategy = dsl::parse(strategy_src()).unwrap();
+        let (report, journal) = Engine::default()
+            .execute_journaled(&mut sim, &[strategy], &wl, SimDuration::from_mins(30))
+            .unwrap();
+        let parsed = crate::journal::Journal::from_jsonl(&journal.to_jsonl()).unwrap();
+        // The parsed journal replays the same verdict trace and the same
+        // terminal state as the live report.
+        assert_eq!(
+            parsed.check_trace("canary-then-rollout"),
+            journal.check_trace("canary-then-rollout")
+        );
+        assert!(!journal.check_trace("canary-then-rollout").is_empty());
+        assert_eq!(parsed.final_states(), vec![("canary-then-rollout".into(), State::Completed)]);
+        assert_eq!(report.statuses[0].1, StrategyStatus::Completed);
+        // Transitions in the journal match the report's audit log.
+        let journaled: Vec<(State, State)> = parsed
+            .events()
+            .iter()
+            .filter_map(|e| match e {
+                crate::journal::JournalEvent::Transition { from, to, .. } => Some((*from, *to)),
+                _ => None,
+            })
+            .collect();
+        let reported: Vec<(State, State)> =
+            report.transitions.iter().map(|t| (t.from, t.to)).collect();
+        assert_eq!(journaled, reported);
+        // The timeline renders one row per strategy plus header and load.
+        let timeline = journal.render_timeline(crate::journal::TimelineOptions::default());
+        assert_eq!(timeline.lines().count(), 3);
+    }
+
+    #[test]
+    fn retry_budget_bounds_total_phase_executions() {
+        // max_retries = 2 permits the initial execution plus exactly one
+        // retry; the second consecutive inconclusive outcome must roll
+        // back. The pre-fix `>` comparison allowed one extra retry.
+        let app = test_app(false);
+        let svc = app.service_id("svc").unwrap();
+        let wl = Workload::simple(svc, "api", 0.05);
+        let mut sim = Simulation::new(app, 3);
+        let strategy = dsl::parse(
+            r#"strategy "starved" {
+                service "svc" baseline "1.0.0" candidate "2.0.0"
+                phase "canary" canary 10% for 2m {
+                  check error_rate < 0.1 over 1m every 30s min_samples 1000
+                  on success complete
+                  on failure rollback
+                  on inconclusive retry
+                }
+            }"#,
+        )
+        .unwrap();
+        let report = Engine::new(EngineConfig { max_retries: 2, ..Default::default() })
+            .execute(&mut sim, &[strategy], &wl, SimDuration::from_hours(2))
+            .unwrap();
+        assert_eq!(report.statuses[0].1, StrategyStatus::RolledBack);
+        let retries = report.transitions.iter().filter(|t| t.from == t.to).count();
+        assert_eq!(retries, 1, "transitions: {:?}", report.transitions);
+        assert_eq!(report.transitions.last().unwrap().to, State::RolledBack);
+    }
+
+    #[test]
+    fn terminal_strategies_retire_their_scopes() {
+        let app = test_app(true);
+        let wl = workload(&app);
+        let mut sim = Simulation::new(app, 11);
+        let strategy = dsl::parse(strategy_src()).unwrap();
+        let (report, journal) = Engine::default()
+            .execute_journaled(&mut sim, &[strategy], &wl, SimDuration::from_mins(30))
+            .unwrap();
+        assert_eq!(report.statuses[0].1, StrategyStatus::RolledBack);
+        // The rolled-back candidate's samples are pruned from the live
+        // store; the journal records the retirement.
+        assert!(
+            !sim.store().scopes().iter().any(|s| s == "svc@2.0.0"),
+            "scopes: {:?}",
+            sim.store().scopes()
+        );
+        assert!(journal.events().iter().any(|e| matches!(
+            e,
+            crate::journal::JournalEvent::ScopeCleared { scope, .. } if scope == "svc@2.0.0"
+        )));
+    }
+
+    #[test]
+    fn sequential_experiments_do_not_accumulate_retired_samples() {
+        // Re-running experiments against the same long-lived simulation
+        // must not grow the store with retired candidate scopes: each
+        // rollback prunes the candidate's samples.
+        let app = test_app(true);
+        let wl = workload(&app);
+        let mut sim = Simulation::new(app, 12);
+        let strategy = dsl::parse(strategy_src()).unwrap();
+        let mut candidate_counts = Vec::new();
+        for _ in 0..3 {
+            let report = Engine::default()
+                .execute(&mut sim, std::slice::from_ref(&strategy), &wl, SimDuration::from_mins(10))
+                .unwrap();
+            assert_eq!(report.statuses[0].1, StrategyStatus::RolledBack);
+            let candidate_samples: usize = cex_core::metrics::MetricKind::all()
+                .iter()
+                .map(|m| sim.store().count("svc@2.0.0", *m))
+                .sum();
+            candidate_counts.push(candidate_samples);
+        }
+        assert_eq!(candidate_counts, vec![0, 0, 0]);
+    }
+
     #[test]
     fn empty_strategy_list_is_an_error() {
         let app = test_app(false);
         let wl = workload(&app);
         let mut sim = Simulation::new(app, 7);
-        assert!(Engine::default()
-            .execute(&mut sim, &[], &wl, SimDuration::from_mins(1))
-            .is_err());
+        assert!(Engine::default().execute(&mut sim, &[], &wl, SimDuration::from_mins(1)).is_err());
     }
 }

@@ -19,6 +19,8 @@ pub enum BifrostError {
     InvalidStrategy(String),
     /// Execution failed against the simulated application.
     Execution(String),
+    /// A serialized execution journal could not be read back.
+    Journal(String),
 }
 
 impl BifrostError {
@@ -35,6 +37,7 @@ impl fmt::Display for BifrostError {
             }
             BifrostError::InvalidStrategy(msg) => write!(f, "invalid strategy: {msg}"),
             BifrostError::Execution(msg) => write!(f, "execution failed: {msg}"),
+            BifrostError::Journal(msg) => write!(f, "malformed journal: {msg}"),
         }
     }
 }

@@ -26,6 +26,9 @@
 //!   (canary splits, dark-launch mirrors, A/B splits, rollout steps).
 //! - [`engine`] — the multi-strategy execution engine measured in
 //!   Figures 4.6–4.10.
+//! - [`journal`] — the structured, deterministic execution journal:
+//!   check verdicts with the windows they read, transitions,
+//!   enactments, per-tick engine accounting; JSONL in and out.
 //! - [`templates`] — a library of well-formed standard strategies.
 //! - [`verify`] — pre-launch static verification of strategy sets
 //!   (the dissertation's §1.6.4 future work).
@@ -60,6 +63,7 @@ pub mod dsl;
 pub mod enact;
 pub mod engine;
 pub mod error;
+pub mod journal;
 pub mod machine;
 pub mod model;
 pub mod templates;
@@ -67,4 +71,5 @@ pub mod verify;
 
 pub use engine::{Engine, EngineConfig, ExecutionReport};
 pub use error::BifrostError;
+pub use journal::{Journal, JournalEvent};
 pub use model::{Action, Check, Phase, PhaseKind, Strategy};

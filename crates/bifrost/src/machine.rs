@@ -32,6 +32,17 @@ impl State {
     pub fn is_terminal(self) -> bool {
         !matches!(self, State::Phase(_))
     }
+
+    /// Parses the representation produced by [`State`]'s `Display`
+    /// (`phase#<i>`, `completed`, `rolled-back`), as stored in execution
+    /// journals.
+    pub fn parse(text: &str) -> Option<State> {
+        match text {
+            "completed" => Some(State::Completed),
+            "rolled-back" => Some(State::RolledBack),
+            _ => text.strip_prefix("phase#")?.parse().ok().map(State::Phase),
+        }
+    }
 }
 
 impl fmt::Display for State {
@@ -59,6 +70,25 @@ impl PhaseOutcome {
     /// All outcomes, for exhaustiveness checks.
     pub fn all() -> [PhaseOutcome; 3] {
         [PhaseOutcome::Success, PhaseOutcome::Failure, PhaseOutcome::Inconclusive]
+    }
+
+    /// Canonical lowercase name used by the execution journal.
+    pub fn name(self) -> &'static str {
+        match self {
+            PhaseOutcome::Success => "success",
+            PhaseOutcome::Failure => "failure",
+            PhaseOutcome::Inconclusive => "inconclusive",
+        }
+    }
+
+    /// Parses the name produced by [`PhaseOutcome::name`].
+    pub fn from_name(name: &str) -> Option<Self> {
+        Some(match name {
+            "success" => PhaseOutcome::Success,
+            "failure" => PhaseOutcome::Failure,
+            "inconclusive" => PhaseOutcome::Inconclusive,
+            _ => return None,
+        })
     }
 }
 
@@ -263,6 +293,19 @@ mod tests {
         assert!(State::Completed.is_terminal());
         assert!(State::RolledBack.is_terminal());
         assert!(!State::Phase(0).is_terminal());
+    }
+
+    #[test]
+    fn state_and_outcome_names_round_trip() {
+        for state in [State::Phase(0), State::Phase(17), State::Completed, State::RolledBack] {
+            assert_eq!(State::parse(&state.to_string()), Some(state));
+        }
+        assert_eq!(State::parse("phase#x"), None);
+        assert_eq!(State::parse("limbo"), None);
+        for outcome in PhaseOutcome::all() {
+            assert_eq!(PhaseOutcome::from_name(outcome.name()), Some(outcome));
+        }
+        assert_eq!(PhaseOutcome::from_name("shrug"), None);
     }
 
     #[test]

@@ -77,6 +77,29 @@ pub enum CheckScope {
     SignificantVsBaseline,
 }
 
+impl CheckScope {
+    /// Canonical lowercase name used by the execution journal.
+    pub fn name(self) -> &'static str {
+        match self {
+            CheckScope::Candidate => "candidate",
+            CheckScope::Baseline => "baseline",
+            CheckScope::CandidateVsBaseline => "vs_baseline",
+            CheckScope::SignificantVsBaseline => "significant_vs_baseline",
+        }
+    }
+
+    /// Parses the name produced by [`CheckScope::name`].
+    pub fn from_name(name: &str) -> Option<Self> {
+        Some(match name {
+            "candidate" => CheckScope::Candidate,
+            "baseline" => CheckScope::Baseline,
+            "vs_baseline" => CheckScope::CandidateVsBaseline,
+            "significant_vs_baseline" => CheckScope::SignificantVsBaseline,
+            _ => return None,
+        })
+    }
+}
+
 /// Threshold comparator.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Comparator {
@@ -247,7 +270,10 @@ impl Strategy {
             return invalid(format!("strategy {} has no phases", self.name));
         }
         if self.service.is_empty() || self.baseline.is_empty() || self.candidate.is_empty() {
-            return invalid(format!("strategy {} must name service, baseline, candidate", self.name));
+            return invalid(format!(
+                "strategy {} must name service, baseline, candidate",
+                self.name
+            ));
         }
         if self.baseline == self.candidate {
             return invalid(format!("strategy {}: baseline equals candidate", self.name));
@@ -262,15 +288,26 @@ impl Strategy {
             match &phase.kind {
                 PhaseKind::Canary { traffic_percent } => {
                     if !(0.0..=100.0).contains(traffic_percent) {
-                        return invalid(format!("phase {}: canary percent out of range", phase.name));
+                        return invalid(format!(
+                            "phase {}: canary percent out of range",
+                            phase.name
+                        ));
                     }
                 }
                 PhaseKind::AbTest { split_percent } => {
                     if !(0.0..=50.0).contains(split_percent) {
-                        return invalid(format!("phase {}: A/B split out of 0..=50 range", phase.name));
+                        return invalid(format!(
+                            "phase {}: A/B split out of 0..=50 range",
+                            phase.name
+                        ));
                     }
                 }
-                PhaseKind::GradualRollout { from_percent, to_percent, step_percent, step_duration } => {
+                PhaseKind::GradualRollout {
+                    from_percent,
+                    to_percent,
+                    step_percent,
+                    step_duration,
+                } => {
                     if !(0.0..=100.0).contains(from_percent)
                         || !(0.0..=100.0).contains(to_percent)
                         || from_percent > to_percent
@@ -278,10 +315,16 @@ impl Strategy {
                         return invalid(format!("phase {}: rollout range invalid", phase.name));
                     }
                     if *step_percent <= 0.0 {
-                        return invalid(format!("phase {}: rollout step must be positive", phase.name));
+                        return invalid(format!(
+                            "phase {}: rollout step must be positive",
+                            phase.name
+                        ));
                     }
                     if step_duration.is_zero() {
-                        return invalid(format!("phase {}: rollout step duration is zero", phase.name));
+                        return invalid(format!(
+                            "phase {}: rollout step duration is zero",
+                            phase.name
+                        ));
                     }
                 }
                 PhaseKind::DarkLaunch => {}

@@ -302,12 +302,24 @@ mod tests {
         // baseline stops receiving traffic), deadlocking the strategy.
         for s in [
             canary_then_rollout("c", "svc", "1", "2", HealthCriteria::default()),
-            four_phase("f", "svc", "1", "2", None, MetricKind::ConversionRate, 0.05,
-                HealthCriteria::default()),
+            four_phase(
+                "f",
+                "svc",
+                "1",
+                "2",
+                None,
+                MetricKind::ConversionRate,
+                0.05,
+                HealthCriteria::default(),
+            ),
         ] {
             let rollout = s.phase("rollout").unwrap();
-            assert!(rollout.checks.iter().all(|c| c.scope == CheckScope::Candidate),
-                "{}: {:?}", s.name, rollout.checks);
+            assert!(
+                rollout.checks.iter().all(|c| c.scope == CheckScope::Candidate),
+                "{}: {:?}",
+                s.name,
+                rollout.checks
+            );
         }
     }
 }

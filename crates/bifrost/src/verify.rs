@@ -172,9 +172,8 @@ pub fn verify(app: &Application, strategies: &[Strategy]) -> Vec<VerificationIss
         // Reachability and completability.
         if let Ok(machine) = StateMachine::compile(strategy) {
             if !machine.can_complete() {
-                issues.push(VerificationIssue::NoCompletionPath {
-                    strategy: strategy.name.clone(),
-                });
+                issues
+                    .push(VerificationIssue::NoCompletionPath { strategy: strategy.name.clone() });
             }
             let reachable = machine.reachable();
             for (i, phase) in strategy.phases.iter().enumerate() {
@@ -205,11 +204,7 @@ pub fn verify(app: &Application, strategies: &[Strategy]) -> Vec<VerificationIss
                         v.endpoints
                             .iter()
                             .map(|e| {
-                                app.endpoint(*e)
-                                    .calls
-                                    .iter()
-                                    .map(|c| c.probability)
-                                    .sum::<f64>()
+                                app.endpoint(*e).calls.iter().map(|c| c.probability).sum::<f64>()
                             })
                             .fold(0.0, f64::max)
                     };

@@ -67,7 +67,8 @@ mod tests {
 
     #[test]
     fn display_is_lowercase_and_concise() {
-        let e = CoreError::OutOfRange { what: "fraction", expected: "0.0..=1.0", got: "1.5".into() };
+        let e =
+            CoreError::OutOfRange { what: "fraction", expected: "0.0..=1.0", got: "1.5".into() };
         assert_eq!(e.to_string(), "fraction out of range: expected 0.0..=1.0, got 1.5");
         let e = CoreError::NotFound { what: "user group", name: "eu".into() };
         assert_eq!(e.to_string(), "user group not found: eu");

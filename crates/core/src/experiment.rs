@@ -320,8 +320,10 @@ mod tests {
     #[test]
     fn typical_durations_follow_the_study() {
         // Regression-driven: minutes to days; business-driven: weeks.
-        assert!(ExperimentKind::RegressionDriven.typical_duration()
-            < ExperimentKind::BusinessDriven.typical_duration());
+        assert!(
+            ExperimentKind::RegressionDriven.typical_duration()
+                < ExperimentKind::BusinessDriven.typical_duration()
+        );
     }
 
     #[test]

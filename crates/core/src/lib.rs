@@ -26,6 +26,8 @@
 //!   changes (Section 1.2.4 of the dissertation).
 //! - [`rng`] — deterministic, seedable randomness helpers so every experiment
 //!   in this repository is reproducible.
+//! - [`json`] — minimal, byte-deterministic JSON reading/writing used by the
+//!   Bifrost execution journal and the bench result files.
 //!
 //! # Example
 //!
@@ -49,6 +51,7 @@
 
 pub mod error;
 pub mod experiment;
+pub mod json;
 pub mod metrics;
 pub mod rng;
 pub mod simtime;

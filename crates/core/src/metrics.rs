@@ -8,6 +8,7 @@
 //! provide the numerically stable aggregation Bifrost checks and the
 //! topology heuristics rely on.
 
+use crate::json::Json;
 use crate::simtime::SimTime;
 use std::fmt;
 
@@ -231,6 +232,32 @@ impl Summary {
         }
         acc.summary()
     }
+
+    /// Serializes into an ordered [`Json`] object with the fixed member
+    /// order `n, mean, sd, min, max` — the representation the Bifrost
+    /// execution journal relies on for byte-identical output.
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("n".to_string(), Json::Num(self.count as f64)),
+            ("mean".to_string(), Json::Num(self.mean)),
+            ("sd".to_string(), Json::Num(self.std_dev)),
+            ("min".to_string(), Json::Num(self.min)),
+            ("max".to_string(), Json::Num(self.max)),
+        ])
+    }
+
+    /// Reads a summary back from the representation written by
+    /// [`Summary::to_json`]. Returns `None` when a member is missing or
+    /// not a number.
+    pub fn from_json(json: &Json) -> Option<Summary> {
+        Some(Summary {
+            count: json.get("n")?.as_u64()?,
+            mean: json.get("mean")?.as_f64()?,
+            std_dev: json.get("sd")?.as_f64()?,
+            min: json.get("min")?.as_f64()?,
+            max: json.get("max")?.as_f64()?,
+        })
+    }
 }
 
 impl fmt::Display for Summary {
@@ -295,8 +322,8 @@ mod tests {
             acc.push(v);
         }
         let naive_mean: f64 = values.iter().sum::<f64>() / values.len() as f64;
-        let naive_var: f64 =
-            values.iter().map(|v| (v - naive_mean).powi(2)).sum::<f64>() / (values.len() - 1) as f64;
+        let naive_var: f64 = values.iter().map(|v| (v - naive_mean).powi(2)).sum::<f64>()
+            / (values.len() - 1) as f64;
         assert!((acc.mean().unwrap() - naive_mean).abs() < 1e-12);
         assert!((acc.variance().unwrap() - naive_var).abs() < 1e-9);
         assert_eq!(acc.min(), Some(4.0));
@@ -354,6 +381,20 @@ mod tests {
         assert_eq!(quantile(&values, 1.0), Some(4.0));
         assert_eq!(quantile(&values, 0.5), Some(2.5));
         assert_eq!(quantile(&[], 0.5), None);
+    }
+
+    #[test]
+    fn summary_json_round_trips() {
+        let s = Summary::of(&[2.0, 4.0, 7.5]);
+        let json = s.to_json();
+        assert_eq!(
+            json.to_string(),
+            "{\"n\":3,\"mean\":4.5,\"sd\":2.7838821814150108,\"min\":2,\"max\":7.5}"
+        );
+        assert_eq!(Summary::from_json(&json), Some(s));
+        assert_eq!(Summary::from_json(&Json::Null), None);
+        let reparsed = Json::parse(&json.to_string()).unwrap();
+        assert_eq!(Summary::from_json(&reparsed), Some(s));
     }
 
     #[test]

@@ -167,9 +167,9 @@ impl fmt::Display for SimTime {
 
 impl fmt::Display for SimDuration {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        if self.0 >= 3_600_000 && self.0 % 3_600_000 == 0 {
+        if self.0 >= 3_600_000 && self.0.is_multiple_of(3_600_000) {
             write!(f, "{}h", self.0 / 3_600_000)
-        } else if self.0 >= 1_000 && self.0 % 1_000 == 0 {
+        } else if self.0 >= 1_000 && self.0.is_multiple_of(1_000) {
             write!(f, "{}s", self.0 / 1_000)
         } else {
             write!(f, "{}ms", self.0)

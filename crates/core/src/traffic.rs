@@ -75,7 +75,7 @@ impl TrafficProfile {
             let hour_of_day = (slot as u64 * SLOT_HOURS) % 24;
             let day = (slot as u64 * SLOT_HOURS) / 24;
             let weekday = day % 7; // day 0 is a Monday; 5, 6 are the weekend
-            // Peak at 14:00, trough at 02:00.
+                                   // Peak at 14:00, trough at 02:00.
             let phase = (hour_of_day as f64 - 14.0) / 24.0 * std::f64::consts::TAU;
             let diurnal = 1.0 + params.day_night_swing * phase.cos();
             let weekend = if weekday >= 5 { params.weekend_factor } else { 1.0 };

@@ -164,7 +164,8 @@ mod tests {
     #[test]
     fn rejects_empty_and_duplicates() {
         assert!(Population::new(vec![]).is_err());
-        let err = Population::new(vec![UserGroup::new("a", 1), UserGroup::new("a", 2)]).unwrap_err();
+        let err =
+            Population::new(vec![UserGroup::new("a", 1), UserGroup::new("a", 2)]).unwrap_err();
         assert!(matches!(err, CoreError::Duplicate { .. }));
     }
 

@@ -234,7 +234,8 @@ mod tests {
     use cex_core::users::{Population, UserGroup};
 
     fn problem() -> Problem {
-        let pop = Population::new(vec![UserGroup::new("a", 100), UserGroup::new("b", 100)]).unwrap();
+        let pop =
+            Population::new(vec![UserGroup::new("a", 100), UserGroup::new("b", 100)]).unwrap();
         let traffic = TrafficProfile::from_matrix(10, 2, vec![100.0; 20]).unwrap();
         let mut e0 = ExperimentRequest::new("e0", "svc", 50.0);
         e0.min_duration_slots = 2;

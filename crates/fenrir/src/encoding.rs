@@ -102,8 +102,8 @@ pub fn mutate_experiment(
             let delta = ((horizon as f64 * 0.1).ceil() as i64).max(1);
             let shift = uniform_usize(rng, 0, (2 * delta) as usize) as i64 - delta;
             let latest = horizon.saturating_sub(plan.duration_slots).max(e.earliest_start_slot);
-            let new_start = (plan.start_slot as i64 + shift)
-                .clamp(e.earliest_start_slot as i64, latest as i64);
+            let new_start =
+                (plan.start_slot as i64 + shift).clamp(e.earliest_start_slot as i64, latest as i64);
             plan.start_slot = new_start as usize;
         }
         1 => {
@@ -286,15 +286,19 @@ pub fn repair(problem: &Problem, schedule: &mut Schedule, rng: &mut SplitMix64) 
                 continue;
             }
             // Prefer pushing the later-starting run after the earlier one.
-            let (mover, anchor_end) =
-                if pa.start_slot <= pb.start_slot { (b, pa.end_slot()) } else { (a, pb.end_slot()) };
+            let (mover, anchor_end) = if pa.start_slot <= pb.start_slot {
+                (b, pa.end_slot())
+            } else {
+                (a, pb.end_slot())
+            };
             let e = problem.experiment(mover);
             let plan = schedule.plan_mut(mover);
             if anchor_end + plan.duration_slots <= horizon {
                 plan.start_slot = anchor_end.max(e.earliest_start_slot);
             } else if problem.population().len() > 1 {
                 // No room later: separate the groups instead.
-                let other = if mover == a { schedule.plan(b).clone() } else { schedule.plan(a).clone() };
+                let other =
+                    if mover == a { schedule.plan(b).clone() } else { schedule.plan(a).clone() };
                 let plan = schedule.plan_mut(mover);
                 let disjoint: Vec<GroupId> = (0..problem.population().len())
                     .map(GroupId)
@@ -372,7 +376,8 @@ mod tests {
         let traffic = TrafficProfile::from_matrix(100, 3, vec![200.0; 300]).unwrap();
         let experiments = (0..n)
             .map(|i| {
-                let mut e = ExperimentRequest::new(format!("e{i}"), format!("svc{}", i % 3), 1_000.0);
+                let mut e =
+                    ExperimentRequest::new(format!("e{i}"), format!("svc{}", i % 3), 1_000.0);
                 e.min_duration_slots = 3;
                 e.max_duration_slots = 30;
                 e.max_traffic_share = 0.4;
@@ -467,7 +472,8 @@ mod tests {
         let a = random_schedule(&p, &mut rng);
         let b = random_schedule(&p, &mut rng);
         let (c1, _) = crossover(&a, &b, CrossoverKind::Uniform, &mut rng);
-        let from_a = (0..p.len()).filter(|i| c1.plan(ExperimentId(*i)) == a.plan(ExperimentId(*i))).count();
+        let from_a =
+            (0..p.len()).filter(|i| c1.plan(ExperimentId(*i)) == a.plan(ExperimentId(*i))).count();
         assert!(from_a > 0 && from_a < p.len(), "uniform crossover should mix ({from_a}/8)");
     }
 

@@ -138,7 +138,8 @@ mod tests {
     use cex_core::users::{GroupId, Population, UserGroup};
 
     fn problem() -> Problem {
-        let pop = Population::new(vec![UserGroup::new("a", 100), UserGroup::new("b", 100)]).unwrap();
+        let pop =
+            Population::new(vec![UserGroup::new("a", 100), UserGroup::new("b", 100)]).unwrap();
         let traffic = TrafficProfile::from_matrix(20, 2, vec![100.0; 40]).unwrap();
         let mut e = ExperimentRequest::new("e0", "svc", 50.0);
         e.min_duration_slots = 2;

@@ -72,10 +72,7 @@ impl Scheduler for GeneticAlgorithm {
     ) -> SearchResult {
         assert!(self.population_size >= 2, "population needs at least two individuals");
         assert!(self.tournament_k >= 1, "tournament size must be positive");
-        assert!(
-            self.elitism < self.population_size,
-            "elitism must leave room for offspring"
-        );
+        assert!(self.elitism < self.population_size, "elitism must leave room for offspring");
         let mut rng = SplitMix64::new(sub_seed(seed, 0xF3));
         let mut ev = Evaluator::new(problem, budget);
 
@@ -140,7 +137,12 @@ impl Scheduler for GeneticAlgorithm {
                 let pa = tournament(&population, self.tournament_k, &mut rng);
                 let pb = tournament(&population, self.tournament_k, &mut rng);
                 let (mut c1, mut c2) = if rng.next_f64() < self.crossover_rate {
-                    encoding::crossover(&population[pa].0, &population[pb].0, self.crossover, &mut rng)
+                    encoding::crossover(
+                        &population[pa].0,
+                        &population[pb].0,
+                        self.crossover,
+                        &mut rng,
+                    )
                 } else {
                     (population[pa].0.clone(), population[pb].0.clone())
                 };

@@ -83,8 +83,7 @@ pub fn render(problem: &Problem, schedule: &Schedule, options: GanttOptions) -> 
         let col_start = col * slots_per_col;
         let col_end = (col_start + slots_per_col).min(horizon);
         let used: f64 = consumption[col_start..col_end].iter().sum();
-        let available: f64 =
-            (col_start..col_end).map(|s| problem.traffic().total_in_slot(s)).sum();
+        let available: f64 = (col_start..col_end).map(|s| problem.traffic().total_in_slot(s)).sum();
         let share = if available > 0.0 { used / available } else { 0.0 };
         load.push(match (share * 10.0) as usize {
             0 => '·',
@@ -132,7 +131,8 @@ mod tests {
         let options = GanttOptions { width: problem.horizon(), details: false };
         let text = render(&problem, &schedule, options);
         let line = text.lines().nth(1).unwrap();
-        let bar: String = line.chars().skip_while(|c| *c != '|').skip(1).take_while(|c| *c != '|').collect();
+        let bar: String =
+            line.chars().skip_while(|c| *c != '|').skip(1).take_while(|c| *c != '|').collect();
         let plan = schedule.plan(ExperimentId(0));
         // With one slot per column, the bar aligns exactly.
         for (slot, c) in bar.chars().enumerate() {

@@ -6,9 +6,9 @@
 //!
 //! 1. as a cheap baseline scheduler ([`Greedy`]), and
 //! 2. as a **population seed** for the genetic algorithm — on tight
-//!   instances (the 40-experiment, high-sample-size regime of Figure 3.5)
-//!   random initial populations rarely contain a valid individual, and the
-//!   search spends its budget repairing instead of optimizing.
+//!    instances (the 40-experiment, high-sample-size regime of Figure 3.5)
+//!    random initial populations rarely contain a valid individual, and the
+//!    search spends its budget repairing instead of optimizing.
 
 use crate::problem::Problem;
 use crate::runner::{Budget, Evaluator, Scheduler, SearchResult};
@@ -96,9 +96,7 @@ pub fn greedy_schedule(problem: &Problem) -> Schedule {
         let mut chosen: Option<Plan> = None;
         'groups: for groups in &candidate_groups {
             for start in e.earliest_start_slot..horizon.saturating_sub(e.min_duration_slots) {
-                if let Some(plan) =
-                    try_place(problem, id, start, groups, &plans, &placed)
-                {
+                if let Some(plan) = try_place(problem, id, start, groups, &plans, &placed) {
                     chosen = Some(plan);
                     break 'groups;
                 }

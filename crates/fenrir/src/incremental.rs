@@ -125,8 +125,9 @@ impl IncrementalState {
         let mut active: Vec<Vec<usize>> = vec![Vec::new(); horizon];
         let mut boundary_count = vec![0u32; horizon];
         for (i, plan) in schedule.plans().iter().enumerate() {
-            for s in plan.start_slot.min(horizon)..plan.end_slot().min(horizon) {
-                active[s].push(i);
+            let (lo, hi) = (plan.start_slot.min(horizon), plan.end_slot().min(horizon));
+            for slot_active in active[lo..hi].iter_mut() {
+                slot_active.push(i);
             }
             for e in [plan.start_slot, plan.end_slot()] {
                 if e < horizon {
@@ -324,8 +325,8 @@ impl IncrementalState {
         }
         for &s in &alloc_dirty {
             for &g in &affected {
-                let over = allocated_at(&self.schedule, &self.active[s], g)
-                    > 1.0 + constraints::EPS;
+                let over =
+                    allocated_at(&self.schedule, &self.active[s], g) > 1.0 + constraints::EPS;
                 let cell = s * self.groups + g.0;
                 if over != self.cell_over[cell] {
                     self.cell_over[cell] = over;
@@ -368,7 +369,8 @@ mod tests {
     use cex_core::users::{Population, UserGroup};
 
     fn problem() -> Problem {
-        let pop = Population::new(vec![UserGroup::new("a", 100), UserGroup::new("b", 100)]).unwrap();
+        let pop =
+            Population::new(vec![UserGroup::new("a", 100), UserGroup::new("b", 100)]).unwrap();
         let traffic = TrafficProfile::from_matrix(10, 2, vec![100.0; 20]).unwrap();
         let mut e0 = ExperimentRequest::new("e0", "svc", 50.0);
         e0.min_duration_slots = 2;

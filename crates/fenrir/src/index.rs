@@ -156,7 +156,8 @@ mod tests {
     use cex_core::users::{Population, UserGroup};
 
     fn problem() -> Problem {
-        let pop = Population::new(vec![UserGroup::new("a", 100), UserGroup::new("b", 100)]).unwrap();
+        let pop =
+            Population::new(vec![UserGroup::new("a", 100), UserGroup::new("b", 100)]).unwrap();
         let traffic =
             TrafficProfile::from_matrix(6, 2, (0..12).map(|v| v as f64).collect()).unwrap();
         let mut e0 = ExperimentRequest::new("e0", "svc", 10.0);
@@ -182,9 +183,8 @@ mod tests {
         for g in 0..2 {
             for start in 0..=6 {
                 for end in start..=8 {
-                    let direct: f64 = (start..end.min(6))
-                        .map(|s| p.traffic().available(s, GroupId(g)))
-                        .sum();
+                    let direct: f64 =
+                        (start..end.min(6)).map(|s| p.traffic().available(s, GroupId(g))).sum();
                     let fast = idx.range_traffic(GroupId(g), start, end);
                     assert!((fast - direct).abs() < 1e-12, "g{g} {start}..{end}");
                 }

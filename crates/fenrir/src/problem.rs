@@ -104,19 +104,28 @@ impl Problem {
                 return Err(CoreError::Duplicate { what: "experiment", name: e.name.clone() });
             }
             if e.min_duration_slots == 0 {
-                return Err(CoreError::invalid(format!("{}: min duration must be ≥ 1 slot", e.name)));
+                return Err(CoreError::invalid(format!(
+                    "{}: min duration must be ≥ 1 slot",
+                    e.name
+                )));
             }
             if e.min_duration_slots > e.max_duration_slots {
                 return Err(CoreError::invalid(format!("{}: min duration exceeds max", e.name)));
             }
-            if !(0.0 < e.min_traffic_share && e.min_traffic_share <= e.max_traffic_share && e.max_traffic_share <= 1.0) {
+            if !(0.0 < e.min_traffic_share
+                && e.min_traffic_share <= e.max_traffic_share
+                && e.max_traffic_share <= 1.0)
+            {
                 return Err(CoreError::invalid(format!(
                     "{}: traffic shares must satisfy 0 < min <= max <= 1",
                     e.name
                 )));
             }
             if e.required_sample_size <= 0.0 {
-                return Err(CoreError::invalid(format!("{}: sample size must be positive", e.name)));
+                return Err(CoreError::invalid(format!(
+                    "{}: sample size must be positive",
+                    e.name
+                )));
             }
             if e.earliest_start_slot >= traffic.horizon_slots() {
                 return Err(CoreError::invalid(format!(
@@ -262,12 +271,9 @@ mod tests {
     #[test]
     fn valid_problem_builds() {
         let p = pop();
-        let problem = Problem::new(
-            vec![request("a", "svc1"), request("b", "svc2")],
-            p.clone(),
-            traffic(&p),
-        )
-        .unwrap();
+        let problem =
+            Problem::new(vec![request("a", "svc1"), request("b", "svc2")], p.clone(), traffic(&p))
+                .unwrap();
         assert_eq!(problem.len(), 2);
         assert_eq!(problem.horizon(), 24 * 7);
         assert!(!problem.conflicts(ExperimentId(0), ExperimentId(1)));
@@ -325,12 +331,8 @@ mod tests {
         bad.conflicts_with.push(ExperimentId(0));
         assert!(Problem::new(vec![bad], p.clone(), t.clone()).is_err());
 
-        assert!(Problem::new(
-            vec![request("a", "s"), request("a", "s2")],
-            p.clone(),
-            t.clone()
-        )
-        .is_err());
+        assert!(Problem::new(vec![request("a", "s"), request("a", "s2")], p.clone(), t.clone())
+            .is_err());
     }
 
     #[test]

@@ -93,8 +93,8 @@ pub fn reevaluate(
 
     let mut requests = Vec::with_capacity(survivors + update.added.len());
     let mut seed_plans = Vec::with_capacity(survivors + update.added.len());
-    for i in 0..n {
-        if removed[i] {
+    for (i, gone) in removed.iter().enumerate() {
+        if *gone {
             continue;
         }
         let mut request = problem.experiment(ExperimentId(i)).clone();
@@ -213,11 +213,8 @@ mod tests {
     #[test]
     fn reseeded_search_benefits_from_the_old_schedule() {
         let (problem, schedule) = scheduled_instance();
-        let update = ScheduleUpdate {
-            now_slot: 80,
-            canceled: vec![ExperimentId(2)],
-            ..Default::default()
-        };
+        let update =
+            ScheduleUpdate { now_slot: 80, canceled: vec![ExperimentId(2)], ..Default::default() };
         let re = reevaluate(&problem, &schedule, &update, 4).unwrap();
         let ga = GeneticAlgorithm::default();
         let cold = ga.schedule(&re.problem, Budget::evaluations(300), 5);
@@ -239,11 +236,8 @@ mod tests {
     #[test]
     fn validation_errors() {
         let (problem, schedule) = scheduled_instance();
-        let bad = ScheduleUpdate {
-            now_slot: 10,
-            finished: vec![ExperimentId(99)],
-            ..Default::default()
-        };
+        let bad =
+            ScheduleUpdate { now_slot: 10, finished: vec![ExperimentId(99)], ..Default::default() };
         assert!(reevaluate(&problem, &schedule, &bad, 1).is_err());
 
         let bad = ScheduleUpdate {

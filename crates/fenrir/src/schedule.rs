@@ -25,7 +25,12 @@ pub struct Plan {
 
 impl Plan {
     /// Creates a plan, normalizing the group list.
-    pub fn new(start_slot: usize, duration_slots: usize, traffic_share: f64, mut groups: Vec<GroupId>) -> Self {
+    pub fn new(
+        start_slot: usize,
+        duration_slots: usize,
+        traffic_share: f64,
+        mut groups: Vec<GroupId>,
+    ) -> Self {
         groups.sort_unstable();
         groups.dedup();
         Plan { start_slot, duration_slots, traffic_share, groups }
@@ -141,9 +146,10 @@ impl Schedule {
     pub fn consumption_per_slot(&self, problem: &Problem) -> Vec<f64> {
         let mut out = vec![0.0; problem.horizon()];
         for plan in &self.plans {
-            for slot in plan.start_slot..plan.end_slot().min(problem.horizon()) {
+            let hi = plan.end_slot().min(problem.horizon());
+            for (slot, consumed) in out.iter_mut().enumerate().take(hi).skip(plan.start_slot) {
                 for g in &plan.groups {
-                    out[slot] += plan.traffic_share * problem.traffic().available(slot, *g);
+                    *consumed += plan.traffic_share * problem.traffic().available(slot, *g);
                 }
             }
         }
@@ -165,7 +171,8 @@ mod tests {
 
     fn flat_problem() -> Problem {
         // 10 slots × 2 groups, 100 interactions per (slot, group).
-        let pop = Population::new(vec![UserGroup::new("a", 100), UserGroup::new("b", 100)]).unwrap();
+        let pop =
+            Population::new(vec![UserGroup::new("a", 100), UserGroup::new("b", 100)]).unwrap();
         let traffic = TrafficProfile::from_matrix(10, 2, vec![100.0; 20]).unwrap();
         Problem::new(
             vec![

@@ -77,13 +77,13 @@ fn wild_plan(problem: &Problem, rng: &mut SplitMix64) -> Plan {
     let groups = problem.population().len();
     let start = rng.next_index(horizon + 4);
     let duration = match rng.next_index(5) {
-        0 => 0,                                    // zero-duration span
-        1 => horizon.saturating_sub(start),        // ends exactly at horizon
-        _ => rng.next_index(horizon + 4),          // anything, incl. overrun
+        0 => 0,                             // zero-duration span
+        1 => horizon.saturating_sub(start), // ends exactly at horizon
+        _ => rng.next_index(horizon + 4),   // anything, incl. overrun
     };
     let share = rng.next_f64() * 1.2;
     let assigned = if rng.next_index(8) == 0 {
-        Vec::new()                                 // empty group list
+        Vec::new() // empty group list
     } else {
         let mut v: Vec<GroupId> =
             (0..groups).map(GroupId).filter(|_| rng.next_f64() < 0.6).collect();

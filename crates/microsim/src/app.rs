@@ -306,14 +306,12 @@ impl Application {
     /// Looks up the endpoint named `name` on version `version`.
     pub fn endpoint_of(&self, version: VersionId, name: &str) -> Result<EndpointId, SimError> {
         let v = &self.versions[version.0];
-        v.endpoints
-            .iter()
-            .copied()
-            .find(|e| self.endpoints[e.0].name == name)
-            .ok_or_else(|| SimError::UnknownEndpoint {
+        v.endpoints.iter().copied().find(|e| self.endpoints[e.0].name == name).ok_or_else(|| {
+            SimError::UnknownEndpoint {
                 service: self.service_names[v.service.0].clone(),
                 endpoint: name.to_string(),
-            })
+            }
+        })
     }
 
     /// Iterates over all services.
@@ -349,10 +347,7 @@ impl Application {
                 ServiceId(self.service_names.len() - 1)
             }
         };
-        if self.versions_of[sid.0]
-            .iter()
-            .any(|v| self.versions[v.0].label == spec.version)
-        {
+        if self.versions_of[sid.0].iter().any(|v| self.versions[v.0].label == spec.version) {
             return Err(SimError::BadApplication(format!(
                 "version {} of service {} already deployed",
                 spec.version, spec.service
@@ -441,7 +436,7 @@ fn validate_spec(spec: &VersionSpec) -> Result<(), SimError> {
             spec.service, spec.version
         )));
     }
-    if !(spec.capacity_rps > 0.0) {
+    if spec.capacity_rps <= 0.0 || spec.capacity_rps.is_nan() {
         return Err(SimError::BadApplication("capacity must be positive".into()));
     }
     if !(0.0..=1.0).contains(&spec.conversion_rate) {
@@ -548,7 +543,10 @@ mod tests {
     fn unknown_names_error() {
         let app = two_tier();
         assert!(matches!(app.service_id("db"), Err(SimError::UnknownService(_))));
-        assert!(matches!(app.version_id("frontend", "9.9.9"), Err(SimError::UnknownVersion { .. })));
+        assert!(matches!(
+            app.version_id("frontend", "9.9.9"),
+            Err(SimError::UnknownVersion { .. })
+        ));
         let v = app.version_id("frontend", "1.0.0").unwrap();
         assert!(matches!(app.endpoint_of(v, "nope"), Err(SimError::UnknownEndpoint { .. })));
     }
@@ -583,12 +581,9 @@ mod tests {
     #[test]
     fn dangling_callee_fails_validation() {
         let mut b = Application::builder();
-        b.version(
-            VersionSpec::new("frontend", "1.0.0").endpoint(
-                EndpointDef::new("home", LatencyModel::default())
-                    .call(CallDef::always("ghost", "api")),
-            ),
-        );
+        b.version(VersionSpec::new("frontend", "1.0.0").endpoint(
+            EndpointDef::new("home", LatencyModel::default()).call(CallDef::always("ghost", "api")),
+        ));
         assert!(b.build().is_err());
     }
 
@@ -619,21 +614,20 @@ mod tests {
         assert!(b.build().is_err());
 
         let mut b = Application::builder();
-        b.version(VersionSpec::new("a", "1").capacity(0.0).endpoint(EndpointDef::new(
-            "e",
-            LatencyModel::default(),
-        )));
+        b.version(
+            VersionSpec::new("a", "1")
+                .capacity(0.0)
+                .endpoint(EndpointDef::new("e", LatencyModel::default())),
+        );
         assert!(b.build().is_err());
     }
 
     #[test]
     fn self_call_rejected() {
         let mut b = Application::builder();
-        b.version(
-            VersionSpec::new("a", "1").endpoint(
-                EndpointDef::new("e", LatencyModel::default()).call(CallDef::always("a", "e")),
-            ),
-        );
+        b.version(VersionSpec::new("a", "1").endpoint(
+            EndpointDef::new("e", LatencyModel::default()).call(CallDef::always("a", "e")),
+        ));
         assert!(b.build().is_err());
     }
 

@@ -82,12 +82,9 @@ pub fn execute_request(
     // business metrics even when they sit deep in the call graph.
     if let Some(store) = store {
         if !ctx.visited.is_empty() {
-            let mean_rate = ctx
-                .visited
-                .iter()
-                .map(|v| app.version(*v).conversion_rate)
-                .sum::<f64>()
-                / ctx.visited.len() as f64;
+            let mean_rate =
+                ctx.visited.iter().map(|v| app.version(*v).conversion_rate).sum::<f64>()
+                    / ctx.visited.len() as f64;
             let converted = outcome.ok && ctx.rng.next_f64() < mean_rate;
             let value = if converted { 1.0 } else { 0.0 };
             for version in &ctx.visited {
@@ -178,7 +175,14 @@ impl ExecCtx<'_> {
             }
             let child_start = start + elapsed;
             // Primary call.
-            let child = self.hop(call.service, &call.endpoint, child_start, Some(span_id), dark, depth + 1)?;
+            let child = self.hop(
+                call.service,
+                &call.endpoint,
+                child_start,
+                Some(span_id),
+                dark,
+                depth + 1,
+            )?;
             elapsed += child.duration;
             ok &= child.ok;
             // Dark-launch mirrors: execute on each mirror version without
@@ -204,10 +208,10 @@ impl ExecCtx<'_> {
             store.record_value(&scope, MetricKind::ErrorRate, start, if ok { 0.0 } else { 1.0 });
         }
 
-        if self.trace_id.is_some() {
+        if let Some(trace) = self.trace_id {
             let v = self.app.version(version);
             self.spans.push(Span {
-                trace: self.trace_id.expect("checked above"),
+                trace,
                 span: span_id,
                 parent,
                 service: self.app.service_name(svc).to_string(),
@@ -251,11 +255,7 @@ mod tests {
         b.build().unwrap()
     }
 
-    fn run(
-        app: &Application,
-        router: &Router,
-        traced: bool,
-    ) -> RequestResult {
+    fn run(app: &Application, router: &Router, traced: bool) -> RequestResult {
         let mut load = LoadTracker::new(app);
         let mut rng = SplitMix64::new(9);
         let entry = app.service_id("a").unwrap();

@@ -12,8 +12,9 @@
 
 use cex_core::metrics::{MetricKind, OnlineStats, Sample, Summary};
 use cex_core::simtime::{SimDuration, SimTime};
-use std::sync::RwLock;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::RwLock;
 
 type Key = (String, MetricKind);
 
@@ -24,6 +25,10 @@ type Key = (String, MetricKind);
 #[derive(Debug, Default)]
 pub struct MetricStore {
     inner: RwLock<HashMap<Key, Vec<Sample>>>,
+    /// Windowed reads served so far (monitoring-cost accounting for the
+    /// Bifrost execution journal). The total per tick is deterministic
+    /// even though worker threads increment it in arbitrary order.
+    window_reads: AtomicU64,
 }
 
 impl MetricStore {
@@ -49,7 +54,12 @@ impl MetricStore {
 
     /// Number of samples in a series.
     pub fn count(&self, scope: &str, metric: MetricKind) -> usize {
-        self.inner.read().expect("metric store lock poisoned").get(&(scope.to_string(), metric)).map(|v| v.len()).unwrap_or(0)
+        self.inner
+            .read()
+            .expect("metric store lock poisoned")
+            .get(&(scope.to_string(), metric))
+            .map(|v| v.len())
+            .unwrap_or(0)
     }
 
     /// All scopes currently holding at least one series.
@@ -83,8 +93,9 @@ impl MetricStore {
         acc.summary()
     }
 
-    /// Summary of the trailing `window` ending at `now` (exclusive of
-    /// samples at exactly `now`? — inclusive: `now - window <= t <= now`).
+    /// Summary of the trailing window — the **closed** interval
+    /// `[now - window, now]`: samples at exactly `now - window` and at
+    /// exactly `now` are both included.
     pub fn window_summary(
         &self,
         scope: &str,
@@ -92,8 +103,16 @@ impl MetricStore {
         now: SimTime,
         window: SimDuration,
     ) -> Summary {
+        self.window_reads.fetch_add(1, Ordering::Relaxed);
         let from = SimTime::from_millis(now.as_millis().saturating_sub(window.as_millis()));
         self.summary_between(scope, metric, from, now + SimDuration::from_millis(1))
+    }
+
+    /// Number of windowed reads ([`MetricStore::window_summary`]) served
+    /// since creation — the monitoring-cost counter the Bifrost journal
+    /// samples per tick.
+    pub fn window_reads(&self) -> u64 {
+        self.window_reads.load(Ordering::Relaxed)
     }
 
     /// Moving average: for each step boundary in `[start, end)` emits the
@@ -125,6 +144,14 @@ impl MetricStore {
     pub fn clear_scope(&self, scope: &str) {
         let mut map = self.inner.write().expect("metric store lock poisoned");
         map.retain(|(s, _), _| s != scope);
+    }
+
+    /// Removes every series whose scope starts with `prefix` (e.g. all
+    /// `exp:<name>/` experiment-level series once the experiment's
+    /// journal is the long-term record).
+    pub fn clear_prefix(&self, prefix: &str) {
+        let mut map = self.inner.write().expect("metric store lock poisoned");
+        map.retain(|(s, _), _| !s.starts_with(prefix));
     }
 
     /// Total number of stored samples across all series (for capacity
@@ -194,7 +221,12 @@ mod tests {
     #[test]
     fn empty_series_gives_empty_summary() {
         let store = MetricStore::new();
-        let s = store.window_summary("x", MetricKind::ErrorRate, SimTime::from_secs(1), SimDuration::from_secs(1));
+        let s = store.window_summary(
+            "x",
+            MetricKind::ErrorRate,
+            SimTime::from_secs(1),
+            SimDuration::from_secs(1),
+        );
         assert_eq!(s.count, 0);
     }
 
@@ -212,6 +244,79 @@ mod tests {
         assert_eq!(ma.len(), 3);
         // The ramp's moving average increases monotonically.
         assert!(ma.windows(2).all(|w| w[0].1 < w[1].1));
+    }
+
+    #[test]
+    fn window_summary_interval_is_closed_on_both_ends() {
+        let store = MetricStore::new();
+        for ms in [1_000u64, 2_000, 3_000] {
+            store.record_value("s", MetricKind::ResponseTime, SimTime::from_millis(ms), ms as f64);
+        }
+        // Window [1000, 3000]: all three samples, including both edges.
+        let s = store.window_summary(
+            "s",
+            MetricKind::ResponseTime,
+            SimTime::from_millis(3_000),
+            SimDuration::from_millis(2_000),
+        );
+        assert_eq!(s.count, 3);
+        assert_eq!(s.min, 1_000.0);
+        assert_eq!(s.max, 3_000.0);
+    }
+
+    #[test]
+    fn moving_average_skips_gaps_in_the_series() {
+        let store = MetricStore::new();
+        // Two bursts with a 10-second silence between them.
+        for i in 0..5u64 {
+            store.record_value("s", MetricKind::ResponseTime, SimTime::from_secs(i), 10.0);
+        }
+        for i in 15..20u64 {
+            store.record_value("s", MetricKind::ResponseTime, SimTime::from_secs(i), 30.0);
+        }
+        let ma = store.moving_average(
+            "s",
+            MetricKind::ResponseTime,
+            SimTime::ZERO,
+            SimTime::from_secs(20),
+            SimDuration::from_secs(2),
+            SimDuration::from_secs(1),
+        );
+        // Step boundaries whose trailing 2-second window is empty (the
+        // gap from 7s through 14s) emit no point at all.
+        assert!(ma.iter().all(|(t, _)| t.as_secs() <= 6 || t.as_secs() >= 15), "{ma:?}");
+        // Points inside each burst reflect that burst's level only.
+        assert!(ma.iter().filter(|(t, _)| t.as_secs() <= 6).all(|(_, v)| *v == 10.0));
+        assert!(ma.iter().filter(|(t, _)| t.as_secs() >= 15).all(|(_, v)| *v == 30.0));
+        assert!(!ma.is_empty());
+    }
+
+    #[test]
+    fn window_reads_counts_windowed_queries() {
+        let store = store_with_ramp();
+        let before = store.window_reads();
+        store.window_summary(
+            "svc@1.0.0",
+            MetricKind::ResponseTime,
+            SimTime::from_secs(5),
+            SimDuration::from_secs(1),
+        );
+        store.window_summary("ghost", MetricKind::ErrorRate, SimTime::ZERO, SimDuration::ZERO);
+        assert_eq!(store.window_reads(), before + 2);
+        // Non-windowed reads are not counted.
+        store.summary_between("svc@1.0.0", MetricKind::ResponseTime, SimTime::ZERO, SimTime::ZERO);
+        assert_eq!(store.window_reads(), before + 2);
+    }
+
+    #[test]
+    fn clear_prefix_removes_matching_scopes_only() {
+        let store = MetricStore::new();
+        store.record_value("exp:a/control", MetricKind::ConversionRate, SimTime::ZERO, 1.0);
+        store.record_value("exp:a/variant", MetricKind::ConversionRate, SimTime::ZERO, 1.0);
+        store.record_value("exp:ab/variant", MetricKind::ConversionRate, SimTime::ZERO, 1.0);
+        store.record_value("svc@1", MetricKind::ResponseTime, SimTime::ZERO, 1.0);
+        store.clear_prefix("exp:a/");
+        assert_eq!(store.scopes(), vec!["exp:ab/variant".to_string(), "svc@1".to_string()]);
     }
 
     #[test]

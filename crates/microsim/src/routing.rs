@@ -109,10 +109,10 @@ impl Router {
                 )));
             }
         }
-        let entry = self.rules.entry(service.0).or_insert(RouteRule {
-            splits: Vec::new(),
-            mirrors: Vec::new(),
-        });
+        let entry = self
+            .rules
+            .entry(service.0)
+            .or_insert(RouteRule { splits: Vec::new(), mirrors: Vec::new() });
         entry.splits = splits;
         Ok(())
     }
@@ -137,10 +137,10 @@ impl Router {
                 app.service_name(service)
             )));
         }
-        let entry = self.rules.entry(service.0).or_insert(RouteRule {
-            splits: Vec::new(),
-            mirrors: Vec::new(),
-        });
+        let entry = self
+            .rules
+            .entry(service.0)
+            .or_insert(RouteRule { splits: Vec::new(), mirrors: Vec::new() });
         if entry.mirrors.contains(&version) {
             return Err(SimError::BadRoute("version already mirrored".into()));
         }

@@ -71,6 +71,7 @@ pub struct Simulation {
     workload_seed: u64,
     windows_run: u64,
     faults: FaultPlan,
+    sim_busy: std::time::Duration,
 }
 
 impl Simulation {
@@ -89,6 +90,7 @@ impl Simulation {
             workload_seed: sub_seed(seed, 1),
             windows_run: 0,
             faults: FaultPlan::none(),
+            sim_busy: std::time::Duration::ZERO,
         }
     }
 
@@ -163,6 +165,14 @@ impl Simulation {
         self.clock
     }
 
+    /// Cumulative wall-clock time spent executing simulation windows
+    /// ([`Simulation::run_with`]). The Bifrost engine subtracts this from
+    /// total wall time to account its own processing cost separately from
+    /// the application's.
+    pub fn sim_busy(&self) -> std::time::Duration {
+        self.sim_busy
+    }
+
     /// Runs a window of `duration` under a simple single-entry workload at
     /// `rate_rps`, entering at the first endpoint of service 0's baseline.
     pub fn run(&mut self, duration: SimDuration, rate_rps: f64) -> RunReport {
@@ -183,6 +193,7 @@ impl Simulation {
     /// Panics if the workload references unknown services/endpoints (a
     /// configuration error in the harness, not a runtime condition).
     pub fn run_with(&mut self, duration: SimDuration, workload: &Workload) -> RunReport {
+        let window_started = std::time::Instant::now();
         let from = self.clock;
         let to = from + duration;
         let window_seed = sub_seed(self.workload_seed, self.windows_run);
@@ -228,14 +239,10 @@ impl Simulation {
         // One throughput sample per window.
         let secs = duration.as_millis() as f64 / 1_000.0;
         if secs > 0.0 {
-            self.store.record_value(
-                APP_SCOPE,
-                MetricKind::Throughput,
-                to,
-                requests as f64 / secs,
-            );
+            self.store.record_value(APP_SCOPE, MetricKind::Throughput, to, requests as f64 / secs);
         }
         self.clock = to;
+        self.sim_busy += window_started.elapsed();
         RunReport { from, to, requests, failures, response_time: rt.summary() }
     }
 }
@@ -275,6 +282,17 @@ mod tests {
     }
 
     #[test]
+    fn sim_busy_accumulates_across_windows() {
+        let mut sim = Simulation::new(app(), 42);
+        assert_eq!(sim.sim_busy(), std::time::Duration::ZERO);
+        sim.run(SimDuration::from_secs(10), 20.0);
+        let after_one = sim.sim_busy();
+        assert!(after_one > std::time::Duration::ZERO);
+        sim.run(SimDuration::from_secs(10), 20.0);
+        assert!(sim.sim_busy() > after_one);
+    }
+
+    #[test]
     fn runs_are_deterministic_per_seed() {
         let mut a = Simulation::new(app(), 7);
         let mut b = Simulation::new(app(), 7);
@@ -302,7 +320,9 @@ mod tests {
         sim.set_trace_sampling(0.5);
         let report = sim.run(SimDuration::from_secs(20), 20.0);
         assert!(sim.store().count(APP_SCOPE, MetricKind::ResponseTime) as u64 == report.requests);
-        assert!(sim.store().count("frontend@1.0.0", MetricKind::ResponseTime) as u64 == report.requests);
+        assert!(
+            sim.store().count("frontend@1.0.0", MetricKind::ResponseTime) as u64 == report.requests
+        );
         let traced = sim.traces().len() as f64 / report.requests as f64;
         assert!((traced - 0.5).abs() < 0.05, "trace share {traced}");
         let drained = sim.drain_traces();
@@ -324,7 +344,11 @@ mod tests {
         let app_snapshot = sim.app().clone();
         sim.router_mut().set_split(&app_snapshot, backend, vec![(candidate, 1.0)]).unwrap();
         let report = sim.run(SimDuration::from_secs(10), 20.0);
-        assert!((report.response_time.mean - 55.0).abs() < 1.0, "mean {}", report.response_time.mean);
+        assert!(
+            (report.response_time.mean - 55.0).abs() < 1.0,
+            "mean {}",
+            report.response_time.mean
+        );
     }
 
     #[test]

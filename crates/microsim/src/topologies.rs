@@ -128,27 +128,23 @@ pub fn case_study_app() -> Application {
 /// example: richer recommendations (extra catalog call, higher own
 /// latency), the change the AB Inc release engineer wants to canary.
 pub fn recommendation_candidate() -> VersionSpec {
-    VersionSpec::new("recommendation", "1.1.0")
-        .capacity(250.0)
-        .endpoint(
-            EndpointDef::new("recommend", LatencyModel::web(12.0))
-                .call(CallDef::always("profile-store", "get"))
-                .call(CallDef::always("catalog", "get")),
-        )
+    VersionSpec::new("recommendation", "1.1.0").capacity(250.0).endpoint(
+        EndpointDef::new("recommend", LatencyModel::web(12.0))
+            .call(CallDef::always("profile-store", "get"))
+            .call(CallDef::always("catalog", "get")),
+    )
 }
 
 /// A deliberately broken candidate (inflated latency, elevated error
 /// rate) used by rollback demonstrations and the health-assessment
 /// scenarios.
 pub fn recommendation_broken() -> VersionSpec {
-    VersionSpec::new("recommendation", "1.1.1")
-        .capacity(100.0)
-        .endpoint(
-            EndpointDef::new("recommend", LatencyModel::web(45.0))
-                .error_rate(0.08)
-                .call(CallDef::always("profile-store", "get"))
-                .call(CallDef::always("catalog", "get")),
-        )
+    VersionSpec::new("recommendation", "1.1.1").capacity(100.0).endpoint(
+        EndpointDef::new("recommend", LatencyModel::web(45.0))
+            .error_rate(0.08)
+            .call(CallDef::always("profile-store", "get"))
+            .call(CallDef::always("catalog", "get")),
+    )
 }
 
 /// Parameters for [`random_app`].
@@ -213,9 +209,8 @@ pub fn random_app(params: &RandomAppParams, seed: u64) -> Application {
                 let next = services_in_layer(layer + 1);
                 for _ in 0..params.calls_per_endpoint {
                     let callee = next[(rng.next_f64() * next.len() as f64) as usize % next.len()];
-                    let callee_ep =
-                        (rng.next_f64() * params.endpoints_per_service as f64) as usize
-                            % params.endpoints_per_service;
+                    let callee_ep = (rng.next_f64() * params.endpoints_per_service as f64) as usize
+                        % params.endpoints_per_service;
                     def = def.call(CallDef::with_probability(
                         format!("svc-{callee:04}"),
                         format!("ep{callee_ep}"),

@@ -201,7 +201,11 @@ mod tests {
     fn trace_navigation() {
         let t = Trace {
             id: TraceId(1),
-            spans: vec![span(1, 0, None, true), span(1, 1, Some(0), true), span(1, 2, Some(0), false)],
+            spans: vec![
+                span(1, 0, None, true),
+                span(1, 1, Some(0), true),
+                span(1, 2, Some(0), false),
+            ],
         };
         assert_eq!(t.root().span, SpanId(0));
         assert_eq!(t.response_time().as_millis(), 10);

@@ -101,7 +101,13 @@ impl ArrivalProcess {
                 acc
             })
             .collect();
-        ArrivalProcess { workload, group_bases, cumulative_entry_weights, rng: SplitMix64::new(seed), now: start }
+        ArrivalProcess {
+            workload,
+            group_bases,
+            cumulative_entry_weights,
+            rng: SplitMix64::new(seed),
+            now: start,
+        }
     }
 
     /// The next arrival (advances virtual time).
@@ -254,11 +260,8 @@ mod tests {
     #[test]
     #[should_panic(expected = "at least one entry point")]
     fn empty_entries_panics() {
-        let w = Workload {
-            population: Population::single("all", 10),
-            rate_rps: 1.0,
-            entries: vec![],
-        };
+        let w =
+            Workload { population: Population::single("all", 10), rate_rps: 1.0, entries: vec![] };
         ArrivalProcess::new(w, SimTime::ZERO, 1);
     }
 }

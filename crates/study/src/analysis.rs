@@ -45,8 +45,7 @@ pub fn independence_test(table: &[Vec<u64>]) -> Option<IndependenceTest> {
     let col_totals: Vec<f64> =
         (0..cols).map(|c| table.iter().map(|r| r[c]).sum::<u64>() as f64).collect();
     let grand: f64 = row_totals.iter().sum();
-    if grand == 0.0 || row_totals.iter().any(|t| *t == 0.0) || col_totals.iter().any(|t| *t == 0.0)
-    {
+    if grand == 0.0 || row_totals.contains(&0.0) || col_totals.contains(&0.0) {
         return None;
     }
     let mut chi2 = 0.0;

@@ -147,8 +147,7 @@ mod tests {
         // Experimenter subgroup sizes implied by Table 2.6 must reproduce
         // Table 2.2's column headers (Web 38, other 32, startup 8, SME 43,
         // corp 19) — the consistency the paper's own data exhibits.
-        let adopters =
-            |web: f64, n: usize| -> f64 { (100.0 - web) / 100.0 * n as f64 };
+        let adopters = |web: f64, n: usize| -> f64 { (100.0 - web) / 100.0 * n as f64 };
         let none = &REGRESSION_USAGE[2].1;
         assert_eq!(adopters(none.web, 105).round() as i64, 38);
         assert_eq!(adopters(none.other, 82).round() as i64, 32);

@@ -9,7 +9,7 @@
 //! aggregation pipeline reproduces the paper's tables within rounding.
 
 use crate::data::{self, Targets};
-use crate::model::{AppType, CompanySize, Experience, HandoffPhase, Respondent, RegressionUsage};
+use crate::model::{AppType, CompanySize, Experience, HandoffPhase, RegressionUsage, Respondent};
 
 /// One demographic cell.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -113,9 +113,9 @@ pub fn cohort() -> Vec<Respondent> {
         let handoff_counts = largest_remainder(&handoff_weights, cell.count);
 
         // A/B usage quota.
-        let ab_count =
-            (cell_percent(&data::AB_USAGE, cell.app, cell.size) / 100.0 * cell.count as f64).round()
-                as usize;
+        let ab_count = (cell_percent(&data::AB_USAGE, cell.app, cell.size) / 100.0
+            * cell.count as f64)
+            .round() as usize;
 
         let mut usage_seq: Vec<RegressionUsage> = Vec::with_capacity(cell.count);
         for (i, (usage, _)) in data::REGRESSION_USAGE.iter().enumerate() {

@@ -185,8 +185,8 @@ pub fn matrix() -> Vec<(InterviewPractice, Vec<Usage>)> {
         (
             InterviewPractice::DevOnCall,
             vec![
-                Yes, Yes, Yes, Yes, Yes, Yes, Yes, Yes, Yes, Yes, Yes, Yes, Yes, Yes, Yes, Yes,
-                No, Yes, Yes, Yes, Yes, Yes, Yes, Yes, Yes, No, Yes, No, No, No, No,
+                Yes, Yes, Yes, Yes, Yes, Yes, Yes, Yes, Yes, Yes, Yes, Yes, Yes, Yes, Yes, Yes, No,
+                Yes, Yes, Yes, Yes, Yes, Yes, Yes, Yes, No, Yes, No, No, No, No,
             ],
         ),
         (
@@ -282,13 +282,7 @@ mod tests {
         // than business-driven" among interviewees.
         let m = matrix();
         let count = |p: InterviewPractice| {
-            m.iter()
-                .find(|(q, _)| *q == p)
-                .unwrap()
-                .1
-                .iter()
-                .filter(|u| **u == Usage::Yes)
-                .count()
+            m.iter().find(|(q, _)| *q == p).unwrap().1.iter().filter(|u| **u == Usage::Yes).count()
         };
         assert!(
             count(InterviewPractice::RegressionDrivenExperiments)

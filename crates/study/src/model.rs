@@ -76,7 +76,12 @@ pub enum Experience {
 impl Experience {
     /// All brackets.
     pub fn all() -> [Experience; 4] {
-        [Experience::UpToTwo, Experience::ThreeToFive, Experience::SixToTen, Experience::MoreThanTen]
+        [
+            Experience::UpToTwo,
+            Experience::ThreeToFive,
+            Experience::SixToTen,
+            Experience::MoreThanTen,
+        ]
     }
 
     /// Row label.

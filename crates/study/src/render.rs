@@ -6,8 +6,7 @@ use std::fmt::Write as _;
 
 /// Renders a cross-tabulation as an aligned text table (percentages).
 pub fn render_table(table: &Table) -> String {
-    let label_width =
-        table.rows.iter().map(|(l, _)| l.len()).max().unwrap_or(0).max("row".len());
+    let label_width = table.rows.iter().map(|(l, _)| l.len()).max().unwrap_or(0).max("row".len());
     let mut out = String::new();
     let _ = writeln!(out, "{}", table.title);
     let _ = write!(out, "{:label_width$}", "");

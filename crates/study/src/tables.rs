@@ -7,7 +7,7 @@
 
 use crate::model::{
     AppType, CompanySize, Detection, Experience, HandoffPhase, ReasonBusiness, ReasonRegression,
-    Respondent, RegressionUsage, Technique,
+    RegressionUsage, Respondent, Technique,
 };
 
 /// Column labels in paper order.
@@ -56,13 +56,17 @@ fn percent(count: usize, total: usize) -> f64 {
     }
 }
 
+/// A row predicate: does this respondent belong to the labelled bucket?
+type RowPredicate<'a> = Box<dyn Fn(&Respondent) -> bool + 'a>;
+
 fn tabulate<'a, L: ToString>(
     title: &str,
     population: &[&'a Respondent],
-    rows: &[(L, Box<dyn Fn(&Respondent) -> bool + 'a>)],
+    rows: &[(L, RowPredicate<'a>)],
 ) -> Table {
     let cols = columns(population);
-    let n = [cols[0].len(), cols[1].len(), cols[2].len(), cols[3].len(), cols[4].len(), cols[5].len()];
+    let n =
+        [cols[0].len(), cols[1].len(), cols[2].len(), cols[3].len(), cols[4].len(), cols[5].len()];
     let rows = rows
         .iter()
         .map(|(label, pred)| {
@@ -80,7 +84,7 @@ fn tabulate<'a, L: ToString>(
 /// through `n` and the rows carry percentages of the whole cohort).
 pub fn figure_2_3(respondents: &[Respondent]) -> Table {
     let population: Vec<&Respondent> = respondents.iter().collect();
-    let rows: Vec<(String, Box<dyn Fn(&Respondent) -> bool>)> = Experience::all()
+    let rows: Vec<(String, RowPredicate<'static>)> = Experience::all()
         .into_iter()
         .map(|bracket| {
             (
@@ -138,8 +142,7 @@ pub fn table_2_4(respondents: &[Respondent]) -> Table {
     let row = |label: &str, phase: HandoffPhase| {
         (
             label.to_string(),
-            Box::new(move |r: &Respondent| r.handoff == phase)
-                as Box<dyn Fn(&Respondent) -> bool>,
+            Box::new(move |r: &Respondent| r.handoff == phase) as Box<dyn Fn(&Respondent) -> bool>,
         )
     };
     let rows = vec![
@@ -236,17 +239,16 @@ mod tests {
     /// the tolerance budget (rounding + the additive-margin model).
     fn assert_close(table: &Table, targets: &[(&str, Targets)], tol_all: f64, tol_sub: f64) {
         for (label, target) in targets {
-            for col in 0..6 {
+            for (col, column) in COLUMNS.iter().enumerate() {
                 let tol = if col == 0 { tol_all } else { tol_sub };
-                let measured = table.cell(label, COLUMNS[col]).unwrap_or_else(|| {
-                    panic!("table {} missing row {label}", table.title)
-                });
+                let measured = table
+                    .cell(label, column)
+                    .unwrap_or_else(|| panic!("table {} missing row {label}", table.title));
                 let expected = column_value(target, col);
                 assert!(
                     (measured - expected).abs() <= tol,
-                    "{} row '{label}' col {}: paper {expected}%, measured {measured:.1}%",
+                    "{} row '{label}' col {column}: paper {expected}%, measured {measured:.1}%",
                     table.title,
-                    COLUMNS[col]
                 );
             }
         }

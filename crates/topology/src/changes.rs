@@ -128,12 +128,8 @@ pub fn classify(diff: &TopologicalDiff) -> Vec<Change> {
     let mut changes = Vec::new();
 
     // Endpoints the baseline knew (version-agnostic).
-    let baseline_endpoints: std::collections::HashSet<(String, String)> = diff
-        .nodes
-        .iter()
-        .filter(|n| n.baseline.is_some())
-        .map(|n| n.key.unversioned())
-        .collect();
+    let baseline_endpoints: std::collections::HashSet<(String, String)> =
+        diff.nodes.iter().filter(|n| n.baseline.is_some()).map(|n| n.key.unversioned()).collect();
 
     for a in added {
         let edge = &diff.edges[a];

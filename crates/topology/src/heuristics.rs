@@ -59,43 +59,43 @@ pub struct SubtreeComplexity {
 
 impl Heuristic for SubtreeComplexity {
     fn name(&self) -> String {
-        if self.change_weighted { "subtree(weighted)".into() } else { "subtree(plain)".into() }
+        if self.change_weighted {
+            "subtree(weighted)".into()
+        } else {
+            "subtree(plain)".into()
+        }
     }
 
     fn score_all(&self, ctx: &AnalysisContext<'_>, changes: &[Change]) -> Vec<f64> {
         // Which (service, version, endpoint) keys changed, for weighting.
-        let changed_keys: std::collections::HashSet<&crate::graph::NodeKey> = ctx
-            .diff
-            .nodes
-            .iter()
-            .filter(|n| n.status != Status::Common)
-            .map(|n| &n.key)
-            .collect();
+        let changed_keys: std::collections::HashSet<&crate::graph::NodeKey> =
+            ctx.diff.nodes.iter().filter(|n| n.status != Status::Common).map(|n| &n.key).collect();
         changes
             .iter()
             .map(|change| {
                 // Removals live only in the baseline graph.
                 let (graph, node) = locate_callee(ctx, change);
-                let complexity = match node {
-                    Some(idx) => {
-                        if self.change_weighted {
-                            graph
-                                .subtree(idx)
-                                .iter()
-                                .map(|n| {
-                                    if changed_keys.contains(graph.key(*n)) {
-                                        2.0
-                                    } else {
-                                        1.0
-                                    }
-                                })
-                                .sum::<f64>()
-                        } else {
-                            graph.subtree_size(idx) as f64
+                let complexity =
+                    match node {
+                        Some(idx) => {
+                            if self.change_weighted {
+                                graph
+                                    .subtree(idx)
+                                    .iter()
+                                    .map(|n| {
+                                        if changed_keys.contains(graph.key(*n)) {
+                                            2.0
+                                        } else {
+                                            1.0
+                                        }
+                                    })
+                                    .sum::<f64>()
+                            } else {
+                                graph.subtree_size(idx) as f64
+                            }
                         }
-                    }
-                    None => 1.0,
-                };
+                        None => 1.0,
+                    };
                 change.kind.uncertainty().value() * complexity
             })
             .collect()
@@ -161,7 +161,11 @@ impl ResponseTimeAnalysis {
 
 impl Heuristic for ResponseTimeAnalysis {
     fn name(&self) -> String {
-        if self.cascade_discount { "rt(root-cause)".into() } else { "rt(direct)".into() }
+        if self.cascade_discount {
+            "rt(root-cause)".into()
+        } else {
+            "rt(direct)".into()
+        }
     }
 
     fn score_all(&self, ctx: &AnalysisContext<'_>, changes: &[Change]) -> Vec<f64> {
@@ -182,13 +186,10 @@ impl Heuristic for ResponseTimeAnalysis {
         changes
             .iter()
             .map(|change| {
-                let node = ctx
-                    .experimental
-                    .node(&change.callee)
-                    .or_else(|| {
-                        ctx.experimental
-                            .find_unversioned(&change.callee.service, &change.callee.endpoint)
-                    });
+                let node = ctx.experimental.node(&change.callee).or_else(|| {
+                    ctx.experimental
+                        .find_unversioned(&change.callee.service, &change.callee.endpoint)
+                });
                 let evidence = match node {
                     Some(idx) => {
                         let own = Self::degradation(ctx, idx, mean_rt, &mut cache);
@@ -252,9 +253,7 @@ fn normalize(mut scores: Vec<f64>) -> Vec<f64> {
     let max = scores.iter().fold(f64::NEG_INFINITY, |a, b| a.max(*b));
     let min = scores.iter().fold(f64::INFINITY, |a, b| a.min(*b));
     if !max.is_finite() || !min.is_finite() || (max - min).abs() < f64::EPSILON {
-        for s in &mut scores {
-            *s = 0.0;
-        }
+        scores.fill(0.0);
         return scores;
     }
     for s in &mut scores {
@@ -376,7 +375,8 @@ mod tests {
         let a_idx = changes.iter().position(|c| c.callee.service == "a").unwrap();
         let b_idx = changes.iter().position(|c| c.callee.service == "b").unwrap();
         for cascade in [false, true] {
-            let scores = ResponseTimeAnalysis { cascade_discount: cascade }.score_all(&ctx, &changes);
+            let scores =
+                ResponseTimeAnalysis { cascade_discount: cascade }.score_all(&ctx, &changes);
             assert!(scores[a_idx] > scores[b_idx], "cascade={cascade}: {scores:?}");
         }
     }
@@ -444,7 +444,8 @@ mod tests {
         assert!(scores.iter().all(|s| (0.0..=1.0).contains(s)), "{scores:?}");
         // Pure structure (alpha=1) equals normalized subtree scores.
         let pure = Hybrid { alpha: 1.0, ..hybrid(0.5) };
-        let s_scores = normalize(SubtreeComplexity { change_weighted: true }.score_all(&ctx, &changes));
+        let s_scores =
+            normalize(SubtreeComplexity { change_weighted: true }.score_all(&ctx, &changes));
         let p_scores = pure.score_all(&ctx, &changes);
         for (a, b) in s_scores.iter().zip(&p_scores) {
             assert!((a - b).abs() < 1e-12);

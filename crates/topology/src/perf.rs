@@ -62,9 +62,8 @@ pub fn generate_pair(params: &PerfParams, seed: u64) -> (InteractionGraph, Inter
 
     // Intermediate edge list over (service, endpoint) pairs.
     let layer_of = |svc: usize| svc % params.layers;
-    let services_in_layer: Vec<Vec<usize>> = (0..params.layers)
-        .map(|l| (0..services).filter(|s| layer_of(*s) == l).collect())
-        .collect();
+    let services_in_layer: Vec<Vec<usize>> =
+        (0..params.layers).map(|l| (0..services).filter(|s| layer_of(*s) == l).collect()).collect();
 
     let mut edges: Vec<((usize, usize), (usize, usize))> = Vec::new();
     for svc in 0..services {
@@ -97,9 +96,8 @@ pub fn generate_pair(params: &PerfParams, seed: u64) -> (InteractionGraph, Inter
         changed[0] = true;
     }
     let changed_count = changed.iter().filter(|c| **c).count();
-    let new_services = (changed_count * params.endpoints_per_service / 200).max(
-        if changed_count > 0 { 1 } else { 0 },
-    );
+    let new_services = (changed_count * params.endpoints_per_service / 200)
+        .max(if changed_count > 0 { 1 } else { 0 });
 
     let emit = |experimental: bool, rng: &mut SplitMix64| -> InteractionGraph {
         let mut g = InteractionGraph::new();

@@ -47,11 +47,7 @@ pub fn rank(heuristic: &dyn Heuristic, ctx: &AnalysisContext<'_>, changes: &[Cha
 /// Panics when `relevance.len()` differs from the number of ranked
 /// changes.
 pub fn ndcg_at(ranking: &Ranking, relevance: &[f64], k: usize) -> f64 {
-    assert_eq!(
-        relevance.len(),
-        ranking.scores.len(),
-        "relevance labels must align with changes"
-    );
+    assert_eq!(relevance.len(), ranking.scores.len(), "relevance labels must align with changes");
     let dcg: f64 = ranking
         .top(k)
         .iter()

@@ -61,13 +61,7 @@ pub fn render_ranking(ranking: &Ranking, changes: &[Change], top: usize) -> Stri
     let mut out = String::new();
     let _ = writeln!(out, "ranked changes (top {}):", top.min(changes.len()));
     for (pos, idx) in ranking.top(top).iter().enumerate() {
-        let _ = writeln!(
-            out,
-            "{:>3}. [{:>5.2}] {}",
-            pos + 1,
-            ranking.scores[*idx],
-            changes[*idx]
-        );
+        let _ = writeln!(out, "{:>3}. [{:>5.2}] {}", pos + 1, ranking.scores[*idx], changes[*idx]);
     }
     out
 }
@@ -95,7 +89,11 @@ pub fn to_text(diff: &TopologicalDiff) -> String {
                 Status::Removed => '-',
                 Status::Common => '=',
             };
-            let _ = writeln!(out, "  {marker} {}@{}/{}", node.key.service, node.key.version, node.key.endpoint);
+            let _ = writeln!(
+                out,
+                "  {marker} {}@{}/{}",
+                node.key.service, node.key.version, node.key.endpoint
+            );
             for edge in diff.edges.iter().filter(|e| e.from == i) {
                 let em = match edge.status {
                     Status::Added => '+',

@@ -15,12 +15,12 @@ use crate::diff::TopologicalDiff;
 use crate::graph::InteractionGraph;
 use crate::heuristics::AnalysisContext;
 use cex_core::simtime::SimDuration;
+use cex_core::users::Population;
 use microsim::app::{Application, CallDef, EndpointDef, VersionSpec};
 use microsim::latency::LatencyModel;
 use microsim::sim::Simulation;
 use microsim::topologies;
 use microsim::workload::{EntryPoint, Workload};
-use cex_core::users::Population;
 
 /// A complete evaluation scenario: both graphs, their diff, the
 /// classified changes, and graded relevance labels.
@@ -43,7 +43,11 @@ pub struct Scenario {
 impl Scenario {
     /// The analysis context for heuristics.
     pub fn analysis(&self) -> AnalysisContext<'_> {
-        AnalysisContext { baseline: &self.baseline, experimental: &self.experimental, diff: &self.diff }
+        AnalysisContext {
+            baseline: &self.baseline,
+            experimental: &self.experimental,
+            diff: &self.diff,
+        }
     }
 }
 
@@ -124,11 +128,8 @@ pub fn scenario_1(degraded: bool, seed: u64) -> Scenario {
             ),
     )
     .expect("catalog bump deploys");
-    let experimental_graph = trace_variant(
-        app,
-        &[("recommendation", rec_version), ("catalog", "1.0.1")],
-        seed ^ 0x51,
-    );
+    let experimental_graph =
+        trace_variant(app, &[("recommendation", rec_version), ("catalog", "1.0.1")], seed ^ 0x51);
 
     assemble(
         format!("scenario-1/{}", if degraded { "degraded" } else { "healthy" }),
@@ -205,11 +206,8 @@ pub fn scenario_2(degraded: bool, seed: u64) -> Scenario {
     )
     .expect("shipping bump deploys");
 
-    let experimental_graph = trace_variant(
-        app,
-        &[("frontend", "1.1.0"), ("shipping", "1.0.1")],
-        seed ^ 0x52,
-    );
+    let experimental_graph =
+        trace_variant(app, &[("frontend", "1.1.0"), ("shipping", "1.0.1")], seed ^ 0x52);
 
     assemble(
         format!("scenario-2/{}", if degraded { "degraded" } else { "healthy" }),
@@ -220,9 +218,10 @@ pub fn scenario_2(degraded: bool, seed: u64) -> Scenario {
                 3.0
             } else if change.callee.service == "reviews" {
                 2.0
-            } else if change.callee.service == "shipping" || change.caller.service == "shipping" {
-                1.0
-            } else if change.caller.service == "frontend" {
+            } else if change.callee.service == "shipping"
+                || change.caller.service == "shipping"
+                || change.caller.service == "frontend"
+            {
                 1.0
             } else {
                 0.0
@@ -244,15 +243,16 @@ mod tests {
         // The recommendation update must surface as a callee/both version
         // update or as calls from the new recommendation version.
         assert!(
-            s.changes.iter().any(|c| c.callee.service == "recommendation"
-                && !c.kind.is_fundamental()),
+            s.changes
+                .iter()
+                .any(|c| c.callee.service == "recommendation" && !c.kind.is_fundamental()),
             "{:?}",
             s.changes
         );
         // The catalog bump surfaces too.
         assert!(s.changes.iter().any(|c| c.callee.service == "catalog"));
         // And the top relevance is assigned.
-        assert!(s.relevance.iter().any(|r| *r == 3.0));
+        assert!(s.relevance.contains(&3.0));
     }
 
     #[test]

@@ -87,7 +87,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     };
 
     let mut sim = Simulation::new(app, 2026);
-    let report = Engine::default().execute(&mut sim, &strategies, &workload, SimDuration::from_hours(2))?;
+    let report =
+        Engine::default().execute(&mut sim, &strategies, &workload, SimDuration::from_hours(2))?;
 
     let completed = report.statuses.iter().filter(|(_, s)| *s == StrategyStatus::Completed).count();
     let rolled_back: Vec<&str> = report

@@ -11,6 +11,7 @@
 //!
 //! Run with `cargo run --example quickstart`.
 
+use cex_core::experiment::ExperimentId;
 use continuous_experimentation::bifrost::dsl;
 use continuous_experimentation::bifrost::engine::Engine;
 use continuous_experimentation::core::simtime::SimDuration;
@@ -26,7 +27,6 @@ use continuous_experimentation::topology::changes::classify;
 use continuous_experimentation::topology::diff::TopologicalDiff;
 use continuous_experimentation::topology::heuristics::{self, AnalysisContext};
 use continuous_experimentation::topology::rank::rank;
-use cex_core::experiment::ExperimentId;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // ------------------------------------------------------------------
@@ -80,7 +80,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             }
         }"#,
     )?;
-    let report = Engine::default().execute(&mut sim, &[strategy], &workload, SimDuration::from_mins(20))?;
+    let report =
+        Engine::default().execute(&mut sim, &[strategy], &workload, SimDuration::from_mins(20))?;
     println!(
         "   strategy '{}' finished: {:?} ({} checks evaluated)",
         report.statuses[0].0, report.statuses[0].1, report.check_evaluations

@@ -10,13 +10,13 @@
 //!
 //! Run with `cargo run --example release_train`.
 
+use cex_core::experiment::ExperimentId;
 use continuous_experimentation::fenrir::ga::GeneticAlgorithm;
 use continuous_experimentation::fenrir::gantt::{self, GanttOptions};
 use continuous_experimentation::fenrir::generator::{ProblemGenerator, SampleSizeTier};
 use continuous_experimentation::fenrir::problem::ExperimentRequest;
 use continuous_experimentation::fenrir::reevaluate::{reevaluate, ScheduleUpdate};
 use continuous_experimentation::fenrir::runner::{Budget, Scheduler};
-use cex_core::experiment::ExperimentId;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 20 experiments, medium sample sizes, four-week hourly horizon.
@@ -38,7 +38,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         result.best.makespan()
     );
     print!("{}", gantt::render(&problem, &result.best, GanttOptions { width: 68, details: false }));
-    println!("\n{:<8} {:>12} {}", "exp", "samples", "plan");
+    println!("\n{:<8} {:>12} plan", "exp", "samples");
     for i in 0..problem.len() {
         let id = ExperimentId(i);
         println!(
@@ -66,7 +66,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         added,
     };
     let re = reevaluate(&problem, &result.best, &update, 9)?;
-    let warm = ga.schedule_from(&re.problem, Budget::evaluations(6_000), 2, Some(re.seed_schedule.clone()));
+    let warm = ga.schedule_from(
+        &re.problem,
+        Budget::evaluations(6_000),
+        2,
+        Some(re.seed_schedule.clone()),
+    );
     println!(
         "reevaluated {} experiments: fitness {:.3}, valid: {}",
         re.problem.len(),

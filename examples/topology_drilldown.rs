@@ -27,8 +27,7 @@ fn main() {
         scenario.diff.edges.len(),
         (scenario.diff.change_fraction() * 100.0).round()
     );
-    for (label, status) in
-        [("added   (green)", Status::Added), ("removed  (red)", Status::Removed)]
+    for (label, status) in [("added   (green)", Status::Added), ("removed  (red)", Status::Removed)]
     {
         let nodes: Vec<String> =
             scenario.diff.nodes_with(status).map(|(_, n)| n.key.to_string()).collect();
@@ -39,10 +38,7 @@ fn main() {
     println!("\nidentified changes ({}):", scenario.changes.len());
     for change in &scenario.changes {
         let family = if change.kind.is_fundamental() { "fundamental" } else { "composed" };
-        println!(
-            "  [{family:>11}] {change}  (uncertainty {})",
-            change.kind.uncertainty()
-        );
+        println!("  [{family:>11}] {change}  (uncertainty {})", change.kind.uncertainty());
     }
     assert!(scenario.changes.iter().any(|c| c.kind == ChangeType::CallingNewEndpoint));
     assert!(scenario.changes.iter().any(|c| c.kind == ChangeType::RemovingServiceCall));

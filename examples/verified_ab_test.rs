@@ -62,7 +62,7 @@ fn run(label: &str, candidate_conversion: f64) -> Result<(), Box<dyn std::error:
     let strategy = dsl::parse(STRATEGY)?;
 
     // Pre-launch verification.
-    let issues = verify(&app, &[strategy.clone()]);
+    let issues = verify(&app, std::slice::from_ref(&strategy));
     for issue in &issues {
         println!("  verifier: [{:?}] {issue}", issue.severity());
     }
@@ -70,7 +70,8 @@ fn run(label: &str, candidate_conversion: f64) -> Result<(), Box<dyn std::error:
 
     let wl = Workload::simple(app.service_id("checkout")?, "pay", 40.0);
     let mut sim = Simulation::new(app, 77);
-    let report = Engine::default().execute(&mut sim, &[strategy], &wl, SimDuration::from_hours(4))?;
+    let report =
+        Engine::default().execute(&mut sim, &[strategy], &wl, SimDuration::from_hours(4))?;
     let status = &report.statuses[0].1;
     println!(
         "  {label}: candidate converts at {:.1}% vs baseline 2.0% -> {:?} \

@@ -64,9 +64,8 @@ fn plan_execute_assess_pipeline() {
         }"#,
     )
     .unwrap();
-    let report = Engine::default()
-        .execute(&mut sim, &[strategy], &wl, SimDuration::from_mins(15))
-        .unwrap();
+    let report =
+        Engine::default().execute(&mut sim, &[strategy], &wl, SimDuration::from_mins(15)).unwrap();
     assert_eq!(report.statuses[0].1, StrategyStatus::Completed);
 
     // --- Assess ----------------------------------------------------------
@@ -78,8 +77,9 @@ fn plan_execute_assess_pipeline() {
     let changes = classify(&diff);
     assert!(!changes.is_empty());
     assert!(
-        changes.iter().any(|c| c.callee.service == "recommendation"
-            || c.caller.service == "recommendation"),
+        changes
+            .iter()
+            .any(|c| c.callee.service == "recommendation" || c.caller.service == "recommendation"),
         "the recommendation change must be identified: {changes:?}"
     );
     let ctx = AnalysisContext { baseline: &baseline, experimental: &experimental, diff: &diff };
@@ -105,15 +105,16 @@ fn broken_candidate_rolls_back_and_topology_flags_it() {
         }"#,
     )
     .unwrap();
-    let report = Engine::default()
-        .execute(&mut sim, &[strategy], &wl, SimDuration::from_mins(20))
-        .unwrap();
+    let report =
+        Engine::default().execute(&mut sim, &[strategy], &wl, SimDuration::from_mins(20)).unwrap();
     assert_eq!(report.statuses[0].1, StrategyStatus::RolledBack);
 
     // After rollback nobody is routed to the broken version any more.
-    let before = sim.store().count("recommendation@1.1.1", cex_core::metrics::MetricKind::ResponseTime);
+    let before =
+        sim.store().count("recommendation@1.1.1", cex_core::metrics::MetricKind::ResponseTime);
     sim.run_with(SimDuration::from_mins(1), &wl);
-    let after = sim.store().count("recommendation@1.1.1", cex_core::metrics::MetricKind::ResponseTime);
+    let after =
+        sim.store().count("recommendation@1.1.1", cex_core::metrics::MetricKind::ResponseTime);
     assert_eq!(before, after, "no new traffic on the rolled-back version");
 }
 
@@ -140,8 +141,7 @@ fn scheduled_experiments_feed_the_engine() {
         }}"#
     ))
     .unwrap();
-    let report = Engine::default()
-        .execute(&mut sim, &[strategy], &wl, SimDuration::from_mins(10))
-        .unwrap();
+    let report =
+        Engine::default().execute(&mut sim, &[strategy], &wl, SimDuration::from_mins(10)).unwrap();
     assert!(report.all_terminal());
 }

@@ -116,9 +116,8 @@ fn latency_spike_fails_relative_checks() {
         }"#,
     )
     .unwrap();
-    let report = Engine::default()
-        .execute(&mut sim, &[strategy], &wl, SimDuration::from_mins(30))
-        .unwrap();
+    let report =
+        Engine::default().execute(&mut sim, &[strategy], &wl, SimDuration::from_mins(30)).unwrap();
     assert_eq!(report.statuses[0].1, StrategyStatus::RolledBack);
 }
 

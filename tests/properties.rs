@@ -284,10 +284,7 @@ fn routing_weights_are_conserved() {
         assert_eq!(counts.iter().sum::<u64>(), n, "case {case}: every user routed exactly once");
         for (count, weight) in counts.iter().zip(&weights) {
             let share = *count as f64 / n as f64;
-            assert!(
-                (share - weight).abs() < 0.02,
-                "case {case}: share {share} vs weight {weight}"
-            );
+            assert!((share - weight).abs() < 0.02, "case {case}: share {share} vs weight {weight}");
         }
     });
 }
@@ -311,8 +308,8 @@ fn monitor_windows_compose() {
         let left = store.summary_between("s", MetricKind::Throughput, t(0), t(cut));
         let right = store.summary_between("s", MetricKind::Throughput, t(cut), t(values.len()));
         assert_eq!(whole.count, left.count + right.count, "case {case}");
-        let merged_mean = (left.mean * left.count as f64 + right.mean * right.count as f64)
-            / whole.count as f64;
+        let merged_mean =
+            (left.mean * left.count as f64 + right.mean * right.count as f64) / whole.count as f64;
         assert!((whole.mean - merged_mean).abs() < 1e-9, "case {case}");
     });
 }
