@@ -38,14 +38,9 @@ pub fn fmt_duration(d: Duration) -> String {
 /// Five-number summary (min, q1, median, q3, max) for boxplot-style rows.
 pub fn five_number(values: &mut [f64]) -> (f64, f64, f64, f64, f64) {
     assert!(!values.is_empty(), "five-number summary needs data");
-    values.sort_by(|a, b| a.partial_cmp(b).expect("finite values"));
-    let q = |p: f64| {
-        let pos = p * (values.len() - 1) as f64;
-        let lo = pos.floor() as usize;
-        let hi = pos.ceil() as usize;
-        values[lo] + (values[hi] - values[lo]) * (pos - lo as f64)
-    };
-    (values[0], q(0.25), q(0.5), q(0.75), values[values.len() - 1])
+    let qs = cex_core::metrics::quantiles(values, &[0.0, 0.25, 0.5, 0.75, 1.0])
+        .expect("non-empty input");
+    (qs[0], qs[1], qs[2], qs[3], qs[4])
 }
 
 /// Builds an application with `n` independent services, each deployed in a

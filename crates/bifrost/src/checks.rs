@@ -11,7 +11,7 @@ use crate::model::{Check, CheckScope, Comparator};
 use cex_core::metrics::Summary;
 use cex_core::simtime::SimTime;
 use cex_core::stats::welch_test;
-use microsim::monitor::MetricStore;
+use microsim::monitor::{MetricStore, ScopeId};
 
 /// Outcome of one check evaluation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -61,12 +61,39 @@ pub struct CheckObservation {
 }
 
 /// Where a strategy's metrics live in the store.
+///
+/// Built once per strategy via [`CheckContext::new`], which interns both
+/// scopes so every check evaluation reads through dense [`ScopeId`]s —
+/// no string hashing on the engine's per-tick read path. The ids are only
+/// valid against the store they were interned on; pass that same store to
+/// [`evaluate`].
 #[derive(Debug, Clone, PartialEq)]
 pub struct CheckContext {
     /// Scope of the candidate version (`service@version`).
     pub candidate_scope: String,
     /// Scope of the baseline version.
     pub baseline_scope: String,
+    candidate_id: ScopeId,
+    baseline_id: ScopeId,
+}
+
+impl CheckContext {
+    /// Creates a context, interning both scopes on `store`.
+    pub fn new(store: &MetricStore, candidate_scope: String, baseline_scope: String) -> Self {
+        let candidate_id = store.intern(&candidate_scope);
+        let baseline_id = store.intern(&baseline_scope);
+        CheckContext { candidate_scope, baseline_scope, candidate_id, baseline_id }
+    }
+
+    /// Interned id of the candidate scope.
+    pub fn candidate_id(&self) -> ScopeId {
+        self.candidate_id
+    }
+
+    /// Interned id of the baseline scope.
+    pub fn baseline_id(&self) -> ScopeId {
+        self.baseline_id
+    }
 }
 
 /// Evaluates one check at `now` against the store.
@@ -89,11 +116,11 @@ pub fn evaluate_observed(
     now: SimTime,
 ) -> CheckObservation {
     match check.scope {
-        CheckScope::Candidate => absolute(check, store, &ctx.candidate_scope, now),
-        CheckScope::Baseline => absolute(check, store, &ctx.baseline_scope, now),
+        CheckScope::Candidate => absolute(check, store, ctx.candidate_id, now),
+        CheckScope::Baseline => absolute(check, store, ctx.baseline_id, now),
         CheckScope::CandidateVsBaseline => {
-            let cand = store.window_summary(&ctx.candidate_scope, check.metric, now, check.window);
-            let base = store.window_summary(&ctx.baseline_scope, check.metric, now, check.window);
+            let cand = store.window_summary_id(ctx.candidate_id, check.metric, now, check.window);
+            let base = store.window_summary_id(ctx.baseline_id, check.metric, now, check.window);
             let verdict = |result| CheckObservation { result, primary: cand, baseline: Some(base) };
             if cand.count < check.min_samples || base.count < check.min_samples {
                 return verdict(CheckResult::Inconclusive);
@@ -112,8 +139,8 @@ pub fn evaluate_observed(
             }
         }
         CheckScope::SignificantVsBaseline => {
-            let cand = store.window_summary(&ctx.candidate_scope, check.metric, now, check.window);
-            let base = store.window_summary(&ctx.baseline_scope, check.metric, now, check.window);
+            let cand = store.window_summary_id(ctx.candidate_id, check.metric, now, check.window);
+            let base = store.window_summary_id(ctx.baseline_id, check.metric, now, check.window);
             let verdict = |result| CheckObservation { result, primary: cand, baseline: Some(base) };
             if cand.count < check.min_samples || base.count < check.min_samples {
                 return verdict(CheckResult::Inconclusive);
@@ -147,8 +174,8 @@ pub fn evaluate_observed(
     }
 }
 
-fn absolute(check: &Check, store: &MetricStore, scope: &str, now: SimTime) -> CheckObservation {
-    let summary = store.window_summary(scope, check.metric, now, check.window);
+fn absolute(check: &Check, store: &MetricStore, scope: ScopeId, now: SimTime) -> CheckObservation {
+    let summary = store.window_summary_id(scope, check.metric, now, check.window);
     let result = if summary.count < check.min_samples {
         CheckResult::Inconclusive
     } else if check.comparator.holds(summary.mean, check.threshold) {
@@ -209,8 +236,8 @@ mod tests {
     use cex_core::metrics::MetricKind;
     use cex_core::simtime::SimDuration;
 
-    fn ctx() -> CheckContext {
-        CheckContext { candidate_scope: "svc@2".into(), baseline_scope: "svc@1".into() }
+    fn ctx(store: &MetricStore) -> CheckContext {
+        CheckContext::new(store, "svc@2".into(), "svc@1".into())
     }
 
     fn fill(store: &MetricStore, scope: &str, value: f64, n: u64) {
@@ -231,9 +258,9 @@ mod tests {
         let mut check = Check::candidate(MetricKind::ResponseTime, Comparator::Lt, 100.0);
         check.window = SimDuration::from_secs(10);
         let now = SimTime::from_secs(3);
-        assert_eq!(evaluate(&check, &ctx(), &store, now), CheckResult::Pass);
+        assert_eq!(evaluate(&check, &ctx(&store), &store, now), CheckResult::Pass);
         check.threshold = 10.0;
-        assert_eq!(evaluate(&check, &ctx(), &store, now), CheckResult::Fail);
+        assert_eq!(evaluate(&check, &ctx(&store), &store, now), CheckResult::Fail);
     }
 
     #[test]
@@ -242,7 +269,7 @@ mod tests {
         fill(&store, "svc@2", 50.0, 5);
         let check = Check::candidate(MetricKind::ResponseTime, Comparator::Lt, 100.0);
         assert_eq!(
-            evaluate(&check, &ctx(), &store, SimTime::from_secs(1)),
+            evaluate(&check, &ctx(&store), &store, SimTime::from_secs(1)),
             CheckResult::Inconclusive
         );
     }
@@ -256,9 +283,9 @@ mod tests {
         check.scope = CheckScope::CandidateVsBaseline;
         check.window = SimDuration::from_secs(10);
         let now = SimTime::from_secs(3);
-        assert_eq!(evaluate(&check, &ctx(), &store, now), CheckResult::Pass);
+        assert_eq!(evaluate(&check, &ctx(&store), &store, now), CheckResult::Pass);
         check.threshold = 1.1;
-        assert_eq!(evaluate(&check, &ctx(), &store, now), CheckResult::Fail);
+        assert_eq!(evaluate(&check, &ctx(&store), &store, now), CheckResult::Fail);
     }
 
     #[test]
@@ -269,7 +296,7 @@ mod tests {
         check.scope = CheckScope::CandidateVsBaseline;
         check.window = SimDuration::from_secs(10);
         assert_eq!(
-            evaluate(&check, &ctx(), &store, SimTime::from_secs(3)),
+            evaluate(&check, &ctx(&store), &store, SimTime::from_secs(3)),
             CheckResult::Inconclusive
         );
     }
@@ -283,7 +310,7 @@ mod tests {
         check.scope = CheckScope::CandidateVsBaseline;
         check.window = SimDuration::from_secs(10);
         assert_eq!(
-            evaluate(&check, &ctx(), &store, SimTime::from_secs(3)),
+            evaluate(&check, &ctx(&store), &store, SimTime::from_secs(3)),
             CheckResult::Inconclusive
         );
     }
@@ -301,14 +328,14 @@ mod tests {
         check.scope = CheckScope::CandidateVsBaseline;
         check.window = SimDuration::from_secs(10);
         assert_eq!(
-            evaluate(&check, &ctx(), &store, SimTime::from_secs(3)),
+            evaluate(&check, &ctx(&store), &store, SimTime::from_secs(3)),
             CheckResult::Inconclusive
         );
         // The flipped direction must not sneak through either.
         check.comparator = Comparator::Gt;
         check.threshold = -2.0;
         assert_eq!(
-            evaluate(&check, &ctx(), &store, SimTime::from_secs(3)),
+            evaluate(&check, &ctx(&store), &store, SimTime::from_secs(3)),
             CheckResult::Inconclusive
         );
     }
@@ -322,7 +349,7 @@ mod tests {
         check.scope = CheckScope::CandidateVsBaseline;
         check.window = SimDuration::from_secs(10);
         assert_eq!(
-            evaluate(&check, &ctx(), &store, SimTime::from_secs(3)),
+            evaluate(&check, &ctx(&store), &store, SimTime::from_secs(3)),
             CheckResult::Inconclusive
         );
     }
@@ -335,7 +362,7 @@ mod tests {
         let mut check = Check::candidate(MetricKind::ResponseTime, Comparator::Lt, 1.25);
         check.scope = CheckScope::CandidateVsBaseline;
         check.window = SimDuration::from_secs(10);
-        let obs = evaluate_observed(&check, &ctx(), &store, SimTime::from_secs(3));
+        let obs = evaluate_observed(&check, &ctx(&store), &store, SimTime::from_secs(3));
         assert_eq!(obs.result, CheckResult::Pass);
         assert_eq!(obs.primary.count, 30);
         assert!((obs.primary.mean - 120.0).abs() < 1e-12);
@@ -343,7 +370,7 @@ mod tests {
         assert!((base.mean - 100.0).abs() < 1e-12);
 
         check.scope = CheckScope::Candidate;
-        let obs = evaluate_observed(&check, &ctx(), &store, SimTime::from_secs(3));
+        let obs = evaluate_observed(&check, &ctx(&store), &store, SimTime::from_secs(3));
         assert_eq!(obs.baseline, None);
         assert!((obs.primary.mean - 120.0).abs() < 1e-12);
     }
@@ -363,7 +390,10 @@ mod tests {
         let mut check = Check::candidate(MetricKind::ResponseTime, Comparator::Lt, 100.0);
         check.scope = CheckScope::Baseline;
         check.window = SimDuration::from_secs(10);
-        assert_eq!(evaluate(&check, &ctx(), &store, SimTime::from_secs(3)), CheckResult::Fail);
+        assert_eq!(
+            evaluate(&check, &ctx(&store), &store, SimTime::from_secs(3)),
+            CheckResult::Fail
+        );
     }
 
     #[test]
@@ -392,10 +422,10 @@ mod tests {
         check.window = SimDuration::from_secs(10);
         check.min_samples = 100;
         let now = SimTime::from_secs(9);
-        assert_eq!(evaluate(&check, &ctx(), &store, now), CheckResult::Pass);
+        assert_eq!(evaluate(&check, &ctx(&store), &store, now), CheckResult::Pass);
         // The wrong direction is not significant.
         check.comparator = Comparator::Lt;
-        assert_eq!(evaluate(&check, &ctx(), &store, now), CheckResult::Fail);
+        assert_eq!(evaluate(&check, &ctx(&store), &store, now), CheckResult::Fail);
     }
 
     #[test]
@@ -424,7 +454,7 @@ mod tests {
         check.window = SimDuration::from_secs(10);
         check.min_samples = 100;
         assert_eq!(
-            evaluate(&check, &ctx(), &store, SimTime::from_secs(9)),
+            evaluate(&check, &ctx(&store), &store, SimTime::from_secs(9)),
             CheckResult::Inconclusive,
             "a null effect is neither shipped nor treated as harm"
         );
@@ -439,7 +469,7 @@ mod tests {
         check.scope = CheckScope::SignificantVsBaseline;
         check.window = SimDuration::from_secs(10);
         assert_eq!(
-            evaluate(&check, &ctx(), &store, SimTime::from_secs(3)),
+            evaluate(&check, &ctx(&store), &store, SimTime::from_secs(3)),
             CheckResult::Inconclusive
         );
     }

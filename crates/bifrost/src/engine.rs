@@ -26,11 +26,33 @@ use microsim::sim::Simulation;
 use microsim::workload::Workload;
 use std::time::{Duration, Instant};
 
+/// Retention policy for the live metric store during an execution.
+///
+/// The execution journal — not the store — is the long-term record of a
+/// run, so the store only needs to keep raw samples long enough for the
+/// trailing windows checks actually read. Older samples are compacted
+/// into their pre-aggregation buckets, bounding memory on
+/// million-request executions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Retention {
+    /// Derive the horizon from the strategies under execution: four times
+    /// the longest check window, and never less than five minutes. Checks
+    /// always read fully raw-backed (sample-exact) windows.
+    Auto,
+    /// Keep every raw sample forever (the pre-retention behaviour).
+    Unbounded,
+    /// A fixed horizon. Windows longer than it are answered at bucket
+    /// granularity, so it should exceed the longest check window.
+    Horizon(SimDuration),
+}
+
 /// Engine configuration.
 #[derive(Debug, Clone, PartialEq)]
 pub struct EngineConfig {
     /// Simulation advance per control-loop iteration.
     pub tick: SimDuration,
+    /// Metric-store retention applied for the duration of the execution.
+    pub retention: Retention,
     /// Bound on consecutive executions of one phase: the `max_retries`-th
     /// consecutive non-success outcome that would re-enter the phase rolls
     /// the strategy back instead (guards against endless retry loops). With
@@ -49,6 +71,7 @@ impl Default for EngineConfig {
     fn default() -> Self {
         EngineConfig {
             tick: SimDuration::from_secs(10),
+            retention: Retention::Auto,
             max_retries: 3,
             parallel_threshold: 256,
             workers: 4,
@@ -166,6 +189,28 @@ impl Engine {
         Engine { config }
     }
 
+    /// The raw-sample retention horizon this execution applies to the
+    /// store, per [`EngineConfig::retention`]. [`Retention::Auto`] leaves
+    /// generous slack past the longest check window so every live check
+    /// reads a fully raw-backed, sample-exact window.
+    fn retention_horizon(&self, strategies: &[Strategy]) -> Option<SimDuration> {
+        match self.config.retention {
+            Retention::Unbounded => None,
+            Retention::Horizon(d) => Some(d),
+            Retention::Auto => {
+                let longest = strategies
+                    .iter()
+                    .flat_map(|s| s.phases.iter())
+                    .flat_map(|p| p.checks.iter())
+                    .map(|c| c.window)
+                    .max()
+                    .unwrap_or(SimDuration::ZERO);
+                let quadrupled = SimDuration::from_millis(longest.as_millis().saturating_mul(4));
+                Some(quadrupled.max(SimDuration::from_mins(5)))
+            }
+        }
+    }
+
     /// Executes `strategies` against the simulated application under
     /// `workload` until every strategy terminates or `max_duration` of
     /// simulated time elapses.
@@ -220,16 +265,18 @@ impl Engine {
         }
         let started_wall = Instant::now();
         let started_sim = sim.now();
+        sim.store().set_retention(self.retention_horizon(strategies));
 
         // Bind, compile, enact phase 0 for every strategy.
         let mut runs = Vec::with_capacity(strategies.len());
         for strategy in strategies {
             let machine = StateMachine::compile(strategy)?;
             let binding = StrategyBinding::resolve(sim.app(), strategy)?;
-            let ctx = CheckContext {
-                candidate_scope: binding.candidate_scope(sim.app()),
-                baseline_scope: binding.baseline_scope(sim.app()),
-            };
+            let ctx = CheckContext::new(
+                sim.store(),
+                binding.candidate_scope(sim.app()),
+                binding.baseline_scope(sim.app()),
+            );
             let phase = &strategy.phases[0];
             let (rollout_percent, next_rollout_step) = rollout_init(&phase.kind, sim.now());
             let scheduler = CheckScheduler::new(&phase.checks, sim.now());
@@ -1046,6 +1093,72 @@ mod tests {
             candidate_counts.push(candidate_samples);
         }
         assert_eq!(candidate_counts, vec![0, 0, 0]);
+    }
+
+    #[test]
+    fn auto_retention_bounds_live_store_memory() {
+        // A long execution keeps only a bounded raw tail per series: the
+        // auto horizon (4× the longest 1m check window, floored at 5min)
+        // compacts older samples into buckets while logical counts keep
+        // growing.
+        let app = test_app(false);
+        let svc = app.service_id("svc").unwrap();
+        let wl = Workload::simple(svc, "api", 5.0);
+        let mut sim = Simulation::new(app, 3);
+        let strategy = dsl::parse(
+            r#"strategy "starved" {
+                service "svc" baseline "1.0.0" candidate "2.0.0"
+                phase "canary" canary 10% for 2m {
+                  check error_rate < 0.1 over 1m every 30s min_samples 1000000
+                  on success complete
+                  on failure rollback
+                  on inconclusive retry
+                }
+            }"#,
+        )
+        .unwrap();
+        Engine::new(EngineConfig { max_retries: 100, ..Default::default() })
+            .execute(&mut sim, &[strategy], &wl, SimDuration::from_mins(30))
+            .unwrap();
+        let store = sim.store();
+        assert_eq!(store.retention(), Some(SimDuration::from_mins(5)));
+        assert!(
+            (store.total_samples() as u64) < store.total_recorded(),
+            "raw tail ({}) stays below lifetime samples ({})",
+            store.total_samples(),
+            store.total_recorded()
+        );
+        // ~30 minutes of traffic recorded, at most ~5-and-change minutes
+        // of raw samples retained per series.
+        assert!(
+            (store.total_samples() as u64) < store.total_recorded() / 3,
+            "raw tail ({}) should be a fraction of lifetime samples ({})",
+            store.total_samples(),
+            store.total_recorded()
+        );
+        // Checks still read sample-exact windows: the horizon leaves the
+        // trailing minute fully raw-backed.
+        let s = store.window_summary(
+            "svc@1.0.0",
+            cex_core::metrics::MetricKind::ErrorRate,
+            sim.now(),
+            SimDuration::from_mins(1),
+        );
+        assert!(s.count > 0);
+    }
+
+    #[test]
+    fn unbounded_retention_keeps_every_raw_sample() {
+        let app = test_app(false);
+        let wl = workload(&app);
+        let mut sim = Simulation::new(app, 4);
+        let strategy = dsl::parse(strategy_src()).unwrap();
+        Engine::new(EngineConfig { retention: Retention::Unbounded, ..Default::default() })
+            .execute(&mut sim, &[strategy], &wl, SimDuration::from_mins(30))
+            .unwrap();
+        let store = sim.store();
+        assert_eq!(store.retention(), None);
+        assert_eq!(store.total_samples() as u64, store.total_recorded());
     }
 
     #[test]

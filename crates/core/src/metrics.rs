@@ -81,8 +81,9 @@ impl MetricKind {
         })
     }
 
-    /// All metric kinds, for exhaustive sweeps in tests and benches.
-    pub fn all() -> [MetricKind; 6] {
+    /// All metric kinds in discriminant order (`all()[k as usize] == k`),
+    /// for exhaustive sweeps and dense per-kind indexing.
+    pub const fn all() -> [MetricKind; 6] {
         [
             MetricKind::ResponseTime,
             MetricKind::ErrorRate,
@@ -270,9 +271,28 @@ impl fmt::Display for Summary {
     }
 }
 
+fn quantile_cmp(a: &f64, b: &f64) -> std::cmp::Ordering {
+    a.partial_cmp(b).expect("NaN in quantile input")
+}
+
+/// Linear interpolation between the order statistics of a sorted slice at
+/// `pos = q * (len - 1)`, the same estimator the paper's monitoring stack
+/// (and `numpy`) uses.
+fn interpolate_sorted(sorted: &[f64], q: f64) -> f64 {
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    let frac = pos - lo as f64;
+    sorted[lo] + (sorted[hi] - sorted[lo]) * frac
+}
+
 /// Returns the `q`-quantile (`0.0..=1.0`) of `values` using linear
 /// interpolation between order statistics, the same estimator the paper's
 /// monitoring stack (and `numpy`) uses.
+///
+/// Runs in O(n) via [`slice::select_nth_unstable_by`]-based selection
+/// rather than a full sort. For several quantiles of the same data use
+/// [`quantiles`], which sorts once and reuses the ordering.
 ///
 /// Returns `None` when `values` is empty.
 ///
@@ -284,13 +304,41 @@ pub fn quantile(values: &[f64], q: f64) -> Option<f64> {
     if values.is_empty() {
         return None;
     }
-    let mut sorted: Vec<f64> = values.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in quantile input"));
-    let pos = q * (sorted.len() - 1) as f64;
+    let mut scratch: Vec<f64> = values.to_vec();
+    let pos = q * (scratch.len() - 1) as f64;
     let lo = pos.floor() as usize;
-    let hi = pos.ceil() as usize;
     let frac = pos - lo as f64;
-    Some(sorted[lo] + (sorted[hi] - sorted[lo]) * frac)
+    // Selecting the `lo`-th order statistic partitions the scratch space:
+    // everything right of `lo` is >= it, so the next order statistic (the
+    // interpolation partner) is the minimum of the right partition.
+    let (_, lo_val, above) = scratch.select_nth_unstable_by(lo, quantile_cmp);
+    let lo_val = *lo_val;
+    if frac == 0.0 {
+        return Some(lo_val);
+    }
+    let hi_val = above.iter().copied().min_by(quantile_cmp).expect("hi order statistic in bounds");
+    Some(lo_val + (hi_val - lo_val) * frac)
+}
+
+/// Returns the quantiles at each `q` in `qs` (`0.0..=1.0`), sorting the
+/// data once and reusing the ordering across all of them — cheaper than
+/// repeated [`quantile`] calls from three quantiles up.
+///
+/// Returns `None` when `values` is empty.
+///
+/// # Panics
+///
+/// Panics if any `q` is outside `0.0..=1.0` or any value is NaN.
+pub fn quantiles(values: &[f64], qs: &[f64]) -> Option<Vec<f64>> {
+    for q in qs {
+        assert!((0.0..=1.0).contains(q), "quantile must be in 0.0..=1.0");
+    }
+    if values.is_empty() {
+        return None;
+    }
+    let mut sorted: Vec<f64> = values.to_vec();
+    sorted.sort_unstable_by(quantile_cmp);
+    Some(qs.iter().map(|&q| interpolate_sorted(&sorted, q)).collect())
 }
 
 #[cfg(test)]
@@ -304,6 +352,14 @@ mod tests {
             assert_eq!(MetricKind::from_name(kind.name()), Some(kind));
         }
         assert!(MetricKind::from_name("latency").is_none());
+    }
+
+    #[test]
+    fn all_is_in_discriminant_order() {
+        // Dense per-kind indexing (microsim's SampleBatch) relies on this.
+        for (i, kind) in MetricKind::all().into_iter().enumerate() {
+            assert_eq!(kind as usize, i);
+        }
     }
 
     #[test]
@@ -381,6 +437,77 @@ mod tests {
         assert_eq!(quantile(&values, 1.0), Some(4.0));
         assert_eq!(quantile(&values, 0.5), Some(2.5));
         assert_eq!(quantile(&[], 0.5), None);
+    }
+
+    #[test]
+    fn quantile_interpolation_edge_cases() {
+        // Single element: every q lands on it, no interpolation partner.
+        assert_eq!(quantile(&[7.0], 0.0), Some(7.0));
+        assert_eq!(quantile(&[7.0], 0.5), Some(7.0));
+        assert_eq!(quantile(&[7.0], 1.0), Some(7.0));
+        // Two elements: interpolation across the whole range.
+        assert_eq!(quantile(&[10.0, 20.0], 0.25), Some(12.5));
+        assert_eq!(quantile(&[20.0, 10.0], 0.75), Some(17.5), "input order is irrelevant");
+        // A q landing exactly on an order statistic takes it verbatim.
+        let values = [5.0, 1.0, 3.0, 2.0, 4.0];
+        assert_eq!(quantile(&values, 0.25), Some(2.0));
+        assert_eq!(quantile(&values, 0.75), Some(4.0));
+        // Duplicates interpolate to themselves.
+        assert_eq!(quantile(&[3.0, 3.0, 3.0, 3.0], 0.37), Some(3.0));
+        // Negative values and a fractional position between them.
+        assert_eq!(quantile(&[-4.0, -2.0], 0.5), Some(-3.0));
+        // The original slice is not reordered.
+        let original = [9.0, 1.0, 5.0];
+        let copy = original;
+        quantile(&original, 0.5);
+        assert_eq!(original, copy);
+    }
+
+    #[test]
+    fn quantile_matches_full_sort_reference() {
+        // Selection must agree with the sort-based estimator everywhere,
+        // including fractional positions.
+        let mut rng_state = 0x9E3779B97F4A7C15u64;
+        let mut next = || {
+            rng_state = rng_state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            (rng_state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        let values: Vec<f64> = (0..257).map(|_| next() * 100.0 - 50.0).collect();
+        let mut sorted = values.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        for i in 0..=100 {
+            let q = i as f64 / 100.0;
+            let pos = q * (sorted.len() - 1) as f64;
+            let lo = pos.floor() as usize;
+            let hi = pos.ceil() as usize;
+            let expected = sorted[lo] + (sorted[hi] - sorted[lo]) * (pos - lo as f64);
+            let got = quantile(&values, q).unwrap();
+            assert!((got - expected).abs() < 1e-12, "q={q}: {got} vs {expected}");
+        }
+    }
+
+    #[test]
+    fn quantiles_batch_matches_individual_calls() {
+        let values = [9.0, 2.0, 7.0, 4.0, 6.0, 1.0, 8.0];
+        let qs = [0.0, 0.25, 0.5, 0.75, 0.9, 1.0];
+        let batch = quantiles(&values, &qs).unwrap();
+        for (q, got) in qs.iter().zip(&batch) {
+            assert_eq!(Some(*got), quantile(&values, *q));
+        }
+        assert_eq!(quantiles(&[], &qs), None);
+        assert_eq!(quantiles(&values, &[]), Some(vec![]));
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile must be in 0.0..=1.0")]
+    fn quantile_rejects_out_of_range_q() {
+        quantile(&[1.0], 1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN in quantile input")]
+    fn quantile_rejects_nan() {
+        quantile(&[1.0, f64::NAN, 2.0], 0.5);
     }
 
     #[test]

@@ -12,7 +12,7 @@ use crate::app::{Application, ServiceId, VersionId};
 use crate::error::SimError;
 use crate::faults::FaultPlan;
 use crate::load::LoadTracker;
-use crate::monitor::MetricStore;
+use crate::monitor::{MetricStore, SampleBatch, ScopeId};
 use crate::routing::{Router, UserId};
 use crate::trace::{Span, SpanId, Trace, TraceId};
 use cex_core::metrics::MetricKind;
@@ -21,6 +21,52 @@ use cex_core::simtime::{SimDuration, SimTime};
 
 /// Maximum call-tree depth before assuming a cycle.
 pub const MAX_CALL_DEPTH: usize = 32;
+
+/// Batched, interned telemetry sink for the request hot path.
+///
+/// Wraps a [`SampleBatch`] with the pre-interned scope ids the executor
+/// needs: one per deployed version (indexed by [`VersionId`]) plus the
+/// end-to-end application scope. Recording a hop is an array index and a
+/// buffered push — no string formatting, hashing, or locking. Drop (or
+/// [`MetricSink::flush`]) writes the buffer through to the store; the
+/// simulation flushes at window boundaries so store contents stay
+/// deterministic.
+#[derive(Debug)]
+pub struct MetricSink<'a> {
+    batch: SampleBatch<'a>,
+    version_scopes: &'a [ScopeId],
+    app_scope: ScopeId,
+}
+
+impl<'a> MetricSink<'a> {
+    /// Creates a sink over `store`. `version_scopes` must be indexed by
+    /// `VersionId` (see [`MetricStore::intern_version_scopes`]);
+    /// `app_scope` receives end-to-end metrics.
+    pub fn new(store: &'a MetricStore, version_scopes: &'a [ScopeId], app_scope: ScopeId) -> Self {
+        MetricSink { batch: store.batch(), version_scopes, app_scope }
+    }
+
+    /// Records a per-version observation under its `service@version` scope.
+    pub fn record_version(
+        &mut self,
+        version: VersionId,
+        metric: MetricKind,
+        time: SimTime,
+        value: f64,
+    ) {
+        self.batch.record_value_id(self.version_scopes[version.0], metric, time, value);
+    }
+
+    /// Records an end-to-end (user-perceived) observation.
+    pub fn record_app(&mut self, metric: MetricKind, time: SimTime, value: f64) {
+        self.batch.record_value_id(self.app_scope, metric, time, value);
+    }
+
+    /// Writes all buffered samples through to the store.
+    pub fn flush(&mut self) {
+        self.batch.flush();
+    }
+}
 
 /// Outcome of one executed request.
 #[derive(Debug, Clone, PartialEq)]
@@ -39,8 +85,9 @@ pub struct RequestResult {
 /// * `entry_service`/`entry_endpoint` — where the request enters.
 /// * `now` — virtual arrival time.
 /// * `trace_id` — `Some` when the trace collector sampled this request.
-/// * `store` — when present, per-hop response times and error indicators
-///   are recorded under the `service@version` scope.
+/// * `sink` — when present, per-hop response times and error indicators
+///   are recorded under the `service@version` scope (batched; flushed by
+///   the caller at deterministic boundaries).
 /// * `faults` — active fault windows applied on top of the normal latency
 ///   and error models.
 ///
@@ -59,7 +106,7 @@ pub fn execute_request(
     entry_endpoint: &str,
     now: SimTime,
     trace_id: Option<TraceId>,
-    store: Option<&MetricStore>,
+    sink: Option<&mut MetricSink<'_>>,
     faults: &FaultPlan,
 ) -> Result<RequestResult, SimError> {
     let mut ctx = ExecCtx {
@@ -68,7 +115,7 @@ pub fn execute_request(
         load,
         rng,
         user,
-        store,
+        sink,
         faults,
         spans: Vec::new(),
         trace_id,
@@ -80,20 +127,14 @@ pub fn execute_request(
     // blending all (primary-path) versions it touched, and the 0/1 outcome
     // is credited to each of them — how A/B variants are compared on
     // business metrics even when they sit deep in the call graph.
-    if let Some(store) = store {
-        if !ctx.visited.is_empty() {
-            let mean_rate =
-                ctx.visited.iter().map(|v| app.version(*v).conversion_rate).sum::<f64>()
-                    / ctx.visited.len() as f64;
-            let converted = outcome.ok && ctx.rng.next_f64() < mean_rate;
-            let value = if converted { 1.0 } else { 0.0 };
+    if ctx.sink.is_some() && !ctx.visited.is_empty() {
+        let mean_rate = ctx.visited.iter().map(|v| app.version(*v).conversion_rate).sum::<f64>()
+            / ctx.visited.len() as f64;
+        let converted = outcome.ok && ctx.rng.next_f64() < mean_rate;
+        let value = if converted { 1.0 } else { 0.0 };
+        if let Some(sink) = ctx.sink.as_deref_mut() {
             for version in &ctx.visited {
-                store.record_value(
-                    &app.version_label(*version),
-                    MetricKind::ConversionRate,
-                    now,
-                    value,
-                );
+                sink.record_version(*version, MetricKind::ConversionRate, now, value);
             }
         }
     }
@@ -106,13 +147,13 @@ struct HopOutcome {
     ok: bool,
 }
 
-struct ExecCtx<'a> {
+struct ExecCtx<'a, 'b> {
     app: &'a Application,
     router: &'a Router,
     load: &'a mut LoadTracker,
     rng: &'a mut SplitMix64,
     user: UserId,
-    store: Option<&'a MetricStore>,
+    sink: Option<&'a mut MetricSink<'b>>,
     faults: &'a FaultPlan,
     spans: Vec<Span>,
     trace_id: Option<TraceId>,
@@ -121,7 +162,7 @@ struct ExecCtx<'a> {
     visited: Vec<VersionId>,
 }
 
-impl ExecCtx<'_> {
+impl ExecCtx<'_, '_> {
     fn hop(
         &mut self,
         service: ServiceId,
@@ -200,12 +241,11 @@ impl ExecCtx<'_> {
         }
 
         let svc = self.app.version(version).service;
-        if let Some(store) = self.store {
+        if let Some(sink) = self.sink.as_deref_mut() {
             // Record both primary and dark hops: the dark version's load and
             // latency are precisely what its health checks observe.
-            let scope = self.app.version_label(version);
-            store.record_value(&scope, MetricKind::ResponseTime, start, elapsed.as_millis_f64());
-            store.record_value(&scope, MetricKind::ErrorRate, start, if ok { 0.0 } else { 1.0 });
+            sink.record_version(version, MetricKind::ResponseTime, start, elapsed.as_millis_f64());
+            sink.record_version(version, MetricKind::ErrorRate, start, if ok { 0.0 } else { 1.0 });
         }
 
         if let Some(trace) = self.trace_id {
@@ -427,6 +467,9 @@ mod tests {
     fn metrics_recorded_per_version_scope() {
         let app = chain_app();
         let store = MetricStore::new();
+        let scopes = store.intern_version_scopes(&app);
+        let app_scope = store.intern("app");
+        let mut sink = MetricSink::new(&store, &scopes, app_scope);
         let mut load = LoadTracker::new(&app);
         let mut rng = SplitMix64::new(17);
         let entry = app.service_id("a").unwrap();
@@ -440,10 +483,11 @@ mod tests {
             "entry",
             SimTime::from_secs(1),
             None,
-            Some(&store),
+            Some(&mut sink),
             &FaultPlan::none(),
         )
         .unwrap();
+        drop(sink); // flush the batch
         assert_eq!(store.count("a@1", MetricKind::ResponseTime), 1);
         assert_eq!(store.count("b@1", MetricKind::ResponseTime), 1);
         assert_eq!(store.count("c@1", MetricKind::ErrorRate), 1);

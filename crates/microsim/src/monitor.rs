@@ -9,32 +9,494 @@
 //! `service@version` for infrastructure metrics and `exp:<name>/<variant>`
 //! for experiment-level metrics) plus a [`MetricKind`]. Samples arrive in
 //! virtual-time order, so window queries use binary search.
+//!
+//! # Hot-path architecture
+//!
+//! At million-request scale the store is the busiest shared structure in
+//! the system — every request hop writes two samples, and every Bifrost
+//! check reads a trailing window. Four mechanisms keep it off the critical
+//! path:
+//!
+//! * **Scope interning.** Scope strings are interned once into dense
+//!   [`ScopeId`]s; series are keyed by `(ScopeId, MetricKind)`, so the
+//!   request loop never allocates or hashes a `String` per hop. The
+//!   interner publishes an immutable snapshot map plus a generation
+//!   counter; reader threads cache the snapshot and resolve against it
+//!   with a single atomic generation check — no lock unless a scope was
+//!   interned since the thread last looked.
+//! * **Sharding.** Series are spread over [`SHARD_COUNT`] independently
+//!   locked shards keyed by a hash of the scope, so the Bifrost engine's
+//!   worker threads and the request loop stop serializing on one lock.
+//! * **Bucketed pre-aggregation.** Each series maintains fixed-resolution
+//!   [`OnlineStats`] buckets next to a raw sample tail. Window queries
+//!   merge whole buckets for the interior of the window and resolve the
+//!   two partially covered edge buckets from raw samples, so the
+//!   documented closed-interval semantics are preserved exactly while the
+//!   cost is proportional to buckets-in-window, flat in series length.
+//! * **Bounded retention.** When a retention horizon is set
+//!   ([`MetricStore::set_retention`]), raw samples older than the horizon
+//!   are compacted away and only their buckets remain, bounding memory on
+//!   unbounded runs. Queries reaching into the compacted region are
+//!   answered at bucket granularity (the horizon defaults past the longest
+//!   check window, so live checks never hit it).
+//!
+//! Everything stays deterministic: ingestion order is driven by the
+//! virtual clock, bucket contents and compaction depend only on the data,
+//! and reads never mutate — so summaries are bit-exact across repeated
+//! same-seed runs and across engine worker counts.
 
+use crate::app::Application;
 use cex_core::metrics::{MetricKind, OnlineStats, Sample, Summary};
 use cex_core::simtime::{SimDuration, SimTime};
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
+use std::hash::{BuildHasherDefault, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::RwLock;
+use std::sync::{Arc, RwLock};
 
-type Key = (String, MetricKind);
+/// Number of independently locked shards (power of two).
+pub const SHARD_COUNT: usize = 16;
+
+/// Default width of a pre-aggregation bucket.
+pub const DEFAULT_BUCKET_WIDTH: SimDuration = SimDuration::from_secs(1);
+
+/// Samples buffered in a [`SampleBatch`] before an automatic flush.
+const BATCH_FLUSH_THRESHOLD: usize = 4_096;
+
+/// An interned metric scope. Dense, copyable, and stable for the lifetime
+/// of the store that issued it — the hot-path replacement for scope
+/// strings.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ScopeId(u32);
+
+impl ScopeId {
+    /// The dense index backing this id.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+type SnapshotMap = HashMap<Arc<str>, ScopeId>;
+
+/// Issues a process-unique identity per [`Interner`], so thread-local
+/// snapshot caches can tell stores apart.
+static INTERNER_IDS: AtomicU64 = AtomicU64::new(0);
+
+thread_local! {
+    /// Per-thread resolve cache: `(interner identity, generation,
+    /// snapshot)`. While the generation matches, [`Interner::resolve`]
+    /// runs against the cached immutable snapshot without taking any
+    /// lock.
+    static SNAPSHOT_CACHE: std::cell::RefCell<Option<(u64, u64, Arc<SnapshotMap>)>> =
+        const { std::cell::RefCell::new(None) };
+}
+
+/// String → [`ScopeId`] interner with a lock-free read path.
+///
+/// The string→id map is published as an immutable [`Arc`] snapshot with a
+/// generation counter. Each reader thread caches the snapshot; on
+/// [`Interner::resolve`] it compares generations with one atomic load and
+/// resolves against its cache — no lock is taken unless a new scope was
+/// interned since the thread last looked. Scope interning is rare (on
+/// deployment, not per request), so the steady-state resolve path never
+/// contends.
+#[derive(Debug)]
+struct Interner {
+    identity: u64,
+    generation: AtomicU64,
+    snapshot: RwLock<Arc<SnapshotMap>>,
+    names: RwLock<Vec<Arc<str>>>,
+}
+
+impl Interner {
+    fn new() -> Self {
+        Interner {
+            identity: INTERNER_IDS.fetch_add(1, Ordering::Relaxed),
+            generation: AtomicU64::new(0),
+            snapshot: RwLock::new(Arc::new(SnapshotMap::new())),
+            names: RwLock::new(Vec::new()),
+        }
+    }
+
+    fn load_snapshot(&self) -> Arc<SnapshotMap> {
+        self.snapshot.read().expect("interner snapshot lock poisoned").clone()
+    }
+
+    fn resolve(&self, scope: &str) -> Option<ScopeId> {
+        let generation = self.generation.load(Ordering::Acquire);
+        SNAPSHOT_CACHE.with(|cache| {
+            let mut cache = cache.borrow_mut();
+            match &*cache {
+                Some((identity, cached_generation, snap))
+                    if *identity == self.identity && *cached_generation == generation =>
+                {
+                    snap.get(scope).copied()
+                }
+                _ => {
+                    let snap = self.load_snapshot();
+                    let id = snap.get(scope).copied();
+                    *cache = Some((self.identity, generation, snap));
+                    id
+                }
+            }
+        })
+    }
+
+    fn intern(&self, scope: &str) -> ScopeId {
+        if let Some(id) = self.resolve(scope) {
+            return id;
+        }
+        // `names` doubles as the writer mutex: interning serializes here.
+        let mut names = self.names.write().expect("interner names lock poisoned");
+        if let Some(id) = self.load_snapshot().get(scope).copied() {
+            return id;
+        }
+        let name: Arc<str> = scope.into();
+        let id = ScopeId(u32::try_from(names.len()).expect("scope id space exhausted"));
+        names.push(name.clone());
+        let mut next = SnapshotMap::clone(&self.load_snapshot());
+        next.insert(name, id);
+        *self.snapshot.write().expect("interner snapshot lock poisoned") = Arc::new(next);
+        // Publish after the snapshot is swapped: a reader seeing the new
+        // generation refreshes onto a snapshot at least this new.
+        self.generation.fetch_add(1, Ordering::Release);
+        id
+    }
+
+    fn name(&self, id: ScopeId) -> Arc<str> {
+        self.names.read().expect("interner names lock poisoned")[id.index()].clone()
+    }
+
+    /// Ids whose scope name satisfies `pred`.
+    fn matching(&self, pred: impl Fn(&str) -> bool) -> Vec<ScopeId> {
+        let names = self.names.read().expect("interner names lock poisoned");
+        names.iter().enumerate().filter(|(_, n)| pred(n)).map(|(i, _)| ScopeId(i as u32)).collect()
+    }
+}
+
+/// Multiply-xor hasher for the small fixed-size `(ScopeId, MetricKind)`
+/// keys — SipHash is overkill on the record path.
+#[derive(Debug, Default)]
+struct SeriesHasher(u64);
+
+impl Hasher for SeriesHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.write_u64(b as u64);
+        }
+    }
+
+    fn write_u64(&mut self, n: u64) {
+        self.0 = (self.0 ^ n).wrapping_mul(0x9E37_79B9_7F4A_7C15).rotate_left(26);
+    }
+
+    fn write_u32(&mut self, n: u32) {
+        self.write_u64(n as u64);
+    }
+
+    fn write_usize(&mut self, n: usize) {
+        self.write_u64(n as u64);
+    }
+
+    fn write_u8(&mut self, n: u8) {
+        self.write_u64(n as u64);
+    }
+}
+
+type SeriesKey = (ScopeId, MetricKind);
+type SeriesMap = HashMap<SeriesKey, Series, BuildHasherDefault<SeriesHasher>>;
+
+/// One metric series: pre-aggregated buckets plus a raw sample tail.
+#[derive(Debug, Default)]
+struct Series {
+    /// Samples ever recorded (survives compaction).
+    total: u64,
+    /// Latest sample time seen, in ms — drives retention.
+    max_time_ms: u64,
+    /// Bucket index of `buckets[0]`; bucket `i` covers
+    /// `[i*width, (i+1)*width)` ms.
+    first_bucket: u64,
+    buckets: VecDeque<OnlineStats>,
+    /// Raw samples with `time >= raw_floor_ms`, in arrival order.
+    raw: VecDeque<Sample>,
+    /// Bucket-aligned compaction floor: raw samples below it were
+    /// compacted away and only their buckets remain.
+    raw_floor_ms: u64,
+}
+
+impl Series {
+    /// Extends bucket coverage to include bucket `idx`.
+    fn ensure_bucket(&mut self, idx: u64) {
+        if self.buckets.is_empty() {
+            self.first_bucket = idx;
+            self.buckets.push_back(OnlineStats::new());
+        } else if idx < self.first_bucket {
+            for _ in idx..self.first_bucket {
+                self.buckets.push_front(OnlineStats::new());
+            }
+            self.first_bucket = idx;
+        } else {
+            let needed = idx - self.first_bucket + 1;
+            while (self.buckets.len() as u64) < needed {
+                self.buckets.push_back(OnlineStats::new());
+            }
+        }
+    }
+
+    fn push(&mut self, sample: Sample, width_ms: u64) {
+        let t = sample.time.as_millis();
+        let idx = t / width_ms;
+        self.ensure_bucket(idx);
+        self.buckets[(idx - self.first_bucket) as usize].push(sample.value);
+        self.total += 1;
+        self.max_time_ms = self.max_time_ms.max(t);
+        if t >= self.raw_floor_ms {
+            self.raw.push_back(sample);
+        }
+    }
+
+    /// Appends a run of samples in one go — the batched ingestion path.
+    ///
+    /// The bucket is looked up once per same-bucket run instead of once
+    /// per sample, the raw tail is extended with a block copy, and long
+    /// runs feed four interleaved Welford chains (merged exactly with
+    /// parallel Welford) so aggregation is not latency-bound on one
+    /// serial divide chain. Counts, extrema, and the raw tail are
+    /// identical to pushing each sample individually; bucket mean and
+    /// variance may differ by floating-point rounding only, and stay
+    /// deterministic for a given sample sequence. Samples should be in
+    /// non-decreasing time order (the virtual clock guarantees this for
+    /// every producer; out-of-order input still lands in the right
+    /// buckets).
+    fn push_run(&mut self, samples: &[Sample], width_ms: u64) {
+        let mut i = 0;
+        while i < samples.len() {
+            let idx = samples[i].time.as_millis() / width_ms;
+            self.ensure_bucket(idx);
+            let b_start = idx * width_ms;
+            let b_end = b_start + width_ms;
+            let mut j = i;
+            while j < samples.len() {
+                let t = samples[j].time.as_millis();
+                if t < b_start || t >= b_end {
+                    break;
+                }
+                self.max_time_ms = self.max_time_ms.max(t);
+                j += 1;
+            }
+            let run = &samples[i..j];
+            let stats = &mut self.buckets[(idx - self.first_bucket) as usize];
+            if run.len() < 16 {
+                for s in run {
+                    stats.push(s.value);
+                }
+            } else {
+                let mut chains = [OnlineStats::new(); 4];
+                let mut chunks = run.chunks_exact(4);
+                for c in chunks.by_ref() {
+                    chains[0].push(c[0].value);
+                    chains[1].push(c[1].value);
+                    chains[2].push(c[2].value);
+                    chains[3].push(c[3].value);
+                }
+                for s in chunks.remainder() {
+                    chains[0].push(s.value);
+                }
+                let (head, tail) = chains.split_at_mut(1);
+                for chain in tail {
+                    head[0].merge(chain);
+                }
+                stats.merge(&head[0]);
+            }
+            self.total += run.len() as u64;
+            if self.raw_floor_ms == 0 {
+                self.raw.extend(run.iter().copied());
+            } else {
+                let floor = self.raw_floor_ms;
+                self.raw.extend(run.iter().copied().filter(|s| s.time.as_millis() >= floor));
+            }
+            i = j;
+        }
+    }
+
+    /// Drops raw samples older than `horizon` behind the series' latest
+    /// sample, in whole-bucket units (their buckets remain).
+    fn compact(&mut self, horizon_ms: u64, width_ms: u64) {
+        let cutoff = self.max_time_ms.saturating_sub(horizon_ms);
+        let aligned = (cutoff / width_ms) * width_ms;
+        if aligned <= self.raw_floor_ms {
+            return;
+        }
+        while self.raw.front().is_some_and(|s| s.time.as_millis() < aligned) {
+            self.raw.pop_front();
+        }
+        self.raw_floor_ms = aligned;
+    }
+
+    /// Accumulates the samples with `from_ms <= time < to_ms` into `acc`:
+    /// whole buckets merged for the fully covered interior, raw samples
+    /// pushed individually for the partially covered edges. Edge buckets
+    /// below the compaction floor are merged whole (bucket granularity).
+    fn accumulate(&self, from_ms: u64, to_ms: u64, width_ms: u64, acc: &mut OnlineStats) {
+        if to_ms <= from_ms || self.buckets.is_empty() {
+            return;
+        }
+        let lo = (from_ms / width_ms).max(self.first_bucket);
+        let last = self.first_bucket + self.buckets.len() as u64 - 1;
+        let hi = ((to_ms - 1) / width_ms).min(last);
+        if lo > hi {
+            return;
+        }
+        let mut raw_cursor: Option<usize> = None;
+        for b in lo..=hi {
+            let stats = &self.buckets[(b - self.first_bucket) as usize];
+            if stats.count() == 0 {
+                continue;
+            }
+            let b_start = b * width_ms;
+            let b_end = b_start + width_ms;
+            if (from_ms <= b_start && to_ms >= b_end) || b_start < self.raw_floor_ms {
+                // Fully covered, or compacted below the raw floor: merge
+                // the pre-aggregated bucket.
+                acc.merge(stats);
+            } else {
+                // Partially covered edge, raw-backed: exact resolution.
+                let s = from_ms.max(b_start);
+                let e = to_ms.min(b_end);
+                let start = *raw_cursor
+                    .get_or_insert_with(|| self.raw.partition_point(|x| x.time.as_millis() < s));
+                let mut i = start;
+                while let Some(sample) = self.raw.get(i) {
+                    let t = sample.time.as_millis();
+                    if t >= e {
+                        break;
+                    }
+                    if t >= s {
+                        acc.push(sample.value);
+                    }
+                    i += 1;
+                }
+                raw_cursor = Some(i);
+            }
+        }
+    }
+
+    fn summary_between(&self, from: SimTime, to: SimTime, width_ms: u64) -> Summary {
+        let mut acc = OnlineStats::new();
+        self.accumulate(from.as_millis(), to.as_millis(), width_ms, &mut acc);
+        acc.summary()
+    }
+}
+
+#[derive(Debug, Default)]
+struct Shard {
+    series: RwLock<SeriesMap>,
+}
 
 /// Thread-safe, append-mostly metric store.
 ///
-/// Interior mutability (a [`RwLock`]) lets the Bifrost engine's worker
-/// threads share one store by reference.
-#[derive(Debug, Default)]
+/// Interior mutability (per-shard [`RwLock`]s) lets the Bifrost engine's
+/// worker threads share one store by reference. See the module docs for
+/// the interning / sharding / bucketing / retention architecture.
+#[derive(Debug)]
 pub struct MetricStore {
-    inner: RwLock<HashMap<Key, Vec<Sample>>>,
+    interner: Interner,
+    shards: [Shard; SHARD_COUNT],
+    bucket_width_ms: u64,
+    /// Retention horizon in ms; 0 = unbounded (raw samples kept forever).
+    retention_ms: AtomicU64,
     /// Windowed reads served so far (monitoring-cost accounting for the
     /// Bifrost execution journal). The total per tick is deterministic
     /// even though worker threads increment it in arbitrary order.
     window_reads: AtomicU64,
 }
 
+impl Default for MetricStore {
+    fn default() -> Self {
+        MetricStore::new()
+    }
+}
+
+fn shard_of(key: &SeriesKey) -> usize {
+    let mut h = SeriesHasher::default();
+    h.write_u32(key.0 .0);
+    h.write_u8(key.1 as u8);
+    (h.finish() >> 32) as usize & (SHARD_COUNT - 1)
+}
+
 impl MetricStore {
-    /// Creates an empty store.
+    /// Creates an empty store with the [`DEFAULT_BUCKET_WIDTH`] and
+    /// unbounded retention.
     pub fn new() -> Self {
-        MetricStore::default()
+        MetricStore::with_bucket_width(DEFAULT_BUCKET_WIDTH)
+    }
+
+    /// Creates an empty store with a custom pre-aggregation bucket width.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `width` is zero.
+    pub fn with_bucket_width(width: SimDuration) -> Self {
+        assert!(!width.is_zero(), "bucket width must be positive");
+        MetricStore {
+            interner: Interner::new(),
+            shards: std::array::from_fn(|_| Shard::default()),
+            bucket_width_ms: width.as_millis(),
+            retention_ms: AtomicU64::new(0),
+            window_reads: AtomicU64::new(0),
+        }
+    }
+
+    /// The pre-aggregation bucket width.
+    pub fn bucket_width(&self) -> SimDuration {
+        SimDuration::from_millis(self.bucket_width_ms)
+    }
+
+    /// Sets (or clears) the retention horizon: raw samples older than
+    /// `horizon` behind a series' latest sample are compacted into their
+    /// buckets. `None` keeps raw samples forever.
+    pub fn set_retention(&self, horizon: Option<SimDuration>) {
+        self.retention_ms.store(horizon.map_or(0, SimDuration::as_millis), Ordering::Relaxed);
+    }
+
+    /// The active retention horizon, if any.
+    pub fn retention(&self) -> Option<SimDuration> {
+        match self.retention_ms.load(Ordering::Relaxed) {
+            0 => None,
+            ms => Some(SimDuration::from_millis(ms)),
+        }
+    }
+
+    /// Interns `scope`, returning its dense id (idempotent).
+    pub fn intern(&self, scope: &str) -> ScopeId {
+        self.interner.intern(scope)
+    }
+
+    /// Resolves an already-interned scope without taking any lock.
+    pub fn resolve(&self, scope: &str) -> Option<ScopeId> {
+        self.interner.resolve(scope)
+    }
+
+    /// The scope name behind an id.
+    pub fn scope_name(&self, id: ScopeId) -> Arc<str> {
+        self.interner.name(id)
+    }
+
+    /// Interns the `service@version` scope of every deployed version,
+    /// indexed by `VersionId` — the per-request hot path looks scopes up
+    /// here instead of formatting labels.
+    pub fn intern_version_scopes(&self, app: &Application) -> Vec<ScopeId> {
+        app.versions().map(|(id, _)| self.intern(&app.version_label(id))).collect()
+    }
+
+    /// Starts a batched ingestion session: samples are buffered and
+    /// flushed shard-by-shard (on drop, on [`SampleBatch::flush`], or when
+    /// the buffer fills), amortizing lock traffic on the hot path.
+    pub fn batch(&self) -> SampleBatch<'_> {
+        SampleBatch { store: self, pending: Vec::new(), buffered: 0 }
     }
 
     /// Records one observation.
@@ -43,8 +505,7 @@ impl MetricStore {
     /// (the virtual clock guarantees this); out-of-order samples are
     /// accepted but degrade window queries for their series.
     pub fn record(&self, scope: &str, metric: MetricKind, sample: Sample) {
-        let mut map = self.inner.write().expect("metric store lock poisoned");
-        map.entry((scope.to_string(), metric)).or_default().push(sample);
+        self.record_id(self.intern(scope), metric, sample);
     }
 
     /// Convenience: records `value` at `time`.
@@ -52,22 +513,48 @@ impl MetricStore {
         self.record(scope, metric, Sample::new(time, value));
     }
 
-    /// Number of samples in a series.
+    /// Records one observation under an interned scope.
+    pub fn record_id(&self, scope: ScopeId, metric: MetricKind, sample: Sample) {
+        let key = (scope, metric);
+        let retention = self.retention_ms.load(Ordering::Relaxed);
+        let mut map = self.shards[shard_of(&key)].series.write().expect("shard lock poisoned");
+        let series = map.entry(key).or_default();
+        series.push(sample, self.bucket_width_ms);
+        if retention != 0 {
+            series.compact(retention, self.bucket_width_ms);
+        }
+    }
+
+    /// Number of samples ever recorded into a series (compaction does not
+    /// reduce it).
     pub fn count(&self, scope: &str, metric: MetricKind) -> usize {
-        self.inner
+        self.resolve(scope).map_or(0, |id| self.count_id(id, metric))
+    }
+
+    /// [`MetricStore::count`] for an interned scope.
+    pub fn count_id(&self, scope: ScopeId, metric: MetricKind) -> usize {
+        let key = (scope, metric);
+        self.shards[shard_of(&key)]
+            .series
             .read()
-            .expect("metric store lock poisoned")
-            .get(&(scope.to_string(), metric))
-            .map(|v| v.len())
+            .expect("shard lock poisoned")
+            .get(&key)
+            .map(|s| s.total as usize)
             .unwrap_or(0)
     }
 
     /// All scopes currently holding at least one series.
     pub fn scopes(&self) -> Vec<String> {
-        let map = self.inner.read().expect("metric store lock poisoned");
-        let mut scopes: Vec<String> = map.keys().map(|(s, _)| s.clone()).collect();
+        let mut ids: Vec<ScopeId> = Vec::new();
+        for shard in &self.shards {
+            let map = shard.series.read().expect("shard lock poisoned");
+            ids.extend(map.keys().map(|(s, _)| *s));
+        }
+        ids.sort();
+        ids.dedup();
+        let mut scopes: Vec<String> =
+            ids.into_iter().map(|id| self.scope_name(id).to_string()).collect();
         scopes.sort();
-        scopes.dedup();
         scopes
     }
 
@@ -79,18 +566,26 @@ impl MetricStore {
         from: SimTime,
         to: SimTime,
     ) -> Summary {
-        let map = self.inner.read().expect("metric store lock poisoned");
-        let mut acc = OnlineStats::new();
-        if let Some(series) = map.get(&(scope.to_string(), metric)) {
-            let start = series.partition_point(|s| s.time < from);
-            for sample in &series[start..] {
-                if sample.time >= to {
-                    break;
-                }
-                acc.push(sample.value);
-            }
-        }
-        acc.summary()
+        self.resolve(scope)
+            .map_or_else(Summary::default, |id| self.summary_between_id(id, metric, from, to))
+    }
+
+    /// [`MetricStore::summary_between`] for an interned scope.
+    pub fn summary_between_id(
+        &self,
+        scope: ScopeId,
+        metric: MetricKind,
+        from: SimTime,
+        to: SimTime,
+    ) -> Summary {
+        let key = (scope, metric);
+        self.shards[shard_of(&key)]
+            .series
+            .read()
+            .expect("shard lock poisoned")
+            .get(&key)
+            .map(|s| s.summary_between(from, to, self.bucket_width_ms))
+            .unwrap_or_default()
     }
 
     /// Summary of the trailing window — the **closed** interval
@@ -103,14 +598,32 @@ impl MetricStore {
         now: SimTime,
         window: SimDuration,
     ) -> Summary {
-        self.window_reads.fetch_add(1, Ordering::Relaxed);
-        let from = SimTime::from_millis(now.as_millis().saturating_sub(window.as_millis()));
-        self.summary_between(scope, metric, from, now + SimDuration::from_millis(1))
+        match self.resolve(scope) {
+            Some(id) => self.window_summary_id(id, metric, now, window),
+            None => {
+                self.window_reads.fetch_add(1, Ordering::Relaxed);
+                Summary::default()
+            }
+        }
     }
 
-    /// Number of windowed reads ([`MetricStore::window_summary`]) served
-    /// since creation — the monitoring-cost counter the Bifrost journal
-    /// samples per tick.
+    /// [`MetricStore::window_summary`] for an interned scope.
+    pub fn window_summary_id(
+        &self,
+        scope: ScopeId,
+        metric: MetricKind,
+        now: SimTime,
+        window: SimDuration,
+    ) -> Summary {
+        self.window_reads.fetch_add(1, Ordering::Relaxed);
+        let from = SimTime::from_millis(now.as_millis().saturating_sub(window.as_millis()));
+        self.summary_between_id(scope, metric, from, now + SimDuration::from_millis(1))
+    }
+
+    /// Number of windowed reads ([`MetricStore::window_summary`] calls,
+    /// with a whole [`MetricStore::moving_average`] sweep counting as one)
+    /// served since creation — the monitoring-cost counter the Bifrost
+    /// journal samples per tick.
     pub fn window_reads(&self) -> u64 {
         self.window_reads.load(Ordering::Relaxed)
     }
@@ -118,6 +631,11 @@ impl MetricStore {
     /// Moving average: for each step boundary in `[start, end)` emits the
     /// mean of the trailing `window`. This regenerates the "3-second moving
     /// average of monitored response times" of Figure 4.6.
+    ///
+    /// The whole sweep is one bulk read of the series: it takes the
+    /// shard lock once, counts once against [`MetricStore::window_reads`],
+    /// and advances two cursors over the raw tail instead of re-scanning
+    /// the window per step.
     pub fn moving_average(
         &self,
         scope: &str,
@@ -128,12 +646,52 @@ impl MetricStore {
         step: SimDuration,
     ) -> Vec<(SimTime, f64)> {
         assert!(!step.is_zero(), "step must be positive");
+        self.window_reads.fetch_add(1, Ordering::Relaxed);
+        let Some(id) = self.resolve(scope) else { return Vec::new() };
+        let key = (id, metric);
+        let map = self.shards[shard_of(&key)].series.read().expect("shard lock poisoned");
+        let Some(series) = map.get(&key) else { return Vec::new() };
+
         let mut out = Vec::new();
+        // Two-pointer sweep state over the raw tail: `sum`/`cnt` track the
+        // samples in `raw[lo..hi)`, both cursors only ever advance.
+        let mut lo = 0usize;
+        let mut hi = 0usize;
+        let mut sum = 0.0f64;
+        let mut cnt = 0u64;
         let mut t = start;
         while t < end {
-            let s = self.window_summary(scope, metric, t, window);
-            if s.count > 0 {
-                out.push((t, s.mean));
+            // Closed interval [t - window, t], like window_summary.
+            let from_ms = t.as_millis().saturating_sub(window.as_millis());
+            let to_ms = t.as_millis() + 1;
+            if from_ms >= series.raw_floor_ms {
+                while let Some(s) = series.raw.get(hi) {
+                    if s.time.as_millis() >= to_ms {
+                        break;
+                    }
+                    sum += s.value;
+                    cnt += 1;
+                    hi += 1;
+                }
+                while let Some(s) = series.raw.get(lo) {
+                    if lo >= hi || s.time.as_millis() >= from_ms {
+                        break;
+                    }
+                    sum -= s.value;
+                    cnt -= 1;
+                    lo += 1;
+                }
+                if cnt > 0 {
+                    out.push((t, sum / cnt as f64));
+                }
+            } else {
+                // Window reaches into the compacted region: answer this
+                // step at bucket granularity.
+                let mut acc = OnlineStats::new();
+                series.accumulate(from_ms, to_ms, self.bucket_width_ms, &mut acc);
+                if let Some(mean) = acc.mean() {
+                    out.push((t, mean));
+                }
             }
             t += step;
         }
@@ -142,22 +700,143 @@ impl MetricStore {
 
     /// Removes every series of a scope (e.g. when an experiment finishes).
     pub fn clear_scope(&self, scope: &str) {
-        let mut map = self.inner.write().expect("metric store lock poisoned");
-        map.retain(|(s, _), _| s != scope);
+        if let Some(id) = self.resolve(scope) {
+            for shard in &self.shards {
+                shard.series.write().expect("shard lock poisoned").retain(|(s, _), _| *s != id);
+            }
+        }
     }
 
     /// Removes every series whose scope starts with `prefix` (e.g. all
     /// `exp:<name>/` experiment-level series once the experiment's
     /// journal is the long-term record).
     pub fn clear_prefix(&self, prefix: &str) {
-        let mut map = self.inner.write().expect("metric store lock poisoned");
-        map.retain(|(s, _), _| !s.starts_with(prefix));
+        let ids = self.interner.matching(|n| n.starts_with(prefix));
+        if ids.is_empty() {
+            return;
+        }
+        for shard in &self.shards {
+            shard.series.write().expect("shard lock poisoned").retain(|(s, _), _| !ids.contains(s));
+        }
     }
 
-    /// Total number of stored samples across all series (for capacity
-    /// accounting in the engine benches).
+    /// Raw samples currently held in memory across all series — the
+    /// capacity figure the engine benches track. With a retention horizon
+    /// set this stays bounded while [`MetricStore::total_recorded`] keeps
+    /// growing.
     pub fn total_samples(&self) -> usize {
-        self.inner.read().expect("metric store lock poisoned").values().map(|v| v.len()).sum()
+        self.shards
+            .iter()
+            .map(|sh| {
+                sh.series
+                    .read()
+                    .expect("shard lock poisoned")
+                    .values()
+                    .map(|s| s.raw.len())
+                    .sum::<usize>()
+            })
+            .sum()
+    }
+
+    /// Samples ever recorded across all live series (compaction does not
+    /// reduce it; clearing a scope does).
+    pub fn total_recorded(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|sh| {
+                sh.series
+                    .read()
+                    .expect("shard lock poisoned")
+                    .values()
+                    .map(|s| s.total)
+                    .sum::<u64>()
+            })
+            .sum()
+    }
+}
+
+/// Number of [`MetricKind`] variants, for dense per-series indexing.
+const KIND_COUNT: usize = MetricKind::all().len();
+
+/// A buffered ingestion session over a [`MetricStore`].
+///
+/// Samples are appended to dense per-series buffers — the slot index is
+/// computed from the (small, dense) [`ScopeId`] and the metric-kind
+/// discriminant, so the buffered path does no hashing and takes no lock.
+/// Flushes acquire each shard lock once and look every series up once
+/// per flush (not once per sample). They happen when the buffer reaches
+/// an internal threshold, on [`SampleBatch::flush`], and on drop; callers
+/// flush at deterministic boundaries (the simulation flushes per window),
+/// so store contents never depend on wall-clock timing.
+#[derive(Debug)]
+pub struct SampleBatch<'a> {
+    store: &'a MetricStore,
+    /// Slot `scope.index() * KIND_COUNT + kind as usize`, grown on demand.
+    /// Each slot keeps its series' samples in arrival order.
+    pending: Vec<Vec<Sample>>,
+    buffered: usize,
+}
+
+impl SampleBatch<'_> {
+    /// Buffers one observation under an interned scope.
+    pub fn record_id(&mut self, scope: ScopeId, metric: MetricKind, sample: Sample) {
+        let slot = scope.index() * KIND_COUNT + metric as usize;
+        if slot >= self.pending.len() {
+            self.pending.resize_with(slot + 1, Vec::new);
+        }
+        self.pending[slot].push(sample);
+        self.buffered += 1;
+        if self.buffered >= BATCH_FLUSH_THRESHOLD {
+            self.flush();
+        }
+    }
+
+    /// Convenience: buffers `value` at `time`.
+    pub fn record_value_id(
+        &mut self,
+        scope: ScopeId,
+        metric: MetricKind,
+        time: SimTime,
+        value: f64,
+    ) {
+        self.record_id(scope, metric, Sample::new(time, value));
+    }
+
+    /// Writes all buffered samples through to the store.
+    pub fn flush(&mut self) {
+        if self.buffered == 0 {
+            return;
+        }
+        let width = self.store.bucket_width_ms;
+        let retention = self.store.retention_ms.load(Ordering::Relaxed);
+        let kinds = MetricKind::all();
+        for (shard_idx, shard) in self.store.shards.iter().enumerate() {
+            let mut map = None;
+            for (slot, samples) in self.pending.iter_mut().enumerate() {
+                if samples.is_empty() {
+                    continue;
+                }
+                let key = (ScopeId((slot / KIND_COUNT) as u32), kinds[slot % KIND_COUNT]);
+                if shard_of(&key) != shard_idx {
+                    continue;
+                }
+                let map =
+                    map.get_or_insert_with(|| shard.series.write().expect("shard lock poisoned"));
+                let series = map.entry(key).or_default();
+                series.push_run(samples, width);
+                if retention != 0 {
+                    series.compact(retention, width);
+                }
+                samples.clear();
+            }
+        }
+        self.buffered = 0;
+    }
+}
+
+impl Drop for SampleBatch<'_> {
+    fn drop(&mut self) {
+        self.flush();
     }
 }
 
@@ -186,6 +865,7 @@ mod tests {
         assert_eq!(store.count("svc@1.0.0", MetricKind::ErrorRate), 0);
         assert_eq!(store.scopes(), vec!["svc@1.0.0".to_string()]);
         assert_eq!(store.total_samples(), 100);
+        assert_eq!(store.total_recorded(), 100);
     }
 
     #[test]
@@ -202,6 +882,23 @@ mod tests {
         assert!((s.mean - 14.5).abs() < 1e-12);
         assert_eq!(s.min, 10.0);
         assert_eq!(s.max, 19.0);
+    }
+
+    #[test]
+    fn summary_with_unaligned_bounds_resolves_edges_exactly() {
+        let store = store_with_ramp();
+        // [1250, 3750): bucket width is 1s, so both edges are partial.
+        let s = store.summary_between(
+            "svc@1.0.0",
+            MetricKind::ResponseTime,
+            SimTime::from_millis(1_250),
+            SimTime::from_millis(3_750),
+        );
+        // Samples at 1300..=3700ms → values 13..=37.
+        assert_eq!(s.count, 25);
+        assert_eq!(s.min, 13.0);
+        assert_eq!(s.max, 37.0);
+        assert!((s.mean - 25.0).abs() < 1e-12);
     }
 
     #[test]
@@ -309,6 +1006,54 @@ mod tests {
     }
 
     #[test]
+    fn moving_average_counts_as_one_window_read() {
+        // Regression: the old implementation issued one window_summary per
+        // step boundary, inflating the journal's per-tick monitoring-cost
+        // accounting by the step count (30 increments for this sweep).
+        let store = store_with_ramp();
+        let before = store.window_reads();
+        let ma = store.moving_average(
+            "svc@1.0.0",
+            MetricKind::ResponseTime,
+            SimTime::ZERO,
+            SimTime::from_secs(9),
+            SimDuration::from_secs(3),
+            SimDuration::from_millis(300),
+        );
+        assert_eq!(ma.len(), 30, "one point per step over the dense ramp");
+        assert_eq!(store.window_reads(), before + 1, "a sweep is one bulk read");
+    }
+
+    #[test]
+    fn moving_average_matches_per_step_window_summaries() {
+        let store = store_with_ramp();
+        let window = SimDuration::from_millis(700);
+        let step = SimDuration::from_millis(300);
+        let ma = store.moving_average(
+            "svc@1.0.0",
+            MetricKind::ResponseTime,
+            SimTime::ZERO,
+            SimTime::from_secs(10),
+            window,
+            step,
+        );
+        let mut t = SimTime::ZERO;
+        let mut expected = Vec::new();
+        while t < SimTime::from_secs(10) {
+            let s = store.window_summary("svc@1.0.0", MetricKind::ResponseTime, t, window);
+            if s.count > 0 {
+                expected.push((t, s.mean));
+            }
+            t += step;
+        }
+        assert_eq!(ma.len(), expected.len());
+        for ((ta, va), (te, ve)) in ma.iter().zip(&expected) {
+            assert_eq!(ta, te);
+            assert!((va - ve).abs() < 1e-9, "at {ta}: {va} vs {ve}");
+        }
+    }
+
+    #[test]
     fn clear_prefix_removes_matching_scopes_only() {
         let store = MetricStore::new();
         store.record_value("exp:a/control", MetricKind::ConversionRate, SimTime::ZERO, 1.0);
@@ -347,5 +1092,161 @@ mod tests {
             }
         });
         assert_eq!(store.count("shared", MetricKind::Throughput), 400);
+    }
+
+    #[test]
+    fn interner_is_idempotent_and_resolvable() {
+        let store = MetricStore::new();
+        let a = store.intern("svc@1");
+        let b = store.intern("svc@2");
+        assert_ne!(a, b);
+        assert_eq!(store.intern("svc@1"), a);
+        assert_eq!(store.resolve("svc@1"), Some(a));
+        assert_eq!(store.resolve("missing"), None);
+        assert_eq!(&*store.scope_name(b), "svc@2");
+    }
+
+    #[test]
+    fn concurrent_interning_yields_consistent_ids() {
+        let store = MetricStore::new();
+        let ids: Vec<Vec<ScopeId>> = std::thread::scope(|scope| {
+            (0..4)
+                .map(|_| {
+                    let store = &store;
+                    scope.spawn(move || {
+                        (0..50).map(|i| store.intern(&format!("scope-{i}"))).collect::<Vec<_>>()
+                    })
+                })
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|h| h.join().expect("interner thread panicked"))
+                .collect()
+        });
+        for other in &ids[1..] {
+            assert_eq!(&ids[0], other, "all threads agree on every id");
+        }
+        for (i, id) in ids[0].iter().enumerate() {
+            assert_eq!(store.resolve(&format!("scope-{i}")), Some(*id));
+        }
+    }
+
+    #[test]
+    fn batch_is_equivalent_to_direct_records() {
+        let direct = MetricStore::new();
+        let batched = MetricStore::new();
+        let scope = batched.intern("svc@1");
+        let mut batch = batched.batch();
+        for i in 0..500u64 {
+            let t = SimTime::from_millis(i * 10);
+            let v = (i as f64).sin() * 50.0;
+            direct.record_value("svc@1", MetricKind::ResponseTime, t, v);
+            batch.record_value_id(scope, MetricKind::ResponseTime, t, v);
+        }
+        drop(batch); // flush
+        assert_eq!(batched.count("svc@1", MetricKind::ResponseTime), 500);
+        let a = direct.window_summary(
+            "svc@1",
+            MetricKind::ResponseTime,
+            SimTime::from_secs(4),
+            SimDuration::from_secs(2),
+        );
+        let b = batched.window_summary(
+            "svc@1",
+            MetricKind::ResponseTime,
+            SimTime::from_secs(4),
+            SimDuration::from_secs(2),
+        );
+        // Counts, extrema, and the raw-backed window edges are identical;
+        // bucket mean/variance may differ by rounding only, because the
+        // batched path aggregates long runs over interleaved Welford
+        // chains (see Series::push_run).
+        assert_eq!(a.count, b.count, "batched ingestion keeps every sample");
+        assert_eq!(a.min, b.min);
+        assert_eq!(a.max, b.max);
+        assert!(
+            (a.mean - b.mean).abs() <= 1e-9 * a.mean.abs().max(1.0),
+            "{} vs {}",
+            a.mean,
+            b.mean
+        );
+        assert!(
+            (a.std_dev - b.std_dev).abs() <= 1e-9 * a.std_dev.abs().max(1.0),
+            "{} vs {}",
+            a.std_dev,
+            b.std_dev
+        );
+    }
+
+    #[test]
+    fn retention_bounds_raw_samples_but_not_counts() {
+        let store = MetricStore::new();
+        store.set_retention(Some(SimDuration::from_secs(2)));
+        assert_eq!(store.retention(), Some(SimDuration::from_secs(2)));
+        for i in 0..100u64 {
+            store.record_value(
+                "s",
+                MetricKind::ResponseTime,
+                SimTime::from_millis(i * 100),
+                i as f64,
+            );
+        }
+        // Logical count is untouched; raw memory is bounded to roughly the
+        // horizon (2s of samples at 10/s, bucket-aligned).
+        assert_eq!(store.count("s", MetricKind::ResponseTime), 100);
+        assert_eq!(store.total_recorded(), 100);
+        assert!(store.total_samples() <= 31, "raw tail bounded: {}", store.total_samples());
+        // Recent windows are still exact.
+        let s = store.window_summary(
+            "s",
+            MetricKind::ResponseTime,
+            SimTime::from_millis(9_900),
+            SimDuration::from_millis(500),
+        );
+        assert_eq!(s.count, 6);
+        assert_eq!(s.max, 99.0);
+    }
+
+    #[test]
+    fn compacted_region_is_answered_at_bucket_granularity() {
+        let store = MetricStore::new();
+        store.set_retention(Some(SimDuration::from_secs(2)));
+        for i in 0..100u64 {
+            store.record_value(
+                "s",
+                MetricKind::ResponseTime,
+                SimTime::from_millis(i * 100),
+                i as f64,
+            );
+        }
+        // A full-range summary still sees every sample: compacted buckets
+        // are merged whole, the raw tail exactly.
+        let s = store.summary_between(
+            "s",
+            MetricKind::ResponseTime,
+            SimTime::ZERO,
+            SimTime::from_secs(10),
+        );
+        assert_eq!(s.count, 100);
+        assert_eq!(s.min, 0.0);
+        assert_eq!(s.max, 99.0);
+        assert!((s.mean - 49.5).abs() < 1e-9);
+        // A query cutting into a compacted bucket includes that whole
+        // bucket (bucket granularity): [1250, 2000) yields the full
+        // 1000..=1900ms bucket, i.e. values 10..=19.
+        let s = store.summary_between(
+            "s",
+            MetricKind::ResponseTime,
+            SimTime::from_millis(1_250),
+            SimTime::from_millis(2_000),
+        );
+        assert_eq!(s.count, 10);
+        assert_eq!(s.min, 10.0);
+    }
+
+    #[test]
+    fn unbounded_store_never_compacts() {
+        let store = store_with_ramp();
+        assert_eq!(store.retention(), None);
+        assert_eq!(store.total_samples(), 100);
     }
 }

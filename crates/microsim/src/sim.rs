@@ -8,10 +8,10 @@
 
 use crate::app::{Application, VersionId, VersionSpec};
 use crate::error::SimError;
-use crate::exec::execute_request;
+use crate::exec::{execute_request, MetricSink};
 use crate::faults::{Fault, FaultPlan};
 use crate::load::LoadTracker;
-use crate::monitor::MetricStore;
+use crate::monitor::{MetricStore, ScopeId};
 use crate::routing::Router;
 use crate::trace::{Trace, TraceCollector};
 use crate::workload::{ArrivalProcess, Workload};
@@ -65,6 +65,11 @@ pub struct Simulation {
     router: Router,
     load: LoadTracker,
     store: MetricStore,
+    /// `service@version` scope ids indexed by `VersionId`, kept in sync
+    /// with deployments so the request loop records without formatting or
+    /// interning.
+    version_scopes: Vec<ScopeId>,
+    app_scope: ScopeId,
     collector: TraceCollector,
     clock: SimTime,
     rng: SplitMix64,
@@ -79,11 +84,16 @@ impl Simulation {
     /// sampling disabled (sampling 0.05) and the clock at zero.
     pub fn new(app: Application, seed: u64) -> Self {
         let load = LoadTracker::new(&app);
+        let store = MetricStore::new();
+        let version_scopes = store.intern_version_scopes(&app);
+        let app_scope = store.intern(APP_SCOPE);
         Simulation {
             app,
             router: Router::new(),
             load,
-            store: MetricStore::new(),
+            store,
+            version_scopes,
+            app_scope,
             collector: TraceCollector::sampled(0.05),
             clock: SimTime::ZERO,
             rng: SplitMix64::new(sub_seed(seed, 0)),
@@ -142,6 +152,7 @@ impl Simulation {
         let id = self.app.deploy(spec)?;
         self.app.validate()?;
         self.load.resize_for(&self.app);
+        self.version_scopes = self.store.intern_version_scopes(&self.app);
         Ok(id)
     }
 
@@ -203,6 +214,10 @@ impl Simulation {
         let mut requests = 0u64;
         let mut failures = 0u64;
         let mut rt = OnlineStats::new();
+        // One batched sink per window: samples flush at the window end (or
+        // at the batch's internal size threshold), both deterministic
+        // boundaries, so store contents never depend on wall-clock timing.
+        let mut sink = MetricSink::new(&self.store, &self.version_scopes, self.app_scope);
         for arrival in arrivals.arrivals_until(to) {
             let trace_id = self.collector.begin_trace();
             let result = execute_request(
@@ -215,7 +230,7 @@ impl Simulation {
                 &arrival.endpoint,
                 arrival.time,
                 trace_id,
-                Some(&self.store),
+                Some(&mut sink),
                 &self.faults,
             )
             .expect("workload references a valid entry point");
@@ -225,13 +240,8 @@ impl Simulation {
             }
             let ms = result.response_time.as_millis_f64();
             rt.push(ms);
-            self.store.record_value(APP_SCOPE, MetricKind::ResponseTime, arrival.time, ms);
-            self.store.record_value(
-                APP_SCOPE,
-                MetricKind::ErrorRate,
-                arrival.time,
-                if result.ok { 0.0 } else { 1.0 },
-            );
+            sink.record_app(MetricKind::ResponseTime, arrival.time, ms);
+            sink.record_app(MetricKind::ErrorRate, arrival.time, if result.ok { 0.0 } else { 1.0 });
             if let Some(trace) = result.trace {
                 self.collector.record(trace);
             }
@@ -239,8 +249,9 @@ impl Simulation {
         // One throughput sample per window.
         let secs = duration.as_millis() as f64 / 1_000.0;
         if secs > 0.0 {
-            self.store.record_value(APP_SCOPE, MetricKind::Throughput, to, requests as f64 / secs);
+            sink.record_app(MetricKind::Throughput, to, requests as f64 / secs);
         }
+        drop(sink); // window boundary: flush buffered samples
         self.clock = to;
         self.sim_busy += window_started.elapsed();
         RunReport { from, to, requests, failures, response_time: rt.summary() }
