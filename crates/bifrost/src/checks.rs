@@ -75,14 +75,17 @@ pub struct CheckContext {
     pub baseline_scope: String,
     candidate_id: ScopeId,
     baseline_id: ScopeId,
+    app_id: ScopeId,
 }
 
 impl CheckContext {
-    /// Creates a context, interning both scopes on `store`.
+    /// Creates a context, interning both version scopes plus the
+    /// end-to-end application scope on `store`.
     pub fn new(store: &MetricStore, candidate_scope: String, baseline_scope: String) -> Self {
         let candidate_id = store.intern(&candidate_scope);
         let baseline_id = store.intern(&baseline_scope);
-        CheckContext { candidate_scope, baseline_scope, candidate_id, baseline_id }
+        let app_id = store.intern(microsim::sim::APP_SCOPE);
+        CheckContext { candidate_scope, baseline_scope, candidate_id, baseline_id, app_id }
     }
 
     /// Interned id of the candidate scope.
@@ -93,6 +96,11 @@ impl CheckContext {
     /// Interned id of the baseline scope.
     pub fn baseline_id(&self) -> ScopeId {
         self.baseline_id
+    }
+
+    /// Interned id of the end-to-end application scope.
+    pub fn app_id(&self) -> ScopeId {
+        self.app_id
     }
 }
 
@@ -118,6 +126,7 @@ pub fn evaluate_observed(
     match check.scope {
         CheckScope::Candidate => absolute(check, store, ctx.candidate_id, now),
         CheckScope::Baseline => absolute(check, store, ctx.baseline_id, now),
+        CheckScope::App => absolute(check, store, ctx.app_id, now),
         CheckScope::CandidateVsBaseline => {
             let cand = store.window_summary_id(ctx.candidate_id, check.metric, now, check.window);
             let base = store.window_summary_id(ctx.baseline_id, check.metric, now, check.window);
@@ -200,12 +209,15 @@ impl CheckScheduler {
         CheckScheduler { next_due: checks.iter().map(|c| phase_start + c.interval).collect() }
     }
 
-    /// Indices of the checks due at or before `now`, advancing each one's
-    /// next due time past `now`. A check that fell multiple intervals
-    /// behind fires once (evaluations are idempotent reads of the trailing
-    /// window — catch-up storms would be wasted work).
-    pub fn due(&mut self, checks: &[Check], now: SimTime) -> Vec<usize> {
-        let mut due = Vec::new();
+    /// Fills `due` with the indices of the checks due at or before `now`,
+    /// advancing each one's next due time past `now`. A check that fell
+    /// multiple intervals behind fires once (evaluations are idempotent
+    /// reads of the trailing window — catch-up storms would be wasted
+    /// work). Takes a caller-owned scratch buffer (cleared first) so the
+    /// engine's per-tick hot loop reuses one allocation per strategy
+    /// instead of allocating a fresh `Vec` every tick.
+    pub fn due(&mut self, checks: &[Check], now: SimTime, due: &mut Vec<usize>) {
+        due.clear();
         for (i, next) in self.next_due.iter_mut().enumerate() {
             if *next <= now {
                 due.push(i);
@@ -215,7 +227,6 @@ impl CheckScheduler {
                 }
             }
         }
-        due
     }
 
     /// Number of scheduled checks.
@@ -397,6 +408,22 @@ mod tests {
     }
 
     #[test]
+    fn app_scope_reads_the_application_rollup() {
+        let store = MetricStore::new();
+        fill(&store, microsim::sim::APP_SCOPE, 150.0, 30);
+        fill(&store, "svc@2", 900.0, 30);
+        let mut check = Check::candidate(MetricKind::ResponseTime, Comparator::Lt, 200.0);
+        check.scope = CheckScope::App;
+        check.window = SimDuration::from_secs(10);
+        // Passes on the app rollup even though the candidate scope would
+        // fail — the app scope is what users actually experience.
+        assert_eq!(
+            evaluate(&check, &ctx(&store), &store, SimTime::from_secs(3)),
+            CheckResult::Pass
+        );
+    }
+
+    #[test]
     fn significance_check_detects_real_differences() {
         use cex_core::rng::SplitMix64;
         let store = MetricStore::new();
@@ -487,14 +514,22 @@ mod tests {
             },
         ];
         let mut sched = CheckScheduler::new(&checks, SimTime::ZERO);
+        let mut due = Vec::new();
         assert_eq!(sched.len(), 2);
-        assert_eq!(sched.due(&checks, SimTime::from_secs(5)), Vec::<usize>::new());
-        assert_eq!(sched.due(&checks, SimTime::from_secs(10)), vec![0]);
-        assert_eq!(sched.due(&checks, SimTime::from_secs(10)), Vec::<usize>::new(), "idempotent");
-        assert_eq!(sched.due(&checks, SimTime::from_secs(25)), vec![0, 1]);
+        sched.due(&checks, SimTime::from_secs(5), &mut due);
+        assert_eq!(due, Vec::<usize>::new());
+        sched.due(&checks, SimTime::from_secs(10), &mut due);
+        assert_eq!(due, vec![0]);
+        sched.due(&checks, SimTime::from_secs(10), &mut due);
+        assert_eq!(due, Vec::<usize>::new(), "idempotent");
+        sched.due(&checks, SimTime::from_secs(25), &mut due);
+        assert_eq!(due, vec![0, 1]);
         // Falling far behind fires each check once, not per missed tick.
-        assert_eq!(sched.due(&checks, SimTime::from_secs(300)), vec![0, 1]);
-        assert_eq!(sched.due(&checks, SimTime::from_secs(301)), Vec::<usize>::new());
+        sched.due(&checks, SimTime::from_secs(300), &mut due);
+        assert_eq!(due, vec![0, 1]);
+        // The scratch buffer is cleared on every call, not appended to.
+        sched.due(&checks, SimTime::from_secs(301), &mut due);
+        assert_eq!(due, Vec::<usize>::new());
     }
 
     #[test]
@@ -507,16 +542,19 @@ mod tests {
             ..Check::candidate(MetricKind::ErrorRate, Comparator::Lt, 1.0)
         }];
         let mut sched = CheckScheduler::new(&checks, SimTime::ZERO);
+        let mut due = Vec::new();
         // 17 intervals behind (first due at 30s, now = 510s).
-        assert_eq!(sched.due(&checks, SimTime::from_secs(510)), vec![0]);
+        sched.due(&checks, SimTime::from_secs(510), &mut due);
+        assert_eq!(due, vec![0]);
         // Not due again until the next 30-second boundary after 510s.
-        assert_eq!(sched.due(&checks, SimTime::from_secs(539)), Vec::<usize>::new());
-        assert_eq!(sched.due(&checks, SimTime::from_secs(540)), vec![0]);
+        sched.due(&checks, SimTime::from_secs(539), &mut due);
+        assert_eq!(due, Vec::<usize>::new());
+        sched.due(&checks, SimTime::from_secs(540), &mut due);
+        assert_eq!(due, vec![0]);
         // One more giant gap: still a single firing.
-        assert_eq!(sched.due(&checks, SimTime::from_hours(3)), vec![0]);
-        assert_eq!(
-            sched.due(&checks, SimTime::from_hours(3) + SimDuration::from_secs(29)),
-            Vec::<usize>::new()
-        );
+        sched.due(&checks, SimTime::from_hours(3), &mut due);
+        assert_eq!(due, vec![0]);
+        sched.due(&checks, SimTime::from_hours(3) + SimDuration::from_secs(29), &mut due);
+        assert_eq!(due, Vec::<usize>::new());
     }
 }

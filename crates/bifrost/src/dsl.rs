@@ -32,7 +32,10 @@
 //! (round-tripping is covered by tests).
 
 use crate::error::BifrostError;
-use crate::model::{Action, Check, CheckScope, Comparator, Phase, PhaseKind, Strategy};
+use crate::model::{
+    Action, ChaosKind, ChaosSpec, ChaosTarget, Check, CheckScope, Comparator, Phase, PhaseKind,
+    Strategy,
+};
 use cex_core::metrics::MetricKind;
 use cex_core::simtime::SimDuration;
 use std::fmt::Write as _;
@@ -354,6 +357,7 @@ impl Parser {
         self.expect_lbrace()?;
 
         let mut checks = Vec::new();
+        let mut chaos = None;
         let mut on_success = None;
         let mut on_failure = None;
         let mut on_inconclusive = None;
@@ -364,6 +368,11 @@ impl Parser {
             }
             if self.eat_keyword("check") {
                 checks.push(self.check()?);
+            } else if self.eat_keyword("inject") {
+                if chaos.is_some() {
+                    return Err(self.err(format!("phase {name}: more than one `inject`")));
+                }
+                chaos = Some(self.inject()?);
             } else if self.eat_keyword("on") {
                 let (which, action) = self.handler()?;
                 match which.as_str() {
@@ -377,7 +386,7 @@ impl Parser {
                     }
                 }
             } else {
-                return Err(self.err("expected `check`, `on`, or `}`"));
+                return Err(self.err("expected `check`, `inject`, `on`, or `}`"));
             }
         }
         let on_success =
@@ -389,10 +398,41 @@ impl Parser {
             kind,
             duration,
             checks,
+            chaos,
             on_success,
             on_failure,
             on_inconclusive: on_inconclusive.unwrap_or(Action::Retry),
         })
+    }
+
+    fn inject(&mut self) -> Result<ChaosSpec, BifrostError> {
+        let kind = if self.eat_keyword("outage") {
+            ChaosKind::Outage
+        } else if self.eat_keyword("latency_spike") {
+            ChaosKind::LatencySpike { multiplier: self.expect_number()? }
+        } else if self.eat_keyword("error_burst") {
+            ChaosKind::ErrorBurst { extra_error_rate: self.expect_number()? }
+        } else {
+            return Err(self.err("expected `outage`, `latency_spike`, or `error_burst`"));
+        };
+        self.expect_keyword("on")?;
+        let target = match self.next() {
+            Some(Spanned { tok: Tok::Ident(word), .. }) if word == "candidate" => {
+                ChaosTarget::Candidate
+            }
+            Some(Spanned { tok: Tok::Ident(word), .. }) if word == "baseline" => {
+                ChaosTarget::Baseline
+            }
+            _ => {
+                self.pos = self.pos.saturating_sub(1);
+                return Err(self.err("expected `candidate` or `baseline`"));
+            }
+        };
+        self.expect_keyword("after")?;
+        let start_after = self.expect_duration()?;
+        self.expect_keyword("for")?;
+        let duration = self.expect_duration()?;
+        Ok(ChaosSpec { kind, target, start_after, duration })
     }
 
     fn phase_kind(&mut self) -> Result<PhaseKind, BifrostError> {
@@ -433,6 +473,8 @@ impl Parser {
             CheckScope::SignificantVsBaseline
         } else if self.eat_keyword("baseline") {
             CheckScope::Baseline
+        } else if self.eat_keyword("app") {
+            CheckScope::App
         } else {
             CheckScope::Candidate
         };
@@ -548,6 +590,7 @@ pub fn to_source(strategy: &Strategy) -> String {
                 CheckScope::Baseline => " baseline",
                 CheckScope::CandidateVsBaseline => " vs_baseline",
                 CheckScope::SignificantVsBaseline => " significant_vs_baseline",
+                CheckScope::App => " app",
             };
             let _ = writeln!(
                 out,
@@ -559,6 +602,22 @@ pub fn to_source(strategy: &Strategy) -> String {
                 check.window,
                 check.interval,
                 check.min_samples
+            );
+        }
+        if let Some(chaos) = &phase.chaos {
+            let kind = match chaos.kind {
+                ChaosKind::Outage => "outage".to_string(),
+                ChaosKind::LatencySpike { multiplier } => format!("latency_spike {multiplier}"),
+                ChaosKind::ErrorBurst { extra_error_rate } => {
+                    format!("error_burst {extra_error_rate}")
+                }
+            };
+            let _ = writeln!(
+                out,
+                "    inject {kind} on {} after {} for {}",
+                chaos.target.keyword(),
+                chaos.start_after,
+                chaos.duration
             );
         }
         let _ = writeln!(out, "    on success {}", phase.on_success);
@@ -653,6 +712,56 @@ strategy "rec-rollout" {
         assert_eq!(s.phases[0].checks[0].threshold, 0.05);
         let reparsed = parse(&to_source(&s)).unwrap();
         assert_eq!(s, reparsed);
+    }
+
+    #[test]
+    fn chaos_recovery_phase_parses_and_roundtrips() {
+        let src = r#"strategy "s" { service "a" baseline "1" candidate "2"
+            phase "chaos" canary 20% for 10m {
+              inject outage on candidate after 2m for 90s
+              check error_rate app < 0.02 over 1m every 30s min_samples 50
+              on success complete
+              on failure rollback
+            } }"#;
+        let s = parse(src).unwrap();
+        let spec = s.phases[0].chaos.expect("chaos spec");
+        assert_eq!(spec.kind, ChaosKind::Outage);
+        assert_eq!(spec.target, ChaosTarget::Candidate);
+        assert_eq!(spec.start_after, SimDuration::from_mins(2));
+        assert_eq!(spec.duration, SimDuration::from_secs(90));
+        assert_eq!(s.phases[0].checks[0].scope, CheckScope::App);
+        let reparsed = parse(&to_source(&s)).unwrap();
+        assert_eq!(s, reparsed);
+    }
+
+    #[test]
+    fn chaos_magnitudes_roundtrip_exactly() {
+        for inject in ["latency_spike 3.5 on baseline", "error_burst 0.125 on candidate"] {
+            let src = format!(
+                r#"strategy "s" {{ service "a" baseline "1" candidate "2"
+                phase "p" canary 10% for 5m {{
+                  inject {inject} after 30s for 1m
+                  on success complete
+                  on failure rollback
+                }} }}"#
+            );
+            let s = parse(&src).unwrap();
+            let reparsed = parse(&to_source(&s)).unwrap();
+            assert_eq!(s, reparsed, "inject `{inject}`");
+        }
+    }
+
+    #[test]
+    fn duplicate_inject_is_an_error() {
+        let src = r#"strategy "s" { service "a" baseline "1" candidate "2"
+            phase "p" canary 10% for 5m {
+              inject outage on candidate after 30s for 1m
+              inject outage on baseline after 40s for 1m
+              on success complete
+              on failure rollback
+            } }"#;
+        let err = parse(src).unwrap_err();
+        assert!(err.to_string().contains("more than one `inject`"), "{err}");
     }
 
     #[test]

@@ -20,8 +20,9 @@ use crate::enact::{self, StrategyBinding};
 use crate::error::BifrostError;
 use crate::journal::{Journal, JournalEvent};
 use crate::machine::{PhaseOutcome, State, StateMachine};
-use crate::model::{PhaseKind, Strategy};
+use crate::model::{ChaosKind, ChaosSpec, ChaosTarget, PhaseKind, Strategy};
 use cex_core::simtime::{SimDuration, SimTime};
+use microsim::faults::{Fault, FaultKind};
 use microsim::sim::Simulation;
 use microsim::workload::Workload;
 use std::time::{Duration, Instant};
@@ -166,6 +167,12 @@ struct RunState {
     rollout_percent: f64,
     next_rollout_step: SimTime,
     status: StrategyStatus,
+    /// Scratch buffer for the scheduler's due-check indices, reused
+    /// every tick so the hot loop performs no per-tick allocation.
+    due_scratch: Vec<usize>,
+    /// Whether the scratch buffer holds valid indices this tick (the
+    /// strategy was in a running phase during the scheduling pre-pass).
+    due_active: bool,
 }
 
 /// Results of the read-only evaluation pass for one strategy. Each due
@@ -300,6 +307,22 @@ impl Engine {
                     percent: enacted_percent(&phase.kind, rollout_percent),
                 });
             }
+            if let Some(spec) = &phase.chaos {
+                let fault = chaos_fault(spec, &binding, sim.now());
+                sim.inject_fault(fault);
+                if let Some(j) = journal.as_deref_mut() {
+                    j.record(JournalEvent::Chaos {
+                        time: sim.now(),
+                        strategy: name.clone(),
+                        phase: phase_names[0].clone(),
+                        kind: spec.kind.keyword(),
+                        magnitude: chaos_magnitude(&spec.kind),
+                        target: sim.app().version_label(fault.version),
+                        from: fault.from,
+                        until: fault.until,
+                    });
+                }
+            }
             runs.push(RunState {
                 strategy: strategy.clone(),
                 name,
@@ -314,6 +337,8 @@ impl Engine {
                 rollout_percent,
                 next_rollout_step,
                 status: StrategyStatus::Running,
+                due_scratch: Vec::new(),
+                due_active: false,
             });
         }
 
@@ -330,6 +355,20 @@ impl Engine {
             let now = sim.now();
 
             let engine_start = Instant::now();
+            // Breaker transitions are sim state; drain them every tick
+            // (journaled or not) so the backlog never grows unboundedly.
+            let breaker_transitions = sim.drain_breaker_transitions();
+            if let Some(j) = journal.as_deref_mut() {
+                for tr in breaker_transitions {
+                    j.record(JournalEvent::Breaker {
+                        time: tr.time,
+                        caller: sim.app().version_label(tr.caller),
+                        callee: sim.app().version_label(tr.callee),
+                        from: tr.from,
+                        to: tr.to,
+                    });
+                }
+            }
             let observations = self.observe(sim, &mut runs, now);
             let tick_evaluations =
                 observations.iter().flatten().map(|o| o.evaluations).sum::<u64>();
@@ -387,15 +426,15 @@ impl Engine {
         now: SimTime,
     ) -> Vec<Option<TickObservation>> {
         // First, a mutable pre-pass collecting which checks are due (the
-        // scheduler advances its due times).
-        let mut due_lists: Vec<Option<Vec<usize>>> = Vec::with_capacity(runs.len());
+        // scheduler advances its due times) into each run's reused
+        // scratch buffer — no per-tick allocation on the hot loop.
         for run in runs.iter_mut() {
             match run.state {
                 State::Phase(p) if run.status == StrategyStatus::Running => {
-                    let checks = &run.strategy.phases[p].checks;
-                    due_lists.push(Some(run.scheduler.due(checks, now)));
+                    run.scheduler.due(&run.strategy.phases[p].checks, now, &mut run.due_scratch);
+                    run.due_active = true;
                 }
-                _ => due_lists.push(None),
+                _ => run.due_active = false,
             }
         }
 
@@ -434,7 +473,8 @@ impl Engine {
             TickObservation { due_results, boundary_results, evaluations }
         };
 
-        let due_work: usize = due_lists.iter().flatten().map(|d| d.len()).sum();
+        let due_work: usize =
+            runs.iter().filter(|r| r.due_active).map(|r| r.due_scratch.len()).sum();
         if due_work >= self.config.parallel_threshold && self.config.workers > 1 {
             let mut results: Vec<Option<TickObservation>> = (0..runs.len()).map(|_| None).collect();
             let chunk = (runs.len() / self.config.workers).max(1);
@@ -446,12 +486,11 @@ impl Engine {
                 while !remaining.is_empty() {
                     let take = chunk.min(remaining.len());
                     let (head, tail) = remaining.split_at_mut(take);
-                    let due_slice = &due_lists[offset..offset + take];
                     let runs_slice = &runs_ref[offset..offset + take];
                     handles.push(scope.spawn(move || {
-                        for ((slot, run), due) in head.iter_mut().zip(runs_slice).zip(due_slice) {
-                            if let Some(due) = due {
-                                *slot = Some(evaluate_one(run, due));
+                        for (slot, run) in head.iter_mut().zip(runs_slice) {
+                            if run.due_active {
+                                *slot = Some(evaluate_one(run, &run.due_scratch));
                             }
                         }
                     }));
@@ -464,10 +503,8 @@ impl Engine {
             });
             results
         } else {
-            due_lists
-                .iter()
-                .enumerate()
-                .map(|(i, due)| due.as_ref().map(|d| evaluate_one(&runs[i], d)))
+            runs.iter()
+                .map(|run| run.due_active.then(|| evaluate_one(run, &run.due_scratch)))
                 .collect()
         }
     }
@@ -636,6 +673,25 @@ impl Engine {
                             percent: enacted_percent(&next_phase.kind, percent),
                         });
                     }
+                    // A chaos-bearing phase re-arms its fault window on
+                    // every entry — including retries, which repeat the
+                    // whole experiment, outage included.
+                    if let Some(spec) = &next_phase.chaos {
+                        let fault = chaos_fault(spec, &run.binding, now);
+                        sim.inject_fault(fault);
+                        if let Some(j) = journal.as_deref_mut() {
+                            j.record(JournalEvent::Chaos {
+                                time: now,
+                                strategy: run.name.clone(),
+                                phase: run.phase_names[j_next].clone(),
+                                kind: spec.kind.keyword(),
+                                magnitude: chaos_magnitude(&spec.kind),
+                                target: app.version_label(fault.version),
+                                from: fault.from,
+                                until: fault.until,
+                            });
+                        }
+                    }
                 }
                 State::Completed => {
                     enact::complete(&app, sim.router_mut(), &run.binding)?;
@@ -687,6 +743,31 @@ fn enacted_percent(kind: &PhaseKind, rollout_percent: f64) -> f64 {
         PhaseKind::DarkLaunch => 0.0,
         PhaseKind::AbTest { split_percent } => *split_percent,
         PhaseKind::GradualRollout { .. } => rollout_percent,
+    }
+}
+
+/// Translates a phase's chaos spec into a concrete simulator fault
+/// window anchored at the phase entry time `now`.
+fn chaos_fault(spec: &ChaosSpec, binding: &StrategyBinding, now: SimTime) -> Fault {
+    let version = match spec.target {
+        ChaosTarget::Candidate => binding.candidate,
+        ChaosTarget::Baseline => binding.baseline,
+    };
+    let kind = match spec.kind {
+        ChaosKind::LatencySpike { multiplier } => FaultKind::LatencySpike { multiplier },
+        ChaosKind::ErrorBurst { extra_error_rate } => FaultKind::ErrorBurst { extra_error_rate },
+        ChaosKind::Outage => FaultKind::Outage,
+    };
+    let from = now + spec.start_after;
+    Fault { version, kind, from, until: from + spec.duration }
+}
+
+/// The journaled magnitude of a chaos kind (zero for outages).
+fn chaos_magnitude(kind: &ChaosKind) -> f64 {
+    match kind {
+        ChaosKind::LatencySpike { multiplier } => *multiplier,
+        ChaosKind::ErrorBurst { extra_error_rate } => *extra_error_rate,
+        ChaosKind::Outage => 0.0,
     }
 }
 
@@ -1159,6 +1240,180 @@ mod tests {
         let store = sim.store();
         assert_eq!(store.retention(), None);
         assert_eq!(store.total_samples() as u64, store.total_recorded());
+    }
+
+    /// Two-tier app for the chaos-recovery tests: a stable frontend
+    /// fanning into the experimented backend, giving the resilience
+    /// layer a caller→callee edge to guard.
+    fn chaos_app() -> Application {
+        use microsim::app::CallDef;
+        let mut b = Application::builder();
+        b.version(
+            VersionSpec::new("web", "1.0.0").capacity(10_000.0).endpoint(
+                EndpointDef::new("home", LatencyModel::Constant { ms: 5.0 })
+                    .call(CallDef::always("svc", "api")),
+            ),
+        );
+        b.version(
+            VersionSpec::new("svc", "1.0.0")
+                .capacity(10_000.0)
+                .endpoint(EndpointDef::new("api", LatencyModel::Constant { ms: 10.0 })),
+        );
+        b.version(
+            VersionSpec::new("svc", "2.0.0")
+                .capacity(10_000.0)
+                .endpoint(EndpointDef::new("api", LatencyModel::Constant { ms: 9.0 })),
+        );
+        b.build().unwrap()
+    }
+
+    fn chaos_workload(app: &Application) -> Workload {
+        Workload::simple(app.service_id("web").unwrap(), "home", 40.0)
+    }
+
+    fn resilience_policy() -> microsim::resilience::CallPolicy {
+        use microsim::resilience::{BreakerPolicy, CallPolicy};
+        CallPolicy {
+            max_retries: 1,
+            backoff_base: SimDuration::from_millis(20),
+            jitter: 0.5,
+            breaker: Some(BreakerPolicy {
+                error_threshold: 0.5,
+                min_calls: 10,
+                window: 40,
+                cooldown: SimDuration::from_secs(5),
+                half_open_probes: 3,
+            }),
+            fallback: true,
+            fallback_latency: SimDuration::from_millis(1),
+            ..CallPolicy::default()
+        }
+    }
+
+    fn chaos_strategy_src() -> &'static str {
+        r#"strategy "chaos-canary" {
+            service "svc" baseline "1.0.0" candidate "2.0.0"
+            phase "chaos" canary 20% for 8m {
+              inject outage on candidate after 2m for 1m
+              check error_rate app < 0.02 over 1m every 30s min_samples 20
+              on success complete
+              on failure rollback
+            }
+        }"#
+    }
+
+    #[test]
+    fn chaos_recovery_survives_the_outage_and_journals_the_breaker_cycle() {
+        let app = chaos_app();
+        let wl = chaos_workload(&app);
+        let mut sim = Simulation::new(app, 17);
+        sim.set_call_policy(resilience_policy());
+        let strategy = dsl::parse(chaos_strategy_src()).unwrap();
+        let (report, journal) = Engine::default()
+            .execute_journaled(&mut sim, &[strategy], &wl, SimDuration::from_mins(10))
+            .unwrap();
+        // The fallback absorbs the outage, so users never see it and the
+        // app-scope check passes the phase.
+        assert_eq!(report.statuses[0].1, StrategyStatus::Completed);
+
+        // The armed fault window is journaled with its absolute bounds.
+        let chaos: Vec<_> = journal
+            .events()
+            .iter()
+            .filter_map(|e| match e {
+                JournalEvent::Chaos { kind, target, from, until, .. } => {
+                    Some((*kind, target.clone(), *from, *until))
+                }
+                _ => None,
+            })
+            .collect();
+        assert_eq!(
+            chaos,
+            vec![("outage", "svc@2.0.0".to_string(), SimTime::from_mins(2), SimTime::from_mins(3))]
+        );
+
+        // The breaker on the web→candidate edge opens during the outage
+        // and re-closes shortly after the window clears.
+        use microsim::resilience::BreakerState;
+        let breaker: Vec<_> = journal
+            .events()
+            .iter()
+            .filter_map(|e| match e {
+                JournalEvent::Breaker { time, caller, callee, to, .. } if callee == "svc@2.0.0" => {
+                    Some((*time, caller.clone(), *to))
+                }
+                _ => None,
+            })
+            .collect();
+        let opened = breaker.iter().find(|(_, _, to)| *to == BreakerState::Open).expect("opens");
+        assert!(opened.0 >= SimTime::from_mins(2) && opened.0 < SimTime::from_mins(3));
+        assert_eq!(opened.1, "web@1.0.0");
+        let reclosed =
+            breaker.iter().rev().find(|(_, _, to)| *to == BreakerState::Closed).expect("re-closes");
+        assert!(
+            reclosed.0 >= SimTime::from_mins(3) && reclosed.0 <= SimTime::from_mins(4),
+            "re-closed at {} — expected within a minute of the window clearing",
+            reclosed.0
+        );
+
+        // The journal replays: parse → re-serialize is byte-identical,
+        // and the replayed terminal state matches the live report.
+        let text = journal.to_jsonl();
+        let parsed = crate::journal::Journal::from_jsonl(&text).unwrap();
+        assert_eq!(parsed.to_jsonl(), text);
+        assert_eq!(parsed.final_states(), vec![("chaos-canary".into(), State::Completed)]);
+    }
+
+    #[test]
+    fn chaos_without_resilience_is_caught_and_rolled_back() {
+        // Same experiment, no resilience layer: the outage leaks straight
+        // to users, the app-scope check fails, and the strategy rolls
+        // back. The fault window starts exactly on the phase boundary
+        // (start_after 0) — the `[from, until)` convention must apply it
+        // from the very first request of the phase.
+        let app = chaos_app();
+        let wl = chaos_workload(&app);
+        let mut sim = Simulation::new(app, 17);
+        let strategy = dsl::parse(
+            r#"strategy "chaos-naked" {
+                service "svc" baseline "1.0.0" candidate "2.0.0"
+                phase "chaos" canary 20% for 8m {
+                  inject outage on candidate after 0s for 2m
+                  check error_rate app < 0.02 over 1m every 30s min_samples 20
+                  on success complete
+                  on failure rollback
+                }
+            }"#,
+        )
+        .unwrap();
+        let report = Engine::default()
+            .execute(&mut sim, &[strategy], &wl, SimDuration::from_mins(10))
+            .unwrap();
+        assert_eq!(report.statuses[0].1, StrategyStatus::RolledBack);
+        // Caught inside the outage window, not at the phase boundary.
+        let t = report.transitions.last().unwrap().time;
+        assert!(t <= SimTime::from_mins(2) + SimDuration::from_secs(30), "rolled back at {t}");
+    }
+
+    #[test]
+    fn chaos_journal_is_byte_identical_across_runs_and_worker_counts() {
+        let mut texts = Vec::new();
+        for workers in [1, 1, 4] {
+            let app = chaos_app();
+            let wl = chaos_workload(&app);
+            let mut sim = Simulation::new(app, 23);
+            sim.set_call_policy(resilience_policy());
+            let strategy = dsl::parse(chaos_strategy_src()).unwrap();
+            let engine =
+                Engine::new(EngineConfig { parallel_threshold: 1, workers, ..Default::default() });
+            let (_, journal) = engine
+                .execute_journaled(&mut sim, &[strategy], &wl, SimDuration::from_mins(10))
+                .unwrap();
+            assert!(journal.events().iter().any(|e| matches!(e, JournalEvent::Breaker { .. })));
+            texts.push(journal.to_jsonl());
+        }
+        assert_eq!(texts[0], texts[1], "same seed, same workers");
+        assert_eq!(texts[0], texts[2], "same seed, 1 vs 4 workers");
     }
 
     #[test]

@@ -32,6 +32,7 @@ use crate::model::CheckScope;
 use cex_core::json::{obj, Json};
 use cex_core::metrics::{MetricKind, Summary};
 use cex_core::simtime::SimTime;
+use microsim::resilience::BreakerState;
 use std::fmt::Write as _;
 use std::sync::Arc;
 use std::time::Duration;
@@ -90,6 +91,41 @@ pub enum JournalEvent {
         /// The phase outcome that triggered it.
         outcome: PhaseOutcome,
     },
+    /// A scheduled chaos injection was armed: the engine translated a
+    /// phase's [`crate::model::ChaosSpec`] into a simulator fault window.
+    Chaos {
+        /// Virtual time the injection was armed (phase entry).
+        time: SimTime,
+        /// The strategy whose phase scheduled it.
+        strategy: Arc<str>,
+        /// Phase name.
+        phase: Arc<str>,
+        /// Chaos kind keyword (`outage`, `latency_spike`, `error_burst`).
+        kind: &'static str,
+        /// Kind magnitude (latency multiplier / extra error rate; zero
+        /// for outages).
+        magnitude: f64,
+        /// Label of the afflicted version (`service@version`).
+        target: String,
+        /// Fault window start (inclusive).
+        from: SimTime,
+        /// Fault window end (exclusive).
+        until: SimTime,
+    },
+    /// A circuit breaker in the simulated request path changed state —
+    /// the resilience layer reacting to (or recovering from) a fault.
+    Breaker {
+        /// Virtual time of the transition.
+        time: SimTime,
+        /// Label of the calling version.
+        caller: String,
+        /// Label of the guarded callee version.
+        callee: String,
+        /// State left.
+        from: BreakerState,
+        /// State entered.
+        to: BreakerState,
+    },
     /// A retired metric scope was pruned from the live store (the
     /// journal keeps the long-term record).
     ScopeCleared {
@@ -127,6 +163,11 @@ fn kind_keyword(name: &str) -> Option<&'static str> {
     ["canary", "dark_launch", "ab_test", "gradual_rollout"].into_iter().find(|k| *k == name)
 }
 
+/// Same resolution for chaos kinds ([`crate::model::ChaosKind`] keywords).
+fn chaos_keyword(name: &str) -> Option<&'static str> {
+    ["outage", "latency_spike", "error_burst"].into_iter().find(|k| *k == name)
+}
+
 impl JournalEvent {
     /// Virtual time of the event.
     pub fn time(&self) -> SimTime {
@@ -134,6 +175,8 @@ impl JournalEvent {
             JournalEvent::Enacted { time, .. }
             | JournalEvent::Check { time, .. }
             | JournalEvent::Transition { time, .. }
+            | JournalEvent::Chaos { time, .. }
+            | JournalEvent::Breaker { time, .. }
             | JournalEvent::ScopeCleared { time, .. }
             | JournalEvent::Tick { time, .. } => *time,
         }
@@ -146,8 +189,9 @@ impl JournalEvent {
             JournalEvent::Enacted { strategy, .. }
             | JournalEvent::Check { strategy, .. }
             | JournalEvent::Transition { strategy, .. }
+            | JournalEvent::Chaos { strategy, .. }
             | JournalEvent::ScopeCleared { strategy, .. } => Some(strategy.as_ref()),
-            JournalEvent::Tick { .. } => None,
+            JournalEvent::Breaker { .. } | JournalEvent::Tick { .. } => None,
         }
     }
 
@@ -193,6 +237,27 @@ impl JournalEvent {
                 ("from", Json::Str(from.to_string())),
                 ("to", Json::Str(to.to_string())),
                 ("outcome", Json::Str(outcome.name().into())),
+            ]),
+            JournalEvent::Chaos { time, strategy, phase, kind, magnitude, target, from, until } => {
+                obj(vec![
+                    ("ev", Json::Str("chaos".into())),
+                    ("t", t(time)),
+                    ("strategy", Json::Str(strategy.to_string())),
+                    ("phase", Json::Str(phase.to_string())),
+                    ("kind", Json::Str(kind.to_string())),
+                    ("magnitude", Json::Num(*magnitude)),
+                    ("target", Json::Str(target.clone())),
+                    ("from", t(from)),
+                    ("until", t(until)),
+                ])
+            }
+            JournalEvent::Breaker { time, caller, callee, from, to } => obj(vec![
+                ("ev", Json::Str("breaker".into())),
+                ("t", t(time)),
+                ("caller", Json::Str(caller.clone())),
+                ("callee", Json::Str(callee.clone())),
+                ("from", Json::Str(from.name().into())),
+                ("to", Json::Str(to.name().into())),
             ]),
             JournalEvent::ScopeCleared { time, strategy, scope } => obj(vec![
                 ("ev", Json::Str("scope_cleared".into())),
@@ -260,6 +325,30 @@ impl JournalEvent {
                 to: State::parse(&text(json, "to")?).ok_or_else(|| bad("to"))?,
                 outcome: PhaseOutcome::from_name(&text(json, "outcome")?)
                     .ok_or_else(|| bad("outcome"))?,
+            }),
+            Some("chaos") => Ok(JournalEvent::Chaos {
+                time: time(json)?,
+                strategy: text(json, "strategy")?.into(),
+                phase: text(json, "phase")?.into(),
+                kind: chaos_keyword(&text(json, "kind")?).ok_or_else(|| bad("kind"))?,
+                magnitude: json
+                    .get("magnitude")
+                    .and_then(Json::as_f64)
+                    .ok_or_else(|| bad("magnitude"))?,
+                target: text(json, "target")?,
+                from: SimTime::from_millis(
+                    json.get("from").and_then(Json::as_u64).ok_or_else(|| bad("from"))?,
+                ),
+                until: SimTime::from_millis(
+                    json.get("until").and_then(Json::as_u64).ok_or_else(|| bad("until"))?,
+                ),
+            }),
+            Some("breaker") => Ok(JournalEvent::Breaker {
+                time: time(json)?,
+                caller: text(json, "caller")?,
+                callee: text(json, "callee")?,
+                from: BreakerState::from_name(&text(json, "from")?).ok_or_else(|| bad("from"))?,
+                to: BreakerState::from_name(&text(json, "to")?).ok_or_else(|| bad("to"))?,
             }),
             Some("scope_cleared") => Ok(JournalEvent::ScopeCleared {
                 time: time(json)?,
@@ -587,6 +676,23 @@ mod tests {
             primary: Summary::of(&[120.0]),
             baseline: Some(Summary::of(&[100.0, 110.0])),
         });
+        j.record(JournalEvent::Chaos {
+            time: t(40),
+            strategy: "s1".into(),
+            phase: "canary".into(),
+            kind: "latency_spike",
+            magnitude: 3.5,
+            target: "svc@2.0.0".into(),
+            from: t(45),
+            until: t(55),
+        });
+        j.record(JournalEvent::Breaker {
+            time: t(50),
+            caller: "web@1.0.0".into(),
+            callee: "svc@2.0.0".into(),
+            from: BreakerState::Closed,
+            to: BreakerState::Open,
+        });
         j.record(JournalEvent::Transition {
             time: t(60),
             strategy: "s1".into(),
@@ -659,6 +765,8 @@ mod tests {
             ("{\"t\":1}", "ev"),
             ("{\"ev\":\"transition\",\"t\":1,\"strategy\":\"s\",\"from\":\"phase#0\",\"to\":\"limbo\",\"outcome\":\"success\"}", "to"),
             ("{\"ev\":\"check\",\"t\":1,\"strategy\":\"s\",\"phase\":\"p\",\"check\":0,\"metric\":\"latency\",\"scope\":\"candidate\",\"result\":\"pass\",\"primary\":{}}", "metric"),
+            ("{\"ev\":\"breaker\",\"t\":1,\"caller\":\"a\",\"callee\":\"b\",\"from\":\"closed\",\"to\":\"fried\"}", "to"),
+            ("{\"ev\":\"chaos\",\"t\":1,\"strategy\":\"s\",\"phase\":\"p\",\"kind\":\"meteor\",\"magnitude\":1,\"target\":\"x\",\"from\":0,\"until\":1}", "kind"),
         ] {
             let err = Journal::from_jsonl(src).unwrap_err();
             assert!(err.to_string().contains(needle), "{src} -> {err}");

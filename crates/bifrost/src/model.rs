@@ -75,6 +75,10 @@ pub enum CheckScope {
     /// significance level `threshold` — the rigorous hypothesis testing
     /// that characterizes business-driven experiments (Table 2.5).
     SignificantVsBaseline,
+    /// The end-to-end application scope (user-perceived metrics) — what
+    /// chaos-recovery phases bound: "whatever happens to the candidate,
+    /// users must not feel it".
+    App,
 }
 
 impl CheckScope {
@@ -85,6 +89,7 @@ impl CheckScope {
             CheckScope::Baseline => "baseline",
             CheckScope::CandidateVsBaseline => "vs_baseline",
             CheckScope::SignificantVsBaseline => "significant_vs_baseline",
+            CheckScope::App => "app",
         }
     }
 
@@ -95,6 +100,7 @@ impl CheckScope {
             "baseline" => CheckScope::Baseline,
             "vs_baseline" => CheckScope::CandidateVsBaseline,
             "significant_vs_baseline" => CheckScope::SignificantVsBaseline,
+            "app" => CheckScope::App,
             _ => return None,
         })
     }
@@ -186,6 +192,79 @@ impl fmt::Display for Check {
     }
 }
 
+/// What a scheduled chaos injection inflicts on its target version.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ChaosKind {
+    /// Service times multiplied by this factor (>= 1).
+    LatencySpike {
+        /// Latency multiplier.
+        multiplier: f64,
+    },
+    /// Additional failure probability on every hop.
+    ErrorBurst {
+        /// Extra error rate in `0.0..=1.0`.
+        extra_error_rate: f64,
+    },
+    /// Every request to the target fails.
+    Outage,
+}
+
+impl ChaosKind {
+    /// Canonical keyword, shared with the DSL and the journal.
+    pub fn keyword(&self) -> &'static str {
+        match self {
+            ChaosKind::LatencySpike { .. } => "latency_spike",
+            ChaosKind::ErrorBurst { .. } => "error_burst",
+            ChaosKind::Outage => "outage",
+        }
+    }
+}
+
+/// Which of the strategy's versions a chaos injection strikes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChaosTarget {
+    /// The candidate version.
+    Candidate,
+    /// The baseline version.
+    Baseline,
+}
+
+impl ChaosTarget {
+    /// Canonical keyword, shared with the DSL.
+    pub fn keyword(self) -> &'static str {
+        match self {
+            ChaosTarget::Candidate => "candidate",
+            ChaosTarget::Baseline => "baseline",
+        }
+    }
+
+    /// Parses the keyword produced by [`ChaosTarget::keyword`].
+    pub fn from_keyword(name: &str) -> Option<Self> {
+        Some(match name {
+            "candidate" => ChaosTarget::Candidate,
+            "baseline" => ChaosTarget::Baseline,
+            _ => return None,
+        })
+    }
+}
+
+/// A scheduled fault window inside a phase — the chaos half of a
+/// chaos-recovery experiment. The engine injects the corresponding
+/// `FaultPlan` window when it enacts the phase; the phase's checks (and
+/// the journaled breaker transitions) then assert *recovery*.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChaosSpec {
+    /// What to inflict.
+    pub kind: ChaosKind,
+    /// Which version suffers it.
+    pub target: ChaosTarget,
+    /// Delay from phase enactment to the window start (lets the phase
+    /// establish a healthy steady state first).
+    pub start_after: SimDuration,
+    /// Window length (`[start, start + duration)` in fault-plan terms).
+    pub duration: SimDuration,
+}
+
 /// What happens when a phase concludes (the conditional-chaining edges).
 #[derive(Debug, Clone, PartialEq)]
 pub enum Action {
@@ -225,6 +304,8 @@ pub struct Phase {
     pub duration: SimDuration,
     /// Health criteria evaluated during the phase.
     pub checks: Vec<Check>,
+    /// Optional scheduled fault window (chaos-recovery experiments).
+    pub chaos: Option<ChaosSpec>,
     /// Action on success.
     pub on_success: Action,
     /// Action on a conclusively failed check.
@@ -337,6 +418,30 @@ impl Strategy {
                     ));
                 }
             }
+            if let Some(chaos) = &phase.chaos {
+                if chaos.duration.is_zero() {
+                    return invalid(format!("phase {}: chaos window is empty", phase.name));
+                }
+                match chaos.kind {
+                    ChaosKind::LatencySpike { multiplier } => {
+                        if multiplier < 1.0 {
+                            return invalid(format!(
+                                "phase {}: chaos latency multiplier below 1",
+                                phase.name
+                            ));
+                        }
+                    }
+                    ChaosKind::ErrorBurst { extra_error_rate } => {
+                        if !(0.0..=1.0).contains(&extra_error_rate) {
+                            return invalid(format!(
+                                "phase {}: chaos error rate out of 0..=1",
+                                phase.name
+                            ));
+                        }
+                    }
+                    ChaosKind::Outage => {}
+                }
+            }
             for action in [&phase.on_success, &phase.on_failure, &phase.on_inconclusive] {
                 if let Action::Goto(target) = action {
                     if !self.phases.iter().any(|p| &p.name == target) {
@@ -380,6 +485,7 @@ mod tests {
                     kind: PhaseKind::Canary { traffic_percent: 5.0 },
                     duration: SimDuration::from_mins(10),
                     checks: vec![Check::candidate(MetricKind::ErrorRate, Comparator::Lt, 0.05)],
+                    chaos: None,
                     on_success: Action::Goto("rollout".into()),
                     on_failure: Action::Rollback,
                     on_inconclusive: Action::Retry,
@@ -394,6 +500,7 @@ mod tests {
                     },
                     duration: SimDuration::from_mins(30),
                     checks: vec![Check::candidate(MetricKind::ResponseTime, Comparator::Lt, 200.0)],
+                    chaos: None,
                     on_success: Action::Complete,
                     on_failure: Action::Rollback,
                     on_inconclusive: Action::Retry,

@@ -6,7 +6,10 @@
 //! experimentation processes" answer. Every template produces a validated
 //! [`Strategy`] that round-trips through the DSL.
 
-use crate::model::{Action, Check, CheckScope, Comparator, Phase, PhaseKind, Strategy};
+use crate::model::{
+    Action, ChaosKind, ChaosSpec, ChaosTarget, Check, CheckScope, Comparator, Phase, PhaseKind,
+    Strategy,
+};
 use cex_core::metrics::MetricKind;
 use cex_core::simtime::SimDuration;
 
@@ -98,6 +101,7 @@ pub fn canary_then_rollout(
                 kind: PhaseKind::Canary { traffic_percent: 5.0 },
                 duration: SimDuration::from_mins(10),
                 checks: criteria.checks(),
+                chaos: None,
                 on_success: Action::Goto("rollout".into()),
                 on_failure: Action::Rollback,
                 on_inconclusive: Action::Retry,
@@ -112,6 +116,7 @@ pub fn canary_then_rollout(
                 },
                 duration: SimDuration::from_mins(45),
                 checks: criteria.absolute_checks(),
+                chaos: None,
                 on_success: Action::Complete,
                 on_failure: Action::Rollback,
                 on_inconclusive: Action::Retry,
@@ -156,6 +161,7 @@ pub fn four_phase(
                 kind: PhaseKind::Canary { traffic_percent: 5.0 },
                 duration: SimDuration::from_mins(10),
                 checks: criteria.checks(),
+                chaos: None,
                 on_success: Action::Goto("dark".into()),
                 on_failure: Action::Rollback,
                 on_inconclusive: Action::Retry,
@@ -165,6 +171,7 @@ pub fn four_phase(
                 kind: PhaseKind::DarkLaunch,
                 duration: SimDuration::from_mins(10),
                 checks: criteria.checks(),
+                chaos: None,
                 on_success: Action::Goto("ab".into()),
                 on_failure: Action::Rollback,
                 on_inconclusive: Action::Retry,
@@ -178,6 +185,7 @@ pub fn four_phase(
                     checks.push(ab_check);
                     checks
                 },
+                chaos: None,
                 on_success: Action::Goto("rollout".into()),
                 on_failure: Action::Rollback,
                 on_inconclusive: Action::Retry,
@@ -192,6 +200,7 @@ pub fn four_phase(
                 },
                 duration: SimDuration::from_mins(30),
                 checks: criteria.absolute_checks(),
+                chaos: None,
                 on_success: Action::Complete,
                 on_failure: Action::Rollback,
                 on_inconclusive: Action::Retry,
@@ -222,6 +231,54 @@ pub fn dark_probe(
             kind: PhaseKind::DarkLaunch,
             duration: SimDuration::from_mins(15),
             checks: criteria.checks(),
+            chaos: None,
+            on_success: Action::Complete,
+            on_failure: Action::Rollback,
+            on_inconclusive: Action::Retry,
+        }],
+    };
+    debug_assert!(strategy.validate().is_ok());
+    strategy
+}
+
+/// A chaos-recovery experiment: run the candidate as a canary, knock it
+/// out with a scheduled outage mid-phase, and require that users never
+/// notice — the app-scope error rate stays below `max_app_error_rate`
+/// while the resilience layer (breakers, fallbacks) absorbs the blast.
+pub fn chaos_recovery(
+    name: impl Into<String>,
+    service: impl Into<String>,
+    baseline: impl Into<String>,
+    candidate: impl Into<String>,
+    max_app_error_rate: f64,
+    criteria: HealthCriteria,
+) -> Strategy {
+    let app_check = Check {
+        metric: MetricKind::ErrorRate,
+        scope: CheckScope::App,
+        comparator: Comparator::Lt,
+        threshold: max_app_error_rate,
+        window: criteria.window,
+        interval: criteria.interval,
+        min_samples: criteria.min_samples,
+    };
+    let strategy = Strategy {
+        name: name.into(),
+        service: service.into(),
+        baseline: baseline.into(),
+        candidate: candidate.into(),
+        variant_b: None,
+        phases: vec![Phase {
+            name: "chaos".into(),
+            kind: PhaseKind::Canary { traffic_percent: 20.0 },
+            duration: SimDuration::from_mins(10),
+            checks: vec![app_check],
+            chaos: Some(ChaosSpec {
+                kind: ChaosKind::Outage,
+                target: ChaosTarget::Candidate,
+                start_after: SimDuration::from_mins(3),
+                duration: SimDuration::from_mins(2),
+            }),
             on_success: Action::Complete,
             on_failure: Action::Rollback,
             on_inconclusive: Action::Retry,
@@ -252,6 +309,7 @@ mod tests {
                 HealthCriteria::default(),
             ),
             dark_probe("d", "svc", "1", "2", HealthCriteria::default()),
+            chaos_recovery("x", "svc", "1", "2", 0.02, HealthCriteria::default()),
         ];
         for strategy in strategies {
             strategy.validate().unwrap();
@@ -282,6 +340,17 @@ mod tests {
             .expect("significance gate");
         assert_eq!(gate.threshold, 0.01);
         assert_eq!(gate.metric, MetricKind::ConversionRate);
+    }
+
+    #[test]
+    fn chaos_recovery_schedules_an_outage_inside_the_phase() {
+        let s = chaos_recovery("x", "svc", "1", "2", 0.02, HealthCriteria::default());
+        let phase = s.phase("chaos").unwrap();
+        let spec = phase.chaos.expect("chaos spec");
+        assert_eq!(spec.kind, ChaosKind::Outage);
+        assert_eq!(spec.target, ChaosTarget::Candidate);
+        assert!(spec.start_after + spec.duration <= phase.duration, "outage fits in the phase");
+        assert!(phase.checks.iter().all(|c| c.scope == CheckScope::App));
     }
 
     #[test]

@@ -27,19 +27,28 @@ pub enum MetricKind {
     ConversionRate,
     /// Generic revenue-per-user business metric.
     RevenuePerUser,
+    /// Attempts whose callee exceeded the caller's attempt timeout
+    /// (resilience layer; one sample of `1.0` per timed-out attempt).
+    Timeout,
+    /// Retry attempts issued after a failed or timed-out attempt
+    /// (resilience layer; one sample of `1.0` per retry).
+    Retry,
+    /// Circuit-breaker transitions into the open state (resilience
+    /// layer; one sample of `1.0` per opening).
+    BreakerOpen,
+    /// Calls shed without execution because the breaker was open
+    /// (resilience layer; one sample of `1.0` per shed call).
+    Shed,
+    /// Calls answered by the degraded fallback instead of the callee
+    /// (resilience layer; one sample of `1.0` per fallback response).
+    FallbackServed,
 }
 
 impl MetricKind {
     /// `true` for application/infrastructure metrics used by
     /// regression-driven experiments.
     pub fn is_technical(self) -> bool {
-        matches!(
-            self,
-            MetricKind::ResponseTime
-                | MetricKind::ErrorRate
-                | MetricKind::Throughput
-                | MetricKind::CpuUtilization
-        )
+        !matches!(self, MetricKind::ConversionRate | MetricKind::RevenuePerUser)
     }
 
     /// `true` for business metrics used by business-driven experiments.
@@ -52,7 +61,14 @@ impl MetricKind {
     pub fn lower_is_better(self) -> bool {
         matches!(
             self,
-            MetricKind::ResponseTime | MetricKind::ErrorRate | MetricKind::CpuUtilization
+            MetricKind::ResponseTime
+                | MetricKind::ErrorRate
+                | MetricKind::CpuUtilization
+                | MetricKind::Timeout
+                | MetricKind::Retry
+                | MetricKind::BreakerOpen
+                | MetricKind::Shed
+                | MetricKind::FallbackServed
         )
     }
 
@@ -65,6 +81,11 @@ impl MetricKind {
             MetricKind::CpuUtilization => "cpu_utilization",
             MetricKind::ConversionRate => "conversion_rate",
             MetricKind::RevenuePerUser => "revenue_per_user",
+            MetricKind::Timeout => "timeout",
+            MetricKind::Retry => "retry",
+            MetricKind::BreakerOpen => "breaker_open",
+            MetricKind::Shed => "shed",
+            MetricKind::FallbackServed => "fallback_served",
         }
     }
 
@@ -77,13 +98,18 @@ impl MetricKind {
             "cpu_utilization" => MetricKind::CpuUtilization,
             "conversion_rate" => MetricKind::ConversionRate,
             "revenue_per_user" => MetricKind::RevenuePerUser,
+            "timeout" => MetricKind::Timeout,
+            "retry" => MetricKind::Retry,
+            "breaker_open" => MetricKind::BreakerOpen,
+            "shed" => MetricKind::Shed,
+            "fallback_served" => MetricKind::FallbackServed,
             _ => return None,
         })
     }
 
     /// All metric kinds in discriminant order (`all()[k as usize] == k`),
     /// for exhaustive sweeps and dense per-kind indexing.
-    pub const fn all() -> [MetricKind; 6] {
+    pub const fn all() -> [MetricKind; 11] {
         [
             MetricKind::ResponseTime,
             MetricKind::ErrorRate,
@@ -91,6 +117,11 @@ impl MetricKind {
             MetricKind::CpuUtilization,
             MetricKind::ConversionRate,
             MetricKind::RevenuePerUser,
+            MetricKind::Timeout,
+            MetricKind::Retry,
+            MetricKind::BreakerOpen,
+            MetricKind::Shed,
+            MetricKind::FallbackServed,
         ]
     }
 }
@@ -368,6 +399,18 @@ mod tests {
         assert!(MetricKind::ErrorRate.lower_is_better());
         assert!(!MetricKind::Throughput.lower_is_better());
         assert!(!MetricKind::ConversionRate.lower_is_better());
+        // Resilience counters are technical guardrail metrics: fewer
+        // timeouts/retries/sheds is always healthier.
+        for kind in [
+            MetricKind::Timeout,
+            MetricKind::Retry,
+            MetricKind::BreakerOpen,
+            MetricKind::Shed,
+            MetricKind::FallbackServed,
+        ] {
+            assert!(kind.is_technical());
+            assert!(kind.lower_is_better());
+        }
     }
 
     #[test]

@@ -13,6 +13,7 @@ use crate::error::SimError;
 use crate::faults::FaultPlan;
 use crate::load::LoadTracker;
 use crate::monitor::{MetricStore, SampleBatch, ScopeId};
+use crate::resilience::{BreakerState, CallDecision, CallPolicy, Resilience};
 use crate::routing::{Router, UserId};
 use crate::trace::{Span, SpanId, Trace, TraceId};
 use cex_core::metrics::MetricKind;
@@ -88,6 +89,11 @@ pub struct RequestResult {
 /// * `sink` — when present, per-hop response times and error indicators
 ///   are recorded under the `service@version` scope (batched; flushed by
 ///   the caller at deterministic boundaries).
+/// * `resilience` — when present, primary child calls on edges with a
+///   [`CallPolicy`] get timeouts, retries, circuit breaking, and
+///   fallbacks; retries re-enter the latency/fault models at the shifted
+///   attempt time and breaker state persists in the caller-owned
+///   [`ResilienceState`](crate::resilience::ResilienceState).
 /// * `faults` — active fault windows applied on top of the normal latency
 ///   and error models.
 ///
@@ -107,6 +113,7 @@ pub fn execute_request(
     now: SimTime,
     trace_id: Option<TraceId>,
     sink: Option<&mut MetricSink<'_>>,
+    resilience: Option<Resilience<'_>>,
     faults: &FaultPlan,
 ) -> Result<RequestResult, SimError> {
     let mut ctx = ExecCtx {
@@ -116,6 +123,7 @@ pub fn execute_request(
         rng,
         user,
         sink,
+        resilience,
         faults,
         spans: Vec::new(),
         trace_id,
@@ -154,6 +162,7 @@ struct ExecCtx<'a, 'b> {
     rng: &'a mut SplitMix64,
     user: UserId,
     sink: Option<&'a mut MetricSink<'b>>,
+    resilience: Option<Resilience<'a>>,
     faults: &'a FaultPlan,
     spans: Vec<Span>,
     trace_id: Option<TraceId>,
@@ -201,7 +210,12 @@ impl ExecCtx<'_, '_> {
         let multiplier = self.load.multiplier(self.app, version) * fault.latency_multiplier;
         let endpoint = self.app.endpoint(endpoint_id);
         let own_latency = endpoint.latency.sample(self.rng, multiplier);
-        let failure_rate = (endpoint.error_rate + fault.extra_error_rate).min(1.0);
+        // Combined failure probability, clamped exactly once at the point
+        // of use: the endpoint's own rate and overlapping fault windows
+        // each stay in domain individually but their *sum* may exceed 1
+        // (e.g. 0.9 + 0.9), and `FaultPlan::effects` deliberately does
+        // not cap so that no composition information is lost upstream.
+        let failure_rate = (endpoint.error_rate + fault.extra_error_rate).clamp(0.0, 1.0);
         let own_ok = self.rng.next_f64() >= failure_rate;
 
         let mut elapsed = self.router.proxy_overhead() + own_latency;
@@ -215,15 +229,21 @@ impl ExecCtx<'_, '_> {
                 continue;
             }
             let child_start = start + elapsed;
-            // Primary call.
-            let child = self.hop(
-                call.service,
-                &call.endpoint,
-                child_start,
-                Some(span_id),
-                dark,
-                depth + 1,
-            )?;
+            // Primary call, resilience-guarded when a policy covers this
+            // edge. Dark traffic is never guarded: mirrors must see the
+            // raw callee behaviour their health checks are judging.
+            let child = if !dark && self.resilience.is_some() {
+                self.guarded_call(
+                    version,
+                    call.service,
+                    &call.endpoint,
+                    child_start,
+                    span_id,
+                    depth + 1,
+                )?
+            } else {
+                self.hop(call.service, &call.endpoint, child_start, Some(span_id), dark, depth + 1)?
+            };
             elapsed += child.duration;
             ok &= child.ok;
             // Dark-launch mirrors: execute on each mirror version without
@@ -265,6 +285,112 @@ impl ExecCtx<'_, '_> {
         }
 
         Ok(HopOutcome { duration: elapsed, ok })
+    }
+
+    /// One resilience-guarded child call: breaker admission, attempt
+    /// loop with timeout + backoff-with-jitter retries, fallback.
+    ///
+    /// The callee version is resolved once up front — sticky routing is
+    /// deterministic per user, so retries land on the same version, and
+    /// the breaker key `(caller version, callee version)` is stable for
+    /// the whole attempt sequence. Each attempt re-enters the normal
+    /// latency and fault models at its shifted start time, so a fault
+    /// window can expire between an attempt and its retry.
+    fn guarded_call(
+        &mut self,
+        caller: VersionId,
+        service: ServiceId,
+        endpoint: &str,
+        start: SimTime,
+        parent: SpanId,
+        depth: usize,
+    ) -> Result<HopOutcome, SimError> {
+        let caller_service = self.app.version(caller).service;
+        let policy = match self
+            .resilience
+            .as_ref()
+            .and_then(|r| r.plan.policy_for(caller_service.0, service.0))
+        {
+            Some(policy) => *policy,
+            None => return self.hop(service, endpoint, start, Some(parent), false, depth),
+        };
+        let callee = self.router.resolve(self.app, service, self.user);
+
+        if let Some(breaker) = policy.breaker {
+            let state = &mut self.resilience.as_mut().expect("guarded only with resilience").state;
+            if state.decide(caller, callee, &breaker, start) == CallDecision::Shed {
+                self.record_resilience(callee, MetricKind::Shed, start);
+                return Ok(self.fallback_or_fail(&policy, callee, start, SimDuration::ZERO));
+            }
+        }
+
+        let mut waited = SimDuration::ZERO;
+        for attempt in 0..=policy.max_retries {
+            let attempt_start = start + waited;
+            let child =
+                self.hop_on_version(callee, endpoint, attempt_start, Some(parent), false, depth)?;
+            // An attempt that overruns the deadline counts as a failure,
+            // and the caller stops waiting at the deadline — the callee
+            // subtree still did (and recorded) all its work.
+            let timed_out = policy.attempt_timeout.is_some_and(|limit| child.duration > limit);
+            let perceived =
+                if timed_out { policy.attempt_timeout.expect("checked") } else { child.duration };
+            waited += perceived;
+            let ok = child.ok && !timed_out;
+            if timed_out {
+                self.record_resilience(callee, MetricKind::Timeout, attempt_start);
+            }
+            let mut opened = false;
+            if let Some(breaker) = policy.breaker {
+                let outcome_at = attempt_start + perceived;
+                let state =
+                    &mut self.resilience.as_mut().expect("guarded only with resilience").state;
+                if let Some((_, to)) = state.on_outcome(caller, callee, &breaker, outcome_at, !ok) {
+                    if to == BreakerState::Open {
+                        self.record_resilience(callee, MetricKind::BreakerOpen, outcome_at);
+                        opened = true;
+                    }
+                }
+            }
+            if ok {
+                return Ok(HopOutcome { duration: waited, ok: true });
+            }
+            if opened {
+                // The breaker opened on this very outcome: retrying into
+                // it would just be shed load.
+                break;
+            }
+            if attempt < policy.max_retries {
+                waited += policy.backoff_delay(attempt, self.rng);
+                self.record_resilience(callee, MetricKind::Retry, start + waited);
+            }
+        }
+        Ok(self.fallback_or_fail(&policy, callee, start, waited))
+    }
+
+    /// Resolves an exhausted or shed call: degraded-but-successful
+    /// fallback when configured, plain failure otherwise.
+    fn fallback_or_fail(
+        &mut self,
+        policy: &CallPolicy,
+        callee: VersionId,
+        start: SimTime,
+        waited: SimDuration,
+    ) -> HopOutcome {
+        if policy.fallback {
+            self.record_resilience(callee, MetricKind::FallbackServed, start + waited);
+            HopOutcome { duration: waited + policy.fallback_latency, ok: true }
+        } else {
+            HopOutcome { duration: waited, ok: false }
+        }
+    }
+
+    /// Records one resilience event (value `1.0`) under the callee's
+    /// `service@version` scope.
+    fn record_resilience(&mut self, callee: VersionId, metric: MetricKind, time: SimTime) {
+        if let Some(sink) = self.sink.as_deref_mut() {
+            sink.record_version(callee, metric, time, 1.0);
+        }
     }
 }
 
@@ -309,6 +435,7 @@ mod tests {
             "entry",
             SimTime::from_secs(1),
             traced.then_some(TraceId(7)),
+            None,
             None,
             &FaultPlan::none(),
         )
@@ -406,6 +533,7 @@ mod tests {
                 SimTime::from_millis(i),
                 Some(TraceId(i)),
                 None,
+                None,
                 &FaultPlan::none(),
             )
             .unwrap();
@@ -446,6 +574,7 @@ mod tests {
             SimTime::from_secs(1),
             Some(TraceId(1)),
             None,
+            None,
             &FaultPlan::none(),
         )
         .unwrap();
@@ -484,6 +613,7 @@ mod tests {
             SimTime::from_secs(1),
             None,
             Some(&mut sink),
+            None,
             &FaultPlan::none(),
         )
         .unwrap();
@@ -491,6 +621,225 @@ mod tests {
         assert_eq!(store.count("a@1", MetricKind::ResponseTime), 1);
         assert_eq!(store.count("b@1", MetricKind::ResponseTime), 1);
         assert_eq!(store.count("c@1", MetricKind::ErrorRate), 1);
+    }
+
+    /// Runs one guarded request entering `a`/`entry` at `now`, recording
+    /// metrics into `store` and mutating the caller's breaker `state`.
+    #[allow(clippy::too_many_arguments)]
+    fn guarded_run(
+        app: &Application,
+        policy: &CallPolicy,
+        faults: &FaultPlan,
+        state: &mut crate::resilience::ResilienceState,
+        store: &MetricStore,
+        now: SimTime,
+        user: u64,
+    ) -> RequestResult {
+        let plan = crate::resilience::ResiliencePlan::with_default(*policy);
+        let scopes = store.intern_version_scopes(app);
+        let app_scope = store.intern("app");
+        let mut sink = MetricSink::new(store, &scopes, app_scope);
+        let mut load = LoadTracker::new(app);
+        let mut rng = SplitMix64::new(99);
+        let entry = app.service_id("a").unwrap();
+        let result = execute_request(
+            app,
+            &Router::new(),
+            &mut load,
+            &mut rng,
+            UserId(user),
+            entry,
+            "entry",
+            now,
+            None,
+            Some(&mut sink),
+            Some(Resilience { plan: &plan, state: &mut *state }),
+            faults,
+        )
+        .unwrap();
+        drop(sink); // flush
+        result
+    }
+
+    /// a (5 ms) → b (10 ms), with `b` failing at the given rate.
+    fn two_tier(b_error_rate: f64) -> Application {
+        let mut builder = Application::builder();
+        builder.version(
+            VersionSpec::new("a", "1").endpoint(
+                EndpointDef::new("entry", LatencyModel::Constant { ms: 5.0 })
+                    .call(CallDef::always("b", "mid")),
+            ),
+        );
+        builder.version(VersionSpec::new("b", "1").endpoint(
+            EndpointDef::new("mid", LatencyModel::Constant { ms: 10.0 }).error_rate(b_error_rate),
+        ));
+        builder.build().unwrap()
+    }
+
+    #[test]
+    fn retry_succeeds_when_fault_expires_before_the_retry() {
+        use crate::faults::{Fault, FaultKind};
+        // Outage on b over [1000, 1016) ms. The request arrives at 995,
+        // spends 5 ms in `a`, so attempt 1 hits `b` at exactly 1000 (the
+        // inclusive window start) and fails. The retry fires at
+        // 1000 + 10 (attempt) + 6 (backoff) = 1016 — exactly the
+        // exclusive window end — and must succeed.
+        let app = two_tier(0.0);
+        let b = app.version_id("b", "1").unwrap();
+        let mut faults = FaultPlan::none();
+        faults.inject(Fault {
+            version: b,
+            kind: FaultKind::Outage,
+            from: SimTime::from_millis(1000),
+            until: SimTime::from_millis(1016),
+        });
+        let policy = CallPolicy {
+            max_retries: 1,
+            backoff_base: SimDuration::from_millis(6),
+            backoff_multiplier: 1.0,
+            ..CallPolicy::default()
+        };
+        let store = MetricStore::new();
+        let mut state = crate::resilience::ResilienceState::new();
+        let result =
+            guarded_run(&app, &policy, &faults, &mut state, &store, SimTime::from_millis(995), 1);
+        assert!(result.ok, "retry after the window must succeed");
+        // 5 (a) + 10 (failed attempt) + 6 (backoff) + 10 (retry).
+        assert_eq!(result.response_time.as_millis(), 31);
+        assert_eq!(store.count("b@1", MetricKind::Retry), 1);
+    }
+
+    #[test]
+    fn retry_fails_while_fault_window_still_covers_it() {
+        use crate::faults::{Fault, FaultKind};
+        // Same timeline, but the window runs one millisecond longer —
+        // [1000, 1017) — so the retry at 1016 is still inside it.
+        let app = two_tier(0.0);
+        let b = app.version_id("b", "1").unwrap();
+        let mut faults = FaultPlan::none();
+        faults.inject(Fault {
+            version: b,
+            kind: FaultKind::Outage,
+            from: SimTime::from_millis(1000),
+            until: SimTime::from_millis(1017),
+        });
+        let policy = CallPolicy {
+            max_retries: 1,
+            backoff_base: SimDuration::from_millis(6),
+            backoff_multiplier: 1.0,
+            ..CallPolicy::default()
+        };
+        let store = MetricStore::new();
+        let mut state = crate::resilience::ResilienceState::new();
+        let result =
+            guarded_run(&app, &policy, &faults, &mut state, &store, SimTime::from_millis(995), 1);
+        assert!(!result.ok, "both attempts fall inside the window");
+    }
+
+    #[test]
+    fn attempt_timeout_caps_perceived_latency_and_counts_as_failure() {
+        let app = two_tier(0.0);
+        let policy = CallPolicy {
+            attempt_timeout: Some(SimDuration::from_millis(4)),
+            ..CallPolicy::default()
+        };
+        let store = MetricStore::new();
+        let mut state = crate::resilience::ResilienceState::new();
+        let result = guarded_run(
+            &app,
+            &policy,
+            &FaultPlan::none(),
+            &mut state,
+            &store,
+            SimTime::from_secs(1),
+            1,
+        );
+        assert!(!result.ok, "a timed-out call is a failure without fallback");
+        // 5 (a) + 4 (wait capped at the deadline, not b's 10 ms).
+        assert_eq!(result.response_time.as_millis(), 9);
+        assert_eq!(store.count("b@1", MetricKind::Timeout), 1);
+    }
+
+    #[test]
+    fn breaker_opens_then_sheds_and_fallback_keeps_requests_ok() {
+        let app = two_tier(1.0);
+        let policy = CallPolicy {
+            breaker: Some(crate::resilience::BreakerPolicy {
+                error_threshold: 0.5,
+                min_calls: 4,
+                window: 8,
+                cooldown: SimDuration::from_secs(60),
+                half_open_probes: 1,
+            }),
+            fallback: true,
+            fallback_latency: SimDuration::from_millis(1),
+            ..CallPolicy::default()
+        };
+        let store = MetricStore::new();
+        let mut state = crate::resilience::ResilienceState::new();
+        let a = app.version_id("a", "1").unwrap();
+        let b = app.version_id("b", "1").unwrap();
+        let mut times = Vec::new();
+        for i in 0..8u64 {
+            let result = guarded_run(
+                &app,
+                &policy,
+                &FaultPlan::none(),
+                &mut state,
+                &store,
+                SimTime::from_secs(1 + i),
+                i,
+            );
+            assert!(result.ok, "fallback keeps every request successful");
+            times.push(result.response_time.as_millis());
+        }
+        // Four failures open the breaker; later requests are shed and only
+        // pay a + fallback latency (6 ms) instead of a + b + fallback (16).
+        assert_eq!(state.current(a, b), crate::resilience::BreakerState::Open);
+        assert_eq!(times[0], 16);
+        assert_eq!(*times.last().unwrap(), 6);
+        assert_eq!(store.count("b@1", MetricKind::BreakerOpen), 1);
+        assert_eq!(store.count("b@1", MetricKind::Shed), 4);
+        assert_eq!(store.count("b@1", MetricKind::FallbackServed), 8);
+        // Shed calls never reach b: it saw only the 4 executed attempts.
+        assert_eq!(store.count("b@1", MetricKind::ErrorRate), 4);
+    }
+
+    #[test]
+    fn oversaturated_error_composition_clamps_instead_of_panicking() {
+        use crate::faults::{Fault, FaultKind};
+        // Endpoint error rate 0.9 + fault burst 0.9 sums to 1.8; the
+        // executor must clamp to a certain failure, not panic.
+        let app = two_tier(0.9);
+        let b = app.version_id("b", "1").unwrap();
+        let mut faults = FaultPlan::none();
+        faults.inject(Fault {
+            version: b,
+            kind: FaultKind::ErrorBurst { extra_error_rate: 0.9 },
+            from: SimTime::ZERO,
+            until: SimTime::from_secs(1_000),
+        });
+        let mut load = LoadTracker::new(&app);
+        let mut rng = SplitMix64::new(5);
+        let entry = app.service_id("a").unwrap();
+        for i in 0..200 {
+            let result = execute_request(
+                &app,
+                &Router::new(),
+                &mut load,
+                &mut rng,
+                UserId(i),
+                entry,
+                "entry",
+                SimTime::from_millis(i),
+                None,
+                None,
+                None,
+                &faults,
+            )
+            .unwrap();
+            assert!(!result.ok, "combined rate clamps to exactly 1.0");
+        }
     }
 
     #[test]
@@ -508,6 +857,7 @@ mod tests {
             entry,
             "nope",
             SimTime::ZERO,
+            None,
             None,
             None,
             &FaultPlan::none(),

@@ -58,6 +58,7 @@ pub mod faults;
 pub mod latency;
 pub mod load;
 pub mod monitor;
+pub mod resilience;
 pub mod routing;
 pub mod sim;
 pub mod topologies;

@@ -12,6 +12,9 @@ use crate::exec::{execute_request, MetricSink};
 use crate::faults::{Fault, FaultPlan};
 use crate::load::LoadTracker;
 use crate::monitor::{MetricStore, ScopeId};
+use crate::resilience::{
+    BreakerState, BreakerTransition, CallPolicy, Resilience, ResiliencePlan, ResilienceState,
+};
 use crate::routing::Router;
 use crate::trace::{Trace, TraceCollector};
 use crate::workload::{ArrivalProcess, Workload};
@@ -76,6 +79,8 @@ pub struct Simulation {
     workload_seed: u64,
     windows_run: u64,
     faults: FaultPlan,
+    resilience_plan: ResiliencePlan,
+    resilience_state: ResilienceState,
     sim_busy: std::time::Duration,
 }
 
@@ -100,6 +105,8 @@ impl Simulation {
             workload_seed: sub_seed(seed, 1),
             windows_run: 0,
             faults: FaultPlan::none(),
+            resilience_plan: ResiliencePlan::none(),
+            resilience_state: ResilienceState::new(),
             sim_busy: std::time::Duration::ZERO,
         }
     }
@@ -116,6 +123,39 @@ impl Simulation {
     /// The active fault plan.
     pub fn faults(&self) -> &FaultPlan {
         &self.faults
+    }
+
+    /// Applies one [`CallPolicy`] to every service edge (see
+    /// [`crate::resilience`]). Breaker state carries over: changing the
+    /// policy mid-run does not reset open breakers.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the policy is out of domain.
+    pub fn set_call_policy(&mut self, policy: CallPolicy) {
+        self.resilience_plan = ResiliencePlan::with_default(policy);
+    }
+
+    /// Replaces the whole resilience plan (per-edge policies).
+    pub fn set_resilience_plan(&mut self, plan: ResiliencePlan) {
+        self.resilience_plan = plan;
+    }
+
+    /// The active resilience plan.
+    pub fn resilience_plan(&self) -> &ResiliencePlan {
+        &self.resilience_plan
+    }
+
+    /// Current state of the breaker on `caller → callee`, or `None` when
+    /// that version edge has never seen a guarded call.
+    pub fn breaker_state(&self, caller: VersionId, callee: VersionId) -> Option<BreakerState> {
+        self.resilience_state.breaker_state(caller, callee)
+    }
+
+    /// Drains breaker transitions accumulated since the last drain, in
+    /// occurrence order (the Bifrost engine journals these per tick).
+    pub fn drain_breaker_transitions(&mut self) -> Vec<BreakerTransition> {
+        self.resilience_state.drain_transitions()
     }
 
     /// Replaces the router (e.g. to enable proxy-overhead modelling).
@@ -231,6 +271,12 @@ impl Simulation {
                 arrival.time,
                 trace_id,
                 Some(&mut sink),
+                // An empty plan skips the guarded path entirely, keeping
+                // the policy-free hot path identical to before.
+                (!self.resilience_plan.is_empty()).then_some(Resilience {
+                    plan: &self.resilience_plan,
+                    state: &mut self.resilience_state,
+                }),
                 &self.faults,
             )
             .expect("workload references a valid entry point");
@@ -393,6 +439,94 @@ mod tests {
         assert_eq!(recovered.failures, 0);
         assert!((recovered.response_time.mean - healthy.response_time.mean).abs() < 2.0);
         assert!(!sim.faults().is_empty());
+    }
+
+    fn outage_policy() -> CallPolicy {
+        CallPolicy {
+            max_retries: 1,
+            backoff_base: SimDuration::from_millis(20),
+            backoff_multiplier: 2.0,
+            jitter: 0.5,
+            breaker: Some(crate::resilience::BreakerPolicy {
+                error_threshold: 0.5,
+                min_calls: 10,
+                window: 40,
+                cooldown: SimDuration::from_secs(5),
+                half_open_probes: 3,
+            }),
+            fallback: true,
+            fallback_latency: SimDuration::from_millis(1),
+            ..CallPolicy::default()
+        }
+    }
+
+    #[test]
+    fn resilience_contains_an_outage_and_breaker_recloses() {
+        use crate::faults::{Fault, FaultKind};
+        let mut sim = Simulation::new(app(), 21);
+        sim.set_call_policy(outage_policy());
+        let frontend = sim.app().version_id("frontend", "1.0.0").unwrap();
+        let backend = sim.app().version_id("backend", "1.0.0").unwrap();
+        sim.inject_fault(Fault {
+            version: backend,
+            kind: FaultKind::Outage,
+            from: SimTime::from_secs(10),
+            until: SimTime::from_secs(20),
+        });
+        let healthy = sim.run(SimDuration::from_secs(10), 50.0);
+        let outage = sim.run(SimDuration::from_secs(10), 50.0);
+        let recovered = sim.run(SimDuration::from_secs(10), 50.0);
+        // Fallback keeps the app-visible error rate at zero throughout.
+        assert_eq!(healthy.failures, 0);
+        assert_eq!(outage.failures, 0, "fallback absorbs the outage");
+        assert_eq!(recovered.failures, 0);
+        // The breaker opened during the outage and re-closed afterwards.
+        let transitions = sim.drain_breaker_transitions();
+        assert!(transitions
+            .iter()
+            .any(|t| t.caller == frontend && t.callee == backend && t.to == BreakerState::Open));
+        assert_eq!(sim.breaker_state(frontend, backend), Some(BreakerState::Closed));
+        let reclosed_at = transitions
+            .iter()
+            .rfind(|t| t.to == BreakerState::Closed)
+            .expect("breaker re-closes after the fault clears")
+            .time;
+        assert!(reclosed_at >= SimTime::from_secs(20));
+        assert!(reclosed_at <= SimTime::from_secs(30), "re-close within the recovery window");
+        // The callee's own telemetry still shows the outage (detection is
+        // not masked by mitigation), and sheds/fallbacks were recorded.
+        assert!(sim.store().count("backend@1.0.0", MetricKind::Shed) > 0);
+        assert!(sim.store().count("backend@1.0.0", MetricKind::FallbackServed) > 0);
+        assert!(sim.store().count("backend@1.0.0", MetricKind::BreakerOpen) >= 1);
+    }
+
+    #[test]
+    fn resilience_enabled_runs_are_deterministic_per_seed() {
+        use crate::faults::{Fault, FaultKind};
+        let run_once = |seed: u64| {
+            let mut sim = Simulation::new(app(), seed);
+            sim.set_call_policy(outage_policy());
+            let backend = sim.app().version_id("backend", "1.0.0").unwrap();
+            sim.inject_fault(Fault {
+                version: backend,
+                kind: FaultKind::Outage,
+                from: SimTime::from_secs(5),
+                until: SimTime::from_secs(15),
+            });
+            let reports: Vec<RunReport> =
+                (0..4).map(|_| sim.run(SimDuration::from_secs(5), 40.0)).collect();
+            let transitions = sim.drain_breaker_transitions();
+            let samples = sim.store().total_samples();
+            (reports, transitions, samples)
+        };
+        let a = run_once(33);
+        let b = run_once(33);
+        assert_eq!(a.0, b.0, "same-seed reports identical");
+        assert_eq!(a.1, b.1, "same-seed breaker transitions identical");
+        assert_eq!(a.2, b.2, "same-seed sample counts identical");
+        assert!(!a.1.is_empty(), "the outage actually tripped the breaker");
+        let c = run_once(34);
+        assert!(a.0 != c.0, "different seed, different trajectory");
     }
 
     #[test]

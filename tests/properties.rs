@@ -7,7 +7,7 @@
 
 use bifrost::dsl;
 use bifrost::machine::{PhaseOutcome, State, StateMachine};
-use bifrost::model::{Action, Check, Comparator, Phase, PhaseKind, Strategy};
+use bifrost::model::{Action, ChaosSpec, Check, Comparator, Phase, PhaseKind, Strategy};
 use cex_core::experiment::ExperimentId;
 use cex_core::metrics::MetricKind;
 use cex_core::rng::SplitMix64;
@@ -106,6 +106,28 @@ fn random_action(phases: usize, rng: &mut SplitMix64) -> Action {
     }
 }
 
+fn random_chaos(rng: &mut SplitMix64) -> Option<ChaosSpec> {
+    use bifrost::model::{ChaosKind, ChaosTarget};
+    if rng.next_index(2) == 0 {
+        return None;
+    }
+    // Lexer-friendly magnitudes (plain decimal, no exponent) so the
+    // pretty-printed form re-parses exactly.
+    let kind = match rng.next_index(3) {
+        0 => ChaosKind::Outage,
+        1 => ChaosKind::LatencySpike { multiplier: 1.0 + rng.next_index(12) as f64 * 0.25 },
+        _ => ChaosKind::ErrorBurst { extra_error_rate: rng.next_index(16) as f64 / 16.0 },
+    };
+    let target =
+        if rng.next_index(2) == 0 { ChaosTarget::Candidate } else { ChaosTarget::Baseline };
+    Some(ChaosSpec {
+        kind,
+        target,
+        start_after: SimDuration::from_millis(rng.next_index(30_000) as u64),
+        duration: SimDuration::from_millis(1 + rng.next_index(30_000) as u64),
+    })
+}
+
 fn random_strategy(rng: &mut SplitMix64) -> Strategy {
     let phases = 1 + rng.next_index(4);
     Strategy {
@@ -120,6 +142,7 @@ fn random_strategy(rng: &mut SplitMix64) -> Strategy {
                 kind: PhaseKind::Canary { traffic_percent: 10.0 + i as f64 },
                 duration: SimDuration::from_mins(1 + i as u64),
                 checks: vec![Check::candidate(MetricKind::ErrorRate, Comparator::Lt, 0.1)],
+                chaos: random_chaos(rng),
                 on_success: random_action(phases, rng),
                 on_failure: random_action(phases, rng),
                 on_inconclusive: random_action(phases, rng),
