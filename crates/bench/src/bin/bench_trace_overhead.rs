@@ -1,0 +1,307 @@
+//! Trace-pipeline overhead benchmark: interned span ingestion vs the
+//! legacy string path, and end-to-end sampling cost.
+//!
+//! Two measurements, mirroring the trace pipeline's two claims:
+//!
+//! 1. **Ingestion overhead reduction** — a recorded span workload (a real
+//!    simulation run at 100% sampling, drained) is replayed through two
+//!    ingestion paths: the current interned one (`Copy` spans carrying
+//!    dense ids, folded into `BTreeMap<EdgeKey, EdgeTotals>` aggregates)
+//!    and a faithful reconstruction of the pre-interning path (three
+//!    heap `String`s per span resolved through the [`SpanBook`], edges
+//!    keyed by owned string pairs). Both sides are timed interleaved,
+//!    best of 7 passes. Acceptance: the interned path ingests spans at
+//!    least 3x faster.
+//! 2. **Sampling overhead** — the same fault-free app timed end to end
+//!    at 1% trace sampling vs sampling off (interleaved, best of 7).
+//!    The per-request sampling decision plus the occasional trace
+//!    record must cost <5% throughput.
+//!
+//! Writes `results/BENCH_traces.json`. With `--smoke [--out PATH]` it
+//! runs a reduced, timing-free variant whose JSON contains only
+//! deterministic fields — CI runs it twice and diffs the outputs.
+
+use cex_core::simtime::{SimDuration, SimTime};
+use microsim::app::{Application, CallDef, EndpointDef, VersionSpec};
+use microsim::latency::LatencyModel;
+use microsim::sim::Simulation;
+use microsim::trace::{SpanBook, Trace, TraceCollector};
+use std::collections::{HashMap, VecDeque};
+use std::fmt::Write as _;
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Frontend → backend → db: every request produces a three-span trace.
+/// Capacities far above any load used here so queueing never confounds
+/// the comparison.
+fn three_tier_app() -> Application {
+    let mut b = Application::builder();
+    b.version(
+        VersionSpec::new("frontend", "1.0.0").capacity(1_000_000.0).endpoint(
+            EndpointDef::new("home", LatencyModel::Constant { ms: 5.0 })
+                .call(CallDef::always("backend", "api")),
+        ),
+    );
+    b.version(
+        VersionSpec::new("backend", "1.0.0").capacity(1_000_000.0).endpoint(
+            EndpointDef::new("api", LatencyModel::Constant { ms: 10.0 })
+                .call(CallDef::always("db", "get")),
+        ),
+    );
+    b.version(
+        VersionSpec::new("db", "1.0.0")
+            .capacity(1_000_000.0)
+            .endpoint(EndpointDef::new("get", LatencyModel::Constant { ms: 2.0 })),
+    );
+    b.build().expect("three-tier app")
+}
+
+/// Records a real span workload: run the app at 100% sampling and drain
+/// every collected trace.
+fn capture_workload(secs: u64, rate_rps: f64) -> (SpanBook, Vec<Trace>) {
+    let mut sim = Simulation::new(three_tier_app(), 17);
+    sim.set_trace_sampling(1.0);
+    sim.run(SimDuration::from_secs(secs), rate_rps);
+    let book = sim.span_book();
+    let traces = sim.drain_traces();
+    assert!(!traces.is_empty(), "workload capture produced no traces");
+    (book, traces)
+}
+
+/// A span as the pre-interning pipeline carried it: identity as three
+/// heap strings, resolved (and allocated) at ingestion time. Some
+/// fields are never read back — they exist to reproduce the legacy
+/// span's allocation profile, which is what the benchmark measures.
+#[allow(dead_code)]
+struct LegacySpan {
+    service: String,
+    version: String,
+    endpoint: String,
+    start: SimTime,
+    duration: SimDuration,
+    ok: bool,
+}
+
+/// Legacy streaming aggregate: edges keyed by owned string pairs, the
+/// way the pre-interning collector kept them.
+#[derive(Default)]
+struct LegacyTotals {
+    calls: u64,
+    errors: u64,
+    latency_ms_sum: f64,
+}
+
+/// The pre-interning collector shape: a ring of string-identified traces
+/// plus a string-keyed edge map. Reconstructed here because the real
+/// pipeline no longer has a string path to measure.
+#[derive(Default)]
+struct LegacyCollector {
+    traces: VecDeque<Vec<LegacySpan>>,
+    edges: HashMap<(String, String), LegacyTotals>,
+}
+
+impl LegacyCollector {
+    fn record(&mut self, book: &SpanBook, trace: &Trace) {
+        let spans: Vec<LegacySpan> = trace
+            .spans
+            .iter()
+            .map(|s| LegacySpan {
+                service: book.service_name(s.service).to_string(),
+                version: book.version_label(s.version).to_string(),
+                endpoint: book.endpoint_name(s.endpoint).to_string(),
+                start: s.start,
+                duration: s.duration,
+                ok: s.status.is_ok(),
+            })
+            .collect();
+        for span in &spans {
+            let key = (span.version.clone(), span.endpoint.clone());
+            let totals = self.edges.entry(key).or_default();
+            totals.calls += 1;
+            if !span.ok {
+                totals.errors += 1;
+            }
+            totals.latency_ms_sum += span.duration.as_millis() as f64;
+        }
+        if self.traces.len() == microsim::trace::DEFAULT_TRACE_RETENTION {
+            self.traces.pop_front();
+        }
+        self.traces.push_back(spans);
+        black_box(span_field(&self.traces));
+    }
+}
+
+/// Opaque read keeping the retained ring alive under optimization.
+fn span_field(ring: &VecDeque<Vec<LegacySpan>>) -> usize {
+    ring.back().map_or(0, |t| t.len())
+}
+
+/// Replays the captured workload through both ingestion paths,
+/// interleaved, best of `reps` passes per side. Returns spans ingested
+/// per wall second for (interned, legacy).
+fn bench_ingestion(book: &SpanBook, traces: &[Trace], reps: usize) -> (f64, f64) {
+    let spans: usize = traces.iter().map(|t| t.spans.len()).sum();
+    let interned_pass = || -> f64 {
+        let mut collector = TraceCollector::all();
+        let start = Instant::now();
+        for trace in traces {
+            collector.record(trace.clone());
+        }
+        let elapsed = start.elapsed().as_secs_f64();
+        black_box(collector.edge_totals().len());
+        spans as f64 / elapsed
+    };
+    let legacy_pass = || -> f64 {
+        let mut collector = LegacyCollector::default();
+        let start = Instant::now();
+        for trace in traces {
+            collector.record(book, trace);
+        }
+        let elapsed = start.elapsed().as_secs_f64();
+        black_box(collector.edges.len());
+        spans as f64 / elapsed
+    };
+    let mut interned = 0.0f64;
+    let mut legacy = 0.0f64;
+    for _ in 0..reps {
+        interned = interned.max(interned_pass());
+        legacy = legacy.max(legacy_pass());
+    }
+    (interned, legacy)
+}
+
+/// Fault-free throughput (requests per wall second) with sampling off
+/// and at the given fraction, interleaved best of `reps`.
+fn bench_sampling(secs: u64, rate_rps: f64, fraction: f64, reps: usize) -> (f64, f64) {
+    let one_pass = |sampling: f64| -> f64 {
+        let mut sim = Simulation::new(three_tier_app(), 7);
+        sim.set_trace_sampling(sampling);
+        let start = Instant::now();
+        let report = sim.run(SimDuration::from_secs(secs), rate_rps);
+        let rate = report.requests as f64 / start.elapsed().as_secs_f64();
+        assert_eq!(report.failures, 0, "sampling bench must be failure-free");
+        rate
+    };
+    let mut off = 0.0f64;
+    let mut on = 0.0f64;
+    for _ in 0..reps {
+        off = off.max(one_pass(0.0));
+        on = on.max(one_pass(fraction));
+    }
+    (off, on)
+}
+
+fn write_json(path: &str, json: &str) {
+    if let Some(dir) = std::path::Path::new(path).parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir).expect("output directory");
+        }
+    }
+    std::fs::write(path, json).unwrap_or_else(|e| panic!("write {path}: {e}"));
+    println!("wrote {path}");
+}
+
+/// Deterministic collection facts for one sampling fraction: what a
+/// fixed-seed run collects and aggregates.
+fn collection_facts(json: &mut String, fraction: f64, last: bool) {
+    let mut sim = Simulation::new(three_tier_app(), 17);
+    sim.set_trace_sampling(fraction);
+    sim.run(SimDuration::from_secs(30), 100.0);
+    let collector = sim.trace_collector();
+    let spans: usize = collector.traces().map(|t| t.spans.len()).sum();
+    let (calls, errors) = collector
+        .edge_totals()
+        .values()
+        .fold((0u64, 0u64), |(c, e), t| (c + t.calls, e + t.errors));
+    let _ = writeln!(json, "    {{");
+    let _ = writeln!(json, "      \"sampling\": {fraction},");
+    let _ = writeln!(json, "      \"recorded\": {},", collector.recorded());
+    let _ = writeln!(json, "      \"retained\": {},", collector.len());
+    let _ = writeln!(json, "      \"dropped\": {},", collector.dropped());
+    let _ = writeln!(json, "      \"spans\": {spans},");
+    let _ = writeln!(json, "      \"edges\": {},", collector.edge_totals().len());
+    let _ = writeln!(json, "      \"edge_calls\": {calls},");
+    let _ = writeln!(json, "      \"edge_errors\": {errors}");
+    let _ = writeln!(json, "    }}{}", if last { "" } else { "," });
+}
+
+/// Reduced deterministic run for CI: no timings in the JSON, so two
+/// invocations must produce byte-identical files.
+fn run_smoke(out: &str) {
+    let mut json = String::from("{\n  \"bench\": \"traces_smoke\",\n  \"collections\": [\n");
+    collection_facts(&mut json, 1.0, false);
+    collection_facts(&mut json, 0.01, false);
+    collection_facts(&mut json, 0.0, true);
+    json.push_str("  ]\n}\n");
+    write_json(out, &json);
+}
+
+fn run_full() {
+    println!("=== Traces: interned ingestion vs string path + sampling overhead ===");
+
+    // 1. Ingestion: a 60-second capture at 500 rps (~90k spans),
+    //    replayed interleaved best of 7.
+    let (book, traces) = capture_workload(60, 500.0);
+    let spans: usize = traces.iter().map(|t| t.spans.len()).sum();
+    let (interned_sps, legacy_sps) = bench_ingestion(&book, &traces, 7);
+    let speedup = interned_sps / legacy_sps;
+    println!(
+        "ingestion over {spans} spans: interned {interned_sps:.0} spans/s, \
+         legacy strings {legacy_sps:.0} spans/s ({speedup:.1}x, acceptance >= 3x)"
+    );
+
+    // 2. Sampling: 120 simulated seconds at 2,000 rps (~240k requests
+    //    per pass), 1% sampling vs off, interleaved best of 7.
+    let (off_rps, on_rps) = bench_sampling(120, 2_000.0, 0.01, 7);
+    let overhead = (off_rps - on_rps) / off_rps;
+    println!(
+        "end to end: sampling off {off_rps:.0} req/s, 1% sampling {on_rps:.0} req/s \
+         (overhead {:.1}%, acceptance < 5%)",
+        overhead * 100.0
+    );
+
+    let mut json = String::from("{\n  \"bench\": \"traces\",\n  \"ingestion\": {\n");
+    let _ = writeln!(json, "    \"capture\": \"60s at 500 rps, sampling 1.0, seed 17\",");
+    let _ = writeln!(json, "    \"traces\": {},", traces.len());
+    let _ = writeln!(json, "    \"spans\": {spans},");
+    let _ = writeln!(json, "    \"best_of\": 7,");
+    let _ = writeln!(json, "    \"interned_spans_per_sec\": {interned_sps:.0},");
+    let _ = writeln!(json, "    \"legacy_spans_per_sec\": {legacy_sps:.0},");
+    let _ = writeln!(json, "    \"speedup\": {speedup:.2},");
+    let _ = writeln!(json, "    \"acceptance_min_speedup\": 3.0");
+    json.push_str("  },\n  \"sampling\": {\n");
+    let _ = writeln!(json, "    \"sim_secs\": 120,");
+    let _ = writeln!(json, "    \"rate_rps\": 2000.0,");
+    let _ = writeln!(json, "    \"fraction\": 0.01,");
+    let _ = writeln!(json, "    \"best_of\": 7,");
+    let _ = writeln!(json, "    \"off_req_per_sec\": {off_rps:.0},");
+    let _ = writeln!(json, "    \"on_req_per_sec\": {on_rps:.0},");
+    let _ = writeln!(json, "    \"overhead\": {overhead:.4},");
+    let _ = writeln!(json, "    \"acceptance_max_overhead\": 0.05");
+    json.push_str("  }\n}\n");
+    write_json("results/BENCH_traces.json", &json);
+
+    assert!(speedup >= 3.0, "ingestion speedup {speedup:.2}x below the 3x acceptance bar");
+    assert!(
+        overhead < 0.05,
+        "1% sampling overhead {:.1}% exceeds the 5% acceptance bar",
+        overhead * 100.0
+    );
+    println!("PASS: all acceptance criteria met");
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "results/BENCH_traces_smoke.json".to_string());
+    if smoke {
+        run_smoke(&out);
+    } else {
+        run_full();
+    }
+}

@@ -76,16 +76,27 @@ pub struct CheckContext {
     candidate_id: ScopeId,
     baseline_id: ScopeId,
     app_id: ScopeId,
+    trace_candidate_id: ScopeId,
 }
 
 impl CheckContext {
-    /// Creates a context, interning both version scopes plus the
-    /// end-to-end application scope on `store`.
+    /// Creates a context, interning both version scopes, the end-to-end
+    /// application scope, and the candidate's trace-derived scope
+    /// (`trace:service@version`, fed by the engine's trace drain) on
+    /// `store`.
     pub fn new(store: &MetricStore, candidate_scope: String, baseline_scope: String) -> Self {
         let candidate_id = store.intern(&candidate_scope);
         let baseline_id = store.intern(&baseline_scope);
         let app_id = store.intern(microsim::sim::APP_SCOPE);
-        CheckContext { candidate_scope, baseline_scope, candidate_id, baseline_id, app_id }
+        let trace_candidate_id = store.intern(&format!("trace:{candidate_scope}"));
+        CheckContext {
+            candidate_scope,
+            baseline_scope,
+            candidate_id,
+            baseline_id,
+            app_id,
+            trace_candidate_id,
+        }
     }
 
     /// Interned id of the candidate scope.
@@ -101,6 +112,11 @@ impl CheckContext {
     /// Interned id of the end-to-end application scope.
     pub fn app_id(&self) -> ScopeId {
         self.app_id
+    }
+
+    /// Interned id of the candidate's trace-derived scope.
+    pub fn trace_candidate_id(&self) -> ScopeId {
+        self.trace_candidate_id
     }
 }
 
@@ -127,6 +143,7 @@ pub fn evaluate_observed(
         CheckScope::Candidate => absolute(check, store, ctx.candidate_id, now),
         CheckScope::Baseline => absolute(check, store, ctx.baseline_id, now),
         CheckScope::App => absolute(check, store, ctx.app_id, now),
+        CheckScope::Trace => absolute(check, store, ctx.trace_candidate_id, now),
         CheckScope::CandidateVsBaseline => {
             let cand = store.window_summary_id(ctx.candidate_id, check.metric, now, check.window);
             let base = store.window_summary_id(ctx.baseline_id, check.metric, now, check.window);
@@ -384,6 +401,25 @@ mod tests {
         let obs = evaluate_observed(&check, &ctx(&store), &store, SimTime::from_secs(3));
         assert_eq!(obs.baseline, None);
         assert!((obs.primary.mean - 120.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn trace_scope_reads_the_trace_derived_scope() {
+        let store = MetricStore::new();
+        // First-party candidate stream says 500 ms; the trace-derived
+        // scope says 50 ms. A trace-scoped check must read the latter.
+        fill(&store, "svc@2", 500.0, 30);
+        fill(&store, "trace:svc@2", 50.0, 30);
+        let mut check = Check::candidate(MetricKind::ResponseTime, Comparator::Lt, 100.0);
+        check.scope = CheckScope::Trace;
+        check.window = SimDuration::from_secs(10);
+        let now = SimTime::from_secs(3);
+        assert_eq!(evaluate(&check, &ctx(&store), &store, now), CheckResult::Pass);
+        // Without trace data the scope is empty: inconclusive, never a
+        // false verdict.
+        let empty = MetricStore::new();
+        fill(&empty, "svc@2", 50.0, 30);
+        assert_eq!(evaluate(&check, &ctx(&empty), &empty, now), CheckResult::Inconclusive);
     }
 
     #[test]

@@ -475,6 +475,8 @@ impl Parser {
             CheckScope::Baseline
         } else if self.eat_keyword("app") {
             CheckScope::App
+        } else if self.eat_keyword("trace") {
+            CheckScope::Trace
         } else {
             CheckScope::Candidate
         };
@@ -591,6 +593,7 @@ pub fn to_source(strategy: &Strategy) -> String {
                 CheckScope::CandidateVsBaseline => " vs_baseline",
                 CheckScope::SignificantVsBaseline => " significant_vs_baseline",
                 CheckScope::App => " app",
+                CheckScope::Trace => " trace",
             };
             let _ = writeln!(
                 out,
@@ -696,6 +699,21 @@ strategy "rec-rollout" {
         let s = parse(FULL).unwrap();
         let source = to_source(&s);
         let reparsed = parse(&source).unwrap();
+        assert_eq!(s, reparsed);
+    }
+
+    #[test]
+    fn trace_scope_parses_and_roundtrips() {
+        let src = r#"strategy "s" { service "a" baseline "1" candidate "2"
+            phase "canary" canary 10% for 5m {
+              check response_time trace < 150 over 2m every 30s min_samples 25
+              on success complete
+              on failure rollback
+            } }"#;
+        let s = parse(src).unwrap();
+        assert_eq!(s.phases[0].checks[0].scope, CheckScope::Trace);
+        assert_eq!(s.phases[0].checks[0].min_samples, 25);
+        let reparsed = parse(&to_source(&s)).unwrap();
         assert_eq!(s, reparsed);
     }
 

@@ -21,9 +21,14 @@ use crate::error::BifrostError;
 use crate::journal::{Journal, JournalEvent};
 use crate::machine::{PhaseOutcome, State, StateMachine};
 use crate::model::{ChaosKind, ChaosSpec, ChaosTarget, PhaseKind, Strategy};
+use cex_core::metrics::MetricKind;
 use cex_core::simtime::{SimDuration, SimTime};
+use microsim::app::VersionId;
 use microsim::faults::{Fault, FaultKind};
+use microsim::health::{EdgeDelta, HealthAccumulator, HealthReport};
+use microsim::monitor::ScopeId;
 use microsim::sim::Simulation;
+use microsim::trace::{SpanBook, SpanStatus, Trace};
 use microsim::workload::Workload;
 use std::time::{Duration, Instant};
 
@@ -130,6 +135,11 @@ pub struct ExecutionReport {
     pub max_tick_processing: Duration,
     /// Simulated time covered.
     pub sim_duration: SimDuration,
+    /// Trace-derived canary-vs-baseline health report per strategy, in
+    /// submission order — distilled from the traces the engine drained
+    /// during the run. Empty when trace collection was off
+    /// (`set_trace_sampling(0.0)`) or no request was sampled.
+    pub health: Vec<(String, HealthReport)>,
 }
 
 impl ExecutionReport {
@@ -274,6 +284,18 @@ impl Engine {
         let started_sim = sim.now();
         sim.store().set_retention(self.retention_horizon(strategies));
 
+        // Trace pipeline: every tick the engine drains the sampled traces,
+        // folds them into a health accumulator (the canary-vs-baseline
+        // interaction graph) and distills per-span samples into the
+        // `trace:service@version` store scopes that trace-scoped checks
+        // read. The book resolves interned span identity; versions deploy
+        // before execution, so one snapshot stays valid for the run.
+        let book = sim.span_book();
+        let trace_scopes: Vec<ScopeId> = (0..book.version_count())
+            .map(|i| sim.store().intern(&format!("trace:{}", book.version_label(VersionId(i)))))
+            .collect();
+        let mut health = HealthAccumulator::new();
+
         // Bind, compile, enact phase 0 for every strategy.
         let mut runs = Vec::with_capacity(strategies.len());
         for strategy in strategies {
@@ -369,6 +391,15 @@ impl Engine {
                     });
                 }
             }
+            // Drain sampled traces before the read pass so trace-scoped
+            // checks already see this tick's data. Runs in the
+            // single-threaded section — fold order is collection order,
+            // independent of the worker count.
+            let drained = sim.drain_traces();
+            if !drained.is_empty() {
+                distill_trace_samples(sim, &trace_scopes, &drained, now);
+                health.observe_all(&drained);
+            }
             let observations = self.observe(sim, &mut runs, now);
             let tick_evaluations =
                 observations.iter().flatten().map(|o| o.evaluations).sum::<u64>();
@@ -380,6 +411,8 @@ impl Engine {
                 now,
                 &mut transitions,
                 journal.as_deref_mut(),
+                &health,
+                &book,
             )?;
             let spent = engine_start.elapsed();
             engine_busy += spent;
@@ -403,6 +436,23 @@ impl Engine {
             tick_times.iter().sum::<Duration>() / tick_times.len() as u32
         };
         let max_tick_processing = tick_times.iter().max().copied().unwrap_or(Duration::ZERO);
+        let health_reports = if health.traces() > 0 {
+            runs.iter()
+                .map(|r| {
+                    (
+                        r.strategy.name.clone(),
+                        HealthReport::build(
+                            &health,
+                            &book,
+                            r.binding.baseline,
+                            r.binding.candidate,
+                        ),
+                    )
+                })
+                .collect()
+        } else {
+            Vec::new()
+        };
         Ok(ExecutionReport {
             statuses: runs.iter().map(|r| (r.strategy.name.clone(), r.status.clone())).collect(),
             transitions,
@@ -413,6 +463,7 @@ impl Engine {
             mean_tick_processing,
             max_tick_processing,
             sim_duration: sim.now() - started_sim,
+            health: health_reports,
         })
     }
 
@@ -513,6 +564,7 @@ impl Engine {
     /// machines, enact routing changes, journal what happened. Runs
     /// single-threaded in strategy submission order — that, plus the
     /// virtual clock, is what makes the journal deterministic.
+    #[allow(clippy::too_many_arguments)]
     fn apply(
         &self,
         sim: &mut Simulation,
@@ -521,6 +573,8 @@ impl Engine {
         now: SimTime,
         transitions: &mut Vec<TransitionEvent>,
         mut journal: Option<&mut Journal>,
+        health: &HealthAccumulator,
+        book: &SpanBook,
     ) -> Result<(), BifrostError> {
         let app = sim.app().clone();
         // Scopes retired by strategies reaching a terminal state this
@@ -589,6 +643,32 @@ impl Engine {
                         result: o.result,
                         primary: o.primary,
                         baseline: o.baseline,
+                    });
+                }
+                // Alongside the boundary verdicts, journal what the trace
+                // pipeline saw: the strategy's canary-vs-baseline
+                // worst-edge snapshot. Only meaningful when traces were
+                // actually collected.
+                if health.traces() > 0 {
+                    let report = HealthReport::build(
+                        health,
+                        book,
+                        run.binding.baseline,
+                        run.binding.candidate,
+                    );
+                    let worst = report.worst_edge();
+                    j.record(JournalEvent::HealthSnapshot {
+                        time: now,
+                        strategy: run.name.clone(),
+                        phase: run.phase_names[p].clone(),
+                        traces: report.traces,
+                        failed: report.failed_traces,
+                        baseline: report.baseline.clone(),
+                        canary: report.canary.clone(),
+                        worst_edge: worst.map(|e| e.endpoint.clone()),
+                        score: worst.map_or(0.0, EdgeDelta::score),
+                        error_rate_delta: worst.map_or(0.0, EdgeDelta::error_rate_delta),
+                        p95_delta_ms: worst.map_or(0.0, EdgeDelta::p95_delta_ms),
                     });
                 }
             }
@@ -733,6 +813,39 @@ impl Engine {
         }
         Ok(())
     }
+}
+
+/// Distills drained traces into the metric store's trace-derived scopes:
+/// every executed span lands a response-time and an error-rate sample
+/// under `trace:service@version` (by interned id — no string formatting
+/// on the per-tick path). Shed/fallback event spans carry no service
+/// latency and dark spans are off the user path; both are skipped.
+/// Samples are stamped at the drain time `now`, keeping every series
+/// monotonic for the store's window reads.
+fn distill_trace_samples(
+    sim: &Simulation,
+    trace_scopes: &[ScopeId],
+    drained: &[Trace],
+    now: SimTime,
+) {
+    let mut batch = sim.store().batch();
+    for trace in drained {
+        for span in &trace.spans {
+            if span.dark || matches!(span.status, SpanStatus::Shed | SpanStatus::Fallback) {
+                continue;
+            }
+            let scope = trace_scopes[span.version.0];
+            batch.record_value_id(
+                scope,
+                MetricKind::ResponseTime,
+                now,
+                span.duration.as_millis() as f64,
+            );
+            let errored = if span.status.is_ok() { 0.0 } else { 1.0 };
+            batch.record_value_id(scope, MetricKind::ErrorRate, now, errored);
+        }
+    }
+    batch.flush();
 }
 
 /// The candidate traffic share a phase enactment routes, as recorded in
@@ -1047,9 +1160,11 @@ mod tests {
     #[test]
     fn journal_is_byte_identical_across_runs_and_worker_counts() {
         let mut texts = Vec::new();
+        let mut healths = Vec::new();
         for workers in [1, 1, 4] {
             let (app, strategies, wl) = fleet(8);
             let mut sim = Simulation::new(app, 9);
+            sim.set_trace_sampling(1.0);
             let engine =
                 Engine::new(EngineConfig { parallel_threshold: 1, workers, ..Default::default() });
             let (report, journal) = engine
@@ -1057,10 +1172,113 @@ mod tests {
                 .unwrap();
             assert!(report.all_terminal());
             assert!(!journal.is_empty());
+            // With sampling on, every phase boundary journals a health
+            // snapshot.
+            assert!(journal
+                .events()
+                .iter()
+                .any(|e| matches!(e, JournalEvent::HealthSnapshot { .. })));
             texts.push(journal.to_jsonl());
+            healths.push(
+                report
+                    .health
+                    .iter()
+                    .map(|(name, h)| format!("{name}\n{}", h.render()))
+                    .collect::<String>(),
+            );
         }
         assert_eq!(texts[0], texts[1], "same seed, same workers");
         assert_eq!(texts[0], texts[2], "same seed, 1 vs 4 workers");
+        assert!(!healths[0].is_empty());
+        assert_eq!(healths[0], healths[1], "health reports: same seed, same workers");
+        assert_eq!(healths[0], healths[2], "health reports: same seed, 1 vs 4 workers");
+    }
+
+    #[test]
+    fn trace_scoped_check_reads_trace_derived_metrics() {
+        let src = r#"strategy "traced" {
+            service "svc" baseline "1.0.0" candidate "2.0.0"
+            phase "canary" canary 20% for 3m {
+              check response_time trace < 100 over 1m every 30s min_samples 5
+              on success complete
+              on failure rollback
+              on inconclusive retry
+            }
+        }"#;
+        // With sampling on, trace-derived samples back the check and the
+        // healthy candidate completes.
+        let app = test_app(false);
+        let wl = workload(&app);
+        let mut sim = Simulation::new(app, 31);
+        sim.set_trace_sampling(1.0);
+        let strategy = dsl::parse(src).unwrap();
+        let report = Engine::default()
+            .execute(&mut sim, std::slice::from_ref(&strategy), &wl, SimDuration::from_mins(10))
+            .unwrap();
+        assert_eq!(report.statuses[0].1, StrategyStatus::Completed);
+        assert!(
+            sim.store().count("trace:svc@2.0.0", cex_core::metrics::MetricKind::ResponseTime) > 0,
+            "the engine distilled trace samples into the trace scope"
+        );
+        assert!(!report.health.is_empty(), "tracing produces per-strategy health reports");
+        // With sampling off there is no trace-derived data: the check
+        // never concludes and the retry budget rolls the strategy back.
+        let app = test_app(false);
+        let wl = workload(&app);
+        let mut sim = Simulation::new(app, 31);
+        sim.set_trace_sampling(0.0);
+        let report = Engine::new(EngineConfig { max_retries: 2, ..Default::default() })
+            .execute(&mut sim, &[strategy], &wl, SimDuration::from_mins(30))
+            .unwrap();
+        assert_eq!(report.statuses[0].1, StrategyStatus::RolledBack);
+        assert!(report.health.is_empty(), "no traces, no health reports");
+    }
+
+    #[test]
+    fn health_report_localizes_the_faulty_canary() {
+        // A canary carrying an injected error burst: the end-to-end check
+        // is lenient enough to let the phase run its course, but the
+        // trace-driven health report must pin the degradation on the
+        // candidate's `api` edge.
+        let app = chaos_app();
+        let wl = chaos_workload(&app);
+        let mut sim = Simulation::new(app, 29);
+        sim.set_trace_sampling(1.0);
+        let strategy = dsl::parse(
+            r#"strategy "burst-canary" {
+                service "svc" baseline "1.0.0" candidate "2.0.0"
+                phase "canary" canary 50% for 6m {
+                  inject error_burst 0.5 on candidate after 1m for 4m
+                  check error_rate app < 0.9 over 1m every 30s min_samples 10
+                  on success complete
+                  on failure rollback
+                }
+            }"#,
+        )
+        .unwrap();
+        let (report, journal) = Engine::default()
+            .execute_journaled(&mut sim, &[strategy], &wl, SimDuration::from_mins(8))
+            .unwrap();
+        assert_eq!(report.statuses[0].1, StrategyStatus::Completed);
+        let (name, health) = &report.health[0];
+        assert_eq!(name, "burst-canary");
+        assert_eq!(health.canary, "svc@2.0.0");
+        assert!(health.traces > 0);
+        let worst = health.worst_edge().expect("edges were compared");
+        assert_eq!(worst.endpoint, "api", "the fault is localized to the api edge");
+        assert!(worst.error_rate_delta() > 0.1, "delta {}", worst.error_rate_delta());
+        assert!(health.degraded(0.05, 1_000.0));
+        // The boundary snapshot journaled the same verdict.
+        assert!(journal.events().iter().any(|e| matches!(
+            e,
+            JournalEvent::HealthSnapshot { canary, worst_edge: Some(w), error_rate_delta, .. }
+                if canary == "svc@2.0.0" && w == "api" && *error_rate_delta > 0.1
+        )));
+        // And the journal still replays byte-identically with health
+        // events in it.
+        let text = journal.to_jsonl();
+        let parsed = crate::journal::Journal::from_jsonl(&text).unwrap();
+        assert_eq!(parsed.to_jsonl(), text);
     }
 
     #[test]

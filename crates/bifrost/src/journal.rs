@@ -126,6 +126,35 @@ pub enum JournalEvent {
         /// State entered.
         to: BreakerState,
     },
+    /// A trace-derived health snapshot, journaled at every phase-boundary
+    /// evaluation while trace collection is active: the canary-vs-baseline
+    /// worst-edge verdict distilled from the engine's health accumulator
+    /// (see [`microsim::health::HealthReport`]).
+    HealthSnapshot {
+        /// Virtual time of the snapshot (the phase boundary).
+        time: SimTime,
+        /// The strategy assessed.
+        strategy: Arc<str>,
+        /// Phase name.
+        phase: Arc<str>,
+        /// Traces folded into the accumulator so far (engine-wide).
+        traces: u64,
+        /// Traces whose root span failed.
+        failed: u64,
+        /// Baseline `service@version` label.
+        baseline: String,
+        /// Canary `service@version` label.
+        canary: String,
+        /// Most degraded logical endpoint, `None` when the service's
+        /// edges saw no traffic yet.
+        worst_edge: Option<String>,
+        /// Its degradation score ([`microsim::health::EdgeDelta::score`]).
+        score: f64,
+        /// Its canary − baseline error-rate delta.
+        error_rate_delta: f64,
+        /// Its canary − baseline p95 latency delta (ms).
+        p95_delta_ms: f64,
+    },
     /// A retired metric scope was pruned from the live store (the
     /// journal keeps the long-term record).
     ScopeCleared {
@@ -177,6 +206,7 @@ impl JournalEvent {
             | JournalEvent::Transition { time, .. }
             | JournalEvent::Chaos { time, .. }
             | JournalEvent::Breaker { time, .. }
+            | JournalEvent::HealthSnapshot { time, .. }
             | JournalEvent::ScopeCleared { time, .. }
             | JournalEvent::Tick { time, .. } => *time,
         }
@@ -190,6 +220,7 @@ impl JournalEvent {
             | JournalEvent::Check { strategy, .. }
             | JournalEvent::Transition { strategy, .. }
             | JournalEvent::Chaos { strategy, .. }
+            | JournalEvent::HealthSnapshot { strategy, .. }
             | JournalEvent::ScopeCleared { strategy, .. } => Some(strategy.as_ref()),
             JournalEvent::Breaker { .. } | JournalEvent::Tick { .. } => None,
         }
@@ -258,6 +289,32 @@ impl JournalEvent {
                 ("callee", Json::Str(callee.clone())),
                 ("from", Json::Str(from.name().into())),
                 ("to", Json::Str(to.name().into())),
+            ]),
+            JournalEvent::HealthSnapshot {
+                time,
+                strategy,
+                phase,
+                traces,
+                failed,
+                baseline,
+                canary,
+                worst_edge,
+                score,
+                error_rate_delta,
+                p95_delta_ms,
+            } => obj(vec![
+                ("ev", Json::Str("health".into())),
+                ("t", t(time)),
+                ("strategy", Json::Str(strategy.to_string())),
+                ("phase", Json::Str(phase.to_string())),
+                ("traces", Json::Num(*traces as f64)),
+                ("failed", Json::Num(*failed as f64)),
+                ("baseline", Json::Str(baseline.clone())),
+                ("canary", Json::Str(canary.clone())),
+                ("worst_edge", worst_edge.as_ref().map_or(Json::Null, |e| Json::Str(e.clone()))),
+                ("score", Json::Num(*score)),
+                ("error_rate_delta", Json::Num(*error_rate_delta)),
+                ("p95_delta_ms", Json::Num(*p95_delta_ms)),
             ]),
             JournalEvent::ScopeCleared { time, strategy, scope } => obj(vec![
                 ("ev", Json::Str("scope_cleared".into())),
@@ -349,6 +406,28 @@ impl JournalEvent {
                 callee: text(json, "callee")?,
                 from: BreakerState::from_name(&text(json, "from")?).ok_or_else(|| bad("from"))?,
                 to: BreakerState::from_name(&text(json, "to")?).ok_or_else(|| bad("to"))?,
+            }),
+            Some("health") => Ok(JournalEvent::HealthSnapshot {
+                time: time(json)?,
+                strategy: text(json, "strategy")?.into(),
+                phase: text(json, "phase")?.into(),
+                traces: json.get("traces").and_then(Json::as_u64).ok_or_else(|| bad("traces"))?,
+                failed: json.get("failed").and_then(Json::as_u64).ok_or_else(|| bad("failed"))?,
+                baseline: text(json, "baseline")?,
+                canary: text(json, "canary")?,
+                worst_edge: match json.get("worst_edge") {
+                    None | Some(Json::Null) => None,
+                    Some(j) => Some(j.as_str().ok_or_else(|| bad("worst_edge"))?.to_string()),
+                },
+                score: json.get("score").and_then(Json::as_f64).ok_or_else(|| bad("score"))?,
+                error_rate_delta: json
+                    .get("error_rate_delta")
+                    .and_then(Json::as_f64)
+                    .ok_or_else(|| bad("error_rate_delta"))?,
+                p95_delta_ms: json
+                    .get("p95_delta_ms")
+                    .and_then(Json::as_f64)
+                    .ok_or_else(|| bad("p95_delta_ms"))?,
             }),
             Some("scope_cleared") => Ok(JournalEvent::ScopeCleared {
                 time: time(json)?,
@@ -707,6 +786,19 @@ mod tests {
             to: State::Completed,
             outcome: PhaseOutcome::Success,
         });
+        j.record(JournalEvent::HealthSnapshot {
+            time: t(60),
+            strategy: "s1".into(),
+            phase: "canary".into(),
+            traces: 480,
+            failed: 3,
+            baseline: "svc@1.0.0".into(),
+            canary: "svc@2.0.0".into(),
+            worst_edge: Some("api".into()),
+            score: 62.5,
+            error_rate_delta: 0.0625,
+            p95_delta_ms: 12.25,
+        });
         j.record(JournalEvent::ScopeCleared {
             time: t(120),
             strategy: "s1".into(),
@@ -767,6 +859,7 @@ mod tests {
             ("{\"ev\":\"check\",\"t\":1,\"strategy\":\"s\",\"phase\":\"p\",\"check\":0,\"metric\":\"latency\",\"scope\":\"candidate\",\"result\":\"pass\",\"primary\":{}}", "metric"),
             ("{\"ev\":\"breaker\",\"t\":1,\"caller\":\"a\",\"callee\":\"b\",\"from\":\"closed\",\"to\":\"fried\"}", "to"),
             ("{\"ev\":\"chaos\",\"t\":1,\"strategy\":\"s\",\"phase\":\"p\",\"kind\":\"meteor\",\"magnitude\":1,\"target\":\"x\",\"from\":0,\"until\":1}", "kind"),
+            ("{\"ev\":\"health\",\"t\":1,\"strategy\":\"s\",\"phase\":\"p\",\"failed\":0,\"baseline\":\"a\",\"canary\":\"b\",\"worst_edge\":null,\"score\":0,\"error_rate_delta\":0,\"p95_delta_ms\":0}", "traces"),
         ] {
             let err = Journal::from_jsonl(src).unwrap_err();
             assert!(err.to_string().contains(needle), "{src} -> {err}");

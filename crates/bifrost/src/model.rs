@@ -79,6 +79,13 @@ pub enum CheckScope {
     /// chaos-recovery phases bound: "whatever happens to the candidate,
     /// users must not feel it".
     App,
+    /// The candidate's *trace-derived* metric window: per-span samples
+    /// distilled from sampled traces into the `trace:service@version`
+    /// scope by the engine's trace drain. Unlike [`CheckScope::Candidate`]
+    /// (first-party monitor stream, every request), this sees exactly what
+    /// the trace pipeline sees — including retry attempts as individual
+    /// observations — and is inconclusive when trace sampling is off.
+    Trace,
 }
 
 impl CheckScope {
@@ -90,6 +97,7 @@ impl CheckScope {
             CheckScope::CandidateVsBaseline => "vs_baseline",
             CheckScope::SignificantVsBaseline => "significant_vs_baseline",
             CheckScope::App => "app",
+            CheckScope::Trace => "trace",
         }
     }
 
@@ -101,6 +109,7 @@ impl CheckScope {
             "vs_baseline" => CheckScope::CandidateVsBaseline,
             "significant_vs_baseline" => CheckScope::SignificantVsBaseline,
             "app" => CheckScope::App,
+            "trace" => CheckScope::Trace,
             _ => return None,
         })
     }

@@ -1,0 +1,228 @@
+//! String interning with a lock-free read path.
+//!
+//! Hot paths in this repository never want to hash or allocate a `String`
+//! per event. The telemetry store (PR 3) interns metric scopes; the trace
+//! pipeline interns span identity (endpoint names shared across deployed
+//! versions). Both use this interner: names are interned once into dense
+//! [`Sym`]s, and resolution runs against an immutable snapshot map cached
+//! per thread, validated with a single atomic generation check — no lock
+//! is taken unless a new name was interned since the thread last looked.
+//! Interning itself is rare (deployment time, not per request), so the
+//! steady-state resolve path never contends.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+
+/// An interned name. Dense, copyable, and stable for the lifetime of the
+/// [`Interner`] that issued it — the hot-path replacement for strings.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Sym(u32);
+
+impl Sym {
+    /// The dense index backing this symbol.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Reconstructs a symbol from its dense index. Only meaningful for
+    /// indices previously issued by the interner being queried.
+    pub fn from_index(index: usize) -> Sym {
+        Sym(u32::try_from(index).expect("symbol space exhausted"))
+    }
+}
+
+type SnapshotMap = HashMap<Arc<str>, Sym>;
+
+/// Issues a process-unique identity per [`Interner`], so thread-local
+/// snapshot caches can tell interners apart.
+static INTERNER_IDS: AtomicU64 = AtomicU64::new(0);
+
+thread_local! {
+    /// Per-thread resolve cache: `(interner identity, generation,
+    /// snapshot)`. While the generation matches, [`Interner::resolve`]
+    /// runs against the cached immutable snapshot without taking any
+    /// lock.
+    static SNAPSHOT_CACHE: std::cell::RefCell<Option<(u64, u64, Arc<SnapshotMap>)>> =
+        const { std::cell::RefCell::new(None) };
+}
+
+/// String → [`Sym`] interner with a lock-free read path.
+///
+/// The string→symbol map is published as an immutable [`Arc`] snapshot
+/// with a generation counter. Each reader thread caches the snapshot; on
+/// [`Interner::resolve`] it compares generations with one atomic load and
+/// resolves against its cache.
+#[derive(Debug)]
+pub struct Interner {
+    identity: u64,
+    generation: AtomicU64,
+    snapshot: RwLock<Arc<SnapshotMap>>,
+    names: RwLock<Vec<Arc<str>>>,
+}
+
+impl Interner {
+    /// An empty interner.
+    pub fn new() -> Self {
+        Interner {
+            identity: INTERNER_IDS.fetch_add(1, Ordering::Relaxed),
+            generation: AtomicU64::new(0),
+            snapshot: RwLock::new(Arc::new(SnapshotMap::new())),
+            names: RwLock::new(Vec::new()),
+        }
+    }
+
+    fn load_snapshot(&self) -> Arc<SnapshotMap> {
+        self.snapshot.read().expect("interner snapshot lock poisoned").clone()
+    }
+
+    /// Looks up an already-interned name without ever interning. Lock-free
+    /// in the steady state (thread-cached snapshot + one atomic load).
+    pub fn resolve(&self, name: &str) -> Option<Sym> {
+        let generation = self.generation.load(Ordering::Acquire);
+        SNAPSHOT_CACHE.with(|cache| {
+            let mut cache = cache.borrow_mut();
+            match &*cache {
+                Some((identity, cached_generation, snap))
+                    if *identity == self.identity && *cached_generation == generation =>
+                {
+                    snap.get(name).copied()
+                }
+                _ => {
+                    let snap = self.load_snapshot();
+                    let id = snap.get(name).copied();
+                    *cache = Some((self.identity, generation, snap));
+                    id
+                }
+            }
+        })
+    }
+
+    /// Interns a name, returning its stable symbol. Idempotent.
+    pub fn intern(&self, name: &str) -> Sym {
+        if let Some(id) = self.resolve(name) {
+            return id;
+        }
+        // `names` doubles as the writer mutex: interning serializes here.
+        let mut names = self.names.write().expect("interner names lock poisoned");
+        if let Some(id) = self.load_snapshot().get(name).copied() {
+            return id;
+        }
+        let name_arc: Arc<str> = name.into();
+        let id = Sym(u32::try_from(names.len()).expect("symbol space exhausted"));
+        names.push(name_arc.clone());
+        let mut next = SnapshotMap::clone(&self.load_snapshot());
+        next.insert(name_arc, id);
+        *self.snapshot.write().expect("interner snapshot lock poisoned") = Arc::new(next);
+        // Publish after the snapshot is swapped: a reader seeing the new
+        // generation refreshes onto a snapshot at least this new.
+        self.generation.fetch_add(1, Ordering::Release);
+        id
+    }
+
+    /// The name behind a symbol.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the symbol was not issued by this interner.
+    pub fn name(&self, sym: Sym) -> Arc<str> {
+        self.names.read().expect("interner names lock poisoned")[sym.index()].clone()
+    }
+
+    /// Symbols whose name satisfies `pred`, in interning order.
+    pub fn matching(&self, pred: impl Fn(&str) -> bool) -> Vec<Sym> {
+        let names = self.names.read().expect("interner names lock poisoned");
+        names.iter().enumerate().filter(|(_, n)| pred(n)).map(|(i, _)| Sym(i as u32)).collect()
+    }
+
+    /// Number of interned names.
+    pub fn len(&self) -> usize {
+        self.names.read().expect("interner names lock poisoned").len()
+    }
+
+    /// `true` when nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl Default for Interner {
+    fn default() -> Self {
+        Interner::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent_and_dense() {
+        let i = Interner::new();
+        let a = i.intern("alpha");
+        let b = i.intern("beta");
+        assert_ne!(a, b);
+        assert_eq!(i.intern("alpha"), a);
+        assert_eq!(a.index(), 0);
+        assert_eq!(b.index(), 1);
+        assert_eq!(i.len(), 2);
+    }
+
+    #[test]
+    fn resolve_does_not_intern() {
+        let i = Interner::new();
+        assert!(i.resolve("ghost").is_none());
+        let a = i.intern("real");
+        assert_eq!(i.resolve("real"), Some(a));
+        assert_eq!(i.len(), 1);
+    }
+
+    #[test]
+    fn names_round_trip() {
+        let i = Interner::new();
+        let a = i.intern("svc@1.0.0");
+        assert_eq!(&*i.name(a), "svc@1.0.0");
+        assert_eq!(Sym::from_index(a.index()), a);
+    }
+
+    #[test]
+    fn matching_filters_by_name() {
+        let i = Interner::new();
+        i.intern("trace:a");
+        let b = i.intern("other");
+        i.intern("trace:c");
+        let hits = i.matching(|n| n.starts_with("trace:"));
+        assert_eq!(hits.len(), 2);
+        assert!(!hits.contains(&b));
+    }
+
+    #[test]
+    fn two_interners_do_not_share_symbols() {
+        let x = Interner::new();
+        let y = Interner::new();
+        x.intern("only-x");
+        // The thread cache keyed by identity must not leak x's snapshot
+        // into y's resolve.
+        assert!(y.resolve("only-x").is_none());
+        assert_eq!(y.intern("only-y").index(), 0);
+        assert!(x.resolve("only-y").is_none());
+    }
+
+    #[test]
+    fn concurrent_intern_and_resolve() {
+        let i = Arc::new(Interner::new());
+        let seed = i.intern("seed");
+        std::thread::scope(|scope| {
+            for t in 0..4 {
+                let i = Arc::clone(&i);
+                scope.spawn(move || {
+                    for k in 0..100 {
+                        assert_eq!(i.resolve("seed"), Some(seed));
+                        i.intern(&format!("t{t}-{k}"));
+                    }
+                });
+            }
+        });
+        assert_eq!(i.len(), 1 + 4 * 100);
+    }
+}

@@ -28,6 +28,9 @@
 //!   in this repository is reproducible.
 //! - [`json`] — minimal, byte-deterministic JSON reading/writing used by the
 //!   Bifrost execution journal and the bench result files.
+//! - [`intern`] — the shared string interner with a lock-free read path
+//!   behind both the telemetry store's metric scopes and the trace
+//!   pipeline's span identity.
 //!
 //! # Example
 //!
@@ -51,6 +54,7 @@
 
 pub mod error;
 pub mod experiment;
+pub mod intern;
 pub mod json;
 pub mod metrics;
 pub mod rng;
@@ -62,6 +66,7 @@ pub mod users;
 
 pub use error::CoreError;
 pub use experiment::{Experiment, ExperimentId, ExperimentKind, Practice};
+pub use intern::{Interner, Sym};
 pub use metrics::{MetricKind, Sample, Summary};
 pub use simtime::{SimDuration, SimTime};
 pub use traffic::TrafficProfile;

@@ -7,15 +7,25 @@
 //! primary one — its latency never reaches the user but its load does,
 //! which is exactly the cascading-cost effect the paper reports for dark
 //! launches (Section 1.2.3).
+//!
+//! Span bookkeeping is pre-order and allocation-free: every hop pushes an
+//! interned placeholder span *before* recursing (so parents precede their
+//! children and span ids equal positions) and patches duration/status on
+//! the way out. The resilience layer is fully visible in traces: each
+//! retry attempt is its own child span carrying its attempt number, a
+//! timed-out attempt is re-statused [`SpanStatus::TimedOut`] with the
+//! caller-observed wait, and breaker sheds / fallback responses emit
+//! zero-work event spans — a trace of a degraded request shows *why* it
+//! degraded.
 
-use crate::app::{Application, ServiceId, VersionId};
+use crate::app::{Application, EndpointId, ServiceId, VersionId};
 use crate::error::SimError;
 use crate::faults::FaultPlan;
 use crate::load::LoadTracker;
 use crate::monitor::{MetricStore, SampleBatch, ScopeId};
 use crate::resilience::{BreakerState, CallDecision, CallPolicy, Resilience};
 use crate::routing::{Router, UserId};
-use crate::trace::{Span, SpanId, Trace, TraceId};
+use crate::trace::{Span, SpanId, SpanStatus, Trace, TraceId};
 use cex_core::metrics::MetricKind;
 use cex_core::rng::SplitMix64;
 use cex_core::simtime::{SimDuration, SimTime};
@@ -130,7 +140,7 @@ pub fn execute_request(
         next_span: 0,
         visited: Vec::new(),
     };
-    let outcome = ctx.hop(entry_service, entry_endpoint, now, None, false, 0)?;
+    let outcome = ctx.hop(entry_service, entry_endpoint, now, None, false, 0, 0)?;
     // Conversion attribution: the request converts with a probability
     // blending all (primary-path) versions it touched, and the 0/1 outcome
     // is credited to each of them — how A/B variants are compared on
@@ -153,6 +163,8 @@ pub fn execute_request(
 struct HopOutcome {
     duration: SimDuration,
     ok: bool,
+    /// Index of the hop's span in `ExecCtx::spans`, when tracing.
+    span: Option<usize>,
 }
 
 struct ExecCtx<'a, 'b> {
@@ -172,6 +184,7 @@ struct ExecCtx<'a, 'b> {
 }
 
 impl ExecCtx<'_, '_> {
+    #[allow(clippy::too_many_arguments)]
     fn hop(
         &mut self,
         service: ServiceId,
@@ -180,11 +193,13 @@ impl ExecCtx<'_, '_> {
         parent: Option<SpanId>,
         dark: bool,
         depth: usize,
+        attempt: u8,
     ) -> Result<HopOutcome, SimError> {
         let version = self.router.resolve(self.app, service, self.user);
-        self.hop_on_version(version, endpoint_name, start, parent, dark, depth)
+        self.hop_on_version(version, endpoint_name, start, parent, dark, depth, attempt)
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn hop_on_version(
         &mut self,
         version: VersionId,
@@ -193,6 +208,7 @@ impl ExecCtx<'_, '_> {
         parent: Option<SpanId>,
         dark: bool,
         depth: usize,
+        attempt: u8,
     ) -> Result<HopOutcome, SimError> {
         if depth > MAX_CALL_DEPTH {
             return Err(SimError::CallDepthExceeded { limit: MAX_CALL_DEPTH });
@@ -205,6 +221,26 @@ impl ExecCtx<'_, '_> {
 
         let span_id = SpanId(self.next_span);
         self.next_span += 1;
+        // Pre-order placeholder: push the hop's span *before* recursing so
+        // parents precede children and `spans[i].span == SpanId(i)`;
+        // duration/status are patched on the way out.
+        let span_idx = self.trace_id.map(|trace| {
+            let idx = self.spans.len();
+            self.spans.push(Span {
+                trace,
+                span: span_id,
+                parent,
+                service: self.app.version(version).service,
+                version,
+                endpoint: endpoint_id,
+                start,
+                duration: SimDuration::ZERO,
+                status: SpanStatus::Ok,
+                attempt,
+                dark,
+            });
+            idx
+        });
 
         let fault = self.faults.effects(version, start);
         let multiplier = self.load.multiplier(self.app, version) * fault.latency_multiplier;
@@ -242,7 +278,15 @@ impl ExecCtx<'_, '_> {
                     depth + 1,
                 )?
             } else {
-                self.hop(call.service, &call.endpoint, child_start, Some(span_id), dark, depth + 1)?
+                self.hop(
+                    call.service,
+                    &call.endpoint,
+                    child_start,
+                    Some(span_id),
+                    dark,
+                    depth + 1,
+                    0,
+                )?
             };
             elapsed += child.duration;
             ok &= child.ok;
@@ -256,11 +300,11 @@ impl ExecCtx<'_, '_> {
                     Some(span_id),
                     true,
                     depth + 1,
+                    0,
                 )?;
             }
         }
 
-        let svc = self.app.version(version).service;
         if let Some(sink) = self.sink.as_deref_mut() {
             // Record both primary and dark hops: the dark version's load and
             // latency are precisely what its health checks observe.
@@ -268,23 +312,44 @@ impl ExecCtx<'_, '_> {
             sink.record_version(version, MetricKind::ErrorRate, start, if ok { 0.0 } else { 1.0 });
         }
 
+        if let Some(idx) = span_idx {
+            let span = &mut self.spans[idx];
+            span.duration = elapsed;
+            span.status = if ok { SpanStatus::Ok } else { SpanStatus::Failed };
+        }
+
+        Ok(HopOutcome { duration: elapsed, ok, span: span_idx })
+    }
+
+    /// Pushes a zero-work event span (breaker shed, fallback response) —
+    /// visible resilience activity that never executed an endpoint.
+    #[allow(clippy::too_many_arguments)]
+    fn push_event_span(
+        &mut self,
+        parent: SpanId,
+        version: VersionId,
+        endpoint: EndpointId,
+        start: SimTime,
+        duration: SimDuration,
+        status: SpanStatus,
+    ) {
         if let Some(trace) = self.trace_id {
-            let v = self.app.version(version);
+            let span_id = SpanId(self.next_span);
+            self.next_span += 1;
             self.spans.push(Span {
                 trace,
                 span: span_id,
-                parent,
-                service: self.app.service_name(svc).to_string(),
-                version: v.label.clone(),
-                endpoint: endpoint_name.to_string(),
+                parent: Some(parent),
+                service: self.app.version(version).service,
+                version,
+                endpoint,
                 start,
-                duration: elapsed,
-                ok,
-                dark,
+                duration,
+                status,
+                attempt: 0,
+                dark: false,
             });
         }
-
-        Ok(HopOutcome { duration: elapsed, ok })
     }
 
     /// One resilience-guarded child call: breaker admission, attempt
@@ -312,23 +377,54 @@ impl ExecCtx<'_, '_> {
             .and_then(|r| r.plan.policy_for(caller_service.0, service.0))
         {
             Some(policy) => *policy,
-            None => return self.hop(service, endpoint, start, Some(parent), false, depth),
+            None => return self.hop(service, endpoint, start, Some(parent), false, depth, 0),
         };
         let callee = self.router.resolve(self.app, service, self.user);
+        // Resolved only when tracing: event spans (shed/fallback) need the
+        // callee endpoint identity even though no endpoint work ran.
+        let traced_endpoint = match self.trace_id {
+            Some(_) => Some(self.app.endpoint_of(callee, endpoint)?),
+            None => None,
+        };
 
         if let Some(breaker) = policy.breaker {
             let state = &mut self.resilience.as_mut().expect("guarded only with resilience").state;
             if state.decide(caller, callee, &breaker, start) == CallDecision::Shed {
                 self.record_resilience(callee, MetricKind::Shed, start);
-                return Ok(self.fallback_or_fail(&policy, callee, start, SimDuration::ZERO));
+                if let Some(ep) = traced_endpoint {
+                    self.push_event_span(
+                        parent,
+                        callee,
+                        ep,
+                        start,
+                        SimDuration::ZERO,
+                        SpanStatus::Shed,
+                    );
+                }
+                return Ok(self.fallback_or_fail(
+                    &policy,
+                    callee,
+                    start,
+                    SimDuration::ZERO,
+                    parent,
+                    traced_endpoint,
+                ));
             }
         }
 
         let mut waited = SimDuration::ZERO;
         for attempt in 0..=policy.max_retries {
             let attempt_start = start + waited;
-            let child =
-                self.hop_on_version(callee, endpoint, attempt_start, Some(parent), false, depth)?;
+            let attempt_no = u8::try_from(attempt).unwrap_or(u8::MAX);
+            let child = self.hop_on_version(
+                callee,
+                endpoint,
+                attempt_start,
+                Some(parent),
+                false,
+                depth,
+                attempt_no,
+            )?;
             // An attempt that overruns the deadline counts as a failure,
             // and the caller stops waiting at the deadline — the callee
             // subtree still did (and recorded) all its work.
@@ -339,6 +435,14 @@ impl ExecCtx<'_, '_> {
             let ok = child.ok && !timed_out;
             if timed_out {
                 self.record_resilience(callee, MetricKind::Timeout, attempt_start);
+                // Re-status the attempt's span with the caller-observed
+                // wait: the subtree below it keeps its real (longer)
+                // durations — the documented nesting exception.
+                if let Some(idx) = child.span {
+                    let span = &mut self.spans[idx];
+                    span.duration = perceived;
+                    span.status = SpanStatus::TimedOut;
+                }
             }
             let mut opened = false;
             if let Some(breaker) = policy.breaker {
@@ -353,7 +457,7 @@ impl ExecCtx<'_, '_> {
                 }
             }
             if ok {
-                return Ok(HopOutcome { duration: waited, ok: true });
+                return Ok(HopOutcome { duration: waited, ok: true, span: None });
             }
             if opened {
                 // The breaker opened on this very outcome: retrying into
@@ -365,23 +469,37 @@ impl ExecCtx<'_, '_> {
                 self.record_resilience(callee, MetricKind::Retry, start + waited);
             }
         }
-        Ok(self.fallback_or_fail(&policy, callee, start, waited))
+        Ok(self.fallback_or_fail(&policy, callee, start, waited, parent, traced_endpoint))
     }
 
     /// Resolves an exhausted or shed call: degraded-but-successful
-    /// fallback when configured, plain failure otherwise.
+    /// fallback when configured, plain failure otherwise. A served
+    /// fallback is traced as a [`SpanStatus::Fallback`] event span so the
+    /// degraded response stays attributable in the trace.
     fn fallback_or_fail(
         &mut self,
         policy: &CallPolicy,
         callee: VersionId,
         start: SimTime,
         waited: SimDuration,
+        parent: SpanId,
+        traced_endpoint: Option<EndpointId>,
     ) -> HopOutcome {
         if policy.fallback {
             self.record_resilience(callee, MetricKind::FallbackServed, start + waited);
-            HopOutcome { duration: waited + policy.fallback_latency, ok: true }
+            if let Some(ep) = traced_endpoint {
+                self.push_event_span(
+                    parent,
+                    callee,
+                    ep,
+                    start + waited,
+                    policy.fallback_latency,
+                    SpanStatus::Fallback,
+                );
+            }
+            HopOutcome { duration: waited + policy.fallback_latency, ok: true, span: None }
         } else {
-            HopOutcome { duration: waited, ok: false }
+            HopOutcome { duration: waited, ok: false, span: None }
         }
     }
 
@@ -467,16 +585,22 @@ mod tests {
         let trace = result.trace.unwrap();
         assert_eq!(trace.spans.len(), 3);
         let root = trace.root();
-        assert_eq!(root.service, "a");
+        assert_eq!(root.service, app.service_id("a").unwrap());
         assert_eq!(root.duration, result.response_time);
-        // Parent chain a -> b -> c.
-        let b = trace.spans.iter().find(|s| s.service == "b").unwrap();
-        let c = trace.spans.iter().find(|s| s.service == "c").unwrap();
+        // Parent chain a -> b -> c, stored pre-order with ids == positions.
+        let b_svc = app.service_id("b").unwrap();
+        let c_svc = app.service_id("c").unwrap();
+        let b = trace.spans.iter().find(|s| s.service == b_svc).unwrap();
+        let c = trace.spans.iter().find(|s| s.service == c_svc).unwrap();
         assert_eq!(b.parent, Some(root.span));
         assert_eq!(c.parent, Some(b.span));
-        // Child hops start after the parent's own work.
+        for (i, s) in trace.spans.iter().enumerate() {
+            assert_eq!(s.span, SpanId(i as u32), "span ids equal pre-order positions");
+        }
+        // Child hops start after the parent's own work and nest inside it.
         assert!(b.start > root.start);
         assert!(c.start > b.start);
+        assert!(c.end() <= b.end() && b.end() <= root.end());
     }
 
     #[test]
@@ -497,8 +621,11 @@ mod tests {
         let result = run(&app, &Router::new(), true);
         assert!(!result.ok);
         let trace = result.trace.unwrap();
-        assert!(!trace.root().ok, "failure must propagate to the root span");
-        assert!(!trace.spans.iter().find(|s| s.service == "b").unwrap().ok);
+        assert_eq!(trace.root().status, SpanStatus::Failed, "failure reaches the root span");
+        assert!(!trace.ok());
+        let b_svc = app.service_id("b").unwrap();
+        let b_span = trace.spans.iter().find(|s| s.service == b_svc).unwrap();
+        assert_eq!(b_span.status, SpanStatus::Failed);
     }
 
     #[test]
@@ -585,7 +712,7 @@ mod tests {
         assert_eq!(trace.spans.len(), 5);
         let dark_spans: Vec<_> = trace.spans.iter().filter(|s| s.dark).collect();
         assert_eq!(dark_spans.len(), 2);
-        assert!(dark_spans.iter().any(|s| s.version == "2"));
+        assert!(dark_spans.iter().any(|s| s.version == dark));
         // Dark leaf call doubled the load on c: flush c's bucket and check.
         let c = app.version_id("c", "1").unwrap();
         load.record_arrival(c, SimTime::from_secs(2));
@@ -839,6 +966,237 @@ mod tests {
             )
             .unwrap();
             assert!(!result.ok, "combined rate clamps to exactly 1.0");
+        }
+    }
+
+    /// Checks every structural invariant the trace module documents:
+    /// pre-order storage with span ids equal to positions, a single root,
+    /// children starting inside their parent, synchronous-child interval
+    /// nesting (with the documented dark and timed-out exceptions), and
+    /// root duration equal to the user-perceived response time.
+    fn assert_span_invariants(trace: &Trace, response_time: SimDuration) {
+        assert!(!trace.spans.is_empty());
+        for (i, s) in trace.spans.iter().enumerate() {
+            assert_eq!(s.span, SpanId(i as u32), "span ids are pre-order positions");
+            match s.parent {
+                None => assert_eq!(i, 0, "only the root lacks a parent"),
+                Some(p) => {
+                    assert!((p.0 as usize) < i, "parents precede children");
+                    let parent = &trace.spans[p.0 as usize];
+                    assert!(s.start >= parent.start, "children start within the parent");
+                    if !s.dark && parent.status != SpanStatus::TimedOut {
+                        assert!(
+                            s.end() <= parent.end(),
+                            "synchronous child interval must nest (span {i})"
+                        );
+                    }
+                }
+            }
+        }
+        assert_eq!(trace.root().duration, response_time);
+        assert_eq!(trace.response_time(), response_time);
+    }
+
+    #[test]
+    fn timed_out_attempt_span_carries_perceived_wait() {
+        let app = two_tier(0.0);
+        let policy = CallPolicy {
+            attempt_timeout: Some(SimDuration::from_millis(4)),
+            max_retries: 0,
+            ..CallPolicy::default()
+        };
+        let plan = crate::resilience::ResiliencePlan::with_default(policy);
+        let mut state = crate::resilience::ResilienceState::new();
+        let mut load = LoadTracker::new(&app);
+        let mut rng = SplitMix64::new(3);
+        let entry = app.service_id("a").unwrap();
+        let result = execute_request(
+            &app,
+            &Router::new(),
+            &mut load,
+            &mut rng,
+            UserId(1),
+            entry,
+            "entry",
+            SimTime::from_secs(1),
+            Some(TraceId(1)),
+            None,
+            Some(Resilience { plan: &plan, state: &mut state }),
+            &FaultPlan::none(),
+        )
+        .unwrap();
+        assert!(!result.ok);
+        let trace = result.trace.unwrap();
+        assert_span_invariants(&trace, result.response_time);
+        assert_eq!(trace.spans.len(), 2);
+        let b = &trace.spans[1];
+        assert_eq!(b.status, SpanStatus::TimedOut);
+        // The span records the caller-observed wait (the 4 ms deadline),
+        // not b's real 10 ms of work.
+        assert_eq!(b.duration.as_millis(), 4);
+        assert_eq!(trace.root().status, SpanStatus::Failed);
+    }
+
+    #[test]
+    fn shed_and_fallback_emit_event_spans() {
+        let app = two_tier(1.0);
+        let policy = CallPolicy {
+            breaker: Some(crate::resilience::BreakerPolicy {
+                error_threshold: 0.5,
+                min_calls: 4,
+                window: 8,
+                cooldown: SimDuration::from_secs(60),
+                half_open_probes: 1,
+            }),
+            fallback: true,
+            fallback_latency: SimDuration::from_millis(1),
+            ..CallPolicy::default()
+        };
+        let plan = crate::resilience::ResiliencePlan::with_default(policy);
+        let mut state = crate::resilience::ResilienceState::new();
+        let mut load = LoadTracker::new(&app);
+        let mut rng = SplitMix64::new(21);
+        let entry = app.service_id("a").unwrap();
+        let b = app.version_id("b", "1").unwrap();
+        let mut last = None;
+        for i in 0..8u64 {
+            let result = execute_request(
+                &app,
+                &Router::new(),
+                &mut load,
+                &mut rng,
+                UserId(i),
+                entry,
+                "entry",
+                SimTime::from_secs(1 + i),
+                Some(TraceId(i)),
+                None,
+                Some(Resilience { plan: &plan, state: &mut state }),
+                &FaultPlan::none(),
+            )
+            .unwrap();
+            assert!(result.ok, "fallback keeps requests successful");
+            let trace = result.trace.unwrap();
+            assert_span_invariants(&trace, result.response_time);
+            last = Some(trace);
+        }
+        // After the breaker opened, a request is root + shed event +
+        // fallback event — no executed b endpoint at all.
+        let trace = last.unwrap();
+        assert!(trace.ok(), "fallback-served root counts as ok");
+        let shed = trace.spans.iter().find(|s| s.status == SpanStatus::Shed).unwrap();
+        assert_eq!(shed.version, b);
+        assert_eq!(shed.duration, SimDuration::ZERO);
+        let fb = trace.spans.iter().find(|s| s.status == SpanStatus::Fallback).unwrap();
+        assert_eq!(fb.version, b);
+        assert_eq!(fb.duration.as_millis(), 1);
+        assert!(
+            !trace.spans.iter().any(|s| s.status == SpanStatus::Failed),
+            "shed request never executed b"
+        );
+    }
+
+    #[test]
+    fn span_tree_invariants_hold_under_stress() {
+        use crate::faults::{Fault, FaultKind};
+        // A three-tier app with jittered latencies, an error-prone middle
+        // tier, a slow dark-launched mirror, and a resilience policy with
+        // timeouts, retries, a breaker, and fallbacks: every span shape
+        // the executor can produce shows up here.
+        let mut builder = Application::builder();
+        builder.version(
+            VersionSpec::new("a", "1").endpoint(
+                EndpointDef::new("entry", LatencyModel::Constant { ms: 5.0 })
+                    .call(CallDef::always("b", "mid")),
+            ),
+        );
+        builder.version(
+            VersionSpec::new("b", "1").endpoint(
+                EndpointDef::new("mid", LatencyModel::Uniform { lo: 2.0, hi: 12.0 })
+                    .error_rate(0.2)
+                    .call(CallDef::always("c", "leaf")),
+            ),
+        );
+        builder.version(
+            VersionSpec::new("c", "1")
+                .endpoint(EndpointDef::new("leaf", LatencyModel::Uniform { lo: 1.0, hi: 6.0 })),
+        );
+        let mut app = builder.build().unwrap();
+        app.deploy(
+            VersionSpec::new("b", "2").endpoint(
+                EndpointDef::new("mid", LatencyModel::Constant { ms: 100.0 })
+                    .call(CallDef::always("c", "leaf")),
+            ),
+        )
+        .unwrap();
+        let b_svc = app.service_id("b").unwrap();
+        let dark = app.version_id("b", "2").unwrap();
+        let mut router = Router::new();
+        router.add_mirror(&app, b_svc, dark).unwrap();
+
+        let policy = CallPolicy {
+            attempt_timeout: Some(SimDuration::from_millis(9)),
+            max_retries: 2,
+            backoff_base: SimDuration::from_millis(2),
+            backoff_multiplier: 2.0,
+            breaker: Some(crate::resilience::BreakerPolicy {
+                error_threshold: 0.4,
+                min_calls: 8,
+                window: 16,
+                cooldown: SimDuration::from_millis(100),
+                half_open_probes: 1,
+            }),
+            fallback: true,
+            fallback_latency: SimDuration::from_millis(1),
+            ..CallPolicy::default()
+        };
+        let plan = crate::resilience::ResiliencePlan::with_default(policy);
+        let b_fault = app.version_id("b", "1").unwrap();
+        let mut faults = FaultPlan::none();
+        faults.inject(Fault {
+            version: b_fault,
+            kind: FaultKind::ErrorBurst { extra_error_rate: 0.5 },
+            from: SimTime::from_millis(2_000),
+            until: SimTime::from_millis(3_000),
+        });
+
+        let entry = app.service_id("a").unwrap();
+        let mut statuses = std::collections::BTreeSet::new();
+        let mut saw_retry = false;
+        let mut saw_dark = false;
+        for seed in [4242u64, 7, 99] {
+            let mut state = crate::resilience::ResilienceState::new();
+            let mut load = LoadTracker::new(&app);
+            let mut rng = SplitMix64::new(seed);
+            for i in 0..200u64 {
+                let result = execute_request(
+                    &app,
+                    &router,
+                    &mut load,
+                    &mut rng,
+                    UserId(i),
+                    entry,
+                    "entry",
+                    SimTime::from_millis(i * 20),
+                    Some(TraceId(seed * 1_000 + i)),
+                    None,
+                    Some(Resilience { plan: &plan, state: &mut state }),
+                    &faults,
+                )
+                .unwrap();
+                let trace = result.trace.unwrap();
+                assert_span_invariants(&trace, result.response_time);
+                for s in &trace.spans {
+                    statuses.insert(s.status.name());
+                    saw_retry |= s.attempt > 0;
+                    saw_dark |= s.dark;
+                }
+            }
+        }
+        assert!(saw_retry, "retry attempts appear as numbered sibling spans");
+        assert!(saw_dark, "dark mirror work is traced");
+        for want in ["ok", "failed", "timed_out", "shed", "fallback"] {
+            assert!(statuses.contains(want), "stress run must produce a `{want}` span");
         }
     }
 

@@ -1,0 +1,596 @@
+//! Trace-driven experiment health analysis (Chapter 5).
+//!
+//! The dissertation's analysis model assesses a change's health by
+//! comparing how a canary's *interactions* behave against the baseline's,
+//! edge by edge, instead of staring at one service-level dial. This
+//! module is that analysis layer for the simulator: drained traces fold
+//! into a [`HealthAccumulator`] (a per-`service@version` interaction
+//! graph keyed by [`EdgeKey`]), and [`HealthReport::build`] diffs a
+//! canary version against its baseline per logical endpoint — latency
+//! quantiles (via [`cex_core::metrics::quantiles`]), error rate, and
+//! retry amplification — plus the critical path of each trace, so a
+//! regression is *localized* to the interaction that degraded.
+//!
+//! Everything here is deterministic: folding order follows trace order,
+//! maps are `BTreeMap`s, the latency reservoir compacts by stride
+//! doubling (no randomness), and [`HealthReport::render`] emits a
+//! byte-stable text report.
+
+use crate::app::{EndpointId, VersionId};
+use crate::trace::{EdgeKey, Span, SpanBook, SpanStatus, Trace};
+use cex_core::intern::Sym;
+use cex_core::metrics::quantiles;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Upper bound on retained latency samples per edge. When full the
+/// reservoir compacts by dropping every other sample and doubling its
+/// keep-stride — deterministic, order-preserving downsampling.
+const RESERVOIR_CAP: usize = 2_048;
+
+/// Bounded, deterministic latency sample reservoir (milliseconds).
+#[derive(Debug, Clone, PartialEq)]
+pub struct LatencyReservoir {
+    samples: Vec<f64>,
+    stride: u64,
+    seen: u64,
+}
+
+impl Default for LatencyReservoir {
+    fn default() -> Self {
+        LatencyReservoir::new()
+    }
+}
+
+impl LatencyReservoir {
+    fn new() -> Self {
+        LatencyReservoir { samples: Vec::new(), stride: 1, seen: 0 }
+    }
+
+    fn push(&mut self, value_ms: f64) {
+        if self.seen.is_multiple_of(self.stride) {
+            if self.samples.len() == RESERVOIR_CAP {
+                // Keep every other retained sample; future pushes keep
+                // every `2 * stride`-th observation.
+                let mut keep = false;
+                self.samples.retain(|_| {
+                    keep = !keep;
+                    keep
+                });
+                self.stride *= 2;
+            }
+            self.samples.push(value_ms);
+        }
+        self.seen += 1;
+    }
+
+    /// Retained samples, in observation order.
+    pub fn samples(&self) -> &[f64] {
+        &self.samples
+    }
+
+    /// Observations offered (retained or not).
+    pub fn seen(&self) -> u64 {
+        self.seen
+    }
+}
+
+/// Per-edge statistics accumulated from spans.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct EdgeStats {
+    /// Executed calls (event spans — sheds and fallbacks — excluded).
+    pub calls: u64,
+    /// Executed calls with an error status (failed or timed out).
+    pub errors: u64,
+    /// Retry attempts (spans with `attempt > 0`).
+    pub retries: u64,
+    /// Attempts abandoned at the caller's deadline.
+    pub timeouts: u64,
+    /// Calls shed by an open circuit breaker.
+    pub sheds: u64,
+    /// Fallback responses served in place of the callee.
+    pub fallbacks: u64,
+    /// Latency reservoir over executed calls (ms).
+    pub latency: LatencyReservoir,
+}
+
+impl EdgeStats {
+    fn fold(&mut self, span: &Span) {
+        match span.status {
+            SpanStatus::Shed => {
+                self.sheds += 1;
+                return;
+            }
+            SpanStatus::Fallback => {
+                self.fallbacks += 1;
+                return;
+            }
+            SpanStatus::TimedOut => {
+                self.timeouts += 1;
+                self.errors += 1;
+            }
+            SpanStatus::Failed => self.errors += 1,
+            SpanStatus::Ok => {}
+        }
+        self.calls += 1;
+        if span.attempt > 0 {
+            self.retries += 1;
+        }
+        self.latency.push(span.duration.as_millis() as f64);
+    }
+
+    /// Error rate over executed calls.
+    pub fn error_rate(&self) -> f64 {
+        if self.calls == 0 {
+            0.0
+        } else {
+            self.errors as f64 / self.calls as f64
+        }
+    }
+
+    /// Retry amplification: retry attempts per executed call.
+    pub fn retry_rate(&self) -> f64 {
+        if self.calls == 0 {
+            0.0
+        } else {
+            self.retries as f64 / self.calls as f64
+        }
+    }
+
+    fn merge(&mut self, other: &EdgeStats) {
+        self.calls += other.calls;
+        self.errors += other.errors;
+        self.retries += other.retries;
+        self.timeouts += other.timeouts;
+        self.sheds += other.sheds;
+        self.fallbacks += other.fallbacks;
+        for &v in other.latency.samples() {
+            self.latency.push(v);
+        }
+    }
+}
+
+/// Folds drained traces into a per-`service@version` interaction graph:
+/// edge statistics keyed by [`EdgeKey`] plus per-trace critical paths.
+#[derive(Debug, Clone, Default)]
+pub struct HealthAccumulator {
+    edges: BTreeMap<EdgeKey, EdgeStats>,
+    /// How often `(version, endpoint)` terminated a trace's critical path.
+    critical_sinks: BTreeMap<(VersionId, EndpointId), u64>,
+    traces: u64,
+    failed_traces: u64,
+}
+
+impl HealthAccumulator {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        HealthAccumulator::default()
+    }
+
+    /// Folds one trace: every primary span lands on its interaction edge
+    /// and the trace's critical path is walked down to its sink. Dark
+    /// (mirrored) spans are excluded — they are not on the user path the
+    /// health verdict is about.
+    pub fn observe_trace(&mut self, trace: &Trace) {
+        for span in &trace.spans {
+            if span.dark {
+                continue;
+            }
+            let caller = span.parent.and_then(|p| trace.get(p)).map(|p| p.version);
+            let key = EdgeKey { caller, callee: span.version, endpoint: span.endpoint };
+            self.edges.entry(key).or_default().fold(span);
+        }
+        if let Some(sink) = critical_sink(trace) {
+            *self.critical_sinks.entry((sink.version, sink.endpoint)).or_default() += 1;
+        }
+        self.traces += 1;
+        if !trace.ok() {
+            self.failed_traces += 1;
+        }
+    }
+
+    /// Folds a batch of traces in order.
+    pub fn observe_all<'a>(&mut self, traces: impl IntoIterator<Item = &'a Trace>) {
+        for trace in traces {
+            self.observe_trace(trace);
+        }
+    }
+
+    /// Traces folded so far.
+    pub fn traces(&self) -> u64 {
+        self.traces
+    }
+
+    /// Traces whose root failed.
+    pub fn failed_traces(&self) -> u64 {
+        self.failed_traces
+    }
+
+    /// The interaction graph: per-edge statistics, deterministically
+    /// ordered.
+    pub fn edges(&self) -> &BTreeMap<EdgeKey, EdgeStats> {
+        &self.edges
+    }
+
+    /// How often each `(version, endpoint)` terminated a critical path.
+    pub fn critical_sinks(&self) -> &BTreeMap<(VersionId, EndpointId), u64> {
+        &self.critical_sinks
+    }
+
+    /// Aggregates this version's serving edges per logical endpoint
+    /// symbol (callers merged).
+    fn per_endpoint(&self, book: &SpanBook, version: VersionId) -> BTreeMap<Sym, EdgeStats> {
+        let mut out: BTreeMap<Sym, EdgeStats> = BTreeMap::new();
+        for (key, stats) in &self.edges {
+            if key.callee == version {
+                out.entry(book.endpoint_sym(key.endpoint)).or_default().merge(stats);
+            }
+        }
+        out
+    }
+}
+
+/// Walks a trace's critical path: from the root, repeatedly descend into
+/// the primary child whose interval ends last, returning the terminal
+/// span. The sink is where the trace's latency was actually spent.
+pub fn critical_sink(trace: &Trace) -> Option<&Span> {
+    let mut current = trace.spans.first()?;
+    loop {
+        let next = trace
+            .children_of(current.span)
+            .filter(|s| !s.dark)
+            .max_by(|a, b| a.end().cmp(&b.end()).then(b.span.0.cmp(&a.span.0)));
+        match next {
+            Some(child) => current = child,
+            None => return Some(current),
+        }
+    }
+}
+
+/// One logical endpoint compared between canary and baseline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EdgeDelta {
+    /// Logical endpoint name (shared across versions).
+    pub endpoint: String,
+    /// Baseline-side statistics (callers merged).
+    pub baseline: EdgeSummary,
+    /// Canary-side statistics (callers merged).
+    pub canary: EdgeSummary,
+}
+
+/// Scalar summary of one side of an [`EdgeDelta`].
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct EdgeSummary {
+    /// Executed calls.
+    pub calls: u64,
+    /// Error rate over executed calls.
+    pub error_rate: f64,
+    /// Retry attempts per executed call.
+    pub retry_rate: f64,
+    /// Median latency (ms); `0` when no calls executed.
+    pub p50_ms: f64,
+    /// 95th-percentile latency (ms); `0` when no calls executed.
+    pub p95_ms: f64,
+    /// Calls shed by an open breaker.
+    pub sheds: u64,
+    /// Fallback responses served.
+    pub fallbacks: u64,
+}
+
+impl EdgeSummary {
+    fn from_stats(stats: &EdgeStats) -> EdgeSummary {
+        let qs = quantiles(stats.latency.samples(), &[0.5, 0.95]).unwrap_or_else(|| vec![0.0, 0.0]);
+        EdgeSummary {
+            calls: stats.calls,
+            error_rate: stats.error_rate(),
+            retry_rate: stats.retry_rate(),
+            p50_ms: qs[0],
+            p95_ms: qs[1],
+            sheds: stats.sheds,
+            fallbacks: stats.fallbacks,
+        }
+    }
+}
+
+impl EdgeDelta {
+    /// Canary − baseline error-rate difference.
+    pub fn error_rate_delta(&self) -> f64 {
+        self.canary.error_rate - self.baseline.error_rate
+    }
+
+    /// Canary − baseline retry-amplification difference.
+    pub fn retry_rate_delta(&self) -> f64 {
+        self.canary.retry_rate - self.baseline.retry_rate
+    }
+
+    /// Canary − baseline p95 latency difference (ms).
+    pub fn p95_delta_ms(&self) -> f64 {
+        self.canary.p95_ms - self.baseline.p95_ms
+    }
+
+    /// Canary − baseline median latency difference (ms).
+    pub fn p50_delta_ms(&self) -> f64 {
+        self.canary.p50_ms - self.baseline.p50_ms
+    }
+
+    /// Degradation score used to rank edges: error-rate deltas dominate,
+    /// latency deltas break ties.
+    pub fn score(&self) -> f64 {
+        self.error_rate_delta() * 1_000.0 + self.retry_rate_delta() * 100.0 + self.p95_delta_ms()
+    }
+}
+
+/// A deterministic canary-vs-baseline health report for one service.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HealthReport {
+    /// Service under experiment.
+    pub service: String,
+    /// Baseline `service@version` label.
+    pub baseline: String,
+    /// Canary `service@version` label.
+    pub canary: String,
+    /// Traces folded into the underlying accumulator.
+    pub traces: u64,
+    /// Traces whose root failed.
+    pub failed_traces: u64,
+    /// Per-endpoint deltas, sorted by endpoint name.
+    pub edges: Vec<EdgeDelta>,
+    /// Critical-path sinks (`service@version/endpoint`, count), most
+    /// frequent first.
+    pub critical_sinks: Vec<(String, u64)>,
+}
+
+impl HealthReport {
+    /// Diffs `canary` against `baseline` per logical endpoint. Endpoints
+    /// are matched by their shared interner symbol, so versions with
+    /// differing [`EndpointId`]s still line up.
+    pub fn build(
+        acc: &HealthAccumulator,
+        book: &SpanBook,
+        baseline: VersionId,
+        canary: VersionId,
+    ) -> HealthReport {
+        let base_map = acc.per_endpoint(book, baseline);
+        let canary_map = acc.per_endpoint(book, canary);
+        let mut names: Vec<Sym> = base_map.keys().chain(canary_map.keys()).copied().collect();
+        names.sort();
+        names.dedup();
+        let default = EdgeStats::default();
+        let mut edges: Vec<EdgeDelta> = names
+            .into_iter()
+            .map(|sym| {
+                let base = base_map.get(&sym).unwrap_or(&default);
+                let can = canary_map.get(&sym).unwrap_or(&default);
+                // Any endpoint id carrying this symbol resolves to the
+                // same name; find one through either side's stats. The
+                // symbol came from the book, so resolution cannot miss.
+                EdgeDelta {
+                    endpoint: endpoint_name_of(book, sym),
+                    baseline: EdgeSummary::from_stats(base),
+                    canary: EdgeSummary::from_stats(can),
+                }
+            })
+            .collect();
+        edges.sort_by(|a, b| a.endpoint.cmp(&b.endpoint));
+
+        let mut critical_sinks: Vec<(String, u64)> = acc
+            .critical_sinks
+            .iter()
+            .map(|((v, e), n)| {
+                (format!("{}/{}", book.version_label(*v), book.endpoint_name(*e)), *n)
+            })
+            .collect();
+        critical_sinks.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+
+        HealthReport {
+            service: book.service_name(book.service_of(canary)).to_string(),
+            baseline: book.version_label(baseline).to_string(),
+            canary: book.version_label(canary).to_string(),
+            traces: acc.traces(),
+            failed_traces: acc.failed_traces(),
+            edges,
+            critical_sinks,
+        }
+    }
+
+    /// The most degraded endpoint (highest [`EdgeDelta::score`]), ties
+    /// broken by endpoint name.
+    pub fn worst_edge(&self) -> Option<&EdgeDelta> {
+        self.edges
+            .iter()
+            .max_by(|a, b| a.score().total_cmp(&b.score()).then(b.endpoint.cmp(&a.endpoint)))
+    }
+
+    /// `true` when some edge degraded beyond the given error-rate or p95
+    /// latency thresholds.
+    pub fn degraded(&self, max_error_rate_delta: f64, max_p95_delta_ms: f64) -> bool {
+        self.edges.iter().any(|e| {
+            e.error_rate_delta() > max_error_rate_delta || e.p95_delta_ms() > max_p95_delta_ms
+        })
+    }
+
+    /// Byte-deterministic text rendering (same accumulator state → same
+    /// bytes), suitable for journals and golden files.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "health report: service {} canary {} vs baseline {}",
+            self.service, self.canary, self.baseline
+        );
+        let _ = writeln!(out, "traces {} failed {}", self.traces, self.failed_traces);
+        for e in &self.edges {
+            let _ = writeln!(
+                out,
+                "edge {}: calls {} -> {}, error_rate {:.4} -> {:.4} (delta {:+.4}), \
+                 p50 {:.2} -> {:.2} ms, p95 {:.2} -> {:.2} ms (delta {:+.2}), \
+                 retry_rate {:.4} -> {:.4}, sheds {} -> {}, fallbacks {} -> {}",
+                e.endpoint,
+                e.baseline.calls,
+                e.canary.calls,
+                e.baseline.error_rate,
+                e.canary.error_rate,
+                e.error_rate_delta(),
+                e.baseline.p50_ms,
+                e.canary.p50_ms,
+                e.baseline.p95_ms,
+                e.canary.p95_ms,
+                e.p95_delta_ms(),
+                e.baseline.retry_rate,
+                e.canary.retry_rate,
+                e.baseline.sheds,
+                e.canary.sheds,
+                e.baseline.fallbacks,
+                e.canary.fallbacks,
+            );
+        }
+        for (sink, n) in self.critical_sinks.iter().take(5) {
+            let _ = writeln!(out, "critical path sink {sink}: {n}");
+        }
+        if let Some(worst) = self.worst_edge() {
+            let _ = writeln!(out, "worst edge {}: score {:.2}", worst.endpoint, worst.score());
+        }
+        out
+    }
+}
+
+/// Resolves a logical endpoint symbol back to its name via the book's
+/// interner (every symbol in a report originated from the book).
+fn endpoint_name_of(book: &SpanBook, sym: Sym) -> String {
+    book.sym_name(sym).to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::app::{Application, CallDef, EndpointDef, VersionSpec};
+    use crate::latency::LatencyModel;
+    use crate::sim::Simulation;
+    use cex_core::simtime::SimDuration;
+
+    fn canary_app() -> Application {
+        let mut b = Application::builder();
+        b.version(
+            VersionSpec::new("frontend", "1.0.0").capacity(10_000.0).endpoint(
+                EndpointDef::new("home", LatencyModel::Constant { ms: 5.0 })
+                    .call(CallDef::always("backend", "api")),
+            ),
+        );
+        b.version(
+            VersionSpec::new("backend", "1.0.0")
+                .capacity(10_000.0)
+                .endpoint(EndpointDef::new("api", LatencyModel::Constant { ms: 10.0 })),
+        );
+        b.build().unwrap()
+    }
+
+    fn simulate_canary(err: f64, latency_ms: f64) -> (Simulation, VersionId, VersionId) {
+        let mut sim = Simulation::new(canary_app(), 77);
+        sim.set_trace_sampling(1.0);
+        let candidate = sim
+            .deploy(VersionSpec::new("backend", "2.0.0").capacity(10_000.0).endpoint(
+                EndpointDef::new("api", LatencyModel::Constant { ms: latency_ms }).error_rate(err),
+            ))
+            .unwrap();
+        let backend = sim.app().service_id("backend").unwrap();
+        let baseline = sim.app().version_id("backend", "1.0.0").unwrap();
+        let snapshot = sim.app().clone();
+        sim.router_mut()
+            .set_split(&snapshot, backend, vec![(baseline, 0.5), (candidate, 0.5)])
+            .unwrap();
+        sim.run(SimDuration::from_secs(30), 40.0);
+        (sim, baseline, candidate)
+    }
+
+    #[test]
+    fn reservoir_is_bounded_and_deterministic() {
+        let mut r = LatencyReservoir::new();
+        for i in 0..100_000u64 {
+            r.push(i as f64);
+        }
+        assert!(r.samples().len() <= RESERVOIR_CAP);
+        assert!(r.samples().len() > RESERVOIR_CAP / 4, "compaction keeps a useful tail");
+        assert_eq!(r.seen(), 100_000);
+        let mut r2 = LatencyReservoir::new();
+        for i in 0..100_000u64 {
+            r2.push(i as f64);
+        }
+        assert_eq!(r, r2, "same input, same reservoir");
+        // Order-preserving: retained samples are strictly increasing here.
+        assert!(r.samples().windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn accumulator_builds_interaction_graph() {
+        let (mut sim, _, _) = simulate_canary(0.0, 10.0);
+        let traces = sim.drain_traces();
+        let mut acc = HealthAccumulator::new();
+        acc.observe_all(&traces);
+        assert_eq!(acc.traces(), traces.len() as u64);
+        // Entry edge (None → frontend) plus frontend → each backend version.
+        assert_eq!(acc.edges().len(), 3);
+        let total_backend_calls: u64 =
+            acc.edges().iter().filter(|(k, _)| k.caller.is_some()).map(|(_, s)| s.calls).sum();
+        assert_eq!(total_backend_calls, traces.len() as u64);
+        // Every trace's latency sink is the slow-leaf backend hop.
+        let sinks: u64 = acc.critical_sinks().values().sum();
+        assert_eq!(sinks, traces.len() as u64);
+    }
+
+    #[test]
+    fn report_localizes_faulty_canary() {
+        let (mut sim, baseline, canary) = simulate_canary(0.5, 60.0);
+        let book = sim.span_book();
+        let traces = sim.drain_traces();
+        let mut acc = HealthAccumulator::new();
+        acc.observe_all(&traces);
+        let report = HealthReport::build(&acc, &book, baseline, canary);
+        assert_eq!(report.service, "backend");
+        assert_eq!(report.canary, "backend@2.0.0");
+        let worst = report.worst_edge().expect("an edge was compared");
+        assert_eq!(worst.endpoint, "api", "the degraded edge is localized");
+        assert!(worst.error_rate_delta() > 0.3, "delta {}", worst.error_rate_delta());
+        assert!(worst.p95_delta_ms() > 40.0, "p95 delta {}", worst.p95_delta_ms());
+        assert!(report.degraded(0.1, 1_000.0));
+        assert!(report.degraded(1.0, 25.0));
+        assert!(!report.degraded(1.0, 1_000.0));
+    }
+
+    #[test]
+    fn healthy_canary_is_not_flagged() {
+        let (mut sim, baseline, canary) = simulate_canary(0.0, 10.0);
+        let book = sim.span_book();
+        let traces = sim.drain_traces();
+        let mut acc = HealthAccumulator::new();
+        acc.observe_all(&traces);
+        let report = HealthReport::build(&acc, &book, baseline, canary);
+        assert!(!report.degraded(0.05, 5.0), "identical behaviour is healthy");
+    }
+
+    #[test]
+    fn render_is_byte_deterministic() {
+        let build = || {
+            let (mut sim, baseline, canary) = simulate_canary(0.5, 60.0);
+            let book = sim.span_book();
+            let traces = sim.drain_traces();
+            let mut acc = HealthAccumulator::new();
+            acc.observe_all(&traces);
+            HealthReport::build(&acc, &book, baseline, canary).render()
+        };
+        let a = build();
+        assert_eq!(a, build(), "same seed, same bytes");
+        assert!(a.contains("health report: service backend canary backend@2.0.0"));
+        assert!(a.contains("worst edge api"));
+    }
+
+    #[test]
+    fn critical_sink_follows_latest_ending_child() {
+        let (mut sim, _, _) = simulate_canary(0.0, 10.0);
+        let traces = sim.drain_traces();
+        let trace = &traces[0];
+        let sink = critical_sink(trace).unwrap();
+        // The chain bottoms out in a backend hop: the sink has no children.
+        assert_eq!(trace.children_of(sink.span).count(), 0);
+        assert!(sink.parent.is_some());
+    }
+}

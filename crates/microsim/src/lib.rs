@@ -25,8 +25,11 @@
 //!   trace.
 //! - [`faults`] — scheduled fault windows (latency spikes, error bursts,
 //!   outages) for failure-injection experiments.
-//! - [`trace`] — Zipkin/Jaeger-style spans and trace collection
-//!   (the input of Chapter 5).
+//! - [`trace`] — Zipkin/Jaeger-style spans with interned identity, bounded
+//!   trace retention and streaming per-edge aggregates (the input of
+//!   Chapter 5 and the health pipeline).
+//! - [`health`] — folds drained traces into per-`service@version`
+//!   interaction graphs and canary-vs-baseline health reports.
 //! - [`monitor`] — a windowed metric store (the input of Bifrost checks).
 //! - [`workload`] — open-loop Poisson request generation over user
 //!   populations.
@@ -55,6 +58,7 @@ pub mod app;
 pub mod error;
 pub mod exec;
 pub mod faults;
+pub mod health;
 pub mod latency;
 pub mod load;
 pub mod monitor;
@@ -70,4 +74,4 @@ pub use error::SimError;
 pub use monitor::MetricStore;
 pub use routing::Router;
 pub use sim::Simulation;
-pub use trace::{Span, Trace, TraceCollector};
+pub use trace::{Span, SpanBook, SpanStatus, Trace, TraceCollector};

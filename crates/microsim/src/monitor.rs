@@ -20,10 +20,11 @@
 //! * **Scope interning.** Scope strings are interned once into dense
 //!   [`ScopeId`]s; series are keyed by `(ScopeId, MetricKind)`, so the
 //!   request loop never allocates or hashes a `String` per hop. The
-//!   interner publishes an immutable snapshot map plus a generation
-//!   counter; reader threads cache the snapshot and resolve against it
-//!   with a single atomic generation check — no lock unless a scope was
-//!   interned since the thread last looked.
+//!   interner ([`cex_core::intern::Interner`], shared with the trace
+//!   pipeline's span identity) publishes an immutable snapshot map plus a
+//!   generation counter; reader threads cache the snapshot and resolve
+//!   against it with a single atomic generation check — no lock unless a
+//!   scope was interned since the thread last looked.
 //! * **Sharding.** Series are spread over [`SHARD_COUNT`] independently
 //!   locked shards keyed by a hash of the scope, so the Bifrost engine's
 //!   worker threads and the request loop stop serializing on one lock.
@@ -46,6 +47,7 @@
 //! same-seed runs and across engine worker counts.
 
 use crate::app::Application;
+use cex_core::intern::Interner;
 use cex_core::metrics::{MetricKind, OnlineStats, Sample, Summary};
 use cex_core::simtime::{SimDuration, SimTime};
 use std::collections::{HashMap, VecDeque};
@@ -64,114 +66,10 @@ const BATCH_FLUSH_THRESHOLD: usize = 4_096;
 
 /// An interned metric scope. Dense, copyable, and stable for the lifetime
 /// of the store that issued it — the hot-path replacement for scope
-/// strings.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
-pub struct ScopeId(u32);
-
-impl ScopeId {
-    /// The dense index backing this id.
-    pub fn index(self) -> usize {
-        self.0 as usize
-    }
-}
-
-type SnapshotMap = HashMap<Arc<str>, ScopeId>;
-
-/// Issues a process-unique identity per [`Interner`], so thread-local
-/// snapshot caches can tell stores apart.
-static INTERNER_IDS: AtomicU64 = AtomicU64::new(0);
-
-thread_local! {
-    /// Per-thread resolve cache: `(interner identity, generation,
-    /// snapshot)`. While the generation matches, [`Interner::resolve`]
-    /// runs against the cached immutable snapshot without taking any
-    /// lock.
-    static SNAPSHOT_CACHE: std::cell::RefCell<Option<(u64, u64, Arc<SnapshotMap>)>> =
-        const { std::cell::RefCell::new(None) };
-}
-
-/// String → [`ScopeId`] interner with a lock-free read path.
-///
-/// The string→id map is published as an immutable [`Arc`] snapshot with a
-/// generation counter. Each reader thread caches the snapshot; on
-/// [`Interner::resolve`] it compares generations with one atomic load and
-/// resolves against its cache — no lock is taken unless a new scope was
-/// interned since the thread last looked. Scope interning is rare (on
-/// deployment, not per request), so the steady-state resolve path never
-/// contends.
-#[derive(Debug)]
-struct Interner {
-    identity: u64,
-    generation: AtomicU64,
-    snapshot: RwLock<Arc<SnapshotMap>>,
-    names: RwLock<Vec<Arc<str>>>,
-}
-
-impl Interner {
-    fn new() -> Self {
-        Interner {
-            identity: INTERNER_IDS.fetch_add(1, Ordering::Relaxed),
-            generation: AtomicU64::new(0),
-            snapshot: RwLock::new(Arc::new(SnapshotMap::new())),
-            names: RwLock::new(Vec::new()),
-        }
-    }
-
-    fn load_snapshot(&self) -> Arc<SnapshotMap> {
-        self.snapshot.read().expect("interner snapshot lock poisoned").clone()
-    }
-
-    fn resolve(&self, scope: &str) -> Option<ScopeId> {
-        let generation = self.generation.load(Ordering::Acquire);
-        SNAPSHOT_CACHE.with(|cache| {
-            let mut cache = cache.borrow_mut();
-            match &*cache {
-                Some((identity, cached_generation, snap))
-                    if *identity == self.identity && *cached_generation == generation =>
-                {
-                    snap.get(scope).copied()
-                }
-                _ => {
-                    let snap = self.load_snapshot();
-                    let id = snap.get(scope).copied();
-                    *cache = Some((self.identity, generation, snap));
-                    id
-                }
-            }
-        })
-    }
-
-    fn intern(&self, scope: &str) -> ScopeId {
-        if let Some(id) = self.resolve(scope) {
-            return id;
-        }
-        // `names` doubles as the writer mutex: interning serializes here.
-        let mut names = self.names.write().expect("interner names lock poisoned");
-        if let Some(id) = self.load_snapshot().get(scope).copied() {
-            return id;
-        }
-        let name: Arc<str> = scope.into();
-        let id = ScopeId(u32::try_from(names.len()).expect("scope id space exhausted"));
-        names.push(name.clone());
-        let mut next = SnapshotMap::clone(&self.load_snapshot());
-        next.insert(name, id);
-        *self.snapshot.write().expect("interner snapshot lock poisoned") = Arc::new(next);
-        // Publish after the snapshot is swapped: a reader seeing the new
-        // generation refreshes onto a snapshot at least this new.
-        self.generation.fetch_add(1, Ordering::Release);
-        id
-    }
-
-    fn name(&self, id: ScopeId) -> Arc<str> {
-        self.names.read().expect("interner names lock poisoned")[id.index()].clone()
-    }
-
-    /// Ids whose scope name satisfies `pred`.
-    fn matching(&self, pred: impl Fn(&str) -> bool) -> Vec<ScopeId> {
-        let names = self.names.read().expect("interner names lock poisoned");
-        names.iter().enumerate().filter(|(_, n)| pred(n)).map(|(i, _)| ScopeId(i as u32)).collect()
-    }
-}
+/// strings. Backed by the shared [`cex_core::intern`] interner (PR 3
+/// introduced the pattern for metric scopes; the trace pipeline reuses it
+/// for span identity).
+pub type ScopeId = cex_core::intern::Sym;
 
 /// Multiply-xor hasher for the small fixed-size `(ScopeId, MetricKind)`
 /// keys — SipHash is overkill on the record path.
@@ -422,7 +320,7 @@ impl Default for MetricStore {
 
 fn shard_of(key: &SeriesKey) -> usize {
     let mut h = SeriesHasher::default();
-    h.write_u32(key.0 .0);
+    h.write_usize(key.0.index());
     h.write_u8(key.1 as u8);
     (h.finish() >> 32) as usize & (SHARD_COUNT - 1)
 }
@@ -816,7 +714,7 @@ impl SampleBatch<'_> {
                 if samples.is_empty() {
                     continue;
                 }
-                let key = (ScopeId((slot / KIND_COUNT) as u32), kinds[slot % KIND_COUNT]);
+                let key = (ScopeId::from_index(slot / KIND_COUNT), kinds[slot % KIND_COUNT]);
                 if shard_of(&key) != shard_idx {
                     continue;
                 }

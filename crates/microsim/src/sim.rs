@@ -85,8 +85,8 @@ pub struct Simulation {
 }
 
 impl Simulation {
-    /// Creates a simulation over `app` with baseline routing, full trace
-    /// sampling disabled (sampling 0.05) and the clock at zero.
+    /// Creates a simulation over `app` with baseline routing, light
+    /// default trace sampling (fraction 0.05) and the clock at zero.
     pub fn new(app: Application, seed: u64) -> Self {
         let load = LoadTracker::new(&app);
         let store = MetricStore::new();
@@ -173,9 +173,30 @@ impl Simulation {
         &mut self.router
     }
 
-    /// Sets the trace sampling fraction.
+    /// Sets the trace sampling fraction. Collected traces, aggregates and
+    /// the trace-id sequence are preserved — only the sampling rate of
+    /// future requests changes.
     pub fn set_trace_sampling(&mut self, fraction: f64) {
-        self.collector = TraceCollector::sampled(fraction);
+        self.collector.set_sampling(fraction);
+    }
+
+    /// Caps how many traces the collector retains (oldest evicted first);
+    /// see [`TraceCollector::set_capacity`].
+    pub fn set_trace_retention(&mut self, capacity: usize) {
+        self.collector.set_capacity(capacity);
+    }
+
+    /// Read access to the trace collector (retention counters, streaming
+    /// per-edge aggregates).
+    pub fn trace_collector(&self) -> &TraceCollector {
+        &self.collector
+    }
+
+    /// Resolves span ids back to names for the current application state.
+    /// Rebuilt on demand: deploys after a snapshot will not be covered by
+    /// an older book.
+    pub fn span_book(&self) -> crate::trace::SpanBook {
+        crate::trace::SpanBook::from_app(&self.app)
     }
 
     /// The application under simulation.
@@ -201,8 +222,8 @@ impl Simulation {
         &self.store
     }
 
-    /// Collected traces so far.
-    pub fn traces(&self) -> &[Trace] {
+    /// Collected traces so far, oldest first.
+    pub fn traces(&self) -> impl Iterator<Item = &Trace> {
         self.collector.traces()
     }
 
@@ -380,11 +401,13 @@ mod tests {
         assert!(
             sim.store().count("frontend@1.0.0", MetricKind::ResponseTime) as u64 == report.requests
         );
-        let traced = sim.traces().len() as f64 / report.requests as f64;
+        let traced = sim.traces().count() as f64 / report.requests as f64;
         assert!((traced - 0.5).abs() < 0.05, "trace share {traced}");
         let drained = sim.drain_traces();
         assert!(!drained.is_empty());
-        assert!(sim.traces().is_empty());
+        assert_eq!(sim.traces().count(), 0);
+        // Streaming aggregates survive the drain.
+        assert!(!sim.trace_collector().edge_totals().is_empty());
     }
 
     #[test]

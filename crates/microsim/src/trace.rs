@@ -1,4 +1,4 @@
-//! Zipkin/Jaeger-style distributed traces.
+//! Zipkin/Jaeger-style distributed traces — the interned hot path.
 //!
 //! The health-assessment approach of Chapter 5 "considers changes in the
 //! context of experiments by analyzing distributed traces (as produced by
@@ -6,9 +6,55 @@
 //! reproduces the relevant span data model: every request produces a tree
 //! of spans, each naming the service, deployed version, and endpoint that
 //! served a hop, with timing and status.
+//!
+//! # Hot-path architecture
+//!
+//! Tracing shares the request loop with the telemetry store, so it gets
+//! the same treatment PR 3 gave metric scopes:
+//!
+//! * **Interned span identity.** A [`Span`] carries the dense
+//!   `(ServiceId, VersionId, EndpointId)` ids the application model
+//!   already assigns — not three `String`s — making spans `Copy` and span
+//!   recording allocation-free. Names are resolved at analysis time
+//!   through a [`SpanBook`], which also interns endpoint *names* through
+//!   the shared [`cex_core::intern`] interner so the same logical endpoint
+//!   is comparable across deployed versions (the key step when diffing a
+//!   canary edge against its baseline counterpart).
+//! * **Bounded retention.** The [`TraceCollector`] keeps a configurable
+//!   ring of recent traces ([`TraceCollector::retain`]); when full, the
+//!   oldest trace is evicted and counted in [`TraceCollector::dropped`],
+//!   so unbounded runs cannot hoard memory.
+//! * **Streaming per-edge aggregates.** Every recorded trace folds into
+//!   per-edge [`EdgeTotals`] (calls, errors, retries, sheds, fallbacks,
+//!   latency moments) that survive eviction — long-run interaction
+//!   statistics stay exact even after the raw traces are gone.
+//!
+//! Sampling stays deterministic (an accumulator collects every
+//! `1/fraction`-th request) and trace ids advance for every request, so
+//! sampled subsets are globally identifiable and byte-stable across
+//! reruns.
+//!
+//! # Span tree invariants
+//!
+//! Traces uphold, and property tests in `exec.rs` enforce:
+//!
+//! * spans are stored in **pre-order**: the root is first and every parent
+//!   precedes its children;
+//! * `root().duration` equals the request's end-to-end response time;
+//! * a synchronous child's `[start, start + duration]` interval nests
+//!   inside its parent's. Two deliberate exceptions, both visible in the
+//!   span itself: *dark* (mirrored) spans and spans under a
+//!   [`SpanStatus::TimedOut`] call may end after their caller, exactly
+//!   like fire-and-forget mirrors and abandoned RPCs in a real tracing
+//!   backend.
 
+use crate::app::{Application, EndpointId, ServiceId, VersionId};
+use cex_core::intern::{Interner, Sym};
+use cex_core::metrics::OnlineStats;
 use cex_core::simtime::{SimDuration, SimTime};
+use std::collections::{BTreeMap, VecDeque};
 use std::fmt;
+use std::sync::Arc;
 
 /// Identifier of one end-to-end request trace.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -24,41 +70,89 @@ impl fmt::Display for TraceId {
     }
 }
 
+/// Why a span ended the way it did — the resilience-aware replacement for
+/// a bare `ok: bool`. A trace of a degraded request shows *why* it
+/// degraded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum SpanStatus {
+    /// The hop succeeded.
+    Ok,
+    /// The hop failed (modeled error, fault window, or a failed child it
+    /// depended on).
+    Failed,
+    /// The caller abandoned this attempt at its deadline; the recorded
+    /// duration is the caller-observed wait (the callee's own subtree may
+    /// run longer — see the module docs on nesting).
+    TimedOut,
+    /// The circuit breaker shed the call before it reached the callee
+    /// (zero-duration event span).
+    Shed,
+    /// A fallback response was served in place of the callee — degraded
+    /// but successful.
+    Fallback,
+}
+
+impl SpanStatus {
+    /// `true` when the caller got a usable response (including degraded
+    /// fallback responses).
+    pub fn is_ok(self) -> bool {
+        matches!(self, SpanStatus::Ok | SpanStatus::Fallback)
+    }
+
+    /// `true` for the failure statuses (failed, timed out, shed).
+    pub fn is_error(self) -> bool {
+        !self.is_ok()
+    }
+
+    /// Stable lowercase name, used by reports and the journal.
+    pub fn name(self) -> &'static str {
+        match self {
+            SpanStatus::Ok => "ok",
+            SpanStatus::Failed => "failed",
+            SpanStatus::TimedOut => "timed_out",
+            SpanStatus::Shed => "shed",
+            SpanStatus::Fallback => "fallback",
+        }
+    }
+}
+
 /// One hop of a request: a service version's endpoint serving a call.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// Identity is carried as the dense application ids and resolved to names
+/// through a [`SpanBook`]; the span itself is `Copy` and allocation-free.
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Span {
     /// Owning trace.
     pub trace: TraceId,
-    /// This span's id, unique within the trace.
+    /// This span's id, unique within the trace and equal to its pre-order
+    /// position in [`Trace::spans`].
     pub span: SpanId,
     /// The calling span, `None` for the root.
     pub parent: Option<SpanId>,
-    /// Service name.
-    pub service: String,
-    /// Deployed version label that served the hop.
-    pub version: String,
-    /// Endpoint name.
-    pub endpoint: String,
+    /// Service that served the hop.
+    pub service: ServiceId,
+    /// Deployed version that served the hop.
+    pub version: VersionId,
+    /// Endpoint that served the hop.
+    pub endpoint: EndpointId,
     /// When the hop started.
     pub start: SimTime,
-    /// Hop duration including downstream calls.
+    /// Hop duration including downstream calls (for [`SpanStatus::TimedOut`]
+    /// the caller-observed wait).
     pub duration: SimDuration,
-    /// `false` when the hop failed.
-    pub ok: bool,
+    /// Outcome of the hop.
+    pub status: SpanStatus,
+    /// Zero-based attempt number: `0` for the first attempt, `n > 0` for
+    /// the `n`-th retry of the same logical call.
+    pub attempt: u8,
     /// `true` when this hop served mirrored (dark-launch) traffic.
     pub dark: bool,
 }
 
 impl Span {
-    /// `service@version` designator, the node identity used by the
-    /// interaction graphs of Chapter 5.
-    pub fn version_label(&self) -> String {
-        format!("{}@{}", self.service, self.version)
-    }
-
-    /// `service@version/endpoint` designator.
-    pub fn endpoint_label(&self) -> String {
-        format!("{}@{}/{}", self.service, self.version, self.endpoint)
+    /// End of the span's interval.
+    pub fn end(&self) -> SimTime {
+        self.start + self.duration
     }
 }
 
@@ -67,7 +161,7 @@ impl Span {
 pub struct Trace {
     /// Trace id.
     pub id: TraceId,
-    /// All spans, root first.
+    /// All spans, pre-order: root first, parents before children.
     pub spans: Vec<Span>,
 }
 
@@ -86,9 +180,20 @@ impl Trace {
         self.root().duration
     }
 
-    /// `true` when every span succeeded.
+    /// `true` when the request succeeded end to end (root span status).
+    /// Individual child spans may still record failed attempts that a
+    /// retry or fallback absorbed.
     pub fn ok(&self) -> bool {
-        self.spans.iter().all(|s| s.ok)
+        self.root().status.is_ok()
+    }
+
+    /// Looks up a span by id. Span ids equal pre-order positions, so this
+    /// is an index in the common case.
+    pub fn get(&self, id: SpanId) -> Option<&Span> {
+        match self.spans.get(id.0 as usize) {
+            Some(s) if s.span == id => Some(s),
+            _ => self.spans.iter().find(|s| s.span == id),
+        }
     }
 
     /// Child spans of `parent`, in call order.
@@ -97,14 +202,169 @@ impl Trace {
     }
 }
 
-/// Collects sampled traces, as the tracing backend (Zipkin/Jaeger) would.
+/// Resolves interned span identity back to names — the analysis-time
+/// counterpart of the `Copy` ids a [`Span`] carries.
+///
+/// Endpoint *names* are additionally interned through the shared
+/// [`cex_core::intern::Interner`], collapsing the per-version
+/// [`EndpointId`]s of the same logical endpoint (`backend@1.0.0/api` and
+/// `backend@2.0.0/api`) onto one [`Sym`]; canary-vs-baseline edge matching
+/// keys on that symbol.
+#[derive(Debug)]
+pub struct SpanBook {
+    services: Vec<Arc<str>>,
+    version_service: Vec<ServiceId>,
+    version_labels: Vec<Arc<str>>,
+    endpoint_syms: Vec<Sym>,
+    interner: Interner,
+}
+
+impl SpanBook {
+    /// Builds the book for an application's current deployment set.
+    /// Deterministic: ids and symbols depend only on deployment order.
+    pub fn from_app(app: &Application) -> SpanBook {
+        let interner = Interner::new();
+        let services: Vec<Arc<str>> = app.services().map(|(_, name)| Arc::from(name)).collect();
+        let mut version_service = Vec::new();
+        let mut version_labels = Vec::new();
+        let mut endpoint_syms = Vec::new();
+        for (vid, version) in app.versions() {
+            version_service.push(version.service);
+            version_labels.push(Arc::from(app.version_label(vid).as_str()));
+            for &eid in &version.endpoints {
+                let name = &app.endpoint(eid).name;
+                debug_assert_eq!(eid.0, endpoint_syms.len(), "endpoint ids must be dense");
+                endpoint_syms.push(interner.intern(name));
+            }
+        }
+        SpanBook { services, version_service, version_labels, endpoint_syms, interner }
+    }
+
+    /// Service name behind an id.
+    pub fn service_name(&self, id: ServiceId) -> &str {
+        &self.services[id.0]
+    }
+
+    /// `service@version` designator, the node identity used by the
+    /// interaction graphs of Chapter 5.
+    pub fn version_label(&self, id: VersionId) -> &str {
+        &self.version_labels[id.0]
+    }
+
+    /// The service a deployed version belongs to.
+    pub fn service_of(&self, id: VersionId) -> ServiceId {
+        self.version_service[id.0]
+    }
+
+    /// Endpoint name behind an id.
+    pub fn endpoint_name(&self, id: EndpointId) -> Arc<str> {
+        self.interner.name(self.endpoint_syms[id.0])
+    }
+
+    /// The shared interner symbol of an endpoint's *name* — equal across
+    /// versions serving the same logical endpoint.
+    pub fn endpoint_sym(&self, id: EndpointId) -> Sym {
+        self.endpoint_syms[id.0]
+    }
+
+    /// The bare version tag (the part after `@` in
+    /// [`SpanBook::version_label`]), e.g. `1.0.0`.
+    pub fn version_tag(&self, id: VersionId) -> &str {
+        let service = self.service_name(self.version_service[id.0]);
+        &self.version_labels[id.0][service.len() + 1..]
+    }
+
+    /// The name behind a shared endpoint symbol previously returned by
+    /// [`SpanBook::endpoint_sym`].
+    pub fn sym_name(&self, sym: Sym) -> Arc<str> {
+        self.interner.name(sym)
+    }
+
+    /// `service@version/endpoint` designator for a span.
+    pub fn endpoint_label(&self, span: &Span) -> String {
+        format!("{}/{}", self.version_label(span.version), self.endpoint_name(span.endpoint))
+    }
+
+    /// Number of versions the book covers (used to detect staleness after
+    /// deploys).
+    pub fn version_count(&self) -> usize {
+        self.version_labels.len()
+    }
+}
+
+/// One directed interaction edge: `caller version → callee endpoint`.
+/// `caller == None` marks user-facing entry calls.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct EdgeKey {
+    /// Calling version (`None` for the entry edge).
+    pub caller: Option<VersionId>,
+    /// Version that served the call.
+    pub callee: VersionId,
+    /// Endpoint that served the call (callee-local id).
+    pub endpoint: EndpointId,
+}
+
+/// Streaming aggregates for one edge — exact totals that survive trace
+/// eviction.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct EdgeTotals {
+    /// Calls observed (every attempt counts).
+    pub calls: u64,
+    /// Calls with an error status (failed, timed out, shed).
+    pub errors: u64,
+    /// Retry attempts (spans with `attempt > 0`).
+    pub retries: u64,
+    /// Attempts abandoned at the caller's deadline.
+    pub timeouts: u64,
+    /// Calls shed by an open circuit breaker.
+    pub sheds: u64,
+    /// Fallback responses served.
+    pub fallbacks: u64,
+    /// Calls serving mirrored (dark-launch) traffic.
+    pub dark: u64,
+    /// Latency moments (ms) over all attempts.
+    pub latency: OnlineStats,
+}
+
+impl EdgeTotals {
+    fn fold(&mut self, span: &Span) {
+        self.calls += 1;
+        if span.status.is_error() {
+            self.errors += 1;
+        }
+        if span.attempt > 0 {
+            self.retries += 1;
+        }
+        match span.status {
+            SpanStatus::TimedOut => self.timeouts += 1,
+            SpanStatus::Shed => self.sheds += 1,
+            SpanStatus::Fallback => self.fallbacks += 1,
+            _ => {}
+        }
+        if span.dark {
+            self.dark += 1;
+        }
+        self.latency.push(span.duration.as_millis() as f64);
+    }
+}
+
+/// Default number of retained traces before the ring starts evicting.
+pub const DEFAULT_TRACE_RETENTION: usize = 65_536;
+
+/// Collects sampled traces, as the tracing backend (Zipkin/Jaeger) would,
+/// with bounded retention and streaming per-edge aggregates (see module
+/// docs).
 #[derive(Debug, Clone)]
 pub struct TraceCollector {
     sampling: f64,
-    traces: Vec<Trace>,
+    capacity: usize,
+    traces: VecDeque<Trace>,
     next_trace: u64,
     /// Deterministic sampling counter (every `1/sampling`-th request).
     accumulator: f64,
+    dropped: u64,
+    recorded: u64,
+    edges: BTreeMap<EdgeKey, EdgeTotals>,
 }
 
 impl TraceCollector {
@@ -124,7 +384,68 @@ impl TraceCollector {
             fraction.is_finite() && (0.0..=1.0).contains(&fraction),
             "sampling fraction must be in 0.0..=1.0"
         );
-        TraceCollector { sampling: fraction, traces: Vec::new(), next_trace: 1, accumulator: 0.0 }
+        TraceCollector {
+            sampling: fraction,
+            capacity: DEFAULT_TRACE_RETENTION,
+            traces: VecDeque::new(),
+            next_trace: 1,
+            accumulator: 0.0,
+            dropped: 0,
+            recorded: 0,
+            edges: BTreeMap::new(),
+        }
+    }
+
+    /// Sets the retention budget: at most `capacity` traces are kept, the
+    /// oldest evicted first (builder style).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `capacity` is zero.
+    pub fn retain(mut self, capacity: usize) -> Self {
+        self.set_capacity(capacity);
+        self
+    }
+
+    /// Sets the retention budget in place; excess traces are evicted
+    /// immediately (oldest first) and counted as dropped.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `capacity` is zero.
+    pub fn set_capacity(&mut self, capacity: usize) {
+        assert!(capacity > 0, "trace retention must be positive");
+        self.capacity = capacity;
+        while self.traces.len() > self.capacity {
+            self.traces.pop_front();
+            self.dropped += 1;
+        }
+    }
+
+    /// The active retention budget.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Changes the sampling fraction **without** resetting trace ids or
+    /// collected state, so ids stay globally unique across sampling
+    /// changes.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `fraction` is outside `0.0..=1.0`.
+    pub fn set_sampling(&mut self, fraction: f64) {
+        assert!(
+            fraction.is_finite() && (0.0..=1.0).contains(&fraction),
+            "sampling fraction must be in 0.0..=1.0"
+        );
+        self.sampling = fraction;
+        self.accumulator = 0.0;
+    }
+
+    /// The active sampling fraction.
+    pub fn sampling(&self) -> f64 {
+        self.sampling
     }
 
     /// Reserves the next trace id and reports whether this request should
@@ -141,34 +462,63 @@ impl TraceCollector {
         }
     }
 
-    /// Stores a finished trace.
+    /// Stores a finished trace, folding it into the streaming per-edge
+    /// aggregates and evicting the oldest retained trace when the ring is
+    /// full.
     ///
     /// # Panics
     ///
     /// Panics when the trace has no spans.
     pub fn record(&mut self, trace: Trace) {
         assert!(!trace.spans.is_empty(), "refusing to record an empty trace");
-        self.traces.push(trace);
+        for span in &trace.spans {
+            let caller = span.parent.and_then(|p| trace.get(p)).map(|p| p.version);
+            let key = EdgeKey { caller, callee: span.version, endpoint: span.endpoint };
+            self.edges.entry(key).or_default().fold(span);
+        }
+        self.recorded += 1;
+        if self.traces.len() == self.capacity {
+            self.traces.pop_front();
+            self.dropped += 1;
+        }
+        self.traces.push_back(trace);
     }
 
-    /// All collected traces.
-    pub fn traces(&self) -> &[Trace] {
-        &self.traces
+    /// The retained traces, oldest first.
+    pub fn traces(&self) -> impl Iterator<Item = &Trace> {
+        self.traces.iter()
     }
 
-    /// Number of collected traces.
+    /// Number of retained traces.
     pub fn len(&self) -> usize {
         self.traces.len()
     }
 
-    /// `true` when nothing has been collected.
+    /// `true` when nothing is retained.
     pub fn is_empty(&self) -> bool {
         self.traces.is_empty()
     }
 
-    /// Removes and returns all collected traces.
+    /// Traces evicted by the retention budget so far.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Traces ever recorded (retained + dropped).
+    pub fn recorded(&self) -> u64 {
+        self.recorded
+    }
+
+    /// The streaming per-edge aggregates over every trace ever recorded —
+    /// exact regardless of eviction, deterministically ordered.
+    pub fn edge_totals(&self) -> &BTreeMap<EdgeKey, EdgeTotals> {
+        &self.edges
+    }
+
+    /// Removes and returns all retained traces, oldest first. Streaming
+    /// aggregates and counters are unaffected.
     pub fn drain(&mut self) -> Vec<Trace> {
-        std::mem::take(&mut self.traces)
+        std::mem::take(&mut self.traces).into()
     }
 }
 
@@ -182,19 +532,24 @@ impl Default for TraceCollector {
 mod tests {
     use super::*;
 
-    fn span(trace: u64, id: u32, parent: Option<u32>, ok: bool) -> Span {
+    fn span(trace: u64, id: u32, parent: Option<u32>, status: SpanStatus) -> Span {
         Span {
             trace: TraceId(trace),
             span: SpanId(id),
             parent: parent.map(SpanId),
-            service: "svc".into(),
-            version: "1.0.0".into(),
-            endpoint: "api".into(),
+            service: ServiceId(0),
+            version: VersionId(0),
+            endpoint: EndpointId(0),
             start: SimTime::from_millis(0),
             duration: SimDuration::from_millis(10),
-            ok,
+            status,
+            attempt: 0,
             dark: false,
         }
+    }
+
+    fn one_span_trace(id: TraceId) -> Trace {
+        Trace { id, spans: vec![span(id.0, 0, None, SpanStatus::Ok)] }
     }
 
     #[test]
@@ -202,23 +557,71 @@ mod tests {
         let t = Trace {
             id: TraceId(1),
             spans: vec![
-                span(1, 0, None, true),
-                span(1, 1, Some(0), true),
-                span(1, 2, Some(0), false),
+                span(1, 0, None, SpanStatus::Ok),
+                span(1, 1, Some(0), SpanStatus::Ok),
+                span(1, 2, Some(0), SpanStatus::Failed),
             ],
         };
         assert_eq!(t.root().span, SpanId(0));
         assert_eq!(t.response_time().as_millis(), 10);
-        assert!(!t.ok());
+        assert!(t.ok(), "request-level success is the root status");
+        assert_eq!(t.get(SpanId(2)).unwrap().status, SpanStatus::Failed);
         assert_eq!(t.children_of(SpanId(0)).count(), 2);
         assert_eq!(t.children_of(SpanId(1)).count(), 0);
     }
 
     #[test]
-    fn labels() {
-        let s = span(1, 0, None, true);
-        assert_eq!(s.version_label(), "svc@1.0.0");
-        assert_eq!(s.endpoint_label(), "svc@1.0.0/api");
+    fn failed_root_fails_the_trace() {
+        let mut t = one_span_trace(TraceId(3));
+        t.spans[0].status = SpanStatus::Failed;
+        assert!(!t.ok());
+        t.spans[0].status = SpanStatus::Fallback;
+        assert!(t.ok(), "fallback responses are degraded but successful");
+    }
+
+    #[test]
+    fn status_classification() {
+        assert!(SpanStatus::Ok.is_ok());
+        assert!(SpanStatus::Fallback.is_ok());
+        for bad in [SpanStatus::Failed, SpanStatus::TimedOut, SpanStatus::Shed] {
+            assert!(bad.is_error(), "{}", bad.name());
+        }
+    }
+
+    #[test]
+    fn book_resolves_interned_identity() {
+        use crate::app::{Application, CallDef, EndpointDef, VersionSpec};
+        use crate::latency::LatencyModel;
+        let mut b = Application::builder();
+        b.version(
+            VersionSpec::new("fe", "1.0.0").endpoint(
+                EndpointDef::new("home", LatencyModel::Constant { ms: 1.0 })
+                    .call(CallDef::always("be", "api")),
+            ),
+        );
+        b.version(
+            VersionSpec::new("be", "1.0.0")
+                .endpoint(EndpointDef::new("api", LatencyModel::Constant { ms: 1.0 })),
+        );
+        let mut app = b.build().expect("app builds");
+        let v2 = app
+            .deploy(
+                VersionSpec::new("be", "2.0.0")
+                    .endpoint(EndpointDef::new("api", LatencyModel::Constant { ms: 1.0 })),
+            )
+            .expect("candidate deploys");
+        let book = SpanBook::from_app(&app);
+        let v1 = app.version_id("be", "1.0.0").unwrap();
+        assert_eq!(book.version_label(v1), "be@1.0.0");
+        assert_eq!(book.version_label(v2), "be@2.0.0");
+        assert_eq!(book.service_name(book.service_of(v2)), "be");
+        // The same logical endpoint name maps to one shared symbol across
+        // versions, while the per-version endpoint ids differ.
+        let e1 = app.endpoint_of(v1, "api").unwrap();
+        let e2 = app.endpoint_of(v2, "api").unwrap();
+        assert_ne!(e1, e2);
+        assert_eq!(book.endpoint_sym(e1), book.endpoint_sym(e2));
+        assert_eq!(&*book.endpoint_name(e2), "api");
     }
 
     #[test]
@@ -227,7 +630,7 @@ mod tests {
         let mut collected = 0;
         for _ in 0..10 {
             if let Some(id) = c.begin_trace() {
-                c.record(Trace { id, spans: vec![span(id.0, 0, None, true)] });
+                c.record(one_span_trace(id));
                 collected += 1;
             }
         }
@@ -243,6 +646,21 @@ mod tests {
         let mut c2 = TraceCollector::sampled(0.25);
         let decisions2: Vec<bool> = (0..100).map(|_| c2.begin_trace().is_some()).collect();
         assert_eq!(decisions, decisions2);
+    }
+
+    #[test]
+    fn fractional_sampling_collects_floor_n_f_within_one() {
+        for &fraction in &[0.01, 0.1, 0.25, 0.333, 0.5, 0.9, 1.0] {
+            for &n in &[10u64, 100, 997, 10_000] {
+                let mut c = TraceCollector::sampled(fraction);
+                let collected = (0..n).filter(|_| c.begin_trace().is_some()).count() as i64;
+                let expected = (n as f64 * fraction).floor() as i64;
+                assert!(
+                    (collected - expected).abs() <= 1,
+                    "sampling {fraction} over {n}: collected {collected}, expected {expected}±1"
+                );
+            }
+        }
     }
 
     #[test]
@@ -273,12 +691,104 @@ mod tests {
     }
 
     #[test]
-    fn drain_empties_collector() {
+    fn trace_ids_are_stable_across_reruns() {
+        let run = || -> Vec<u64> {
+            let mut c = TraceCollector::sampled(0.3);
+            (0..50).filter_map(|_| c.begin_trace()).map(|id| id.0).collect()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn set_sampling_preserves_trace_id_continuity() {
+        let mut c = TraceCollector::sampled(1.0);
+        let first = c.begin_trace().unwrap();
+        c.set_sampling(0.0);
+        assert!(c.begin_trace().is_none());
+        c.set_sampling(1.0);
+        let third = c.begin_trace().unwrap();
+        // The unsampled request still consumed an id.
+        assert_eq!(third.0, first.0 + 2);
+    }
+
+    #[test]
+    fn retention_ring_bounds_storage_and_counts_drops() {
+        let mut c = TraceCollector::all().retain(8);
+        for _ in 0..20 {
+            let id = c.begin_trace().unwrap();
+            c.record(one_span_trace(id));
+        }
+        assert_eq!(c.len(), 8);
+        assert_eq!(c.dropped(), 12);
+        assert_eq!(c.recorded(), 20);
+        // Oldest evicted first: the ring holds the 8 most recent ids.
+        let ids: Vec<u64> = c.traces().map(|t| t.id.0).collect();
+        assert_eq!(ids, (13..=20).collect::<Vec<u64>>());
+        // Streaming aggregates cover everything ever recorded.
+        let totals = c.edge_totals().values().next().unwrap();
+        assert_eq!(totals.calls, 20);
+    }
+
+    #[test]
+    fn shrinking_capacity_evicts_immediately() {
+        let mut c = TraceCollector::all();
+        for _ in 0..10 {
+            let id = c.begin_trace().unwrap();
+            c.record(one_span_trace(id));
+        }
+        c.set_capacity(4);
+        assert_eq!(c.len(), 4);
+        assert_eq!(c.dropped(), 6);
+    }
+
+    #[test]
+    fn edge_totals_classify_statuses_and_callers() {
         let mut c = TraceCollector::all();
         let id = c.begin_trace().unwrap();
-        c.record(Trace { id, spans: vec![span(id.0, 0, None, true)] });
+        let mut retry = span(id.0, 1, Some(0), SpanStatus::TimedOut);
+        retry.version = VersionId(1);
+        retry.attempt = 1;
+        let mut shed = span(id.0, 2, Some(0), SpanStatus::Shed);
+        shed.version = VersionId(1);
+        let mut fallback = span(id.0, 3, Some(0), SpanStatus::Fallback);
+        fallback.version = VersionId(1);
+        c.record(Trace {
+            id,
+            spans: vec![span(id.0, 0, None, SpanStatus::Ok), retry, shed, fallback],
+        });
+
+        assert_eq!(c.edge_totals().len(), 2, "entry edge + callee edge");
+        let entry = c.edge_totals().get(&EdgeKey {
+            caller: None,
+            callee: VersionId(0),
+            endpoint: EndpointId(0),
+        });
+        assert_eq!(entry.unwrap().calls, 1);
+        let callee = c
+            .edge_totals()
+            .get(&EdgeKey {
+                caller: Some(VersionId(0)),
+                callee: VersionId(1),
+                endpoint: EndpointId(0),
+            })
+            .unwrap();
+        assert_eq!(callee.calls, 3);
+        assert_eq!(callee.errors, 2, "timeout + shed are errors, fallback is not");
+        assert_eq!(callee.retries, 1);
+        assert_eq!(callee.timeouts, 1);
+        assert_eq!(callee.sheds, 1);
+        assert_eq!(callee.fallbacks, 1);
+    }
+
+    #[test]
+    fn drain_empties_collector_but_keeps_aggregates() {
+        let mut c = TraceCollector::all();
+        let id = c.begin_trace().unwrap();
+        c.record(one_span_trace(id));
         let drained = c.drain();
         assert_eq!(drained.len(), 1);
         assert!(c.is_empty());
+        assert_eq!(c.recorded(), 1);
+        assert_eq!(c.edge_totals().len(), 1);
     }
 }

@@ -8,7 +8,7 @@
 //! identical to Zipkin/Jaeger output — into one [`InteractionGraph`].
 
 use crate::graph::{InteractionGraph, NodeKey};
-use microsim::trace::Trace;
+use microsim::trace::{SpanBook, Trace};
 
 /// Options for graph construction.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -26,8 +26,9 @@ impl Default for BuildOptions {
     }
 }
 
-/// Builds an interaction graph from traces.
-pub fn build_graph(traces: &[Trace], options: BuildOptions) -> InteractionGraph {
+/// Builds an interaction graph from traces, resolving the spans' interned
+/// identity through `book` (see [`SpanBook`]).
+pub fn build_graph(traces: &[Trace], book: &SpanBook, options: BuildOptions) -> InteractionGraph {
     let mut graph = InteractionGraph::new();
     for trace in traces {
         for span in &trace.spans {
@@ -35,20 +36,20 @@ pub fn build_graph(traces: &[Trace], options: BuildOptions) -> InteractionGraph 
                 continue;
             }
             let node = graph.intern(NodeKey::new(
-                span.service.clone(),
-                span.version.clone(),
-                span.endpoint.clone(),
+                book.service_name(span.service).to_string(),
+                book.version_tag(span.version).to_string(),
+                book.endpoint_name(span.endpoint).to_string(),
             ));
-            graph.observe_node(node, span.duration, span.ok);
+            graph.observe_node(node, span.duration, span.status.is_ok());
             if let Some(parent_id) = span.parent {
-                if let Some(parent) = trace.spans.iter().find(|s| s.span == parent_id) {
+                if let Some(parent) = trace.get(parent_id) {
                     if parent.dark && !options.include_dark {
                         continue;
                     }
                     let from = graph.intern(NodeKey::new(
-                        parent.service.clone(),
-                        parent.version.clone(),
-                        parent.endpoint.clone(),
+                        book.service_name(parent.service).to_string(),
+                        book.version_tag(parent.version).to_string(),
+                        book.endpoint_name(parent.endpoint).to_string(),
                     ));
                     graph.observe_edge(from, node);
                 }
@@ -62,43 +63,71 @@ pub fn build_graph(traces: &[Trace], options: BuildOptions) -> InteractionGraph 
 mod tests {
     use super::*;
     use cex_core::simtime::{SimDuration, SimTime};
-    use microsim::trace::{Span, SpanId, TraceId};
+    use microsim::app::{Application, EndpointDef, VersionSpec};
+    use microsim::latency::LatencyModel;
+    use microsim::trace::{Span, SpanId, SpanStatus, TraceId};
 
-    fn span(trace: u64, id: u32, parent: Option<u32>, service: &str, dark: bool) -> Span {
+    /// fe, be, and dark-be, each serving `api` at version 1.0.0.
+    fn fixture_app() -> Application {
+        let mut b = Application::builder();
+        for svc in ["fe", "be", "dark-be"] {
+            b.version(
+                VersionSpec::new(svc, "1.0.0")
+                    .endpoint(EndpointDef::new("api", LatencyModel::Constant { ms: 1.0 })),
+            );
+        }
+        b.build().unwrap()
+    }
+
+    fn span(
+        app: &Application,
+        trace: u64,
+        id: u32,
+        parent: Option<u32>,
+        svc: &str,
+        dark: bool,
+    ) -> Span {
+        let version = app.version_id(svc, "1.0.0").unwrap();
         Span {
             trace: TraceId(trace),
             span: SpanId(id),
             parent: parent.map(SpanId),
-            service: service.into(),
-            version: "1.0.0".into(),
-            endpoint: "api".into(),
+            service: app.service_id(svc).unwrap(),
+            version,
+            endpoint: app.endpoint_of(version, "api").unwrap(),
             start: SimTime::from_millis(0),
             duration: SimDuration::from_millis(10),
-            ok: true,
+            status: SpanStatus::Ok,
+            attempt: 0,
             dark,
         }
     }
 
-    fn traces() -> Vec<Trace> {
+    fn traces(app: &Application) -> Vec<Trace> {
         vec![
             Trace {
                 id: TraceId(1),
                 spans: vec![
-                    span(1, 0, None, "fe", false),
-                    span(1, 1, Some(0), "be", false),
-                    span(1, 2, Some(0), "dark-be", true),
+                    span(app, 1, 0, None, "fe", false),
+                    span(app, 1, 1, Some(0), "be", false),
+                    span(app, 1, 2, Some(0), "dark-be", true),
                 ],
             },
             Trace {
                 id: TraceId(2),
-                spans: vec![span(2, 0, None, "fe", false), span(2, 1, Some(0), "be", false)],
+                spans: vec![
+                    span(app, 2, 0, None, "fe", false),
+                    span(app, 2, 1, Some(0), "be", false),
+                ],
             },
         ]
     }
 
     #[test]
     fn graph_aggregates_across_traces() {
-        let g = build_graph(&traces(), BuildOptions::default());
+        let app = fixture_app();
+        let book = SpanBook::from_app(&app);
+        let g = build_graph(&traces(&app), &book, BuildOptions::default());
         assert_eq!(g.node_count(), 3);
         let fe = g.find_unversioned("fe", "api").unwrap();
         let be = g.find_unversioned("be", "api").unwrap();
@@ -110,20 +139,25 @@ mod tests {
 
     #[test]
     fn dark_spans_can_be_excluded() {
-        let g = build_graph(&traces(), BuildOptions { include_dark: false });
+        let app = fixture_app();
+        let book = SpanBook::from_app(&app);
+        let g = build_graph(&traces(&app), &book, BuildOptions { include_dark: false });
         assert_eq!(g.node_count(), 2);
         assert!(g.find_unversioned("dark-be", "api").is_none());
     }
 
     #[test]
     fn dark_spans_included_by_default() {
-        let g = build_graph(&traces(), BuildOptions::default());
+        let app = fixture_app();
+        let book = SpanBook::from_app(&app);
+        let g = build_graph(&traces(&app), &book, BuildOptions::default());
         assert!(g.find_unversioned("dark-be", "api").is_some());
     }
 
     #[test]
     fn empty_traces_give_empty_graph() {
-        let g = build_graph(&[], BuildOptions::default());
+        let book = SpanBook::from_app(&fixture_app());
+        let g = build_graph(&[], &book, BuildOptions::default());
         assert_eq!(g.node_count(), 0);
         assert_eq!(g.edge_count(), 0);
     }
@@ -136,9 +170,10 @@ mod tests {
         let mut sim = Simulation::new(app, 9);
         sim.set_trace_sampling(1.0);
         sim.run(SimDuration::from_secs(20), 20.0);
+        let book = sim.span_book();
         let traces = sim.drain_traces();
         assert!(!traces.is_empty());
-        let g = build_graph(&traces, BuildOptions::default());
+        let g = build_graph(&traces, &book, BuildOptions::default());
         // The `home` entry reaches catalog and catalog-db at minimum.
         assert!(g.find_unversioned("frontend", "home").is_some());
         assert!(g.find_unversioned("catalog", "list").is_some());

@@ -83,8 +83,9 @@ fn trace_variant(
             .expect("scenario routing is valid");
     }
     sim.run_with(SimDuration::from_secs(60), &workload);
+    let book = sim.span_book();
     let traces = sim.drain_traces();
-    build_graph(&traces, BuildOptions::default())
+    build_graph(&traces, &book, BuildOptions::default())
 }
 
 fn assemble(

@@ -92,8 +92,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // ------------------------------------------------------------------
     println!("3/3 assessing (topology)…");
     let experimental_traces = sim.drain_traces();
-    let baseline = build_graph(&baseline_traces, BuildOptions::default());
-    let experimental = build_graph(&experimental_traces, BuildOptions::default());
+    let book = sim.span_book();
+    let baseline = build_graph(&baseline_traces, &book, BuildOptions::default());
+    let experimental = build_graph(&experimental_traces, &book, BuildOptions::default());
     let diff = TopologicalDiff::compute(&baseline, &experimental);
     let changes = classify(&diff);
     let ctx = AnalysisContext { baseline: &baseline, experimental: &experimental, diff: &diff };

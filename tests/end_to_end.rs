@@ -70,8 +70,9 @@ fn plan_execute_assess_pipeline() {
 
     // --- Assess ----------------------------------------------------------
     let experimental_traces = sim.drain_traces();
-    let baseline = build_graph(&baseline_traces, BuildOptions::default());
-    let experimental = build_graph(&experimental_traces, BuildOptions::default());
+    let book = sim.span_book();
+    let baseline = build_graph(&baseline_traces, &book, BuildOptions::default());
+    let experimental = build_graph(&experimental_traces, &book, BuildOptions::default());
     let diff = TopologicalDiff::compute(&baseline, &experimental);
     assert!(!diff.is_unchanged(), "the canary must be visible in the topology");
     let changes = classify(&diff);
