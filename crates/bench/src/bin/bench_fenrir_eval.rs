@@ -6,6 +6,7 @@
 //! incremental and parallel speedup factors) and mirrors the numbers on
 //! stdout.
 
+use cex_bench::{detected_cores, write_bench_json};
 use cex_core::experiment::ExperimentId;
 use cex_core::rng::SplitMix64;
 use fenrir::encoding;
@@ -114,10 +115,8 @@ fn bench_batch(problem: &Problem, batch: &[Schedule], workers: usize) -> f64 {
 
 fn main() {
     let weights = Weights::default();
-    let workers = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
-    let mut json = String::from("{\n  \"bench\": \"fenrir_eval\",\n");
-    let _ = writeln!(json, "  \"workers\": {workers},");
-    json.push_str("  \"tiers\": [\n");
+    let workers = detected_cores();
+    let mut json = String::from("  \"tiers\": [\n");
 
     println!("fenrir evaluation pipeline ({workers} workers available)");
     println!(
@@ -159,10 +158,6 @@ fn main() {
             if t < 2 { "," } else { "" }
         );
     }
-    json.push_str("  ]\n}\n");
-
-    std::fs::create_dir_all("results").expect("results directory");
-    std::fs::write("results/BENCH_fenrir_eval.json", &json)
-        .expect("write results/BENCH_fenrir_eval.json");
-    println!("wrote results/BENCH_fenrir_eval.json");
+    json.push_str("  ]\n");
+    write_bench_json("results/BENCH_fenrir_eval.json", "fenrir_eval", &json);
 }

@@ -22,6 +22,7 @@
 //! runs a reduced, timing-free variant whose JSON contains only
 //! deterministic fields — CI runs it twice and diffs the outputs.
 
+use cex_bench::write_bench_json;
 use cex_core::metrics::{MetricKind, OnlineStats, Sample, Summary};
 use cex_core::simtime::{SimDuration, SimTime};
 use cex_core::users::Population;
@@ -262,16 +263,6 @@ fn bench_window_query(n: u64) -> (f64, f64) {
     (new_ns, base_ns)
 }
 
-fn write_json(path: &str, json: &str) {
-    if let Some(dir) = std::path::Path::new(path).parent() {
-        if !dir.as_os_str().is_empty() {
-            std::fs::create_dir_all(dir).expect("output directory");
-        }
-    }
-    std::fs::write(path, json).unwrap_or_else(|e| panic!("write {path}: {e}"));
-    println!("wrote {path}");
-}
-
 /// Reduced deterministic run for CI: no timings in the JSON, so two
 /// invocations must produce byte-identical files.
 fn run_smoke(out: &str) {
@@ -291,7 +282,7 @@ fn run_smoke(out: &str) {
         SimDuration::from_secs(60),
     );
 
-    let mut json = String::from("{\n  \"bench\": \"metric_hotpath_smoke\",\n");
+    let mut json = String::new();
     let _ = writeln!(json, "  \"requests\": {},", sim.requests);
     let _ = writeln!(json, "  \"failures\": {},", sim.failures);
     let _ = writeln!(json, "  \"samples_recorded\": {},", sim.samples_recorded);
@@ -301,8 +292,7 @@ fn run_smoke(out: &str) {
     let _ = writeln!(json, "  \"synthetic_recorded\": {},", store.total_recorded());
     let _ = writeln!(json, "  \"synthetic_window_count\": {},", summary.count);
     let _ = writeln!(json, "  \"synthetic_window_mean\": {:.9}", summary.mean);
-    json.push_str("}\n");
-    write_json(out, &json);
+    write_bench_json(out, "metric_hotpath_smoke", &json);
 }
 
 fn run_full() {
@@ -339,7 +329,7 @@ fn run_full() {
     let flatness = new_max / new_min;
     println!("window-query flatness 10^4 -> 10^6: {flatness:.2}x (acceptance: within 2x)");
 
-    let mut json = String::from("{\n  \"bench\": \"metric_hotpath\",\n  \"sim\": {\n");
+    let mut json = String::from("  \"sim\": {\n");
     let _ = writeln!(json, "    \"requests\": {},", sim.requests);
     let _ = writeln!(json, "    \"samples_recorded\": {},", sim.samples_recorded);
     let _ = writeln!(json, "    \"peak_stored_samples\": {},", sim.peak_stored);
@@ -364,8 +354,7 @@ fn run_full() {
     json.push_str("  ],\n");
     let _ = writeln!(json, "  \"window_query_flatness\": {flatness:.2},");
     let _ = writeln!(json, "  \"acceptance_max_flatness\": 2.0");
-    json.push_str("}\n");
-    write_json("results/BENCH_metrics.json", &json);
+    write_bench_json("results/BENCH_metrics.json", "metric_hotpath", &json);
 
     assert!(speedup >= 5.0, "ingestion speedup {speedup:.2}x below the 5x acceptance bar");
     assert!(flatness <= 2.0, "window-query flatness {flatness:.2}x exceeds the 2x acceptance bar");

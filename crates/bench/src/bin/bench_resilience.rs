@@ -21,6 +21,7 @@
 //! it runs a reduced, timing-free variant whose JSON contains only
 //! deterministic fields — CI runs it twice and diffs the outputs.
 
+use cex_bench::write_bench_json;
 use cex_core::metrics::MetricKind;
 use cex_core::simtime::{SimDuration, SimTime};
 use microsim::app::{Application, CallDef, EndpointDef, VersionSpec};
@@ -169,16 +170,6 @@ fn bench_steady_state(secs: u64, rate_rps: f64, reps: usize) -> (f64, f64) {
     (bare, policy)
 }
 
-fn write_json(path: &str, json: &str) {
-    if let Some(dir) = std::path::Path::new(path).parent() {
-        if !dir.as_os_str().is_empty() {
-            std::fs::create_dir_all(dir).expect("output directory");
-        }
-    }
-    std::fs::write(path, json).unwrap_or_else(|e| panic!("write {path}: {e}"));
-    println!("wrote {path}");
-}
-
 fn push_windows(json: &mut String, indent: &str, outcome: &ContainmentOutcome) {
     for (name, report) in
         [("steady", &outcome.steady), ("outage", &outcome.outage), ("recovery", &outcome.recovery)]
@@ -200,8 +191,7 @@ fn run_smoke(out: &str) {
     let protected = run_containment(11, 50.0, true);
     let factor = containment_factor(&unprotected, &protected);
 
-    let mut json = String::from("{\n  \"bench\": \"resilience_smoke\",\n");
-    json.push_str("  \"unprotected\": {\n");
+    let mut json = String::from("  \"unprotected\": {\n");
     push_windows(&mut json, "    ", &unprotected);
     let _ = writeln!(json, "    \"sheds\": {},", unprotected.sheds);
     let _ = writeln!(json, "    \"fallbacks\": {}", unprotected.fallbacks);
@@ -214,8 +204,7 @@ fn run_smoke(out: &str) {
     let _ = writeln!(json, "    \"retries\": {}", protected.retries);
     json.push_str("  },\n");
     let _ = writeln!(json, "  \"containment_factor\": {factor:.9}");
-    json.push_str("}\n");
-    write_json(out, &json);
+    write_bench_json(out, "resilience_smoke", &json);
 }
 
 fn run_full() {
@@ -254,7 +243,7 @@ fn run_full() {
         overhead * 100.0
     );
 
-    let mut json = String::from("{\n  \"bench\": \"resilience\",\n  \"scenario\": {\n");
+    let mut json = String::from("  \"scenario\": {\n");
     let _ = writeln!(json, "    \"canary_percent\": 20.0,");
     let _ = writeln!(json, "    \"rate_rps\": 200.0,");
     let _ = writeln!(json, "    \"outage\": \"60s..120s on backend@2.0.0\",");
@@ -281,8 +270,8 @@ fn run_full() {
     let _ = writeln!(json, "    \"policy_req_per_sec\": {policy_rps:.0},");
     let _ = writeln!(json, "    \"overhead\": {overhead:.4},");
     let _ = writeln!(json, "    \"acceptance_max_overhead\": 0.05");
-    json.push_str("  }\n}\n");
-    write_json("results/BENCH_resilience.json", &json);
+    json.push_str("  }\n");
+    write_bench_json("results/BENCH_resilience.json", "resilience", &json);
 
     assert!(
         unprotected.outage.error_rate() > 0.1,

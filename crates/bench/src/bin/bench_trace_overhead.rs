@@ -21,6 +21,7 @@
 //! runs a reduced, timing-free variant whose JSON contains only
 //! deterministic fields — CI runs it twice and diffs the outputs.
 
+use cex_bench::write_bench_json;
 use cex_core::simtime::{SimDuration, SimTime};
 use microsim::app::{Application, CallDef, EndpointDef, VersionSpec};
 use microsim::latency::LatencyModel;
@@ -191,16 +192,6 @@ fn bench_sampling(secs: u64, rate_rps: f64, fraction: f64, reps: usize) -> (f64,
     (off, on)
 }
 
-fn write_json(path: &str, json: &str) {
-    if let Some(dir) = std::path::Path::new(path).parent() {
-        if !dir.as_os_str().is_empty() {
-            std::fs::create_dir_all(dir).expect("output directory");
-        }
-    }
-    std::fs::write(path, json).unwrap_or_else(|e| panic!("write {path}: {e}"));
-    println!("wrote {path}");
-}
-
 /// Deterministic collection facts for one sampling fraction: what a
 /// fixed-seed run collects and aggregates.
 fn collection_facts(json: &mut String, fraction: f64, last: bool) {
@@ -228,12 +219,12 @@ fn collection_facts(json: &mut String, fraction: f64, last: bool) {
 /// Reduced deterministic run for CI: no timings in the JSON, so two
 /// invocations must produce byte-identical files.
 fn run_smoke(out: &str) {
-    let mut json = String::from("{\n  \"bench\": \"traces_smoke\",\n  \"collections\": [\n");
+    let mut json = String::from("  \"collections\": [\n");
     collection_facts(&mut json, 1.0, false);
     collection_facts(&mut json, 0.01, false);
     collection_facts(&mut json, 0.0, true);
-    json.push_str("  ]\n}\n");
-    write_json(out, &json);
+    json.push_str("  ]\n");
+    write_bench_json(out, "traces_smoke", &json);
 }
 
 fn run_full() {
@@ -260,7 +251,7 @@ fn run_full() {
         overhead * 100.0
     );
 
-    let mut json = String::from("{\n  \"bench\": \"traces\",\n  \"ingestion\": {\n");
+    let mut json = String::from("  \"ingestion\": {\n");
     let _ = writeln!(json, "    \"capture\": \"60s at 500 rps, sampling 1.0, seed 17\",");
     let _ = writeln!(json, "    \"traces\": {},", traces.len());
     let _ = writeln!(json, "    \"spans\": {spans},");
@@ -278,8 +269,8 @@ fn run_full() {
     let _ = writeln!(json, "    \"on_req_per_sec\": {on_rps:.0},");
     let _ = writeln!(json, "    \"overhead\": {overhead:.4},");
     let _ = writeln!(json, "    \"acceptance_max_overhead\": 0.05");
-    json.push_str("  }\n}\n");
-    write_json("results/BENCH_traces.json", &json);
+    json.push_str("  }\n");
+    write_bench_json("results/BENCH_traces.json", "traces", &json);
 
     assert!(speedup >= 3.0, "ingestion speedup {speedup:.2}x below the 3x acceptance bar");
     assert!(

@@ -18,6 +18,34 @@ pub fn header(title: &str) {
     println!("\n=== {title} ===");
 }
 
+/// Detected available parallelism (1 when detection fails).
+pub fn detected_cores() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// Writes one `results/BENCH_*.json` artifact: opens the object, stamps
+/// the benchmark name and the machine's detected core count — recorded
+/// throughput and speedup numbers are only interpretable against the
+/// parallelism that produced them — then appends `fields` (pre-rendered
+/// `  "key": value` lines, the last without a trailing comma) and closes
+/// the object. Creates parent directories as needed.
+///
+/// # Panics
+///
+/// Panics when the file cannot be written.
+pub fn write_bench_json(path: &str, bench: &str, fields: &str) {
+    let mut json = format!("{{\n  \"bench\": \"{bench}\",\n  \"cores\": {},\n", detected_cores());
+    json.push_str(fields);
+    json.push_str("}\n");
+    if let Some(dir) = std::path::Path::new(path).parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir).expect("output directory");
+        }
+    }
+    std::fs::write(path, &json).unwrap_or_else(|e| panic!("write {path}: {e}"));
+    println!("wrote {path}");
+}
+
 /// Renders one aligned text row.
 pub fn row(cells: &[String], widths: &[usize]) -> String {
     cells.iter().zip(widths).map(|(c, w)| format!("{c:>w$}")).collect::<Vec<_>>().join("  ")

@@ -71,6 +71,11 @@ pub struct EngineConfig {
     pub parallel_threshold: usize,
     /// Worker threads for the parallel path.
     pub workers: usize,
+    /// Worker threads for the event-driven simulation core
+    /// ([`microsim::sim::Simulation::set_workers`]); applied to the sim at
+    /// the start of every execution. Simulation output is byte-identical
+    /// at any value — this only trades wall-clock time.
+    pub sim_workers: usize,
 }
 
 impl Default for EngineConfig {
@@ -81,6 +86,7 @@ impl Default for EngineConfig {
             max_retries: 3,
             parallel_threshold: 256,
             workers: 4,
+            sim_workers: 1,
         }
     }
 }
@@ -283,6 +289,7 @@ impl Engine {
         let started_wall = Instant::now();
         let started_sim = sim.now();
         sim.store().set_retention(self.retention_horizon(strategies));
+        sim.set_workers(self.config.sim_workers);
 
         // Trace pipeline: every tick the engine drains the sampled traces,
         // folds them into a health accumulator (the canary-vs-baseline
@@ -369,6 +376,10 @@ impl Engine {
         let mut engine_busy = Duration::ZERO;
         let mut tick_times: Vec<Duration> = Vec::new();
         let mut transitions: Vec<TransitionEvent> = Vec::new();
+        // Per-tick drain scratch, reused across the whole run so the
+        // steady-state loop allocates nothing for draining.
+        let mut breaker_scratch = Vec::new();
+        let mut trace_scratch: Vec<Trace> = Vec::new();
         let deadline = started_sim + max_duration;
 
         while sim.now() < deadline && runs.iter().any(|r| r.status == StrategyStatus::Running) {
@@ -379,9 +390,9 @@ impl Engine {
             let engine_start = Instant::now();
             // Breaker transitions are sim state; drain them every tick
             // (journaled or not) so the backlog never grows unboundedly.
-            let breaker_transitions = sim.drain_breaker_transitions();
+            sim.drain_breaker_transitions_into(&mut breaker_scratch);
             if let Some(j) = journal.as_deref_mut() {
-                for tr in breaker_transitions {
+                for tr in &breaker_scratch {
                     j.record(JournalEvent::Breaker {
                         time: tr.time,
                         caller: sim.app().version_label(tr.caller),
@@ -395,10 +406,10 @@ impl Engine {
             // checks already see this tick's data. Runs in the
             // single-threaded section — fold order is collection order,
             // independent of the worker count.
-            let drained = sim.drain_traces();
-            if !drained.is_empty() {
-                distill_trace_samples(sim, &trace_scopes, &drained, now);
-                health.observe_all(&drained);
+            sim.drain_traces_into(&mut trace_scratch);
+            if !trace_scratch.is_empty() {
+                distill_trace_samples(sim, &trace_scopes, &trace_scratch, now);
+                health.observe_all(&trace_scratch);
             }
             let observations = self.observe(sim, &mut runs, now);
             let tick_evaluations =
@@ -1192,6 +1203,29 @@ mod tests {
         assert!(!healths[0].is_empty());
         assert_eq!(healths[0], healths[1], "health reports: same seed, same workers");
         assert_eq!(healths[0], healths[2], "health reports: same seed, 1 vs 4 workers");
+    }
+
+    #[test]
+    fn journal_is_byte_identical_across_sim_worker_counts() {
+        // Same property as above, but varying the *simulation core's*
+        // worker shards rather than the engine's check-evaluation pool:
+        // the event core guarantees byte-identical sim output at any
+        // worker count, so the downstream journal must match too.
+        let mut texts = Vec::new();
+        for sim_workers in [1, 2, 8] {
+            let (app, strategies, wl) = fleet(8);
+            let mut sim = Simulation::new(app, 9);
+            sim.set_trace_sampling(1.0);
+            let engine = Engine::new(EngineConfig { sim_workers, ..Default::default() });
+            let (report, journal) = engine
+                .execute_journaled(&mut sim, &strategies, &wl, SimDuration::from_mins(10))
+                .unwrap();
+            assert!(report.all_terminal());
+            assert_eq!(sim.workers(), sim_workers, "engine config reached the sim");
+            texts.push(journal.to_jsonl());
+        }
+        assert_eq!(texts[0], texts[1], "same seed, 1 vs 2 sim workers");
+        assert_eq!(texts[0], texts[2], "same seed, 1 vs 8 sim workers");
     }
 
     #[test]

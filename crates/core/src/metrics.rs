@@ -42,6 +42,10 @@ pub enum MetricKind {
     /// Calls answered by the degraded fallback instead of the callee
     /// (resilience layer; one sample of `1.0` per fallback response).
     FallbackServed,
+    /// Milliseconds a request spent waiting in a service's admission
+    /// queue before a concurrency slot freed up (event-driven core; one
+    /// sample per delayed admission).
+    QueueDelay,
 }
 
 impl MetricKind {
@@ -69,6 +73,7 @@ impl MetricKind {
                 | MetricKind::BreakerOpen
                 | MetricKind::Shed
                 | MetricKind::FallbackServed
+                | MetricKind::QueueDelay
         )
     }
 
@@ -86,6 +91,7 @@ impl MetricKind {
             MetricKind::BreakerOpen => "breaker_open",
             MetricKind::Shed => "shed",
             MetricKind::FallbackServed => "fallback_served",
+            MetricKind::QueueDelay => "queue_delay",
         }
     }
 
@@ -103,13 +109,14 @@ impl MetricKind {
             "breaker_open" => MetricKind::BreakerOpen,
             "shed" => MetricKind::Shed,
             "fallback_served" => MetricKind::FallbackServed,
+            "queue_delay" => MetricKind::QueueDelay,
             _ => return None,
         })
     }
 
     /// All metric kinds in discriminant order (`all()[k as usize] == k`),
     /// for exhaustive sweeps and dense per-kind indexing.
-    pub const fn all() -> [MetricKind; 11] {
+    pub const fn all() -> [MetricKind; 12] {
         [
             MetricKind::ResponseTime,
             MetricKind::ErrorRate,
@@ -122,6 +129,7 @@ impl MetricKind {
             MetricKind::BreakerOpen,
             MetricKind::Shed,
             MetricKind::FallbackServed,
+            MetricKind::QueueDelay,
         ]
     }
 }
@@ -407,6 +415,7 @@ mod tests {
             MetricKind::BreakerOpen,
             MetricKind::Shed,
             MetricKind::FallbackServed,
+            MetricKind::QueueDelay,
         ] {
             assert!(kind.is_technical());
             assert!(kind.lower_is_better());

@@ -120,6 +120,12 @@ pub struct VersionSpec {
     /// Probability a user-facing request on this version converts — the
     /// business metric A/B tests compare (recorded at entry hops only).
     pub conversion_rate: f64,
+    /// Maximum requests this version serves concurrently under the
+    /// event-driven core; `None` means unlimited (the closed-loop model).
+    pub concurrency_limit: Option<u32>,
+    /// Admission-queue depth once all concurrency slots are busy; `None`
+    /// means unbounded. Arrivals beyond a full queue are shed.
+    pub queue_capacity: Option<u32>,
     /// The endpoints this version exposes.
     pub endpoints: Vec<EndpointDef>,
 }
@@ -133,6 +139,8 @@ impl VersionSpec {
             capacity_rps: 200.0,
             load_sensitivity: 1.0,
             conversion_rate: 0.02,
+            concurrency_limit: None,
+            queue_capacity: None,
             endpoints: Vec::new(),
         }
     }
@@ -152,6 +160,18 @@ impl VersionSpec {
     /// Sets the load sensitivity.
     pub fn load_sensitivity(mut self, k: f64) -> Self {
         self.load_sensitivity = k;
+        self
+    }
+
+    /// Caps the number of requests served concurrently (event core).
+    pub fn concurrency_limit(mut self, slots: u32) -> Self {
+        self.concurrency_limit = Some(slots);
+        self
+    }
+
+    /// Bounds the admission queue; arrivals beyond it are shed.
+    pub fn queue_capacity(mut self, depth: u32) -> Self {
+        self.queue_capacity = Some(depth);
         self
     }
 
@@ -201,6 +221,10 @@ pub struct ServiceVersion {
     pub load_sensitivity: f64,
     /// Conversion probability on user-facing requests.
     pub conversion_rate: f64,
+    /// Concurrency cap under the event core (`None` = unlimited).
+    pub concurrency_limit: Option<u32>,
+    /// Admission-queue depth (`None` = unbounded).
+    pub queue_capacity: Option<u32>,
     /// Endpoint ids, sorted by endpoint name.
     pub endpoints: Vec<EndpointId>,
 }
@@ -390,6 +414,8 @@ impl Application {
             capacity_rps: spec.capacity_rps,
             load_sensitivity: spec.load_sensitivity,
             conversion_rate: spec.conversion_rate,
+            concurrency_limit: spec.concurrency_limit,
+            queue_capacity: spec.queue_capacity,
             endpoints: endpoint_ids,
         });
         self.versions_of[sid.0].push(vid);
@@ -441,6 +467,9 @@ fn validate_spec(spec: &VersionSpec) -> Result<(), SimError> {
     }
     if !(0.0..=1.0).contains(&spec.conversion_rate) {
         return Err(SimError::BadApplication("conversion rate must be in 0.0..=1.0".into()));
+    }
+    if spec.concurrency_limit == Some(0) {
+        return Err(SimError::BadApplication("concurrency limit must be at least 1".into()));
     }
     let mut seen = HashMap::new();
     for ep in &spec.endpoints {

@@ -1,0 +1,1696 @@
+//! Event-driven simulation core with deterministic sharded parallel
+//! execution.
+//!
+//! The recursive executor in [`crate::exec`] walks one request's call tree
+//! to completion before the next request starts. That is simple, but it
+//! cannot model *open-loop overload* (a slow service making concurrent
+//! requests queue behind each other) and it cannot use more than one core.
+//! This module rebuilds the same request semantics around a discrete-event
+//! scheduler:
+//!
+//! - An in-flight request is a chain of **events** — `Call` (a hop is
+//!   dispatched to a version), `Done` (a hop finished its own work and all
+//!   child calls), `Reply` (a child's outcome reaches its caller) and
+//!   `Timeout` (an attempt deadline expired) — ordered by a min-heap of
+//!   [`EvKey`]s.
+//! - Each hop is a **frame**: a small state machine holding the hop's
+//!   private RNG stream, accumulated elapsed time, and the index of the
+//!   next child call. Frames suspend while a child is outstanding and
+//!   resume when its `Reply` (or `Timeout`) arrives, so thousands of
+//!   requests interleave in simulated time.
+//! - Per-version **concurrency limits and bounded admission queues**
+//!   ([`OccupancyTable`]) act at frame dispatch: a frame either begins
+//!   service immediately, parks in a FIFO queue until a slot frees, or is
+//!   shed — queueing delay, backpressure and shed-on-full are first-class
+//!   outcomes of the core, not post-hoc approximations.
+//! - Resilience (attempt timeouts, retries with backoff, breakers,
+//!   fallbacks) is re-expressed as scheduled events: a `Timeout` event
+//!   races the attempt's `Reply`, and a generation counter on the caller
+//!   frame discards whichever loses.
+//!
+//! # Sharding and determinism
+//!
+//! Services are sharded across worker threads (`shard = service % workers`)
+//! and every piece of mutable state — frames, occupancy, load counters,
+//! breakers (keyed by the *caller's* service) — is owned by exactly one
+//! shard. Workers advance in **barrier-synchronised sub-rounds**: each
+//! sub-round processes, in [`EvKey`] order, every event at the current
+//! timestamp that existed when the sub-round began; events created during a
+//! sub-round enter the heaps only at the exchange barrier, so the
+//! round an event runs in is a pure function of the event graph, never of
+//! the worker count. `Timeout` events carry a later-sorting phase and are
+//! only processed in a dedicated sub-round once no normal events remain at
+//! that timestamp — a timeout therefore fires iff the attempt's finish
+//! time strictly exceeds the deadline, exactly the recursive core's
+//! `duration > limit` rule.
+//!
+//! Every output record (metric sample, breaker transition, span, visit,
+//! root outcome) is tagged with the [`EvKey`] of the event that produced
+//! it; after the window drains, a single-threaded merge sorts the tags and
+//! writes metric store, transition log and trace collector in one
+//! canonical order. Same seed + same worker count, or same seed +
+//! *different* worker count: byte-identical outputs either way.
+
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BinaryHeap, HashMap};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Barrier, Mutex};
+
+use crate::app::{Application, EndpointId, ServiceId, VersionId};
+use crate::exec::{MetricSink, MAX_CALL_DEPTH};
+use crate::faults::FaultPlan;
+use crate::load::{Admission, LoadTracker, OccupancyTable};
+use crate::resilience::{
+    BreakerState, BreakerTransition, CallDecision, CallPolicy, ResiliencePlan, ResilienceState,
+};
+use crate::routing::{Router, UserId};
+use crate::trace::{Span, SpanId, SpanStatus, Trace, TraceCollector, TraceId};
+use cex_core::metrics::{MetricKind, OnlineStats};
+use cex_core::rng::SplitMix64;
+use cex_core::simtime::{SimDuration, SimTime};
+
+/// Normal events (calls, completions, replies).
+const PHASE_NORMAL: u8 = 0;
+/// Attempt-deadline events; deferred until no normal event remains at the
+/// same timestamp, so `Reply` chains settle first.
+const PHASE_TIMEOUT: u8 = 1;
+
+/// Sibling-order rank of a breaker-shed event span under its caller.
+const RANK_SHED: u8 = 0;
+/// Sibling-order rank of an executed attempt subtree.
+const RANK_ATTEMPT: u8 = 1;
+/// Sibling-order rank of a fallback event span.
+const RANK_FALLBACK: u8 = 2;
+/// Sibling-order rank of a dark-launch mirror subtree.
+const RANK_MIRROR: u8 = 3;
+
+/// Total order over events. Time first, then phase (timeouts after all
+/// normal work at the same instant), then request, then the creating
+/// frame's identity and its per-lifetime emission counter. Keys are unique
+/// because every frame numbers the events it creates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+struct EvKey {
+    time: u64,
+    phase: u8,
+    req: u32,
+    ckey: u64,
+    cseq: u32,
+}
+
+const KEY_ZERO: EvKey = EvKey { time: 0, phase: 0, req: 0, ckey: 0, cseq: 0 };
+
+/// One hop dispatch: begin (or queue, or shed) a frame on `version`.
+#[derive(Debug)]
+struct CallEv {
+    version: VersionId,
+    endpoint: EndpointId,
+    /// Caller frame + the generation expecting this child's reply. `None`
+    /// for root arrivals and dark mirrors (their results go nowhere).
+    parent: Option<(u64, u32)>,
+    dark: bool,
+    depth: u8,
+    attempt: u8,
+    seed: u64,
+    /// Trace path when the request is sampled (empty = root span).
+    path: Option<Vec<u32>>,
+}
+
+#[derive(Debug)]
+enum Ev {
+    Call(Box<CallEv>),
+    Done { ident: u64 },
+    Reply { parent: u64, gen: u32, ok: bool, duration_ms: u64 },
+    Timeout { parent: u64, gen: u32 },
+}
+
+#[derive(Debug)]
+struct HeapEv {
+    key: EvKey,
+    ev: Ev,
+}
+
+impl PartialEq for HeapEv {
+    fn eq(&self, other: &Self) -> bool {
+        self.key == other.key
+    }
+}
+impl Eq for HeapEv {}
+impl PartialOrd for HeapEv {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for HeapEv {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.key.cmp(&other.key)
+    }
+}
+
+/// What a suspended frame is waiting for.
+#[derive(Debug)]
+enum Pending {
+    /// Transient state while the frame is being advanced.
+    Advancing,
+    /// An unguarded child call is outstanding.
+    Plain,
+    /// A resilience-guarded attempt is outstanding.
+    Guarded {
+        callee: VersionId,
+        endpoint: EndpointId,
+        policy: CallPolicy,
+        /// Start of the whole guarded call (first attempt's dispatch).
+        call_start_ms: u64,
+        /// Caller-perceived wait accumulated over finished attempts and
+        /// backoffs.
+        waited_ms: u64,
+        attempt: u32,
+        attempt_start_ms: u64,
+    },
+    /// All calls done; the frame's `Done` event is scheduled.
+    Finishing,
+}
+
+/// One in-flight hop. Mirrors the recursive executor's stack frame: the
+/// hop's private RNG stream (same draw order: latency, own failure, then
+/// per call probability/seeds, then retry backoff + reseed), accumulated
+/// elapsed time and the next child call index.
+#[derive(Debug)]
+struct Frame {
+    ident: u64,
+    req: u32,
+    version: VersionId,
+    endpoint: EndpointId,
+    /// When the hop was dispatched (arrival at the version).
+    dispatch_ms: u64,
+    /// When it was admitted to a slot and began service.
+    start_ms: u64,
+    hrng: SplitMix64,
+    elapsed_ms: u64,
+    ok: bool,
+    dark: bool,
+    depth: u8,
+    attempt: u8,
+    parent: Option<(u64, u32)>,
+    path: Option<Vec<u32>>,
+    call_idx: usize,
+    /// Bumped whenever a new child/attempt is dispatched; stale replies
+    /// and timeouts (older generation) are discarded.
+    gen: u32,
+    /// Per-lifetime counter numbering the events this frame creates.
+    next_seq: u32,
+    pending: Pending,
+}
+
+/// A dispatch waiting in a version's admission queue for a free slot.
+#[derive(Debug)]
+struct Parked {
+    call: Box<CallEv>,
+    req: u32,
+    dispatch_ms: u64,
+}
+
+// ---- tagged output records (merged canonically after the window) ----
+
+#[derive(Debug)]
+struct TaggedSample {
+    key: EvKey,
+    seq: u32,
+    version: VersionId,
+    kind: MetricKind,
+    time: SimTime,
+    value: f64,
+}
+
+#[derive(Debug)]
+struct TaggedTransition {
+    key: EvKey,
+    seq: u32,
+    transition: BreakerTransition,
+}
+
+#[derive(Debug)]
+struct VisitRec {
+    key: EvKey,
+    req: u32,
+    version: VersionId,
+}
+
+#[derive(Debug)]
+struct SpanRec {
+    req: u32,
+    path: Vec<u32>,
+    version: VersionId,
+    endpoint: EndpointId,
+    start_ms: u64,
+    duration_ms: u64,
+    status: SpanStatus,
+    attempt: u8,
+    dark: bool,
+}
+
+#[derive(Debug)]
+struct PatchRec {
+    req: u32,
+    path: Vec<u32>,
+    perceived_ms: u64,
+}
+
+#[derive(Debug)]
+struct RootRec {
+    req: u32,
+    ok: bool,
+    duration_ms: u64,
+}
+
+#[derive(Debug, Default)]
+struct ShardOut {
+    samples: Vec<TaggedSample>,
+    transitions: Vec<TaggedTransition>,
+    visits: Vec<VisitRec>,
+    spans: Vec<SpanRec>,
+    patches: Vec<PatchRec>,
+    roots: Vec<RootRec>,
+}
+
+/// Per-request metadata shared read-only by all shards.
+#[derive(Debug)]
+struct ReqMeta {
+    user: UserId,
+    time_ms: u64,
+    trace: Option<TraceId>,
+    conv_u: f64,
+}
+
+/// One pre-generated arrival handed to [`run_window`]. The trace decision
+/// and the two per-request RNG draws happen in the caller (in arrival
+/// order), so the recursive and event cores consume the simulation's
+/// random streams identically.
+#[derive(Debug)]
+pub(crate) struct EventRequest {
+    pub(crate) time: SimTime,
+    pub(crate) user: UserId,
+    pub(crate) service: ServiceId,
+    pub(crate) endpoint: String,
+    pub(crate) trace: Option<TraceId>,
+    pub(crate) root_seed: u64,
+    pub(crate) conv_u: f64,
+}
+
+/// Aggregate outcome of one event-core window.
+#[derive(Debug)]
+pub(crate) struct WindowStats {
+    pub(crate) requests: u64,
+    pub(crate) failures: u64,
+    pub(crate) rt: OnlineStats,
+}
+
+fn service_of_ident(ident: u64) -> usize {
+    (ident >> 32) as usize
+}
+
+fn path_elem(call_idx: usize, rank: u8, sub: u32) -> u32 {
+    ((call_idx as u32) << 16) | (u32::from(rank) << 8) | sub.min(0xFF)
+}
+
+fn child_path(parent: &[u32], call_idx: usize, rank: u8, sub: u32) -> Vec<u32> {
+    let mut p = Vec::with_capacity(parent.len() + 1);
+    p.extend_from_slice(parent);
+    p.push(path_elem(call_idx, rank, sub));
+    p
+}
+
+/// One worker's shard: the event heap plus every piece of mutable state
+/// owned by the services assigned to it.
+struct Shard<'a> {
+    id: usize,
+    workers: usize,
+    heap: BinaryHeap<Reverse<HeapEv>>,
+    frames: HashMap<u64, Frame>,
+    parked: HashMap<u64, Parked>,
+    /// Next frame serial per service (only this shard's services advance).
+    serials: Vec<u32>,
+    load: LoadTracker,
+    occ: OccupancyTable,
+    res: ResilienceState,
+    faults: FaultPlan,
+    scratch_transitions: Vec<BreakerTransition>,
+    out: ShardOut,
+    cur_key: EvKey,
+    sample_seq: u32,
+    transition_seq: u32,
+    app: &'a Application,
+    router: &'a Router,
+    plan: &'a ResiliencePlan,
+    reqs: &'a [ReqMeta],
+    guard: bool,
+}
+
+type Outboxes = [Mutex<Vec<HeapEv>>];
+
+impl Shard<'_> {
+    fn alloc_ident(&mut self, service: usize) -> u64 {
+        // Serials start at 1 so a frame identity never collides with the
+        // root-arrival creator key 0.
+        self.serials[service] += 1;
+        ((service as u64) << 32) | u64::from(self.serials[service])
+    }
+
+    fn send(&self, outboxes: &Outboxes, target_service: usize, key: EvKey, ev: Ev) {
+        outboxes[target_service % self.workers]
+            .lock()
+            .expect("outbox poisoned")
+            .push(HeapEv { key, ev });
+    }
+
+    fn key_from(&self, frame: &mut Frame, time_ms: u64, phase: u8) -> EvKey {
+        let cseq = frame.next_seq;
+        frame.next_seq += 1;
+        EvKey { time: time_ms, phase, req: frame.req, ckey: frame.ident, cseq }
+    }
+
+    fn sample(&mut self, version: VersionId, kind: MetricKind, time_ms: u64, value: f64) {
+        self.out.samples.push(TaggedSample {
+            key: self.cur_key,
+            seq: self.sample_seq,
+            version,
+            kind,
+            time: SimTime::from_millis(time_ms),
+            value,
+        });
+        self.sample_seq += 1;
+    }
+
+    fn process(&mut self, ev: HeapEv, outboxes: &Outboxes) {
+        self.cur_key = ev.key;
+        self.sample_seq = 0;
+        self.transition_seq = 0;
+        match ev.ev {
+            Ev::Call(call) => self.on_call(ev.key, call, outboxes),
+            Ev::Done { ident } => self.on_done(ident, ev.key.time, outboxes),
+            Ev::Reply { parent, gen, ok, duration_ms } => {
+                self.on_reply(parent, gen, ok, duration_ms, outboxes)
+            }
+            Ev::Timeout { parent, gen } => self.on_timeout(parent, gen, outboxes),
+        }
+        // Tag the breaker transitions this event caused so the merge can
+        // replay them in global event order.
+        let mut scratch = std::mem::take(&mut self.scratch_transitions);
+        self.res.drain_transitions_into(&mut scratch);
+        for t in &scratch {
+            self.out.transitions.push(TaggedTransition {
+                key: self.cur_key,
+                seq: self.transition_seq,
+                transition: *t,
+            });
+            self.transition_seq += 1;
+        }
+        self.scratch_transitions = scratch;
+    }
+
+    fn on_call(&mut self, key: EvKey, call: Box<CallEv>, outboxes: &Outboxes) {
+        assert!(
+            (call.depth as usize) <= MAX_CALL_DEPTH,
+            "call tree exceeds MAX_CALL_DEPTH (cycle in the application definition)"
+        );
+        let t = key.time;
+        let req = key.req;
+        let version = call.version;
+        // Offered load is recorded at dispatch regardless of admission
+        // outcome: overload is visible in arrival rates even when shed.
+        self.load.record_arrival(version, SimTime::from_millis(t));
+        let ident = self.alloc_ident(self.app.version(version).service.0);
+        match self.occ.try_admit(version, ident) {
+            Admission::Immediate => {
+                let frame = self.make_frame(ident, req, *call, t, t);
+                self.begin(frame, outboxes);
+            }
+            Admission::Queued => {
+                self.parked.insert(ident, Parked { call, req, dispatch_ms: t });
+            }
+            Admission::Shed => {
+                self.sample(version, MetricKind::Shed, t, 1.0);
+                if let Some(path) = &call.path {
+                    self.out.spans.push(SpanRec {
+                        req,
+                        path: path.clone(),
+                        version,
+                        endpoint: call.endpoint,
+                        start_ms: t,
+                        duration_ms: 0,
+                        status: SpanStatus::Shed,
+                        attempt: call.attempt,
+                        dark: call.dark,
+                    });
+                }
+                match call.parent {
+                    Some((parent, gen)) => {
+                        let reply_key =
+                            EvKey { time: t, phase: PHASE_NORMAL, req, ckey: ident, cseq: 0 };
+                        self.send(
+                            outboxes,
+                            service_of_ident(parent),
+                            reply_key,
+                            Ev::Reply { parent, gen, ok: false, duration_ms: 0 },
+                        );
+                    }
+                    None if !call.dark => {
+                        self.out.roots.push(RootRec { req, ok: false, duration_ms: 0 });
+                    }
+                    None => {}
+                }
+            }
+        }
+    }
+
+    fn make_frame(
+        &mut self,
+        ident: u64,
+        req: u32,
+        call: CallEv,
+        dispatch_ms: u64,
+        start_ms: u64,
+    ) -> Frame {
+        Frame {
+            ident,
+            req,
+            version: call.version,
+            endpoint: call.endpoint,
+            dispatch_ms,
+            start_ms,
+            hrng: SplitMix64::new(call.seed),
+            elapsed_ms: 0,
+            ok: true,
+            dark: call.dark,
+            depth: call.depth,
+            attempt: call.attempt,
+            parent: call.parent,
+            path: call.path,
+            call_idx: 0,
+            gen: 0,
+            next_seq: 0,
+            pending: Pending::Advancing,
+        }
+    }
+
+    /// Admits a parked dispatch into the slot freed at `start_ms`.
+    fn begin_queued(&mut self, ident: u64, start_ms: u64, outboxes: &Outboxes) {
+        let parked = self.parked.remove(&ident).expect("released token is parked");
+        self.sample(
+            parked.call.version,
+            MetricKind::QueueDelay,
+            parked.dispatch_ms,
+            (start_ms - parked.dispatch_ms) as f64,
+        );
+        let frame = self.make_frame(ident, parked.req, *parked.call, parked.dispatch_ms, start_ms);
+        self.begin(frame, outboxes);
+    }
+
+    /// Samples the frame's own work (same draw order as the recursive
+    /// hop: latency, then own failure) and starts its call sequence.
+    fn begin(&mut self, mut frame: Frame, outboxes: &Outboxes) {
+        let start = SimTime::from_millis(frame.start_ms);
+        let fault = self.faults.effects(frame.version, start);
+        let multiplier = self.load.multiplier(self.app, frame.version) * fault.latency_multiplier;
+        let endpoint = self.app.endpoint(frame.endpoint);
+        let own_latency = endpoint.latency.sample(&mut frame.hrng, multiplier);
+        let failure_rate = (endpoint.error_rate + fault.extra_error_rate).clamp(0.0, 1.0);
+        frame.ok = frame.hrng.next_f64() >= failure_rate;
+        frame.elapsed_ms = (self.router.proxy_overhead() + own_latency).as_millis();
+        if !frame.dark {
+            self.out.visits.push(VisitRec {
+                key: self.cur_key,
+                req: frame.req,
+                version: frame.version,
+            });
+        }
+        self.advance(frame, outboxes);
+    }
+
+    /// Runs the frame forward: skips non-firing probabilistic calls,
+    /// dispatches the next child (guarded or plain, plus its dark
+    /// mirrors), and schedules `Done` when the call list is exhausted.
+    fn advance(&mut self, mut frame: Frame, outboxes: &Outboxes) {
+        loop {
+            let endpoint = self.app.endpoint(frame.endpoint);
+            if frame.call_idx >= endpoint.calls.len() {
+                let finish = frame.start_ms + frame.elapsed_ms;
+                let key = self.key_from(&mut frame, finish, PHASE_NORMAL);
+                let svc = service_of_ident(frame.ident);
+                let ident = frame.ident;
+                frame.pending = Pending::Finishing;
+                self.frames.insert(ident, frame);
+                self.send(outboxes, svc, key, Ev::Done { ident });
+                return;
+            }
+            let call = endpoint.calls[frame.call_idx].clone();
+            if call.probability < 1.0 && frame.hrng.next_f64() >= call.probability {
+                frame.call_idx += 1;
+                continue;
+            }
+            // Child and mirror seeds are drawn before anything executes,
+            // exactly as in the recursive walk.
+            let child_seed = frame.hrng.next_u64();
+            let mirrors = self.router.mirrors(call.service).to_vec();
+            let mirror_seeds: Vec<u64> = mirrors.iter().map(|_| frame.hrng.next_u64()).collect();
+            let child_start = frame.start_ms + frame.elapsed_ms;
+            let user = self.reqs[frame.req as usize].user;
+
+            let policy = if !frame.dark && self.guard {
+                let caller_service = self.app.version(frame.version).service.0;
+                self.plan.policy_for(caller_service, call.service.0).copied()
+            } else {
+                None
+            };
+            let callee = self.router.resolve(self.app, call.service, user);
+            let callee_ep = self
+                .app
+                .endpoint_of(callee, &call.endpoint)
+                .expect("call graph references a valid endpoint");
+
+            if let Some(policy) = policy {
+                if let Some(bp) = policy.breaker {
+                    let decision = self.res.decide(
+                        frame.version,
+                        callee,
+                        &bp,
+                        SimTime::from_millis(child_start),
+                    );
+                    if decision == CallDecision::Shed {
+                        self.sample(callee, MetricKind::Shed, child_start, 1.0);
+                        if let Some(p) = &frame.path {
+                            self.out.spans.push(SpanRec {
+                                req: frame.req,
+                                path: child_path(p, frame.call_idx, RANK_SHED, 0),
+                                version: callee,
+                                endpoint: callee_ep,
+                                start_ms: child_start,
+                                duration_ms: 0,
+                                status: SpanStatus::Shed,
+                                attempt: 0,
+                                dark: false,
+                            });
+                        }
+                        let (dur, ok) = self.resolve_fallback(
+                            &mut frame,
+                            &policy,
+                            callee,
+                            callee_ep,
+                            child_start,
+                            0,
+                        );
+                        frame.elapsed_ms += dur;
+                        frame.ok &= ok;
+                        self.dispatch_mirrors(
+                            &mut frame,
+                            &mirrors,
+                            &mirror_seeds,
+                            &call.endpoint,
+                            child_start,
+                            outboxes,
+                        );
+                        frame.call_idx += 1;
+                        continue;
+                    }
+                }
+                frame.gen += 1;
+                let gen = frame.gen;
+                let apath =
+                    frame.path.as_ref().map(|p| child_path(p, frame.call_idx, RANK_ATTEMPT, 0));
+                let key = self.key_from(&mut frame, child_start, PHASE_NORMAL);
+                self.send(
+                    outboxes,
+                    call.service.0,
+                    key,
+                    Ev::Call(Box::new(CallEv {
+                        version: callee,
+                        endpoint: callee_ep,
+                        parent: Some((frame.ident, gen)),
+                        dark: false,
+                        depth: frame.depth + 1,
+                        attempt: 0,
+                        seed: child_seed,
+                        path: apath,
+                    })),
+                );
+                if let Some(limit) = policy.attempt_timeout {
+                    let tkey =
+                        self.key_from(&mut frame, child_start + limit.as_millis(), PHASE_TIMEOUT);
+                    self.send(
+                        outboxes,
+                        service_of_ident(frame.ident),
+                        tkey,
+                        Ev::Timeout { parent: frame.ident, gen },
+                    );
+                }
+                frame.pending = Pending::Guarded {
+                    callee,
+                    endpoint: callee_ep,
+                    policy,
+                    call_start_ms: child_start,
+                    waited_ms: 0,
+                    attempt: 0,
+                    attempt_start_ms: child_start,
+                };
+            } else {
+                frame.gen += 1;
+                let gen = frame.gen;
+                let cpath =
+                    frame.path.as_ref().map(|p| child_path(p, frame.call_idx, RANK_ATTEMPT, 0));
+                let key = self.key_from(&mut frame, child_start, PHASE_NORMAL);
+                self.send(
+                    outboxes,
+                    call.service.0,
+                    key,
+                    Ev::Call(Box::new(CallEv {
+                        version: callee,
+                        endpoint: callee_ep,
+                        parent: Some((frame.ident, gen)),
+                        dark: frame.dark,
+                        depth: frame.depth + 1,
+                        attempt: 0,
+                        seed: child_seed,
+                        path: cpath,
+                    })),
+                );
+                frame.pending = Pending::Plain;
+            }
+            self.dispatch_mirrors(
+                &mut frame,
+                &mirrors,
+                &mirror_seeds,
+                &call.endpoint,
+                child_start,
+                outboxes,
+            );
+            let ident = frame.ident;
+            self.frames.insert(ident, frame);
+            return;
+        }
+    }
+
+    /// Spawns dark-launch mirror subtrees at the dispatch instant with
+    /// their pre-drawn seeds. Mirrors never reply: their latency is off
+    /// the user path, but their load and telemetry are real.
+    fn dispatch_mirrors(
+        &mut self,
+        frame: &mut Frame,
+        mirrors: &[VersionId],
+        mirror_seeds: &[u64],
+        endpoint_name: &str,
+        child_start: u64,
+        outboxes: &Outboxes,
+    ) {
+        for (mi, (mirror, mseed)) in mirrors.iter().zip(mirror_seeds).enumerate() {
+            let ep = self
+                .app
+                .endpoint_of(*mirror, endpoint_name)
+                .expect("mirror references a valid endpoint");
+            let mpath =
+                frame.path.as_ref().map(|p| child_path(p, frame.call_idx, RANK_MIRROR, mi as u32));
+            let key = self.key_from(frame, child_start, PHASE_NORMAL);
+            let svc = self.app.version(*mirror).service.0;
+            self.send(
+                outboxes,
+                svc,
+                key,
+                Ev::Call(Box::new(CallEv {
+                    version: *mirror,
+                    endpoint: ep,
+                    parent: None,
+                    dark: true,
+                    depth: frame.depth + 1,
+                    attempt: 0,
+                    seed: *mseed,
+                    path: mpath,
+                })),
+            );
+        }
+    }
+
+    /// Resolves an exhausted or shed guarded call: fallback when the
+    /// policy has one, plain failure otherwise.
+    fn resolve_fallback(
+        &mut self,
+        frame: &mut Frame,
+        policy: &CallPolicy,
+        callee: VersionId,
+        callee_ep: EndpointId,
+        call_start_ms: u64,
+        waited_ms: u64,
+    ) -> (u64, bool) {
+        if policy.fallback {
+            let at = call_start_ms + waited_ms;
+            self.sample(callee, MetricKind::FallbackServed, at, 1.0);
+            if let Some(p) = &frame.path {
+                self.out.spans.push(SpanRec {
+                    req: frame.req,
+                    path: child_path(p, frame.call_idx, RANK_FALLBACK, 0),
+                    version: callee,
+                    endpoint: callee_ep,
+                    start_ms: at,
+                    duration_ms: policy.fallback_latency.as_millis(),
+                    status: SpanStatus::Fallback,
+                    attempt: 0,
+                    dark: false,
+                });
+            }
+            (waited_ms + policy.fallback_latency.as_millis(), true)
+        } else {
+            (waited_ms, false)
+        }
+    }
+
+    fn on_done(&mut self, ident: u64, finish_ms: u64, outboxes: &Outboxes) {
+        let mut frame = self.frames.remove(&ident).expect("Done targets a live frame");
+        debug_assert!(matches!(frame.pending, Pending::Finishing));
+        let duration_ms = finish_ms - frame.dispatch_ms;
+        self.sample(frame.version, MetricKind::ResponseTime, frame.dispatch_ms, duration_ms as f64);
+        self.sample(
+            frame.version,
+            MetricKind::ErrorRate,
+            frame.dispatch_ms,
+            if frame.ok { 0.0 } else { 1.0 },
+        );
+        if let Some(path) = frame.path.take() {
+            self.out.spans.push(SpanRec {
+                req: frame.req,
+                path,
+                version: frame.version,
+                endpoint: frame.endpoint,
+                start_ms: frame.dispatch_ms,
+                duration_ms,
+                status: if frame.ok { SpanStatus::Ok } else { SpanStatus::Failed },
+                attempt: frame.attempt,
+                dark: frame.dark,
+            });
+        }
+        // Free the slot; the longest-waiting queued dispatch (same
+        // version, hence same shard) begins service right now.
+        if let Some(token) = self.occ.release(frame.version) {
+            self.begin_queued(token, finish_ms, outboxes);
+        }
+        match frame.parent {
+            Some((parent, gen)) => {
+                let key = self.key_from(&mut frame, finish_ms, PHASE_NORMAL);
+                self.send(
+                    outboxes,
+                    service_of_ident(parent),
+                    key,
+                    Ev::Reply { parent, gen, ok: frame.ok, duration_ms },
+                );
+            }
+            None if !frame.dark => {
+                self.out.roots.push(RootRec { req: frame.req, ok: frame.ok, duration_ms });
+            }
+            None => {}
+        }
+    }
+
+    fn on_reply(&mut self, parent: u64, gen: u32, ok: bool, duration_ms: u64, outboxes: &Outboxes) {
+        let live = self.frames.get(&parent).is_some_and(|f| {
+            f.gen == gen && matches!(f.pending, Pending::Plain | Pending::Guarded { .. })
+        });
+        if !live {
+            // Stale: the attempt timed out (generation moved on) or the
+            // caller already finished. The child's work still happened and
+            // was recorded — only its result is discarded.
+            return;
+        }
+        let mut frame = self.frames.remove(&parent).expect("checked above");
+        match std::mem::replace(&mut frame.pending, Pending::Advancing) {
+            Pending::Plain => {
+                frame.elapsed_ms += duration_ms;
+                frame.ok &= ok;
+                frame.call_idx += 1;
+                self.advance(frame, outboxes);
+            }
+            Pending::Guarded {
+                callee,
+                endpoint,
+                policy,
+                call_start_ms,
+                waited_ms,
+                attempt,
+                attempt_start_ms,
+            } => {
+                // A reply that arrives is never timed out: the deadline
+                // event would have fired in an earlier (or deferred-later)
+                // round and bumped the generation first.
+                self.settle_attempt(
+                    frame,
+                    callee,
+                    endpoint,
+                    policy,
+                    call_start_ms,
+                    waited_ms + duration_ms,
+                    attempt,
+                    attempt_start_ms,
+                    duration_ms,
+                    ok,
+                    false,
+                    outboxes,
+                );
+            }
+            _ => unreachable!("validated pending state"),
+        }
+    }
+
+    fn on_timeout(&mut self, parent: u64, gen: u32, outboxes: &Outboxes) {
+        let live = self
+            .frames
+            .get(&parent)
+            .is_some_and(|f| f.gen == gen && matches!(f.pending, Pending::Guarded { .. }));
+        if !live {
+            return; // the attempt settled at or before the deadline
+        }
+        let mut frame = self.frames.remove(&parent).expect("checked above");
+        let Pending::Guarded {
+            callee,
+            endpoint,
+            policy,
+            call_start_ms,
+            waited_ms,
+            attempt,
+            attempt_start_ms,
+        } = std::mem::replace(&mut frame.pending, Pending::Advancing)
+        else {
+            unreachable!("validated pending state")
+        };
+        let limit = policy.attempt_timeout.expect("timeout armed only with a deadline").as_millis();
+        // Abandon the attempt: its late reply will carry this generation
+        // and be discarded.
+        frame.gen += 1;
+        self.settle_attempt(
+            frame,
+            callee,
+            endpoint,
+            policy,
+            call_start_ms,
+            waited_ms + limit,
+            attempt,
+            attempt_start_ms,
+            limit,
+            false,
+            true,
+            outboxes,
+        );
+    }
+
+    /// Folds one finished (or timed-out) attempt into the guarded call:
+    /// breaker feedback, retry with backoff, fallback, or success.
+    #[allow(clippy::too_many_arguments)]
+    fn settle_attempt(
+        &mut self,
+        mut frame: Frame,
+        callee: VersionId,
+        endpoint: EndpointId,
+        policy: CallPolicy,
+        call_start_ms: u64,
+        mut waited_ms: u64,
+        attempt: u32,
+        attempt_start_ms: u64,
+        perceived_ms: u64,
+        child_ok: bool,
+        timed_out: bool,
+        outboxes: &Outboxes,
+    ) {
+        let ok = child_ok && !timed_out;
+        if timed_out {
+            self.sample(callee, MetricKind::Timeout, attempt_start_ms, 1.0);
+            if let Some(p) = &frame.path {
+                // Re-status the attempt's span with the caller-observed
+                // wait once it materialises (the subtree is still
+                // running); the merge applies this patch by path.
+                self.out.patches.push(PatchRec {
+                    req: frame.req,
+                    path: child_path(p, frame.call_idx, RANK_ATTEMPT, attempt),
+                    perceived_ms,
+                });
+            }
+        }
+        let mut opened = false;
+        if let Some(bp) = policy.breaker {
+            let outcome_at = attempt_start_ms + perceived_ms;
+            if let Some((_, to)) = self.res.on_outcome(
+                frame.version,
+                callee,
+                &bp,
+                SimTime::from_millis(outcome_at),
+                !ok,
+            ) {
+                if to == BreakerState::Open {
+                    self.sample(callee, MetricKind::BreakerOpen, outcome_at, 1.0);
+                    opened = true;
+                }
+            }
+        }
+        if ok {
+            frame.elapsed_ms += waited_ms;
+            frame.call_idx += 1;
+            self.advance(frame, outboxes);
+            return;
+        }
+        if !opened && attempt < policy.max_retries {
+            waited_ms += policy.backoff_delay(attempt, &mut frame.hrng).as_millis();
+            self.sample(callee, MetricKind::Retry, call_start_ms + waited_ms, 1.0);
+            let attempt_seed = frame.hrng.next_u64();
+            let next_attempt = attempt + 1;
+            let attempt_start = call_start_ms + waited_ms;
+            frame.gen += 1;
+            let gen = frame.gen;
+            let apath = frame
+                .path
+                .as_ref()
+                .map(|p| child_path(p, frame.call_idx, RANK_ATTEMPT, next_attempt));
+            let key = self.key_from(&mut frame, attempt_start, PHASE_NORMAL);
+            let svc = self.app.version(callee).service.0;
+            self.send(
+                outboxes,
+                svc,
+                key,
+                Ev::Call(Box::new(CallEv {
+                    version: callee,
+                    endpoint,
+                    parent: Some((frame.ident, gen)),
+                    dark: false,
+                    depth: frame.depth + 1,
+                    attempt: u8::try_from(next_attempt).unwrap_or(u8::MAX),
+                    seed: attempt_seed,
+                    path: apath,
+                })),
+            );
+            if let Some(limit) = policy.attempt_timeout {
+                let tkey =
+                    self.key_from(&mut frame, attempt_start + limit.as_millis(), PHASE_TIMEOUT);
+                self.send(
+                    outboxes,
+                    service_of_ident(frame.ident),
+                    tkey,
+                    Ev::Timeout { parent: frame.ident, gen },
+                );
+            }
+            frame.pending = Pending::Guarded {
+                callee,
+                endpoint,
+                policy,
+                call_start_ms,
+                waited_ms,
+                attempt: next_attempt,
+                attempt_start_ms: attempt_start,
+            };
+            let ident = frame.ident;
+            self.frames.insert(ident, frame);
+            return;
+        }
+        // Exhausted, or the breaker opened on this very outcome.
+        let (dur, ok2) =
+            self.resolve_fallback(&mut frame, &policy, callee, endpoint, call_start_ms, waited_ms);
+        frame.elapsed_ms += dur;
+        frame.ok &= ok2;
+        frame.call_idx += 1;
+        self.advance(frame, outboxes);
+    }
+}
+
+/// One worker's drive loop. All workers execute the same barrier
+/// sequence per sub-round:
+///
+/// 1. leader resets the shared minimum-time and phase flags;
+/// 2. every worker publishes its heap's minimum timestamp (`fetch_min`);
+/// 3. every worker reads the global timestamp `t` (all exit together when
+///    the heaps are globally empty) and flags whether it holds *normal*
+///    events at `t`;
+/// 4. every worker pops and processes its events at `(t, phase)` in key
+///    order — `phase` is normal if any shard has normal work at `t`,
+///    otherwise the deferred timeout phase — appending created events to
+///    the target shards' outboxes;
+/// 5. every worker drains its inbox into its heap.
+///
+/// Because created events only enter heaps at step 5, sub-round
+/// membership (and hence all state-mutation order) is independent of how
+/// services are spread over workers.
+fn drive(
+    shard: &mut Shard<'_>,
+    barrier: &Barrier,
+    outboxes: &Outboxes,
+    min_time: &AtomicU64,
+    any_normal: &AtomicBool,
+) {
+    loop {
+        if barrier.wait().is_leader() {
+            min_time.store(u64::MAX, Ordering::SeqCst);
+            any_normal.store(false, Ordering::SeqCst);
+        }
+        barrier.wait();
+        if let Some(Reverse(top)) = shard.heap.peek() {
+            min_time.fetch_min(top.key.time, Ordering::SeqCst);
+        }
+        barrier.wait();
+        let t = min_time.load(Ordering::SeqCst);
+        if t == u64::MAX {
+            break;
+        }
+        if shard
+            .heap
+            .peek()
+            .is_some_and(|Reverse(e)| e.key.time == t && e.key.phase == PHASE_NORMAL)
+        {
+            any_normal.store(true, Ordering::SeqCst);
+        }
+        barrier.wait();
+        let phase = if any_normal.load(Ordering::SeqCst) { PHASE_NORMAL } else { PHASE_TIMEOUT };
+        while shard.heap.peek().is_some_and(|Reverse(e)| e.key.time == t && e.key.phase == phase) {
+            let Reverse(ev) = shard.heap.pop().expect("peeked");
+            shard.process(ev, outboxes);
+        }
+        barrier.wait();
+        let mut inbox = outboxes[shard.id].lock().expect("inbox poisoned");
+        for ev in inbox.drain(..) {
+            shard.heap.push(Reverse(ev));
+        }
+    }
+}
+
+/// Runs one window of pre-generated arrivals through the event core and
+/// merges all outputs canonically into the caller's store/collector/state.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn run_window(
+    app: &Application,
+    router: &Router,
+    load: &mut LoadTracker,
+    occupancy: &OccupancyTable,
+    faults: &FaultPlan,
+    plan: &ResiliencePlan,
+    state: &mut ResilienceState,
+    sink: &mut MetricSink<'_>,
+    collector: &mut TraceCollector,
+    requests: Vec<EventRequest>,
+    workers: usize,
+) -> WindowStats {
+    let workers = workers.clamp(1, app.service_count().max(1));
+    let reqs: Vec<ReqMeta> = requests
+        .iter()
+        .map(|r| ReqMeta {
+            user: r.user,
+            time_ms: r.time.as_millis(),
+            trace: r.trace,
+            conv_u: r.conv_u,
+        })
+        .collect();
+
+    // Partition breaker state by the caller's service shard: every
+    // breaker is touched by exactly one shard during the window.
+    let mut shard_breakers: Vec<BTreeMap<(VersionId, VersionId), _>> =
+        (0..workers).map(|_| BTreeMap::new()).collect();
+    for ((caller, callee), breaker) in state.take_breakers() {
+        let shard = app.version(caller).service.0 % workers;
+        shard_breakers[shard].insert((caller, callee), breaker);
+    }
+
+    let mut shards: Vec<Shard<'_>> = shard_breakers
+        .into_iter()
+        .enumerate()
+        .map(|(id, breakers)| {
+            let mut res = ResilienceState::new();
+            res.absorb_breakers(breakers);
+            Shard {
+                id,
+                workers,
+                heap: BinaryHeap::new(),
+                frames: HashMap::new(),
+                parked: HashMap::new(),
+                serials: vec![0; app.service_count()],
+                load: load.clone(),
+                occ: occupancy.clone(),
+                res,
+                faults: faults.clone(),
+                scratch_transitions: Vec::new(),
+                out: ShardOut::default(),
+                cur_key: KEY_ZERO,
+                sample_seq: 0,
+                transition_seq: 0,
+                app,
+                router,
+                plan,
+                reqs: &reqs,
+                guard: !plan.is_empty(),
+            }
+        })
+        .collect();
+
+    // Seed root arrivals. Entry version and endpoint resolve up front, in
+    // arrival order, matching the recursive facade's behaviour (and its
+    // panic on a misconfigured workload).
+    for (i, r) in requests.iter().enumerate() {
+        let version = router.resolve(app, r.service, r.user);
+        let endpoint =
+            app.endpoint_of(version, &r.endpoint).expect("workload references a valid entry point");
+        let key = EvKey {
+            time: r.time.as_millis(),
+            phase: PHASE_NORMAL,
+            req: i as u32,
+            ckey: 0,
+            cseq: i as u32,
+        };
+        let path = r.trace.map(|_| Vec::new());
+        shards[r.service.0 % workers].heap.push(Reverse(HeapEv {
+            key,
+            ev: Ev::Call(Box::new(CallEv {
+                version,
+                endpoint,
+                parent: None,
+                dark: false,
+                depth: 0,
+                attempt: 0,
+                seed: r.root_seed,
+                path,
+            })),
+        }));
+    }
+
+    let barrier = Barrier::new(workers);
+    let outboxes: Vec<Mutex<Vec<HeapEv>>> = (0..workers).map(|_| Mutex::new(Vec::new())).collect();
+    let min_time = AtomicU64::new(u64::MAX);
+    let any_normal = AtomicBool::new(false);
+
+    if workers == 1 {
+        drive(&mut shards[0], &barrier, &outboxes, &min_time, &any_normal);
+    } else {
+        let barrier = &barrier;
+        let outboxes = &outboxes[..];
+        let min_time = &min_time;
+        let any_normal = &any_normal;
+        std::thread::scope(|s| {
+            for shard in &mut shards {
+                s.spawn(move || drive(shard, barrier, outboxes, min_time, any_normal));
+            }
+        });
+    }
+
+    merge(app, load, state, sink, collector, &reqs, shards)
+}
+
+/// Single-threaded canonical merge: writes every shard's tagged outputs
+/// into the shared store/collector/state in global event order, then the
+/// per-request (end-to-end, conversion, trace) outputs in arrival order.
+fn merge(
+    app: &Application,
+    load: &mut LoadTracker,
+    state: &mut ResilienceState,
+    sink: &mut MetricSink<'_>,
+    collector: &mut TraceCollector,
+    reqs: &[ReqMeta],
+    mut shards: Vec<Shard<'_>>,
+) -> WindowStats {
+    let workers = shards.len();
+    // Each version's load counters are owned by its service's shard.
+    for v in 0..app.version_count() {
+        let vid = VersionId(v);
+        let shard = app.version(vid).service.0 % workers;
+        load.adopt_version_from(&shards[shard].load, vid);
+    }
+    for shard in &mut shards {
+        state.absorb_breakers(shard.res.take_breakers());
+        debug_assert_eq!(shard.parked.len(), 0, "admission queues drain within the window");
+        debug_assert_eq!(shard.frames.len(), 0, "all frames complete within the window");
+    }
+
+    let mut transitions: Vec<TaggedTransition> =
+        shards.iter_mut().flat_map(|s| s.out.transitions.drain(..)).collect();
+    transitions.sort_unstable_by_key(|t| (t.key, t.seq));
+    for t in transitions {
+        state.record_transition(t.transition);
+    }
+
+    let mut samples: Vec<TaggedSample> =
+        shards.iter_mut().flat_map(|s| s.out.samples.drain(..)).collect();
+    samples.sort_unstable_by_key(|s| (s.key, s.seq));
+    for s in &samples {
+        sink.record_version(s.version, s.kind, s.time, s.value);
+    }
+
+    let n = reqs.len();
+    let mut roots: Vec<Option<RootRec>> = (0..n).map(|_| None).collect();
+    let mut visits: Vec<Vec<(EvKey, VersionId)>> = vec![Vec::new(); n];
+    let mut spans: Vec<Vec<SpanRec>> = (0..n).map(|_| Vec::new()).collect();
+    let mut patches: Vec<Vec<PatchRec>> = (0..n).map(|_| Vec::new()).collect();
+    for shard in &mut shards {
+        for r in shard.out.roots.drain(..) {
+            let idx = r.req as usize;
+            roots[idx] = Some(r);
+        }
+        for v in shard.out.visits.drain(..) {
+            visits[v.req as usize].push((v.key, v.version));
+        }
+        for s in shard.out.spans.drain(..) {
+            spans[s.req as usize].push(s);
+        }
+        for p in shard.out.patches.drain(..) {
+            patches[p.req as usize].push(p);
+        }
+    }
+
+    let mut stats = WindowStats { requests: 0, failures: 0, rt: OnlineStats::new() };
+    for (i, meta) in reqs.iter().enumerate() {
+        let root = roots[i].take().expect("every request completes within the window");
+        stats.requests += 1;
+        if !root.ok {
+            stats.failures += 1;
+        }
+        let at = SimTime::from_millis(meta.time_ms);
+        let ms = root.duration_ms as f64;
+        stats.rt.push(ms);
+        sink.record_app(MetricKind::ResponseTime, at, ms);
+        sink.record_app(MetricKind::ErrorRate, at, if root.ok { 0.0 } else { 1.0 });
+
+        // Conversion attribution over the distinct primary-path versions,
+        // ordered by first service-begin (the recursive walk's visit
+        // order collapses to the same *set*, so the blended rate and the
+        // 0/1 outcome are identical).
+        let mut reqs_visits = std::mem::take(&mut visits[i]);
+        if !reqs_visits.is_empty() {
+            reqs_visits.sort_unstable_by_key(|(k, _)| *k);
+            let mut seen: Vec<VersionId> = Vec::new();
+            for (_, v) in reqs_visits {
+                if !seen.contains(&v) {
+                    seen.push(v);
+                }
+            }
+            let mean = seen.iter().map(|v| app.version(*v).conversion_rate).sum::<f64>()
+                / seen.len() as f64;
+            let converted = root.ok && meta.conv_u < mean;
+            let value = if converted { 1.0 } else { 0.0 };
+            for v in &seen {
+                sink.record_version(*v, MetricKind::ConversionRate, at, value);
+            }
+        }
+
+        if let Some(trace_id) = meta.trace {
+            let trace = assemble_trace(
+                app,
+                trace_id,
+                std::mem::take(&mut spans[i]),
+                std::mem::take(&mut patches[i]),
+            );
+            collector.record(trace);
+        }
+    }
+    stats
+}
+
+/// Rebuilds one sampled request's trace from its span records: timeout
+/// patches are applied by path, spans sort into pre-order DFS (the paths
+/// are the tree addresses, with sibling ranks matching the recursive
+/// walk's push order), and ids/parents are renumbered positionally.
+fn assemble_trace(
+    app: &Application,
+    trace_id: TraceId,
+    mut spans: Vec<SpanRec>,
+    patches: Vec<PatchRec>,
+) -> Trace {
+    for p in patches {
+        if let Some(s) = spans.iter_mut().find(|s| s.path == p.path) {
+            s.duration_ms = p.perceived_ms;
+            s.status = SpanStatus::TimedOut;
+        }
+    }
+    spans.sort_by(|a, b| a.path.cmp(&b.path));
+    let out = spans
+        .iter()
+        .enumerate()
+        .map(|(i, s)| {
+            let parent = if s.path.is_empty() {
+                None
+            } else {
+                let parent_path = &s.path[..s.path.len() - 1];
+                let idx = spans
+                    .binary_search_by(|cand| cand.path.as_slice().cmp(parent_path))
+                    .expect("parent span exists");
+                Some(SpanId(idx as u32))
+            };
+            Span {
+                trace: trace_id,
+                span: SpanId(i as u32),
+                parent,
+                service: app.version(s.version).service,
+                version: s.version,
+                endpoint: s.endpoint,
+                start: SimTime::from_millis(s.start_ms),
+                duration: SimDuration::from_millis(s.duration_ms),
+                status: s.status,
+                attempt: s.attempt,
+                dark: s.dark,
+            }
+        })
+        .collect();
+    Trace { id: trace_id, spans: out }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::app::{Application, CallDef, EndpointDef, VersionSpec};
+    use crate::faults::{Fault, FaultKind};
+    use crate::latency::LatencyModel;
+    use crate::resilience::{BreakerPolicy, BreakerTransition, CallPolicy};
+    use crate::sim::{ExecMode, RunReport, Simulation};
+    use crate::topologies::{random_app, RandomAppParams};
+    use crate::trace::Trace;
+    use cex_core::metrics::{MetricKind, Summary};
+    use cex_core::simtime::{SimDuration, SimTime};
+
+    /// Full value-level dump of the metric store: per sorted scope, per
+    /// kind, the sample count and the whole-run summary.
+    fn store_fingerprint(sim: &Simulation) -> Vec<(String, MetricKind, usize, Summary)> {
+        let mut scopes = sim.store().scopes();
+        scopes.sort();
+        let mut out = Vec::new();
+        let horizon = SimTime::from_secs(100_000);
+        for scope in scopes {
+            for kind in MetricKind::all() {
+                let count = sim.store().count(&scope, kind);
+                let summary = sim.store().summary_between(&scope, kind, SimTime::ZERO, horizon);
+                out.push((scope.clone(), kind, count, summary));
+            }
+        }
+        out
+    }
+
+    /// Frontend → backend, optionally with a probabilistic side call, no
+    /// load sensitivity (the recursive core feeds the load tracker in
+    /// request order, the event core in time order — with sensitivity 0
+    /// the latency multiplier is 1 either way).
+    fn two_tier(probabilistic: bool) -> Application {
+        let mut b = Application::builder();
+        let mut front = EndpointDef::new("home", LatencyModel::Constant { ms: 5.0 })
+            .call(CallDef::always("backend", "api"));
+        if probabilistic {
+            front = front.call(CallDef::with_probability("backend", "api", 0.6));
+        }
+        b.version(
+            VersionSpec::new("frontend", "1.0.0")
+                .capacity(1_000.0)
+                .load_sensitivity(0.0)
+                .endpoint(front),
+        );
+        b.version(
+            VersionSpec::new("backend", "1.0.0")
+                .capacity(1_000.0)
+                .load_sensitivity(0.0)
+                .endpoint(EndpointDef::new("api", LatencyModel::web(10.0))),
+        );
+        b.build().unwrap()
+    }
+
+    type RunDump = (Vec<RunReport>, Vec<(String, MetricKind, usize, Summary)>, Vec<Trace>);
+
+    /// Cross-core store comparison: the two cores record the same sample
+    /// multiset but feed the running-moment accumulators in different
+    /// orders (request order vs time order), so mean/std_dev may differ in
+    /// the last ulps. Counts and extrema must match bitwise.
+    fn assert_stores_equivalent(
+        rec: &[(String, MetricKind, usize, Summary)],
+        ev: &[(String, MetricKind, usize, Summary)],
+    ) {
+        assert_eq!(rec.len(), ev.len());
+        let close = |a: f64, b: f64| (a - b).abs() <= 1e-9 * a.abs().max(b.abs()).max(1.0);
+        for (r, e) in rec.iter().zip(ev) {
+            assert_eq!((&r.0, r.1, r.2), (&e.0, e.1, e.2), "scope/kind/count");
+            assert_eq!(r.3.count, e.3.count, "{}/{:?} count", r.0, r.1);
+            assert_eq!(r.3.min, e.3.min, "{}/{:?} min", r.0, r.1);
+            assert_eq!(r.3.max, e.3.max, "{}/{:?} max", r.0, r.1);
+            assert!(
+                close(r.3.mean, e.3.mean),
+                "{}/{:?} mean {} vs {}",
+                r.0,
+                r.1,
+                r.3.mean,
+                e.3.mean
+            );
+            assert!(
+                close(r.3.std_dev, e.3.std_dev),
+                "{}/{:?} std_dev {} vs {}",
+                r.0,
+                r.1,
+                r.3.std_dev,
+                e.3.std_dev
+            );
+        }
+    }
+
+    fn run_windows(
+        app: Application,
+        seed: u64,
+        mode: ExecMode,
+        setup: impl Fn(&mut Simulation),
+    ) -> RunDump {
+        let mut sim = Simulation::new(app, seed);
+        sim.set_exec_mode(mode);
+        sim.set_trace_sampling(1.0);
+        setup(&mut sim);
+        let reports = (0..3).map(|_| sim.run(SimDuration::from_secs(10), 40.0)).collect::<Vec<_>>();
+        let fingerprint = store_fingerprint(&sim);
+        let traces = sim.drain_traces();
+        (reports, fingerprint, traces)
+    }
+
+    #[test]
+    fn event_core_is_the_default() {
+        let sim = Simulation::new(two_tier(false), 1);
+        assert_eq!(sim.exec_mode(), ExecMode::Event);
+        assert_eq!(sim.workers(), 1);
+    }
+
+    #[test]
+    fn event_core_matches_recursive_closed_loop() {
+        // Infinite concurrency, empty queues: the event core must
+        // reproduce the recursive core's per-request outcomes exactly —
+        // reports, every metric sample, and every trace.
+        let rec = run_windows(two_tier(true), 42, ExecMode::Recursive, |_| {});
+        let ev = run_windows(two_tier(true), 42, ExecMode::Event, |_| {});
+        assert_eq!(rec.0, ev.0, "per-window reports");
+        assert_stores_equivalent(&rec.1, &ev.1);
+        assert_eq!(rec.2, ev.2, "collected traces");
+        assert!(!ev.2.is_empty());
+    }
+
+    fn guard_policy() -> CallPolicy {
+        CallPolicy {
+            attempt_timeout: Some(SimDuration::from_millis(14)),
+            max_retries: 2,
+            backoff_base: SimDuration::from_millis(4),
+            backoff_multiplier: 2.0,
+            jitter: 0.5,
+            breaker: None,
+            fallback: true,
+            fallback_latency: SimDuration::from_millis(1),
+        }
+    }
+
+    #[test]
+    fn event_core_matches_recursive_with_timeouts_retries_fallbacks() {
+        // Same as above but through the guarded path (no breaker: the
+        // recursive core feeds breaker outcomes in call order rather than
+        // outcome-time order, so breakers are only equivalent in effect,
+        // not byte-for-byte). An error burst forces retries and fallbacks.
+        let setup = |sim: &mut Simulation| {
+            sim.set_call_policy(guard_policy());
+            let backend = sim.app().version_id("backend", "1.0.0").unwrap();
+            sim.inject_fault(Fault {
+                version: backend,
+                kind: FaultKind::ErrorBurst { extra_error_rate: 0.4 },
+                from: SimTime::from_secs(10),
+                until: SimTime::from_secs(20),
+            });
+        };
+        let rec = run_windows(two_tier(true), 7, ExecMode::Recursive, setup);
+        let ev = run_windows(two_tier(true), 7, ExecMode::Event, setup);
+        assert_eq!(rec.0, ev.0, "per-window reports");
+        assert_stores_equivalent(&rec.1, &ev.1);
+        assert_eq!(rec.2, ev.2, "collected traces");
+        let timeouts: usize =
+            rec.1.iter().filter(|(_, k, ..)| *k == MetricKind::Timeout).map(|(.., c, _)| c).sum();
+        let retries: usize =
+            rec.1.iter().filter(|(_, k, ..)| *k == MetricKind::Retry).map(|(.., c, _)| c).sum();
+        assert!(timeouts > 0, "the burst actually produced timeouts");
+        assert!(retries > 0, "the burst actually produced retries");
+    }
+
+    #[test]
+    fn timeout_fires_only_when_strictly_late() {
+        // Child hop takes exactly 10 ms (constant latency, no proxy
+        // overhead). A 10 ms deadline must NOT fire — the recursive rule
+        // is `duration > limit` — while 9 ms must.
+        let app = || {
+            let mut b = Application::builder();
+            b.version(
+                VersionSpec::new("frontend", "1.0.0")
+                    .capacity(1_000.0)
+                    .load_sensitivity(0.0)
+                    .endpoint(
+                        EndpointDef::new("home", LatencyModel::Constant { ms: 1.0 })
+                            .call(CallDef::always("backend", "api")),
+                    ),
+            );
+            b.version(
+                VersionSpec::new("backend", "1.0.0")
+                    .capacity(1_000.0)
+                    .load_sensitivity(0.0)
+                    .endpoint(EndpointDef::new("api", LatencyModel::Constant { ms: 10.0 })),
+            );
+            b.build().unwrap()
+        };
+        let run = |deadline_ms: u64| {
+            let mut sim = Simulation::new(app(), 5);
+            sim.set_call_policy(CallPolicy {
+                attempt_timeout: Some(SimDuration::from_millis(deadline_ms)),
+                ..CallPolicy::default()
+            });
+            let report = sim.run(SimDuration::from_secs(5), 20.0);
+            (report, sim.store().count("backend@1.0.0", MetricKind::Timeout))
+        };
+        let (exact, exact_timeouts) = run(10);
+        assert_eq!(exact_timeouts, 0, "deadline == duration must not fire");
+        assert_eq!(exact.failures, 0);
+        let (late, late_timeouts) = run(9);
+        assert_eq!(late_timeouts as u64, late.requests, "every attempt exceeds 9 ms");
+        assert_eq!(late.failures, late.requests, "no retry, no fallback");
+    }
+
+    fn limited_app(queue: Option<u32>) -> Application {
+        let mut b = Application::builder();
+        let mut spec = VersionSpec::new("worker", "1.0.0")
+            .capacity(1_000.0)
+            .load_sensitivity(0.0)
+            .concurrency_limit(1)
+            .endpoint(EndpointDef::new("job", LatencyModel::Constant { ms: 40.0 }));
+        if let Some(depth) = queue {
+            spec = spec.queue_capacity(depth);
+        }
+        b.version(spec);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn open_loop_overload_builds_growing_queue_delay() {
+        // One slot, 40 ms service time → 25 rps capacity; offered 50 rps.
+        // With an unbounded queue nothing is shed and the queueing delay
+        // grows throughout the window.
+        let mut sim = Simulation::new(limited_app(None), 11);
+        let report = sim.run(SimDuration::from_secs(10), 50.0);
+        assert_eq!(report.failures, 0);
+        let store = sim.store();
+        let early = store.summary_between(
+            "worker@1.0.0",
+            MetricKind::QueueDelay,
+            SimTime::ZERO,
+            SimTime::from_secs(5),
+        );
+        let late = store.summary_between(
+            "worker@1.0.0",
+            MetricKind::QueueDelay,
+            SimTime::from_secs(5),
+            SimTime::from_secs(10),
+        );
+        assert!(early.count > 0 && late.count > 0);
+        assert!(
+            late.mean > 2.0 * early.mean,
+            "queue delay keeps growing under 2× overload: early {} late {}",
+            early.mean,
+            late.mean
+        );
+        assert_eq!(store.count("worker@1.0.0", MetricKind::Shed), 0);
+        // The backlog still drains: every admitted request completes and
+        // reports an end-to-end outcome.
+        assert_eq!(store.count("worker@1.0.0", MetricKind::ResponseTime) as u64, report.requests);
+    }
+
+    #[test]
+    fn open_loop_overload_sheds_when_the_queue_is_full() {
+        let mut sim = Simulation::new(limited_app(Some(2)), 11);
+        let report = sim.run(SimDuration::from_secs(10), 50.0);
+        let sheds = sim.store().count("worker@1.0.0", MetricKind::Shed) as u64;
+        assert!(sheds > 0, "2× overload with queue depth 2 must shed");
+        assert_eq!(report.failures, sheds, "every shed surfaces as a failed request");
+        // Bounded queue bounds the wait: max delay ≤ depth × service time.
+        let delay = sim.store().summary_between(
+            "worker@1.0.0",
+            MetricKind::QueueDelay,
+            SimTime::ZERO,
+            SimTime::from_secs(10),
+        );
+        assert!(delay.max <= 80.0, "delay bounded by the queue: {}", delay.max);
+    }
+
+    #[test]
+    fn outputs_are_byte_identical_across_worker_counts() {
+        // Property: over seeded random topologies, with resilience,
+        // breakers, faults and tracing all active, every observable output
+        // is identical at 1, 2 and 8 workers.
+        for seed in [3_u64, 17] {
+            let run = |workers: usize| -> (RunDump, Vec<BreakerTransition>) {
+                let params =
+                    RandomAppParams { services: 12, layers: 3, ..RandomAppParams::default() };
+                let app = random_app(&params, seed);
+                let fault_target = app.version_id("svc-0001", "1.0.0").unwrap();
+                let mut sim = Simulation::new(app, seed ^ 0x9e37_79b9);
+                sim.set_workers(workers);
+                sim.set_trace_sampling(0.3);
+                sim.set_call_policy(CallPolicy {
+                    attempt_timeout: Some(SimDuration::from_millis(60)),
+                    max_retries: 1,
+                    backoff_base: SimDuration::from_millis(5),
+                    backoff_multiplier: 2.0,
+                    jitter: 0.5,
+                    breaker: Some(BreakerPolicy {
+                        error_threshold: 0.5,
+                        min_calls: 10,
+                        window: 40,
+                        cooldown: SimDuration::from_secs(5),
+                        half_open_probes: 3,
+                    }),
+                    fallback: true,
+                    fallback_latency: SimDuration::from_millis(1),
+                });
+                sim.inject_fault(Fault {
+                    version: fault_target,
+                    kind: FaultKind::Outage,
+                    from: SimTime::from_secs(10),
+                    until: SimTime::from_secs(20),
+                });
+                let reports =
+                    (0..3).map(|_| sim.run(SimDuration::from_secs(10), 40.0)).collect::<Vec<_>>();
+                let fingerprint = store_fingerprint(&sim);
+                let traces = sim.drain_traces();
+                let transitions = sim.drain_breaker_transitions();
+                ((reports, fingerprint, traces), transitions)
+            };
+            let w1 = run(1);
+            let w2 = run(2);
+            let w8 = run(8);
+            assert_eq!(w1.0 .0, w2.0 .0, "reports w1 vs w2 (seed {seed})");
+            assert_eq!(w1.0 .0, w8.0 .0, "reports w1 vs w8 (seed {seed})");
+            assert_eq!(w1.0 .1, w2.0 .1, "store w1 vs w2 (seed {seed})");
+            assert_eq!(w1.0 .1, w8.0 .1, "store w1 vs w8 (seed {seed})");
+            assert_eq!(w1.0 .2, w2.0 .2, "traces w1 vs w2 (seed {seed})");
+            assert_eq!(w1.0 .2, w8.0 .2, "traces w1 vs w8 (seed {seed})");
+            assert_eq!(w1.1, w2.1, "transitions w1 vs w2 (seed {seed})");
+            assert_eq!(w1.1, w8.1, "transitions w1 vs w8 (seed {seed})");
+            assert!(!w1.0 .2.is_empty(), "traces were actually collected");
+            assert!(!w1.1.is_empty(), "the outage actually tripped a breaker");
+        }
+    }
+
+    #[test]
+    fn queued_requests_drain_across_the_window_boundary() {
+        // Requests admitted near the window end finish after `to`; their
+        // samples must still land (the report covers every arrival).
+        let mut sim = Simulation::new(limited_app(None), 23);
+        let r1 = sim.run(SimDuration::from_secs(2), 50.0);
+        let r2 = sim.run(SimDuration::from_secs(2), 50.0);
+        assert!(r1.requests > 0 && r2.requests > 0);
+        assert_eq!(
+            sim.store().count("worker@1.0.0", MetricKind::ResponseTime) as u64,
+            r1.requests + r2.requests
+        );
+    }
+}

@@ -94,6 +94,13 @@ pub struct RequestResult {
 ///
 /// * `user` — drives sticky routing decisions.
 /// * `entry_service`/`entry_endpoint` — where the request enters.
+/// * `rng` — the request's private random stream. Exactly two values are
+///   drawn from it (the root hop's stream seed and the conversion draw);
+///   every hop then derives its own [`SplitMix64`] stream from a seed
+///   drawn in its caller's stream. This seed-chaining makes each hop's
+///   randomness independent of sibling subtree shapes, which is what lets
+///   the event-driven core (`crate::event`) reproduce the recursive
+///   walk's outcomes from independently scheduled events.
 /// * `now` — virtual arrival time.
 /// * `trace_id` — `Some` when the trace collector sampled this request.
 /// * `sink` — when present, per-hop response times and error indicators
@@ -126,11 +133,12 @@ pub fn execute_request(
     resilience: Option<Resilience<'_>>,
     faults: &FaultPlan,
 ) -> Result<RequestResult, SimError> {
+    let root_seed = rng.next_u64();
+    let conv_u = rng.next_f64();
     let mut ctx = ExecCtx {
         app,
         router,
         load,
-        rng,
         user,
         sink,
         resilience,
@@ -140,7 +148,7 @@ pub fn execute_request(
         next_span: 0,
         visited: Vec::new(),
     };
-    let outcome = ctx.hop(entry_service, entry_endpoint, now, None, false, 0, 0)?;
+    let outcome = ctx.hop(entry_service, entry_endpoint, now, None, false, 0, 0, root_seed)?;
     // Conversion attribution: the request converts with a probability
     // blending all (primary-path) versions it touched, and the 0/1 outcome
     // is credited to each of them — how A/B variants are compared on
@@ -148,7 +156,7 @@ pub fn execute_request(
     if ctx.sink.is_some() && !ctx.visited.is_empty() {
         let mean_rate = ctx.visited.iter().map(|v| app.version(*v).conversion_rate).sum::<f64>()
             / ctx.visited.len() as f64;
-        let converted = outcome.ok && ctx.rng.next_f64() < mean_rate;
+        let converted = outcome.ok && conv_u < mean_rate;
         let value = if converted { 1.0 } else { 0.0 };
         if let Some(sink) = ctx.sink.as_deref_mut() {
             for version in &ctx.visited {
@@ -171,7 +179,6 @@ struct ExecCtx<'a, 'b> {
     app: &'a Application,
     router: &'a Router,
     load: &'a mut LoadTracker,
-    rng: &'a mut SplitMix64,
     user: UserId,
     sink: Option<&'a mut MetricSink<'b>>,
     resilience: Option<Resilience<'a>>,
@@ -194,9 +201,10 @@ impl ExecCtx<'_, '_> {
         dark: bool,
         depth: usize,
         attempt: u8,
+        seed: u64,
     ) -> Result<HopOutcome, SimError> {
         let version = self.router.resolve(self.app, service, self.user);
-        self.hop_on_version(version, endpoint_name, start, parent, dark, depth, attempt)
+        self.hop_on_version(version, endpoint_name, start, parent, dark, depth, attempt, seed)
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -209,6 +217,7 @@ impl ExecCtx<'_, '_> {
         dark: bool,
         depth: usize,
         attempt: u8,
+        seed: u64,
     ) -> Result<HopOutcome, SimError> {
         if depth > MAX_CALL_DEPTH {
             return Err(SimError::CallDepthExceeded { limit: MAX_CALL_DEPTH });
@@ -242,17 +251,22 @@ impl ExecCtx<'_, '_> {
             idx
         });
 
+        // The hop's private random stream, derived from a seed drawn in
+        // the caller's stream: draw order inside one hop is fixed
+        // (latency, own failure, then per call: probability, child seed,
+        // mirror seeds) so the event core can replay it event by event.
+        let mut hrng = SplitMix64::new(seed);
         let fault = self.faults.effects(version, start);
         let multiplier = self.load.multiplier(self.app, version) * fault.latency_multiplier;
         let endpoint = self.app.endpoint(endpoint_id);
-        let own_latency = endpoint.latency.sample(self.rng, multiplier);
+        let own_latency = endpoint.latency.sample(&mut hrng, multiplier);
         // Combined failure probability, clamped exactly once at the point
         // of use: the endpoint's own rate and overlapping fault windows
         // each stay in domain individually but their *sum* may exceed 1
         // (e.g. 0.9 + 0.9), and `FaultPlan::effects` deliberately does
         // not cap so that no composition information is lost upstream.
         let failure_rate = (endpoint.error_rate + fault.extra_error_rate).clamp(0.0, 1.0);
-        let own_ok = self.rng.next_f64() >= failure_rate;
+        let own_ok = hrng.next_f64() >= failure_rate;
 
         let mut elapsed = self.router.proxy_overhead() + own_latency;
         let mut ok = own_ok;
@@ -261,9 +275,16 @@ impl ExecCtx<'_, '_> {
         // whole context across the recursive calls.
         let calls = endpoint.calls.clone();
         for call in &calls {
-            if call.probability < 1.0 && self.rng.next_f64() >= call.probability {
+            if call.probability < 1.0 && hrng.next_f64() >= call.probability {
                 continue;
             }
+            // Child and mirror stream seeds are drawn *before* the child
+            // executes, so the caller's stream state never depends on the
+            // child subtree — the event core spawns mirrors at dispatch
+            // time with these exact seeds.
+            let child_seed = hrng.next_u64();
+            let mirrors = self.router.mirrors(call.service).to_vec();
+            let mirror_seeds: Vec<u64> = mirrors.iter().map(|_| hrng.next_u64()).collect();
             let child_start = start + elapsed;
             // Primary call, resilience-guarded when a policy covers this
             // edge. Dark traffic is never guarded: mirrors must see the
@@ -276,6 +297,8 @@ impl ExecCtx<'_, '_> {
                     child_start,
                     span_id,
                     depth + 1,
+                    child_seed,
+                    &mut hrng,
                 )?
             } else {
                 self.hop(
@@ -286,21 +309,23 @@ impl ExecCtx<'_, '_> {
                     dark,
                     depth + 1,
                     0,
+                    child_seed,
                 )?
             };
             elapsed += child.duration;
             ok &= child.ok;
             // Dark-launch mirrors: execute on each mirror version without
             // contributing to user-perceived latency or success.
-            for mirror in self.router.mirrors(call.service).to_vec() {
+            for (mirror, mirror_seed) in mirrors.iter().zip(&mirror_seeds) {
                 let _ = self.hop_on_version(
-                    mirror,
+                    *mirror,
                     &call.endpoint,
                     child_start,
                     Some(span_id),
                     true,
                     depth + 1,
                     0,
+                    *mirror_seed,
                 )?;
             }
         }
@@ -361,6 +386,7 @@ impl ExecCtx<'_, '_> {
     /// the whole attempt sequence. Each attempt re-enters the normal
     /// latency and fault models at its shifted start time, so a fault
     /// window can expire between an attempt and its retry.
+    #[allow(clippy::too_many_arguments)]
     fn guarded_call(
         &mut self,
         caller: VersionId,
@@ -369,6 +395,8 @@ impl ExecCtx<'_, '_> {
         start: SimTime,
         parent: SpanId,
         depth: usize,
+        first_seed: u64,
+        hrng: &mut SplitMix64,
     ) -> Result<HopOutcome, SimError> {
         let caller_service = self.app.version(caller).service;
         let policy = match self
@@ -377,7 +405,18 @@ impl ExecCtx<'_, '_> {
             .and_then(|r| r.plan.policy_for(caller_service.0, service.0))
         {
             Some(policy) => *policy,
-            None => return self.hop(service, endpoint, start, Some(parent), false, depth, 0),
+            None => {
+                return self.hop(
+                    service,
+                    endpoint,
+                    start,
+                    Some(parent),
+                    false,
+                    depth,
+                    0,
+                    first_seed,
+                )
+            }
         };
         let callee = self.router.resolve(self.app, service, self.user);
         // Resolved only when tracing: event spans (shed/fallback) need the
@@ -413,6 +452,7 @@ impl ExecCtx<'_, '_> {
         }
 
         let mut waited = SimDuration::ZERO;
+        let mut attempt_seed = first_seed;
         for attempt in 0..=policy.max_retries {
             let attempt_start = start + waited;
             let attempt_no = u8::try_from(attempt).unwrap_or(u8::MAX);
@@ -424,6 +464,7 @@ impl ExecCtx<'_, '_> {
                 false,
                 depth,
                 attempt_no,
+                attempt_seed,
             )?;
             // An attempt that overruns the deadline counts as a failure,
             // and the caller stops waiting at the deadline — the callee
@@ -465,8 +506,9 @@ impl ExecCtx<'_, '_> {
                 break;
             }
             if attempt < policy.max_retries {
-                waited += policy.backoff_delay(attempt, self.rng);
+                waited += policy.backoff_delay(attempt, hrng);
                 self.record_resilience(callee, MetricKind::Retry, start + waited);
+                attempt_seed = hrng.next_u64();
             }
         }
         Ok(self.fallback_or_fail(&policy, callee, start, waited, parent, traced_endpoint))

@@ -23,6 +23,9 @@
 //! - [`exec`] — per-request execution: walks the call tree, samples
 //!   latencies, produces an end-to-end response time and a distributed
 //!   trace.
+//! - [`event`] — the discrete-event scheduler the simulation runs on by
+//!   default: requests as event chains, per-version concurrency limits and
+//!   bounded admission queues, deterministic sharded parallel execution.
 //! - [`faults`] — scheduled fault windows (latency spikes, error bursts,
 //!   outages) for failure-injection experiments.
 //! - [`trace`] — Zipkin/Jaeger-style spans with interned identity, bounded
@@ -56,6 +59,7 @@
 
 pub mod app;
 pub mod error;
+pub mod event;
 pub mod exec;
 pub mod faults;
 pub mod health;

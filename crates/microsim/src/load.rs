@@ -13,6 +13,7 @@
 
 use crate::app::{Application, VersionId};
 use cex_core::simtime::SimTime;
+use std::collections::VecDeque;
 
 /// Latency multipliers are capped here; beyond ~10× the system would be in
 /// collapse and the experiment checks fire long before.
@@ -45,6 +46,13 @@ impl LoadTracker {
         if self.per_version.len() < app.version_count() {
             self.per_version.resize(app.version_count(), VersionLoad::default());
         }
+    }
+
+    /// Adopts `version`'s counters from `other` — used by the event core's
+    /// merge to fold each shard's owned versions back into the shared
+    /// tracker after a parallel window.
+    pub(crate) fn adopt_version_from(&mut self, other: &LoadTracker, version: VersionId) {
+        self.per_version[version.0] = other.per_version[version.0];
     }
 
     /// Records one request arriving at `version` at time `now`.
@@ -97,6 +105,109 @@ impl LoadTracker {
         let u = self.utilization(app, version);
         let k = app.version(version).load_sensitivity;
         (1.0 + k * u * u).min(MAX_MULTIPLIER)
+    }
+}
+
+/// Outcome of asking a version for a concurrency slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Admission {
+    /// A slot was free; the request begins service immediately.
+    Immediate,
+    /// All slots are busy; the request was enqueued.
+    Queued,
+    /// Slots busy and the admission queue full; the request is shed.
+    Shed,
+}
+
+#[derive(Debug, Clone, Default)]
+struct VersionOccupancy {
+    limit: Option<u32>,
+    queue_capacity: Option<u32>,
+    busy: u32,
+    queue: VecDeque<u64>,
+}
+
+/// Per-version concurrency slots and bounded FIFO admission queues — the
+/// open-loop overload model of the event-driven core. A request holds a
+/// slot from service begin until its frame finishes; releasing a slot
+/// admits the longest-waiting queued request (identified by an opaque
+/// caller-chosen token).
+#[derive(Debug, Clone, Default)]
+pub struct OccupancyTable {
+    per_version: Vec<VersionOccupancy>,
+}
+
+impl OccupancyTable {
+    /// Creates a table covering `app`'s deployed versions.
+    pub fn new(app: &Application) -> Self {
+        let mut t = OccupancyTable::default();
+        t.resize_for(app);
+        t
+    }
+
+    /// Ensures the table covers versions deployed after construction.
+    pub fn resize_for(&mut self, app: &Application) {
+        for idx in self.per_version.len()..app.version_count() {
+            let v = app.version(VersionId(idx));
+            self.per_version.push(VersionOccupancy {
+                limit: v.concurrency_limit,
+                queue_capacity: v.queue_capacity,
+                busy: 0,
+                queue: VecDeque::new(),
+            });
+        }
+    }
+
+    /// Requests a slot on `version` for the request identified by `token`.
+    /// With no configured limit every admission is [`Admission::Immediate`].
+    pub fn try_admit(&mut self, version: VersionId, token: u64) -> Admission {
+        let slot = &mut self.per_version[version.0];
+        match slot.limit {
+            None => {
+                slot.busy += 1;
+                Admission::Immediate
+            }
+            Some(limit) if slot.busy < limit => {
+                slot.busy += 1;
+                Admission::Immediate
+            }
+            Some(_) => {
+                if slot.queue_capacity.is_none_or(|cap| (slot.queue.len() as u32) < cap) {
+                    slot.queue.push_back(token);
+                    Admission::Queued
+                } else {
+                    Admission::Shed
+                }
+            }
+        }
+    }
+
+    /// Releases one slot on `version`. When a request is waiting, it takes
+    /// the freed slot and its token is returned so the caller can resume it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no slot is held (release without matching admit).
+    pub fn release(&mut self, version: VersionId) -> Option<u64> {
+        let slot = &mut self.per_version[version.0];
+        assert!(slot.busy > 0, "release without matching admission");
+        match slot.queue.pop_front() {
+            Some(token) => Some(token), // busy count transfers to the admitted request
+            None => {
+                slot.busy -= 1;
+                None
+            }
+        }
+    }
+
+    /// Requests currently holding a slot on `version`.
+    pub fn busy(&self, version: VersionId) -> u32 {
+        self.per_version.get(version.0).map(|s| s.busy).unwrap_or(0)
+    }
+
+    /// Requests currently waiting in `version`'s admission queue.
+    pub fn queue_len(&self, version: VersionId) -> usize {
+        self.per_version.get(version.0).map(|s| s.queue.len()).unwrap_or(0)
     }
 }
 
@@ -182,6 +293,76 @@ mod tests {
         }
         tracker.record_arrival(v, SimTime::from_millis(1_000));
         assert_eq!(tracker.multiplier(&app, v), 1.0);
+    }
+
+    fn limited_app(slots: u32, depth: u32) -> Application {
+        let mut b = Application::builder();
+        b.version(
+            VersionSpec::new("svc", "1")
+                .concurrency_limit(slots)
+                .queue_capacity(depth)
+                .endpoint(EndpointDef::new("api", LatencyModel::default())),
+        );
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn unlimited_versions_always_admit() {
+        let app = one_service_app(100.0, 1.0);
+        let v = app.version_id("svc", "1").unwrap();
+        let mut occ = OccupancyTable::new(&app);
+        for token in 0..1_000 {
+            assert_eq!(occ.try_admit(v, token), Admission::Immediate);
+        }
+        assert_eq!(occ.busy(v), 1_000);
+        assert_eq!(occ.release(v), None);
+        assert_eq!(occ.busy(v), 999);
+    }
+
+    #[test]
+    fn queue_admits_fifo_and_sheds_on_full() {
+        let app = limited_app(2, 2);
+        let v = app.version_id("svc", "1").unwrap();
+        let mut occ = OccupancyTable::new(&app);
+        assert_eq!(occ.try_admit(v, 10), Admission::Immediate);
+        assert_eq!(occ.try_admit(v, 11), Admission::Immediate);
+        assert_eq!(occ.try_admit(v, 12), Admission::Queued);
+        assert_eq!(occ.try_admit(v, 13), Admission::Queued);
+        assert_eq!(occ.try_admit(v, 14), Admission::Shed);
+        assert_eq!(occ.busy(v), 2);
+        assert_eq!(occ.queue_len(v), 2);
+        // Releases hand the slot to the longest-waiting request, in order.
+        assert_eq!(occ.release(v), Some(12));
+        assert_eq!(occ.release(v), Some(13));
+        assert_eq!(occ.busy(v), 2, "queued admissions keep the slot busy");
+        assert_eq!(occ.release(v), None);
+        assert_eq!(occ.release(v), None);
+        assert_eq!(occ.busy(v), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "release without matching admission")]
+    fn release_without_admit_panics() {
+        let app = limited_app(1, 1);
+        let v = app.version_id("svc", "1").unwrap();
+        let mut occ = OccupancyTable::new(&app);
+        occ.release(v);
+    }
+
+    #[test]
+    fn occupancy_resize_covers_new_versions() {
+        let mut app = one_service_app(10.0, 1.0);
+        let mut occ = OccupancyTable::new(&app);
+        let vid = app
+            .deploy(
+                VersionSpec::new("svc", "2")
+                    .concurrency_limit(1)
+                    .endpoint(EndpointDef::new("api", LatencyModel::default())),
+            )
+            .unwrap();
+        occ.resize_for(&app);
+        assert_eq!(occ.try_admit(vid, 1), Admission::Immediate);
+        assert_eq!(occ.try_admit(vid, 2), Admission::Queued);
     }
 
     #[test]

@@ -421,6 +421,34 @@ impl ResilienceState {
         std::mem::take(&mut self.transitions)
     }
 
+    /// Scratch-buffer variant of [`ResilienceState::drain_transitions`]:
+    /// clears `out` and moves the accumulated transitions into it, so
+    /// steady-state drive loops reuse one allocation per tick.
+    pub fn drain_transitions_into(&mut self, out: &mut Vec<BreakerTransition>) {
+        out.clear();
+        out.append(&mut self.transitions);
+    }
+
+    /// Moves all breakers out, leaving this state empty — the event core
+    /// partitions them across worker shards by caller service.
+    pub(crate) fn take_breakers(&mut self) -> BTreeMap<(VersionId, VersionId), Breaker> {
+        std::mem::take(&mut self.breakers)
+    }
+
+    /// Re-inserts breakers previously moved out with
+    /// [`ResilienceState::take_breakers`].
+    pub(crate) fn absorb_breakers(&mut self, breakers: BTreeMap<(VersionId, VersionId), Breaker>) {
+        for (key, breaker) in breakers {
+            self.breakers.insert(key, breaker);
+        }
+    }
+
+    /// Appends one transition to the log — the event core's canonical
+    /// merge replays shard-local transitions in global event order.
+    pub(crate) fn record_transition(&mut self, transition: BreakerTransition) {
+        self.transitions.push(transition);
+    }
+
     /// Transitions accumulated since the last drain.
     pub fn transitions(&self) -> &[BreakerTransition] {
         &self.transitions

@@ -8,9 +8,10 @@
 
 use crate::app::{Application, VersionId, VersionSpec};
 use crate::error::SimError;
+use crate::event::{self, EventRequest};
 use crate::exec::{execute_request, MetricSink};
 use crate::faults::{Fault, FaultPlan};
-use crate::load::LoadTracker;
+use crate::load::{LoadTracker, OccupancyTable};
 use crate::monitor::{MetricStore, ScopeId};
 use crate::resilience::{
     BreakerState, BreakerTransition, CallPolicy, Resilience, ResiliencePlan, ResilienceState,
@@ -24,6 +25,20 @@ use cex_core::simtime::{SimDuration, SimTime};
 
 /// Scope under which end-to-end (user-perceived) metrics are recorded.
 pub const APP_SCOPE: &str = "app";
+
+/// Which request-execution core a window runs on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecMode {
+    /// The original depth-first walk ([`crate::exec`]): one request's call
+    /// tree completes before the next request starts. Kept as the
+    /// semantic reference; cannot model queueing or use multiple cores.
+    Recursive,
+    /// The discrete-event scheduler ([`crate::event`]): requests interleave
+    /// in simulated time, per-version concurrency limits and admission
+    /// queues apply, and execution shards across worker threads with
+    /// byte-identical output at any worker count. The default.
+    Event,
+}
 
 /// Aggregate outcome of one simulated window.
 #[derive(Debug, Clone, PartialEq)]
@@ -67,6 +82,9 @@ pub struct Simulation {
     app: Application,
     router: Router,
     load: LoadTracker,
+    occupancy: OccupancyTable,
+    exec_mode: ExecMode,
+    workers: usize,
     store: MetricStore,
     /// `service@version` scope ids indexed by `VersionId`, kept in sync
     /// with deployments so the request loop records without formatting or
@@ -89,6 +107,7 @@ impl Simulation {
     /// default trace sampling (fraction 0.05) and the clock at zero.
     pub fn new(app: Application, seed: u64) -> Self {
         let load = LoadTracker::new(&app);
+        let occupancy = OccupancyTable::new(&app);
         let store = MetricStore::new();
         let version_scopes = store.intern_version_scopes(&app);
         let app_scope = store.intern(APP_SCOPE);
@@ -96,6 +115,9 @@ impl Simulation {
             app,
             router: Router::new(),
             load,
+            occupancy,
+            exec_mode: ExecMode::Event,
+            workers: 1,
             store,
             version_scopes,
             app_scope,
@@ -158,6 +180,39 @@ impl Simulation {
         self.resilience_state.drain_transitions()
     }
 
+    /// Scratch-buffer variant of [`Simulation::drain_breaker_transitions`]:
+    /// clears `out` and drains into it, so per-tick callers reuse one
+    /// allocation.
+    pub fn drain_breaker_transitions_into(&mut self, out: &mut Vec<BreakerTransition>) {
+        self.resilience_state.drain_transitions_into(out);
+    }
+
+    /// Selects the execution core for subsequent windows (see
+    /// [`ExecMode`]). Switching cores mid-run is allowed; each window runs
+    /// entirely on one core.
+    pub fn set_exec_mode(&mut self, mode: ExecMode) {
+        self.exec_mode = mode;
+    }
+
+    /// The active execution core.
+    pub fn exec_mode(&self) -> ExecMode {
+        self.exec_mode
+    }
+
+    /// Sets the worker-thread count for [`ExecMode::Event`] windows.
+    /// Outputs are byte-identical at any worker count; this only trades
+    /// wall-clock time. Ignored by [`ExecMode::Recursive`]. Clamped to at
+    /// least 1 (and internally to the service count — extra workers would
+    /// own no shard).
+    pub fn set_workers(&mut self, workers: usize) {
+        self.workers = workers.max(1);
+    }
+
+    /// The configured event-core worker count.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
     /// Replaces the router (e.g. to enable proxy-overhead modelling).
     pub fn set_router(&mut self, router: Router) {
         self.router = router;
@@ -213,6 +268,7 @@ impl Simulation {
         let id = self.app.deploy(spec)?;
         self.app.validate()?;
         self.load.resize_for(&self.app);
+        self.occupancy.resize_for(&self.app);
         self.version_scopes = self.store.intern_version_scopes(&self.app);
         Ok(id)
     }
@@ -230,6 +286,12 @@ impl Simulation {
     /// Removes and returns collected traces.
     pub fn drain_traces(&mut self) -> Vec<Trace> {
         self.collector.drain()
+    }
+
+    /// Scratch-buffer variant of [`Simulation::drain_traces`]: clears
+    /// `out` and drains into it, so per-tick callers reuse one allocation.
+    pub fn drain_traces_into(&mut self, out: &mut Vec<Trace>) {
+        self.collector.drain_into(out);
     }
 
     /// Current virtual time.
@@ -265,6 +327,72 @@ impl Simulation {
     /// Panics if the workload references unknown services/endpoints (a
     /// configuration error in the harness, not a runtime condition).
     pub fn run_with(&mut self, duration: SimDuration, workload: &Workload) -> RunReport {
+        match self.exec_mode {
+            ExecMode::Recursive => self.run_with_recursive(duration, workload),
+            ExecMode::Event => self.run_with_event(duration, workload),
+        }
+    }
+
+    /// [`ExecMode::Event`] window: pre-generate the arrivals (consuming the
+    /// shared RNG in the same order the recursive core would), hand them to
+    /// the event scheduler, and merge its canonical outputs.
+    fn run_with_event(&mut self, duration: SimDuration, workload: &Workload) -> RunReport {
+        let window_started = std::time::Instant::now();
+        let from = self.clock;
+        let to = from + duration;
+        let window_seed = sub_seed(self.workload_seed, self.windows_run);
+        self.windows_run += 1;
+        let mut arrivals = ArrivalProcess::new(workload.clone(), from, window_seed);
+        let mut requests = Vec::new();
+        for arrival in arrivals.arrivals_until(to) {
+            // Same per-request draw order as the recursive facade: trace
+            // decision, root hop seed, conversion draw.
+            let trace = self.collector.begin_trace();
+            let root_seed = self.rng.next_u64();
+            let conv_u = self.rng.next_f64();
+            requests.push(EventRequest {
+                time: arrival.time,
+                user: arrival.user,
+                service: arrival.service,
+                endpoint: arrival.endpoint,
+                trace,
+                root_seed,
+                conv_u,
+            });
+        }
+        let mut sink = MetricSink::new(&self.store, &self.version_scopes, self.app_scope);
+        let stats = event::run_window(
+            &self.app,
+            &self.router,
+            &mut self.load,
+            &self.occupancy,
+            &self.faults,
+            &self.resilience_plan,
+            &mut self.resilience_state,
+            &mut sink,
+            &mut self.collector,
+            requests,
+            self.workers,
+        );
+        let secs = duration.as_millis() as f64 / 1_000.0;
+        if secs > 0.0 {
+            sink.record_app(MetricKind::Throughput, to, stats.requests as f64 / secs);
+        }
+        drop(sink); // window boundary: flush buffered samples
+        self.clock = to;
+        self.sim_busy += window_started.elapsed();
+        RunReport {
+            from,
+            to,
+            requests: stats.requests,
+            failures: stats.failures,
+            response_time: stats.rt.summary(),
+        }
+    }
+
+    /// [`ExecMode::Recursive`] window: the original one-request-at-a-time
+    /// depth-first walk.
+    fn run_with_recursive(&mut self, duration: SimDuration, workload: &Workload) -> RunReport {
         let window_started = std::time::Instant::now();
         let from = self.clock;
         let to = from + duration;

@@ -161,6 +161,10 @@ pub struct RandomAppParams {
     pub calls_per_endpoint: usize,
     /// Median own latency per endpoint in milliseconds.
     pub median_latency_ms: f64,
+    /// Load-sensitivity coefficient `k` applied to every version (latency
+    /// inflation `1 + k·u²`); `0.0` decouples latency from offered load,
+    /// which the execution-core equivalence tests rely on.
+    pub load_sensitivity: f64,
 }
 
 impl Default for RandomAppParams {
@@ -171,6 +175,7 @@ impl Default for RandomAppParams {
             endpoints_per_service: 3,
             calls_per_endpoint: 2,
             median_latency_ms: 8.0,
+            load_sensitivity: 1.0,
         }
     }
 }
@@ -198,7 +203,9 @@ pub fn random_app(params: &RandomAppParams, seed: u64) -> Application {
     let mut b = Application::builder();
     for svc in 0..params.services {
         let layer = layer_of(svc);
-        let mut spec = VersionSpec::new(format!("svc-{svc:04}"), "1.0.0").capacity(500.0);
+        let mut spec = VersionSpec::new(format!("svc-{svc:04}"), "1.0.0")
+            .capacity(500.0)
+            .load_sensitivity(params.load_sensitivity);
         for ep in 0..params.endpoints_per_service {
             let jitter = 0.5 + rng.next_f64();
             let mut def = EndpointDef::new(

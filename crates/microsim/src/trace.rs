@@ -520,6 +520,15 @@ impl TraceCollector {
     pub fn drain(&mut self) -> Vec<Trace> {
         std::mem::take(&mut self.traces).into()
     }
+
+    /// Scratch-buffer variant of [`TraceCollector::drain`]: clears `out`
+    /// and moves all retained traces into it, oldest first, so steady-state
+    /// drive loops (the Bifrost engine tick) reuse one allocation instead
+    /// of constructing a fresh `Vec` per tick.
+    pub fn drain_into(&mut self, out: &mut Vec<Trace>) {
+        out.clear();
+        out.extend(self.traces.drain(..));
+    }
 }
 
 impl Default for TraceCollector {
