@@ -9,6 +9,7 @@
 
 use crate::model::{Check, CheckScope, Comparator};
 use cex_core::metrics::Summary;
+use cex_core::sequential::{msprt, tau_heuristic};
 use cex_core::simtime::SimTime;
 use cex_core::stats::welch_test;
 use microsim::monitor::{MetricStore, ScopeId};
@@ -148,7 +149,15 @@ pub fn evaluate_observed(
             let cand = store.window_summary_id(ctx.candidate_id, check.metric, now, check.window);
             let base = store.window_summary_id(ctx.baseline_id, check.metric, now, check.window);
             let verdict = |result| CheckObservation { result, primary: cand, baseline: Some(base) };
-            if cand.count < check.min_samples || base.count < check.min_samples {
+            // The `count == 0` guard is load-bearing even with
+            // `min_samples: 0`: an empty window summarizes to count 0 and
+            // mean 0.0, and a verdict derived from that fabricated zero is
+            // a bug, not a measurement.
+            if cand.count == 0
+                || base.count == 0
+                || cand.count < check.min_samples
+                || base.count < check.min_samples
+            {
                 return verdict(CheckResult::Inconclusive);
             }
             // Ratio semantics need a positive denominator: a negative
@@ -164,11 +173,28 @@ pub fn evaluate_observed(
                 verdict(CheckResult::Fail)
             }
         }
+        CheckScope::SequentialVsBaseline => {
+            // Sequential checks are stateful — a running always-valid
+            // p-value since phase start — so the engine evaluates them via
+            // [`evaluate_sequential`]. A stateless evaluation cannot
+            // conclude.
+            let cand = store.window_summary_id(ctx.candidate_id, check.metric, now, check.window);
+            let base = store.window_summary_id(ctx.baseline_id, check.metric, now, check.window);
+            CheckObservation {
+                result: CheckResult::Inconclusive,
+                primary: cand,
+                baseline: Some(base),
+            }
+        }
         CheckScope::SignificantVsBaseline => {
             let cand = store.window_summary_id(ctx.candidate_id, check.metric, now, check.window);
             let base = store.window_summary_id(ctx.baseline_id, check.metric, now, check.window);
             let verdict = |result| CheckObservation { result, primary: cand, baseline: Some(base) };
-            if cand.count < check.min_samples || base.count < check.min_samples {
+            if cand.count == 0
+                || base.count == 0
+                || cand.count < check.min_samples
+                || base.count < check.min_samples
+            {
                 return verdict(CheckResult::Inconclusive);
             }
             let Some(test) = welch_test(&cand, &base) else {
@@ -202,7 +228,9 @@ pub fn evaluate_observed(
 
 fn absolute(check: &Check, store: &MetricStore, scope: ScopeId, now: SimTime) -> CheckObservation {
     let summary = store.window_summary_id(scope, check.metric, now, check.window);
-    let result = if summary.count < check.min_samples {
+    // An empty window must stay inconclusive even with `min_samples: 0` —
+    // its summary carries a fabricated mean of 0.0, not a measurement.
+    let result = if summary.count == 0 || summary.count < check.min_samples {
         CheckResult::Inconclusive
     } else if check.comparator.holds(summary.mean, check.threshold) {
         CheckResult::Pass
@@ -210,6 +238,167 @@ fn absolute(check: &Check, store: &MetricStore, scope: ScopeId, now: SimTime) ->
         CheckResult::Fail
     };
     CheckObservation { result, primary: summary, baseline: None }
+}
+
+/// Significance level of a sequential check: its `threshold` is a
+/// confidence level, so α = 1 − confidence.
+pub fn sequential_alpha(check: &Check) -> f64 {
+    1.0 - check.threshold
+}
+
+/// Per-(run, check) state of a [`CheckScope::SequentialVsBaseline`] check:
+/// the running always-valid p-values for both directions, the frozen
+/// mixing scale, and the instantaneous harm evidence the guarded ramp
+/// reads. Reset on every phase (re-)entry; advanced only in the engine's
+/// single-threaded apply pass via [`SequentialState::fold`] so the
+/// parallel observe pass stays read-only.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SequentialState {
+    p_desired: f64,
+    p_harm: f64,
+    tau: Option<f64>,
+    lr_harm: f64,
+}
+
+impl Default for SequentialState {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SequentialState {
+    /// Fresh state: no evidence either way.
+    pub fn new() -> Self {
+        SequentialState { p_desired: 1.0, p_harm: 1.0, tau: None, lr_harm: 0.0 }
+    }
+
+    /// Running always-valid p for the desired direction (per the check's
+    /// comparator). Monotone non-increasing; crossing α is absorbing.
+    pub fn p_desired(&self) -> f64 {
+        self.p_desired
+    }
+
+    /// Running always-valid p for the harm direction.
+    pub fn p_harm(&self) -> f64 {
+        self.p_harm
+    }
+
+    /// The mixing scale τ, once frozen at the first informative look.
+    pub fn tau(&self) -> Option<f64> {
+        self.tau
+    }
+
+    /// Instantaneous harm-direction likelihood ratio at the latest look —
+    /// *not* a running extreme: under a healthy candidate it decays back
+    /// toward zero as evidence accumulates, which is what lets a guarded
+    /// ramp resume advancing after a transient scare.
+    pub fn lr_harm(&self) -> f64 {
+        self.lr_harm
+    }
+
+    /// Folds one evaluation's update into the state.
+    pub fn fold(&mut self, update: SequentialUpdate) {
+        self.p_desired = self.p_desired.min(update.p_desired);
+        self.p_harm = self.p_harm.min(update.p_harm);
+        if self.tau.is_none() {
+            self.tau = update.tau;
+        }
+        self.lr_harm = update.lr_harm;
+    }
+
+    /// The verdict at significance level `alpha`. Harm takes precedence
+    /// over benefit when both directions have crossed (only possible after
+    /// a sign flip at extreme evidence — safety wins).
+    pub fn verdict(&self, alpha: f64) -> CheckResult {
+        if self.p_harm <= alpha {
+            CheckResult::Fail
+        } else if self.p_desired <= alpha {
+            CheckResult::Pass
+        } else {
+            CheckResult::Inconclusive
+        }
+    }
+
+    /// `true` while the latest look shows instantaneous harm evidence at
+    /// likelihood ratio `warn_lr` or stronger — the guarded ramp's
+    /// hold/retreat signal.
+    pub fn warns(&self, warn_lr: f64) -> bool {
+        self.lr_harm >= warn_lr
+    }
+}
+
+/// The state advance computed by one sequential evaluation. Computed in
+/// the (possibly parallel) observe pass, folded into the [`SequentialState`]
+/// in the engine's deterministic single-threaded apply pass.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SequentialUpdate {
+    /// Mixing scale used for this look (frozen on first fold).
+    pub tau: Option<f64>,
+    /// Candidate value for the running desired-direction p.
+    pub p_desired: f64,
+    /// Candidate value for the running harm-direction p.
+    pub p_harm: f64,
+    /// Instantaneous harm-direction likelihood ratio of this look.
+    pub lr_harm: f64,
+}
+
+/// Evaluates a sequential check at `now` against the *cumulative* windows
+/// since `phase_start`, read-only with respect to `state`: the returned
+/// update (if any) must be folded into the state by the caller's
+/// single-threaded apply pass, after which [`SequentialState::verdict`]
+/// matches the returned observation's result.
+///
+/// The two one-sided always-valid p processes are sign-gated: a look only
+/// lowers the p of the direction its observed effect points to. Each side
+/// is a running minimum of `min(1, 1/Λ_n)`, so by Ville's inequality the
+/// probability of ever crossing α under the null is at most α per side —
+/// regardless of how often the engine peeks.
+pub fn evaluate_sequential(
+    check: &Check,
+    ctx: &CheckContext,
+    store: &MetricStore,
+    phase_start: SimTime,
+    now: SimTime,
+    state: &SequentialState,
+) -> (CheckObservation, Option<SequentialUpdate>) {
+    let window = now.saturating_since(phase_start);
+    let cand = store.window_summary_id(ctx.candidate_id, check.metric, now, window);
+    let base = store.window_summary_id(ctx.baseline_id, check.metric, now, window);
+    let alpha = sequential_alpha(check);
+    let settled = |result| (CheckObservation { result, primary: cand, baseline: Some(base) }, None);
+    if cand.count == 0
+        || base.count == 0
+        || cand.count < check.min_samples
+        || base.count < check.min_samples
+    {
+        // Too little data for a new look; the verdict so far stands (a
+        // crossed p is absorbing, it cannot be un-concluded by silence).
+        return settled(state.verdict(alpha));
+    }
+    // τ must stay fixed over the run for the always-valid guarantee: pin
+    // it from the check, or freeze the data-driven heuristic at the first
+    // informative look.
+    let tau = match state.tau().or(check.tau).or_else(|| tau_heuristic(&cand, &base)) {
+        Some(tau) => tau,
+        None => return settled(state.verdict(alpha)),
+    };
+    let Some(test) = msprt(&cand, &base, tau) else {
+        return settled(state.verdict(alpha));
+    };
+    let desired_positive = matches!(check.comparator, Comparator::Gt | Comparator::Ge);
+    let toward_desired = if desired_positive { test.theta > 0.0 } else { test.theta < 0.0 };
+    let toward_harm = if desired_positive { test.theta < 0.0 } else { test.theta > 0.0 };
+    let p_look = test.p_value();
+    let update = SequentialUpdate {
+        tau: Some(tau),
+        p_desired: if toward_desired { p_look } else { 1.0 },
+        p_harm: if toward_harm { p_look } else { 1.0 },
+        lr_harm: if toward_harm { test.lambda() } else { 0.0 },
+    };
+    let mut next = *state;
+    next.fold(update);
+    let obs = CheckObservation { result: next.verdict(alpha), primary: cand, baseline: Some(base) };
+    (obs, Some(update))
 }
 
 /// Tracks when each check of a phase is next due.
@@ -535,6 +724,167 @@ mod tests {
             evaluate(&check, &ctx(&store), &store, SimTime::from_secs(3)),
             CheckResult::Inconclusive
         );
+    }
+
+    #[test]
+    fn empty_window_is_inconclusive_even_with_zero_min_samples() {
+        // Regression: with `min_samples: 0` an empty window's Summary
+        // (count 0, mean 0.0) used to produce a Pass/Fail verdict from a
+        // fabricated zero in every scope that derives one.
+        let store = MetricStore::new();
+        let mut check = Check::candidate(MetricKind::ResponseTime, Comparator::Lt, 100.0);
+        check.min_samples = 0;
+        check.window = SimDuration::from_secs(10);
+        let now = SimTime::from_secs(3);
+        for scope in [
+            CheckScope::Candidate,
+            CheckScope::Baseline,
+            CheckScope::App,
+            CheckScope::Trace,
+            CheckScope::CandidateVsBaseline,
+            CheckScope::SignificantVsBaseline,
+        ] {
+            check.scope = scope;
+            assert_eq!(
+                evaluate(&check, &ctx(&store), &store, now),
+                CheckResult::Inconclusive,
+                "scope {scope:?} must not conclude on an empty window"
+            );
+        }
+        // One side empty is just as inconclusive for the two-sided scopes.
+        fill(&store, "svc@2", 120.0, 30);
+        for scope in [CheckScope::CandidateVsBaseline, CheckScope::SignificantVsBaseline] {
+            check.scope = scope;
+            assert_eq!(
+                evaluate(&check, &ctx(&store), &store, now),
+                CheckResult::Inconclusive,
+                "scope {scope:?} must not conclude on an empty baseline"
+            );
+        }
+    }
+
+    fn fill_rate(store: &MetricStore, scope: &str, rate: f64, n: u64, seed: u64) {
+        use cex_core::rng::SplitMix64;
+        let mut rng = SplitMix64::new(seed);
+        for i in 0..n {
+            store.record_value(
+                scope,
+                MetricKind::ErrorRate,
+                SimTime::from_millis(i * 20),
+                if rng.next_f64() < rate { 1.0 } else { 0.0 },
+            );
+        }
+    }
+
+    #[test]
+    fn sequential_check_concludes_harm_and_is_absorbing() {
+        let store = MetricStore::new();
+        // Candidate errors at 25%, baseline at 5%: conclusive harm for a
+        // `<` (lower-is-better) sequential check.
+        fill_rate(&store, "svc@2", 0.25, 600, 11);
+        fill_rate(&store, "svc@1", 0.05, 600, 12);
+        let mut check = Check::sequential(MetricKind::ErrorRate, Comparator::Lt, 0.95);
+        check.min_samples = 50;
+        let mut state = SequentialState::new();
+        let (obs, update) = evaluate_sequential(
+            &check,
+            &ctx(&store),
+            &store,
+            SimTime::ZERO,
+            SimTime::from_secs(60),
+            &state,
+        );
+        assert_eq!(obs.result, CheckResult::Fail);
+        assert_eq!(obs.primary.count, 600);
+        state.fold(update.expect("informative look"));
+        assert!(state.p_harm() <= sequential_alpha(&check), "p_harm = {}", state.p_harm());
+        assert!(state.tau().is_some(), "tau frozen at first look");
+        assert!(state.lr_harm() > 1.0);
+        // Absorbing: a later data-starved look cannot un-conclude.
+        let starved = MetricStore::new();
+        let (obs, update) = evaluate_sequential(
+            &check,
+            &ctx(&starved),
+            &starved,
+            SimTime::ZERO,
+            SimTime::from_secs(90),
+            &state,
+        );
+        assert_eq!(obs.result, CheckResult::Fail);
+        assert!(update.is_none());
+    }
+
+    #[test]
+    fn sequential_check_concludes_benefit_in_the_desired_direction() {
+        let store = MetricStore::new();
+        // Candidate converts at 12%, baseline at 2%: desired direction for
+        // a `>` check.
+        let rng_fill = |scope: &str, rate: f64, seed: u64| {
+            use cex_core::rng::SplitMix64;
+            let mut rng = SplitMix64::new(seed);
+            for i in 0..800u64 {
+                store.record_value(
+                    scope,
+                    MetricKind::ConversionRate,
+                    SimTime::from_millis(i * 20),
+                    if rng.next_f64() < rate { 1.0 } else { 0.0 },
+                );
+            }
+        };
+        rng_fill("svc@2", 0.12, 21);
+        rng_fill("svc@1", 0.02, 22);
+        let mut check = Check::sequential(MetricKind::ConversionRate, Comparator::Gt, 0.95);
+        check.min_samples = 100;
+        check.tau = Some(0.1);
+        let state = SequentialState::new();
+        let (obs, update) = evaluate_sequential(
+            &check,
+            &ctx(&store),
+            &store,
+            SimTime::ZERO,
+            SimTime::from_secs(60),
+            &state,
+        );
+        assert_eq!(obs.result, CheckResult::Pass);
+        let update = update.expect("informative look");
+        assert_eq!(update.tau, Some(0.1), "pinned tau wins over the heuristic");
+        assert!(update.p_desired <= 0.05);
+        assert_eq!(update.p_harm, 1.0, "no harm-direction evidence from a benefit");
+        assert_eq!(update.lr_harm, 0.0);
+    }
+
+    #[test]
+    fn sequential_check_stays_inconclusive_on_equal_sides() {
+        let store = MetricStore::new();
+        fill_rate(&store, "svc@2", 0.05, 500, 31);
+        fill_rate(&store, "svc@1", 0.05, 500, 31); // same seed: identical stream
+        let mut check = Check::sequential(MetricKind::ErrorRate, Comparator::Lt, 0.95);
+        check.min_samples = 50;
+        let (obs, _) = evaluate_sequential(
+            &check,
+            &ctx(&store),
+            &store,
+            SimTime::ZERO,
+            SimTime::from_secs(60),
+            &SequentialState::new(),
+        );
+        assert_eq!(obs.result, CheckResult::Inconclusive);
+    }
+
+    #[test]
+    fn sequential_state_verdict_prefers_harm_and_warns_transiently() {
+        let mut state = SequentialState::new();
+        state.fold(SequentialUpdate { tau: Some(0.1), p_desired: 0.01, p_harm: 1.0, lr_harm: 0.0 });
+        assert_eq!(state.verdict(0.05), CheckResult::Pass);
+        state.fold(SequentialUpdate { tau: Some(0.2), p_desired: 1.0, p_harm: 0.02, lr_harm: 3.0 });
+        assert_eq!(state.verdict(0.05), CheckResult::Fail, "harm outranks benefit");
+        assert_eq!(state.tau(), Some(0.1), "tau frozen at first fold");
+        assert!(state.warns(2.0));
+        // The warning is instantaneous, not absorbing: a healthy look
+        // clears it even though the running p-values never rise.
+        state.fold(SequentialUpdate { tau: None, p_desired: 1.0, p_harm: 1.0, lr_harm: 0.4 });
+        assert!(!state.warns(2.0));
+        assert_eq!(state.p_harm(), 0.02);
     }
 
     #[test]

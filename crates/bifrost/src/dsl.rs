@@ -442,7 +442,10 @@ impl Parser {
             Ok(PhaseKind::DarkLaunch)
         } else if self.eat_keyword("ab_test") {
             Ok(PhaseKind::AbTest { split_percent: self.expect_percent()? })
-        } else if self.eat_keyword("gradual_rollout") {
+        } else if self.eat_keyword("gradual_rollout") || self.eat_keyword("ramp") {
+            // `ramp` is the adaptive-rollout spelling; `guarded` turns on
+            // check-guarded ramping (advance only while the phase's
+            // sequential checks see no harm).
             self.expect_keyword("from")?;
             let from_percent = self.expect_percent()?;
             self.expect_keyword("to")?;
@@ -451,9 +454,17 @@ impl Parser {
             let step_percent = self.expect_percent()?;
             self.expect_keyword("every")?;
             let step_duration = self.expect_duration()?;
-            Ok(PhaseKind::GradualRollout { from_percent, to_percent, step_percent, step_duration })
+            let guarded = self.eat_keyword("guarded");
+            Ok(PhaseKind::GradualRollout {
+                from_percent,
+                to_percent,
+                step_percent,
+                step_duration,
+                guarded,
+            })
         } else {
-            Err(self.err("expected `canary`, `dark_launch`, `ab_test`, or `gradual_rollout`"))
+            Err(self
+                .err("expected `canary`, `dark_launch`, `ab_test`, `gradual_rollout`, or `ramp`"))
         }
     }
 
@@ -471,6 +482,14 @@ impl Parser {
             CheckScope::CandidateVsBaseline
         } else if self.eat_keyword("significant_vs_baseline") {
             CheckScope::SignificantVsBaseline
+        } else if self.eat_keyword("sequential_vs_baseline") {
+            CheckScope::SequentialVsBaseline
+        } else if self.eat_keyword("sequential") {
+            // Long form: `sequential vs baseline`.
+            if self.eat_keyword("vs") {
+                self.expect_keyword("baseline")?;
+            }
+            CheckScope::SequentialVsBaseline
         } else if self.eat_keyword("baseline") {
             CheckScope::Baseline
         } else if self.eat_keyword("app") {
@@ -490,6 +509,29 @@ impl Parser {
                 return Err(self.err("expected a comparator (`<`, `<=`, `>`, `>=`)"));
             }
         };
+        if scope == CheckScope::SequentialVsBaseline {
+            // `check <metric> sequential vs baseline <cmp> confidence <c>
+            //  every <interval> [min_samples N] [tau T]` — no window: a
+            // sequential test reads the cumulative evidence since phase
+            // start.
+            self.expect_keyword("confidence")?;
+            let threshold = self.expect_number()?;
+            self.expect_keyword("every")?;
+            let interval = self.expect_duration()?;
+            let min_samples =
+                if self.eat_keyword("min_samples") { self.expect_number()? as u64 } else { 20 };
+            let tau = if self.eat_keyword("tau") { Some(self.expect_number()?) } else { None };
+            return Ok(Check {
+                metric,
+                scope,
+                comparator,
+                threshold,
+                window: SimDuration::ZERO,
+                interval,
+                min_samples,
+                tau,
+            });
+        }
         let threshold = self.expect_number()?;
         self.expect_keyword("over")?;
         let window = self.expect_duration()?;
@@ -497,7 +539,7 @@ impl Parser {
         let interval = self.expect_duration()?;
         let min_samples =
             if self.eat_keyword("min_samples") { self.expect_number()? as u64 } else { 20 };
-        Ok(Check { metric, scope, comparator, threshold, window, interval, min_samples })
+        Ok(Check { metric, scope, comparator, threshold, window, interval, min_samples, tau: None })
     }
 
     fn handler(&mut self) -> Result<(String, Action), BifrostError> {
@@ -579,19 +621,43 @@ pub fn to_source(strategy: &Strategy) -> String {
             PhaseKind::Canary { traffic_percent } => format!("canary {traffic_percent}%"),
             PhaseKind::DarkLaunch => "dark_launch".to_string(),
             PhaseKind::AbTest { split_percent } => format!("ab_test {split_percent}%"),
-            PhaseKind::GradualRollout { from_percent, to_percent, step_percent, step_duration } => {
+            PhaseKind::GradualRollout {
+                from_percent,
+                to_percent,
+                step_percent,
+                step_duration,
+                guarded,
+            } => {
                 format!(
-                    "gradual_rollout from {from_percent}% to {to_percent}% step {step_percent}% every {step_duration}"
+                    "gradual_rollout from {from_percent}% to {to_percent}% step {step_percent}% every {step_duration}{}",
+                    if *guarded { " guarded" } else { "" }
                 )
             }
         };
         let _ = writeln!(out, "  phase \"{}\" {kind} for {} {{", phase.name, phase.duration);
         for check in &phase.checks {
+            if check.scope == CheckScope::SequentialVsBaseline {
+                let tau = match check.tau {
+                    Some(tau) => format!(" tau {tau}"),
+                    None => String::new(),
+                };
+                let _ = writeln!(
+                    out,
+                    "    check {} sequential vs baseline {} confidence {} every {} min_samples {}{tau}",
+                    check.metric,
+                    check.comparator.symbol(),
+                    check.threshold,
+                    check.interval,
+                    check.min_samples
+                );
+                continue;
+            }
             let scope = match check.scope {
                 CheckScope::Candidate => "",
                 CheckScope::Baseline => " baseline",
                 CheckScope::CandidateVsBaseline => " vs_baseline",
                 CheckScope::SignificantVsBaseline => " significant_vs_baseline",
+                CheckScope::SequentialVsBaseline => unreachable!("handled above"),
                 CheckScope::App => " app",
                 CheckScope::Trace => " trace",
             };
@@ -683,11 +749,18 @@ strategy "rec-rollout" {
             matches!(s.phases[2].kind, PhaseKind::AbTest { split_percent } if split_percent == 20.0)
         );
         match &s.phases[3].kind {
-            PhaseKind::GradualRollout { from_percent, to_percent, step_percent, step_duration } => {
+            PhaseKind::GradualRollout {
+                from_percent,
+                to_percent,
+                step_percent,
+                step_duration,
+                guarded,
+            } => {
                 assert_eq!(*from_percent, 20.0);
                 assert_eq!(*to_percent, 100.0);
                 assert_eq!(*step_percent, 20.0);
                 assert_eq!(*step_duration, SimDuration::from_mins(5));
+                assert!(!guarded);
             }
             other => panic!("wrong kind {other:?}"),
         }
@@ -700,6 +773,61 @@ strategy "rec-rollout" {
         let source = to_source(&s);
         let reparsed = parse(&source).unwrap();
         assert_eq!(s, reparsed);
+    }
+
+    #[test]
+    fn sequential_check_and_guarded_ramp_parse_and_roundtrip() {
+        let src = r#"strategy "s" { service "a" baseline "1" candidate "2"
+            phase "ramp" ramp from 5% to 50% step 5% every 1m guarded for 30m {
+              check error_rate sequential vs baseline < confidence 0.95 every 30s min_samples 40 tau 0.05
+              on success complete
+              on failure rollback
+            } }"#;
+        let s = parse(src).unwrap();
+        assert!(matches!(s.phases[0].kind, PhaseKind::GradualRollout { guarded: true, .. }));
+        let check = &s.phases[0].checks[0];
+        assert_eq!(check.scope, CheckScope::SequentialVsBaseline);
+        assert_eq!(check.threshold, 0.95);
+        assert_eq!(check.window, SimDuration::ZERO);
+        assert_eq!(check.min_samples, 40);
+        assert_eq!(check.tau, Some(0.05));
+        let source = to_source(&s);
+        assert!(source.contains("sequential vs baseline < confidence 0.95"), "{source}");
+        assert!(source.contains("every 60s guarded"), "{source}");
+        let reparsed = parse(&source).unwrap();
+        assert_eq!(s, reparsed);
+    }
+
+    #[test]
+    fn sequential_short_form_and_default_tau() {
+        let src = r#"strategy "s" { service "a" baseline "1" candidate "2"
+            phase "ab" ab_test 20% for 20m {
+              check conversion_rate sequential_vs_baseline > confidence 0.99 every 1m
+              on success complete
+              on failure rollback
+            } }"#;
+        let s = parse(src).unwrap();
+        let check = &s.phases[0].checks[0];
+        assert_eq!(check.scope, CheckScope::SequentialVsBaseline);
+        assert_eq!(check.threshold, 0.99);
+        assert_eq!(check.tau, None);
+        assert_eq!(check.min_samples, 20);
+        let reparsed = parse(&to_source(&s)).unwrap();
+        assert_eq!(s, reparsed);
+    }
+
+    #[test]
+    fn interval_past_duration_is_rejected_at_parse_time() {
+        // Regression for the never-firing check: validation runs as part
+        // of parse, so the misconfiguration surfaces immediately.
+        let src = r#"strategy "s" { service "a" baseline "1" candidate "2"
+            phase "canary" canary 10% for 5m {
+              check error_rate < 0.05 over 1m every 10m
+              on success complete
+              on failure rollback
+            } }"#;
+        let err = parse(src).unwrap_err().to_string();
+        assert!(err.contains("exceeds phase duration"), "{err}");
     }
 
     #[test]
@@ -785,13 +913,13 @@ strategy "rec-rollout" {
     #[test]
     fn durations_and_units() {
         let src = r#"strategy "s" { service "a" baseline "1" candidate "2"
-            phase "p" canary 1% for 500ms {
+            phase "p" canary 1% for 2500ms {
               check error_rate < 0.5 over 1500ms every 1s
               on success complete
               on failure rollback
             } }"#;
         let s = parse(src).unwrap();
-        assert_eq!(s.phases[0].duration, SimDuration::from_millis(500));
+        assert_eq!(s.phases[0].duration, SimDuration::from_millis(2500));
         assert_eq!(s.phases[0].checks[0].window, SimDuration::from_millis(1500));
         assert_eq!(s.phases[0].checks[0].interval, SimDuration::from_secs(1));
     }

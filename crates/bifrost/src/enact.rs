@@ -259,6 +259,7 @@ mod tests {
             to_percent: 100.0,
             step_percent: 40.0,
             step_duration: cex_core::simtime::SimDuration::from_mins(1),
+            guarded: false,
         };
         let mut router = Router::new();
         enact_phase(&app, &mut router, &binding, &kind, Some(10.0)).unwrap();

@@ -15,12 +15,15 @@
 //! of Figures 4.7/4.9) and the per-tick processing times (the delay of
 //! Figures 4.8/4.10).
 
-use crate::checks::{self, CheckContext, CheckObservation, CheckResult, CheckScheduler};
+use crate::checks::{
+    self, CheckContext, CheckObservation, CheckResult, CheckScheduler, SequentialState,
+    SequentialUpdate,
+};
 use crate::enact::{self, StrategyBinding};
 use crate::error::BifrostError;
 use crate::journal::{Journal, JournalEvent};
 use crate::machine::{PhaseOutcome, State, StateMachine};
-use crate::model::{ChaosKind, ChaosSpec, ChaosTarget, PhaseKind, Strategy};
+use crate::model::{ChaosKind, ChaosSpec, ChaosTarget, CheckScope, PhaseKind, Strategy};
 use cex_core::metrics::MetricKind;
 use cex_core::simtime::{SimDuration, SimTime};
 use microsim::app::VersionId;
@@ -31,6 +34,16 @@ use microsim::sim::Simulation;
 use microsim::trace::{SpanBook, SpanStatus, Trace};
 use microsim::workload::Workload;
 use std::time::{Duration, Instant};
+
+/// Instantaneous harm-direction likelihood ratio at which a guarded
+/// gradual rollout stops advancing and retreats one step. Deliberately
+/// well below the absorbing abort threshold (a likelihood ratio of 2 is
+/// weak evidence — roughly a p of 0.5 at a single look): the ramp reacts
+/// to scares cheaply and reversibly, while only the always-valid p
+/// crossing α aborts the strategy. Because the signal is the *latest*
+/// look rather than a running extreme, it decays under a healthy
+/// candidate and the ramp resumes.
+pub const RAMP_WARN_LR: f64 = 2.0;
 
 /// Retention policy for the live metric store during an execution.
 ///
@@ -182,6 +195,10 @@ struct RunState {
     retries: u32,
     rollout_percent: f64,
     next_rollout_step: SimTime,
+    /// Per-check sequential-test state for the current phase (entries for
+    /// non-sequential checks stay at their fresh default). Reset on every
+    /// phase (re-)entry; folded only in the single-threaded apply pass.
+    sequential: Vec<SequentialState>,
     status: StrategyStatus,
     /// Scratch buffer for the scheduler's due-check indices, reused
     /// every tick so the hot loop performs no per-tick allocation.
@@ -195,8 +212,8 @@ struct RunState {
 /// evaluation keeps its check index and the windows it read so the
 /// mutating pass can journal full provenance.
 struct TickObservation {
-    due_results: Vec<(usize, CheckObservation)>,
-    boundary_results: Option<Vec<CheckObservation>>,
+    due_results: Vec<(usize, CheckObservation, Option<SequentialUpdate>)>,
+    boundary_results: Option<Vec<(CheckObservation, Option<SequentialUpdate>)>>,
     evaluations: u64,
 }
 
@@ -221,11 +238,21 @@ impl Engine {
             Retention::Unbounded => None,
             Retention::Horizon(d) => Some(d),
             Retention::Auto => {
+                // Sequential checks read cumulative windows that grow to
+                // the full phase duration, so the phase duration — not the
+                // (zero) declared window — is their retention demand.
                 let longest = strategies
                     .iter()
                     .flat_map(|s| s.phases.iter())
-                    .flat_map(|p| p.checks.iter())
-                    .map(|c| c.window)
+                    .flat_map(|p| {
+                        p.checks.iter().map(move |c| {
+                            if c.scope == CheckScope::SequentialVsBaseline {
+                                p.duration
+                            } else {
+                                c.window
+                            }
+                        })
+                    })
                     .max()
                     .unwrap_or(SimDuration::ZERO);
                 let quadrupled = SimDuration::from_millis(longest.as_millis().saturating_mul(4));
@@ -365,6 +392,7 @@ impl Engine {
                 retries: 0,
                 rollout_percent,
                 next_rollout_step,
+                sequential: vec![SequentialState::new(); phase.checks.len()],
                 status: StrategyStatus::Running,
                 due_scratch: Vec::new(),
                 due_active: false,
@@ -511,24 +539,34 @@ impl Engine {
             };
             let phase = &run.strategy.phases[p];
             let mut evaluations = 0u64;
-            let due_results: Vec<(usize, CheckObservation)> = due
+            // Sequential checks run against their per-run state read-only:
+            // the returned update is folded later, in the single-threaded
+            // apply pass, so this closure stays safe to fan out.
+            let mut eval = |i: usize| -> (CheckObservation, Option<SequentialUpdate>) {
+                evaluations += 1;
+                let check = &phase.checks[i];
+                if check.scope == CheckScope::SequentialVsBaseline {
+                    checks::evaluate_sequential(
+                        check,
+                        &run.ctx,
+                        store,
+                        run.phase_started,
+                        now,
+                        &run.sequential[i],
+                    )
+                } else {
+                    (checks::evaluate_observed(check, &run.ctx, store, now), None)
+                }
+            };
+            let due_results: Vec<(usize, CheckObservation, Option<SequentialUpdate>)> = due
                 .iter()
                 .map(|i| {
-                    evaluations += 1;
-                    (*i, checks::evaluate_observed(&phase.checks[*i], &run.ctx, store, now))
+                    let (obs, update) = eval(*i);
+                    (*i, obs, update)
                 })
                 .collect();
             let boundary_results = if now.saturating_since(run.phase_started) >= phase.duration {
-                Some(
-                    phase
-                        .checks
-                        .iter()
-                        .map(|c| {
-                            evaluations += 1;
-                            checks::evaluate_observed(c, &run.ctx, store, now)
-                        })
-                        .collect(),
-                )
+                Some((0..phase.checks.len()).map(&mut eval).collect())
             } else {
                 None
             };
@@ -596,8 +634,26 @@ impl Engine {
             let State::Phase(p) = run.state else { continue };
             let phase = run.strategy.phases[p].clone();
 
+            // Fold this tick's sequential updates first: every decision
+            // below — ramp steps, due-check failures, boundary verdicts —
+            // reads the state advanced through the latest look. Folding
+            // the same look twice (a check both due and at the boundary)
+            // is idempotent.
+            for (i, _, update) in &obs.due_results {
+                if let Some(u) = update {
+                    run.sequential[*i].fold(*u);
+                }
+            }
+            if let Some(boundary) = &obs.boundary_results {
+                for (i, (_, update)) in boundary.iter().enumerate() {
+                    if let Some(u) = update {
+                        run.sequential[i].fold(*u);
+                    }
+                }
+            }
+
             if let Some(j) = journal.as_deref_mut() {
-                for (i, o) in &obs.due_results {
+                for (i, o, _) in &obs.due_results {
                     let check = &phase.checks[*i];
                     j.record(JournalEvent::Check {
                         time: now,
@@ -614,34 +670,75 @@ impl Engine {
                 }
             }
 
-            // Gradual rollouts step forward on their own cadence.
-            if let PhaseKind::GradualRollout { to_percent, step_percent, step_duration, .. } =
-                &phase.kind
+            // Gradual rollouts step on their own cadence. A guarded
+            // rollout adapts the direction: it advances only while no
+            // sequential check shows instantaneous harm evidence at
+            // [`RAMP_WARN_LR`] or stronger, and retreats one step (never
+            // below the entry percent) while one does. Retreating is the
+            // cheap, reversible reaction — the absorbing abort stays with
+            // the always-valid p crossing α, which fails the phase through
+            // the ordinary check path below.
+            if let PhaseKind::GradualRollout {
+                from_percent,
+                to_percent,
+                step_percent,
+                step_duration,
+                guarded,
+            } = &phase.kind
             {
                 if now >= run.next_rollout_step && run.rollout_percent < *to_percent {
-                    run.rollout_percent = (run.rollout_percent + step_percent).min(*to_percent);
+                    let lr_harm = phase
+                        .checks
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, c)| c.scope == CheckScope::SequentialVsBaseline)
+                        .map(|(i, _)| run.sequential[i].lr_harm())
+                        .fold(0.0, f64::max);
+                    let warned = *guarded && lr_harm >= RAMP_WARN_LR;
+                    let (decision, next_percent) = if !warned {
+                        ("advance", (run.rollout_percent + step_percent).min(*to_percent))
+                    } else if run.rollout_percent > *from_percent {
+                        ("retreat", (run.rollout_percent - step_percent).max(*from_percent))
+                    } else {
+                        ("hold", run.rollout_percent)
+                    };
                     run.next_rollout_step = now + *step_duration;
-                    enact::enact_phase(
-                        &app,
-                        sim.router_mut(),
-                        &run.binding,
-                        &phase.kind,
-                        Some(run.rollout_percent),
-                    )?;
-                    if let Some(j) = journal.as_deref_mut() {
-                        j.record(JournalEvent::Enacted {
-                            time: now,
-                            strategy: run.name.clone(),
-                            phase: run.phase_names[p].clone(),
-                            kind: phase.kind.keyword(),
-                            percent: run.rollout_percent,
-                        });
+                    if *guarded {
+                        if let Some(j) = journal.as_deref_mut() {
+                            j.record(JournalEvent::Ramp {
+                                time: now,
+                                strategy: run.name.clone(),
+                                phase: run.phase_names[p].clone(),
+                                decision,
+                                percent: next_percent,
+                                lr_harm,
+                            });
+                        }
+                    }
+                    if next_percent != run.rollout_percent {
+                        run.rollout_percent = next_percent;
+                        enact::enact_phase(
+                            &app,
+                            sim.router_mut(),
+                            &run.binding,
+                            &phase.kind,
+                            Some(run.rollout_percent),
+                        )?;
+                        if let Some(j) = journal.as_deref_mut() {
+                            j.record(JournalEvent::Enacted {
+                                time: now,
+                                strategy: run.name.clone(),
+                                phase: run.phase_names[p].clone(),
+                                kind: phase.kind.keyword(),
+                                percent: run.rollout_percent,
+                            });
+                        }
                     }
                 }
             }
 
             if let (Some(j), Some(boundary)) = (journal.as_deref_mut(), &obs.boundary_results) {
-                for (i, o) in boundary.iter().enumerate() {
+                for (i, (o, _)) in boundary.iter().enumerate() {
                     let check = &phase.checks[i];
                     j.record(JournalEvent::Check {
                         time: now,
@@ -685,7 +782,8 @@ impl Engine {
             }
 
             // A conclusively failed due check fails the phase immediately.
-            let outcome = if obs.due_results.iter().any(|(_, o)| o.result == CheckResult::Fail) {
+            let due_failed = obs.due_results.iter().any(|(_, o, _)| o.result == CheckResult::Fail);
+            let mut outcome = if due_failed {
                 Some(PhaseOutcome::Failure)
             } else if let Some(boundary) = &obs.boundary_results {
                 // For gradual rollouts the phase only succeeds once the
@@ -694,11 +792,11 @@ impl Engine {
                     &phase.kind,
                     PhaseKind::GradualRollout { to_percent, .. } if run.rollout_percent < *to_percent
                 );
-                if boundary.iter().any(|o| o.result == CheckResult::Fail) {
+                if boundary.iter().any(|(o, _)| o.result == CheckResult::Fail) {
                     Some(PhaseOutcome::Failure)
                 } else if rollout_pending {
                     None
-                } else if boundary.iter().any(|o| o.result == CheckResult::Inconclusive) {
+                } else if boundary.iter().any(|(o, _)| o.result == CheckResult::Inconclusive) {
                     Some(PhaseOutcome::Inconclusive)
                 } else {
                     Some(PhaseOutcome::Success)
@@ -706,7 +804,58 @@ impl Engine {
             } else {
                 None
             };
+
+            // Early stopping: always-valid p-values stay valid under
+            // continuous monitoring, so a decided sequential verdict need
+            // not wait out the phase clock. Mid-phase, a phase whose
+            // checks are all sequential and all passing promotes
+            // immediately (gradual rollouts still ramp to their target
+            // percent first), and a sequential check crossing its harm
+            // threshold aborts through the due-check failure above — both
+            // journaled as `EarlyStop` with the deciding p.
+            let seq_idx: Vec<usize> = phase
+                .checks
+                .iter()
+                .enumerate()
+                .filter(|(_, c)| c.scope == CheckScope::SequentialVsBaseline)
+                .map(|(i, _)| i)
+                .collect();
+            let mut early_p: Option<f64> = None;
+            if obs.boundary_results.is_none() && !seq_idx.is_empty() {
+                if due_failed {
+                    let worst = obs
+                        .due_results
+                        .iter()
+                        .filter(|(i, o, _)| o.result == CheckResult::Fail && seq_idx.contains(i))
+                        .map(|(i, _, _)| run.sequential[*i].p_harm())
+                        .fold(f64::NAN, f64::max);
+                    if worst.is_finite() {
+                        early_p = Some(worst);
+                    }
+                } else if outcome.is_none()
+                    && seq_idx.len() == phase.checks.len()
+                    && !matches!(phase.kind, PhaseKind::GradualRollout { .. })
+                    && seq_idx.iter().all(|i| {
+                        run.sequential[*i].verdict(checks::sequential_alpha(&phase.checks[*i]))
+                            == CheckResult::Pass
+                    })
+                {
+                    outcome = Some(PhaseOutcome::Success);
+                    early_p = Some(
+                        seq_idx.iter().map(|i| run.sequential[*i].p_desired()).fold(0.0, f64::max),
+                    );
+                }
+            }
             let Some(outcome) = outcome else { continue };
+            if let (Some(j), Some(p_val)) = (journal.as_deref_mut(), early_p) {
+                j.record(JournalEvent::EarlyStop {
+                    time: now,
+                    strategy: run.name.clone(),
+                    phase: run.phase_names[p].clone(),
+                    outcome,
+                    p: p_val,
+                });
+            }
 
             let from = run.state;
             let mut next = run.machine.next(run.state, outcome);
@@ -745,6 +894,11 @@ impl Engine {
                     run.state = State::Phase(j_next);
                     run.phase_started = now;
                     run.scheduler = CheckScheduler::new(&next_phase.checks, now);
+                    // Every (re-)entry restarts the sequential tests from
+                    // scratch — a retry repeats the whole experiment, and
+                    // cumulative windows are anchored at the new
+                    // phase_started.
+                    run.sequential = vec![SequentialState::new(); next_phase.checks.len()];
                     let (percent, step_at) = rollout_init(&next_phase.kind, now);
                     run.rollout_percent = percent;
                     run.next_rollout_step = step_at;
@@ -1666,6 +1820,200 @@ mod tests {
         }
         assert_eq!(texts[0], texts[1], "same seed, same workers");
         assert_eq!(texts[0], texts[2], "same seed, 1 vs 4 workers");
+    }
+
+    /// One service pair with tunable error rates for the sequential
+    /// tests: equal latency so the error-rate metric is the only
+    /// difference between the sides.
+    fn seq_app(baseline_err: f64, candidate_err: f64) -> Application {
+        let mut b = Application::builder();
+        b.version(VersionSpec::new("svc", "1.0.0").capacity(10_000.0).endpoint(
+            EndpointDef::new("api", LatencyModel::Constant { ms: 20.0 }).error_rate(baseline_err),
+        ));
+        b.version(VersionSpec::new("svc", "2.0.0").capacity(10_000.0).endpoint(
+            EndpointDef::new("api", LatencyModel::Constant { ms: 20.0 }).error_rate(candidate_err),
+        ));
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn sequential_check_promotes_the_phase_early() {
+        // Candidate clearly better: the always-valid p crosses well before
+        // the 30-minute phase clock, and the engine promotes immediately.
+        let app = seq_app(0.3, 0.05);
+        let wl = workload(&app);
+        let mut sim = Simulation::new(app, 41);
+        let strategy = dsl::parse(
+            r#"strategy "seq" {
+                service "svc" baseline "1.0.0" candidate "2.0.0"
+                phase "canary" canary 50% for 30m {
+                  check error_rate sequential vs baseline < confidence 0.95 every 30s min_samples 20
+                  on success complete
+                  on failure rollback
+                }
+            }"#,
+        )
+        .unwrap();
+        let (report, journal) = Engine::default()
+            .execute_journaled(&mut sim, &[strategy], &wl, SimDuration::from_mins(40))
+            .unwrap();
+        assert_eq!(report.statuses[0].1, StrategyStatus::Completed);
+        let done = report.transitions.last().unwrap().time;
+        assert!(done < SimTime::from_mins(15), "promoted early, at {done}");
+        assert!(journal.events().iter().any(|e| matches!(
+            e,
+            JournalEvent::EarlyStop { outcome: PhaseOutcome::Success, p, .. } if *p <= 0.05
+        )));
+        let text = journal.to_jsonl();
+        assert_eq!(crate::journal::Journal::from_jsonl(&text).unwrap().to_jsonl(), text);
+    }
+
+    #[test]
+    fn sequential_check_aborts_early_on_harm() {
+        // Candidate clearly worse: the harm-direction p crosses mid-phase
+        // and the strategy rolls back without waiting for the boundary.
+        let app = seq_app(0.05, 0.4);
+        let wl = workload(&app);
+        let mut sim = Simulation::new(app, 43);
+        let strategy = dsl::parse(
+            r#"strategy "seq-bad" {
+                service "svc" baseline "1.0.0" candidate "2.0.0"
+                phase "canary" canary 50% for 30m {
+                  check error_rate sequential vs baseline < confidence 0.95 every 30s min_samples 20
+                  on success complete
+                  on failure rollback
+                }
+            }"#,
+        )
+        .unwrap();
+        let (report, journal) = Engine::default()
+            .execute_journaled(&mut sim, &[strategy], &wl, SimDuration::from_mins(40))
+            .unwrap();
+        assert_eq!(report.statuses[0].1, StrategyStatus::RolledBack);
+        let done = report.transitions.last().unwrap().time;
+        assert!(done < SimTime::from_mins(10), "aborted early, at {done}");
+        assert!(journal.events().iter().any(|e| matches!(
+            e,
+            JournalEvent::EarlyStop { outcome: PhaseOutcome::Failure, p, .. } if *p <= 0.05
+        )));
+    }
+
+    #[test]
+    fn guarded_ramp_advances_to_completion_when_healthy() {
+        let app = seq_app(0.3, 0.05);
+        let wl = workload(&app);
+        let mut sim = Simulation::new(app, 47);
+        let strategy = dsl::parse(
+            r#"strategy "ramp-good" {
+                service "svc" baseline "1.0.0" candidate "2.0.0"
+                phase "ramp" ramp from 10% to 100% step 30% every 1m guarded for 10m {
+                  check error_rate sequential vs baseline < confidence 0.95 every 30s min_samples 20
+                  on success complete
+                  on failure rollback
+                }
+            }"#,
+        )
+        .unwrap();
+        let (report, journal) = Engine::default()
+            .execute_journaled(&mut sim, &[strategy], &wl, SimDuration::from_mins(15))
+            .unwrap();
+        assert_eq!(report.statuses[0].1, StrategyStatus::Completed);
+        let decisions: Vec<&str> = journal
+            .events()
+            .iter()
+            .filter_map(|e| match e {
+                JournalEvent::Ramp { decision, .. } => Some(*decision),
+                _ => None,
+            })
+            .collect();
+        assert!(!decisions.is_empty(), "guarded ramp journals its decisions");
+        assert!(
+            decisions.iter().all(|d| *d == "advance"),
+            "healthy ramp only advances: {decisions:?}"
+        );
+    }
+
+    #[test]
+    fn guarded_ramp_retreats_under_harm_before_the_sequential_abort() {
+        // A mildly worse candidate under a very strict confidence: the
+        // instantaneous warn threshold (LR ≥ 2) trips long before the
+        // absorbing abort (always-valid p ≤ 0.001 ⇔ LR ≥ 1000), so the
+        // ramp retreats/holds at its step boundaries and the strategy
+        // still ends in a rollback once the evidence is conclusive.
+        let app = seq_app(0.1, 0.22);
+        let wl = workload(&app);
+        let mut sim = Simulation::new(app, 53);
+        let strategy = dsl::parse(
+            r#"strategy "ramp-bad" {
+                service "svc" baseline "1.0.0" candidate "2.0.0"
+                phase "ramp" ramp from 10% to 100% step 30% every 1m guarded for 40m {
+                  check error_rate sequential vs baseline < confidence 0.999 every 30s min_samples 20
+                  on success complete
+                  on failure rollback
+                }
+            }"#,
+        )
+        .unwrap();
+        let (report, journal) = Engine::default()
+            .execute_journaled(&mut sim, &[strategy], &wl, SimDuration::from_mins(45))
+            .unwrap();
+        assert_eq!(report.statuses[0].1, StrategyStatus::RolledBack);
+        let decisions: Vec<(&str, f64)> = journal
+            .events()
+            .iter()
+            .filter_map(|e| match e {
+                JournalEvent::Ramp { decision, percent, .. } => Some((*decision, *percent)),
+                _ => None,
+            })
+            .collect();
+        assert!(
+            decisions.iter().any(|(d, _)| *d == "retreat" || *d == "hold"),
+            "harm evidence throttles the ramp: {decisions:?}"
+        );
+        // The ramp never retreats below its entry percent.
+        assert!(decisions.iter().all(|(_, pct)| *pct >= 10.0), "{decisions:?}");
+    }
+
+    #[test]
+    fn sequential_journal_is_byte_identical_across_runs_and_sim_workers() {
+        // The full sequential feature set — early promotion, guarded
+        // ramping — journals byte-identically across same-seed runs and
+        // across engine/sim worker counts, like every other event kind.
+        let src = r#"strategy "seq-pipeline" {
+            service "svc" baseline "1.0.0" candidate "2.0.0"
+            phase "canary" canary 30% for 30m {
+              check error_rate sequential vs baseline < confidence 0.95 every 30s min_samples 20
+              on success goto "ramp"
+              on failure rollback
+            }
+            phase "ramp" ramp from 30% to 100% step 35% every 1m guarded for 8m {
+              check error_rate sequential vs baseline < confidence 0.95 every 30s min_samples 20
+              on success complete
+              on failure rollback
+            }
+        }"#;
+        let mut texts = Vec::new();
+        for (workers, sim_workers) in [(1, 1), (1, 1), (4, 4)] {
+            let app = seq_app(0.3, 0.05);
+            let wl = workload(&app);
+            let mut sim = Simulation::new(app, 61);
+            let strategy = dsl::parse(src).unwrap();
+            let engine = Engine::new(EngineConfig {
+                parallel_threshold: 1,
+                workers,
+                sim_workers,
+                ..Default::default()
+            });
+            let (report, journal) = engine
+                .execute_journaled(&mut sim, &[strategy], &wl, SimDuration::from_mins(60))
+                .unwrap();
+            assert_eq!(report.statuses[0].1, StrategyStatus::Completed);
+            assert!(journal.events().iter().any(|e| matches!(e, JournalEvent::EarlyStop { .. })));
+            assert!(journal.events().iter().any(|e| matches!(e, JournalEvent::Ramp { .. })));
+            texts.push(journal.to_jsonl());
+        }
+        assert_eq!(texts[0], texts[1], "same seed, same workers");
+        assert_eq!(texts[0], texts[2], "same seed, 4 engine + 4 sim workers");
     }
 
     #[test]

@@ -155,6 +155,41 @@ pub enum JournalEvent {
         /// Its canary − baseline p95 latency delta (ms).
         p95_delta_ms: f64,
     },
+    /// A guarded gradual rollout took a ramp decision at a step boundary:
+    /// advance one step, retreat one step, or hold at the floor — driven
+    /// by the instantaneous harm evidence of the phase's sequential
+    /// checks (see [`crate::checks::SequentialState::warns`]).
+    Ramp {
+        /// Virtual time of the decision (the step boundary).
+        time: SimTime,
+        /// The strategy ramping.
+        strategy: Arc<str>,
+        /// Phase name.
+        phase: Arc<str>,
+        /// The decision taken (`advance`, `retreat`, or `hold`).
+        decision: &'static str,
+        /// Candidate traffic percent after the decision.
+        percent: f64,
+        /// Strongest instantaneous harm-direction likelihood ratio among
+        /// the phase's sequential guards at decision time.
+        lr_harm: f64,
+    },
+    /// A phase concluded before its scheduled boundary: the always-valid
+    /// sequential checks reached a verdict mid-phase, so the engine
+    /// promoted (or aborted) without waiting out the clock.
+    EarlyStop {
+        /// Virtual time of the early conclusion.
+        time: SimTime,
+        /// The strategy that stopped early.
+        strategy: Arc<str>,
+        /// Phase name.
+        phase: Arc<str>,
+        /// The outcome the sequential evidence decided.
+        outcome: PhaseOutcome,
+        /// The deciding always-valid p-value: the worst (largest) p among
+        /// the sequential checks that crossed their threshold.
+        p: f64,
+    },
     /// A retired metric scope was pruned from the live store (the
     /// journal keeps the long-term record).
     ScopeCleared {
@@ -197,6 +232,11 @@ fn chaos_keyword(name: &str) -> Option<&'static str> {
     ["outage", "latency_spike", "error_burst"].into_iter().find(|k| *k == name)
 }
 
+/// Same resolution for guarded-ramp decisions.
+fn ramp_keyword(name: &str) -> Option<&'static str> {
+    ["advance", "retreat", "hold"].into_iter().find(|k| *k == name)
+}
+
 impl JournalEvent {
     /// Virtual time of the event.
     pub fn time(&self) -> SimTime {
@@ -207,6 +247,8 @@ impl JournalEvent {
             | JournalEvent::Chaos { time, .. }
             | JournalEvent::Breaker { time, .. }
             | JournalEvent::HealthSnapshot { time, .. }
+            | JournalEvent::Ramp { time, .. }
+            | JournalEvent::EarlyStop { time, .. }
             | JournalEvent::ScopeCleared { time, .. }
             | JournalEvent::Tick { time, .. } => *time,
         }
@@ -221,6 +263,8 @@ impl JournalEvent {
             | JournalEvent::Transition { strategy, .. }
             | JournalEvent::Chaos { strategy, .. }
             | JournalEvent::HealthSnapshot { strategy, .. }
+            | JournalEvent::Ramp { strategy, .. }
+            | JournalEvent::EarlyStop { strategy, .. }
             | JournalEvent::ScopeCleared { strategy, .. } => Some(strategy.as_ref()),
             JournalEvent::Breaker { .. } | JournalEvent::Tick { .. } => None,
         }
@@ -315,6 +359,23 @@ impl JournalEvent {
                 ("score", Json::Num(*score)),
                 ("error_rate_delta", Json::Num(*error_rate_delta)),
                 ("p95_delta_ms", Json::Num(*p95_delta_ms)),
+            ]),
+            JournalEvent::Ramp { time, strategy, phase, decision, percent, lr_harm } => obj(vec![
+                ("ev", Json::Str("ramp".into())),
+                ("t", t(time)),
+                ("strategy", Json::Str(strategy.to_string())),
+                ("phase", Json::Str(phase.to_string())),
+                ("decision", Json::Str(decision.to_string())),
+                ("percent", Json::Num(*percent)),
+                ("lr_harm", Json::Num(*lr_harm)),
+            ]),
+            JournalEvent::EarlyStop { time, strategy, phase, outcome, p } => obj(vec![
+                ("ev", Json::Str("early_stop".into())),
+                ("t", t(time)),
+                ("strategy", Json::Str(strategy.to_string())),
+                ("phase", Json::Str(phase.to_string())),
+                ("outcome", Json::Str(outcome.name().into())),
+                ("p", Json::Num(*p)),
             ]),
             JournalEvent::ScopeCleared { time, strategy, scope } => obj(vec![
                 ("ev", Json::Str("scope_cleared".into())),
@@ -428,6 +489,28 @@ impl JournalEvent {
                     .get("p95_delta_ms")
                     .and_then(Json::as_f64)
                     .ok_or_else(|| bad("p95_delta_ms"))?,
+            }),
+            Some("ramp") => Ok(JournalEvent::Ramp {
+                time: time(json)?,
+                strategy: text(json, "strategy")?.into(),
+                phase: text(json, "phase")?.into(),
+                decision: ramp_keyword(&text(json, "decision")?).ok_or_else(|| bad("decision"))?,
+                percent: json
+                    .get("percent")
+                    .and_then(Json::as_f64)
+                    .ok_or_else(|| bad("percent"))?,
+                lr_harm: json
+                    .get("lr_harm")
+                    .and_then(Json::as_f64)
+                    .ok_or_else(|| bad("lr_harm"))?,
+            }),
+            Some("early_stop") => Ok(JournalEvent::EarlyStop {
+                time: time(json)?,
+                strategy: text(json, "strategy")?.into(),
+                phase: text(json, "phase")?.into(),
+                outcome: PhaseOutcome::from_name(&text(json, "outcome")?)
+                    .ok_or_else(|| bad("outcome"))?,
+                p: json.get("p").and_then(Json::as_f64).ok_or_else(|| bad("p"))?,
             }),
             Some("scope_cleared") => Ok(JournalEvent::ScopeCleared {
                 time: time(json)?,

@@ -44,6 +44,13 @@ pub enum PhaseKind {
         step_percent: f64,
         /// Time spent per step.
         step_duration: SimDuration,
+        /// Check-guarded adaptive ramping: when `true`, the engine advances
+        /// a step only while none of the phase's sequential checks
+        /// ([`CheckScope::SequentialVsBaseline`]) shows instantaneous
+        /// evidence of harm, retreats a step while one does, and still
+        /// aborts outright when a guard's always-valid p-value concludes
+        /// harm. Requires at least one sequential check in the phase.
+        guarded: bool,
     },
 }
 
@@ -75,6 +82,17 @@ pub enum CheckScope {
     /// significance level `threshold` — the rigorous hypothesis testing
     /// that characterizes business-driven experiments (Table 2.5).
     SignificantVsBaseline,
+    /// Always-valid sequential test (mixture SPRT,
+    /// [`cex_core::sequential`]) between the candidate's and baseline's
+    /// *cumulative* windows since phase start. `threshold` is the
+    /// confidence level (e.g. `0.95`): the check passes the moment the
+    /// always-valid p-value for the desired direction (per the comparator)
+    /// drops to `1 - threshold`, and fails the moment the opposite
+    /// direction does — valid under continuous monitoring, unlike
+    /// [`CheckScope::SignificantVsBaseline`], whose fixed-α re-testing
+    /// inflates the realized false-abort rate ("peeking"). A conclusive
+    /// verdict lets the engine end the phase early.
+    SequentialVsBaseline,
     /// The end-to-end application scope (user-perceived metrics) — what
     /// chaos-recovery phases bound: "whatever happens to the candidate,
     /// users must not feel it".
@@ -96,6 +114,7 @@ impl CheckScope {
             CheckScope::Baseline => "baseline",
             CheckScope::CandidateVsBaseline => "vs_baseline",
             CheckScope::SignificantVsBaseline => "significant_vs_baseline",
+            CheckScope::SequentialVsBaseline => "sequential_vs_baseline",
             CheckScope::App => "app",
             CheckScope::Trace => "trace",
         }
@@ -108,6 +127,7 @@ impl CheckScope {
             "baseline" => CheckScope::Baseline,
             "vs_baseline" => CheckScope::CandidateVsBaseline,
             "significant_vs_baseline" => CheckScope::SignificantVsBaseline,
+            "sequential_vs_baseline" => CheckScope::SequentialVsBaseline,
             "app" => CheckScope::App,
             "trace" => CheckScope::Trace,
             _ => return None,
@@ -159,16 +179,27 @@ pub struct Check {
     pub scope: CheckScope,
     /// Comparator relating the observed value to the threshold.
     pub comparator: Comparator,
-    /// Threshold in the metric's unit (or a ratio for
-    /// [`CheckScope::CandidateVsBaseline`]).
+    /// Threshold in the metric's unit (a ratio for
+    /// [`CheckScope::CandidateVsBaseline`], the significance level α for
+    /// [`CheckScope::SignificantVsBaseline`], the confidence level for
+    /// [`CheckScope::SequentialVsBaseline`]).
     pub threshold: f64,
-    /// Length of the trailing evaluation window.
+    /// Length of the trailing evaluation window. Ignored by
+    /// [`CheckScope::SequentialVsBaseline`], which always reads the
+    /// cumulative window since phase start (a sequential test is defined
+    /// over *all* evidence gathered so far).
     pub window: SimDuration,
     /// Evaluation cadence.
     pub interval: SimDuration,
     /// Observations needed inside the window before the check is
     /// conclusive.
     pub min_samples: u64,
+    /// Mixing scale τ of the sequential test's effect-size prior, in the
+    /// metric's unit ([`CheckScope::SequentialVsBaseline`] only). `None`
+    /// freezes the data-driven default
+    /// ([`cex_core::sequential::tau_heuristic`]) at the first conclusive
+    /// look.
+    pub tau: Option<f64>,
 }
 
 impl Check {
@@ -183,21 +214,48 @@ impl Check {
             window: SimDuration::from_secs(60),
             interval: SimDuration::from_secs(30),
             min_samples: 20,
+            tau: None,
+        }
+    }
+
+    /// A sequential-vs-baseline check at the given confidence level, with
+    /// a 30-second cadence and a 20-sample conclusiveness floor.
+    pub fn sequential(metric: MetricKind, comparator: Comparator, confidence: f64) -> Self {
+        Check {
+            metric,
+            scope: CheckScope::SequentialVsBaseline,
+            comparator,
+            threshold: confidence,
+            window: SimDuration::ZERO,
+            interval: SimDuration::from_secs(30),
+            min_samples: 20,
+            tau: None,
         }
     }
 }
 
 impl fmt::Display for Check {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "check {} {} {} over {} every {}",
-            self.metric,
-            self.comparator.symbol(),
-            self.threshold,
-            self.window,
-            self.interval
-        )
+        if self.scope == CheckScope::SequentialVsBaseline {
+            write!(
+                f,
+                "check {} sequential vs baseline {} confidence {} every {}",
+                self.metric,
+                self.comparator.symbol(),
+                self.threshold,
+                self.interval
+            )
+        } else {
+            write!(
+                f,
+                "check {} {} {} over {} every {}",
+                self.metric,
+                self.comparator.symbol(),
+                self.threshold,
+                self.window,
+                self.interval
+            )
+        }
     }
 }
 
@@ -397,6 +455,7 @@ impl Strategy {
                     to_percent,
                     step_percent,
                     step_duration,
+                    guarded,
                 } => {
                     if !(0.0..=100.0).contains(from_percent)
                         || !(0.0..=100.0).contains(to_percent)
@@ -416,15 +475,51 @@ impl Strategy {
                             phase.name
                         ));
                     }
+                    if *guarded
+                        && !phase.checks.iter().any(|c| c.scope == CheckScope::SequentialVsBaseline)
+                    {
+                        return invalid(format!(
+                            "phase {}: guarded rollout needs a sequential check",
+                            phase.name
+                        ));
+                    }
                 }
                 PhaseKind::DarkLaunch => {}
             }
             for check in &phase.checks {
-                if check.window.is_zero() || check.interval.is_zero() {
+                if check.interval.is_zero() {
                     return invalid(format!(
-                        "phase {}: checks need positive window and interval",
+                        "phase {}: checks need a positive interval",
                         phase.name
                     ));
+                }
+                if check.interval > phase.duration {
+                    // The scheduler's first due time is phase_start +
+                    // interval; an interval past the phase boundary means
+                    // the check never fires mid-phase and the phase runs
+                    // unguarded. Reject the misconfiguration outright.
+                    return invalid(format!(
+                        "phase {}: check interval {} exceeds phase duration {}",
+                        phase.name, check.interval, phase.duration
+                    ));
+                }
+                if check.scope == CheckScope::SequentialVsBaseline {
+                    if !(0.5..1.0).contains(&check.threshold) {
+                        return invalid(format!(
+                            "phase {}: sequential confidence must be in 0.5..1.0",
+                            phase.name
+                        ));
+                    }
+                    if let Some(tau) = check.tau {
+                        if tau <= 0.0 {
+                            return invalid(format!(
+                                "phase {}: sequential tau must be positive",
+                                phase.name
+                            ));
+                        }
+                    }
+                } else if check.window.is_zero() {
+                    return invalid(format!("phase {}: checks need a positive window", phase.name));
                 }
             }
             if let Some(chaos) = &phase.chaos {
@@ -506,6 +601,7 @@ mod tests {
                         to_percent: 100.0,
                         step_percent: 30.0,
                         step_duration: SimDuration::from_mins(5),
+                        guarded: false,
                     },
                     duration: SimDuration::from_mins(30),
                     checks: vec![Check::candidate(MetricKind::ResponseTime, Comparator::Lt, 200.0)],
@@ -567,12 +663,63 @@ mod tests {
             to_percent: 20.0,
             step_percent: 10.0,
             step_duration: SimDuration::from_mins(1),
+            guarded: false,
         };
         assert!(s.validate().is_err());
 
         let mut s = sample_strategy();
         s.phases[0].checks[0].interval = SimDuration::ZERO;
         assert!(s.validate().is_err());
+    }
+
+    #[test]
+    fn interval_past_phase_duration_is_rejected() {
+        // Regression: the scheduler's first due time is phase_start +
+        // interval, so a check whose interval exceeded the phase duration
+        // silently never fired mid-phase. Validation must reject it.
+        let mut s = sample_strategy();
+        s.phases[0].checks[0].interval = s.phases[0].duration + SimDuration::from_secs(1);
+        let err = s.validate().unwrap_err().to_string();
+        assert!(err.contains("exceeds phase duration"), "{err}");
+        // An interval equal to the duration still fires at the boundary.
+        let mut s = sample_strategy();
+        s.phases[0].checks[0].interval = s.phases[0].duration;
+        s.phases[0].checks[0].window = s.phases[0].duration;
+        s.validate().unwrap();
+    }
+
+    #[test]
+    fn sequential_check_validation() {
+        let mut s = sample_strategy();
+        // Sequential checks need no window (cumulative since phase start).
+        s.phases[0].checks[0] = Check::sequential(MetricKind::ErrorRate, Comparator::Lt, 0.95);
+        s.validate().unwrap();
+        // Confidence is a level, not an α: 0.5..1.0.
+        s.phases[0].checks[0].threshold = 0.05;
+        assert!(s.validate().is_err());
+        s.phases[0].checks[0].threshold = 1.0;
+        assert!(s.validate().is_err());
+        // τ, when pinned, must be positive.
+        s.phases[0].checks[0].threshold = 0.95;
+        s.phases[0].checks[0].tau = Some(0.0);
+        assert!(s.validate().is_err());
+        s.phases[0].checks[0].tau = Some(0.1);
+        s.validate().unwrap();
+    }
+
+    #[test]
+    fn guarded_rollout_needs_sequential_check() {
+        let mut s = sample_strategy();
+        s.phases[1].kind = PhaseKind::GradualRollout {
+            from_percent: 10.0,
+            to_percent: 100.0,
+            step_percent: 30.0,
+            step_duration: SimDuration::from_mins(5),
+            guarded: true,
+        };
+        assert!(s.validate().is_err());
+        s.phases[1].checks.push(Check::sequential(MetricKind::ErrorRate, Comparator::Lt, 0.95));
+        s.validate().unwrap();
     }
 
     #[test]

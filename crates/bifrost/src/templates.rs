@@ -53,6 +53,7 @@ impl HealthCriteria {
             window: self.window,
             interval: self.interval,
             min_samples: self.min_samples,
+            tau: None,
         }]
     }
 
@@ -66,6 +67,7 @@ impl HealthCriteria {
                 window: self.window,
                 interval: self.interval,
                 min_samples: self.min_samples,
+                tau: None,
             },
             Check {
                 metric: MetricKind::ResponseTime,
@@ -75,6 +77,7 @@ impl HealthCriteria {
                 window: self.window,
                 interval: self.interval,
                 min_samples: self.min_samples,
+                tau: None,
             },
         ]
     }
@@ -113,6 +116,7 @@ pub fn canary_then_rollout(
                     to_percent: 100.0,
                     step_percent: 15.0,
                     step_duration: SimDuration::from_mins(5),
+                    guarded: false,
                 },
                 duration: SimDuration::from_mins(45),
                 checks: criteria.absolute_checks(),
@@ -148,6 +152,7 @@ pub fn four_phase(
         window: SimDuration::from_mins(20),
         interval: SimDuration::from_mins(2),
         min_samples: criteria.min_samples.max(200),
+        tau: None,
     };
     let strategy = Strategy {
         name: name.into(),
@@ -197,6 +202,7 @@ pub fn four_phase(
                     to_percent: 100.0,
                     step_percent: 25.0,
                     step_duration: SimDuration::from_mins(5),
+                    guarded: false,
                 },
                 duration: SimDuration::from_mins(30),
                 checks: criteria.absolute_checks(),
@@ -261,6 +267,7 @@ pub fn chaos_recovery(
         window: criteria.window,
         interval: criteria.interval,
         min_samples: criteria.min_samples,
+        tau: None,
     };
     let strategy = Strategy {
         name: name.into(),
@@ -288,6 +295,78 @@ pub fn chaos_recovery(
     strategy
 }
 
+/// An adaptive sequential strategy: a canary gated by an always-valid
+/// sequential error-rate test (promoting or aborting the moment evidence
+/// is sufficient, no peeking penalty), then a check-guarded ramp that
+/// advances a step only while the guard sees no instantaneous evidence of
+/// harm, retreats while it does, and aborts when the always-valid p-value
+/// concludes harm. A ramp that reaches its boundary with the guard still
+/// undecided promotes: "no harm detected through the full ramp".
+pub fn sequential_canary_then_guarded_ramp(
+    name: impl Into<String>,
+    service: impl Into<String>,
+    baseline: impl Into<String>,
+    candidate: impl Into<String>,
+    confidence: f64,
+    criteria: HealthCriteria,
+) -> Strategy {
+    let guard = Check {
+        metric: MetricKind::ErrorRate,
+        scope: CheckScope::SequentialVsBaseline,
+        // Desired direction `<`: a lower candidate error rate promotes
+        // early; a significantly higher one is harm and aborts.
+        comparator: Comparator::Lt,
+        threshold: confidence,
+        window: SimDuration::ZERO,
+        interval: criteria.interval,
+        min_samples: criteria.min_samples,
+        tau: None,
+    };
+    let strategy = Strategy {
+        name: name.into(),
+        service: service.into(),
+        baseline: baseline.into(),
+        candidate: candidate.into(),
+        variant_b: None,
+        phases: vec![
+            Phase {
+                name: "canary".into(),
+                kind: PhaseKind::Canary { traffic_percent: 10.0 },
+                duration: SimDuration::from_mins(20),
+                checks: {
+                    let mut checks = vec![guard.clone()];
+                    checks.extend(criteria.checks());
+                    checks
+                },
+                chaos: None,
+                on_success: Action::Goto("ramp".into()),
+                on_failure: Action::Rollback,
+                // The sequential guard staying undecided means no harm was
+                // found — proceed to the ramp rather than retrying forever.
+                on_inconclusive: Action::Goto("ramp".into()),
+            },
+            Phase {
+                name: "ramp".into(),
+                kind: PhaseKind::GradualRollout {
+                    from_percent: 10.0,
+                    to_percent: 100.0,
+                    step_percent: 15.0,
+                    step_duration: SimDuration::from_mins(5),
+                    guarded: true,
+                },
+                duration: SimDuration::from_mins(45),
+                checks: vec![guard],
+                chaos: None,
+                on_success: Action::Complete,
+                on_failure: Action::Rollback,
+                on_inconclusive: Action::Complete,
+            },
+        ],
+    };
+    debug_assert!(strategy.validate().is_ok());
+    strategy
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -310,6 +389,14 @@ mod tests {
             ),
             dark_probe("d", "svc", "1", "2", HealthCriteria::default()),
             chaos_recovery("x", "svc", "1", "2", 0.02, HealthCriteria::default()),
+            sequential_canary_then_guarded_ramp(
+                "q",
+                "svc",
+                "1",
+                "2",
+                0.95,
+                HealthCriteria::default(),
+            ),
         ];
         for strategy in strategies {
             strategy.validate().unwrap();
@@ -351,6 +438,29 @@ mod tests {
         assert_eq!(spec.target, ChaosTarget::Candidate);
         assert!(spec.start_after + spec.duration <= phase.duration, "outage fits in the phase");
         assert!(phase.checks.iter().all(|c| c.scope == CheckScope::App));
+    }
+
+    #[test]
+    fn guarded_ramp_template_is_guarded_and_sequential() {
+        let s = sequential_canary_then_guarded_ramp(
+            "q",
+            "svc",
+            "1",
+            "2",
+            0.99,
+            HealthCriteria::default(),
+        );
+        let ramp = s.phase("ramp").unwrap();
+        assert!(matches!(ramp.kind, PhaseKind::GradualRollout { guarded: true, .. }));
+        let guard = ramp
+            .checks
+            .iter()
+            .find(|c| c.scope == CheckScope::SequentialVsBaseline)
+            .expect("sequential guard");
+        assert_eq!(guard.threshold, 0.99);
+        // A ramp ending with the guard undecided promotes rather than
+        // looping forever on retries.
+        assert_eq!(ramp.on_inconclusive, Action::Complete);
     }
 
     #[test]

@@ -22,6 +22,8 @@
 //! - [`simtime`] — virtual time used by the discrete-event substrate.
 //! - [`stats`] — two-sample hypothesis testing (Welch's t-test) powering
 //!   significance checks for business-driven experiments.
+//! - [`sequential`] — always-valid sequential testing (mixture SPRT) so
+//!   checks can monitor continuously without the fixed-α "peeking" bug.
 //! - [`uncertainty`] — the scalar uncertainty notion used when classifying
 //!   changes (Section 1.2.4 of the dissertation).
 //! - [`rng`] — deterministic, seedable randomness helpers so every experiment
@@ -58,6 +60,7 @@ pub mod intern;
 pub mod json;
 pub mod metrics;
 pub mod rng;
+pub mod sequential;
 pub mod simtime;
 pub mod stats;
 pub mod traffic;

@@ -1,0 +1,306 @@
+//! Always-valid sequential testing for continuously monitored experiments.
+//!
+//! Re-running a fixed-α test (like [`crate::stats::welch_test`]) every time
+//! fresh data arrives and stopping at the first significant look — "peeking"
+//! — inflates the realized false-positive rate far past the nominal α: each
+//! look is another chance for noise to cross the threshold. Staged-rollout
+//! frameworks solve this with *always-valid* p-values from a **mixture
+//! sequential probability ratio test** (mSPRT): the p-value process is valid
+//! at every sample size simultaneously, so a check may inspect it at every
+//! tick and stop the moment it crosses α without any multiplicity
+//! correction.
+//!
+//! This module implements the mSPRT over the two-sample mean difference,
+//! computed from the same streaming [`Summary`] statistics the fixed-window
+//! Welch test reads — no per-observation storage and no new dependencies.
+//!
+//! # Derivation
+//!
+//! Let `θ̂_n = x̄_c − x̄_b` be the observed mean difference after `n`
+//! observations, with estimated variance `V_n = s_c²/n_c + s_b²/n_b`
+//! (the square of Welch's standard error). Under `H0: θ = 0`,
+//! `θ̂_n ~ N(0, V_n)` approximately; under the alternative the effect is
+//! given a conjugate mixing prior `θ ~ N(0, τ²)`. Integrating the
+//! likelihood ratio over the prior gives the closed-form mixture LR
+//!
+//! ```text
+//! Λ_n = sqrt(V_n / (V_n + τ²)) · exp( τ² θ̂_n² / (2 V_n (V_n + τ²)) )
+//! ```
+//!
+//! `Λ_n` is (asymptotically) a non-negative martingale with mean 1 under
+//! `H0`, so by Ville's inequality `P(sup_n Λ_n ≥ 1/α) ≤ α`: the running
+//! minimum of `min(1, 1/Λ_n)` is an always-valid p-value
+//! ([`AlwaysValidP`]). The mixing scale `τ` encodes the size of effects
+//! the test is tuned to detect; it must be fixed before (or frozen early
+//! in) the monitoring run for the guarantee to hold.
+
+use crate::metrics::Summary;
+
+/// One evaluation of the mixture sequential probability ratio test.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SequentialTest {
+    /// Observed mean difference (candidate − baseline).
+    pub theta: f64,
+    /// Estimated variance of that difference (`s_c²/n_c + s_b²/n_b`).
+    pub variance: f64,
+    /// Natural log of the mixture likelihood ratio `Λ_n` against `H0: θ=0`.
+    /// Kept in log space so extreme evidence cannot overflow.
+    pub ln_lambda: f64,
+}
+
+impl SequentialTest {
+    /// Mixture likelihood ratio `Λ_n` (may be `+∞` for extreme evidence).
+    pub fn lambda(&self) -> f64 {
+        self.ln_lambda.exp()
+    }
+
+    /// The p-value contribution of this look: `min(1, 1/Λ_n)`. Feed it to
+    /// [`AlwaysValidP::observe`] to maintain the running always-valid p.
+    pub fn p_value(&self) -> f64 {
+        if self.ln_lambda <= 0.0 {
+            1.0
+        } else {
+            (-self.ln_lambda).exp()
+        }
+    }
+}
+
+/// Log mixture likelihood ratio for an observed effect `theta` whose
+/// estimator has variance `v`, under a `N(0, τ²)` mixing prior.
+///
+/// # Panics
+///
+/// Panics when `v` or `tau` is not positive.
+pub fn ln_mixture_lr(theta: f64, v: f64, tau: f64) -> f64 {
+    assert!(v > 0.0, "estimator variance must be positive");
+    assert!(tau > 0.0, "mixing scale must be positive");
+    let t2 = tau * tau;
+    0.5 * (v / (v + t2)).ln() + t2 * theta * theta / (2.0 * v * (v + t2))
+}
+
+/// Evaluates the mSPRT on a candidate/baseline summary pair with mixing
+/// scale `tau`.
+///
+/// Returns `None` when either side has fewer than two observations or the
+/// pooled standard error is zero (no variance estimate to normalize by —
+/// the mixture test cannot be formed, mirroring the degenerate branch of
+/// [`crate::stats::welch_test`]).
+///
+/// # Panics
+///
+/// Panics when `tau` is not positive.
+pub fn msprt(candidate: &Summary, baseline: &Summary, tau: f64) -> Option<SequentialTest> {
+    assert!(tau > 0.0, "mixing scale must be positive");
+    if candidate.count < 2 || baseline.count < 2 {
+        return None;
+    }
+    let n1 = candidate.count as f64;
+    let n2 = baseline.count as f64;
+    let v1 = candidate.std_dev * candidate.std_dev;
+    let v2 = baseline.std_dev * baseline.std_dev;
+    let v = v1 / n1 + v2 / n2;
+    if v <= 0.0 {
+        return None;
+    }
+    let theta = candidate.mean - baseline.mean;
+    Some(SequentialTest { theta, variance: v, ln_lambda: ln_mixture_lr(theta, v, tau) })
+}
+
+/// A data-driven default for the mixing scale `τ`: half the pooled
+/// per-observation standard deviation, i.e. the prior expects effects on
+/// the order of half a noise standard deviation. Callers that know the
+/// effect size they care about should pin `τ` explicitly; whichever value
+/// is used must then stay **frozen** for the rest of the monitoring run.
+///
+/// Returns `None` when both variances are zero.
+pub fn tau_heuristic(candidate: &Summary, baseline: &Summary) -> Option<f64> {
+    let v1 = candidate.std_dev * candidate.std_dev;
+    let v2 = baseline.std_dev * baseline.std_dev;
+    let pooled = ((v1 + v2) / 2.0).sqrt();
+    if pooled > 0.0 {
+        Some(0.5 * pooled)
+    } else {
+        None
+    }
+}
+
+/// The running always-valid p-value: the monotone non-increasing minimum of
+/// `min(1, 1/Λ_n)` over all looks so far. Valid at every look
+/// simultaneously, so "stop the first time it crosses α" realizes a
+/// false-positive rate of at most α regardless of how often it is checked.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AlwaysValidP {
+    p: f64,
+}
+
+impl Default for AlwaysValidP {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl AlwaysValidP {
+    /// Starts a fresh process at p = 1 (no evidence).
+    pub fn new() -> Self {
+        AlwaysValidP { p: 1.0 }
+    }
+
+    /// Restores a process from a previously observed p (journal replay).
+    pub fn from_p(p: f64) -> Self {
+        AlwaysValidP { p: p.clamp(0.0, 1.0) }
+    }
+
+    /// Folds in one look and returns the updated running p.
+    pub fn observe(&mut self, test: &SequentialTest) -> f64 {
+        self.p = self.p.min(test.p_value());
+        self.p
+    }
+
+    /// The current always-valid p-value.
+    pub fn current(&self) -> f64 {
+        self.p
+    }
+
+    /// `true` once the process has crossed significance level `alpha`.
+    /// Crossing is absorbing: the running minimum never recovers.
+    pub fn significant(&self, alpha: f64) -> bool {
+        self.p <= alpha
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::OnlineStats;
+    use crate::rng::{sub_seed, SplitMix64};
+
+    fn summary(mean: f64, std_dev: f64, count: u64) -> Summary {
+        Summary { count, mean, std_dev, min: mean - std_dev, max: mean + std_dev }
+    }
+
+    #[test]
+    fn null_effect_has_lambda_below_one() {
+        // At θ̂ = 0 the mixture LR is sqrt(V/(V+τ²)) < 1, so p stays 1.
+        let t = msprt(&summary(0.05, 0.2, 500), &summary(0.05, 0.2, 500), 0.1).unwrap();
+        assert!(t.ln_lambda < 0.0);
+        assert_eq!(t.p_value(), 1.0);
+    }
+
+    #[test]
+    fn lambda_is_monotone_in_effect_magnitude() {
+        let base = summary(0.05, 0.2, 1_000);
+        let mut prev = f64::NEG_INFINITY;
+        for delta in [0.0, 0.01, 0.02, 0.05, 0.1] {
+            let t = msprt(&summary(0.05 + delta, 0.2, 1_000), &base, 0.1).unwrap();
+            assert!(t.ln_lambda > prev, "delta {delta}");
+            prev = t.ln_lambda;
+        }
+        // Sign-symmetric: the two-sided LR only sees |θ̂|.
+        let up = msprt(&summary(0.10, 0.2, 1_000), &base, 0.1).unwrap();
+        let down = msprt(&summary(0.00, 0.2, 1_000), &base, 0.1).unwrap();
+        assert!((up.ln_lambda - down.ln_lambda).abs() < 1e-12);
+    }
+
+    #[test]
+    fn extreme_evidence_does_not_overflow() {
+        let t = msprt(&summary(100.0, 0.1, 1_000_000), &summary(0.0, 0.1, 1_000_000), 1.0).unwrap();
+        assert!(t.ln_lambda.is_finite());
+        assert_eq!(t.lambda(), f64::INFINITY);
+        assert_eq!(t.p_value(), 0.0);
+    }
+
+    #[test]
+    fn degenerate_inputs_yield_none() {
+        let ok = summary(1.0, 0.5, 100);
+        assert!(msprt(&summary(1.0, 0.5, 1), &ok, 0.1).is_none());
+        assert!(msprt(&ok, &summary(1.0, 0.5, 1), 0.1).is_none());
+        // Zero variance on both sides: no standard error to normalize by.
+        assert!(msprt(&summary(1.0, 0.0, 100), &summary(2.0, 0.0, 100), 0.1).is_none());
+        assert!(tau_heuristic(&summary(1.0, 0.0, 100), &summary(2.0, 0.0, 100)).is_none());
+        assert!(tau_heuristic(&ok, &ok).unwrap() > 0.0);
+    }
+
+    /// Simulates one Bernoulli A/A or A/B stream, peeking every `look`
+    /// observations, and returns the first sample size (per side) at which
+    /// the always-valid p crossed `alpha`, if it ever did.
+    fn first_crossing(
+        seed: u64,
+        p_base: f64,
+        p_cand: f64,
+        n: usize,
+        look: usize,
+        tau: f64,
+        alpha: f64,
+    ) -> Option<usize> {
+        let mut rng = SplitMix64::new(seed);
+        let mut cand = OnlineStats::new();
+        let mut base = OnlineStats::new();
+        let mut avp = AlwaysValidP::new();
+        for i in 1..=n {
+            cand.push(if rng.next_f64() < p_cand { 1.0 } else { 0.0 });
+            base.push(if rng.next_f64() < p_base { 1.0 } else { 0.0 });
+            if i % look == 0 {
+                if let Some(t) = msprt(&cand.summary(), &base.summary(), tau) {
+                    avp.observe(&t);
+                    if avp.significant(alpha) {
+                        return Some(i);
+                    }
+                }
+            }
+        }
+        None
+    }
+
+    #[test]
+    fn aa_false_positive_rate_stays_under_alpha_despite_peeking() {
+        // 200 A/A streams, peeked every 25 observations for 4000: the
+        // empirical rate of ever crossing α = 0.05 must stay ≤ α even
+        // under continuous monitoring. (A fixed-α Welch test peeked this
+        // often inflates well past α — demonstrated in bifrost's A/A test.)
+        let crossings = (0..200)
+            .filter(|i| {
+                first_crossing(sub_seed(0xAA, *i), 0.05, 0.05, 4_000, 25, 0.1, 0.05).is_some()
+            })
+            .count();
+        assert!(crossings as f64 / 200.0 <= 0.05, "false positives: {crossings}/200");
+    }
+
+    #[test]
+    fn detects_real_effects_and_larger_effects_faster() {
+        // Candidate error rate elevated by +0.05 and +0.15 over a 0.05
+        // baseline: both must be detected, the larger one sooner (on
+        // average over seeds).
+        let time_to_detect = |delta: f64| -> f64 {
+            let mut total = 0.0;
+            let mut detected = 0.0;
+            for i in 0..40u64 {
+                if let Some(n) =
+                    first_crossing(sub_seed(0xAB, i), 0.05, 0.05 + delta, 8_000, 25, 0.1, 0.05)
+                {
+                    total += n as f64;
+                    detected += 1.0;
+                }
+            }
+            assert!(detected >= 38.0, "delta {delta}: detected only {detected}/40");
+            total / detected
+        };
+        let slow = time_to_detect(0.05);
+        let fast = time_to_detect(0.15);
+        assert!(fast < slow, "mean detection {fast} !< {slow}");
+    }
+
+    #[test]
+    fn always_valid_p_is_monotone_and_absorbing() {
+        let mut avp = AlwaysValidP::new();
+        assert_eq!(avp.current(), 1.0);
+        let strong = msprt(&summary(0.5, 0.2, 2_000), &summary(0.05, 0.2, 2_000), 0.1).unwrap();
+        let weak = msprt(&summary(0.06, 0.2, 50), &summary(0.05, 0.2, 50), 0.1).unwrap();
+        let p1 = avp.observe(&strong);
+        assert!(p1 < 0.05);
+        // A later weak look cannot raise the running p back up.
+        let p2 = avp.observe(&weak);
+        assert_eq!(p1, p2);
+        assert!(avp.significant(0.05));
+        assert_eq!(AlwaysValidP::from_p(p2).current(), p2);
+    }
+}

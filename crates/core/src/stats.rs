@@ -16,7 +16,9 @@ use crate::metrics::Summary;
 pub struct TwoSampleTest {
     /// Welch's t statistic (positive when the candidate mean is larger).
     pub t: f64,
-    /// Welch–Satterthwaite degrees of freedom.
+    /// Welch–Satterthwaite degrees of freedom. `+∞` in the degenerate
+    /// zero-variance case, where the t statistic is itself infinite and the
+    /// sampling distribution collapses to a point mass.
     pub df: f64,
     /// One-sided p-value for "candidate mean > baseline mean".
     pub p_greater: f64,
@@ -41,10 +43,20 @@ impl TwoSampleTest {
     }
 }
 
+/// Minimum observations per side before the degenerate zero-variance branch
+/// of [`welch_test`] is allowed to claim a certain difference. Two constant
+/// observations per side are compatible with almost any underlying
+/// distribution; requiring eight keeps the implied false-certainty rate for
+/// a Bernoulli metric below `2^-7` per side.
+pub const DEGENERATE_MIN_COUNT: u64 = 8;
+
 /// Welch's t-test from summary statistics.
 ///
-/// Returns `None` when either sample has fewer than two observations or
-/// both variances are zero (no information to test on).
+/// Returns `None` when either sample has fewer than two observations, when
+/// both variances are zero and the means agree (no information to test on),
+/// or when both variances are zero but either side has fewer than
+/// [`DEGENERATE_MIN_COUNT`] observations (too little evidence that the
+/// variance is truly zero to justify a p-value of exactly 0).
 pub fn welch_test(candidate: &Summary, baseline: &Summary) -> Option<TwoSampleTest> {
     if candidate.count < 2 || baseline.count < 2 {
         return None;
@@ -56,14 +68,21 @@ pub fn welch_test(candidate: &Summary, baseline: &Summary) -> Option<TwoSampleTe
     let se2 = v1 / n1 + v2 / n2;
     if se2 <= 0.0 {
         // Identical constants on both sides: no evidence either way unless
-        // the means differ exactly, in which case the difference is certain.
-        return if candidate.mean == baseline.mean {
+        // the means differ exactly, in which case the difference is certain —
+        // but only once enough constant observations have accumulated that
+        // "the variance is zero" is itself a credible claim. The t statistic
+        // is infinite and its sampling distribution a point mass, so the
+        // honest degrees of freedom are +∞, not the pooled `n1 + n2 - 2`.
+        return if candidate.mean == baseline.mean
+            || candidate.count < DEGENERATE_MIN_COUNT
+            || baseline.count < DEGENERATE_MIN_COUNT
+        {
             None
         } else {
             let greater = candidate.mean > baseline.mean;
             Some(TwoSampleTest {
                 t: if greater { f64::INFINITY } else { f64::NEG_INFINITY },
-                df: n1 + n2 - 2.0,
+                df: f64::INFINITY,
                 p_greater: if greater { 0.0 } else { 1.0 },
                 p_less: if greater { 1.0 } else { 0.0 },
             })
@@ -358,11 +377,31 @@ mod tests {
         // Zero variance, equal means: no information.
         let a = summary(2.0, 0.0, 50);
         assert!(welch_test(&a, &a).is_none());
-        // Zero variance, different means: certain difference.
+        // Zero variance, different means, ample evidence: certain difference
+        // with the honest degenerate df (+∞), not the pooled n1+n2-2.
         let b = summary(3.0, 0.0, 50);
         let test = welch_test(&b, &a).unwrap();
         assert_eq!(test.p_greater, 0.0);
         assert_eq!(test.p_less, 1.0);
+        assert!(test.df.is_infinite() && test.df > 0.0, "df = {}", test.df);
+        assert!(test.t.is_infinite() && test.t > 0.0);
+    }
+
+    #[test]
+    fn welch_degenerate_variance_needs_minimum_evidence() {
+        // Two constant observations per side used to yield p = 0 "certainty";
+        // below DEGENERATE_MIN_COUNT the test must refuse to conclude.
+        let a = summary(2.0, 0.0, 2);
+        let b = summary(3.0, 0.0, 2);
+        assert!(welch_test(&b, &a).is_none());
+        let a = summary(2.0, 0.0, DEGENERATE_MIN_COUNT - 1);
+        let b = summary(3.0, 0.0, 200);
+        assert!(welch_test(&b, &a).is_none());
+        assert!(welch_test(&a, &b).is_none());
+        // At the floor on both sides the conclusion is allowed again.
+        let a = summary(2.0, 0.0, DEGENERATE_MIN_COUNT);
+        let b = summary(3.0, 0.0, DEGENERATE_MIN_COUNT);
+        assert!(welch_test(&b, &a).is_some());
     }
 
     #[test]
