@@ -31,7 +31,7 @@ use microsim::faults::{Fault, FaultKind};
 use microsim::health::{EdgeDelta, HealthAccumulator, HealthReport};
 use microsim::monitor::ScopeId;
 use microsim::sim::Simulation;
-use microsim::trace::{SpanBook, SpanStatus, Trace};
+use microsim::trace::{SpanBook, SpanStatus, TailSamplingConfig, Trace};
 use microsim::workload::Workload;
 use std::time::{Duration, Instant};
 
@@ -89,6 +89,12 @@ pub struct EngineConfig {
     /// the start of every execution. Simulation output is byte-identical
     /// at any value — this only trades wall-clock time.
     pub sim_workers: usize,
+    /// Tail-based trace sampling applied to the sim's collector at the
+    /// start of every execution ([`microsim::sim::Simulation::set_tail_sampling`]):
+    /// erroneous and slow traces are always retained, healthy ones keep a
+    /// weighted 1-in-`k` representative. `None` (the default) retains
+    /// every sampled trace.
+    pub tail_sampling: Option<TailSamplingConfig>,
 }
 
 impl Default for EngineConfig {
@@ -100,6 +106,7 @@ impl Default for EngineConfig {
             parallel_threshold: 256,
             workers: 4,
             sim_workers: 1,
+            tail_sampling: None,
         }
     }
 }
@@ -317,6 +324,7 @@ impl Engine {
         let started_sim = sim.now();
         sim.store().set_retention(self.retention_horizon(strategies));
         sim.set_workers(self.config.sim_workers);
+        sim.set_tail_sampling(self.config.tail_sampling);
 
         // Trace pipeline: every tick the engine drains the sampled traces,
         // folds them into a health accumulator (the canary-vs-baseline
@@ -476,6 +484,7 @@ impl Engine {
         };
         let max_tick_processing = tick_times.iter().max().copied().unwrap_or(Duration::ZERO);
         let health_reports = if health.traces() > 0 {
+            let sampling = sim.trace_collector().sampling_stats();
             runs.iter()
                 .map(|r| {
                     (
@@ -485,7 +494,8 @@ impl Engine {
                             &book,
                             r.binding.baseline,
                             r.binding.candidate,
-                        ),
+                        )
+                        .with_sampling(sampling),
                     )
                 })
                 .collect()
@@ -765,6 +775,7 @@ impl Engine {
                         run.binding.candidate,
                     );
                     let worst = report.worst_edge();
+                    let sampling = sim.trace_collector().sampling_stats();
                     j.record(JournalEvent::HealthSnapshot {
                         time: now,
                         strategy: run.name.clone(),
@@ -777,6 +788,9 @@ impl Engine {
                         score: worst.map_or(0.0, EdgeDelta::score),
                         error_rate_delta: worst.map_or(0.0, EdgeDelta::error_rate_delta),
                         p95_delta_ms: worst.map_or(0.0, EdgeDelta::p95_delta_ms),
+                        dropped: sampling.evicted,
+                        tail_kept: sampling.tail_kept,
+                        downsampled: sampling.downsampled_kept,
                     });
                 }
             }
@@ -1380,6 +1394,44 @@ mod tests {
         }
         assert_eq!(texts[0], texts[1], "same seed, 1 vs 2 sim workers");
         assert_eq!(texts[0], texts[2], "same seed, 1 vs 8 sim workers");
+    }
+
+    #[test]
+    fn journal_is_byte_identical_with_tail_sampling_across_sim_workers() {
+        // Acceptance: with sketches + tail sampling enabled, journal bytes
+        // (including HealthSnapshot events and their sampling counters)
+        // are identical across same-seed runs and sim_workers 1 vs 4.
+        let run = |sim_workers: usize| {
+            let (app, strategies, wl) = fleet(8);
+            let mut sim = Simulation::new(app, 9);
+            sim.set_trace_sampling(1.0);
+            let engine = Engine::new(EngineConfig {
+                sim_workers,
+                tail_sampling: Some(microsim::trace::TailSamplingConfig {
+                    healthy_keep_one_in: 4,
+                    slow_quantile: 0.95,
+                    warmup: 64,
+                }),
+                ..Default::default()
+            });
+            let (report, journal) = engine
+                .execute_journaled(&mut sim, &strategies, &wl, SimDuration::from_mins(10))
+                .unwrap();
+            assert!(report.all_terminal());
+            let stats = sim.trace_collector().sampling_stats();
+            assert!(stats.downsampled_kept > 0, "healthy traces were downsampled");
+            let health: String =
+                report.health.iter().map(|(name, h)| format!("{name}\n{}", h.render())).collect();
+            assert!(health.contains("sampling: recorded"), "render discloses sampling counters");
+            (journal.to_jsonl(), health)
+        };
+        let first = run(1);
+        assert_eq!(first, run(1), "same seed, same sim workers");
+        assert_eq!(first, run(4), "same seed, 1 vs 4 sim workers");
+        assert!(
+            first.0.contains("\"tail_kept\":"),
+            "HealthSnapshot events carry sampling counters"
+        );
     }
 
     #[test]

@@ -154,6 +154,15 @@ pub enum JournalEvent {
         error_rate_delta: f64,
         /// Its canary − baseline p95 latency delta (ms).
         p95_delta_ms: f64,
+        /// Retained traces the collector's retention ring evicted
+        /// ([`microsim::trace::TraceCollector::dropped`]).
+        dropped: u64,
+        /// Traces always retained by the tail-sampling rule (error status
+        /// or sketch-flagged slow); `0` when tail sampling is off.
+        tail_kept: u64,
+        /// Healthy traces retained as weighted 1-in-`k` representatives;
+        /// `0` when tail sampling is off.
+        downsampled: u64,
     },
     /// A guarded gradual rollout took a ramp decision at a step boundary:
     /// advance one step, retreat one step, or hold at the floor — driven
@@ -346,6 +355,9 @@ impl JournalEvent {
                 score,
                 error_rate_delta,
                 p95_delta_ms,
+                dropped,
+                tail_kept,
+                downsampled,
             } => obj(vec![
                 ("ev", Json::Str("health".into())),
                 ("t", t(time)),
@@ -359,6 +371,9 @@ impl JournalEvent {
                 ("score", Json::Num(*score)),
                 ("error_rate_delta", Json::Num(*error_rate_delta)),
                 ("p95_delta_ms", Json::Num(*p95_delta_ms)),
+                ("dropped", Json::Num(*dropped as f64)),
+                ("tail_kept", Json::Num(*tail_kept as f64)),
+                ("downsampled", Json::Num(*downsampled as f64)),
             ]),
             JournalEvent::Ramp { time, strategy, phase, decision, percent, lr_harm } => obj(vec![
                 ("ev", Json::Str("ramp".into())),
@@ -489,6 +504,18 @@ impl JournalEvent {
                     .get("p95_delta_ms")
                     .and_then(Json::as_f64)
                     .ok_or_else(|| bad("p95_delta_ms"))?,
+                dropped: json
+                    .get("dropped")
+                    .and_then(Json::as_u64)
+                    .ok_or_else(|| bad("dropped"))?,
+                tail_kept: json
+                    .get("tail_kept")
+                    .and_then(Json::as_u64)
+                    .ok_or_else(|| bad("tail_kept"))?,
+                downsampled: json
+                    .get("downsampled")
+                    .and_then(Json::as_u64)
+                    .ok_or_else(|| bad("downsampled"))?,
             }),
             Some("ramp") => Ok(JournalEvent::Ramp {
                 time: time(json)?,
@@ -881,6 +908,9 @@ mod tests {
             score: 62.5,
             error_rate_delta: 0.0625,
             p95_delta_ms: 12.25,
+            dropped: 16,
+            tail_kept: 7,
+            downsampled: 48,
         });
         j.record(JournalEvent::ScopeCleared {
             time: t(120),

@@ -24,6 +24,9 @@
 //!   significance checks for business-driven experiments.
 //! - [`sequential`] — always-valid sequential testing (mixture SPRT) so
 //!   checks can monitor continuously without the fixed-α "peeking" bug.
+//! - [`sketch`] — mergeable DDSketch-style quantile sketches with bounded
+//!   relative error and bounded state, the streaming replacement for raw
+//!   latency samples in the health pipeline.
 //! - [`uncertainty`] — the scalar uncertainty notion used when classifying
 //!   changes (Section 1.2.4 of the dissertation).
 //! - [`rng`] — deterministic, seedable randomness helpers so every experiment
@@ -62,6 +65,7 @@ pub mod metrics;
 pub mod rng;
 pub mod sequential;
 pub mod simtime;
+pub mod sketch;
 pub mod stats;
 pub mod traffic;
 pub mod uncertainty;

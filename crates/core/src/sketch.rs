@@ -1,0 +1,648 @@
+//! Mergeable quantile sketches for streaming latency analysis.
+//!
+//! The health pipeline (Chapter 5) compares canary-vs-baseline latency
+//! quantiles per interaction edge. Keeping raw samples per edge — even a
+//! downsampling reservoir — makes peak memory grow with traffic, which
+//! caps the pipeline far below the "millions of users" target. This
+//! module replaces raw samples with a DDSketch-style quantile sketch
+//! (Masson et al., *DDSketch: a fast and fully-mergeable quantile sketch
+//! with relative-error guarantees*, VLDB 2019), hand-rolled so the
+//! workspace stays std-only:
+//!
+//! * **Log-spaced buckets.** A positive value `v` lands in bucket
+//!   `ceil(ln v / ln γ)` with `γ = (1+α)/(1-α)`; the bucket's
+//!   representative value `2·γ^k/(γ+1)` is within relative error `α` of
+//!   every value in the bucket, so any quantile estimate is within `α`
+//!   of *some* sample at the queried rank.
+//! * **Bounded state.** At most [`QuantileSketch::max_buckets`] buckets
+//!   are kept. On overflow the sketch collapses from the *cheap* end:
+//!   the lowest buckets merge upward, so tail quantiles (the ones health
+//!   verdicts read) keep their guarantee while the collapsed low end
+//!   degrades gracefully. State is `O(buckets)` regardless of how many
+//!   values were pushed.
+//! * **Exact deterministic merge.** Merging adds per-bucket counts and
+//!   re-collapses. The normalized state after any sequence of pushes and
+//!   merges depends only on the multiset of per-bucket counts, which
+//!   makes merge *associative and commutative to the byte* — shards can
+//!   fold in any grouping and the journal stays bit-identical
+//!   ([`QuantileSketch::encode`] is the canonical form the property
+//!   tests compare).
+//!
+//! No randomness anywhere: the same pushes produce the same state on
+//! every run and every worker layout.
+
+use std::collections::BTreeMap;
+
+/// Default relative-error guarantee (1%): an estimated quantile is within
+/// 1% of an actual sample at that rank (tight enough that the health
+/// pipeline's 2% acceptance bound holds with slack).
+pub const DEFAULT_RELATIVE_ERROR: f64 = 0.01;
+
+/// Default bucket cap. With `α = 0.01` each bucket spans a factor of
+/// `γ ≈ 1.0202`, so 1024 buckets cover a `γ^1024 ≈ e^20.5` ≈ 8×10⁸ dynamic
+/// range — microseconds to hours of latency — before any collapse occurs.
+pub const DEFAULT_MAX_BUCKETS: usize = 1_024;
+
+/// Values at or below this threshold (in the sketch's unit) are counted in
+/// a dedicated zero bucket: the log mapping cannot index them, and for
+/// latencies they mean "instantaneous" anyway.
+const MIN_INDEXABLE: f64 = 1e-9;
+
+/// A mergeable quantile sketch with a bounded relative-error guarantee
+/// and bounded state (see the module docs).
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuantileSketch {
+    /// Relative-error guarantee `α`.
+    alpha: f64,
+    /// Bucket growth factor `γ = (1+α)/(1-α)`.
+    gamma: f64,
+    /// Cached `ln γ` (the per-push division is by this).
+    inv_ln_gamma: f64,
+    /// Bucket cap; collapse keeps the highest `max_buckets` keys.
+    max_buckets: usize,
+    /// Per-bucket counts, keyed by the log index.
+    buckets: BTreeMap<i32, u64>,
+    /// Count of non-indexable (≤ [`MIN_INDEXABLE`]) values.
+    zeros: u64,
+    /// Total values observed.
+    count: u64,
+    /// Conservative (over-counting) tally of mass absorbed by cheap-end
+    /// collapses. Mass cascading through several collapse steps counts
+    /// once per step, so this depends on collapse history and merge
+    /// grouping — it is advisory, excluded from [`QuantileSketch::encode`].
+    collapsed: u64,
+    /// Exact minimum observed (`∞` when empty); quantile results clamp
+    /// into `[min, max]` so bucket rounding never leaves the data range.
+    min: f64,
+    /// Exact maximum observed (`-∞` when empty).
+    max: f64,
+}
+
+impl QuantileSketch {
+    /// A sketch with relative-error guarantee `alpha` and at most
+    /// `max_buckets` log-spaced buckets.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `alpha` is outside `(0, 1)` or `max_buckets < 2`.
+    pub fn new(alpha: f64, max_buckets: usize) -> Self {
+        assert!(alpha > 0.0 && alpha < 1.0, "relative error must be in (0, 1)");
+        assert!(max_buckets >= 2, "a sketch needs at least two buckets");
+        let gamma = (1.0 + alpha) / (1.0 - alpha);
+        QuantileSketch {
+            alpha,
+            gamma,
+            inv_ln_gamma: 1.0 / gamma.ln(),
+            max_buckets,
+            buckets: BTreeMap::new(),
+            zeros: 0,
+            count: 0,
+            collapsed: 0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// The default health-pipeline sketch: 1% relative error, 1024-bucket
+    /// cap ([`DEFAULT_RELATIVE_ERROR`], [`DEFAULT_MAX_BUCKETS`]).
+    pub fn for_latency() -> Self {
+        QuantileSketch::new(DEFAULT_RELATIVE_ERROR, DEFAULT_MAX_BUCKETS)
+    }
+
+    /// The configured relative-error guarantee `α`.
+    pub fn relative_error(&self) -> f64 {
+        self.alpha
+    }
+
+    /// The configured bucket cap.
+    pub fn max_buckets(&self) -> usize {
+        self.max_buckets
+    }
+
+    /// Observes one value.
+    ///
+    /// # Panics
+    ///
+    /// Panics on NaN or negative values (latencies are non-negative; a
+    /// negative value indicates a caller bug worth failing loudly on).
+    pub fn push(&mut self, value: f64) {
+        self.push_weighted(value, 1);
+    }
+
+    /// Observes one value with an integral weight — equivalent to
+    /// `weight` identical [`QuantileSketch::push`] calls at `O(1)` cost.
+    /// Tail-based trace sampling uses this to fold one kept healthy
+    /// trace as the `k` statistically-similar traces it stands for.
+    ///
+    /// # Panics
+    ///
+    /// Panics on NaN or negative values. A zero weight is a no-op.
+    pub fn push_weighted(&mut self, value: f64, weight: u64) {
+        assert!(value >= 0.0, "sketch values must be non-negative, got {value}");
+        if weight == 0 {
+            return;
+        }
+        self.count += weight;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+        if value <= MIN_INDEXABLE {
+            self.zeros += weight;
+            return;
+        }
+        let key = self.key_of(value);
+        *self.buckets.entry(key).or_insert(0) += weight;
+        if self.buckets.len() > self.max_buckets {
+            self.collapse();
+        }
+    }
+
+    /// The log-bucket index of a positive value.
+    fn key_of(&self, value: f64) -> i32 {
+        (value.ln() * self.inv_ln_gamma).ceil() as i32
+    }
+
+    /// The representative value of a bucket: the multiplicative midpoint
+    /// `2·γ^k/(γ+1)`, within `α` relative error of every value the bucket
+    /// admits (`(γ^{k-1}, γ^k]`).
+    fn value_of(&self, key: i32) -> f64 {
+        2.0 * self.gamma.powi(key) / (self.gamma + 1.0)
+    }
+
+    /// Collapses the cheap end until the cap holds: the lowest bucket's
+    /// count moves into the next-lowest key. Tail buckets are untouched.
+    fn collapse(&mut self) {
+        while self.buckets.len() > self.max_buckets {
+            let (&low_key, &low_count) =
+                self.buckets.iter().next().expect("non-empty over-cap bucket map");
+            self.buckets.remove(&low_key);
+            let (_, next) = self.buckets.iter_mut().next().expect("cap >= 2 leaves a successor");
+            *next += low_count;
+            self.collapsed += low_count;
+        }
+    }
+
+    /// Merges another sketch into this one: per-bucket counts add, then
+    /// the cap re-collapses. Deterministic and — in normalized state —
+    /// associative and commutative to the byte (see module docs).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the sketches were built with different `alpha` or
+    /// `max_buckets` (their buckets would not line up).
+    pub fn merge(&mut self, other: &QuantileSketch) {
+        assert!(
+            self.alpha == other.alpha && self.max_buckets == other.max_buckets,
+            "cannot merge sketches with different accuracy or cap"
+        );
+        for (&key, &count) in &other.buckets {
+            *self.buckets.entry(key).or_insert(0) += count;
+        }
+        self.zeros += other.zeros;
+        self.count += other.count;
+        self.collapsed += other.collapsed;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        if self.buckets.len() > self.max_buckets {
+            self.collapse();
+        }
+    }
+
+    /// Values observed so far.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// `true` when nothing was pushed.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Exact minimum observed, `None` when empty.
+    pub fn min(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Exact maximum observed, `None` when empty.
+    pub fn max(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Occupied buckets (≤ [`QuantileSketch::max_buckets`]).
+    pub fn bucket_len(&self) -> usize {
+        self.buckets.len() + usize::from(self.zeros > 0)
+    }
+
+    /// Conservative upper bound on the mass absorbed by cheap-end
+    /// collapses (0 while the value range fits the cap). Because it over-
+    /// counts cascading moves, quantile ranks at or above this value are
+    /// *certainly* outside the collapsed region and keep the full `α`
+    /// guarantee. The exact tally depends on collapse history, so this
+    /// counter is excluded from the canonical encoding.
+    pub fn collapsed(&self) -> u64 {
+        self.collapsed
+    }
+
+    /// Estimated resident bytes of the sketch state: the fixed header
+    /// plus one `(i32, u64)` entry per occupied bucket (BTreeMap node
+    /// overhead included at its approximate per-entry cost). Used by the
+    /// scale bench's peak-memory accounting.
+    pub fn state_bytes(&self) -> usize {
+        // Key + count + ~2 words of B-tree node overhead amortized per entry.
+        const BYTES_PER_BUCKET: usize = 4 + 8 + 16;
+        std::mem::size_of::<Self>() + self.buckets.len() * BYTES_PER_BUCKET
+    }
+
+    /// The estimated `q`-quantile (`0.0..=1.0`), `None` when empty.
+    ///
+    /// The estimate is within relative error `α` of an actual observed
+    /// value at the queried rank, provided the rank lies above the
+    /// collapsed mass (see [`QuantileSketch::collapsed`]). Results are
+    /// clamped into `[min, max]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `q` is outside `0.0..=1.0`.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        assert!((0.0..=1.0).contains(&q), "quantile must be in 0.0..=1.0");
+        if self.count == 0 {
+            return None;
+        }
+        // 0-based target rank, nearest-rank convention.
+        let rank = (q * (self.count - 1) as f64).round() as u64;
+        if rank < self.zeros {
+            return Some(self.min.max(0.0));
+        }
+        let mut cum = self.zeros;
+        for (&key, &count) in &self.buckets {
+            cum += count;
+            if cum > rank {
+                return Some(self.value_of(key).clamp(self.min, self.max));
+            }
+        }
+        Some(self.max)
+    }
+
+    /// Estimated quantiles at each `q` in `qs`, walking the buckets once.
+    /// `None` when empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics when any `q` is outside `0.0..=1.0` or `qs` is not
+    /// non-decreasing (sorted input is what makes one walk possible).
+    pub fn quantiles(&self, qs: &[f64]) -> Option<Vec<f64>> {
+        for pair in qs.windows(2) {
+            assert!(pair[0] <= pair[1], "quantile list must be non-decreasing");
+        }
+        if self.count == 0 {
+            return None;
+        }
+        let mut out = Vec::with_capacity(qs.len());
+        let mut iter = self.buckets.iter();
+        let mut cum = self.zeros;
+        let mut current: Option<(i32, u64)> = None;
+        for &q in qs {
+            assert!((0.0..=1.0).contains(&q), "quantile must be in 0.0..=1.0");
+            let rank = (q * (self.count - 1) as f64).round() as u64;
+            if rank < self.zeros {
+                out.push(self.min.max(0.0));
+                continue;
+            }
+            loop {
+                match current {
+                    Some((key, upto)) if upto > rank => {
+                        out.push(self.value_of(key).clamp(self.min, self.max));
+                        break;
+                    }
+                    _ => match iter.next() {
+                        Some((&key, &count)) => {
+                            cum += count;
+                            current = Some((key, cum));
+                        }
+                        None => {
+                            out.push(self.max);
+                            break;
+                        }
+                    },
+                }
+            }
+        }
+        Some(out)
+    }
+
+    /// Canonical byte encoding of the distributional state:
+    /// configuration, counters, min/max bits, and every `(key, count)`
+    /// bucket in ascending key order. This is exactly the state that is
+    /// invariant under merge grouping and order — the merge property
+    /// tests compare these bytes. (The advisory
+    /// [`QuantileSketch::collapsed`] tally is deliberately excluded: it
+    /// records collapse *history*, not distributional state.)
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(48 + self.buckets.len() * 12);
+        out.extend_from_slice(&self.alpha.to_bits().to_le_bytes());
+        out.extend_from_slice(&(self.max_buckets as u64).to_le_bytes());
+        out.extend_from_slice(&self.count.to_le_bytes());
+        out.extend_from_slice(&self.zeros.to_le_bytes());
+        out.extend_from_slice(&self.min.to_bits().to_le_bytes());
+        out.extend_from_slice(&self.max.to_bits().to_le_bytes());
+        for (&key, &count) in &self.buckets {
+            out.extend_from_slice(&key.to_le_bytes());
+            out.extend_from_slice(&count.to_le_bytes());
+        }
+        out
+    }
+}
+
+impl Default for QuantileSketch {
+    fn default() -> Self {
+        QuantileSketch::for_latency()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::SplitMix64;
+
+    /// Exact nearest-rank quantile over raw samples — the reference the
+    /// error-bound tests compare against.
+    fn exact_quantile(sorted: &[f64], q: f64) -> f64 {
+        let rank = (q * (sorted.len() - 1) as f64).round() as usize;
+        sorted[rank]
+    }
+
+    fn assert_relative_error(values: &mut [f64], sketch: &QuantileSketch, qs: &[f64]) {
+        values.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        for &q in qs {
+            let exact = exact_quantile(values, q);
+            let est = sketch.quantile(q).unwrap();
+            let tolerance = sketch.relative_error() * 1.0001;
+            if exact <= MIN_INDEXABLE {
+                assert!(est <= MIN_INDEXABLE, "q{q}: exact {exact}, est {est}");
+            } else {
+                let rel = (est - exact).abs() / exact;
+                assert!(rel <= tolerance, "q{q}: exact {exact}, est {est}, rel err {rel}");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_sketch_has_no_quantiles() {
+        let s = QuantileSketch::for_latency();
+        assert!(s.is_empty());
+        assert_eq!(s.quantile(0.5), None);
+        assert_eq!(s.quantiles(&[0.5, 0.95]), None);
+        assert_eq!(s.min(), None);
+        assert_eq!(s.max(), None);
+    }
+
+    #[test]
+    fn single_value_is_exact() {
+        let mut s = QuantileSketch::for_latency();
+        s.push(42.0);
+        for q in [0.0, 0.5, 1.0] {
+            let est = s.quantile(q).unwrap();
+            assert!((est - 42.0).abs() / 42.0 <= s.relative_error());
+        }
+        assert_eq!(s.min(), Some(42.0));
+        assert_eq!(s.max(), Some(42.0));
+    }
+
+    #[test]
+    fn relative_error_bound_uniform_and_lognormal() {
+        let mut rng = SplitMix64::new(11);
+        let mut s = QuantileSketch::for_latency();
+        let mut values = Vec::new();
+        for _ in 0..100_000 {
+            // Log-uniform over ~6 decades: adversarial for linear
+            // histograms, the home turf a log sketch must still nail.
+            let v = 10f64.powf(rng.next_f64() * 6.0 - 2.0);
+            s.push(v);
+            values.push(v);
+        }
+        assert_eq!(s.collapsed(), 0, "6 decades fit the default cap");
+        assert_relative_error(&mut values, &s, &[0.01, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 0.999]);
+    }
+
+    type Sampler = Box<dyn Fn(&mut SplitMix64) -> f64>;
+
+    #[test]
+    fn relative_error_bound_adversarial_distributions() {
+        let distributions: Vec<(&str, Sampler)> = vec![
+            ("constant", Box::new(|_| 7.25)),
+            ("two-point", Box::new(|r| if r.next_f64() < 0.5 { 0.001 } else { 50_000.0 })),
+            // Heavy tail: x = u^{-2} has infinite variance.
+            ("pareto", Box::new(|r| (1.0 - r.next_f64()).powf(-2.0))),
+            ("near-zero", Box::new(|r| r.next_f64() * 1e-6)),
+            ("many-duplicates", Box::new(|r| (r.next_f64() * 8.0).floor() + 1.0)),
+            // Bucket-boundary probe: values at powers of gamma.
+            ("gamma-powers", Box::new(|r| 1.0202f64.powi((r.next_f64() * 400.0) as i32))),
+        ];
+        for (name, gen) in distributions {
+            let mut rng = SplitMix64::new(23);
+            let mut s = QuantileSketch::for_latency();
+            let mut values = Vec::new();
+            for _ in 0..20_000 {
+                let v = gen(&mut rng);
+                s.push(v);
+                values.push(v);
+            }
+            values.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            for &q in &[0.1, 0.5, 0.9, 0.95, 0.99] {
+                let exact = exact_quantile(&values, q);
+                let est = s.quantile(q).unwrap();
+                if exact <= MIN_INDEXABLE {
+                    assert!(est <= MIN_INDEXABLE, "{name} q{q}");
+                } else {
+                    let rel = (est - exact).abs() / exact;
+                    assert!(
+                        rel <= s.relative_error() * 1.0001,
+                        "{name} q{q}: exact {exact}, est {est}, rel {rel}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn zeros_are_counted_and_returned() {
+        let mut s = QuantileSketch::for_latency();
+        for _ in 0..90 {
+            s.push(0.0);
+        }
+        for _ in 0..10 {
+            s.push(100.0);
+        }
+        assert_eq!(s.quantile(0.5), Some(0.0));
+        assert!(s.quantile(0.99).unwrap() > 90.0);
+        assert_eq!(s.count(), 100);
+    }
+
+    #[test]
+    fn cap_collapses_cheap_end_and_keeps_tail_accurate() {
+        // At α = 0.05 a 64-bucket cap spans e^{64·ln γ} ≈ e^{6.4} ≈ 2.8
+        // decades; log-uniform data over 8 decades must collapse, leaving
+        // the top ~35% of the mass inside kept buckets — so quantiles
+        // from the median of that kept mass upward stay guaranteed.
+        let mut s = QuantileSketch::new(0.05, 64);
+        let mut values = Vec::new();
+        let mut rng = SplitMix64::new(5);
+        for _ in 0..50_000 {
+            let v = 10f64.powf(rng.next_f64() * 8.0 - 4.0);
+            s.push(v);
+            values.push(v);
+        }
+        assert!(s.bucket_len() <= 64 + 1, "cap holds: {} buckets", s.bucket_len());
+        assert!(s.collapsed() > 0, "collapse must have occurred");
+        values.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        for &q in &[0.9, 0.95, 0.99] {
+            let exact = exact_quantile(&values, q);
+            let est = s.quantile(q).unwrap();
+            let rel = (est - exact).abs() / exact;
+            assert!(
+                rel <= s.relative_error() * 1.0001,
+                "q{q}: exact {exact}, est {est}, rel {rel}"
+            );
+        }
+        // The collapsed cheap end degrades but stays within the data
+        // range — never a wild value.
+        let low = s.quantile(0.01).unwrap();
+        assert!(low >= s.min().unwrap() && low <= s.max().unwrap());
+    }
+
+    #[test]
+    fn merge_equals_pushing_everything_into_one() {
+        let mut rng = SplitMix64::new(31);
+        let values: Vec<f64> = (0..30_000).map(|_| 10f64.powf(rng.next_f64() * 5.0)).collect();
+        let mut whole = QuantileSketch::for_latency();
+        for &v in &values {
+            whole.push(v);
+        }
+        let mut parts: Vec<QuantileSketch> =
+            (0..3).map(|_| QuantileSketch::for_latency()).collect();
+        for (i, &v) in values.iter().enumerate() {
+            parts[i % 3].push(v);
+        }
+        let mut merged = parts[0].clone();
+        merged.merge(&parts[1]);
+        merged.merge(&parts[2]);
+        assert_eq!(whole.encode(), merged.encode(), "merge is exact, not approximate");
+    }
+
+    #[test]
+    fn merge_is_associative_and_commutative_to_the_byte() {
+        // Small caps force collapses mid-merge — the hard case for
+        // byte-identical grouping independence.
+        for cap in [4usize, 16, 64] {
+            let mut rng = SplitMix64::new(77);
+            let sketches: Vec<QuantileSketch> = (0..4)
+                .map(|_| {
+                    let mut s = QuantileSketch::new(0.02, cap);
+                    for _ in 0..5_000 {
+                        s.push(10f64.powf(rng.next_f64() * 7.0 - 3.0));
+                    }
+                    s
+                })
+                .collect();
+            let [a, b, c, d] = &sketches[..] else { unreachable!() };
+
+            // ((a+b)+c)+d
+            let mut left = a.clone();
+            left.merge(b);
+            left.merge(c);
+            left.merge(d);
+            // (a+b)+(c+d)
+            let mut ab = a.clone();
+            ab.merge(b);
+            let mut cd = c.clone();
+            cd.merge(d);
+            let mut balanced = ab;
+            balanced.merge(&cd);
+            // d+(c+(b+a)) — fully reversed grouping and order.
+            let mut ba = b.clone();
+            ba.merge(a);
+            let mut cba = c.clone();
+            cba.merge(&ba);
+            let mut reversed = d.clone();
+            reversed.merge(&cba);
+
+            assert_eq!(left.encode(), balanced.encode(), "associativity at cap {cap}");
+            assert_eq!(left.encode(), reversed.encode(), "commutativity at cap {cap}");
+        }
+    }
+
+    #[test]
+    fn merge_rejects_mismatched_configuration() {
+        let mut a = QuantileSketch::new(0.01, 64);
+        let b = QuantileSketch::new(0.02, 64);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| a.merge(&b)));
+        assert!(result.is_err(), "mismatched alpha must not merge");
+    }
+
+    #[test]
+    fn state_is_bounded_regardless_of_volume() {
+        let mut s = QuantileSketch::for_latency();
+        let mut rng = SplitMix64::new(9);
+        let mut peak = 0usize;
+        for i in 0..1_000_000u64 {
+            s.push(10f64.powf(rng.next_f64() * 4.0 - 1.0));
+            if i % 10_000 == 0 {
+                peak = peak.max(s.state_bytes());
+            }
+        }
+        peak = peak.max(s.state_bytes());
+        assert_eq!(s.count(), 1_000_000);
+        // 4 decades at alpha 1% is ~460 buckets ≈ 13 KB — far below the
+        // 2048-sample reservoir's 16 KB floor and independent of count.
+        assert!(peak < 16_384, "peak sketch bytes {peak}");
+    }
+
+    #[test]
+    fn same_pushes_same_bytes() {
+        let run = || {
+            let mut s = QuantileSketch::for_latency();
+            let mut rng = SplitMix64::new(123);
+            for _ in 0..10_000 {
+                s.push(rng.next_f64() * 500.0);
+            }
+            s.encode()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_values_panic() {
+        QuantileSketch::for_latency().push(-1.0);
+    }
+
+    #[test]
+    fn weighted_push_equals_repeated_push() {
+        let mut weighted = QuantileSketch::for_latency();
+        let mut repeated = QuantileSketch::for_latency();
+        let mut rng = SplitMix64::new(41);
+        for _ in 0..1_000 {
+            let v = rng.next_f64() * 250.0;
+            let w = 1 + (rng.next_f64() * 7.0) as u64;
+            weighted.push_weighted(v, w);
+            for _ in 0..w {
+                repeated.push(v);
+            }
+        }
+        weighted.push_weighted(99.0, 0);
+        assert_eq!(weighted.encode(), repeated.encode());
+    }
+
+    #[test]
+    fn quantiles_batch_matches_single_calls() {
+        let mut s = QuantileSketch::for_latency();
+        let mut rng = SplitMix64::new(3);
+        for _ in 0..5_000 {
+            s.push(rng.next_f64() * 100.0 + 0.5);
+        }
+        let qs = [0.0, 0.25, 0.5, 0.9, 0.95, 0.99, 1.0];
+        let batch = s.quantiles(&qs).unwrap();
+        for (&q, &b) in qs.iter().zip(&batch) {
+            assert_eq!(s.quantile(q).unwrap(), b, "q{q}");
+        }
+    }
+}

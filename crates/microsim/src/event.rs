@@ -1343,7 +1343,7 @@ fn assemble_trace(
             }
         })
         .collect();
-    Trace { id: trace_id, spans: out }
+    Trace::new(trace_id, out)
 }
 
 #[cfg(test)]
@@ -1678,6 +1678,58 @@ mod tests {
             assert!(!w1.0 .2.is_empty(), "traces were actually collected");
             assert!(!w1.1.is_empty(), "the outage actually tripped a breaker");
         }
+    }
+
+    #[test]
+    fn tail_sampling_is_byte_identical_across_worker_counts() {
+        // Property: with tail-based sampling active, retained traces
+        // (ids, spans, weights), sampling counters and the sketch-backed
+        // health report are identical at 1, 2 and 8 workers — sampling
+        // decisions depend only on the deterministic offer order.
+        use crate::health::{HealthAccumulator, HealthReport};
+        use crate::trace::TailSamplingConfig;
+        let run = |workers: usize| {
+            let params = RandomAppParams { services: 12, layers: 3, ..RandomAppParams::default() };
+            let app = random_app(&params, 29);
+            let fault_target = app.version_id("svc-0001", "1.0.0").unwrap();
+            let baseline = fault_target;
+            let mut sim = Simulation::new(app, 0x5eed);
+            sim.set_workers(workers);
+            sim.set_trace_sampling(0.5);
+            sim.set_tail_sampling(Some(TailSamplingConfig {
+                healthy_keep_one_in: 5,
+                slow_quantile: 0.9,
+                warmup: 64,
+            }));
+            sim.inject_fault(Fault {
+                version: fault_target,
+                kind: FaultKind::ErrorBurst { extra_error_rate: 0.3 },
+                from: SimTime::from_secs(5),
+                until: SimTime::from_secs(15),
+            });
+            sim.run(SimDuration::from_secs(20), 30.0);
+            let book = sim.span_book();
+            let stats = sim.trace_collector().sampling_stats();
+            let traces = sim.drain_traces();
+            let mut acc = HealthAccumulator::new();
+            acc.observe_all(&traces);
+            let render =
+                HealthReport::build(&acc, &book, baseline, baseline).with_sampling(stats).render();
+            (traces, stats, render)
+        };
+        let w1 = run(1);
+        let w2 = run(2);
+        let w8 = run(8);
+        assert_eq!(w1.0, w2.0, "retained traces w1 vs w2");
+        assert_eq!(w1.0, w8.0, "retained traces w1 vs w8");
+        assert_eq!(w1.1, w2.1, "sampling stats w1 vs w2");
+        assert_eq!(w1.1, w8.1, "sampling stats w1 vs w8");
+        assert_eq!(w1.2, w2.2, "health render w1 vs w2");
+        assert_eq!(w1.2, w8.2, "health render w1 vs w8");
+        assert!(w1.1.tail_kept > 0, "the fault produced tail-kept traces");
+        assert!(w1.1.healthy_dropped > 0, "healthy traces were downsampled");
+        assert!(w1.0.iter().any(|t| t.weight > 1), "a weighted representative survived");
+        assert!(w1.2.contains("sampling: recorded"), "render discloses sampling");
     }
 
     #[test]

@@ -164,7 +164,7 @@ pub fn execute_request(
             }
         }
     }
-    let trace = trace_id.map(|id| Trace { id, spans: ctx.spans });
+    let trace = trace_id.map(|id| Trace::new(id, ctx.spans));
     Ok(RequestResult { response_time: outcome.duration, ok: outcome.ok, trace })
 }
 

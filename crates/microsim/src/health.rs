@@ -12,71 +12,22 @@
 //! regression is *localized* to the interaction that degraded.
 //!
 //! Everything here is deterministic: folding order follows trace order,
-//! maps are `BTreeMap`s, the latency reservoir compacts by stride
-//! doubling (no randomness), and [`HealthReport::render`] emits a
-//! byte-stable text report.
+//! maps are `BTreeMap`s, latencies stream into a mergeable
+//! [`QuantileSketch`] (log-spaced buckets, bounded state, no
+//! randomness), and [`HealthReport::render`] emits a byte-stable text
+//! report. Per-edge state is O(sketch) — independent of traffic volume —
+//! and tail-sampled traces fold with their [`Trace::weight`] so rates
+//! and quantile mass stay unbiased under downsampling.
 
 use crate::app::{EndpointId, VersionId};
-use crate::trace::{EdgeKey, Span, SpanBook, SpanStatus, Trace};
+use crate::trace::{EdgeKey, SamplingStats, Span, SpanBook, SpanStatus, Trace};
 use cex_core::intern::Sym;
-use cex_core::metrics::quantiles;
+use cex_core::sketch::QuantileSketch;
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
-/// Upper bound on retained latency samples per edge. When full the
-/// reservoir compacts by dropping every other sample and doubling its
-/// keep-stride — deterministic, order-preserving downsampling.
-const RESERVOIR_CAP: usize = 2_048;
-
-/// Bounded, deterministic latency sample reservoir (milliseconds).
-#[derive(Debug, Clone, PartialEq)]
-pub struct LatencyReservoir {
-    samples: Vec<f64>,
-    stride: u64,
-    seen: u64,
-}
-
-impl Default for LatencyReservoir {
-    fn default() -> Self {
-        LatencyReservoir::new()
-    }
-}
-
-impl LatencyReservoir {
-    fn new() -> Self {
-        LatencyReservoir { samples: Vec::new(), stride: 1, seen: 0 }
-    }
-
-    fn push(&mut self, value_ms: f64) {
-        if self.seen.is_multiple_of(self.stride) {
-            if self.samples.len() == RESERVOIR_CAP {
-                // Keep every other retained sample; future pushes keep
-                // every `2 * stride`-th observation.
-                let mut keep = false;
-                self.samples.retain(|_| {
-                    keep = !keep;
-                    keep
-                });
-                self.stride *= 2;
-            }
-            self.samples.push(value_ms);
-        }
-        self.seen += 1;
-    }
-
-    /// Retained samples, in observation order.
-    pub fn samples(&self) -> &[f64] {
-        &self.samples
-    }
-
-    /// Observations offered (retained or not).
-    pub fn seen(&self) -> u64 {
-        self.seen
-    }
-}
-
 /// Per-edge statistics accumulated from spans.
-#[derive(Debug, Clone, Default, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct EdgeStats {
     /// Executed calls (event spans — sheds and fallbacks — excluded).
     pub calls: u64,
@@ -90,33 +41,48 @@ pub struct EdgeStats {
     pub sheds: u64,
     /// Fallback responses served in place of the callee.
     pub fallbacks: u64,
-    /// Latency reservoir over executed calls (ms).
-    pub latency: LatencyReservoir,
+    /// Latency sketch over executed calls (ms): bounded relative error,
+    /// bounded state, deterministic merge.
+    pub latency: QuantileSketch,
+}
+
+impl Default for EdgeStats {
+    fn default() -> Self {
+        EdgeStats {
+            calls: 0,
+            errors: 0,
+            retries: 0,
+            timeouts: 0,
+            sheds: 0,
+            fallbacks: 0,
+            latency: QuantileSketch::for_latency(),
+        }
+    }
 }
 
 impl EdgeStats {
-    fn fold(&mut self, span: &Span) {
+    fn fold(&mut self, span: &Span, weight: u64) {
         match span.status {
             SpanStatus::Shed => {
-                self.sheds += 1;
+                self.sheds += weight;
                 return;
             }
             SpanStatus::Fallback => {
-                self.fallbacks += 1;
+                self.fallbacks += weight;
                 return;
             }
             SpanStatus::TimedOut => {
-                self.timeouts += 1;
-                self.errors += 1;
+                self.timeouts += weight;
+                self.errors += weight;
             }
-            SpanStatus::Failed => self.errors += 1,
+            SpanStatus::Failed => self.errors += weight,
             SpanStatus::Ok => {}
         }
-        self.calls += 1;
+        self.calls += weight;
         if span.attempt > 0 {
-            self.retries += 1;
+            self.retries += weight;
         }
-        self.latency.push(span.duration.as_millis() as f64);
+        self.latency.push_weighted(span.duration.as_millis() as f64, weight);
     }
 
     /// Error rate over executed calls.
@@ -144,9 +110,7 @@ impl EdgeStats {
         self.timeouts += other.timeouts;
         self.sheds += other.sheds;
         self.fallbacks += other.fallbacks;
-        for &v in other.latency.samples() {
-            self.latency.push(v);
-        }
+        self.latency.merge(&other.latency);
     }
 }
 
@@ -170,22 +134,26 @@ impl HealthAccumulator {
     /// Folds one trace: every primary span lands on its interaction edge
     /// and the trace's critical path is walked down to its sink. Dark
     /// (mirrored) spans are excluded — they are not on the user path the
-    /// health verdict is about.
+    /// health verdict is about. A tail-sampled trace folds with its
+    /// [`Trace::weight`] — a downsampled healthy representative counts
+    /// for the `weight` peers it stands in for, so rates and quantile
+    /// mass stay unbiased.
     pub fn observe_trace(&mut self, trace: &Trace) {
+        let weight = u64::from(trace.weight);
         for span in &trace.spans {
             if span.dark {
                 continue;
             }
             let caller = span.parent.and_then(|p| trace.get(p)).map(|p| p.version);
             let key = EdgeKey { caller, callee: span.version, endpoint: span.endpoint };
-            self.edges.entry(key).or_default().fold(span);
+            self.edges.entry(key).or_default().fold(span, weight);
         }
         if let Some(sink) = critical_sink(trace) {
-            *self.critical_sinks.entry((sink.version, sink.endpoint)).or_default() += 1;
+            *self.critical_sinks.entry((sink.version, sink.endpoint)).or_default() += weight;
         }
-        self.traces += 1;
+        self.traces += weight;
         if !trace.ok() {
-            self.failed_traces += 1;
+            self.failed_traces += weight;
         }
     }
 
@@ -215,6 +183,24 @@ impl HealthAccumulator {
     /// How often each `(version, endpoint)` terminated a critical path.
     pub fn critical_sinks(&self) -> &BTreeMap<(VersionId, EndpointId), u64> {
         &self.critical_sinks
+    }
+
+    /// Approximate resident bytes of the accumulated health state:
+    /// per-edge counters plus sketch buckets plus sink counters. Bounded
+    /// by topology (edges × sketch cap), not by traffic.
+    pub fn state_bytes(&self) -> usize {
+        let edges: usize = self
+            .edges
+            .values()
+            .map(|s| {
+                std::mem::size_of::<EdgeKey>() + std::mem::size_of::<EdgeStats>()
+                    - std::mem::size_of::<QuantileSketch>()
+                    + s.latency.state_bytes()
+            })
+            .sum();
+        let sinks = self.critical_sinks.len()
+            * (std::mem::size_of::<(VersionId, EndpointId)>() + std::mem::size_of::<u64>());
+        std::mem::size_of::<Self>() + edges + sinks
     }
 
     /// Aggregates this version's serving edges per logical endpoint
@@ -279,7 +265,7 @@ pub struct EdgeSummary {
 
 impl EdgeSummary {
     fn from_stats(stats: &EdgeStats) -> EdgeSummary {
-        let qs = quantiles(stats.latency.samples(), &[0.5, 0.95]).unwrap_or_else(|| vec![0.0, 0.0]);
+        let qs = stats.latency.quantiles(&[0.5, 0.95]).unwrap_or_else(|| vec![0.0, 0.0]);
         EdgeSummary {
             calls: stats.calls,
             error_rate: stats.error_rate(),
@@ -291,6 +277,22 @@ impl EdgeSummary {
         }
     }
 }
+
+/// Weight of the canary−baseline error-rate delta in [`EdgeDelta::score`].
+/// Error rate is a fraction in `[0, 1]`, latency deltas are milliseconds;
+/// this scale makes a 1-point (0.01) error-rate regression outrank a
+/// 10 ms p95 regression — user-visible failures dominate slowdowns.
+pub const SCORE_ERROR_RATE_WEIGHT: f64 = 1_000.0;
+
+/// Weight of the retry-amplification delta in [`EdgeDelta::score`].
+/// Retries are an early saturation signal but cheaper than hard errors:
+/// one order of magnitude below [`SCORE_ERROR_RATE_WEIGHT`], one above
+/// raw milliseconds.
+pub const SCORE_RETRY_RATE_WEIGHT: f64 = 100.0;
+
+/// Weight of the p95 latency delta (ms) in [`EdgeDelta::score`] — the
+/// unit scale the other weights are expressed against.
+pub const SCORE_P95_DELTA_WEIGHT: f64 = 1.0;
 
 impl EdgeDelta {
     /// Canary − baseline error-rate difference.
@@ -314,9 +316,14 @@ impl EdgeDelta {
     }
 
     /// Degradation score used to rank edges: error-rate deltas dominate,
-    /// latency deltas break ties.
+    /// retry amplification next, latency deltas break ties. Weights are
+    /// the documented [`SCORE_ERROR_RATE_WEIGHT`] /
+    /// [`SCORE_RETRY_RATE_WEIGHT`] / [`SCORE_P95_DELTA_WEIGHT`]
+    /// constants.
     pub fn score(&self) -> f64 {
-        self.error_rate_delta() * 1_000.0 + self.retry_rate_delta() * 100.0 + self.p95_delta_ms()
+        self.error_rate_delta() * SCORE_ERROR_RATE_WEIGHT
+            + self.retry_rate_delta() * SCORE_RETRY_RATE_WEIGHT
+            + self.p95_delta_ms() * SCORE_P95_DELTA_WEIGHT
     }
 }
 
@@ -338,6 +345,9 @@ pub struct HealthReport {
     /// Critical-path sinks (`service@version/endpoint`, count), most
     /// frequent first.
     pub critical_sinks: Vec<(String, u64)>,
+    /// Trace-collector sampling counters at build time, so sampling bias
+    /// is visible wherever the report lands (render, journal, replay).
+    pub sampling: SamplingStats,
 }
 
 impl HealthReport {
@@ -390,7 +400,15 @@ impl HealthReport {
             failed_traces: acc.failed_traces(),
             edges,
             critical_sinks,
+            sampling: SamplingStats::default(),
         }
+    }
+
+    /// Attaches the trace collector's sampling counters so the report
+    /// (and anything journaling it) discloses how traces were selected.
+    pub fn with_sampling(mut self, sampling: SamplingStats) -> HealthReport {
+        self.sampling = sampling;
+        self
     }
 
     /// The most degraded endpoint (highest [`EdgeDelta::score`]), ties
@@ -419,6 +437,18 @@ impl HealthReport {
             self.service, self.canary, self.baseline
         );
         let _ = writeln!(out, "traces {} failed {}", self.traces, self.failed_traces);
+        if self.sampling != SamplingStats::default() {
+            let _ = writeln!(
+                out,
+                "sampling: recorded {} evicted {} tail_kept {} downsampled_kept {} \
+                 healthy_dropped {}",
+                self.sampling.recorded,
+                self.sampling.evicted,
+                self.sampling.tail_kept,
+                self.sampling.downsampled_kept,
+                self.sampling.healthy_dropped,
+            );
+        }
         for e in &self.edges {
             let _ = writeln!(
                 out,
@@ -503,21 +533,82 @@ mod tests {
     }
 
     #[test]
-    fn reservoir_is_bounded_and_deterministic() {
-        let mut r = LatencyReservoir::new();
-        for i in 0..100_000u64 {
-            r.push(i as f64);
+    fn edge_state_is_bounded_regardless_of_traffic() {
+        let mut stats = EdgeStats::default();
+        let (mut sim, _, _) = simulate_canary(0.0, 10.0);
+        let traces = sim.drain_traces();
+        let span = traces[0].spans[0];
+        let before = std::mem::size_of::<EdgeStats>();
+        for _ in 0..100_000 {
+            stats.fold(&span, 1);
         }
-        assert!(r.samples().len() <= RESERVOIR_CAP);
-        assert!(r.samples().len() > RESERVOIR_CAP / 4, "compaction keeps a useful tail");
-        assert_eq!(r.seen(), 100_000);
-        let mut r2 = LatencyReservoir::new();
-        for i in 0..100_000u64 {
-            r2.push(i as f64);
+        assert_eq!(stats.calls, 100_000);
+        assert_eq!(stats.latency.count(), 100_000);
+        // Sketch state is bucket-capped: far below one raw f64 per call.
+        assert!(
+            stats.latency.state_bytes() < 64 * 1024,
+            "sketch stays bounded: {} bytes (struct {before})",
+            stats.latency.state_bytes()
+        );
+    }
+
+    #[test]
+    fn weighted_folds_match_repeated_folds() {
+        let (mut sim, _, _) = simulate_canary(0.3, 25.0);
+        let traces = sim.drain_traces();
+        let mut repeated = HealthAccumulator::new();
+        for t in &traces {
+            for _ in 0..3 {
+                repeated.observe_trace(t);
+            }
         }
-        assert_eq!(r, r2, "same input, same reservoir");
-        // Order-preserving: retained samples are strictly increasing here.
-        assert!(r.samples().windows(2).all(|w| w[0] < w[1]));
+        let mut weighted = HealthAccumulator::new();
+        for t in &traces {
+            let mut heavy = t.clone();
+            heavy.weight = 3;
+            weighted.observe_trace(&heavy);
+        }
+        assert_eq!(repeated.traces(), weighted.traces());
+        assert_eq!(repeated.failed_traces(), weighted.failed_traces());
+        assert_eq!(repeated.edges(), weighted.edges(), "weight-3 fold == 3 identical folds");
+        assert_eq!(repeated.critical_sinks(), weighted.critical_sinks());
+    }
+
+    #[test]
+    fn worst_edge_tie_break_is_deterministic() {
+        // Two endpoints with byte-identical deltas: the lexicographically
+        // smaller endpoint must win, on every evaluation order.
+        let summary = EdgeSummary { calls: 10, ..EdgeSummary::default() };
+        let edge = |name: &str| EdgeDelta {
+            endpoint: name.to_string(),
+            baseline: summary.clone(),
+            canary: summary.clone(),
+        };
+        let mut report = HealthReport {
+            service: "svc".into(),
+            baseline: "svc@1".into(),
+            canary: "svc@2".into(),
+            traces: 10,
+            failed_traces: 0,
+            edges: vec![edge("beta"), edge("alpha")],
+            critical_sinks: Vec::new(),
+            sampling: SamplingStats::default(),
+        };
+        assert_eq!(report.worst_edge().unwrap().endpoint, "alpha");
+        report.edges.reverse();
+        assert_eq!(
+            report.worst_edge().unwrap().endpoint,
+            "alpha",
+            "tie-break independent of edge order"
+        );
+        // And the score itself is built from the documented constants.
+        let e = edge("alpha");
+        assert_eq!(
+            e.score(),
+            e.error_rate_delta() * SCORE_ERROR_RATE_WEIGHT
+                + e.retry_rate_delta() * SCORE_RETRY_RATE_WEIGHT
+                + e.p95_delta_ms() * SCORE_P95_DELTA_WEIGHT
+        );
     }
 
     #[test]

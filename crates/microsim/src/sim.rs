@@ -241,6 +241,12 @@ impl Simulation {
         self.collector.set_capacity(capacity);
     }
 
+    /// Enables (or disables, with `None`) tail-based sampling on the
+    /// trace collector; see [`TraceCollector::set_tail_sampling`].
+    pub fn set_tail_sampling(&mut self, config: Option<crate::trace::TailSamplingConfig>) {
+        self.collector.set_tail_sampling(config);
+    }
+
     /// Read access to the trace collector (retention counters, streaming
     /// per-edge aggregates).
     pub fn trace_collector(&self) -> &TraceCollector {

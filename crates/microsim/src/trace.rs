@@ -52,6 +52,7 @@ use crate::app::{Application, EndpointId, ServiceId, VersionId};
 use cex_core::intern::{Interner, Sym};
 use cex_core::metrics::OnlineStats;
 use cex_core::simtime::{SimDuration, SimTime};
+use cex_core::sketch::QuantileSketch;
 use std::collections::{BTreeMap, VecDeque};
 use std::fmt;
 use std::sync::Arc;
@@ -163,9 +164,20 @@ pub struct Trace {
     pub id: TraceId,
     /// All spans, pre-order: root first, parents before children.
     pub spans: Vec<Span>,
+    /// How many statistically-similar traces this one stands for: `1`
+    /// normally; `k` when tail-based sampling kept this healthy trace as
+    /// the representative of its 1-in-`k` downsampling stratum. Health
+    /// accumulation folds the trace `weight` times (at `O(1)` cost) so
+    /// downsampling does not bias rates or quantile mass.
+    pub weight: u32,
 }
 
 impl Trace {
+    /// A trace standing for itself alone (`weight == 1`).
+    pub fn new(id: TraceId, spans: Vec<Span>) -> Trace {
+        Trace { id, spans, weight: 1 }
+    }
+
     /// The root span (the user-facing entry hop).
     ///
     /// # Panics
@@ -351,6 +363,123 @@ impl EdgeTotals {
 /// Default number of retained traces before the ring starts evicting.
 pub const DEFAULT_TRACE_RETENTION: usize = 65_536;
 
+/// Tail-based sampling policy for the [`TraceCollector`] (off by
+/// default): traces whose spans carry an error status — failed, timed
+/// out, or shed — and traces slower than a sketch-derived root-latency
+/// threshold are always retained, while healthy traces keep only a
+/// deterministic 1-in-`k` representative carrying [`Trace::weight`]` = k`.
+/// This bounds retained-trace memory by the *anomaly* rate instead of the
+/// traffic rate — the property that lets the pipeline hold 10⁷-trace runs
+/// in a few megabytes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TailSamplingConfig {
+    /// Keep one in this many healthy traces (`k ≥ 1`); the kept one
+    /// carries weight `k` so aggregate folds stay unbiased.
+    pub healthy_keep_one_in: u32,
+    /// Root-latency quantile (`0.0..=1.0`) above which a trace counts as
+    /// *slow* and is always retained, measured by a streaming
+    /// [`QuantileSketch`] over every offered root latency.
+    pub slow_quantile: f64,
+    /// Offered traces the threshold sketch must absorb before the slow
+    /// rule activates (a cold sketch would flag everything or nothing).
+    /// Until then only the error rule and the healthy downsampler run.
+    pub warmup: u64,
+}
+
+impl Default for TailSamplingConfig {
+    fn default() -> Self {
+        TailSamplingConfig { healthy_keep_one_in: 10, slow_quantile: 0.95, warmup: 512 }
+    }
+}
+
+impl TailSamplingConfig {
+    fn validate(&self) {
+        assert!(self.healthy_keep_one_in >= 1, "healthy_keep_one_in must be at least 1");
+        assert!(
+            self.slow_quantile.is_finite() && (0.0..=1.0).contains(&self.slow_quantile),
+            "slow_quantile must be in 0.0..=1.0"
+        );
+    }
+}
+
+/// Sampling accounting of a [`TraceCollector`], monotone counters that
+/// survive ring eviction — what the journal's `health` events and the
+/// report render surface so sampling bias stays visible in replay.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SamplingStats {
+    /// Traces ever offered to the collector (folded into edge totals).
+    pub recorded: u64,
+    /// Retained traces evicted by the retention ring.
+    pub evicted: u64,
+    /// Traces always retained by the tail rule (error status or slow).
+    pub tail_kept: u64,
+    /// Healthy traces retained as 1-in-`k` representatives.
+    pub downsampled_kept: u64,
+    /// Healthy traces dropped by the downsampler (never retained).
+    pub healthy_dropped: u64,
+}
+
+/// Streaming tail-sampling state: the root-latency threshold sketch and
+/// the deterministic healthy-trace cadence.
+#[derive(Debug, Clone)]
+struct TailState {
+    config: TailSamplingConfig,
+    /// Root latencies (ms) of every offered trace; the slow threshold is
+    /// a quantile of this sketch.
+    roots: QuantileSketch,
+    /// Healthy traces seen; every `healthy_keep_one_in`-th is kept.
+    healthy_seen: u64,
+    tail_kept: u64,
+    downsampled_kept: u64,
+    healthy_dropped: u64,
+}
+
+impl TailState {
+    fn new(config: TailSamplingConfig) -> TailState {
+        config.validate();
+        TailState {
+            config,
+            roots: QuantileSketch::for_latency(),
+            healthy_seen: 0,
+            tail_kept: 0,
+            downsampled_kept: 0,
+            healthy_dropped: 0,
+        }
+    }
+
+    /// Decides one offered trace: `Some(weight)` retains it, `None`
+    /// drops it. Deterministic — a pure function of the offer sequence.
+    fn decide(&mut self, trace: &Trace) -> Option<u32> {
+        let root_ms = trace.response_time().as_millis() as f64;
+        // Threshold from the state *before* this trace, so the decision
+        // never depends on evaluation order subtleties. The quantile is
+        // inflated by the sketch's relative-error band: a value within
+        // sketch error of the quantile is indistinguishable from it (on a
+        // constant distribution *every* value sits there) and must not
+        // flag as slow.
+        let slow = self.roots.count() >= self.config.warmup
+            && self
+                .roots
+                .quantile(self.config.slow_quantile)
+                .is_some_and(|q| root_ms > q * (1.0 + 2.0 * self.roots.relative_error()));
+        self.roots.push(root_ms);
+        let erroneous = trace.spans.iter().any(|s| s.status.is_error());
+        if erroneous || slow {
+            self.tail_kept += 1;
+            return Some(1);
+        }
+        let keep = self.healthy_seen.is_multiple_of(self.config.healthy_keep_one_in as u64);
+        self.healthy_seen += 1;
+        if keep {
+            self.downsampled_kept += 1;
+            Some(self.config.healthy_keep_one_in)
+        } else {
+            self.healthy_dropped += 1;
+            None
+        }
+    }
+}
+
 /// Collects sampled traces, as the tracing backend (Zipkin/Jaeger) would,
 /// with bounded retention and streaming per-edge aggregates (see module
 /// docs).
@@ -365,6 +494,9 @@ pub struct TraceCollector {
     dropped: u64,
     recorded: u64,
     edges: BTreeMap<EdgeKey, EdgeTotals>,
+    /// Tail-based sampling policy and state; `None` retains every
+    /// recorded trace (the pre-tail behaviour).
+    tail: Option<TailState>,
 }
 
 impl TraceCollector {
@@ -393,6 +525,7 @@ impl TraceCollector {
             dropped: 0,
             recorded: 0,
             edges: BTreeMap::new(),
+            tail: None,
         }
     }
 
@@ -448,6 +581,59 @@ impl TraceCollector {
         self.sampling
     }
 
+    /// Enables (or, with `None`, disables) tail-based sampling. Enabling
+    /// resets the tail state — threshold sketch and counters — so the
+    /// policy starts from a clean, deterministic slate; recorded traces,
+    /// aggregates and the trace-id sequence are untouched.
+    pub fn set_tail_sampling(&mut self, config: Option<TailSamplingConfig>) {
+        self.tail = config.map(TailState::new);
+    }
+
+    /// The active tail-sampling policy, `None` when every recorded trace
+    /// is retained.
+    pub fn tail_sampling(&self) -> Option<&TailSamplingConfig> {
+        self.tail.as_ref().map(|t| &t.config)
+    }
+
+    /// The sketch-derived root-latency threshold (ms) above which a trace
+    /// currently counts as slow (quantile inflated by the sketch's
+    /// relative-error band): `None` while tail sampling is off or the
+    /// threshold sketch is still warming up.
+    pub fn slow_threshold_ms(&self) -> Option<f64> {
+        let tail = self.tail.as_ref()?;
+        if tail.roots.count() < tail.config.warmup {
+            return None;
+        }
+        let q = tail.roots.quantile(tail.config.slow_quantile)?;
+        Some(q * (1.0 + 2.0 * tail.roots.relative_error()))
+    }
+
+    /// Monotone sampling accounting (see [`SamplingStats`]); counters
+    /// survive both downsampling and ring eviction.
+    pub fn sampling_stats(&self) -> SamplingStats {
+        let (tail_kept, downsampled_kept, healthy_dropped) = self
+            .tail
+            .as_ref()
+            .map_or((0, 0, 0), |t| (t.tail_kept, t.downsampled_kept, t.healthy_dropped));
+        SamplingStats {
+            recorded: self.recorded,
+            evicted: self.dropped,
+            tail_kept,
+            downsampled_kept,
+            healthy_dropped,
+        }
+    }
+
+    /// Estimated resident bytes of retained trace state: the span storage
+    /// of every ring entry plus the tail-sampling sketch. The scale
+    /// bench's peak-memory accounting reads this.
+    pub fn state_bytes(&self) -> usize {
+        let spans: usize = self.traces.iter().map(|t| t.spans.len()).sum();
+        let traces = self.traces.len() * std::mem::size_of::<Trace>();
+        let sketch = self.tail.as_ref().map_or(0, |t| t.roots.state_bytes());
+        spans * std::mem::size_of::<Span>() + traces + sketch
+    }
+
     /// Reserves the next trace id and reports whether this request should
     /// be traced at all (sampling decision).
     pub fn begin_trace(&mut self) -> Option<TraceId> {
@@ -464,12 +650,17 @@ impl TraceCollector {
 
     /// Stores a finished trace, folding it into the streaming per-edge
     /// aggregates and evicting the oldest retained trace when the ring is
-    /// full.
+    /// full. With tail-based sampling active
+    /// ([`TraceCollector::set_tail_sampling`]), erroneous and slow traces
+    /// are always retained while healthy ones keep only a deterministic
+    /// 1-in-`k` representative (carrying [`Trace::weight`]` = k`); traces
+    /// the downsampler drops still fold into the per-edge aggregates and
+    /// are counted in [`TraceCollector::sampling_stats`].
     ///
     /// # Panics
     ///
     /// Panics when the trace has no spans.
-    pub fn record(&mut self, trace: Trace) {
+    pub fn record(&mut self, mut trace: Trace) {
         assert!(!trace.spans.is_empty(), "refusing to record an empty trace");
         for span in &trace.spans {
             let caller = span.parent.and_then(|p| trace.get(p)).map(|p| p.version);
@@ -477,6 +668,12 @@ impl TraceCollector {
             self.edges.entry(key).or_default().fold(span);
         }
         self.recorded += 1;
+        if let Some(tail) = &mut self.tail {
+            match tail.decide(&trace) {
+                Some(weight) => trace.weight = weight,
+                None => return,
+            }
+        }
         if self.traces.len() == self.capacity {
             self.traces.pop_front();
             self.dropped += 1;
@@ -558,19 +755,19 @@ mod tests {
     }
 
     fn one_span_trace(id: TraceId) -> Trace {
-        Trace { id, spans: vec![span(id.0, 0, None, SpanStatus::Ok)] }
+        Trace::new(id, vec![span(id.0, 0, None, SpanStatus::Ok)])
     }
 
     #[test]
     fn trace_navigation() {
-        let t = Trace {
-            id: TraceId(1),
-            spans: vec![
+        let t = Trace::new(
+            TraceId(1),
+            vec![
                 span(1, 0, None, SpanStatus::Ok),
                 span(1, 1, Some(0), SpanStatus::Ok),
                 span(1, 2, Some(0), SpanStatus::Failed),
             ],
-        };
+        );
         assert_eq!(t.root().span, SpanId(0));
         assert_eq!(t.response_time().as_millis(), 10);
         assert!(t.ok(), "request-level success is the root status");
@@ -761,10 +958,7 @@ mod tests {
         shed.version = VersionId(1);
         let mut fallback = span(id.0, 3, Some(0), SpanStatus::Fallback);
         fallback.version = VersionId(1);
-        c.record(Trace {
-            id,
-            spans: vec![span(id.0, 0, None, SpanStatus::Ok), retry, shed, fallback],
-        });
+        c.record(Trace::new(id, vec![span(id.0, 0, None, SpanStatus::Ok), retry, shed, fallback]));
 
         assert_eq!(c.edge_totals().len(), 2, "entry edge + callee edge");
         let entry = c.edge_totals().get(&EdgeKey {
@@ -799,5 +993,99 @@ mod tests {
         assert!(c.is_empty());
         assert_eq!(c.recorded(), 1);
         assert_eq!(c.edge_totals().len(), 1);
+    }
+
+    fn trace_with(id: TraceId, status: SpanStatus, duration_ms: u64) -> Trace {
+        let mut s = span(id.0, 0, None, status);
+        s.duration = SimDuration::from_millis(duration_ms);
+        Trace::new(id, vec![s])
+    }
+
+    #[test]
+    fn tail_sampling_keeps_errors_and_downsamples_healthy() {
+        let mut c = TraceCollector::all();
+        // Disable the slow rule (huge warmup) to isolate the other two.
+        c.set_tail_sampling(Some(TailSamplingConfig {
+            healthy_keep_one_in: 4,
+            slow_quantile: 0.95,
+            warmup: u64::MAX,
+        }));
+        for i in 0..8u64 {
+            let id = c.begin_trace().unwrap();
+            c.record(trace_with(id, SpanStatus::Ok, 10 + i));
+        }
+        for _ in 0..3 {
+            let id = c.begin_trace().unwrap();
+            c.record(trace_with(id, SpanStatus::Failed, 10));
+        }
+        // 1-in-4 of the 8 healthy (ids 1 and 5, weight 4) + all 3 failed.
+        let kept: Vec<(u64, u32)> = c.traces().map(|t| (t.id.0, t.weight)).collect();
+        assert_eq!(kept, vec![(1, 4), (5, 4), (9, 1), (10, 1), (11, 1)]);
+        let stats = c.sampling_stats();
+        assert_eq!(stats.recorded, 11);
+        assert_eq!(stats.tail_kept, 3);
+        assert_eq!(stats.downsampled_kept, 2);
+        assert_eq!(stats.healthy_dropped, 6);
+        assert_eq!(stats.evicted, 0);
+        // Dropped healthy traces still fold into the exact edge totals.
+        let totals = c.edge_totals().values().next().unwrap();
+        assert_eq!(totals.calls, 11);
+    }
+
+    #[test]
+    fn tail_sampling_flags_slow_traces_after_warmup() {
+        let mut c = TraceCollector::all();
+        c.set_tail_sampling(Some(TailSamplingConfig {
+            healthy_keep_one_in: u32::MAX,
+            slow_quantile: 0.9,
+            warmup: 32,
+        }));
+        // Before warmup the first trace is the only healthy keep; after
+        // warmup a 100× outlier must be tail-kept despite Ok status.
+        for _ in 0..40 {
+            let id = c.begin_trace().unwrap();
+            c.record(trace_with(id, SpanStatus::Ok, 10));
+        }
+        assert!(c.slow_threshold_ms().is_some_and(|t| t < 20.0));
+        let id = c.begin_trace().unwrap();
+        c.record(trace_with(id, SpanStatus::Ok, 1_000));
+        let stats = c.sampling_stats();
+        assert_eq!(stats.tail_kept, 1, "the slow outlier is always retained");
+        assert_eq!(c.traces().last().unwrap().weight, 1);
+    }
+
+    #[test]
+    fn tail_sampling_is_deterministic() {
+        let run = || {
+            let mut c = TraceCollector::all();
+            c.set_tail_sampling(Some(TailSamplingConfig {
+                healthy_keep_one_in: 3,
+                slow_quantile: 0.9,
+                warmup: 16,
+            }));
+            for i in 0..200u64 {
+                let id = c.begin_trace().unwrap();
+                let status = if i % 17 == 0 { SpanStatus::Failed } else { SpanStatus::Ok };
+                c.record(trace_with(id, status, 5 + (i * 7) % 90));
+            }
+            let kept: Vec<(u64, u32)> = c.traces().map(|t| (t.id.0, t.weight)).collect();
+            (kept, c.sampling_stats(), c.slow_threshold_ms())
+        };
+        assert_eq!(run(), run(), "same offers, same decisions, same counters");
+    }
+
+    #[test]
+    fn disabling_tail_sampling_restores_keep_everything() {
+        let mut c = TraceCollector::all();
+        c.set_tail_sampling(Some(TailSamplingConfig::default()));
+        assert!(c.tail_sampling().is_some());
+        c.set_tail_sampling(None);
+        for _ in 0..5 {
+            let id = c.begin_trace().unwrap();
+            c.record(trace_with(id, SpanStatus::Ok, 10));
+        }
+        assert_eq!(c.len(), 5);
+        assert_eq!(c.sampling_stats().tail_kept, 0);
+        assert!(c.traces().all(|t| t.weight == 1));
     }
 }

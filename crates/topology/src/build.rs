@@ -105,21 +105,18 @@ mod tests {
 
     fn traces(app: &Application) -> Vec<Trace> {
         vec![
-            Trace {
-                id: TraceId(1),
-                spans: vec![
+            Trace::new(
+                TraceId(1),
+                vec![
                     span(app, 1, 0, None, "fe", false),
                     span(app, 1, 1, Some(0), "be", false),
                     span(app, 1, 2, Some(0), "dark-be", true),
                 ],
-            },
-            Trace {
-                id: TraceId(2),
-                spans: vec![
-                    span(app, 2, 0, None, "fe", false),
-                    span(app, 2, 1, Some(0), "be", false),
-                ],
-            },
+            ),
+            Trace::new(
+                TraceId(2),
+                vec![span(app, 2, 0, None, "fe", false), span(app, 2, 1, Some(0), "be", false)],
+            ),
         ]
     }
 
