@@ -90,6 +90,7 @@ fn case_study_workload(sim_app: &microsim::app::Application, rate_rps: f64) -> W
             EntryPoint { service: fe, endpoint: "checkout".into(), weight: 1.0 },
             EntryPoint { service: fe, endpoint: "search_page".into(), weight: 2.0 },
         ],
+        profile: microsim::workload::RateProfile::Constant,
     }
 }
 

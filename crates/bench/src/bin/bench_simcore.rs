@@ -52,7 +52,12 @@ fn scaling_workload(app: &Application, params: &RandomAppParams, rate_rps: f64) 
             weight: 1.0,
         })
         .collect();
-    Workload { population: Population::single("all", 50_000), rate_rps, entries }
+    Workload {
+        population: Population::single("all", 50_000),
+        rate_rps,
+        entries,
+        profile: microsim::workload::RateProfile::Constant,
+    }
 }
 
 /// One full window on a fresh sim; returns the report and the wall time.

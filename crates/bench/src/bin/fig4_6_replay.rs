@@ -62,6 +62,7 @@ fn workload(app: &microsim::app::Application) -> Workload {
             EntryPoint { service: fe, endpoint: "product".into(), weight: 3.0 },
             EntryPoint { service: fe, endpoint: "checkout".into(), weight: 1.0 },
         ],
+        profile: microsim::workload::RateProfile::Constant,
     }
 }
 

@@ -127,7 +127,12 @@ pub fn n_service_workload(app: &Application, n: usize, rate_rps: f64) -> Workloa
             weight: 1.0,
         })
         .collect();
-    Workload { population: Population::single("all", 100_000), rate_rps, entries }
+    Workload {
+        population: Population::single("all", 100_000),
+        rate_rps,
+        entries,
+        profile: microsim::workload::RateProfile::Constant,
+    }
 }
 
 #[cfg(test)]

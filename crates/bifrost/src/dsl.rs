@@ -66,6 +66,22 @@ struct Spanned {
     column: usize,
 }
 
+fn describe_tok(tok: &Tok) -> String {
+    match tok {
+        Tok::Ident(word) => format!("`{word}`"),
+        Tok::Str(s) => format!("\"{s}\""),
+        Tok::Number(v) => format!("number `{v}`"),
+        Tok::Percent(v) => format!("percentage `{v}%`"),
+        Tok::Duration(d) => format!("duration `{d}`"),
+        Tok::LBrace => "`{`".to_string(),
+        Tok::RBrace => "`}`".to_string(),
+        Tok::Lt => "`<`".to_string(),
+        Tok::Le => "`<=`".to_string(),
+        Tok::Gt => "`>`".to_string(),
+        Tok::Ge => "`>=`".to_string(),
+    }
+}
+
 fn lex(source: &str) -> Result<Vec<Spanned>, BifrostError> {
     let mut tokens = Vec::new();
     let mut chars = source.chars().peekable();
@@ -234,6 +250,16 @@ impl Parser {
         BifrostError::parse(line, column, message)
     }
 
+    /// Renders the token at the error position so parse errors can name
+    /// the offending input (`, got \`5\``) instead of just what was
+    /// expected.
+    fn offending(&self) -> String {
+        match self.peek() {
+            Some(Spanned { tok, .. }) => format!(", got {}", describe_tok(tok)),
+            None => ", got end of input".to_string(),
+        }
+    }
+
     fn next(&mut self) -> Option<Spanned> {
         let t = self.tokens.get(self.pos).cloned();
         if t.is_some() {
@@ -286,7 +312,10 @@ impl Parser {
             Some(Spanned { tok: Tok::Duration(d), .. }) => Ok(d),
             _ => {
                 self.pos = self.pos.saturating_sub(1);
-                Err(self.err("expected a duration like `30s`, `10m`, `2h`"))
+                Err(self.err(format!(
+                    "expected a duration like `30s`, `10m`, `2h`{}",
+                    self.offending()
+                )))
             }
         }
     }
@@ -406,14 +435,36 @@ impl Parser {
     }
 
     fn inject(&mut self) -> Result<ChaosSpec, BifrostError> {
+        // `zone_outage "<zone>"` is sugar for an outage striking every
+        // version deployed in the zone — the correlated-fault injection.
+        // It carries its target inline, so no `on` clause follows.
+        if self.eat_keyword("zone_outage") {
+            let zone = self.expect_string("zone label")?;
+            self.expect_keyword("after")?;
+            let start_after = self.expect_duration()?;
+            self.expect_keyword("for")?;
+            let duration = self.expect_duration()?;
+            return Ok(ChaosSpec {
+                kind: ChaosKind::Outage,
+                target: ChaosTarget::Zone(zone),
+                start_after,
+                duration,
+            });
+        }
         let kind = if self.eat_keyword("outage") {
             ChaosKind::Outage
         } else if self.eat_keyword("latency_spike") {
             ChaosKind::LatencySpike { multiplier: self.expect_number()? }
         } else if self.eat_keyword("error_burst") {
             ChaosKind::ErrorBurst { extra_error_rate: self.expect_number()? }
+        } else if self.eat_keyword("latency_storm") {
+            ChaosKind::LatencyStorm { multiplier: self.expect_number()? }
         } else {
-            return Err(self.err("expected `outage`, `latency_spike`, or `error_burst`"));
+            return Err(self.err(format!(
+                "expected `outage`, `latency_spike`, `error_burst`, `zone_outage`, \
+                 or `latency_storm`{}",
+                self.offending()
+            )));
         };
         self.expect_keyword("on")?;
         let target = match self.next() {
@@ -423,9 +474,15 @@ impl Parser {
             Some(Spanned { tok: Tok::Ident(word), .. }) if word == "baseline" => {
                 ChaosTarget::Baseline
             }
+            Some(Spanned { tok: Tok::Ident(word), .. }) if word == "zone" => {
+                ChaosTarget::Zone(self.expect_string("zone label")?)
+            }
             _ => {
                 self.pos = self.pos.saturating_sub(1);
-                return Err(self.err("expected `candidate` or `baseline`"));
+                return Err(self.err(format!(
+                    "expected `candidate`, `baseline`, or `zone \"<label>\"`{}",
+                    self.offending()
+                )));
             }
         };
         self.expect_keyword("after")?;
@@ -680,14 +737,33 @@ pub fn to_source(strategy: &Strategy) -> String {
                 ChaosKind::ErrorBurst { extra_error_rate } => {
                     format!("error_burst {extra_error_rate}")
                 }
+                ChaosKind::LatencyStorm { multiplier } => format!("latency_storm {multiplier}"),
             };
-            let _ = writeln!(
-                out,
-                "    inject {kind} on {} after {} for {}",
-                chaos.target.keyword(),
-                chaos.start_after,
-                chaos.duration
-            );
+            match (&chaos.kind, &chaos.target) {
+                (ChaosKind::Outage, ChaosTarget::Zone(zone)) => {
+                    let _ = writeln!(
+                        out,
+                        "    inject zone_outage \"{zone}\" after {} for {}",
+                        chaos.start_after, chaos.duration
+                    );
+                }
+                (_, ChaosTarget::Zone(zone)) => {
+                    let _ = writeln!(
+                        out,
+                        "    inject {kind} on zone \"{zone}\" after {} for {}",
+                        chaos.start_after, chaos.duration
+                    );
+                }
+                _ => {
+                    let _ = writeln!(
+                        out,
+                        "    inject {kind} on {} after {} for {}",
+                        chaos.target.keyword(),
+                        chaos.start_after,
+                        chaos.duration
+                    );
+                }
+            }
         }
         let _ = writeln!(out, "    on success {}", phase.on_success);
         let _ = writeln!(out, "    on failure {}", phase.on_failure);
@@ -870,7 +946,7 @@ strategy "rec-rollout" {
               on failure rollback
             } }"#;
         let s = parse(src).unwrap();
-        let spec = s.phases[0].chaos.expect("chaos spec");
+        let spec = s.phases[0].chaos.clone().expect("chaos spec");
         assert_eq!(spec.kind, ChaosKind::Outage);
         assert_eq!(spec.target, ChaosTarget::Candidate);
         assert_eq!(spec.start_after, SimDuration::from_mins(2));
@@ -894,6 +970,97 @@ strategy "rec-rollout" {
             let s = parse(&src).unwrap();
             let reparsed = parse(&to_source(&s)).unwrap();
             assert_eq!(s, reparsed, "inject `{inject}`");
+        }
+    }
+
+    #[test]
+    fn zone_outage_parses_and_roundtrips() {
+        let src = r#"strategy "s" { service "a" baseline "1" candidate "2"
+            phase "chaos" canary 20% for 10m {
+              inject zone_outage "cell-0" after 2m for 90s
+              check error_rate app < 0.05 over 1m every 30s min_samples 50
+              on success complete
+              on failure rollback
+            } }"#;
+        let s = parse(src).unwrap();
+        let spec = s.phases[0].chaos.clone().expect("chaos spec");
+        assert_eq!(spec.kind, ChaosKind::Outage);
+        assert_eq!(spec.target, ChaosTarget::Zone("cell-0".to_string()));
+        assert_eq!(spec.start_after, SimDuration::from_mins(2));
+        assert_eq!(spec.duration, SimDuration::from_secs(90));
+        let printed = to_source(&s);
+        assert!(printed.contains("inject zone_outage \"cell-0\" after 120s for 90s"), "{printed}");
+        let reparsed = parse(&printed).unwrap();
+        assert_eq!(s, reparsed);
+    }
+
+    #[test]
+    fn latency_storm_and_zone_targets_roundtrip() {
+        for inject in ["latency_storm 4 on zone \"core\"", "error_burst 0.25 on zone \"edge\""] {
+            let src = format!(
+                r#"strategy "s" {{ service "a" baseline "1" candidate "2"
+                phase "p" canary 10% for 5m {{
+                  inject {inject} after 30s for 1m
+                  on success complete
+                  on failure rollback
+                }} }}"#
+            );
+            let s = parse(&src).unwrap();
+            assert!(
+                matches!(s.phases[0].chaos.as_ref().unwrap().target, ChaosTarget::Zone(_)),
+                "inject `{inject}`"
+            );
+            let reparsed = parse(&to_source(&s)).unwrap();
+            assert_eq!(s, reparsed, "inject `{inject}`");
+        }
+    }
+
+    #[test]
+    fn latency_storm_requires_zone_target() {
+        let src = r#"strategy "s" { service "a" baseline "1" candidate "2"
+            phase "p" canary 10% for 5m {
+              inject latency_storm 3 on candidate after 30s for 1m
+              on success complete
+              on failure rollback
+            } }"#;
+        let err = parse(src).unwrap_err();
+        assert!(err.to_string().contains("needs a zone target"), "{err}");
+    }
+
+    #[test]
+    fn unknown_inject_kind_names_the_offending_token() {
+        let src = "strategy \"s\" { service \"a\" baseline \"1\" candidate \"2\"\n\
+                   phase \"p\" canary 1% for 5m {\n\
+                   inject meteor_strike on candidate after 30s for 1m\n\
+                   on success complete on failure rollback } }";
+        match parse(src) {
+            Err(BifrostError::Parse { line, column, message }) => {
+                assert_eq!(line, 3);
+                assert_eq!(column, 8, "{message}");
+                assert!(message.contains("`zone_outage`"), "{message}");
+                assert!(message.contains("`latency_storm`"), "{message}");
+                assert!(message.contains("got `meteor_strike`"), "{message}");
+            }
+            other => panic!("expected parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn malformed_duration_reports_the_offending_token_and_position() {
+        // `5x` lexes as the number 5 followed by the identifier `x`; the
+        // duration expectation fails at the number's position and names it.
+        let src = "strategy \"s\" { service \"a\" baseline \"1\" candidate \"2\"\n\
+                   phase \"p\" canary 1% for 5m {\n\
+                   inject outage on candidate after 5x for 1m\n\
+                   on success complete on failure rollback } }";
+        match parse(src) {
+            Err(BifrostError::Parse { line, column, message }) => {
+                assert_eq!(line, 3);
+                assert_eq!(column, 34, "{message}");
+                assert!(message.contains("expected a duration"), "{message}");
+                assert!(message.contains("got number `5`"), "{message}");
+            }
+            other => panic!("expected parse error, got {other:?}"),
         }
     }
 

@@ -26,8 +26,8 @@ use crate::machine::{PhaseOutcome, State, StateMachine};
 use crate::model::{ChaosKind, ChaosSpec, ChaosTarget, CheckScope, PhaseKind, Strategy};
 use cex_core::metrics::MetricKind;
 use cex_core::simtime::{SimDuration, SimTime};
-use microsim::app::VersionId;
-use microsim::faults::{Fault, FaultKind};
+use microsim::app::{Application, VersionId};
+use microsim::faults::{self, Fault, FaultKind};
 use microsim::health::{EdgeDelta, HealthAccumulator, HealthReport};
 use microsim::monitor::ScopeId;
 use microsim::sim::Simulation;
@@ -372,18 +372,22 @@ impl Engine {
                 });
             }
             if let Some(spec) = &phase.chaos {
-                let fault = chaos_fault(spec, &binding, sim.now());
-                sim.inject_fault(fault);
+                let faults = chaos_faults(spec, &binding, sim.app(), sim.now())?;
+                let target = chaos_target_label(spec, sim.app(), &binding);
+                let from = sim.now() + spec.start_after;
+                for fault in faults {
+                    sim.inject_fault(fault);
+                }
                 if let Some(j) = journal.as_deref_mut() {
                     j.record(JournalEvent::Chaos {
                         time: sim.now(),
                         strategy: name.clone(),
                         phase: phase_names[0].clone(),
-                        kind: spec.kind.keyword(),
+                        kind: chaos_journal_kind(spec),
                         magnitude: chaos_magnitude(&spec.kind),
-                        target: sim.app().version_label(fault.version),
-                        from: fault.from,
-                        until: fault.until,
+                        target,
+                        from,
+                        until: from + spec.duration,
                     });
                 }
             }
@@ -936,18 +940,22 @@ impl Engine {
                     // every entry — including retries, which repeat the
                     // whole experiment, outage included.
                     if let Some(spec) = &next_phase.chaos {
-                        let fault = chaos_fault(spec, &run.binding, now);
-                        sim.inject_fault(fault);
+                        let faults = chaos_faults(spec, &run.binding, &app, now)?;
+                        let target = chaos_target_label(spec, &app, &run.binding);
+                        let from = now + spec.start_after;
+                        for fault in faults {
+                            sim.inject_fault(fault);
+                        }
                         if let Some(j) = journal.as_deref_mut() {
                             j.record(JournalEvent::Chaos {
                                 time: now,
                                 strategy: run.name.clone(),
                                 phase: run.phase_names[j_next].clone(),
-                                kind: spec.kind.keyword(),
+                                kind: chaos_journal_kind(spec),
                                 magnitude: chaos_magnitude(&spec.kind),
-                                target: app.version_label(fault.version),
-                                from: fault.from,
-                                until: fault.until,
+                                target,
+                                from,
+                                until: from + spec.duration,
                             });
                         }
                     }
@@ -1038,20 +1046,91 @@ fn enacted_percent(kind: &PhaseKind, rollout_percent: f64) -> f64 {
     }
 }
 
-/// Translates a phase's chaos spec into a concrete simulator fault
-/// window anchored at the phase entry time `now`.
-fn chaos_fault(spec: &ChaosSpec, binding: &StrategyBinding, now: SimTime) -> Fault {
-    let version = match spec.target {
-        ChaosTarget::Candidate => binding.candidate,
-        ChaosTarget::Baseline => binding.baseline,
-    };
-    let kind = match spec.kind {
-        ChaosKind::LatencySpike { multiplier } => FaultKind::LatencySpike { multiplier },
-        ChaosKind::ErrorBurst { extra_error_rate } => FaultKind::ErrorBurst { extra_error_rate },
-        ChaosKind::Outage => FaultKind::Outage,
-    };
+/// Translates a phase's chaos spec into concrete simulator fault
+/// windows anchored at the phase entry time `now`. Version targets map
+/// to a single fault; zone targets expand to one fault per version
+/// deployed with the zone label (the correlated-fault semantics).
+fn chaos_faults(
+    spec: &ChaosSpec,
+    binding: &StrategyBinding,
+    app: &Application,
+    now: SimTime,
+) -> Result<Vec<Fault>, BifrostError> {
     let from = now + spec.start_after;
-    Fault { version, kind, from, until: from + spec.duration }
+    let until = from + spec.duration;
+    match &spec.target {
+        ChaosTarget::Candidate | ChaosTarget::Baseline => {
+            let version = match spec.target {
+                ChaosTarget::Candidate => binding.candidate,
+                _ => binding.baseline,
+            };
+            let kind = match spec.kind {
+                ChaosKind::LatencySpike { multiplier } => FaultKind::LatencySpike { multiplier },
+                ChaosKind::ErrorBurst { extra_error_rate } => {
+                    FaultKind::ErrorBurst { extra_error_rate }
+                }
+                ChaosKind::Outage => FaultKind::Outage,
+                // Strategy::validate rejects this; guard for hand-built specs.
+                ChaosKind::LatencyStorm { .. } => {
+                    return Err(BifrostError::Execution(
+                        "latency_storm needs a zone target".to_string(),
+                    ))
+                }
+            };
+            Ok(vec![Fault { version, kind, from, until }])
+        }
+        ChaosTarget::Zone(zone) => {
+            let members = app.versions_in_zone(zone);
+            if members.is_empty() {
+                return Err(BifrostError::Execution(format!(
+                    "chaos zone \"{zone}\" matches no deployed version"
+                )));
+            }
+            Ok(match spec.kind {
+                ChaosKind::Outage => faults::zone_outage(&members, from, until),
+                ChaosKind::LatencyStorm { multiplier } => {
+                    faults::latency_storm(&members, multiplier, from, until)
+                }
+                ChaosKind::LatencySpike { multiplier } => members
+                    .iter()
+                    .map(|&version| Fault {
+                        version,
+                        kind: FaultKind::LatencySpike { multiplier },
+                        from,
+                        until,
+                    })
+                    .collect(),
+                ChaosKind::ErrorBurst { extra_error_rate } => members
+                    .iter()
+                    .map(|&version| Fault {
+                        version,
+                        kind: FaultKind::ErrorBurst { extra_error_rate },
+                        from,
+                        until,
+                    })
+                    .collect(),
+            })
+        }
+    }
+}
+
+/// The journaled keyword for a chaos spec — zone-targeted outages
+/// journal as `zone_outage`, matching the DSL spelling.
+fn chaos_journal_kind(spec: &ChaosSpec) -> &'static str {
+    match (&spec.kind, &spec.target) {
+        (ChaosKind::Outage, ChaosTarget::Zone(_)) => "zone_outage",
+        _ => spec.kind.keyword(),
+    }
+}
+
+/// The journaled target label: a version label for version targets, a
+/// `zone:<label>` tag for zone targets.
+fn chaos_target_label(spec: &ChaosSpec, app: &Application, binding: &StrategyBinding) -> String {
+    match &spec.target {
+        ChaosTarget::Candidate => app.version_label(binding.candidate),
+        ChaosTarget::Baseline => app.version_label(binding.baseline),
+        ChaosTarget::Zone(zone) => format!("zone:{zone}"),
+    }
 }
 
 /// The journaled magnitude of a chaos kind (zero for outages).
@@ -1060,6 +1139,7 @@ fn chaos_magnitude(kind: &ChaosKind) -> f64 {
         ChaosKind::LatencySpike { multiplier } => *multiplier,
         ChaosKind::ErrorBurst { extra_error_rate } => *extra_error_rate,
         ChaosKind::Outage => 0.0,
+        ChaosKind::LatencyStorm { multiplier } => *multiplier,
     }
 }
 
@@ -1226,6 +1306,7 @@ mod tests {
             population: cex_core::users::Population::single("all", 50_000),
             rate_rps: 200.0,
             entries,
+            profile: microsim::workload::RateProfile::Constant,
         };
         let mut sim = Simulation::new(app, 4);
         let engine = Engine::new(EngineConfig { parallel_threshold: 1, ..Default::default() });
@@ -1332,6 +1413,7 @@ mod tests {
             population: cex_core::users::Population::single("all", 50_000),
             rate_rps: 100.0,
             entries,
+            profile: microsim::workload::RateProfile::Constant,
         };
         (app, strategies, wl)
     }
@@ -1851,6 +1933,154 @@ mod tests {
         // Caught inside the outage window, not at the phase boundary.
         let t = report.transitions.last().unwrap().time;
         assert!(t <= SimTime::from_mins(2) + SimDuration::from_secs(30), "rolled back at {t}");
+    }
+
+    /// The chaos app with zone labels on the backend pair, for the
+    /// correlated-fault (zone chaos) tests.
+    fn zoned_chaos_app() -> Application {
+        use microsim::app::CallDef;
+        let mut b = Application::builder();
+        b.version(
+            VersionSpec::new("web", "1.0.0").capacity(10_000.0).zone("edge").endpoint(
+                EndpointDef::new("home", LatencyModel::Constant { ms: 5.0 })
+                    .call(CallDef::always("svc", "api")),
+            ),
+        );
+        b.version(
+            VersionSpec::new("svc", "1.0.0")
+                .capacity(10_000.0)
+                .zone("backend")
+                .endpoint(EndpointDef::new("api", LatencyModel::Constant { ms: 10.0 })),
+        );
+        b.version(
+            VersionSpec::new("svc", "2.0.0")
+                .capacity(10_000.0)
+                .zone("backend")
+                .endpoint(EndpointDef::new("api", LatencyModel::Constant { ms: 9.0 })),
+        );
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn zone_outage_strikes_every_zone_member_and_journals_the_zone() {
+        let app = zoned_chaos_app();
+        let wl = chaos_workload(&app);
+        let mut sim = Simulation::new(app, 17);
+        sim.set_call_policy(resilience_policy());
+        let strategy = dsl::parse(
+            r#"strategy "zone-chaos" {
+                service "svc" baseline "1.0.0" candidate "2.0.0"
+                phase "chaos" canary 20% for 8m {
+                  inject zone_outage "backend" after 2m for 1m
+                  check error_rate app < 0.02 over 1m every 30s min_samples 20
+                  on success complete
+                  on failure rollback
+                }
+            }"#,
+        )
+        .unwrap();
+        let (report, journal) = Engine::default()
+            .execute_journaled(&mut sim, &[strategy], &wl, SimDuration::from_mins(10))
+            .unwrap();
+        // Fallbacks absorb the whole-zone outage, so the app-scope check
+        // passes and the experiment completes.
+        assert_eq!(report.statuses[0].1, StrategyStatus::Completed);
+
+        // One journal event for the correlated fault, tagged with the
+        // zone (not a single version) and the DSL spelling of the kind.
+        let chaos: Vec<_> = journal
+            .events()
+            .iter()
+            .filter_map(|e| match e {
+                JournalEvent::Chaos { kind, target, from, until, .. } => {
+                    Some((*kind, target.clone(), *from, *until))
+                }
+                _ => None,
+            })
+            .collect();
+        assert_eq!(
+            chaos,
+            vec![(
+                "zone_outage",
+                "zone:backend".to_string(),
+                SimTime::from_mins(2),
+                SimTime::from_mins(3)
+            )]
+        );
+
+        // Both zone members went dark: the breakers guarding the edges
+        // into each backend version open during the window.
+        use microsim::resilience::BreakerState;
+        for callee in ["svc@1.0.0", "svc@2.0.0"] {
+            let opened = journal.events().iter().any(|e| {
+                matches!(e, JournalEvent::Breaker { time, callee: c, to, .. }
+                    if c == callee
+                        && *to == BreakerState::Open
+                        && *time >= SimTime::from_mins(2)
+                        && *time < SimTime::from_mins(3))
+            });
+            assert!(opened, "breaker into {callee} never opened during the zone outage");
+        }
+
+        // The zone_outage keyword survives the journal round-trip.
+        let text = journal.to_jsonl();
+        let parsed = crate::journal::Journal::from_jsonl(&text).unwrap();
+        assert_eq!(parsed.to_jsonl(), text);
+    }
+
+    #[test]
+    fn latency_storm_journals_its_magnitude_and_zone() {
+        let app = zoned_chaos_app();
+        let wl = chaos_workload(&app);
+        let mut sim = Simulation::new(app, 17);
+        sim.set_call_policy(resilience_policy());
+        let strategy = dsl::parse(
+            r#"strategy "storm" {
+                service "svc" baseline "1.0.0" candidate "2.0.0"
+                phase "chaos" canary 20% for 8m {
+                  inject latency_storm 5 on zone "backend" after 2m for 1m
+                  check error_rate app < 0.02 over 1m every 30s min_samples 20
+                  on success complete
+                  on failure rollback
+                }
+            }"#,
+        )
+        .unwrap();
+        let (report, journal) = Engine::default()
+            .execute_journaled(&mut sim, &[strategy], &wl, SimDuration::from_mins(10))
+            .unwrap();
+        // A pure latency storm produces no errors, so the experiment
+        // completes; the journal carries the multiplier and the zone.
+        assert_eq!(report.statuses[0].1, StrategyStatus::Completed);
+        let stormed = journal.events().iter().any(|e| {
+            matches!(e, JournalEvent::Chaos { kind, magnitude, target, .. }
+                if *kind == "latency_storm" && *magnitude == 5.0 && target == "zone:backend")
+        });
+        assert!(stormed, "latency_storm event missing from the journal");
+        let text = journal.to_jsonl();
+        assert_eq!(crate::journal::Journal::from_jsonl(&text).unwrap().to_jsonl(), text);
+    }
+
+    #[test]
+    fn unknown_chaos_zone_is_an_execution_error() {
+        let app = chaos_app(); // no zone labels at all
+        let wl = chaos_workload(&app);
+        let mut sim = Simulation::new(app, 17);
+        let strategy = dsl::parse(
+            r#"strategy "ghost-zone" {
+                service "svc" baseline "1.0.0" candidate "2.0.0"
+                phase "chaos" canary 20% for 8m {
+                  inject zone_outage "ghost" after 2m for 1m
+                  on success complete
+                  on failure rollback
+                }
+            }"#,
+        )
+        .unwrap();
+        let err = Engine::default()
+            .execute(&mut sim, &[strategy], &wl, SimDuration::from_mins(10))
+            .unwrap_err();
+        assert!(err.to_string().contains("matches no deployed version"), "unexpected error: {err}");
     }
 
     #[test]

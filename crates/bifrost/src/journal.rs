@@ -238,7 +238,9 @@ fn kind_keyword(name: &str) -> Option<&'static str> {
 
 /// Same resolution for chaos kinds ([`crate::model::ChaosKind`] keywords).
 fn chaos_keyword(name: &str) -> Option<&'static str> {
-    ["outage", "latency_spike", "error_burst"].into_iter().find(|k| *k == name)
+    ["outage", "latency_spike", "error_burst", "zone_outage", "latency_storm"]
+        .into_iter()
+        .find(|k| *k == name)
 }
 
 /// Same resolution for guarded-ramp decisions.

@@ -274,6 +274,14 @@ pub enum ChaosKind {
     },
     /// Every request to the target fails.
     Outage,
+    /// A cascading latency-spike storm: every version in the target zone
+    /// suffers the multiplier, with staggered starts that all end together
+    /// (see `microsim::faults::latency_storm`). Only valid with a
+    /// [`ChaosTarget::Zone`] target.
+    LatencyStorm {
+        /// Latency multiplier applied to every zone member.
+        multiplier: f64,
+    },
 }
 
 impl ChaosKind {
@@ -283,29 +291,35 @@ impl ChaosKind {
             ChaosKind::LatencySpike { .. } => "latency_spike",
             ChaosKind::ErrorBurst { .. } => "error_burst",
             ChaosKind::Outage => "outage",
+            ChaosKind::LatencyStorm { .. } => "latency_storm",
         }
     }
 }
 
 /// Which of the strategy's versions a chaos injection strikes.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ChaosTarget {
     /// The candidate version.
     Candidate,
     /// The baseline version.
     Baseline,
+    /// Every version deployed with this zone label — the correlated-fault
+    /// target (`inject zone_outage "zone"`).
+    Zone(String),
 }
 
 impl ChaosTarget {
     /// Canonical keyword, shared with the DSL.
-    pub fn keyword(self) -> &'static str {
+    pub fn keyword(&self) -> &'static str {
         match self {
             ChaosTarget::Candidate => "candidate",
             ChaosTarget::Baseline => "baseline",
+            ChaosTarget::Zone(_) => "zone",
         }
     }
 
-    /// Parses the keyword produced by [`ChaosTarget::keyword`].
+    /// Parses the keyword produced by [`ChaosTarget::keyword`] (version
+    /// targets only; zone targets carry a label and are parsed by the DSL).
     pub fn from_keyword(name: &str) -> Option<Self> {
         Some(match name {
             "candidate" => ChaosTarget::Candidate,
@@ -319,7 +333,7 @@ impl ChaosTarget {
 /// chaos-recovery experiment. The engine injects the corresponding
 /// `FaultPlan` window when it enacts the phase; the phase's checks (and
 /// the journaled breaker transitions) then assert *recovery*.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ChaosSpec {
     /// What to inflict.
     pub kind: ChaosKind,
@@ -544,6 +558,25 @@ impl Strategy {
                         }
                     }
                     ChaosKind::Outage => {}
+                    ChaosKind::LatencyStorm { multiplier } => {
+                        if multiplier < 1.0 {
+                            return invalid(format!(
+                                "phase {}: chaos latency multiplier below 1",
+                                phase.name
+                            ));
+                        }
+                        if !matches!(chaos.target, ChaosTarget::Zone(_)) {
+                            return invalid(format!(
+                                "phase {}: latency_storm needs a zone target",
+                                phase.name
+                            ));
+                        }
+                    }
+                }
+                if let ChaosTarget::Zone(zone) = &chaos.target {
+                    if zone.is_empty() {
+                        return invalid(format!("phase {}: chaos zone label is empty", phase.name));
+                    }
                 }
             }
             for action in [&phase.on_success, &phase.on_failure, &phase.on_inconclusive] {

@@ -433,7 +433,7 @@ mod tests {
     fn chaos_recovery_schedules_an_outage_inside_the_phase() {
         let s = chaos_recovery("x", "svc", "1", "2", 0.02, HealthCriteria::default());
         let phase = s.phase("chaos").unwrap();
-        let spec = phase.chaos.expect("chaos spec");
+        let spec = phase.chaos.clone().expect("chaos spec");
         assert_eq!(spec.kind, ChaosKind::Outage);
         assert_eq!(spec.target, ChaosTarget::Candidate);
         assert!(spec.start_after + spec.duration <= phase.duration, "outage fits in the phase");

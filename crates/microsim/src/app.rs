@@ -126,6 +126,9 @@ pub struct VersionSpec {
     /// Admission-queue depth once all concurrency slots are busy; `None`
     /// means unbounded. Arrivals beyond a full queue are shed.
     pub queue_capacity: Option<u32>,
+    /// Availability-zone label (cell, rack, region): versions sharing a
+    /// zone fail together under correlated faults such as a zone outage.
+    pub zone: Option<String>,
     /// The endpoints this version exposes.
     pub endpoints: Vec<EndpointDef>,
 }
@@ -141,6 +144,7 @@ impl VersionSpec {
             conversion_rate: 0.02,
             concurrency_limit: None,
             queue_capacity: None,
+            zone: None,
             endpoints: Vec::new(),
         }
     }
@@ -172,6 +176,12 @@ impl VersionSpec {
     /// Bounds the admission queue; arrivals beyond it are shed.
     pub fn queue_capacity(mut self, depth: u32) -> Self {
         self.queue_capacity = Some(depth);
+        self
+    }
+
+    /// Places the version in an availability zone.
+    pub fn zone(mut self, zone: impl Into<String>) -> Self {
+        self.zone = Some(zone.into());
         self
     }
 
@@ -225,6 +235,8 @@ pub struct ServiceVersion {
     pub concurrency_limit: Option<u32>,
     /// Admission-queue depth (`None` = unbounded).
     pub queue_capacity: Option<u32>,
+    /// Availability-zone label, when the version was placed in one.
+    pub zone: Option<String>,
     /// Endpoint ids, sorted by endpoint name.
     pub endpoints: Vec<EndpointId>,
 }
@@ -354,6 +366,23 @@ impl Application {
         format!("{}@{}", self.service_names[v.service.0], v.label)
     }
 
+    /// Distinct availability-zone labels across deployed versions, sorted.
+    pub fn zones(&self) -> Vec<&str> {
+        let mut zones: Vec<&str> = self.versions.iter().filter_map(|v| v.zone.as_deref()).collect();
+        zones.sort_unstable();
+        zones.dedup();
+        zones
+    }
+
+    /// All versions placed in `zone`, in deployment order — the blast
+    /// radius of a correlated zone fault.
+    pub fn versions_in_zone(&self, zone: &str) -> Vec<VersionId> {
+        (0..self.versions.len())
+            .map(VersionId)
+            .filter(|v| self.versions[v.0].zone.as_deref() == Some(zone))
+            .collect()
+    }
+
     /// Deploys an additional version into a built application, as an
     /// experiment would at runtime.
     ///
@@ -416,6 +445,7 @@ impl Application {
             conversion_rate: spec.conversion_rate,
             concurrency_limit: spec.concurrency_limit,
             queue_capacity: spec.queue_capacity,
+            zone: spec.zone.clone(),
             endpoints: endpoint_ids,
         });
         self.versions_of[sid.0].push(vid);

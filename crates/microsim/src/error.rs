@@ -31,6 +31,9 @@ pub enum SimError {
     BadRoute(String),
     /// The application definition is structurally invalid.
     BadApplication(String),
+    /// A workload description is invalid (no entries, non-finite or
+    /// non-positive rate, negative entry weight, malformed rate profile).
+    BadWorkload(String),
 }
 
 impl fmt::Display for SimError {
@@ -48,6 +51,7 @@ impl fmt::Display for SimError {
             }
             SimError::BadRoute(msg) => write!(f, "bad routing rule: {msg}"),
             SimError::BadApplication(msg) => write!(f, "bad application definition: {msg}"),
+            SimError::BadWorkload(msg) => write!(f, "bad workload: {msg}"),
         }
     }
 }

@@ -1354,7 +1354,7 @@ mod tests {
     use crate::resilience::{BreakerPolicy, BreakerTransition, CallPolicy};
     use crate::sim::{ExecMode, RunReport, Simulation};
     use crate::topologies::{random_app, RandomAppParams};
-    use crate::trace::Trace;
+    use crate::trace::{SpanStatus, Trace};
     use cex_core::metrics::{MetricKind, Summary};
     use cex_core::simtime::{SimDuration, SimTime};
 
@@ -1513,6 +1513,55 @@ mod tests {
             rec.1.iter().filter(|(_, k, ..)| *k == MetricKind::Retry).map(|(.., c, _)| c).sum();
         assert!(timeouts > 0, "the burst actually produced timeouts");
         assert!(retries > 0, "the burst actually produced retries");
+    }
+
+    #[test]
+    fn event_core_matches_recursive_with_overlapping_fault_windows() {
+        // Overlapping bursts *sum* without capping in FaultPlan::effects
+        // (0.7 + 0.6 = 1.3) and the executor clamps the combined
+        // probability exactly once (faults.rs / exec.rs). Both cores must
+        // clamp identically: same failure draws, same reports, same
+        // traces. A latency spike overlaps the bursts so composed
+        // latency multipliers are covered on the same windows too.
+        let setup = |sim: &mut Simulation| {
+            let backend = sim.app().version_id("backend", "1.0.0").unwrap();
+            for (from_s, until_s, kind) in [
+                (5, 20, FaultKind::ErrorBurst { extra_error_rate: 0.7 }),
+                (10, 25, FaultKind::ErrorBurst { extra_error_rate: 0.6 }),
+                (12, 18, FaultKind::LatencySpike { multiplier: 3.0 }),
+            ] {
+                sim.inject_fault(Fault {
+                    version: backend,
+                    kind,
+                    from: SimTime::from_secs(from_s),
+                    until: SimTime::from_secs(until_s),
+                });
+            }
+        };
+        let rec = run_windows(two_tier(true), 13, ExecMode::Recursive, setup);
+        let ev = run_windows(two_tier(true), 13, ExecMode::Event, setup);
+        assert_eq!(rec.0, ev.0, "per-window reports");
+        assert_stores_equivalent(&rec.1, &ev.1);
+        assert_eq!(rec.2, ev.2, "collected traces");
+        // While the summed rate exceeds 1.0 (10 s..20 s) every backend
+        // call must fail in both cores — the clamp actually bit.
+        let saturated = rec
+            .2
+            .iter()
+            .flat_map(|t| t.spans.iter())
+            .filter(|s| {
+                s.attempt == 0
+                    && s.start >= SimTime::from_secs(10)
+                    && s.start < SimTime::from_secs(20)
+                    && !matches!(s.status, SpanStatus::Shed | SpanStatus::Fallback)
+                    && s.parent.is_some()
+            })
+            .collect::<Vec<_>>();
+        assert!(!saturated.is_empty(), "requests hit the saturated window");
+        assert!(
+            saturated.iter().all(|s| s.status == SpanStatus::Failed),
+            "combined probability must clamp to exactly 1.0"
+        );
     }
 
     #[test]

@@ -210,6 +210,53 @@ impl FaultPlan {
     }
 }
 
+/// Correlated fault: every version in `versions` suffers a full outage
+/// over the same `[from, until)` window — the blast radius of losing an
+/// availability zone. Returns one [`Fault`] per version, in input order.
+///
+/// # Panics
+///
+/// Panics when the window is empty (`until <= from`).
+pub fn zone_outage(versions: &[VersionId], from: SimTime, until: SimTime) -> Vec<Fault> {
+    assert!(from < until, "fault window must be non-empty");
+    versions
+        .iter()
+        .map(|&version| Fault { version, kind: FaultKind::Outage, from, until })
+        .collect()
+}
+
+/// Correlated fault: a cascading latency-spike storm across `versions`.
+/// The first version's spike starts at `from`; each subsequent version
+/// joins one stagger step later (the slowdown propagating through the
+/// zone); every window ends together at `until`. The stagger is
+/// `(until - from) / (2 * versions.len())`, so even the last victim
+/// suffers at least half the window.
+///
+/// # Panics
+///
+/// Panics when the window is empty or `multiplier < 1`.
+pub fn latency_storm(
+    versions: &[VersionId],
+    multiplier: f64,
+    from: SimTime,
+    until: SimTime,
+) -> Vec<Fault> {
+    assert!(from < until, "fault window must be non-empty");
+    assert!(multiplier >= 1.0, "latency spike must not speed things up");
+    let window = until.saturating_since(from);
+    let stagger = window.mul_f64(1.0 / (2 * versions.len().max(1)) as f64);
+    versions
+        .iter()
+        .enumerate()
+        .map(|(i, &version)| Fault {
+            version,
+            kind: FaultKind::LatencySpike { multiplier },
+            from: from + stagger.mul_f64(i as f64),
+            until,
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -377,6 +424,45 @@ mod tests {
         // Advance only a's cursor.
         a.effects(VersionId(0), SimTime::from_secs(50));
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn zone_outage_covers_every_member_simultaneously() {
+        let members = [VersionId(2), VersionId(5), VersionId(7)];
+        let faults = zone_outage(&members, SimTime::from_secs(10), SimTime::from_secs(40));
+        assert_eq!(faults.len(), 3);
+        let mut plan = FaultPlan::none();
+        for f in &faults {
+            assert_eq!(f.kind, FaultKind::Outage);
+            assert_eq!(f.from, SimTime::from_secs(10));
+            assert_eq!(f.until, SimTime::from_secs(40));
+            plan.inject(*f);
+        }
+        for v in members {
+            assert_eq!(plan.effects(v, SimTime::from_secs(20)).extra_error_rate, 1.0);
+            assert_eq!(plan.effects(v, SimTime::from_secs(5)), FaultEffects::NONE);
+        }
+        assert_eq!(plan.effects(VersionId(3), SimTime::from_secs(20)), FaultEffects::NONE);
+    }
+
+    #[test]
+    fn latency_storm_cascades_and_ends_together() {
+        let members = [VersionId(0), VersionId(1), VersionId(2)];
+        let faults = latency_storm(&members, 4.0, SimTime::from_secs(0), SimTime::from_secs(60));
+        // Stagger = 60s / (2*3) = 10s: starts at 0, 10, 20; all end at 60.
+        let starts: Vec<_> = faults.iter().map(|f| f.from).collect();
+        assert_eq!(starts, vec![SimTime::ZERO, SimTime::from_secs(10), SimTime::from_secs(20)]);
+        assert!(faults.iter().all(|f| f.until == SimTime::from_secs(60)));
+        let mut plan = FaultPlan::none();
+        for f in &faults {
+            plan.inject(*f);
+        }
+        // At t=5 only the first victim is degraded; by t=25 all are.
+        assert_eq!(plan.effects(VersionId(0), SimTime::from_secs(5)).latency_multiplier, 4.0);
+        assert_eq!(plan.effects(VersionId(1), SimTime::from_secs(5)).latency_multiplier, 1.0);
+        for v in members {
+            assert_eq!(plan.effects(v, SimTime::from_secs(25)).latency_multiplier, 4.0);
+        }
     }
 
     #[test]

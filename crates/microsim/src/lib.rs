@@ -58,6 +58,7 @@
 #![warn(missing_docs)]
 
 pub mod app;
+pub mod corpus;
 pub mod error;
 pub mod event;
 pub mod exec;

@@ -262,6 +262,7 @@ mod tests {
                 EntryPoint { service: fe, endpoint: "checkout".into(), weight: 1.0 },
                 EntryPoint { service: fe, endpoint: "search_page".into(), weight: 2.0 },
             ],
+            profile: crate::workload::RateProfile::Constant,
         };
         let report = sim.run_with(SimDuration::from_secs(30), &workload);
         assert!(report.requests > 800);

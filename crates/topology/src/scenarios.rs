@@ -62,6 +62,7 @@ fn standard_workload(app: &Application) -> Workload {
             EntryPoint { service: fe, endpoint: "checkout".into(), weight: 1.0 },
             EntryPoint { service: fe, endpoint: "search_page".into(), weight: 2.0 },
         ],
+        profile: microsim::workload::RateProfile::Constant,
     }
 }
 

@@ -88,6 +88,7 @@ fn run(broken: bool) -> Result<(), Box<dyn std::error::Error>> {
             EntryPoint { service: frontend, endpoint: "product".into(), weight: 3.0 },
             EntryPoint { service: frontend, endpoint: "checkout".into(), weight: 1.0 },
         ],
+        profile: microsim::workload::RateProfile::Constant,
     };
 
     let strategy = dsl::parse(STRATEGY)?;

@@ -84,6 +84,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         population: Population::single("all", 200_000),
         rate_rps: (TEAMS * 12) as f64,
         entries,
+        profile: microsim::workload::RateProfile::Constant,
     };
 
     let mut sim = Simulation::new(app, 2026);

@@ -57,6 +57,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             EntryPoint { service: frontend, endpoint: "home".into(), weight: 3.0 },
             EntryPoint { service: frontend, endpoint: "product".into(), weight: 2.0 },
         ],
+        profile: microsim::workload::RateProfile::Constant,
     };
 
     // Collect a baseline graph before the experiment touches routing.

@@ -27,6 +27,7 @@ fn workload(sim: &Simulation) -> Workload {
             EntryPoint { service: frontend, endpoint: "home".into(), weight: 3.0 },
             EntryPoint { service: frontend, endpoint: "product".into(), weight: 2.0 },
         ],
+        profile: microsim::workload::RateProfile::Constant,
     }
 }
 
