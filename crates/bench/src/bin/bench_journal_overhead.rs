@@ -8,6 +8,11 @@
 //! the `engine_busy` delta. Acceptance: journaling stays within 10% of
 //! the unjournaled engine-busy time (each mode takes the best of
 //! `REPS` repetitions to damp scheduler noise).
+//!
+//! Event and byte counts are read from the engine's own counter registry
+//! (`report.runtime.counters`), not re-derived here, so the bench and
+//! the engine agree by construction; `engine_busy` is likewise a thin
+//! read of the engine's `engine.busy` profile node.
 
 use bifrost::engine::{Engine, EngineConfig};
 use cex_bench::{fmt_duration, header, n_service_app, n_service_workload, n_strategies};
@@ -23,29 +28,27 @@ fn main() {
     let engine = Engine::new(EngineConfig::default());
     let duration = SimDuration::from_mins(10);
 
-    let run = |journaled: bool| -> (Duration, usize, usize) {
+    let run = |journaled: bool| -> (Duration, u64, u64) {
         let mut best = Duration::MAX;
-        let mut events = 0usize;
-        let mut bytes = 0usize;
+        let mut events = 0u64;
+        let mut bytes = 0u64;
         for _ in 0..REPS {
             let app = n_service_app(N);
             let wl = n_service_workload(&app, N, (20 * N) as f64);
             let strategies = n_strategies(N, 2);
             let mut sim = Simulation::new(app, 42);
             sim.set_trace_sampling(0.0);
-            if journaled {
-                let (report, journal) = engine
+            let report = if journaled {
+                let (report, _journal) = engine
                     .execute_journaled(&mut sim, &strategies, &wl, duration)
                     .expect("execution succeeds");
-                best = best.min(report.engine_busy);
-                events = journal.len();
-                bytes = journal.to_jsonl().len();
+                report
             } else {
-                let report = engine
-                    .execute(&mut sim, &strategies, &wl, duration)
-                    .expect("execution succeeds");
-                best = best.min(report.engine_busy);
-            }
+                engine.execute(&mut sim, &strategies, &wl, duration).expect("execution succeeds")
+            };
+            best = best.min(report.engine_busy);
+            events = report.runtime.counters.count("engine.journal.events");
+            bytes = report.runtime.counters.gauge("engine.journal.bytes");
         }
         (best, events, bytes)
     };
@@ -58,7 +61,8 @@ fn main() {
     println!("{:>22} | {:>12}", "without journal", fmt_duration(plain));
     println!("{:>22} | {:>12}", "with journal", fmt_duration(journaled));
     println!(
-        "\njournal: {events} events, {bytes} bytes of JSONL ({:.1} bytes/event)",
+        "\njournal: {events} events, {bytes} bytes of JSONL ({:.1} bytes/event) \
+         [from the engine's counter registry]",
         bytes as f64 / events.max(1) as f64
     );
     println!("journaling overhead: {overhead:+.1}% of engine_busy (acceptance: within 10%)");

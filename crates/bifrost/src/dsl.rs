@@ -341,6 +341,38 @@ impl Parser {
         }
     }
 
+    fn runtime_settings(&mut self, settings: &mut RuntimeSettings) -> Result<(), BifrostError> {
+        self.expect_keyword("runtime")?;
+        self.expect_lbrace()?;
+        loop {
+            if matches!(self.peek(), Some(Spanned { tok: Tok::RBrace, .. })) {
+                self.pos += 1;
+                break;
+            }
+            if self.eat_keyword("report_every") {
+                let n = self.expect_number()?;
+                if n < 0.0 || n.fract() != 0.0 {
+                    return Err(self.err("`report_every` takes a whole tick count"));
+                }
+                settings.report_every = n as u64;
+            } else if self.eat_keyword("profile") {
+                settings.profile = if self.eat_keyword("on") {
+                    true
+                } else if self.eat_keyword("off") {
+                    false
+                } else {
+                    return Err(self.err(format!(
+                        "expected `on` or `off` after `profile`{}",
+                        self.offending()
+                    )));
+                };
+            } else {
+                return Err(self.err("expected `report_every`, `profile`, or `}`"));
+            }
+        }
+        Ok(())
+    }
+
     fn strategy(&mut self) -> Result<Strategy, BifrostError> {
         self.expect_keyword("strategy")?;
         let name = self.expect_string("strategy name")?;
@@ -646,10 +678,64 @@ pub fn parse(source: &str) -> Result<Strategy, BifrostError> {
 /// Returns the first parse/validation error, or
 /// [`BifrostError::InvalidStrategy`] when two strategies share a name.
 pub fn parse_all(source: &str) -> Result<Vec<Strategy>, BifrostError> {
+    parse_fleet(source).map(|(strategies, _)| strategies)
+}
+
+/// Runtime self-observability settings parsed from a top-level
+/// `runtime { ... }` block — experimentation-as-code extends to how a
+/// run observes itself, so the cadence of
+/// [`crate::journal::JournalEvent::Runtime`] snapshots and the
+/// wall-clock profiling switch are versioned alongside the strategies.
+///
+/// ```text
+/// runtime {
+///   report_every 5     # counter snapshot every 5 ticks (0 = off)
+///   profile on         # wall-clock phase spans on|off
+/// }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RuntimeSettings {
+    /// `report_every N`: emit a runtime journal event every N ticks;
+    /// `0` (the default) disables the cadence.
+    pub report_every: u64,
+    /// `profile on|off`: whether wall-clock phase spans record (the
+    /// sidecar profile; never journaled). Defaults to on.
+    pub profile: bool,
+}
+
+impl Default for RuntimeSettings {
+    fn default() -> Self {
+        RuntimeSettings { report_every: 0, profile: true }
+    }
+}
+
+impl RuntimeSettings {
+    /// Applies these settings onto an engine configuration.
+    pub fn apply(&self, config: &mut crate::engine::EngineConfig) {
+        use cex_core::obs::ObsConfig;
+        config.runtime_report_every = self.report_every;
+        config.obs = if self.profile { ObsConfig::enabled() } else { ObsConfig::disabled() };
+    }
+}
+
+/// Like [`parse_all`], additionally honoring top-level `runtime { ... }`
+/// blocks interleaved with the strategies (later blocks override
+/// earlier ones). Returns the strategies and the merged
+/// [`RuntimeSettings`].
+///
+/// # Errors
+///
+/// Same failure modes as [`parse_all`].
+pub fn parse_fleet(source: &str) -> Result<(Vec<Strategy>, RuntimeSettings), BifrostError> {
     let tokens = lex(source)?;
     let mut parser = Parser { tokens, pos: 0 };
     let mut strategies = Vec::new();
+    let mut settings = RuntimeSettings::default();
     while parser.peek().is_some() {
+        if matches!(parser.peek(), Some(Spanned { tok: Tok::Ident(w), .. }) if w == "runtime") {
+            parser.runtime_settings(&mut settings)?;
+            continue;
+        }
         let strategy = parser.strategy()?;
         if strategies.iter().any(|s: &Strategy| s.name == strategy.name) {
             return Err(BifrostError::InvalidStrategy(format!(
@@ -659,7 +745,7 @@ pub fn parse_all(source: &str) -> Result<Vec<Strategy>, BifrostError> {
         }
         strategies.push(strategy);
     }
-    Ok(strategies)
+    Ok((strategies, settings))
 }
 
 /// Pretty-prints a strategy into canonical DSL source. `parse ∘ to_source`
@@ -1173,5 +1259,45 @@ strategy "rec-rollout" {
         let one = parse(FULL).unwrap();
         let source = format!("{}\n{}", to_source(&one), to_source(&one));
         assert!(matches!(parse_all(&source), Err(BifrostError::InvalidStrategy(_))));
+    }
+
+    #[test]
+    fn parse_fleet_reads_a_runtime_block() {
+        let one = parse(FULL).unwrap();
+        let source =
+            format!("runtime {{\n  report_every 5\n  profile off\n}}\n{}", to_source(&one));
+        let (fleet, settings) = parse_fleet(&source).unwrap();
+        assert_eq!(fleet.len(), 1);
+        assert_eq!(settings, RuntimeSettings { report_every: 5, profile: false });
+        // The settings translate onto an engine config.
+        let mut config = crate::engine::EngineConfig::default();
+        settings.apply(&mut config);
+        assert_eq!(config.runtime_report_every, 5);
+        assert!(!config.obs.profile);
+        // Absent block → defaults (cadence off, profiling on).
+        let (_, defaults) = parse_fleet(&to_source(&one)).unwrap();
+        assert_eq!(defaults, RuntimeSettings::default());
+        // Later blocks override earlier ones; order is free.
+        let source = format!(
+            "runtime {{ profile off }}\n{}\nruntime {{ report_every 2 profile on }}",
+            to_source(&one)
+        );
+        let (_, merged) = parse_fleet(&source).unwrap();
+        assert_eq!(merged, RuntimeSettings { report_every: 2, profile: true });
+        // parse_all tolerates runtime blocks and just drops the settings.
+        assert_eq!(parse_all(&source).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn runtime_block_rejects_malformed_settings() {
+        for (src, needle) in [
+            ("runtime { report_every 1.5 }", "whole tick count"),
+            ("runtime { profile maybe }", "`on` or `off`"),
+            ("runtime { cadence 3 }", "`report_every`, `profile`"),
+            ("runtime { report_every 3", "expected"),
+        ] {
+            let err = parse_fleet(src).unwrap_err();
+            assert!(err.to_string().contains(needle), "{src} -> {err}");
+        }
     }
 }

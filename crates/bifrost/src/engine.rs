@@ -25,6 +25,7 @@ use crate::journal::{Journal, JournalEvent};
 use crate::machine::{PhaseOutcome, State, StateMachine};
 use crate::model::{ChaosKind, ChaosSpec, ChaosTarget, CheckScope, PhaseKind, Strategy};
 use cex_core::metrics::MetricKind;
+use cex_core::obs::{Counters, ObsConfig, ProfileSnapshot, Profiler};
 use cex_core::simtime::{SimDuration, SimTime};
 use microsim::app::{Application, VersionId};
 use microsim::faults::{self, Fault, FaultKind};
@@ -95,6 +96,17 @@ pub struct EngineConfig {
     /// weighted 1-in-`k` representative. `None` (the default) retains
     /// every sampled trace.
     pub tail_sampling: Option<TailSamplingConfig>,
+    /// Emit a [`JournalEvent::Runtime`] counter-registry snapshot every
+    /// this many ticks when journaling (`0`, the default, disables the
+    /// cadence). The snapshot carries only seed-pure counters, so journal
+    /// bytes stay identical across runs and worker counts.
+    pub runtime_report_every: u64,
+    /// Runtime self-observability configuration, applied to the
+    /// simulation at the start of every execution and gating the
+    /// engine's own phase spans. Counters are always collected (they are
+    /// seed-pure and effectively free); this only controls wall-clock
+    /// profiling.
+    pub obs: ObsConfig,
 }
 
 impl Default for EngineConfig {
@@ -107,6 +119,8 @@ impl Default for EngineConfig {
             workers: 4,
             sim_workers: 1,
             tail_sampling: None,
+            runtime_report_every: 0,
+            obs: ObsConfig::default(),
         }
     }
 }
@@ -138,6 +152,31 @@ pub struct TransitionEvent {
     pub outcome: PhaseOutcome,
 }
 
+/// Sidecar runtime self-observability report (the determinism split's
+/// wall-clock side plus the counter registry).
+///
+/// The counter registry is a pure function of the seed and also feeds
+/// [`JournalEvent::Runtime`] events; the profile holds wall-clock phase
+/// timings (engine tick phases, the sim event core, metric-store
+/// probes) and is **never** journaled — it varies run to run.
+#[derive(Debug, Clone, Default)]
+pub struct RuntimeReport {
+    /// Merged engine + simulation counter registry at the end of the
+    /// run. Seed-pure: identical across repeated runs and worker counts.
+    pub counters: Counters,
+    /// The hierarchical wall-clock phase profile. Empty except for the
+    /// always-on busy totals when [`ObsConfig::disabled`] was configured.
+    pub profile: ProfileSnapshot,
+}
+
+impl PartialEq for RuntimeReport {
+    /// Equality over the seed-pure counters only — wall-clock profile
+    /// timings differ between otherwise identical runs by design.
+    fn eq(&self, other: &Self) -> bool {
+        self.counters == other.counters
+    }
+}
+
 /// Aggregate outcome of one engine execution.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ExecutionReport {
@@ -166,6 +205,10 @@ pub struct ExecutionReport {
     /// during the run. Empty when trace collection was off
     /// (`set_trace_sampling(0.0)`) or no request was sampled.
     pub health: Vec<(String, HealthReport)>,
+    /// Runtime self-observability: the unified counter registry and the
+    /// wall-clock phase profile (see [`RuntimeReport`] for the
+    /// determinism split).
+    pub runtime: RuntimeReport,
 }
 
 impl ExecutionReport {
@@ -325,6 +368,10 @@ impl Engine {
         sim.store().set_retention(self.retention_horizon(strategies));
         sim.set_workers(self.config.sim_workers);
         sim.set_tail_sampling(self.config.tail_sampling);
+        sim.set_obs(self.config.obs);
+        // The engine's own phase profiler. Wall-clock timings recorded
+        // here go only to the sidecar RuntimeReport, never the journal.
+        let profiler = Profiler::new(self.config.obs);
 
         // Trace pipeline: every tick the engine drains the sampled traces,
         // folds them into a health accumulator (the canary-vs-baseline
@@ -413,7 +460,6 @@ impl Engine {
 
         let mut ticks = 0u64;
         let mut check_evaluations = 0u64;
-        let mut engine_busy = Duration::ZERO;
         let mut tick_times: Vec<Duration> = Vec::new();
         let mut transitions: Vec<TransitionEvent> = Vec::new();
         // Per-tick drain scratch, reused across the whole run so the
@@ -423,52 +469,65 @@ impl Engine {
         let deadline = started_sim + max_duration;
 
         while sim.now() < deadline && runs.iter().any(|r| r.status == StrategyStatus::Running) {
+            let tick_started = Instant::now();
             let step = self.config.tick.min(deadline - sim.now());
-            sim.run_with(step, workload);
+            {
+                cex_core::span!(profiler, "engine.tick.simulate");
+                sim.run_with(step, workload);
+            }
             let now = sim.now();
 
             let engine_start = Instant::now();
-            // Breaker transitions are sim state; drain them every tick
-            // (journaled or not) so the backlog never grows unboundedly.
-            sim.drain_breaker_transitions_into(&mut breaker_scratch);
-            if let Some(j) = journal.as_deref_mut() {
-                for tr in &breaker_scratch {
-                    j.record(JournalEvent::Breaker {
-                        time: tr.time,
-                        caller: sim.app().version_label(tr.caller),
-                        callee: sim.app().version_label(tr.callee),
-                        from: tr.from,
-                        to: tr.to,
-                    });
+            {
+                cex_core::span!(profiler, "engine.tick.drain_traces");
+                // Breaker transitions are sim state; drain them every tick
+                // (journaled or not) so the backlog never grows unboundedly.
+                sim.drain_breaker_transitions_into(&mut breaker_scratch);
+                if let Some(j) = journal.as_deref_mut() {
+                    for tr in &breaker_scratch {
+                        j.record(JournalEvent::Breaker {
+                            time: tr.time,
+                            caller: sim.app().version_label(tr.caller),
+                            callee: sim.app().version_label(tr.callee),
+                            from: tr.from,
+                            to: tr.to,
+                        });
+                    }
+                }
+                // Drain sampled traces before the read pass so trace-scoped
+                // checks already see this tick's data. Runs in the
+                // single-threaded section — fold order is collection order,
+                // independent of the worker count.
+                sim.drain_traces_into(&mut trace_scratch);
+                if !trace_scratch.is_empty() {
+                    distill_trace_samples(sim, &trace_scopes, &trace_scratch, now);
+                    health.observe_all(&trace_scratch);
                 }
             }
-            // Drain sampled traces before the read pass so trace-scoped
-            // checks already see this tick's data. Runs in the
-            // single-threaded section — fold order is collection order,
-            // independent of the worker count.
-            sim.drain_traces_into(&mut trace_scratch);
-            if !trace_scratch.is_empty() {
-                distill_trace_samples(sim, &trace_scopes, &trace_scratch, now);
-                health.observe_all(&trace_scratch);
-            }
-            let observations = self.observe(sim, &mut runs, now);
+            let observations = {
+                cex_core::span!(profiler, "engine.tick.observe");
+                self.observe(sim, &mut runs, now, &profiler)
+            };
             let tick_evaluations =
                 observations.iter().flatten().map(|o| o.evaluations).sum::<u64>();
             check_evaluations += tick_evaluations;
-            self.apply(
-                sim,
-                &mut runs,
-                observations,
-                now,
-                &mut transitions,
-                journal.as_deref_mut(),
-                &health,
-                &book,
-            )?;
+            {
+                cex_core::span!(profiler, "engine.tick.apply");
+                self.apply(
+                    sim,
+                    &mut runs,
+                    observations,
+                    now,
+                    &mut transitions,
+                    journal.as_deref_mut(),
+                    &health,
+                    &book,
+                )?;
+            }
             let spent = engine_start.elapsed();
-            engine_busy += spent;
             tick_times.push(spent);
             if let Some(j) = journal.as_deref_mut() {
+                cex_core::span!(profiler, "engine.tick.journal_encode");
                 j.record(JournalEvent::Tick {
                     time: now,
                     tick: ticks,
@@ -477,7 +536,23 @@ impl Engine {
                     window_reads: sim.store().window_reads(),
                     busy: spent,
                 });
+                // The runtime cadence: a counter-registry snapshot, pure
+                // in the seed, taken after this tick's ordinary events so
+                // its own position in the stream is deterministic too.
+                let every = self.config.runtime_report_every;
+                if every > 0 && (ticks + 1).is_multiple_of(every) {
+                    let mut counters = sim.counters();
+                    counters.add("engine.ticks", ticks + 1);
+                    counters.add("engine.check_evaluations", check_evaluations);
+                    counters.add("engine.journal.events", j.len() as u64);
+                    j.record(JournalEvent::Runtime { time: now, tick: ticks, counters });
+                }
             }
+            // Always-on accounting: `engine.busy` backs the report's
+            // engine_busy thin read; `engine.tick` is the whole-iteration
+            // root the phase spans above nest under.
+            profiler.record("engine.busy", spent);
+            profiler.record("engine.tick", tick_started.elapsed());
             ticks += 1;
         }
 
@@ -506,17 +581,37 @@ impl Engine {
         } else {
             Vec::new()
         };
+        // Final registry snapshot, merged across engine and simulation.
+        // Journal size is recorded through one timed encode so the bytes
+        // gauge and the serialized form agree by construction.
+        let mut counters = sim.counters();
+        counters.add("engine.ticks", ticks);
+        counters.add("engine.check_evaluations", check_evaluations);
+        if let Some(j) = journal.as_deref() {
+            let encode_started = Instant::now();
+            let bytes = j.to_jsonl().len() as u64;
+            profiler.record("engine.journal.encode", encode_started.elapsed());
+            counters.add("engine.journal.events", j.len() as u64);
+            counters.hwm("engine.journal.bytes", bytes);
+        }
+        // One combined wall-clock phase tree: engine tick phases, the
+        // sim's window/event-core nodes, and the store's probe totals.
+        let combined = profiler.clone();
+        combined.merge(sim.profiler());
+        sim.fold_probes_into(&combined);
+        let runtime = RuntimeReport { counters, profile: combined.snapshot() };
         Ok(ExecutionReport {
             statuses: runs.iter().map(|r| (r.strategy.name.clone(), r.status.clone())).collect(),
             transitions,
             ticks,
             check_evaluations,
-            engine_busy,
+            engine_busy: profiler.total("engine.busy"),
             wall_total: started_wall.elapsed(),
             mean_tick_processing,
             max_tick_processing,
             sim_duration: sim.now() - started_sim,
             health: health_reports,
+            runtime,
         })
     }
 
@@ -528,6 +623,7 @@ impl Engine {
         sim: &Simulation,
         runs: &mut [RunState],
         now: SimTime,
+        profiler: &Profiler,
     ) -> Vec<Option<TickObservation>> {
         // First, a mutable pre-pass collecting which checks are due (the
         // scheduler advances its due times) into each run's reused
@@ -589,6 +685,7 @@ impl Engine {
 
         let due_work: usize =
             runs.iter().filter(|r| r.due_active).map(|r| r.due_scratch.len()).sum();
+        cex_core::span!(profiler, "engine.tick.observe.evaluate_checks");
         if due_work >= self.config.parallel_threshold && self.config.workers > 1 {
             let mut results: Vec<Option<TickObservation>> = (0..runs.len()).map(|_| None).collect();
             let chunk = (runs.len() / self.config.workers).max(1);
@@ -1514,6 +1611,92 @@ mod tests {
             first.0.contains("\"tail_kept\":"),
             "HealthSnapshot events carry sampling counters"
         );
+    }
+
+    #[test]
+    fn journal_with_runtime_events_is_byte_identical_across_runs_and_sim_workers() {
+        // Acceptance: with obs enabled and runtime counter snapshots in
+        // the journal, serialized bytes are identical across same-seed
+        // runs and across sim_workers 1 vs 4 — the counters are pure
+        // functions of the seed, and wall-clock timings never enter the
+        // journal.
+        let run = |sim_workers: usize| {
+            let (app, strategies, wl) = fleet(8);
+            let mut sim = Simulation::new(app, 9);
+            sim.set_trace_sampling(1.0);
+            let engine = Engine::new(EngineConfig {
+                sim_workers,
+                runtime_report_every: 3,
+                obs: cex_core::obs::ObsConfig::enabled(),
+                ..Default::default()
+            });
+            let (report, journal) = engine
+                .execute_journaled(&mut sim, &strategies, &wl, SimDuration::from_mins(10))
+                .unwrap();
+            assert!(report.all_terminal());
+            let runtime_events = journal
+                .events()
+                .iter()
+                .filter(|e| matches!(e, JournalEvent::Runtime { .. }))
+                .count();
+            assert!(runtime_events > 0, "the cadence emitted runtime events");
+            (journal.to_jsonl(), report.runtime)
+        };
+        let first = run(1);
+        let again = run(1);
+        let wide = run(4);
+        assert_eq!(first.0, again.0, "same seed, same sim workers");
+        assert_eq!(first.0, wide.0, "same seed, 1 vs 4 sim workers");
+        // RuntimeReport equality is over the seed-pure counters.
+        assert_eq!(first.1, again.1, "registry: same seed, same sim workers");
+        assert_eq!(first.1, wide.1, "registry: same seed, 1 vs 4 sim workers");
+        assert!(first.0.contains("\"ev\":\"runtime\""), "runtime events serialized");
+        assert!(first.1.counters.count("engine.ticks") > 0);
+        assert!(first.1.counters.count("sim.events.popped") > 0);
+        assert!(first.1.counters.gauge("engine.journal.bytes") > 0);
+        // And the serialized journal round-trips through the parser.
+        let parsed = crate::journal::Journal::from_jsonl(&first.0).unwrap();
+        assert_eq!(parsed.to_jsonl(), first.0);
+    }
+
+    #[test]
+    fn runtime_report_profile_covers_the_phase_tree() {
+        // With obs on, the sidecar profile exposes the engine tick
+        // phases and the sim's window nodes; engine_busy is a thin read
+        // of the `engine.busy` node. With obs off, only the always-on
+        // busy totals remain.
+        let app = test_app(false);
+        let wl = workload(&app);
+        let mut sim = Simulation::new(app, 1);
+        let strategy = dsl::parse(strategy_src()).unwrap();
+        let report = Engine::default()
+            .execute(&mut sim, std::slice::from_ref(&strategy), &wl, SimDuration::from_mins(30))
+            .unwrap();
+        let profile = &report.runtime.profile;
+        for node in ["engine.tick", "engine.tick.simulate", "engine.busy", "sim.window"] {
+            assert!(
+                profile.total(node) > Duration::ZERO,
+                "node {node} recorded:\n{}",
+                profile.render()
+            );
+        }
+        assert_eq!(report.engine_busy, profile.total("engine.busy"));
+        assert!(!profile.render().is_empty());
+        assert!(profile.collapsed().contains("engine;tick;simulate "));
+
+        let app = test_app(false);
+        let wl = workload(&app);
+        let mut sim = Simulation::new(app, 1);
+        let report = Engine::new(EngineConfig {
+            obs: cex_core::obs::ObsConfig::disabled(),
+            ..Default::default()
+        })
+        .execute(&mut sim, &[strategy], &wl, SimDuration::from_mins(30))
+        .unwrap();
+        let profile = &report.runtime.profile;
+        assert_eq!(profile.total("engine.tick.simulate"), Duration::ZERO, "spans were off");
+        assert!(profile.total("engine.busy") > Duration::ZERO, "busy totals stay on");
+        assert!(report.engine_busy > Duration::ZERO);
     }
 
     #[test]

@@ -209,6 +209,22 @@ pub enum JournalEvent {
         /// The pruned scope.
         scope: String,
     },
+    /// A runtime self-observability report: the unified counter-registry
+    /// snapshot ([`cex_core::obs::Counters`]) emitted at the configured
+    /// cadence ([`crate::engine::EngineConfig::runtime_report_every`]).
+    /// Every value is a pure function of the seed — wall-clock timings
+    /// live only in the sidecar profile
+    /// ([`crate::engine::ExecutionReport::runtime`]), never here — so
+    /// the serialized journal stays byte-identical across runs and
+    /// worker counts with runtime reporting enabled.
+    Runtime {
+        /// Virtual time of the report.
+        time: SimTime,
+        /// Control-loop iteration the report was taken after (0-based).
+        tick: u64,
+        /// The merged engine + simulation counter registry snapshot.
+        counters: cex_core::obs::Counters,
+    },
     /// Per-tick engine accounting.
     Tick {
         /// Virtual time at the end of the tick.
@@ -261,6 +277,7 @@ impl JournalEvent {
             | JournalEvent::Ramp { time, .. }
             | JournalEvent::EarlyStop { time, .. }
             | JournalEvent::ScopeCleared { time, .. }
+            | JournalEvent::Runtime { time, .. }
             | JournalEvent::Tick { time, .. } => *time,
         }
     }
@@ -277,7 +294,9 @@ impl JournalEvent {
             | JournalEvent::Ramp { strategy, .. }
             | JournalEvent::EarlyStop { strategy, .. }
             | JournalEvent::ScopeCleared { strategy, .. } => Some(strategy.as_ref()),
-            JournalEvent::Breaker { .. } | JournalEvent::Tick { .. } => None,
+            JournalEvent::Breaker { .. }
+            | JournalEvent::Runtime { .. }
+            | JournalEvent::Tick { .. } => None,
         }
     }
 
@@ -400,6 +419,21 @@ impl JournalEvent {
                 ("strategy", Json::Str(strategy.to_string())),
                 ("scope", Json::Str(scope.clone())),
             ]),
+            JournalEvent::Runtime { time, tick, counters } => {
+                let table = |entries: Vec<(String, u64)>| {
+                    Json::Obj(entries.into_iter().map(|(k, v)| (k, Json::Num(v as f64))).collect())
+                };
+                obj(vec![
+                    ("ev", Json::Str("runtime".into())),
+                    ("t", t(time)),
+                    ("tick", Json::Num(*tick as f64)),
+                    (
+                        "counters",
+                        table(counters.counts().map(|(k, v)| (k.to_string(), v)).collect()),
+                    ),
+                    ("gauges", table(counters.gauges().map(|(k, v)| (k.to_string(), v)).collect())),
+                ])
+            }
             JournalEvent::Tick { time, tick, active, due_checks, window_reads, busy: _ } => {
                 obj(vec![
                     ("ev", Json::Str("tick".into())),
@@ -546,6 +580,29 @@ impl JournalEvent {
                 strategy: text(json, "strategy")?.into(),
                 scope: text(json, "scope")?,
             }),
+            Some("runtime") => {
+                let mut counters = cex_core::obs::Counters::new();
+                let mut fold =
+                    |key: &str, apply: &mut dyn FnMut(&mut cex_core::obs::Counters, &str, u64)| {
+                        match json.get(key) {
+                            Some(Json::Obj(members)) => {
+                                for (name, value) in members {
+                                    let v = value.as_u64().ok_or_else(|| bad(key))?;
+                                    apply(&mut counters, name, v);
+                                }
+                                Ok(())
+                            }
+                            _ => Err(bad(key)),
+                        }
+                    };
+                fold("counters", &mut |c, name, v| c.add(name, v))?;
+                fold("gauges", &mut |c, name, v| c.hwm(name, v))?;
+                Ok(JournalEvent::Runtime {
+                    time: time(json)?,
+                    tick: json.get("tick").and_then(Json::as_u64).ok_or_else(|| bad("tick"))?,
+                    counters,
+                })
+            }
             Some("tick") => Ok(JournalEvent::Tick {
                 time: time(json)?,
                 tick: json.get("tick").and_then(Json::as_u64).ok_or_else(|| bad("tick"))?,
@@ -919,6 +976,17 @@ mod tests {
             strategy: "s1".into(),
             scope: "svc@1.0.0".into(),
         });
+        j.record(JournalEvent::Runtime {
+            time: t(120),
+            tick: 0,
+            counters: {
+                let mut c = cex_core::obs::Counters::new();
+                c.add("engine.ticks", 12);
+                c.add("sim.events.popped", 4821);
+                c.hwm("sim.queue_hwm.svc", 7);
+                c
+            },
+        });
         j.record(JournalEvent::Tick {
             time: t(120),
             tick: 0,
@@ -975,6 +1043,8 @@ mod tests {
             ("{\"ev\":\"breaker\",\"t\":1,\"caller\":\"a\",\"callee\":\"b\",\"from\":\"closed\",\"to\":\"fried\"}", "to"),
             ("{\"ev\":\"chaos\",\"t\":1,\"strategy\":\"s\",\"phase\":\"p\",\"kind\":\"meteor\",\"magnitude\":1,\"target\":\"x\",\"from\":0,\"until\":1}", "kind"),
             ("{\"ev\":\"health\",\"t\":1,\"strategy\":\"s\",\"phase\":\"p\",\"failed\":0,\"baseline\":\"a\",\"canary\":\"b\",\"worst_edge\":null,\"score\":0,\"error_rate_delta\":0,\"p95_delta_ms\":0}", "traces"),
+            ("{\"ev\":\"runtime\",\"t\":1,\"tick\":0,\"counters\":{\"a\":1}}", "gauges"),
+            ("{\"ev\":\"runtime\",\"t\":1,\"tick\":0,\"counters\":{\"a\":-1},\"gauges\":{}}", "counters"),
         ] {
             let err = Journal::from_jsonl(src).unwrap_err();
             assert!(err.to_string().contains(needle), "{src} -> {err}");

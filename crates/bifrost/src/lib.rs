@@ -69,7 +69,7 @@ pub mod model;
 pub mod templates;
 pub mod verify;
 
-pub use engine::{Engine, EngineConfig, ExecutionReport, Retention};
+pub use engine::{Engine, EngineConfig, ExecutionReport, Retention, RuntimeReport};
 pub use error::BifrostError;
 pub use journal::{Journal, JournalEvent};
 pub use model::{Action, Check, Phase, PhaseKind, Strategy};

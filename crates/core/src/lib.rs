@@ -36,6 +36,10 @@
 //! - [`intern`] — the shared string interner with a lock-free read path
 //!   behind both the telemetry store's metric scopes and the trace
 //!   pipeline's span identity.
+//! - [`obs`] — runtime self-observability: hierarchical profiling spans,
+//!   the unified counter registry, and the determinism split between
+//!   wall-clock timings (sidecar report only) and seed-pure counters
+//!   (journaled).
 //!
 //! # Example
 //!
@@ -62,6 +66,7 @@ pub mod experiment;
 pub mod intern;
 pub mod json;
 pub mod metrics;
+pub mod obs;
 pub mod rng;
 pub mod sequential;
 pub mod simtime;

@@ -1,0 +1,685 @@
+//! Runtime self-observability: hierarchical profiling spans, a unified
+//! counter registry, and the determinism split between them.
+//!
+//! The experimentation stack observes the *experiment* (checks, traces,
+//! health) but was itself a black box: when a corpus run is slow, nothing
+//! said whether the time went to the event heap, check evaluation, trace
+//! draining, or journal encoding. This module is the hand-rolled
+//! instrumentation substrate the rest of the workspace threads through:
+//!
+//! * [`Profiler`] — a static phase tree of dot-separated node paths
+//!   (`"engine.tick.observe"`). Scoped RAII timers ([`Profiler::span`],
+//!   or the [`span!`](crate::span) macro) fold each duration into the
+//!   node's running total and a [`QuantileSketch`], so the whole profile
+//!   is O(tree), not O(samples). [`Profiler::render_profile`] emits a
+//!   text tree; [`Profiler::collapsed_stacks`] emits collapsed-stack
+//!   lines loadable in flamegraph tools.
+//! * [`Counters`] — named monotonic counters and high-water gauges
+//!   (events popped, queue-depth high-water marks, sheds, batch flushes,
+//!   …) assembled as snapshots with deterministic (sorted) iteration
+//!   order.
+//! * [`WallProbe`] — an atomic accumulating timer for `&self` and
+//!   cross-thread call sites (metric-store flushes, window queries)
+//!   where a `&mut` profiler is out of reach; probe totals fold into the
+//!   profiler at snapshot time.
+//!
+//! # The determinism split
+//!
+//! Counter values are pure functions of the seed: the same seeded run
+//! pops the same events, sheds the same requests, and flushes the same
+//! batches regardless of worker count. They may therefore be written
+//! into the execution journal (the `runtime` event) and are held to the
+//! same byte-identity guarantee as every other journal event. Wall-clock
+//! timings are inherently nondeterministic and live **only** in the
+//! sidecar profile report — never in the journal. Keeping the two on
+//! opposite sides of that line is the load-bearing design rule of this
+//! module.
+//!
+//! # Example
+//!
+//! ```
+//! use cex_core::obs::{ObsConfig, Profiler};
+//!
+//! let prof = Profiler::new(ObsConfig::enabled());
+//! {
+//!     cex_core::span!(prof, "engine.tick");
+//!     cex_core::span!(prof, "engine.tick.observe");
+//!     // ... timed work ...
+//! }
+//! assert_eq!(prof.snapshot().nodes().len(), 2);
+//! ```
+
+use crate::sketch::QuantileSketch;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Switches for the self-observability layer.
+///
+/// [`ObsConfig::disabled`] reduces every span to a single branch — no
+/// `Instant::now()` calls, no sketch pushes — so instrumentation can stay
+/// compiled in permanently.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ObsConfig {
+    /// Record wall-clock phase timings into the profiler.
+    pub profile: bool,
+}
+
+impl ObsConfig {
+    /// Profiling on: spans record into the phase tree.
+    pub fn enabled() -> ObsConfig {
+        ObsConfig { profile: true }
+    }
+
+    /// Profiling off: spans compile to a no-op branch.
+    pub fn disabled() -> ObsConfig {
+        ObsConfig { profile: false }
+    }
+}
+
+impl Default for ObsConfig {
+    fn default() -> ObsConfig {
+        ObsConfig::enabled()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Counter registry
+// ---------------------------------------------------------------------------
+
+/// A snapshot of named monotonic counters and high-water gauges.
+///
+/// Names are dot-separated paths (`"sim.events.popped"`). Iteration is
+/// in sorted name order, so encoding a snapshot is byte-deterministic.
+/// Counters accumulate with [`Counters::add`]; gauges keep the maximum
+/// seen via [`Counters::hwm`]. [`Counters::merge`] combines snapshots
+/// with the same semantics (sum counters, max gauges).
+///
+/// Everything stored here must be a pure function of the seed — see the
+/// module docs for the determinism split.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Counters {
+    counts: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, u64>,
+}
+
+impl Counters {
+    /// An empty snapshot.
+    pub fn new() -> Counters {
+        Counters::default()
+    }
+
+    /// Adds `delta` to the monotonic counter `name` (creating it at 0).
+    pub fn add(&mut self, name: &str, delta: u64) {
+        if let Some(slot) = self.counts.get_mut(name) {
+            *slot += delta;
+        } else {
+            self.counts.insert(name.to_string(), delta);
+        }
+    }
+
+    /// Raises the high-water gauge `name` to `value` if higher.
+    pub fn hwm(&mut self, name: &str, value: u64) {
+        match self.gauges.get_mut(name) {
+            Some(slot) => *slot = (*slot).max(value),
+            None => {
+                self.gauges.insert(name.to_string(), value);
+            }
+        }
+    }
+
+    /// The monotonic counter `name`, 0 when absent.
+    pub fn count(&self, name: &str) -> u64 {
+        self.counts.get(name).copied().unwrap_or(0)
+    }
+
+    /// The high-water gauge `name`, 0 when absent.
+    pub fn gauge(&self, name: &str) -> u64 {
+        self.gauges.get(name).copied().unwrap_or(0)
+    }
+
+    /// Folds `other` into `self`: counters sum, gauges take the max.
+    pub fn merge(&mut self, other: &Counters) {
+        for (name, v) in &other.counts {
+            self.add(name, *v);
+        }
+        for (name, v) in &other.gauges {
+            self.hwm(name, *v);
+        }
+    }
+
+    /// Monotonic counters in sorted name order.
+    pub fn counts(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counts.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// High-water gauges in sorted name order.
+    pub fn gauges(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.gauges.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// True when no counter or gauge has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counts.is_empty() && self.gauges.is_empty()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Phase statistics
+// ---------------------------------------------------------------------------
+
+/// Running statistics for one profile node: total wall time, entry
+/// count, and a [`QuantileSketch`] over per-entry durations (in ms).
+///
+/// Also usable stand-alone as a shard-local accumulator on hot paths
+/// (record locally without locks, [`Profiler::fold`] once per window).
+#[derive(Debug, Clone)]
+pub struct PhaseStats {
+    total_ns: u64,
+    count: u64,
+    sketch: QuantileSketch,
+}
+
+impl PhaseStats {
+    /// An empty accumulator.
+    pub fn new() -> PhaseStats {
+        PhaseStats { total_ns: 0, count: 0, sketch: QuantileSketch::for_latency() }
+    }
+
+    /// Folds one measured duration in.
+    pub fn record(&mut self, d: Duration) {
+        self.total_ns += u64::try_from(d.as_nanos()).unwrap_or(u64::MAX);
+        self.count += 1;
+        self.sketch.push(d.as_secs_f64() * 1_000.0);
+    }
+
+    /// Adds a pre-aggregated total without per-entry distribution data
+    /// (the [`WallProbe`] fold path).
+    pub fn record_bulk(&mut self, total_ns: u64, count: u64) {
+        self.total_ns += total_ns;
+        self.count += count;
+    }
+
+    /// Folds another accumulator in.
+    pub fn merge(&mut self, other: &PhaseStats) {
+        self.total_ns += other.total_ns;
+        self.count += other.count;
+        self.sketch.merge(&other.sketch);
+    }
+
+    /// Total accumulated wall time.
+    pub fn total(&self) -> Duration {
+        Duration::from_nanos(self.total_ns)
+    }
+
+    /// Number of recorded entries.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean entry duration, `None` before the first entry.
+    pub fn mean(&self) -> Option<Duration> {
+        (self.count > 0).then(|| Duration::from_nanos(self.total_ns / self.count))
+    }
+
+    /// Per-entry duration quantile in ms, when distribution data exists.
+    pub fn quantile_ms(&self, q: f64) -> Option<f64> {
+        self.sketch.quantile(q)
+    }
+}
+
+impl Default for PhaseStats {
+    fn default() -> PhaseStats {
+        PhaseStats::new()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Profiler
+// ---------------------------------------------------------------------------
+
+/// The hierarchical phase profiler: a map from dot-separated node paths
+/// to [`PhaseStats`], populated by RAII [`SpanGuard`]s.
+///
+/// The node set is a static phase tree (a handful of paths per
+/// subsystem), so storage is O(tree). The map sits behind a mutex —
+/// spans are coarse-grained (per tick, window, or sub-round phase), so
+/// the lock is uncontended and off every per-event path; true hot loops
+/// accumulate into a local [`PhaseStats`] and [`Profiler::fold`] once.
+#[derive(Debug)]
+pub struct Profiler {
+    enabled: bool,
+    nodes: Mutex<BTreeMap<String, PhaseStats>>,
+}
+
+impl Profiler {
+    /// A profiler honoring `config.profile`.
+    pub fn new(config: ObsConfig) -> Profiler {
+        Profiler { enabled: config.profile, nodes: Mutex::new(BTreeMap::new()) }
+    }
+
+    /// Whether spans record (false ⇒ [`Profiler::span`] is a no-op).
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Starts a scoped timer for `path`; the span records on drop.
+    /// When the profiler is disabled this takes one branch and no clock
+    /// reads.
+    pub fn span(&self, path: &'static str) -> SpanGuard<'_> {
+        SpanGuard { inner: self.enabled.then(|| (self, path, Instant::now())) }
+    }
+
+    /// Folds one duration into `path` regardless of the enabled flag.
+    ///
+    /// This is the escape hatch for always-on accounting (`sim.window`,
+    /// `engine.tick`) whose totals back public busy-time accessors.
+    pub fn record(&self, path: &str, d: Duration) {
+        self.lock().entry(path.to_string()).or_default().record(d);
+    }
+
+    /// Folds a locally-accumulated [`PhaseStats`] into `path`.
+    pub fn fold(&self, path: &str, stats: &PhaseStats) {
+        if stats.count == 0 {
+            return;
+        }
+        self.lock().entry(path.to_string()).or_default().merge(stats);
+    }
+
+    /// Folds a pre-aggregated total into `path` (no distribution data).
+    pub fn fold_bulk(&self, path: &str, total_ns: u64, count: u64) {
+        if count == 0 {
+            return;
+        }
+        self.lock().entry(path.to_string()).or_default().record_bulk(total_ns, count);
+    }
+
+    /// Merges every node of `other` into this profiler by path.
+    pub fn merge(&self, other: &Profiler) {
+        let theirs = other.lock();
+        let mut ours = self.lock();
+        for (path, stats) in theirs.iter() {
+            match ours.get_mut(path) {
+                Some(slot) => slot.merge(stats),
+                None => {
+                    ours.insert(path.clone(), stats.clone());
+                }
+            }
+        }
+    }
+
+    /// Total recorded time under `path`, zero when absent.
+    pub fn total(&self, path: &str) -> Duration {
+        self.lock().get(path).map(PhaseStats::total).unwrap_or(Duration::ZERO)
+    }
+
+    /// A point-in-time copy of every node, sorted by path.
+    pub fn snapshot(&self) -> ProfileSnapshot {
+        ProfileSnapshot { nodes: self.lock().iter().map(|(k, v)| (k.clone(), v.clone())).collect() }
+    }
+
+    /// Renders the phase tree as indented text (see
+    /// [`ProfileSnapshot::render`]).
+    pub fn render_profile(&self) -> String {
+        self.snapshot().render()
+    }
+
+    /// Renders collapsed-stack lines for flamegraph tools (see
+    /// [`ProfileSnapshot::collapsed`]).
+    pub fn collapsed_stacks(&self) -> String {
+        self.snapshot().collapsed()
+    }
+
+    /// Discards every recorded node, keeping the enabled flag.
+    pub fn reset(&self) {
+        self.lock().clear();
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, BTreeMap<String, PhaseStats>> {
+        self.nodes.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+}
+
+impl Default for Profiler {
+    fn default() -> Profiler {
+        Profiler::new(ObsConfig::default())
+    }
+}
+
+impl Clone for Profiler {
+    fn clone(&self) -> Profiler {
+        Profiler { enabled: self.enabled, nodes: Mutex::new(self.lock().clone()) }
+    }
+}
+
+/// RAII timer returned by [`Profiler::span`]; records its elapsed wall
+/// time into the node on drop.
+#[derive(Debug)]
+pub struct SpanGuard<'a> {
+    inner: Option<(&'a Profiler, &'static str, Instant)>,
+}
+
+impl Drop for SpanGuard<'_> {
+    fn drop(&mut self) {
+        if let Some((prof, path, started)) = self.inner.take() {
+            prof.record(path, started.elapsed());
+        }
+    }
+}
+
+/// Opens a scoped RAII profiling span: `span!(profiler, "engine.tick")`.
+///
+/// Expands to a hygienic local [`SpanGuard`](crate::obs::SpanGuard) that
+/// records when the enclosing scope ends.
+#[macro_export]
+macro_rules! span {
+    ($profiler:expr, $path:expr) => {
+        let _guard = $profiler.span($path);
+    };
+}
+
+pub use crate::span;
+
+// ---------------------------------------------------------------------------
+// Profile snapshot rendering
+// ---------------------------------------------------------------------------
+
+/// An immutable, path-sorted copy of a [`Profiler`]'s phase tree.
+#[derive(Debug, Clone, Default)]
+pub struct ProfileSnapshot {
+    nodes: Vec<(String, PhaseStats)>,
+}
+
+impl ProfileSnapshot {
+    /// The nodes, sorted by path.
+    pub fn nodes(&self) -> &[(String, PhaseStats)] {
+        &self.nodes
+    }
+
+    /// True when nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Total recorded time under `path`, zero when absent.
+    pub fn total(&self, path: &str) -> Duration {
+        self.nodes.iter().find(|(p, _)| p == path).map(|(_, s)| s.total()).unwrap_or(Duration::ZERO)
+    }
+
+    /// Renders the phase tree as indented text: one line per node with
+    /// total, count, mean, and p50/p95 per-entry durations.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for (path, stats) in &self.nodes {
+            let depth = path.matches('.').count();
+            let label = path.rsplit('.').next().unwrap_or(path);
+            let _ = write!(
+                out,
+                "{:indent$}{label:<24} {:>12} n={:<8}",
+                "",
+                fmt_ns(stats.total_ns),
+                stats.count,
+                indent = depth * 2,
+            );
+            if let Some(mean) = stats.mean() {
+                let _ = write!(out, " mean {:>10}", fmt_ns(mean.as_nanos() as u64));
+            }
+            if let (Some(p50), Some(p95)) = (stats.quantile_ms(0.5), stats.quantile_ms(0.95)) {
+                let _ = write!(out, " p50 {p50:.3}ms p95 {p95:.3}ms");
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders collapsed-stack lines (`a;b;c <self-time-ns>`), the
+    /// format flamegraph tools ingest. Each node's value is its *self*
+    /// time: total minus the sum of its direct children, clamped at 0.
+    pub fn collapsed(&self) -> String {
+        let mut out = String::new();
+        for (path, stats) in &self.nodes {
+            let child_ns: u64 = self
+                .nodes
+                .iter()
+                .filter(|(p, _)| {
+                    p.len() > path.len()
+                        && p.starts_with(path.as_str())
+                        && p.as_bytes()[path.len()] == b'.'
+                        && !p[path.len() + 1..].contains('.')
+                })
+                .map(|(_, s)| s.total_ns)
+                .sum();
+            let self_ns = stats.total_ns.saturating_sub(child_ns);
+            let _ = writeln!(out, "{} {}", path.replace('.', ";"), self_ns);
+        }
+        out
+    }
+}
+
+fn fmt_ns(ns: u64) -> String {
+    if ns < 1_000 {
+        format!("{ns}ns")
+    } else if ns < 1_000_000 {
+        format!("{:.1}µs", ns as f64 / 1_000.0)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2}ms", ns as f64 / 1_000_000.0)
+    } else {
+        format!("{:.3}s", ns as f64 / 1_000_000_000.0)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Wall probe
+// ---------------------------------------------------------------------------
+
+/// An atomic accumulating timer for `&self` and cross-thread call sites
+/// (metric-store flushes, parallel check evaluation) where a `&mut`
+/// profiler is out of reach.
+///
+/// Totals fold into a profiler node at snapshot time via
+/// [`Profiler::fold_bulk`]; probes carry no per-entry distribution. A
+/// disarmed probe takes one relaxed atomic load per call site.
+#[derive(Debug, Default)]
+pub struct WallProbe {
+    armed: AtomicBool,
+    ns: AtomicU64,
+    count: AtomicU64,
+}
+
+impl WallProbe {
+    /// An armed probe with zeroed totals.
+    pub fn new() -> WallProbe {
+        WallProbe { armed: AtomicBool::new(true), ns: AtomicU64::new(0), count: AtomicU64::new(0) }
+    }
+
+    /// Arms or disarms the probe; disarmed probes skip the clock reads.
+    pub fn set_armed(&self, armed: bool) {
+        self.armed.store(armed, Ordering::Relaxed);
+    }
+
+    /// Starts a scoped measurement; elapsed time accumulates on drop.
+    pub fn time(&self) -> ProbeGuard<'_> {
+        let armed = self.armed.load(Ordering::Relaxed);
+        ProbeGuard { inner: armed.then(|| (self, Instant::now())) }
+    }
+
+    /// Total accumulated nanoseconds.
+    pub fn total_ns(&self) -> u64 {
+        self.ns.load(Ordering::Relaxed)
+    }
+
+    /// Number of completed measurements.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Zeroes the totals (the armed flag is untouched).
+    pub fn reset(&self) {
+        self.ns.store(0, Ordering::Relaxed);
+        self.count.store(0, Ordering::Relaxed);
+    }
+}
+
+/// RAII measurement returned by [`WallProbe::time`].
+#[derive(Debug)]
+pub struct ProbeGuard<'a> {
+    inner: Option<(&'a WallProbe, Instant)>,
+}
+
+impl Drop for ProbeGuard<'_> {
+    fn drop(&mut self) {
+        if let Some((probe, started)) = self.inner.take() {
+            let ns = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            probe.ns.fetch_add(ns, Ordering::Relaxed);
+            probe.count.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_sum_and_gauges_max() {
+        let mut a = Counters::new();
+        a.add("sim.events.popped", 10);
+        a.add("sim.events.popped", 5);
+        a.hwm("sim.queue_hwm.svc", 3);
+        a.hwm("sim.queue_hwm.svc", 2);
+        assert_eq!(a.count("sim.events.popped"), 15);
+        assert_eq!(a.gauge("sim.queue_hwm.svc"), 3);
+        assert_eq!(a.count("missing"), 0);
+
+        let mut b = Counters::new();
+        b.add("sim.events.popped", 1);
+        b.add("sim.sheds", 2);
+        b.hwm("sim.queue_hwm.svc", 9);
+        a.merge(&b);
+        assert_eq!(a.count("sim.events.popped"), 16);
+        assert_eq!(a.count("sim.sheds"), 2);
+        assert_eq!(a.gauge("sim.queue_hwm.svc"), 9);
+    }
+
+    #[test]
+    fn counters_iterate_in_sorted_order() {
+        let mut c = Counters::new();
+        c.add("zeta", 1);
+        c.add("alpha", 1);
+        c.add("mid", 1);
+        let names: Vec<&str> = c.counts().map(|(n, _)| n).collect();
+        assert_eq!(names, vec!["alpha", "mid", "zeta"]);
+    }
+
+    #[test]
+    fn spans_build_a_phase_tree() {
+        let prof = Profiler::new(ObsConfig::enabled());
+        {
+            span!(prof, "engine.tick");
+            {
+                span!(prof, "engine.tick.observe");
+                std::hint::black_box(0);
+            }
+            {
+                span!(prof, "engine.tick.apply");
+                std::hint::black_box(0);
+            }
+        }
+        let snap = prof.snapshot();
+        assert_eq!(snap.nodes().len(), 3);
+        assert!(snap.total("engine.tick") >= snap.total("engine.tick.observe"));
+        let rendered = snap.render();
+        assert!(rendered.contains("observe"), "tree lists children: {rendered}");
+        let collapsed = snap.collapsed();
+        assert!(collapsed.contains("engine;tick;observe "), "collapsed stacks: {collapsed}");
+        // Self-time of the parent excludes both children.
+        let parent_line = collapsed.lines().find(|l| l.starts_with("engine;tick ")).unwrap();
+        let self_ns: u64 = parent_line.rsplit(' ').next().unwrap().parse().unwrap();
+        assert!(self_ns <= snap.total("engine.tick").as_nanos() as u64);
+    }
+
+    #[test]
+    fn record_applies_even_when_disabled_but_span_does_not() {
+        let prof = Profiler::new(ObsConfig::disabled());
+        {
+            span!(prof, "phase");
+        }
+        assert!(prof.snapshot().is_empty(), "disabled spans record nothing");
+        prof.record("sim.window", Duration::from_millis(3));
+        assert_eq!(prof.total("sim.window"), Duration::from_millis(3));
+    }
+
+    #[test]
+    fn fold_and_merge_combine_nodes_by_path() {
+        let local = {
+            let mut s = PhaseStats::new();
+            s.record(Duration::from_micros(100));
+            s.record(Duration::from_micros(300));
+            s
+        };
+        let a = Profiler::new(ObsConfig::enabled());
+        a.fold("sim.subround.pop", &local);
+        assert_eq!(a.total("sim.subround.pop"), Duration::from_micros(400));
+
+        let b = Profiler::new(ObsConfig::enabled());
+        b.fold("sim.subround.pop", &local);
+        b.record("sim.merge", Duration::from_micros(50));
+        a.merge(&b);
+        assert_eq!(a.total("sim.subround.pop"), Duration::from_micros(800));
+        assert_eq!(a.total("sim.merge"), Duration::from_micros(50));
+        let snap = a.snapshot();
+        let pop = &snap.nodes().iter().find(|(p, _)| p == "sim.subround.pop").unwrap().1;
+        assert_eq!(pop.count(), 4);
+        assert!(pop.quantile_ms(0.5).is_some());
+    }
+
+    #[test]
+    fn wall_probe_accumulates_and_disarms() {
+        let probe = WallProbe::new();
+        {
+            let _t = probe.time();
+            std::hint::black_box(0);
+        }
+        assert_eq!(probe.count(), 1);
+        probe.set_armed(false);
+        {
+            let _t = probe.time();
+        }
+        assert_eq!(probe.count(), 1, "disarmed probe records nothing");
+
+        let prof = Profiler::new(ObsConfig::enabled());
+        prof.fold_bulk("store.flush", probe.total_ns(), probe.count());
+        assert_eq!(prof.total("store.flush").as_nanos() as u64, probe.total_ns());
+    }
+
+    /// Satellite requirement: spans must be near-zero when disabled.
+    /// 1M disabled spans do no clock reads, no locking, and no
+    /// allocation — a generous wall bound keeps this robust on loaded
+    /// CI machines while still catching an accidental hot-path
+    /// regression (e.g. an unconditional `Instant::now()`).
+    #[test]
+    fn disabled_spans_are_near_zero_overhead() {
+        let prof = Profiler::new(ObsConfig::disabled());
+        let started = Instant::now();
+        for _ in 0..1_000_000 {
+            let guard = prof.span("hot.path");
+            std::hint::black_box(&guard);
+        }
+        let elapsed = started.elapsed();
+        assert!(prof.snapshot().is_empty());
+        assert!(
+            elapsed < Duration::from_millis(500),
+            "1M disabled spans took {elapsed:?}; expected ~ns each"
+        );
+    }
+
+    #[test]
+    fn render_profile_formats_durations_adaptively() {
+        assert_eq!(fmt_ns(999), "999ns");
+        assert_eq!(fmt_ns(1_500), "1.5µs");
+        assert_eq!(fmt_ns(2_500_000), "2.50ms");
+        assert_eq!(fmt_ns(3_210_000_000), "3.210s");
+    }
+}

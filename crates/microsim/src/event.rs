@@ -51,10 +51,12 @@
 //! canonical order. Same seed + same worker count, or same seed +
 //! *different* worker count: byte-identical outputs either way.
 
+use std::cell::Cell;
 use std::cmp::Reverse;
 use std::collections::{BTreeMap, BinaryHeap, HashMap};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Barrier, Mutex};
+use std::time::Instant;
 
 use crate::app::{Application, EndpointId, ServiceId, VersionId};
 use crate::exec::{MetricSink, MAX_CALL_DEPTH};
@@ -66,6 +68,7 @@ use crate::resilience::{
 use crate::routing::{Router, UserId};
 use crate::trace::{Span, SpanId, SpanStatus, Trace, TraceCollector, TraceId};
 use cex_core::metrics::{MetricKind, OnlineStats};
+use cex_core::obs::{PhaseStats, Profiler};
 use cex_core::rng::SplitMix64;
 use cex_core::simtime::{SimDuration, SimTime};
 
@@ -302,6 +305,84 @@ pub(crate) struct WindowStats {
     pub(crate) requests: u64,
     pub(crate) failures: u64,
     pub(crate) rt: OnlineStats,
+    pub(crate) tally: WindowTally,
+}
+
+/// Deterministic event-core tallies for one window, folded across shards
+/// at the merge. Every field is a pure function of the seed — an event is
+/// processed by exactly one shard regardless of the worker count, and all
+/// workers execute the same barrier-synchronised sub-round sequence — so
+/// these values are safe to journal (see `cex_core::obs`).
+#[derive(Debug, Default)]
+pub(crate) struct WindowTally {
+    /// Events popped off shard heaps (every created event is popped once).
+    pub(crate) events_popped: u64,
+    /// Events routed through the outbox exchange (all non-root events).
+    pub(crate) events_sent: u64,
+    /// Barrier-synchronised sub-rounds driven (identical on every worker;
+    /// taken from one shard, not summed, so the value is worker-count
+    /// invariant).
+    pub(crate) sub_rounds: u64,
+    /// Requests shed — admission-queue-full plus breaker sheds.
+    pub(crate) sheds: u64,
+}
+
+/// Shard-local observability: deterministic tallies plus wall-clock phase
+/// accumulators. Tallies fold into [`WindowTally`] at the merge; phase
+/// timings fold into the profiler and are recorded only when profiling is
+/// on (`timed`), keeping the disabled path free of clock reads. Even when
+/// on, only 1-in-[`OBS_TIMING_SAMPLE`] sub-rounds are timed — the
+/// accumulators hold sampled values that [`fold_sampled`] scales back up.
+#[derive(Debug)]
+struct ShardObs {
+    timed: bool,
+    events_popped: u64,
+    /// `Cell` because [`Shard::send`] takes `&self`; shards are never
+    /// shared across threads, only moved.
+    events_sent: Cell<u64>,
+    sub_rounds: u64,
+    sheds: u64,
+    pop: PhaseStats,
+    dispatch: PhaseStats,
+    barrier: PhaseStats,
+    exchange: PhaseStats,
+}
+
+impl ShardObs {
+    fn new(timed: bool) -> ShardObs {
+        ShardObs {
+            timed,
+            events_popped: 0,
+            events_sent: Cell::new(0),
+            sub_rounds: 0,
+            sheds: 0,
+            pop: PhaseStats::new(),
+            dispatch: PhaseStats::new(),
+            barrier: PhaseStats::new(),
+            exchange: PhaseStats::new(),
+        }
+    }
+}
+
+/// When profiling is on, only one sub-round in this many is actually
+/// timed. A sub-round takes single-digit microseconds, so clock reads on
+/// every round cost tens of percent of the whole window; sampling keeps
+/// the per-sample distributions honest while cutting the clock reads by
+/// this factor. At fold time the sampled totals and counts are scaled
+/// back up ([`fold_sampled`]) so the profile tree shows unbiased
+/// estimates of true phase totals.
+const OBS_TIMING_SAMPLE: u64 = 256;
+
+/// Starts a phase measurement iff timing is on (one branch otherwise).
+fn mark(timed: bool) -> Option<Instant> {
+    timed.then(Instant::now)
+}
+
+/// Completes a measurement opened by [`mark`].
+fn lap(stats: &mut PhaseStats, started: Option<Instant>) {
+    if let Some(t0) = started {
+        stats.record(t0.elapsed());
+    }
 }
 
 fn service_of_ident(ident: u64) -> usize {
@@ -343,6 +424,7 @@ struct Shard<'a> {
     plan: &'a ResiliencePlan,
     reqs: &'a [ReqMeta],
     guard: bool,
+    obs: ShardObs,
 }
 
 type Outboxes = [Mutex<Vec<HeapEv>>];
@@ -356,6 +438,7 @@ impl Shard<'_> {
     }
 
     fn send(&self, outboxes: &Outboxes, target_service: usize, key: EvKey, ev: Ev) {
+        self.obs.events_sent.set(self.obs.events_sent.get() + 1);
         outboxes[target_service % self.workers]
             .lock()
             .expect("outbox poisoned")
@@ -428,6 +511,7 @@ impl Shard<'_> {
                 self.parked.insert(ident, Parked { call, req, dispatch_ms: t });
             }
             Admission::Shed => {
+                self.obs.sheds += 1;
                 self.sample(version, MetricKind::Shed, t, 1.0);
                 if let Some(path) = &call.path {
                     self.out.spans.push(SpanRec {
@@ -576,6 +660,7 @@ impl Shard<'_> {
                         SimTime::from_millis(child_start),
                     );
                     if decision == CallDecision::Shed {
+                        self.obs.sheds += 1;
                         self.sample(callee, MetricKind::Shed, child_start, 1.0);
                         if let Some(p) = &frame.path {
                             self.out.spans.push(SpanRec {
@@ -1036,20 +1121,35 @@ fn drive(
     min_time: &AtomicU64,
     any_normal: &AtomicBool,
 ) {
+    // Events at the sub-round's (t, phase) front are popped into this
+    // scratch before any is processed. Safe because created events only
+    // ever travel through the outboxes (`Shard::send`), never straight
+    // into the local heap — and it lets pop and dispatch be timed as two
+    // phases without a clock read per event.
+    let mut front: Vec<HeapEv> = Vec::new();
+    let mut round: u64 = 0;
     loop {
+        // Time 1-in-`OBS_TIMING_SAMPLE` rounds; see the constant's doc.
+        let timed = shard.obs.timed && round.is_multiple_of(OBS_TIMING_SAMPLE);
+        round += 1;
+        let t0 = mark(timed);
         if barrier.wait().is_leader() {
             min_time.store(u64::MAX, Ordering::SeqCst);
             any_normal.store(false, Ordering::SeqCst);
         }
         barrier.wait();
+        lap(&mut shard.obs.barrier, t0);
         if let Some(Reverse(top)) = shard.heap.peek() {
             min_time.fetch_min(top.key.time, Ordering::SeqCst);
         }
+        let t0 = mark(timed);
         barrier.wait();
+        lap(&mut shard.obs.barrier, t0);
         let t = min_time.load(Ordering::SeqCst);
         if t == u64::MAX {
             break;
         }
+        shard.obs.sub_rounds += 1;
         if shard
             .heap
             .peek()
@@ -1057,17 +1157,31 @@ fn drive(
         {
             any_normal.store(true, Ordering::SeqCst);
         }
+        let t0 = mark(timed);
         barrier.wait();
+        lap(&mut shard.obs.barrier, t0);
         let phase = if any_normal.load(Ordering::SeqCst) { PHASE_NORMAL } else { PHASE_TIMEOUT };
+        let t0 = mark(timed);
         while shard.heap.peek().is_some_and(|Reverse(e)| e.key.time == t && e.key.phase == phase) {
             let Reverse(ev) = shard.heap.pop().expect("peeked");
+            front.push(ev);
+        }
+        shard.obs.events_popped += front.len() as u64;
+        lap(&mut shard.obs.pop, t0);
+        let t0 = mark(timed);
+        for ev in front.drain(..) {
             shard.process(ev, outboxes);
         }
+        lap(&mut shard.obs.dispatch, t0);
+        let t0 = mark(timed);
         barrier.wait();
-        let mut inbox = outboxes[shard.id].lock().expect("inbox poisoned");
-        for ev in inbox.drain(..) {
-            shard.heap.push(Reverse(ev));
+        {
+            let mut inbox = outboxes[shard.id].lock().expect("inbox poisoned");
+            for ev in inbox.drain(..) {
+                shard.heap.push(Reverse(ev));
+            }
         }
+        lap(&mut shard.obs.exchange, t0);
     }
 }
 
@@ -1078,7 +1192,7 @@ pub(crate) fn run_window(
     app: &Application,
     router: &Router,
     load: &mut LoadTracker,
-    occupancy: &OccupancyTable,
+    occupancy: &mut OccupancyTable,
     faults: &FaultPlan,
     plan: &ResiliencePlan,
     state: &mut ResilienceState,
@@ -1086,6 +1200,7 @@ pub(crate) fn run_window(
     collector: &mut TraceCollector,
     requests: Vec<EventRequest>,
     workers: usize,
+    profiler: &Profiler,
 ) -> WindowStats {
     let workers = workers.clamp(1, app.service_count().max(1));
     let reqs: Vec<ReqMeta> = requests
@@ -1134,6 +1249,7 @@ pub(crate) fn run_window(
                 plan,
                 reqs: &reqs,
                 guard: !plan.is_empty(),
+                obs: ShardObs::new(profiler.enabled()),
             }
         })
         .collect();
@@ -1187,27 +1303,66 @@ pub(crate) fn run_window(
         });
     }
 
-    merge(app, load, state, sink, collector, &reqs, shards)
+    cex_core::span!(profiler, "sim.event.merge");
+    merge(app, load, occupancy, state, sink, collector, &reqs, shards, profiler)
+}
+
+/// Folds a 1-in-[`OBS_TIMING_SAMPLE`] sampled phase accumulator into the
+/// profiler: the sampled durations go in as-is (so means and quantiles
+/// stay per-sub-round facts), then the total and count are topped up by
+/// the sampling factor so the tree's totals estimate true wall time.
+fn fold_sampled(profiler: &Profiler, path: &str, stats: &PhaseStats) {
+    profiler.fold(path, stats);
+    let total_ns = stats.total().as_nanos() as u64;
+    profiler.fold_bulk(
+        path,
+        total_ns * (OBS_TIMING_SAMPLE - 1),
+        stats.count() * (OBS_TIMING_SAMPLE - 1),
+    );
 }
 
 /// Single-threaded canonical merge: writes every shard's tagged outputs
 /// into the shared store/collector/state in global event order, then the
 /// per-request (end-to-end, conversion, trace) outputs in arrival order.
+#[allow(clippy::too_many_arguments)]
 fn merge(
     app: &Application,
     load: &mut LoadTracker,
+    occupancy: &mut OccupancyTable,
     state: &mut ResilienceState,
     sink: &mut MetricSink<'_>,
     collector: &mut TraceCollector,
     reqs: &[ReqMeta],
     mut shards: Vec<Shard<'_>>,
+    profiler: &Profiler,
 ) -> WindowStats {
     let workers = shards.len();
-    // Each version's load counters are owned by its service's shard.
+    // Each version's load counters (and queue high-water mark) are owned
+    // by its service's shard.
     for v in 0..app.version_count() {
         let vid = VersionId(v);
         let shard = app.version(vid).service.0 % workers;
         load.adopt_version_from(&shards[shard].load, vid);
+        occupancy.raise_queue_hwm(vid, shards[shard].occ.queue_hwm(vid));
+    }
+
+    // Fold observability: deterministic tallies into the window tally
+    // (summed per shard — each event is processed exactly once globally,
+    // so sums are worker-count invariant; sub-rounds are identical on
+    // every worker and taken from shard 0), wall-clock phase timings into
+    // the profiler (aggregated, plus per-worker barrier-wait nodes).
+    let mut tally = WindowTally::default();
+    for (si, shard) in shards.iter().enumerate() {
+        tally.events_popped += shard.obs.events_popped;
+        tally.events_sent += shard.obs.events_sent.get();
+        tally.sheds += shard.obs.sheds;
+        if si == 0 {
+            tally.sub_rounds = shard.obs.sub_rounds;
+        }
+        fold_sampled(profiler, "sim.event.pop", &shard.obs.pop);
+        fold_sampled(profiler, "sim.event.dispatch", &shard.obs.dispatch);
+        fold_sampled(profiler, "sim.event.exchange", &shard.obs.exchange);
+        fold_sampled(profiler, &format!("sim.event.barrier.w{si}"), &shard.obs.barrier);
     }
     for shard in &mut shards {
         state.absorb_breakers(shard.res.take_breakers());
@@ -1250,7 +1405,7 @@ fn merge(
         }
     }
 
-    let mut stats = WindowStats { requests: 0, failures: 0, rt: OnlineStats::new() };
+    let mut stats = WindowStats { requests: 0, failures: 0, rt: OnlineStats::new(), tally };
     for (i, meta) in reqs.iter().enumerate() {
         let root = roots[i].take().expect("every request completes within the window");
         stats.requests += 1;
@@ -1727,6 +1882,73 @@ mod tests {
             assert!(!w1.0 .2.is_empty(), "traces were actually collected");
             assert!(!w1.1.is_empty(), "the outage actually tripped a breaker");
         }
+    }
+
+    #[test]
+    fn obs_counters_are_identical_across_worker_counts() {
+        // Property: the unified counter registry is a pure function of the
+        // seed. Over seeded random topologies with faults, breakers and
+        // tracing active, every counter and gauge (events popped/sent,
+        // sub-rounds, sheds, store flushes, trace sampling tallies, queue
+        // high-water marks) is identical at 1, 2 and 8 workers.
+        let mut any_sheds = false;
+        for seed in [7_u64, 23, 41] {
+            let run = |workers: usize| {
+                let params =
+                    RandomAppParams { services: 12, layers: 3, ..RandomAppParams::default() };
+                let app = random_app(&params, seed);
+                let fault_target = app.version_id("svc-0001", "1.0.0").unwrap();
+                let mut sim = Simulation::new(app, seed.wrapping_mul(0x9e37_79b9));
+                sim.set_workers(workers);
+                sim.set_trace_sampling(0.4);
+                sim.set_call_policy(CallPolicy {
+                    attempt_timeout: Some(SimDuration::from_millis(60)),
+                    max_retries: 1,
+                    backoff_base: SimDuration::from_millis(5),
+                    backoff_multiplier: 2.0,
+                    jitter: 0.5,
+                    breaker: Some(BreakerPolicy {
+                        error_threshold: 0.5,
+                        min_calls: 10,
+                        window: 40,
+                        cooldown: SimDuration::from_secs(5),
+                        half_open_probes: 3,
+                    }),
+                    fallback: true,
+                    fallback_latency: SimDuration::from_millis(1),
+                });
+                sim.inject_fault(Fault {
+                    version: fault_target,
+                    kind: FaultKind::Outage,
+                    from: SimTime::from_secs(5),
+                    until: SimTime::from_secs(15),
+                });
+                for _ in 0..2 {
+                    sim.run(SimDuration::from_secs(10), 40.0);
+                }
+                sim.counters()
+            };
+            let w1 = run(1);
+            let w2 = run(2);
+            let w8 = run(8);
+            assert_eq!(w1, w2, "counters w1 vs w2 (seed {seed})");
+            assert_eq!(w1, w8, "counters w1 vs w8 (seed {seed})");
+            assert!(w1.count("sim.events.popped") > 0, "events were processed (seed {seed})");
+            any_sheds |= w1.count("sim.sheds") > 0;
+        }
+        assert!(any_sheds, "at least one topology exercised the shed counter");
+    }
+
+    #[test]
+    fn queue_hwm_gauge_tracks_bounded_queue_depth() {
+        // One slot, 40 ms service, bounded queue of 4, offered 2× capacity:
+        // the queue saturates, so the high-water gauge must reach the bound
+        // and shed counts must be visible in the registry.
+        let mut sim = Simulation::new(limited_app(Some(4)), 11);
+        sim.run(SimDuration::from_secs(10), 50.0);
+        let counters = sim.counters();
+        assert_eq!(counters.gauge("sim.queue_hwm.worker"), 4, "queue filled to its bound");
+        assert!(counters.count("sim.sheds") > 0, "overflow beyond the bound is shed");
     }
 
     #[test]

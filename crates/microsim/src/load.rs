@@ -125,6 +125,10 @@ struct VersionOccupancy {
     queue_capacity: Option<u32>,
     busy: u32,
     queue: VecDeque<u64>,
+    /// Deepest the admission queue has ever been — a pure function of
+    /// the seed (each version is owned by exactly one shard), surfaced
+    /// as a high-water gauge in the observability counter registry.
+    queue_hwm: u64,
 }
 
 /// Per-version concurrency slots and bounded FIFO admission queues — the
@@ -154,6 +158,7 @@ impl OccupancyTable {
                 queue_capacity: v.queue_capacity,
                 busy: 0,
                 queue: VecDeque::new(),
+                queue_hwm: 0,
             });
         }
     }
@@ -174,6 +179,7 @@ impl OccupancyTable {
             Some(_) => {
                 if slot.queue_capacity.is_none_or(|cap| (slot.queue.len() as u32) < cap) {
                     slot.queue.push_back(token);
+                    slot.queue_hwm = slot.queue_hwm.max(slot.queue.len() as u64);
                     Admission::Queued
                 } else {
                     Admission::Shed
@@ -208,6 +214,19 @@ impl OccupancyTable {
     /// Requests currently waiting in `version`'s admission queue.
     pub fn queue_len(&self, version: VersionId) -> usize {
         self.per_version.get(version.0).map(|s| s.queue.len()).unwrap_or(0)
+    }
+
+    /// Deepest `version`'s admission queue has ever been.
+    pub fn queue_hwm(&self, version: VersionId) -> u64 {
+        self.per_version.get(version.0).map(|s| s.queue_hwm).unwrap_or(0)
+    }
+
+    /// Raises `version`'s queue high-water mark to at least `hwm` — the
+    /// merge path adopting a worker shard's observation.
+    pub(crate) fn raise_queue_hwm(&mut self, version: VersionId, hwm: u64) {
+        if let Some(slot) = self.per_version.get_mut(version.0) {
+            slot.queue_hwm = slot.queue_hwm.max(hwm);
+        }
     }
 }
 

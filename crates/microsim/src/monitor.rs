@@ -49,6 +49,7 @@
 use crate::app::Application;
 use cex_core::intern::Interner;
 use cex_core::metrics::{MetricKind, OnlineStats, Sample, Summary};
+use cex_core::obs::WallProbe;
 use cex_core::simtime::{SimDuration, SimTime};
 use std::collections::{HashMap, VecDeque};
 use std::hash::{BuildHasherDefault, Hasher};
@@ -310,6 +311,14 @@ pub struct MetricStore {
     /// Bifrost execution journal). The total per tick is deterministic
     /// even though worker threads increment it in arbitrary order.
     window_reads: AtomicU64,
+    /// Non-empty [`SampleBatch`] flushes. Batches fill in canonical merge
+    /// order and flush at deterministic boundaries, so this is a pure
+    /// function of the seed (registry counter `store.batch_flushes`).
+    batch_flushes: AtomicU64,
+    /// Wall time spent in batch flushes (sidecar profile only).
+    flush_probe: WallProbe,
+    /// Wall time spent serving windowed queries (sidecar profile only).
+    query_probe: WallProbe,
 }
 
 impl Default for MetricStore {
@@ -345,6 +354,9 @@ impl MetricStore {
             bucket_width_ms: width.as_millis(),
             retention_ms: AtomicU64::new(0),
             window_reads: AtomicU64::new(0),
+            batch_flushes: AtomicU64::new(0),
+            flush_probe: WallProbe::new(),
+            query_probe: WallProbe::new(),
         }
     }
 
@@ -513,6 +525,7 @@ impl MetricStore {
         now: SimTime,
         window: SimDuration,
     ) -> Summary {
+        let _t = self.query_probe.time();
         self.window_reads.fetch_add(1, Ordering::Relaxed);
         let from = SimTime::from_millis(now.as_millis().saturating_sub(window.as_millis()));
         self.summary_between_id(scope, metric, from, now + SimDuration::from_millis(1))
@@ -524,6 +537,36 @@ impl MetricStore {
     /// journal samples per tick.
     pub fn window_reads(&self) -> u64 {
         self.window_reads.load(Ordering::Relaxed)
+    }
+
+    /// Non-empty [`SampleBatch`] flushes completed against this store —
+    /// deterministic (registry counter `store.batch_flushes`).
+    pub fn batch_flushes(&self) -> u64 {
+        self.batch_flushes.load(Ordering::Relaxed)
+    }
+
+    /// Number of interned metric scopes (registry gauge
+    /// `store.interner.scopes`).
+    pub fn interned_scopes(&self) -> u64 {
+        self.interner.len() as u64
+    }
+
+    /// Wall-clock probe over batch flushes, for folding into a profiler.
+    pub fn flush_probe(&self) -> &WallProbe {
+        &self.flush_probe
+    }
+
+    /// Wall-clock probe over windowed queries, for folding into a
+    /// profiler.
+    pub fn query_probe(&self) -> &WallProbe {
+        &self.query_probe
+    }
+
+    /// Arms or disarms both wall-clock probes (see
+    /// [`cex_core::obs::ObsConfig`]).
+    pub fn set_probes_armed(&self, armed: bool) {
+        self.flush_probe.set_armed(armed);
+        self.query_probe.set_armed(armed);
     }
 
     /// Moving average: for each step boundary in `[start, end)` emits the
@@ -544,6 +587,7 @@ impl MetricStore {
         step: SimDuration,
     ) -> Vec<(SimTime, f64)> {
         assert!(!step.is_zero(), "step must be positive");
+        let _t = self.query_probe.time();
         self.window_reads.fetch_add(1, Ordering::Relaxed);
         let Some(id) = self.resolve(scope) else { return Vec::new() };
         let key = (id, metric);
@@ -705,6 +749,8 @@ impl SampleBatch<'_> {
         if self.buffered == 0 {
             return;
         }
+        let _t = self.store.flush_probe.time();
+        self.store.batch_flushes.fetch_add(1, Ordering::Relaxed);
         let width = self.store.bucket_width_ms;
         let retention = self.store.retention_ms.load(Ordering::Relaxed);
         let kinds = MetricKind::all();

@@ -20,6 +20,7 @@ use crate::routing::Router;
 use crate::trace::{Trace, TraceCollector};
 use crate::workload::{ArrivalProcess, Workload};
 use cex_core::metrics::{MetricKind, OnlineStats, Summary};
+use cex_core::obs::{Counters, ObsConfig, ProfileSnapshot, Profiler};
 use cex_core::rng::{sub_seed, SplitMix64};
 use cex_core::simtime::{SimDuration, SimTime};
 
@@ -99,7 +100,13 @@ pub struct Simulation {
     faults: FaultPlan,
     resilience_plan: ResiliencePlan,
     resilience_state: ResilienceState,
-    sim_busy: std::time::Duration,
+    /// Wall-clock phase tree (`sim.window`, event-core phases, …). The
+    /// `sim.window` node is recorded unconditionally and backs
+    /// [`Simulation::sim_busy`]; sub-phase spans honour the obs config.
+    profiler: Profiler,
+    /// Running deterministic event-core tallies, accumulated across
+    /// windows at each canonical merge.
+    event_tally: event::WindowTally,
 }
 
 impl Simulation {
@@ -129,8 +136,79 @@ impl Simulation {
             faults: FaultPlan::none(),
             resilience_plan: ResiliencePlan::none(),
             resilience_state: ResilienceState::new(),
-            sim_busy: std::time::Duration::ZERO,
+            profiler: Profiler::default(),
+            event_tally: event::WindowTally::default(),
         }
+    }
+
+    /// Reconfigures the self-observability layer: replaces the profiler
+    /// (discarding recorded phases) and arms or disarms the metric
+    /// store's wall-clock probes. Deterministic counters are unaffected —
+    /// they are pure functions of the seed and always collected.
+    pub fn set_obs(&mut self, config: ObsConfig) {
+        self.profiler = Profiler::new(config);
+        self.store.set_probes_armed(config.profile);
+    }
+
+    /// The wall-clock phase profiler (sidecar report only — timings never
+    /// enter deterministic outputs).
+    pub fn profiler(&self) -> &Profiler {
+        &self.profiler
+    }
+
+    /// A profile snapshot including the metric store's probe totals
+    /// (`store.flush`, `store.window_query`) folded in.
+    pub fn profile(&self) -> ProfileSnapshot {
+        let p = self.profiler.clone();
+        self.fold_probes_into(&p);
+        p.snapshot()
+    }
+
+    /// Folds the metric store's wall-probe totals (`store.flush`,
+    /// `store.window_query`) into `target` — for callers assembling a
+    /// combined phase tree across subsystems.
+    pub fn fold_probes_into(&self, target: &Profiler) {
+        let flush = self.store.flush_probe();
+        target.fold_bulk("store.flush", flush.total_ns(), flush.count());
+        let query = self.store.query_probe();
+        target.fold_bulk("store.window_query", query.total_ns(), query.count());
+    }
+
+    /// Deterministic counter-registry snapshot: event-core tallies,
+    /// metric-store and trace-collector accounting, and per-service
+    /// queue-depth high-water gauges. Every value is a pure function of
+    /// the seed — identical across runs and worker counts — and safe to
+    /// journal (see [`cex_core::obs`]).
+    pub fn counters(&self) -> Counters {
+        let mut c = Counters::new();
+        c.add("sim.windows", self.windows_run);
+        c.add("sim.events.popped", self.event_tally.events_popped);
+        c.add("sim.events.sent", self.event_tally.events_sent);
+        c.add("sim.events.subrounds", self.event_tally.sub_rounds);
+        c.add("sim.sheds", self.event_tally.sheds);
+        c.add("store.window_reads", self.store.window_reads());
+        c.add("store.batch_flushes", self.store.batch_flushes());
+        c.hwm("store.interner.scopes", self.store.interned_scopes());
+        let stats = self.collector.sampling_stats();
+        c.add("trace.recorded", stats.recorded);
+        c.add("trace.evicted", stats.evicted);
+        c.add("trace.tail.kept", stats.tail_kept);
+        c.add("trace.tail.downsampled_kept", stats.downsampled_kept);
+        c.add("trace.tail.healthy_dropped", stats.healthy_dropped);
+        c.add("trace.tail.sketch_collapses", self.collector.tail_sketch_collapses());
+        for (sid, name) in self.app.services() {
+            let hwm = self
+                .app
+                .versions_of(sid)
+                .iter()
+                .map(|v| self.occupancy.queue_hwm(*v))
+                .max()
+                .unwrap_or(0);
+            if hwm > 0 {
+                c.hwm(&format!("sim.queue_hwm.{name}"), hwm);
+            }
+        }
+        c
     }
 
     /// Schedules a fault window (see [`crate::faults`]).
@@ -308,9 +386,10 @@ impl Simulation {
     /// Cumulative wall-clock time spent executing simulation windows
     /// ([`Simulation::run_with`]). The Bifrost engine subtracts this from
     /// total wall time to account its own processing cost separately from
-    /// the application's.
+    /// the application's. A thin read of the profiler's `sim.window`
+    /// node, which is recorded regardless of the obs config.
     pub fn sim_busy(&self) -> std::time::Duration {
-        self.sim_busy
+        self.profiler.total("sim.window")
     }
 
     /// Runs a window of `duration` under a simple single-entry workload at
@@ -348,30 +427,33 @@ impl Simulation {
         let to = from + duration;
         let window_seed = sub_seed(self.workload_seed, self.windows_run);
         self.windows_run += 1;
-        let mut arrivals = ArrivalProcess::new(workload.clone(), from, window_seed);
         let mut requests = Vec::new();
-        for arrival in arrivals.arrivals_until(to) {
-            // Same per-request draw order as the recursive facade: trace
-            // decision, root hop seed, conversion draw.
-            let trace = self.collector.begin_trace();
-            let root_seed = self.rng.next_u64();
-            let conv_u = self.rng.next_f64();
-            requests.push(EventRequest {
-                time: arrival.time,
-                user: arrival.user,
-                service: arrival.service,
-                endpoint: arrival.endpoint,
-                trace,
-                root_seed,
-                conv_u,
-            });
+        {
+            cex_core::span!(self.profiler, "sim.window.arrivals");
+            let mut arrivals = ArrivalProcess::new(workload.clone(), from, window_seed);
+            for arrival in arrivals.arrivals_until(to) {
+                // Same per-request draw order as the recursive facade:
+                // trace decision, root hop seed, conversion draw.
+                let trace = self.collector.begin_trace();
+                let root_seed = self.rng.next_u64();
+                let conv_u = self.rng.next_f64();
+                requests.push(EventRequest {
+                    time: arrival.time,
+                    user: arrival.user,
+                    service: arrival.service,
+                    endpoint: arrival.endpoint,
+                    trace,
+                    root_seed,
+                    conv_u,
+                });
+            }
         }
         let mut sink = MetricSink::new(&self.store, &self.version_scopes, self.app_scope);
         let stats = event::run_window(
             &self.app,
             &self.router,
             &mut self.load,
-            &self.occupancy,
+            &mut self.occupancy,
             &self.faults,
             &self.resilience_plan,
             &mut self.resilience_state,
@@ -379,14 +461,20 @@ impl Simulation {
             &mut self.collector,
             requests,
             self.workers,
+            &self.profiler,
         );
+        let tally = &stats.tally;
+        self.event_tally.events_popped += tally.events_popped;
+        self.event_tally.events_sent += tally.events_sent;
+        self.event_tally.sub_rounds += tally.sub_rounds;
+        self.event_tally.sheds += tally.sheds;
         let secs = duration.as_millis() as f64 / 1_000.0;
         if secs > 0.0 {
             sink.record_app(MetricKind::Throughput, to, stats.requests as f64 / secs);
         }
         drop(sink); // window boundary: flush buffered samples
         self.clock = to;
-        self.sim_busy += window_started.elapsed();
+        self.profiler.record("sim.window", window_started.elapsed());
         RunReport {
             from,
             to,
@@ -454,7 +542,7 @@ impl Simulation {
         }
         drop(sink); // window boundary: flush buffered samples
         self.clock = to;
-        self.sim_busy += window_started.elapsed();
+        self.profiler.record("sim.window", window_started.elapsed());
         RunReport { from, to, requests, failures, response_time: rt.summary() }
     }
 }

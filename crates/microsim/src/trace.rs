@@ -624,6 +624,14 @@ impl TraceCollector {
         }
     }
 
+    /// Bucket collapses suffered by the tail-sampling threshold sketch —
+    /// how often it hit its state bound and coarsened (deterministic;
+    /// registry counter `trace.tail.sketch_collapses`). Zero while tail
+    /// sampling is off.
+    pub fn tail_sketch_collapses(&self) -> u64 {
+        self.tail.as_ref().map_or(0, |t| t.roots.collapsed())
+    }
+
     /// Estimated resident bytes of retained trace state: the span storage
     /// of every ring entry plus the tail-sampling sketch. The scale
     /// bench's peak-memory accounting reads this.
